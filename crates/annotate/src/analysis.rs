@@ -1,0 +1,448 @@
+//! The Pattern 1 / Pattern 2 analyses (§IV-B).
+//!
+//! Both analyses run over a validated [`TxnIr`]:
+//!
+//! * **Pattern 1** computes the set of *allocation-derived* pointers
+//!   (transitively, through analysable computations) and the set of
+//!   *freed* regions. Stores through an allocation-derived base become
+//!   `storeT(log-free)`; stores into a region the transaction frees
+//!   become `storeT(lazy, log-free)` — they need neither log nor
+//!   persistence.
+//! * **Pattern 2** computes *recoverability*: a store may use the
+//!   lazy-persistency `storeT` when its address and value can be
+//!   re-derived after a crash that loses the deferred line. Our
+//!   conservative criterion (the paper pairs the analysis with
+//!   generated re-execution recovery; we pair it with structural
+//!   recovery, so we demand more):
+//!
+//!   1. the value flows only through analysable computations from
+//!      persistent pointers and loads — *opaque* computations (deep
+//!      program semantics such as re-balancing colour logic) block it;
+//!   2. the value does not depend on a fresh allocation's address
+//!      (allocation placement is not stable across recovery) nor on
+//!      by-value transaction inputs (key/value payloads are not
+//!      re-derivable from the durable structure);
+//!   3. every load the value depends on reads a location that the
+//!      transaction never overwrites afterwards (otherwise the
+//!      pre-image needed for re-derivation is destroyed — e.g. the
+//!      in-node shifts of a B-tree).
+//!
+//! The opaque-computation and by-value-input rules are how the
+//! analysis reproduces the paper's incompleteness ("the compiler fails
+//! to infer deeper semantics ... and hence misses the variables
+//! recording the colors or counters", §VI-D4).
+//!
+//! A site used by several stores receives the *join* of their results
+//! (any disagreement degrades to the safest common annotation).
+
+use crate::ir::{Inst, Operand, TxnIr, ValueId};
+use crate::table::{Annotation, AnnotationTable};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters describing one analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Instructions visited.
+    pub insts: usize,
+    /// Stores rewritten to `storeT(log-free)` (Pattern 1, allocation).
+    pub pattern1_log_free: usize,
+    /// Stores rewritten to `storeT(lazy, log-free)` (Pattern 1, free).
+    pub pattern1_lazy_log_free: usize,
+    /// Stores rewritten to `storeT(lazy)` (Pattern 2).
+    pub pattern2_lazy: usize,
+    /// Stores left as plain `store`.
+    pub plain: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Flow {
+    /// Recoverable per Pattern 2 (analysable provenance).
+    recoverable: bool,
+    /// Depends (transitively) on a fresh allocation's address.
+    alloc_tainted: bool,
+    /// Depends on by-value transaction inputs (keys/values).
+    input_tainted: bool,
+    /// Depends on a load whose location is later overwritten.
+    clobbered: bool,
+    /// Is (derived from) an allocation base pointer per Pattern 1.
+    alloc_derived: bool,
+}
+
+
+impl Flow {
+    const CONST: Flow = Flow {
+        recoverable: true,
+        alloc_tainted: false,
+        input_tainted: false,
+        clobbered: false,
+        alloc_derived: false,
+    };
+
+    fn stable_for_lazy(&self) -> bool {
+        self.recoverable && !self.alloc_tainted && !self.input_tainted && !self.clobbered
+    }
+
+    fn merge_dep(&mut self, dep: Flow) {
+        self.recoverable &= dep.recoverable;
+        self.alloc_tainted |= dep.alloc_tainted;
+        self.input_tainted |= dep.input_tainted;
+        self.clobbered |= dep.clobbered;
+    }
+}
+
+fn op_flow(op: Operand, flows: &BTreeMap<ValueId, Flow>) -> Flow {
+    match op {
+        Operand::Const(_) => Flow::CONST,
+        Operand::Value(v) => flows.get(&v).copied().unwrap_or_default(),
+    }
+}
+
+/// Join of two annotations for a shared site: agreement keeps the
+/// annotation, disagreement degrades toward the safest (`Plain` unless
+/// both skip logging, in which case the eager log-free form wins).
+fn join(a: Annotation, b: Annotation) -> Annotation {
+    use Annotation::*;
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (LogFree, LazyLogFree) | (LazyLogFree, LogFree) => LogFree,
+        _ => Plain,
+    }
+}
+
+/// Runs both analyses, producing the compiler's annotation table.
+///
+/// # Panics
+///
+/// Panics if the IR fails validation — analyses assume SSA form.
+pub fn analyze(ir: &TxnIr) -> (AnnotationTable, AnalysisStats) {
+    ir.validate()
+        .unwrap_or_else(|e| panic!("analysis requires valid IR: {e}"));
+    let mut stats = AnalysisStats::default();
+
+    // Pre-pass 1: regions freed anywhere in the transaction.
+    let mut freed_roots: BTreeSet<ValueId> = BTreeSet::new();
+    // Pre-pass 2: for the location-stability rule, the instruction
+    // index of the *last* store to each (base, field) location.
+    let mut last_store_at: BTreeMap<(ValueId, u32), usize> = BTreeMap::new();
+    for (i, inst) in ir.insts.iter().enumerate() {
+        match inst {
+            Inst::Free { ptr } => {
+                freed_roots.insert(*ptr);
+            }
+            Inst::Store { base, field, .. } => {
+                last_store_at.insert((*base, *field), i);
+            }
+            _ => {}
+        }
+    }
+
+    let mut flows: BTreeMap<ValueId, Flow> = BTreeMap::new();
+    // Status of the last value stored to each location, for loads that
+    // read back a clobbered location.
+    let mut stored_flow: BTreeMap<(ValueId, u32), Flow> = BTreeMap::new();
+    let mut raw: BTreeMap<crate::ir::SiteId, Annotation> = BTreeMap::new();
+
+    for (i, inst) in ir.insts.iter().enumerate() {
+        stats.insts += 1;
+        match inst {
+            Inst::Param { dst, kind } => {
+                let input = matches!(
+                    kind,
+                    crate::ir::ParamKind::Key | crate::ir::ParamKind::Value
+                );
+                flows.insert(
+                    *dst,
+                    Flow {
+                        recoverable: true,
+                        input_tainted: input,
+                        ..Flow::CONST
+                    },
+                );
+            }
+            Inst::Alloc { dst } => {
+                // The new region's contents are rebuildable (Pattern 1),
+                // but its *address* is not stable across recovery.
+                flows.insert(
+                    *dst,
+                    Flow {
+                        recoverable: true,
+                        alloc_tainted: true,
+                        alloc_derived: true,
+                        ..Flow::CONST
+                    },
+                );
+            }
+            Inst::Free { .. } => {}
+            Inst::Load { dst, base, field } => {
+                let b = flows.get(base).copied().unwrap_or_default();
+                let mut f = match stored_flow.get(&(*base, *field)) {
+                    // Location already overwritten in this transaction:
+                    // the loaded value inherits the stored value's
+                    // status.
+                    Some(stored) => *stored,
+                    // Flow-in location: recoverable iff the base
+                    // pointer is analysable — and *clobbered* if the
+                    // transaction overwrites the location later, since
+                    // the pre-image would be lost.
+                    None => Flow {
+                        recoverable: true,
+                        clobbered: last_store_at
+                            .get(&(*base, *field))
+                            .is_some_and(|&j| j > i),
+                        ..Flow::CONST
+                    },
+                };
+                // The base pointer's taints flow into the value, but
+                // its *clobber* status does not: re-derivation walks
+                // the post-crash structure rather than replaying the
+                // exact pointer loads, so only the loaded location's
+                // own pre-image matters.
+                f.recoverable &= b.recoverable;
+                f.alloc_tainted |= b.alloc_tainted;
+                f.input_tainted |= b.input_tainted;
+                f.alloc_derived = false;
+                flows.insert(*dst, f);
+            }
+            Inst::Compute { dst, args, opaque } => {
+                let mut f = Flow {
+                    recoverable: !opaque,
+                    ..Flow::CONST
+                };
+                for a in args {
+                    let af = op_flow(*a, &flows);
+                    f.merge_dep(af);
+                    // Pointer derivation survives analysable computes
+                    // (e.g. field address arithmetic).
+                    f.alloc_derived |= af.alloc_derived && !opaque;
+                }
+                if *opaque {
+                    f.recoverable = false;
+                }
+                flows.insert(*dst, f);
+            }
+            Inst::Store {
+                site,
+                base,
+                field,
+                src,
+            } => {
+                let b = flows.get(base).copied().unwrap_or_default();
+                let s = op_flow(*src, &flows);
+                let into_freed = freed_roots.contains(base);
+                let annotation = if into_freed {
+                    stats.pattern1_lazy_log_free += 1;
+                    Annotation::LazyLogFree
+                } else if b.alloc_derived {
+                    stats.pattern1_log_free += 1;
+                    Annotation::LogFree
+                } else if b.recoverable && !b.alloc_tainted && s.stable_for_lazy() {
+                    stats.pattern2_lazy += 1;
+                    Annotation::Lazy
+                } else {
+                    stats.plain += 1;
+                    Annotation::Plain
+                };
+                raw.entry(*site)
+                    .and_modify(|a| *a = join(*a, annotation))
+                    .or_insert(annotation);
+                stored_flow.insert((*base, *field), s);
+            }
+        }
+    }
+    let mut table = AnnotationTable::new();
+    for (site, a) in raw {
+        table.set(site, a);
+    }
+    (table, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ParamKind, TxnIrBuilder};
+
+    /// Figure 7: stores into a freshly-allocated node are log-free.
+    #[test]
+    fn pattern1_new_node_stores_are_log_free() {
+        let mut b = TxnIrBuilder::new("list-insert");
+        let pos = b.param(ParamKind::PersistentPtr);
+        let v = b.param(ParamKind::Value);
+        let x = b.alloc();
+        let s_prev = b.store(x, 0, Operand::Value(pos)); // x->prev = pos
+        let s_val = b.store(x, 1, Operand::Value(v)); // x->value = v
+        let s_link = b.store(pos, 0, Operand::Value(x)); // pos->next = x
+        let (t, stats) = analyze(&b.build());
+        assert_eq!(t.get(s_prev), Annotation::LogFree);
+        assert_eq!(t.get(s_val), Annotation::LogFree);
+        // The linking store publishes a fresh address: must be logged
+        // and eagerly persisted.
+        assert_eq!(t.get(s_link), Annotation::Plain);
+        assert_eq!(stats.pattern1_log_free, 2);
+        assert_eq!(stats.plain, 1);
+    }
+
+    /// §IV-B: updates to a region the transaction frees need nothing.
+    #[test]
+    fn pattern1_freed_region_stores_are_lazy_log_free() {
+        let mut b = TxnIrBuilder::new("remove");
+        let victim = b.param(ParamKind::PersistentPtr);
+        let s = b.store(victim, 0, Operand::Const(0)); // poison field
+        b.free(victim);
+        let (t, stats) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::LazyLogFree);
+        assert_eq!(stats.pattern1_lazy_log_free, 1);
+    }
+
+    /// Pattern 2: a parent pointer whose value flows from parameters is
+    /// lazily persistent (the rbtree example of §VI-D4).
+    #[test]
+    fn pattern2_parent_pointer_is_lazy() {
+        let mut b = TxnIrBuilder::new("rb-link");
+        let parent = b.param(ParamKind::PersistentPtr);
+        let child = b.load(parent, 0); // existing child node
+        let s = b.store(child, 3, Operand::Value(parent)); // child->parent = parent
+        let (t, stats) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::Lazy);
+        assert_eq!(stats.pattern2_lazy, 1);
+    }
+
+    /// Values produced by opaque computations (colour logic) are not
+    /// recoverable: the compiler misses them, as Figure 13 reports.
+    #[test]
+    fn opaque_computation_blocks_lazy() {
+        let mut b = TxnIrBuilder::new("rb-color");
+        let parent = b.param(ParamKind::PersistentPtr);
+        let child = b.load(parent, 0);
+        let color = b.compute_opaque(vec![Operand::Value(child)]);
+        let s = b.store(child, 4, Operand::Value(color));
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::Plain);
+    }
+
+    /// A value depending on a fresh allocation's address cannot be
+    /// rebuilt after recovery, so such stores stay eager.
+    #[test]
+    fn alloc_address_taints_lazy_candidates() {
+        let mut b = TxnIrBuilder::new("bucket-push");
+        let bucket = b.param(ParamKind::PersistentPtr);
+        let node = b.alloc();
+        let s = b.store(bucket, 0, Operand::Value(node)); // bucket->head = node
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::Plain);
+    }
+
+    /// By-value inputs (keys, payloads) are not re-derivable from the
+    /// durable structure: stores of them into existing memory stay
+    /// eager (the heap's append-beyond-count slot).
+    #[test]
+    fn input_values_block_lazy() {
+        let mut b = TxnIrBuilder::new("append");
+        let arr = b.param(ParamKind::PersistentPtr);
+        let key = b.param(ParamKind::Key);
+        let s = b.store(arr, 0, Operand::Value(key));
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::Plain);
+    }
+
+    /// Loads of locations the transaction later overwrites cannot feed
+    /// lazy stores (B-tree shift pattern): the pre-image needed to
+    /// re-derive the value is destroyed.
+    #[test]
+    fn later_clobbered_source_blocks_lazy() {
+        let mut b = TxnIrBuilder::new("shift");
+        let node = b.param(ParamKind::PersistentPtr);
+        let k = b.load(node, 3);
+        let s_shift = b.store(node, 4, Operand::Value(k)); // keys[4] = keys[3]
+        let s_over = b.store(node, 3, Operand::Const(9)); // keys[3] = new
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(s_shift), Annotation::Plain);
+        // Overwriting with a constant is re-derivable.
+        assert_eq!(t.get(s_over), Annotation::Lazy);
+    }
+
+    /// Loads of locations already overwritten inherit the stored
+    /// value's recoverability rather than flow-in status.
+    #[test]
+    fn clobbered_load_tracks_stored_value() {
+        let mut b = TxnIrBuilder::new("clobber");
+        let p = b.param(ParamKind::PersistentPtr);
+        let n = b.alloc();
+        // p->f0 = n (plain: publishes fresh address)
+        b.store(p, 0, Operand::Value(n));
+        // reload p->f0: value is the fresh address → tainted
+        let re = b.load(p, 0);
+        // q->f1 = re: tainted value → plain
+        let q = b.param(ParamKind::PersistentPtr);
+        let s = b.store(q, 1, Operand::Value(re));
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::Plain);
+    }
+
+    /// Key movement (rtree / rehash): copying flow-in persistent data
+    /// to another existing location is lazily persistent when the
+    /// source stays intact.
+    #[test]
+    fn data_movement_is_lazy() {
+        let mut b = TxnIrBuilder::new("move");
+        let src_node = b.param(ParamKind::PersistentPtr);
+        let dst_node = b.param(ParamKind::PersistentPtr);
+        let k = b.load(src_node, 0);
+        let s = b.store(dst_node, 0, Operand::Value(k));
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::Lazy);
+    }
+
+    /// Analysable computation over recoverable, stable inputs stays
+    /// lazy (the AVL height pattern: child heights feed the parent's).
+    #[test]
+    fn pure_compute_preserves_recoverability() {
+        let mut b = TxnIrBuilder::new("height");
+        let node = b.param(ParamKind::PersistentPtr);
+        let child = b.load(node, 1);
+        let ch = b.load(child, 2);
+        let h = b.compute(vec![Operand::Value(ch), Operand::Const(1)]);
+        let s = b.store(node, 2, Operand::Value(h));
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(s), Annotation::Lazy);
+    }
+
+    /// Duplicate sites join conservatively.
+    #[test]
+    fn duplicate_sites_join() {
+        let mut b = TxnIrBuilder::new("dup");
+        let p = b.param(ParamKind::PersistentPtr);
+        let n = b.alloc();
+        let site = b.store(n, 0, Operand::Const(1)); // LogFree
+        b.store_at(site, p, 0, Operand::Value(n)); // Plain (tainted src)
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(site), Annotation::Plain);
+    }
+
+    #[test]
+    fn duplicate_sites_agreeing_keep_annotation() {
+        let mut b = TxnIrBuilder::new("dup2");
+        let n = b.alloc();
+        let site = b.store(n, 0, Operand::Const(1));
+        b.store_at(site, n, 1, Operand::Const(2));
+        let (t, _) = analyze(&b.build());
+        assert_eq!(t.get(site), Annotation::LogFree);
+    }
+
+    #[test]
+    fn stats_cover_all_stores() {
+        let mut b = TxnIrBuilder::new("mixed");
+        let p = b.param(ParamKind::PersistentPtr);
+        let n = b.alloc();
+        b.store(n, 0, Operand::Const(1)); // log-free
+        b.store(p, 0, Operand::Value(n)); // plain (tainted)
+        b.store(p, 1, Operand::Const(2)); // lazy
+        let (_, stats) = analyze(&b.build());
+        assert_eq!(
+            stats.pattern1_log_free + stats.pattern1_lazy_log_free + stats.pattern2_lazy + stats.plain,
+            3
+        );
+        assert_eq!(stats.insts, 5);
+    }
+}

@@ -1,0 +1,377 @@
+//! The transaction intermediate representation.
+//!
+//! A [`TxnIr`] is a straight-line, SSA-form description of one durable
+//! transaction body: every value is defined exactly once, the
+//! instruction that creates a variable is the first to update its
+//! memory location, and stores carry a [`SiteId`] naming the run-time
+//! store site they correspond to (the workloads use the same IDs when
+//! executing). This mirrors the setting of §IV-B, where the analysis
+//! runs after SSA construction and MemorySSA dependence analysis.
+
+use std::fmt;
+
+/// An SSA value identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+/// A run-time store site identifier. The workload executes its stores
+/// tagged with the same IDs, so annotations transfer directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// What a flow-in parameter represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A pointer to existing persistent data (e.g. the insert position).
+    PersistentPtr,
+    /// A by-value input recorded durably by the caller (key bytes).
+    Key,
+    /// A by-value input recorded durably by the caller (value bytes).
+    Value,
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An SSA value.
+    Value(ValueId),
+    /// An immediate constant.
+    Const(u64),
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = param` — a flow-in value, durable before the transaction
+    /// (or re-suppliable on recovery, like the re-execution inputs of
+    /// Clobber-NVM).
+    Param {
+        /// Defined value.
+        dst: ValueId,
+        /// What the parameter represents.
+        kind: ParamKind,
+    },
+    /// `dst = malloc(..)` — a persistent allocation (Pattern 1 root).
+    Alloc {
+        /// Defined value: the new region's base pointer.
+        dst: ValueId,
+    },
+    /// `free(ptr)` — the region dies within this transaction.
+    Free {
+        /// The doomed region's base pointer.
+        ptr: ValueId,
+    },
+    /// `dst = load base.field`.
+    Load {
+        /// Defined value.
+        dst: ValueId,
+        /// Base pointer.
+        base: ValueId,
+        /// Field index (MemorySSA-style location = base + field).
+        field: u32,
+    },
+    /// `store base.field = src`, the rewrite candidate.
+    Store {
+        /// Run-time site this instruction corresponds to.
+        site: SiteId,
+        /// Base pointer.
+        base: ValueId,
+        /// Field index.
+        field: u32,
+        /// Stored value.
+        src: Operand,
+    },
+    /// `dst = f(args)` — a pure computation. When `opaque` is set the
+    /// compiler cannot reason about it (deep program semantics, e.g.
+    /// re-balancing colour logic), so its result is not considered
+    /// recoverable even if the inputs are.
+    Compute {
+        /// Defined value.
+        dst: ValueId,
+        /// Inputs.
+        args: Vec<Operand>,
+        /// Whether the analysis must treat the result as unanalysable.
+        opaque: bool,
+    },
+}
+
+/// A straight-line transaction body in SSA form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TxnIr {
+    /// Human-readable name (benchmark / function).
+    pub name: String,
+    /// Instructions in program order.
+    pub insts: Vec<Inst>,
+}
+
+impl TxnIr {
+    /// Validates SSA form: each value defined exactly once, every use
+    /// after its definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut defined = std::collections::BTreeSet::new();
+        let check_use = |v: ValueId, defined: &std::collections::BTreeSet<ValueId>, at: usize| {
+            if defined.contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("value v{} used before definition at inst {at}", v.0))
+            }
+        };
+        let define = |v: ValueId, defined: &mut std::collections::BTreeSet<ValueId>, at: usize| {
+            if defined.insert(v) {
+                Ok(())
+            } else {
+                Err(format!("value v{} defined twice at inst {at}", v.0))
+            }
+        };
+        for (i, inst) in self.insts.iter().enumerate() {
+            match inst {
+                Inst::Param { dst, .. } | Inst::Alloc { dst } => define(*dst, &mut defined, i)?,
+                Inst::Free { ptr } => check_use(*ptr, &defined, i)?,
+                Inst::Load { dst, base, .. } => {
+                    check_use(*base, &defined, i)?;
+                    define(*dst, &mut defined, i)?;
+                }
+                Inst::Store { base, src, .. } => {
+                    check_use(*base, &defined, i)?;
+                    if let Operand::Value(v) = src {
+                        check_use(*v, &defined, i)?;
+                    }
+                }
+                Inst::Compute { dst, args, .. } => {
+                    for a in args {
+                        if let Operand::Value(v) = a {
+                            check_use(*v, &defined, i)?;
+                        }
+                    }
+                    define(*dst, &mut defined, i)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All store sites in program order.
+    pub fn store_sites(&self) -> Vec<SiteId> {
+        self.insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Store { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Fluent builder producing valid [`TxnIr`] with auto-assigned value
+/// IDs.
+///
+/// ```
+/// use slpmt_annotate::{TxnIrBuilder, ParamKind, Operand};
+/// let mut b = TxnIrBuilder::new("insert");
+/// let pos = b.param(ParamKind::PersistentPtr);
+/// let val = b.param(ParamKind::Value);
+/// let node = b.alloc();
+/// b.store(node, 0, Operand::Value(val)); // x->value = v
+/// b.store(node, 1, Operand::Value(pos)); // x->prev  = pos
+/// b.store(pos, 2, Operand::Value(node)); // pos->next = x (linking)
+/// let ir = b.build();
+/// assert!(ir.validate().is_ok());
+/// assert_eq!(ir.store_sites().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxnIrBuilder {
+    ir: TxnIr,
+    next_value: u32,
+    next_site: u32,
+}
+
+impl TxnIrBuilder {
+    /// Starts a builder for a transaction called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TxnIrBuilder {
+            ir: TxnIr {
+                name: name.into(),
+                insts: Vec::new(),
+            },
+            next_value: 0,
+            next_site: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> ValueId {
+        let v = ValueId(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    /// Adds a flow-in parameter.
+    pub fn param(&mut self, kind: ParamKind) -> ValueId {
+        let dst = self.fresh();
+        self.ir.insts.push(Inst::Param { dst, kind });
+        dst
+    }
+
+    /// Adds a persistent allocation.
+    pub fn alloc(&mut self) -> ValueId {
+        let dst = self.fresh();
+        self.ir.insts.push(Inst::Alloc { dst });
+        dst
+    }
+
+    /// Frees a region within the transaction.
+    pub fn free(&mut self, ptr: ValueId) {
+        self.ir.insts.push(Inst::Free { ptr });
+    }
+
+    /// Adds a load of `base.field`.
+    pub fn load(&mut self, base: ValueId, field: u32) -> ValueId {
+        let dst = self.fresh();
+        self.ir.insts.push(Inst::Load { dst, base, field });
+        dst
+    }
+
+    /// Adds a store to `base.field`, returning its site ID.
+    pub fn store(&mut self, base: ValueId, field: u32, src: Operand) -> SiteId {
+        let site = SiteId(self.next_site);
+        self.next_site += 1;
+        self.ir.insts.push(Inst::Store {
+            site,
+            base,
+            field,
+            src,
+        });
+        site
+    }
+
+    /// Adds a store with an explicit, caller-chosen site ID — used when
+    /// the run-time store sites are a fixed enumeration the IR must
+    /// match. A site may appear on several stores; the analysis joins
+    /// their results conservatively.
+    pub fn store_at(&mut self, site: SiteId, base: ValueId, field: u32, src: Operand) {
+        self.next_site = self.next_site.max(site.0 + 1);
+        self.ir.insts.push(Inst::Store {
+            site,
+            base,
+            field,
+            src,
+        });
+    }
+
+    /// Adds an analysable pure computation.
+    pub fn compute(&mut self, args: Vec<Operand>) -> ValueId {
+        let dst = self.fresh();
+        self.ir.insts.push(Inst::Compute {
+            dst,
+            args,
+            opaque: false,
+        });
+        dst
+    }
+
+    /// Adds an *opaque* computation the analysis cannot see through.
+    pub fn compute_opaque(&mut self, args: Vec<Operand>) -> ValueId {
+        let dst = self.fresh();
+        self.ir.insts.push(Inst::Compute {
+            dst,
+            args,
+            opaque: true,
+        });
+        dst
+    }
+
+    /// Finishes the IR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built IR fails [`TxnIr::validate`] — builder bugs
+    /// only, since the builder assigns IDs itself.
+    pub fn build(self) -> TxnIr {
+        self.ir
+            .validate()
+            .unwrap_or_else(|e| panic!("builder produced invalid IR: {e}"));
+        self.ir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_ssa() {
+        let mut b = TxnIrBuilder::new("t");
+        let p = b.param(ParamKind::PersistentPtr);
+        let n = b.alloc();
+        let v = b.load(p, 0);
+        let c = b.compute(vec![Operand::Value(v), Operand::Const(1)]);
+        b.store(n, 0, Operand::Value(c));
+        b.free(p);
+        let ir = b.build();
+        assert_eq!(ir.insts.len(), 6);
+        assert!(ir.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_use_before_def() {
+        let ir = TxnIr {
+            name: "bad".into(),
+            insts: vec![Inst::Free { ptr: ValueId(0) }],
+        };
+        assert!(ir.validate().unwrap_err().contains("before definition"));
+    }
+
+    #[test]
+    fn validate_rejects_double_definition() {
+        let ir = TxnIr {
+            name: "bad".into(),
+            insts: vec![Inst::Alloc { dst: ValueId(0) }, Inst::Alloc { dst: ValueId(0) }],
+        };
+        assert!(ir.validate().unwrap_err().contains("defined twice"));
+    }
+
+    #[test]
+    fn duplicate_sites_are_allowed() {
+        // Run-time code reuses one site for many stores of the same
+        // class (e.g. every child-slot initialisation of a fresh node),
+        // so the IR permits it; the analysis joins conflicting results.
+        let ir = TxnIr {
+            name: "dup".into(),
+            insts: vec![
+                Inst::Alloc { dst: ValueId(0) },
+                Inst::Store {
+                    site: SiteId(0),
+                    base: ValueId(0),
+                    field: 0,
+                    src: Operand::Const(1),
+                },
+                Inst::Store {
+                    site: SiteId(0),
+                    base: ValueId(0),
+                    field: 1,
+                    src: Operand::Const(2),
+                },
+            ],
+        };
+        assert!(ir.validate().is_ok());
+    }
+
+    #[test]
+    fn store_sites_in_order() {
+        let mut b = TxnIrBuilder::new("t");
+        let n = b.alloc();
+        let s0 = b.store(n, 0, Operand::Const(0));
+        let s1 = b.store(n, 1, Operand::Const(1));
+        let ir = b.build();
+        assert_eq!(ir.store_sites(), vec![s0, s1]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Annotation tables: per-site `storeT` operand settings.
+
+use crate::ir::SiteId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The rewrite decision for one store site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum Annotation {
+    /// Keep the plain `store`.
+    #[default]
+    Plain,
+    /// `storeT lazy=0 log-free=1` — Pattern 1 on allocated memory.
+    LogFree,
+    /// `storeT lazy=1 log-free=0` — Pattern 2.
+    Lazy,
+    /// `storeT lazy=1 log-free=1` — Pattern 1 on to-be-freed memory.
+    LazyLogFree,
+}
+
+impl Annotation {
+    /// `true` for any non-plain rewrite (a "variable" in the Figure 13
+    /// found/total counting).
+    pub fn is_selective(self) -> bool {
+        self != Annotation::Plain
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Annotation::Plain => "store",
+            Annotation::LogFree => "storeT(log-free)",
+            Annotation::Lazy => "storeT(lazy)",
+            Annotation::LazyLogFree => "storeT(lazy,log-free)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Map from store site to rewrite decision. Sites absent from the
+/// table execute a plain `store`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnnotationTable {
+    entries: BTreeMap<SiteId, Annotation>,
+}
+
+impl AnnotationTable {
+    /// Empty table (everything plain).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the annotation of `site`.
+    pub fn set(&mut self, site: SiteId, a: Annotation) {
+        if a == Annotation::Plain {
+            self.entries.remove(&site);
+        } else {
+            self.entries.insert(site, a);
+        }
+    }
+
+    /// The annotation of `site` ([`Annotation::Plain`] by default).
+    pub fn get(&self, site: SiteId) -> Annotation {
+        self.entries.get(&site).copied().unwrap_or_default()
+    }
+
+    /// Number of selectively-annotated sites.
+    pub fn selective_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates annotated sites in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, Annotation)> + '_ {
+        self.entries.iter().map(|(&s, &a)| (s, a))
+    }
+
+    /// Compares a compiler-produced table against the manual reference,
+    /// producing the Figure 13 found/total accounting.
+    pub fn compare_to_manual(&self, manual: &AnnotationTable) -> AnnotationReport {
+        let total_manual = manual.selective_count();
+        let found = manual
+            .iter()
+            .filter(|(site, _)| self.get(*site).is_selective())
+            .count();
+        let exact = manual
+            .iter()
+            .filter(|(site, a)| self.get(*site) == *a)
+            .count();
+        let extra = self
+            .iter()
+            .filter(|(site, _)| !manual.get(*site).is_selective())
+            .count();
+        AnnotationReport {
+            total_manual,
+            found,
+            exact,
+            extra,
+        }
+    }
+}
+
+impl FromIterator<(SiteId, Annotation)> for AnnotationTable {
+    fn from_iter<I: IntoIterator<Item = (SiteId, Annotation)>>(iter: I) -> Self {
+        let mut t = AnnotationTable::new();
+        for (s, a) in iter {
+            t.set(s, a);
+        }
+        t
+    }
+}
+
+/// Compiler-vs-manual comparison (Figure 13 left's "16 out of 26").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotationReport {
+    /// Manually annotated variables.
+    pub total_manual: usize,
+    /// Of those, sites the compiler also annotated (any selective form).
+    pub found: usize,
+    /// Of those, sites where the compiler chose the identical form.
+    pub exact: usize,
+    /// Sites the compiler annotated that the manual table left plain.
+    pub extra: usize,
+}
+
+impl fmt::Display for AnnotationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compiler found {}/{} manual annotations ({} exact, {} extra)",
+            self.found, self.total_manual, self.exact, self.extra
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_plain() {
+        let t = AnnotationTable::new();
+        assert_eq!(t.get(SiteId(7)), Annotation::Plain);
+        assert_eq!(t.selective_count(), 0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut t = AnnotationTable::new();
+        t.set(SiteId(1), Annotation::LogFree);
+        t.set(SiteId(2), Annotation::Lazy);
+        assert_eq!(t.get(SiteId(1)), Annotation::LogFree);
+        assert_eq!(t.selective_count(), 2);
+        // Setting plain removes the entry.
+        t.set(SiteId(1), Annotation::Plain);
+        assert_eq!(t.selective_count(), 1);
+    }
+
+    #[test]
+    fn comparison_counts() {
+        let manual: AnnotationTable = [
+            (SiteId(0), Annotation::LogFree),
+            (SiteId(1), Annotation::Lazy),
+            (SiteId(2), Annotation::LogFree),
+        ]
+        .into_iter()
+        .collect();
+        let compiler: AnnotationTable = [
+            (SiteId(0), Annotation::LogFree),    // exact
+            (SiteId(1), Annotation::LazyLogFree), // found, not exact
+            (SiteId(9), Annotation::Lazy),        // extra
+        ]
+        .into_iter()
+        .collect();
+        let r = compiler.compare_to_manual(&manual);
+        assert_eq!(r.total_manual, 3);
+        assert_eq!(r.found, 2);
+        assert_eq!(r.exact, 1);
+        assert_eq!(r.extra, 1);
+        assert!(r.to_string().contains("2/3"));
+    }
+
+    #[test]
+    fn annotation_selectivity() {
+        assert!(!Annotation::Plain.is_selective());
+        assert!(Annotation::LogFree.is_selective());
+        assert!(Annotation::Lazy.is_selective());
+        assert!(Annotation::LazyLogFree.is_selective());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Annotation::LogFree.to_string(), "storeT(log-free)");
+        assert_eq!(Annotation::Plain.to_string(), "store");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the compiler analyses: on arbitrary valid IR the
+//! analysis never panics and respects its soundness rules.
+
+use proptest::prelude::*;
+use slpmt_annotate::{analyze, Annotation, Inst, Operand, ParamKind, SiteId, TxnIr, ValueId};
+
+/// Generates a random valid SSA transaction body.
+fn ir_strategy() -> impl Strategy<Value = TxnIr> {
+    prop::collection::vec((0u8..6, any::<u32>(), any::<u32>(), any::<bool>()), 1..60).prop_map(
+        |choices| {
+            let mut insts = Vec::new();
+            let mut values: Vec<ValueId> = Vec::new();
+            let mut next_value = 0u32;
+            let mut next_site = 0u32;
+            let fresh = |values: &mut Vec<ValueId>, next_value: &mut u32| {
+                let v = ValueId(*next_value);
+                *next_value += 1;
+                values.push(v);
+                v
+            };
+            for (kind, a, b, flag) in choices {
+                match kind {
+                    0 => {
+                        let dst = fresh(&mut values, &mut next_value);
+                        let pk = match a % 3 {
+                            0 => ParamKind::PersistentPtr,
+                            1 => ParamKind::Key,
+                            _ => ParamKind::Value,
+                        };
+                        insts.push(Inst::Param { dst, kind: pk });
+                    }
+                    1 => {
+                        let dst = fresh(&mut values, &mut next_value);
+                        insts.push(Inst::Alloc { dst });
+                    }
+                    2 if !values.is_empty() => {
+                        let ptr = values[a as usize % values.len()];
+                        insts.push(Inst::Free { ptr });
+                    }
+                    3 if !values.is_empty() => {
+                        let base = values[a as usize % values.len()];
+                        let dst = fresh(&mut values, &mut next_value);
+                        insts.push(Inst::Load { dst, base, field: b % 8 });
+                    }
+                    4 if !values.is_empty() => {
+                        let base = values[a as usize % values.len()];
+                        let src = if flag && values.len() > 1 {
+                            Operand::Value(values[b as usize % values.len()])
+                        } else {
+                            Operand::Const(b as u64)
+                        };
+                        insts.push(Inst::Store {
+                            site: SiteId(next_site),
+                            base,
+                            field: b % 8,
+                            src,
+                        });
+                        next_site += 1;
+                    }
+                    _ if !values.is_empty() => {
+                        let arg = Operand::Value(values[a as usize % values.len()]);
+                        let dst = fresh(&mut values, &mut next_value);
+                        insts.push(Inst::Compute {
+                            dst,
+                            args: vec![arg, Operand::Const(b as u64)],
+                            opaque: flag,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            TxnIr {
+                name: "random".into(),
+                insts,
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn analysis_total_and_sound(ir in ir_strategy()) {
+        prop_assume!(ir.validate().is_ok());
+        let (table, stats) = analyze(&ir);
+        // Totality: every store classified exactly once.
+        let stores = ir.store_sites().len();
+        prop_assert_eq!(
+            stats.pattern1_log_free + stats.pattern1_lazy_log_free
+                + stats.pattern2_lazy + stats.plain,
+            stores
+        );
+        // Soundness spot rules, re-derived from the IR:
+        let mut alloc_roots = std::collections::BTreeSet::new();
+        for inst in &ir.insts {
+            if let Inst::Alloc { dst } = inst {
+                alloc_roots.insert(*dst);
+            }
+        }
+        for inst in &ir.insts {
+            if let Inst::Store { site, src, .. } = inst {
+                // A store of a fresh allocation's address (directly) is
+                // never lazily persistent: the address is not stable
+                // across recovery.
+                match src {
+                    Operand::Value(v) if alloc_roots.contains(v) => {
+                        prop_assert_ne!(table.get(*site), Annotation::Lazy);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the core hardware structures: the
+//! tiered log buffer's insert/coalesce path, the working-set
+//! signature, the WPQ timing model, and the machine's store path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slpmt_core::{Machine, MachineConfig, Scheme, Signature, StoreKind};
+use slpmt_logbuf::{LogRecord, TieredLogBuffer};
+use slpmt_pmem::{PmAddr, WritePendingQueue};
+use std::hint::black_box;
+
+fn bench_logbuf(c: &mut Criterion) {
+    c.bench_function("tiered_buffer_coalesce_line", |b| {
+        b.iter(|| {
+            let mut buf = TieredLogBuffer::new();
+            for w in 0..8u64 {
+                let rec = LogRecord::new(1, PmAddr::new(w * 8), vec![w as u8; 8]);
+                black_box(buf.insert(rec));
+            }
+            black_box(buf.drain_all())
+        })
+    });
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut sig = Signature::new();
+    for i in 0..64u64 {
+        sig.insert(PmAddr::new(i * 64));
+    }
+    c.bench_function("signature_lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(64);
+            black_box(sig.maybe_contains(PmAddr::new(i)))
+        })
+    });
+}
+
+fn bench_wpq(c: &mut Criterion) {
+    c.bench_function("wpq_push_burst", |b| {
+        b.iter(|| {
+            let mut q = WritePendingQueue::new(8, 1000, 8);
+            let mut t = 0;
+            for _ in 0..64 {
+                t = q.push(t).accepted_at;
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_machine_store(c: &mut Criterion) {
+    c.bench_function("machine_txn_8_stores", |b| {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.tx_begin();
+            for w in 0..8u64 {
+                m.store_u64(
+                    PmAddr::new(0x10000 + ((i * 8 + w) % 4096) * 8),
+                    i,
+                    StoreKind::Store,
+                );
+            }
+            m.tx_commit();
+            black_box(m.now())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_logbuf, bench_signature, bench_wpq, bench_machine_store
+);
+criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! Per-line SLPMT metadata and log-bit width transforms.
+//!
+//! Figure 5 of the paper: every L1 line carries eight log bits (one per
+//! 8-byte word), every L2 line carries two (one per 32-byte group), L3
+//! carries none. On L1→L2 eviction each L2 bit becomes the *logical
+//! conjunction* of its four L1 bits; on L2→L1 fetch each L2 bit is
+//! *replicated* into four L1 bits. The optional speculative-logging
+//! optimisation (§III-B1) logs clean words of a partially-logged group
+//! before eviction so the conjunction survives.
+
+use slpmt_pmem::addr::{L2_GROUPS_PER_LINE, WORDS_PER_L2_GROUP, WORDS_PER_LINE};
+use std::fmt;
+
+/// A core-local 2-bit transaction identifier (values 0..=3, §III-C2).
+///
+/// Four IDs exist per core; they are allocated from a circular register
+/// and recycled by force-persisting the oldest transaction's lazy data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(u8);
+
+impl TxnId {
+    /// Number of distinct IDs (2 bits → 4).
+    pub const COUNT: u8 = 4;
+
+    /// Creates an ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 4` — the hardware field is two bits wide.
+    pub fn new(id: u8) -> Self {
+        assert!(id < Self::COUNT, "transaction ID must fit in 2 bits");
+        TxnId(id)
+    }
+
+    /// The raw 2-bit value.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The next ID in circular order.
+    #[must_use]
+    pub fn next(self) -> TxnId {
+        TxnId((self.0 + 1) % Self::COUNT)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// SLPMT metadata attached to a cached line.
+///
+/// `log_bits` is interpreted at the owning level's granularity: bits
+/// 0..8 (one per word) in L1, bits 0..2 (one per 32-byte group) in L2.
+/// L3 entries keep a default (all-clear) metadata block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineMeta {
+    /// Persist-at-commit bit (Table I).
+    pub persist: bool,
+    /// Log bitmap at the level's granularity.
+    pub log_bits: u8,
+    /// The line was modified and differs from the persistent image.
+    pub dirty: bool,
+    /// ID of the transaction that last updated the line, when that
+    /// update's persistence may still be outstanding.
+    pub txn_id: Option<TxnId>,
+    /// The line was updated lazily (persist bit left clear) by a
+    /// *committed* transaction and awaits deferred persistence.
+    pub lazy_pending: bool,
+}
+
+impl LineMeta {
+    /// Clean metadata (all bits clear).
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// `true` if the word-level log bit `word` (0..8) is set.
+    ///
+    /// Only meaningful for L1 metadata.
+    pub fn word_logged(&self, word: usize) -> bool {
+        debug_assert!(word < WORDS_PER_LINE);
+        self.log_bits & (1 << word) != 0
+    }
+
+    /// Sets the word-level log bit `word` (0..8). L1 only.
+    pub fn set_word_logged(&mut self, word: usize) {
+        debug_assert!(word < WORDS_PER_LINE);
+        self.log_bits |= 1 << word;
+    }
+
+    /// `true` if the group-level log bit `group` (0..2) is set. L2 only.
+    pub fn group_logged(&self, group: usize) -> bool {
+        debug_assert!(group < L2_GROUPS_PER_LINE);
+        self.log_bits & (1 << group) != 0
+    }
+
+    /// Sets the group-level log bit `group` (0..2). L2 only.
+    pub fn set_group_logged(&mut self, group: usize) {
+        debug_assert!(group < L2_GROUPS_PER_LINE);
+        self.log_bits |= 1 << group;
+    }
+}
+
+/// L1→L2 eviction transform: each of the two L2 bits is the logical
+/// conjunction of the corresponding four L1 word bits (Figure 5).
+///
+/// ```
+/// use slpmt_cache::l1_logbits_to_l2;
+/// assert_eq!(l1_logbits_to_l2(0b1111_1111), 0b11);
+/// assert_eq!(l1_logbits_to_l2(0b1111_0111), 0b10); // low group incomplete
+/// assert_eq!(l1_logbits_to_l2(0b0000_1111), 0b01);
+/// ```
+pub fn l1_logbits_to_l2(l1_bits: u8) -> u8 {
+    let mut out = 0;
+    for group in 0..L2_GROUPS_PER_LINE {
+        let mask = 0b1111u8 << (group * WORDS_PER_L2_GROUP);
+        if l1_bits & mask == mask {
+            out |= 1 << group;
+        }
+    }
+    out
+}
+
+/// L2→L1 fetch transform: each L2 group bit is replicated into four L1
+/// word bits (Figure 5).
+///
+/// ```
+/// use slpmt_cache::l2_logbits_to_l1;
+/// assert_eq!(l2_logbits_to_l1(0b11), 0b1111_1111);
+/// assert_eq!(l2_logbits_to_l1(0b10), 0b1111_0000);
+/// assert_eq!(l2_logbits_to_l1(0b00), 0);
+/// ```
+pub fn l2_logbits_to_l1(l2_bits: u8) -> u8 {
+    let mut out = 0;
+    for group in 0..L2_GROUPS_PER_LINE {
+        if l2_bits & (1 << group) != 0 {
+            out |= 0b1111 << (group * WORDS_PER_L2_GROUP);
+        }
+    }
+    out
+}
+
+/// Speculative-logging helper (§III-B1): given L1 word log bits about
+/// to be evicted, returns the clean words that should be speculatively
+/// logged so that *partially* logged 4-word groups aggregate to a set
+/// L2 bit. Groups with no logged word are left alone.
+///
+/// ```
+/// use slpmt_cache::speculative_fill_words;
+/// // Words 0..3 logged except word 3 → log word 3 speculatively.
+/// assert_eq!(speculative_fill_words(0b0000_0111), vec![3]);
+/// // Fully-logged or fully-clean groups need nothing.
+/// assert_eq!(speculative_fill_words(0b0000_1111), Vec::<usize>::new());
+/// assert_eq!(speculative_fill_words(0), Vec::<usize>::new());
+/// ```
+pub fn speculative_fill_words(l1_bits: u8) -> Vec<usize> {
+    let mut fills = Vec::new();
+    for group in 0..L2_GROUPS_PER_LINE {
+        let shift = group * WORDS_PER_L2_GROUP;
+        let bits = (l1_bits >> shift) & 0b1111;
+        if bits != 0 && bits != 0b1111 {
+            for w in 0..WORDS_PER_L2_GROUP {
+                if bits & (1 << w) == 0 {
+                    fills.push(shift + w);
+                }
+            }
+        }
+    }
+    fills
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_bounds_and_cycle() {
+        let t = TxnId::new(3);
+        assert_eq!(t.raw(), 3);
+        assert_eq!(t.next(), TxnId::new(0));
+        assert_eq!(TxnId::new(0).next(), TxnId::new(1));
+        assert_eq!(format!("{t}"), "T3");
+    }
+
+    #[test]
+    #[should_panic(expected = "2 bits")]
+    fn txn_id_overflow_rejected() {
+        let _ = TxnId::new(4);
+    }
+
+    #[test]
+    fn word_log_bits() {
+        let mut m = LineMeta::clean();
+        assert!(!m.word_logged(0));
+        m.set_word_logged(0);
+        m.set_word_logged(7);
+        assert!(m.word_logged(0));
+        assert!(m.word_logged(7));
+        assert!(!m.word_logged(3));
+        assert_eq!(m.log_bits, 0b1000_0001);
+    }
+
+    #[test]
+    fn group_log_bits() {
+        let mut m = LineMeta::clean();
+        m.set_group_logged(1);
+        assert!(!m.group_logged(0));
+        assert!(m.group_logged(1));
+    }
+
+    #[test]
+    fn conjunction_per_group() {
+        assert_eq!(l1_logbits_to_l2(0), 0);
+        assert_eq!(l1_logbits_to_l2(0b1111_0000), 0b10);
+        assert_eq!(l1_logbits_to_l2(0b0111_1111), 0b01);
+        assert_eq!(l1_logbits_to_l2(0xFF), 0b11);
+    }
+
+    #[test]
+    fn replication_inverts_conjunction_for_full_groups() {
+        for l2 in 0..4u8 {
+            assert_eq!(l1_logbits_to_l2(l2_logbits_to_l1(l2)), l2);
+        }
+    }
+
+    #[test]
+    fn round_trip_loses_partial_groups() {
+        // The paper's duplicated-logging case: one logged word is lost
+        // in the conjunction, so a round trip reports it unlogged.
+        let l1 = 0b0000_0001u8;
+        let back = l2_logbits_to_l1(l1_logbits_to_l2(l1));
+        assert_eq!(back, 0);
+    }
+
+    #[test]
+    fn speculative_fill_completes_partial_groups_only() {
+        assert_eq!(speculative_fill_words(0b0001_0000), vec![5, 6, 7]);
+        assert_eq!(speculative_fill_words(0b0111_0111), vec![3, 7]);
+        assert_eq!(speculative_fill_words(0b1111_1111), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn speculative_fill_then_conjunction_is_full() {
+        for bits in 1..=0xFFu8 {
+            let mut filled = bits;
+            for w in speculative_fill_words(bits) {
+                filled |= 1 << w;
+            }
+            // Every group that had at least one logged word now
+            // aggregates to a set L2 bit.
+            for group in 0..2 {
+                let gbits = (bits >> (group * 4)) & 0b1111;
+                if gbits != 0 {
+                    assert!(l1_logbits_to_l2(filled) & (1 << group) != 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Generic set-associative cache container with LRU replacement.
+//!
+//! All three levels of the simulated hierarchy instantiate this
+//! container; the hierarchy itself (exclusive placement, eviction
+//! cascades, metadata transforms) is orchestrated by `slpmt-core`.
+
+use crate::config::CacheGeometry;
+use crate::meta::LineMeta;
+use crate::stats::CacheStats;
+use slpmt_pmem::addr::{PmAddr, LINE_BYTES};
+
+/// One cached line: address tag, data, and SLPMT metadata.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Line-aligned address of the cached data.
+    pub addr: PmAddr,
+    /// Current (possibly newer-than-persistent) line contents.
+    pub data: [u8; LINE_BYTES],
+    /// SLPMT per-line metadata bits.
+    pub meta: LineMeta,
+    lru: u64,
+}
+
+impl Entry {
+    /// Creates an entry for `addr` with the given data and metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned.
+    pub fn new(addr: PmAddr, data: [u8; LINE_BYTES], meta: LineMeta) -> Self {
+        assert!(addr.is_line_aligned(), "cache entries are whole lines");
+        Entry {
+            addr,
+            data,
+            meta,
+            lru: 0,
+        }
+    }
+}
+
+/// A set-associative, LRU-replacement cache of 64-byte lines.
+///
+/// ```
+/// use slpmt_cache::{CacheGeometry, SetAssocCache, Entry, LineMeta};
+/// use slpmt_pmem::PmAddr;
+/// let geo = CacheGeometry { capacity: 256, ways: 2, hit_cycles: 4 };
+/// let mut c = SetAssocCache::new(geo);
+/// let e = Entry::new(PmAddr::new(0), [0; 64], LineMeta::clean());
+/// assert!(c.insert(e).is_none());
+/// assert!(c.lookup(PmAddr::new(0)).is_some());
+/// assert!(c.lookup(PmAddr::new(64)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Entry>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = vec![Vec::with_capacity(geometry.ways); geometry.sets()];
+        SetAssocCache {
+            geometry,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_index(&self, line: PmAddr) -> usize {
+        ((line.raw() / LINE_BYTES as u64) % self.sets.len() as u64) as usize
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `addr`'s line, counting a hit or miss and refreshing
+    /// LRU state on a hit.
+    pub fn lookup(&mut self, addr: PmAddr) -> Option<&mut Entry> {
+        let line = addr.line();
+        let tick = self.bump();
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        match set.iter_mut().find(|e| e.addr == line) {
+            Some(e) => {
+                e.lru = tick;
+                self.stats.hits += 1;
+                Some(e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inspects `addr`'s line without touching LRU state or counters.
+    pub fn peek(&self, addr: PmAddr) -> Option<&Entry> {
+        let line = addr.line();
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|e| e.addr == line)
+    }
+
+    /// Like [`peek`](Self::peek) but mutable; still statistics-neutral.
+    /// Used by commit/flush scans that are not program accesses.
+    pub fn peek_mut(&mut self, addr: PmAddr) -> Option<&mut Entry> {
+        let line = addr.line();
+        let idx = self.set_index(line);
+        self.sets[idx].iter_mut().find(|e| e.addr == line)
+    }
+
+    /// `true` if the line containing `addr` is present.
+    pub fn contains(&self, addr: PmAddr) -> bool {
+        self.peek(addr).is_some()
+    }
+
+    /// Inserts `entry`, evicting and returning the set's LRU victim if
+    /// the set was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present — the hierarchy is
+    /// exclusive, duplicates indicate a policy bug upstream.
+    pub fn insert(&mut self, mut entry: Entry) -> Option<Entry> {
+        let tick = self.bump();
+        let idx = self.set_index(entry.addr);
+        let set = &mut self.sets[idx];
+        assert!(
+            !set.iter().any(|e| e.addr == entry.addr),
+            "duplicate insert of line {}",
+            entry.addr
+        );
+        entry.lru = tick;
+        let victim = if set.len() == self.geometry.ways {
+            let (pos, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("full set has entries");
+            self.stats.evictions += 1;
+            Some(set.swap_remove(pos))
+        } else {
+            None
+        };
+        self.sets[idx].push(entry);
+        victim
+    }
+
+    /// Removes and returns the line containing `addr` (statistics
+    /// neutral; used to migrate lines between levels).
+    pub fn remove(&mut self, addr: PmAddr) -> Option<Entry> {
+        let line = addr.line();
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|e| e.addr == line)?;
+        Some(set.swap_remove(pos))
+    }
+
+    /// Invalidates the line containing `addr`, counting the event.
+    /// Returns the dropped entry, if any.
+    pub fn invalidate(&mut self, addr: PmAddr) -> Option<Entry> {
+        let e = self.remove(addr);
+        if e.is_some() {
+            self.stats.invalidations += 1;
+        }
+        e
+    }
+
+    /// Iterates all resident entries (set order, then way order).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.sets.iter().flatten()
+    }
+
+    /// Mutably iterates all resident entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry> {
+        self.sets.iter_mut().flatten()
+    }
+
+    /// Drops every entry (e.g. simulated power loss).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no line is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(capacity: usize, ways: usize) -> CacheGeometry {
+        CacheGeometry {
+            capacity,
+            ways,
+            hit_cycles: 1,
+        }
+    }
+
+    fn entry(line: u64) -> Entry {
+        Entry::new(PmAddr::new(line * 64), [line as u8; 64], LineMeta::clean())
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = SetAssocCache::new(geo(256, 2));
+        c.insert(entry(0));
+        assert!(c.lookup(PmAddr::new(0)).is_some());
+        assert!(c.lookup(PmAddr::new(8)).is_some(), "same line, any offset");
+        assert!(c.lookup(PmAddr::new(64)).is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 sets × 2 ways; lines 0,2,4 map to set 0.
+        let mut c = SetAssocCache::new(geo(256, 2));
+        c.insert(entry(0));
+        c.insert(entry(2));
+        // Touch line 0 so line 2 becomes LRU.
+        c.lookup(PmAddr::new(0));
+        let victim = c.insert(entry(4)).expect("set full → eviction");
+        assert_eq!(victim.addr, PmAddr::new(2 * 64));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_without_conflict_returns_none() {
+        let mut c = SetAssocCache::new(geo(256, 2));
+        assert!(c.insert(entry(0)).is_none());
+        assert!(c.insert(entry(1)).is_none(), "different set");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate insert")]
+    fn duplicate_insert_panics() {
+        let mut c = SetAssocCache::new(geo(256, 2));
+        c.insert(entry(0));
+        c.insert(entry(0));
+    }
+
+    #[test]
+    fn remove_and_invalidate() {
+        let mut c = SetAssocCache::new(geo(256, 2));
+        c.insert(entry(0));
+        c.insert(entry(1));
+        assert!(c.remove(PmAddr::new(0)).is_some());
+        assert!(c.remove(PmAddr::new(0)).is_none());
+        assert!(c.invalidate(PmAddr::new(64)).is_some());
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_is_stat_neutral() {
+        let mut c = SetAssocCache::new(geo(256, 2));
+        c.insert(entry(0));
+        assert!(c.peek(PmAddr::new(0)).is_some());
+        assert!(c.peek_mut(PmAddr::new(64)).is_none());
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru() {
+        let mut c = SetAssocCache::new(geo(256, 2));
+        c.insert(entry(0));
+        c.insert(entry(2));
+        // Peek at line 0 (no LRU refresh) → line 0 remains LRU.
+        c.peek(PmAddr::new(0));
+        let victim = c.insert(entry(4)).unwrap();
+        assert_eq!(victim.addr, PmAddr::new(0));
+    }
+
+    #[test]
+    fn iteration_and_clear() {
+        let mut c = SetAssocCache::new(geo(256, 2));
+        for i in 0..4 {
+            c.insert(entry(i));
+        }
+        assert_eq!(c.iter().count(), 4);
+        for e in c.iter_mut() {
+            e.meta.persist = true;
+        }
+        assert!(c.iter().all(|e| e.meta.persist));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole lines")]
+    fn unaligned_entry_rejected() {
+        let _ = Entry::new(PmAddr::new(8), [0; 64], LineMeta::clean());
+    }
+}

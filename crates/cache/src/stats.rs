@@ -1,0 +1,63 @@
+//! Hit/miss/eviction counters for one cache level.
+
+use std::fmt;
+
+/// Access counters maintained by [`SetAssocCache`](crate::SetAssocCache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the line.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines displaced to make room for an insert.
+    pub evictions: u64,
+    /// Lines explicitly invalidated (e.g. transaction abort).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no accesses happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}%), {} evictions, {} invalidations",
+            self.hits,
+            self.misses,
+            self.hit_ratio() * 100.0,
+            self.evictions,
+            self.invalidations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", CacheStats::default()).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! `store` / `storeT` instruction semantics (Figure 2, Table I).
+//!
+//! `storeT` carries two 1-bit operands. *log-free* asks the hardware
+//! not to create a log record for the stored data; *lazy* asks it not
+//! to persist the line at transaction commit. Table I maps the operand
+//! combinations to the per-line persist and log bits:
+//!
+//! | instruction      | lazy | log-free | persist bit | log bit |
+//! |------------------|------|----------|-------------|---------|
+//! | `store`          |  —   |    —     |      1      |    1    |
+//! | `storeT`         |  0   |    0     |      1      |    1    |
+//! | `storeT`         |  0   |    1     |      1      |    0    |
+//! | `storeT`         |  1   |    1     |      0      |    0    |
+//! | `storeT`         |  1   |    0     |      0      |    1    |
+
+use std::fmt;
+
+/// The store flavour executed by the simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// A conventional store: always logged, always persisted at commit.
+    Store,
+    /// The new `storeT` instruction with its two operand bits.
+    StoreT {
+        /// Defer persistence past commit (§III-C).
+        lazy: bool,
+        /// Skip undo-log creation (§II).
+        log_free: bool,
+    },
+}
+
+impl StoreKind {
+    /// `storeT lazy=0 log-free=1`: selective logging, eager persistence.
+    pub fn log_free() -> Self {
+        StoreKind::StoreT {
+            lazy: false,
+            log_free: true,
+        }
+    }
+
+    /// `storeT lazy=1 log-free=1`: no log, deferred persistence.
+    pub fn lazy_log_free() -> Self {
+        StoreKind::StoreT {
+            lazy: true,
+            log_free: true,
+        }
+    }
+
+    /// `storeT lazy=1 log-free=0`: logged but lazily persisted — the
+    /// "interesting combination" of §III-A whose log record can be
+    /// discarded if the line is still cached at commit.
+    pub fn lazy_logged() -> Self {
+        StoreKind::StoreT {
+            lazy: true,
+            log_free: false,
+        }
+    }
+
+    /// The Table I bit effects of executing this store, given whether
+    /// the hardware's selective features are enabled. Disabling a
+    /// feature degrades the corresponding operand to its `store`
+    /// behaviour (the FG / FG+LG / FG+LZ configurations of §VI-C).
+    pub fn effects(self, log_free_enabled: bool, lazy_enabled: bool) -> BitEffects {
+        match self {
+            StoreKind::Store => BitEffects {
+                set_persist: true,
+                set_log: true,
+            },
+            StoreKind::StoreT { lazy, log_free } => {
+                let lazy = lazy && lazy_enabled;
+                let log_free = log_free && log_free_enabled;
+                BitEffects {
+                    set_persist: !lazy,
+                    set_log: !log_free,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreKind::Store => write!(f, "store"),
+            StoreKind::StoreT { lazy, log_free } => {
+                write!(f, "storeT(lazy={}, log-free={})", *lazy as u8, *log_free as u8)
+            }
+        }
+    }
+}
+
+/// The per-line metadata updates a store performs (Table I columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitEffects {
+    /// Whether the persist bit is set (persist-at-commit).
+    pub set_persist: bool,
+    /// Whether the log bit is set (an undo record must exist).
+    pub set_log: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I, row by row, with both features enabled.
+    #[test]
+    fn table_i_semantics() {
+        let rows = [
+            (StoreKind::Store, true, true),
+            (
+                StoreKind::StoreT {
+                    lazy: false,
+                    log_free: false,
+                },
+                true,
+                true,
+            ),
+            (StoreKind::log_free(), true, false),
+            (StoreKind::lazy_log_free(), false, false),
+            (StoreKind::lazy_logged(), false, true),
+        ];
+        for (kind, persist, log) in rows {
+            let e = kind.effects(true, true);
+            assert_eq!(e.set_persist, persist, "{kind}: persist bit");
+            assert_eq!(e.set_log, log, "{kind}: log bit");
+        }
+    }
+
+    /// Disabling log-free degrades the operand (FG+LZ configuration).
+    #[test]
+    fn log_free_disabled_degrades_to_logged() {
+        let e = StoreKind::log_free().effects(false, true);
+        assert!(e.set_persist);
+        assert!(e.set_log);
+    }
+
+    /// Disabling lazy degrades the operand (FG+LG configuration).
+    #[test]
+    fn lazy_disabled_degrades_to_eager() {
+        let e = StoreKind::lazy_logged().effects(true, false);
+        assert!(e.set_persist);
+        assert!(e.set_log);
+        let e = StoreKind::lazy_log_free().effects(true, false);
+        assert!(e.set_persist);
+        assert!(!e.set_log);
+    }
+
+    /// With both features off every flavour behaves like `store` (FG).
+    #[test]
+    fn all_disabled_is_plain_store() {
+        for kind in [
+            StoreKind::Store,
+            StoreKind::log_free(),
+            StoreKind::lazy_log_free(),
+            StoreKind::lazy_logged(),
+        ] {
+            let e = kind.effects(false, false);
+            assert!(e.set_persist, "{kind}");
+            assert!(e.set_log, "{kind}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StoreKind::Store.to_string(), "store");
+        assert_eq!(
+            StoreKind::lazy_logged().to_string(),
+            "storeT(lazy=1, log-free=0)"
+        );
+    }
+}

@@ -1,0 +1,1871 @@
+//! The simulated core executing SLPMT transactions.
+//!
+//! [`Machine`] wires together the cache hierarchy (`slpmt-cache`), the
+//! log path (`slpmt-logbuf`), the persistent-memory device
+//! (`slpmt-pmem`) and the lazy-persistency machinery (signatures and
+//! the transaction-ID register) into a single-core cost simulator.
+//!
+//! ### Execution model
+//!
+//! The hierarchy is *exclusive*: a line lives in exactly one of L1, L2
+//! or L3 (or only in the persistent image). Loads and stores pull the
+//! line into L1, cascading evictions downward. Eviction applies the
+//! Figure 5 metadata transforms; an L2→L3 eviction first flushes the
+//! line's buffered log records and persists the line's data if dirty —
+//! the natural-overflow path by which lazily-persistent data
+//! eventually becomes durable.
+//!
+//! ### Timing
+//!
+//! `now` advances by cache hit latencies, PM read latency on LLC
+//! misses, a per-instruction issue cost, and persist time. Background
+//! persists (log-buffer drains, overflow write-backs) charge only the
+//! *backpressure* component — the cycles the write pending queue made
+//! the requester wait — while commit-path persists are synchronous, as
+//! the paper's ordering rules require (Figure 4).
+
+use crate::instr::StoreKind;
+use crate::scheme::{BufferKind, Discipline, Granularity, Scheme, SchemeFeatures};
+use crate::signature::Signature;
+use crate::stats::MachineStats;
+use crate::txreg::TxnIdRegister;
+use slpmt_cache::{
+    l1_logbits_to_l2, l2_logbits_to_l1, speculative_fill_words, CacheConfig, Entry, LineMeta,
+    SetAssocCache, TxnId,
+};
+use slpmt_logbuf::{AtomLineBuffer, EdeCombiner, FlushEvent, LogRecord, TieredLogBuffer};
+use slpmt_pmem::addr::{PmAddr, LINE_BYTES, WORD_BYTES};
+use slpmt_pmem::{PmConfig, PmDevice};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Commit-sequence phases at which a test may inject a power failure
+/// (see [`Machine::set_commit_crash_point`]). The phases correspond to
+/// the Figure 4 persist ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPhase {
+    /// Redo only: after the log-free lines persisted, before any
+    /// record (the Figure 4 right-hand precondition).
+    AfterLogFree,
+    /// After the log records drained (undo: before any data line;
+    /// redo: before the marker).
+    AfterRecords,
+    /// Undo only: after the data lines persisted, before the marker —
+    /// the roll-back window.
+    AfterData,
+    /// After the commit marker (undo: everything durable; redo: the
+    /// write-back has not happened — the redo-replay window).
+    AfterMarker,
+}
+
+/// Configuration of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// The hardware design being simulated.
+    pub scheme: Scheme,
+    /// Feature bundle (derived from `scheme`, overridable for
+    /// ablations).
+    pub features: SchemeFeatures,
+    /// Cache hierarchy geometry and latencies.
+    pub caches: CacheConfig,
+    /// Persistent-memory timing.
+    pub pm: PmConfig,
+    /// Fixed issue cost per store instruction, cycles.
+    pub store_issue_cycles: u64,
+    /// Fixed issue cost per load instruction, cycles.
+    pub load_issue_cycles: u64,
+    /// Fixed cost of `tx_begin` bookkeeping, cycles.
+    pub tx_begin_cycles: u64,
+    /// §V-E battery-backed caches: the on-chip caches belong to the
+    /// persistence domain. Commit then persists no data lines (the
+    /// marker suffices) and logging happens only when an uncommitted
+    /// line overflows to PM — its pre-image is still the line's image
+    /// content. On power failure the battery flushes every dirty line
+    /// *except* those of the in-flight transaction, which simply
+    /// vanish (automatic roll-back of cache-resident updates).
+    pub battery_backed: bool,
+}
+
+impl MachineConfig {
+    /// Default configuration (Table III) for the given scheme.
+    pub fn for_scheme(scheme: Scheme) -> Self {
+        MachineConfig {
+            scheme,
+            features: scheme.features(),
+            caches: CacheConfig::default(),
+            pm: PmConfig::default(),
+            store_issue_cycles: 1,
+            load_issue_cycles: 1,
+            tx_begin_cycles: 20,
+            battery_backed: false,
+        }
+    }
+
+    /// Enables §V-E battery-backed-cache semantics.
+    #[must_use]
+    pub fn with_battery_backed_cache(mut self) -> Self {
+        self.battery_backed = true;
+        self
+    }
+
+    /// Shrinks the caches so tests can exercise eviction and overflow
+    /// paths cheaply.
+    #[must_use]
+    pub fn with_tiny_caches(mut self) -> Self {
+        self.caches = CacheConfig::tiny();
+        self
+    }
+
+    /// Replaces the PM timing configuration.
+    #[must_use]
+    pub fn with_pm(mut self, pm: PmConfig) -> Self {
+        self.pm = pm;
+        self
+    }
+}
+
+/// The log path actually instantiated for a scheme.
+#[derive(Debug, Clone)]
+enum LogPath {
+    Tiered(TieredLogBuffer),
+    Atom(AtomLineBuffer),
+    Ede(EdeCombiner),
+}
+
+/// State of the transaction currently executing.
+#[derive(Debug, Clone)]
+struct CurTxn {
+    /// Global sequence number (log-region key).
+    seq: u64,
+    /// Core-local 2-bit ID.
+    id: TxnId,
+    /// Lines read (for the working-set signature).
+    read_set: BTreeSet<u64>,
+    /// Lines written.
+    write_set: BTreeSet<u64>,
+}
+
+/// An outstanding committed transaction with deferred lazy data.
+#[derive(Debug, Clone)]
+struct LazyTxn {
+    id: TxnId,
+    sig: Signature,
+}
+
+/// The simulated SLPMT core. See the [crate docs](crate) for an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    now: u64,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    dev: PmDevice,
+    log_path: LogPath,
+    /// Outstanding lazy transactions, oldest first (parallel to the
+    /// transaction-ID register's outstanding queue).
+    lazy_txns: Vec<LazyTxn>,
+    txreg: TxnIdRegister,
+    cur: Option<CurTxn>,
+    /// Transactions of switched-out threads (§V-C): their cache-line
+    /// metadata stays tagged with their 2-bit IDs while another
+    /// thread's transaction runs.
+    suspended: Vec<CurTxn>,
+    txn_seq: u64,
+    stats: MachineStats,
+    /// Redo discipline only: volatile holding area for logged lines
+    /// evicted from the private cache before commit — in-place updates
+    /// must not reach the persistence domain until the commit marker
+    /// is durable (Figure 4, right).
+    redo_shadow: BTreeMap<u64, [u8; LINE_BYTES]>,
+    /// Test hook: inject a crash at a commit phase.
+    commit_crash_point: Option<CommitPhase>,
+}
+
+impl Machine {
+    /// Builds a machine for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if battery-backed caches are combined with the redo
+    /// discipline: with the caches inside the persistence domain there
+    /// is no deferred write-back for redo to govern.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(
+            !(cfg.battery_backed && cfg.features.discipline == Discipline::Redo),
+            "battery-backed caches and the redo discipline are mutually exclusive"
+        );
+        let log_path = match cfg.features.buffer {
+            BufferKind::Tiered => LogPath::Tiered(TieredLogBuffer::new()),
+            BufferKind::AtomLines => LogPath::Atom(AtomLineBuffer::new()),
+            BufferKind::EdeDirect => LogPath::Ede(EdeCombiner::new()),
+        };
+        Machine {
+            l1: SetAssocCache::new(cfg.caches.l1),
+            l2: SetAssocCache::new(cfg.caches.l2),
+            l3: SetAssocCache::new(cfg.caches.l3),
+            dev: PmDevice::new(cfg.pm.clone()),
+            log_path,
+            lazy_txns: Vec::new(),
+            txreg: TxnIdRegister::new(),
+            cur: None,
+            suspended: Vec::new(),
+            txn_seq: 0,
+            stats: MachineStats::new(),
+            now: 0,
+            redo_shadow: BTreeMap::new(),
+            commit_crash_point: None,
+            cfg,
+        }
+    }
+
+    /// Arms a one-shot crash injection at the given commit phase: the
+    /// next `tx_commit` performs a power failure at that point and
+    /// returns. Used by the Figure 4 ordering tests.
+    pub fn set_commit_crash_point(&mut self, phase: Option<CommitPhase>) {
+        self.commit_crash_point = phase;
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The persistent-memory device (image, log region, traffic).
+    pub fn device(&self) -> &PmDevice {
+        &self.dev
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The simulated scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.cfg.scheme
+    }
+
+    /// `true` while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.cur.is_some()
+    }
+
+    /// Sequence number of the most recently begun transaction.
+    pub fn txn_seq(&self) -> u64 {
+        self.txn_seq
+    }
+
+    /// Number of committed transactions whose lazy data is still
+    /// volatile.
+    pub fn outstanding_lazy_txns(&self) -> usize {
+        self.lazy_txns.len()
+    }
+
+    /// Charges `cycles` of pure compute (workload algorithmic work).
+    pub fn compute(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.stats.compute_cycles += cycles;
+    }
+
+    /// Updates the PM write latency (Figure 12 sensitivity sweep).
+    pub fn set_write_latency_ns(&mut self, ns: u64) {
+        let cycles = self.cfg.pm.ns_to_cycles(ns);
+        self.cfg.pm.pm_write_cycles = cycles;
+        self.dev.set_write_latency_cycles(cycles);
+    }
+
+    // ------------------------------------------------------------------
+    // Untimed inspection (no stats, no LRU, no timing)
+
+    /// Reads the current *logical* value of a word: the newest copy in
+    /// any cache level, falling back to the persistent image. Untimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    pub fn peek_u64(&self, addr: PmAddr) -> u64 {
+        assert!(addr.is_word_aligned(), "unaligned peek at {addr}");
+        let line = addr.line();
+        let off = addr.offset_in_line();
+        let from_entry = |e: &Entry| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&e.data[off..off + 8]);
+            u64::from_le_bytes(b)
+        };
+        if let Some(e) = self.l1.peek(line) {
+            return from_entry(e);
+        }
+        if let Some(e) = self.l2.peek(line) {
+            return from_entry(e);
+        }
+        if let Some(e) = self.l3.peek(line) {
+            return from_entry(e);
+        }
+        if let Some(data) = self.redo_shadow.get(&line.raw()) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[off..off + 8]);
+            return u64::from_le_bytes(b);
+        }
+        self.dev.image().read_u64(addr)
+    }
+
+    /// Reads `buf.len()` logical bytes starting at `addr`. Untimed.
+    pub fn peek_bytes(&self, addr: PmAddr, buf: &mut [u8]) {
+        // Start from the durable image, then overlay cached lines.
+        self.dev.image().read(addr, buf);
+        let first = addr.line().raw();
+        let last = (addr.raw() + buf.len() as u64 - 1) & !(LINE_BYTES as u64 - 1);
+        let mut line = first;
+        while line <= last {
+            let la = PmAddr::new(line);
+            let shadow = self.redo_shadow.get(&line);
+            let cached = self
+                .l1
+                .peek(la)
+                .or_else(|| self.l2.peek(la))
+                .or_else(|| self.l3.peek(la))
+                .map(|e| &e.data)
+                .or(shadow);
+            if let Some(e) = cached {
+                // Intersect [line, line+64) with [addr, addr+len).
+                let lo = line.max(addr.raw());
+                let hi = (line + LINE_BYTES as u64).min(addr.raw() + buf.len() as u64);
+                let src = (lo - line) as usize;
+                let dst = (lo - addr.raw()) as usize;
+                let n = (hi - lo) as usize;
+                buf[dst..dst + n].copy_from_slice(&e[src..src + n]);
+            }
+            line += LINE_BYTES as u64;
+        }
+    }
+
+    /// Out-of-band initialisation: writes directly to the persistent
+    /// image, untimed and uncounted. Must not be used while any line of
+    /// the range is cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cached copy of an affected line exists (it would go
+    /// stale).
+    pub fn setup_write(&mut self, addr: PmAddr, data: &[u8]) {
+        let mut line = addr.line().raw();
+        let end = addr.raw() + data.len() as u64;
+        while line < end {
+            let la = PmAddr::new(line);
+            assert!(
+                self.l1.peek(la).is_none()
+                    && self.l2.peek(la).is_none()
+                    && self.l3.peek(la).is_none()
+                    && !self.redo_shadow.contains_key(&la.raw()),
+                "setup_write would bypass a cached copy of line {la}"
+            );
+            line += LINE_BYTES as u64;
+        }
+        self.dev.image_mut().write(addr, data);
+    }
+
+    // ------------------------------------------------------------------
+    // Persist helpers
+
+    /// Background persist: the requester pays only WPQ backpressure.
+    fn persist_line_async(&mut self, addr: PmAddr, data: &[u8; LINE_BYTES]) {
+        let accepted = self.dev.persist_line(self.now, addr, data);
+        let stall = accepted.saturating_sub(self.now + self.cfg.pm.wpq_accept_cycles);
+        self.now += stall;
+    }
+
+    /// Commit-path persist: the core waits for WPQ acceptance (ADR
+    /// durability point).
+    fn persist_line_sync(&mut self, addr: PmAddr, data: &[u8; LINE_BYTES]) {
+        self.now = self.dev.persist_line(self.now, addr, data);
+    }
+
+    fn persist_flush(&mut self, ev: FlushEvent, sync: bool) {
+        let budget = self.cfg.pm.wpq_accept_cycles * ev.lines;
+        let accepted = self.dev.persist_log_pack(self.now, ev.entries);
+        if sync {
+            self.now = accepted;
+        } else {
+            let stall = accepted.saturating_sub(self.now + budget);
+            self.now += stall;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache movement
+
+    /// Brings the line containing `addr` into L1, charging access
+    /// latency and performing eviction cascades with their metadata
+    /// transforms.
+    fn ensure_l1(&mut self, addr: PmAddr) {
+        let line = addr.line();
+        self.now += self.cfg.caches.l1.hit_cycles;
+        if self.l1.lookup(line).is_some() {
+            return;
+        }
+        self.now += self.cfg.caches.l2.hit_cycles;
+        if self.l2.lookup(line).is_some() {
+            let mut e = self.l2.remove(line).expect("looked up");
+            // Figure 5: replicate each L2 group bit into four L1 bits.
+            e.meta.log_bits = l2_logbits_to_l1(e.meta.log_bits);
+            self.insert_l1(e);
+            return;
+        }
+        self.now += self.cfg.caches.l3.hit_cycles;
+        if self.l3.lookup(line).is_some() {
+            let mut e = self.l3.remove(line).expect("looked up");
+            // L3 keeps no SLPMT metadata: bits re-initialise to zero.
+            e.meta = LineMeta::clean();
+            self.insert_l1(e);
+            return;
+        }
+        // Redo shadow: a logged line spilled mid-transaction returns
+        // dirty and re-owned by the current transaction (its words are
+        // re-logged on the next store; forward replay applies the
+        // newest record last).
+        if let Some(data) = self.redo_shadow.remove(&line.raw()) {
+            let mut meta = LineMeta::clean();
+            meta.dirty = true;
+            meta.persist = true;
+            meta.txn_id = self.cur.as_ref().map(|c| c.id);
+            self.insert_l1(Entry::new(line, data, meta));
+            return;
+        }
+        // LLC miss: fetch from the persistent medium.
+        self.now += self.dev.read_cycles();
+        let data = self.dev.image().read_line(line);
+        self.insert_l1(Entry::new(line, data, LineMeta::clean()));
+    }
+
+    fn insert_l1(&mut self, entry: Entry) {
+        if let Some(victim) = self.l1.insert(entry) {
+            self.evict_l1_to_l2(victim);
+        }
+    }
+
+    fn evict_l1_to_l2(&mut self, mut victim: Entry) {
+        // Speculative logging (§III-B1): complete partially-logged
+        // groups so the L2 conjunction keeps them marked.
+        if self.cfg.features.speculative_logging
+            && self.cfg.features.granularity == Granularity::Word
+        {
+            if let (Some(cur), LogPath::Tiered(_)) = (&self.cur, &self.log_path) {
+                if victim.meta.txn_id == Some(cur.id) && victim.meta.log_bits != 0 {
+                    let seq = cur.seq;
+                    let fills = speculative_fill_words(victim.meta.log_bits);
+                    let mut events = Vec::new();
+                    if let LogPath::Tiered(buf) = &mut self.log_path {
+                        for w in fills {
+                            let mut pre = [0u8; WORD_BYTES];
+                            pre.copy_from_slice(&victim.data[w * 8..w * 8 + 8]);
+                            let rec = LogRecord::new(
+                                seq,
+                                victim.addr.add((w * 8) as u64),
+                                pre.to_vec(),
+                            );
+                            self.stats.log_records_created += 1;
+                            events.extend(buf.insert(rec));
+                            victim.meta.set_word_logged(w);
+                        }
+                    }
+                    for ev in events {
+                        self.persist_flush(ev, false);
+                    }
+                }
+            }
+        }
+        // Figure 5: conjunction of each group of four L1 bits.
+        victim.meta.log_bits = l1_logbits_to_l2(victim.meta.log_bits);
+        if let Some(victim2) = self.l2.insert(victim) {
+            self.evict_l2_to_l3(victim2);
+        }
+    }
+
+    fn evict_l2_to_l3(&mut self, mut victim: Entry) {
+        // Before a line's data leaves the private cache, its buffered
+        // log records must persist (§III-A).
+        let ev = match &mut self.log_path {
+            LogPath::Tiered(buf) => buf.flush_line(victim.addr),
+            LogPath::Atom(buf) => buf.flush_line(victim.addr),
+            LogPath::Ede(e) => e.flush_line(victim.addr),
+        };
+        if let Some(ev) = ev {
+            self.persist_flush(ev, false);
+        }
+        // Battery-backed caches: an uncommitted line overflowing to PM
+        // is the only case that needs an undo record (§V-E) — the
+        // pre-image is the line's current image content, which the
+        // transaction never overwrote in place.
+        if self.cfg.battery_backed
+            && victim.meta.dirty
+            && self.cur.as_ref().is_some_and(|c| Some(c.id) == victim.meta.txn_id)
+        {
+            let seq = self.cur.as_ref().expect("checked").seq;
+            let pre = self.dev.image().read_line(victim.addr);
+            let rec = LogRecord::new(seq, victim.addr, pre.to_vec());
+            self.stats.log_records_created += 1;
+            let events = match &mut self.log_path {
+                LogPath::Tiered(buf) => buf.insert(rec),
+                _ => vec![slpmt_logbuf::record::flush_event(vec![rec])],
+            };
+            for ev in events {
+                self.persist_flush(ev, false);
+            }
+        }
+        // Redo discipline: a logged line of the open transaction must
+        // not reach the persistence domain before the commit marker —
+        // spill it to the volatile shadow instead (the DudeTM-style
+        // redirection redo hardware performs).
+        if self.cfg.features.discipline == Discipline::Redo
+            && self.cur.is_some()
+            && victim.meta.log_bits != 0
+            && victim.meta.dirty
+        {
+            self.redo_shadow.insert(victim.addr.raw(), victim.data);
+            return;
+        }
+        // Dirty data overflowing the private cache writes back to PM —
+        // the natural path by which lazy data becomes durable.
+        if victim.meta.dirty {
+            if victim.meta.lazy_pending {
+                self.stats.lazy_lines_overflowed += 1;
+            }
+            let data = victim.data;
+            self.signature_persist_check(victim.addr);
+            self.persist_line_async(victim.addr, &data);
+            victim.meta.dirty = false;
+            victim.meta.lazy_pending = false;
+        }
+        victim.meta = LineMeta::clean();
+        if let Some(victim3) = self.l3.insert(victim) {
+            // L3 victims are clean by construction: silent drop.
+            debug_assert!(!victim3.meta.dirty);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy-persistency enforcement
+
+    /// Persists all deferred lines of every outstanding transaction up
+    /// to and including `id`, releasing their IDs and signatures.
+    fn force_persist_through(&mut self, id: TxnId) {
+        let freed = self.txreg.reclaim_through(id);
+        if freed.is_empty() {
+            return;
+        }
+        self.lazy_txns.retain(|lt| !freed.contains(&lt.id));
+        // Collect the deferred lines of the freed transactions.
+        let mut doomed: Vec<PmAddr> = Vec::new();
+        for cache in [&self.l1, &self.l2] {
+            for e in cache.iter() {
+                if e.meta.lazy_pending && e.meta.txn_id.is_some_and(|t| freed.contains(&t)) {
+                    doomed.push(e.addr);
+                }
+            }
+        }
+        doomed.sort();
+        for addr in doomed {
+            let data = {
+                let e = self
+                    .l1
+                    .peek_mut(addr)
+                    .or_else(|| self.l2.peek_mut(addr))
+                    .expect("collected above");
+                let d = e.data;
+                e.meta.dirty = false;
+                e.meta.lazy_pending = false;
+                e.meta.txn_id = None;
+                d
+            };
+            // Forced persists are off the critical path (§III-C3): the
+            // blocked access waits only for WPQ acceptance ordering,
+            // i.e. backpressure, not for the full medium write.
+            self.persist_line_async(addr, &data);
+            self.stats.lazy_lines_forced += 1;
+        }
+    }
+
+    /// Coherence-time check before an access to `addr` proceeds, based
+    /// on the line's transaction-ID tag.
+    ///
+    /// * A **load** of lazily-persistent data owned by an earlier
+    ///   transaction forces that transaction's deferred lines durable
+    ///   first (§III-C3): the reader may derive new lazy data from the
+    ///   value, and recovery re-derivation must see it durably.
+    /// * A **store** instead *takes over* the line (§III-C1): the
+    ///   deferral is cancelled or re-owned through the normal Table I
+    ///   bit updates, and the undo log captures the pre-image — no
+    ///   immediate persist is required for recoverability.
+    fn lazy_checks(&mut self, addr: PmAddr, is_write: bool) {
+        // HTM-style conflict with a switched-out thread's transaction:
+        // the requester wins, the suspended transaction aborts (§V-C).
+        // The abort invalidates and repairs the accessed line, so it
+        // must be re-fetched afterwards.
+        if let Some(victim) = self.suspended_owner(addr, is_write) {
+            self.abort_suspended(victim);
+            self.ensure_l1(addr);
+        }
+        let tag = self.l1.peek(addr).and_then(|e| {
+            (e.meta.lazy_pending).then_some(e.meta.txn_id).flatten()
+        });
+        if let Some(id) = tag {
+            let is_cur = self.cur.as_ref().is_some_and(|c| c.id == id);
+            if is_cur {
+                return;
+            }
+            if is_write {
+                // Ownership conversion: the line leaves the earlier
+                // transaction's custody; the store path re-tags it and
+                // sets the persist bit per its own operands.
+                let e = self.l1.peek_mut(addr).expect("line resident");
+                e.meta.lazy_pending = false;
+                e.meta.txn_id = None;
+            } else {
+                self.force_persist_through(id);
+            }
+        }
+    }
+
+    /// Persist-ordering check (§III-C): before *any* update reaches the
+    /// persistence domain, every lazily-persistent datum that depends
+    /// on the updated location must already be durable. The dependency
+    /// signatures record each committed transaction's read set (minus
+    /// locations it overwrote eagerly — their pre-images are gone
+    /// regardless, so sound lazy data cannot depend on them); a hit
+    /// forces the matching transaction and all earlier ones.
+    fn signature_persist_check(&mut self, addr: PmAddr) {
+        let hit = self
+            .lazy_txns
+            .iter()
+            .rev() // newest match wins: persist through it covers priors
+            .find(|lt| lt.sig.maybe_contains(addr))
+            .map(|lt| lt.id);
+        if let Some(id) = hit {
+            self.stats.signature_hits += 1;
+            self.force_persist_through(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Logging
+
+    fn log_store(&mut self, addr: PmAddr, new_bytes: [u8; WORD_BYTES]) {
+        let Some(cur) = &self.cur else { return };
+        let seq = cur.seq;
+        let line = addr.line();
+        let word = addr.word_in_line();
+        let redo = self.cfg.features.discipline == Discipline::Redo;
+        match self.cfg.features.granularity {
+            Granularity::Word => {
+                let (pre, logged) = {
+                    let e = self.l1.peek(line).expect("line resident");
+                    let mut pre = [0u8; WORD_BYTES];
+                    pre.copy_from_slice(&e.data[word * 8..word * 8 + 8]);
+                    (pre, e.meta.word_logged(word))
+                };
+                // Undo records carry the pre-image; redo records the
+                // final value of the word.
+                let payload = if redo { new_bytes } else { pre };
+                if logged {
+                    if redo {
+                        // The record must hold the *final* value: patch
+                        // it in the buffer, or append a fresh record if
+                        // it already flushed (forward replay applies
+                        // the newest last).
+                        let patched = match &mut self.log_path {
+                            LogPath::Tiered(buf) => buf.update_word(seq, addr.word(), &payload),
+                            _ => unreachable!("redo requires the tiered buffer"),
+                        };
+                        if !patched {
+                            self.stats.log_records_created += 1;
+                            let events: Vec<FlushEvent> = match &mut self.log_path {
+                                LogPath::Tiered(buf) => {
+                                    buf.insert(LogRecord::new(seq, addr.word(), payload.to_vec()))
+                                }
+                                _ => unreachable!(),
+                            };
+                            for ev in events {
+                                self.persist_flush(ev, false);
+                            }
+                        }
+                    }
+                    return;
+                }
+                self.stats.log_records_created += 1;
+                let events: Vec<FlushEvent> = match &mut self.log_path {
+                    LogPath::Tiered(buf) => {
+                        buf.insert(LogRecord::new(seq, addr.word(), payload.to_vec()))
+                    }
+                    LogPath::Ede(e) => e.log_word(seq, addr.word(), payload).into_iter().collect(),
+                    LogPath::Atom(_) => unreachable!("ATOM logs at line granularity"),
+                };
+                for ev in events {
+                    self.persist_flush(ev, false);
+                }
+                self.l1
+                    .peek_mut(line)
+                    .expect("line resident")
+                    .meta
+                    .set_word_logged(word);
+            }
+            Granularity::Line => {
+                let (pre, need) = {
+                    let e = self.l1.peek(line).expect("line resident");
+                    (e.data, e.meta.log_bits == 0)
+                };
+                if !need {
+                    return;
+                }
+                self.stats.log_records_created += 1;
+                let events: Vec<FlushEvent> = match &mut self.log_path {
+                    LogPath::Tiered(buf) => buf.insert(LogRecord::new(seq, line, pre.to_vec())),
+                    LogPath::Atom(buf) => buf.insert_line(seq, line, pre).into_iter().collect(),
+                    LogPath::Ede(_) => unreachable!("EDE logs at word granularity"),
+                };
+                for ev in events {
+                    self.persist_flush(ev, false);
+                }
+                self.l1.peek_mut(line).expect("line resident").meta.log_bits = 0xFF;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction interface
+
+    /// Executes a load of the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    pub fn load_u64(&mut self, addr: PmAddr) -> u64 {
+        assert!(addr.is_word_aligned(), "unaligned load at {addr}");
+        self.stats.loads += 1;
+        self.now += self.cfg.load_issue_cycles;
+        self.ensure_l1(addr);
+        self.lazy_checks(addr, false);
+        if let Some(cur) = &mut self.cur {
+            cur.read_set.insert(addr.line().raw());
+        }
+        let e = self.l1.peek(addr.line()).expect("line resident");
+        let off = addr.offset_in_line();
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&e.data[off..off + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Executes a store of `value` to the word at `addr` with the given
+    /// instruction flavour (Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    pub fn store_u64(&mut self, addr: PmAddr, value: u64, kind: StoreKind) {
+        self.store_word_bytes(addr, value.to_le_bytes(), kind);
+    }
+
+    fn store_word_bytes(&mut self, addr: PmAddr, bytes: [u8; WORD_BYTES], kind: StoreKind) {
+        assert!(addr.is_word_aligned(), "unaligned store at {addr}");
+        self.stats.stores += 1;
+        let f = &self.cfg.features;
+        let eff = kind.effects(f.log_free, f.lazy);
+        if matches!(kind, StoreKind::StoreT { .. }) && (f.log_free || f.lazy) {
+            self.stats.store_ts += 1;
+        }
+        self.now += self.cfg.store_issue_cycles;
+        self.ensure_l1(addr);
+        self.lazy_checks(addr, true);
+        if self.cfg.battery_backed {
+            // Battery mode: a line holding committed-but-unpersisted
+            // data must flush before the in-flight transaction
+            // overwrites it — at a crash the in-flight line is dropped,
+            // so the committed value must already be in the image.
+            let flush = {
+                let e = self.l1.peek(addr.line()).expect("line resident");
+                let cur_id = self.cur.as_ref().map(|c| c.id);
+                e.meta.dirty && (cur_id.is_none() || e.meta.txn_id != cur_id)
+            };
+            if flush {
+                let (line, data) = {
+                    let e = self.l1.peek_mut(addr.line()).expect("line resident");
+                    e.meta.dirty = false;
+                    e.meta.txn_id = None;
+                    (e.addr, e.data)
+                };
+                self.persist_line_async(line, &data);
+            }
+        } else if self.cur.is_some() && eff.set_log {
+            self.log_store(addr, bytes);
+        }
+        let cur_id = self.cur.as_ref().map(|c| c.id);
+        let line = addr.line();
+        let e = self.l1.peek_mut(line).expect("line resident");
+        if eff.set_persist {
+            // A persistent store cancels any lazy deferral of the line
+            // (§III-C1): the whole line persists at commit.
+            e.meta.persist = true;
+            e.meta.lazy_pending = false;
+        }
+        e.meta.dirty = true;
+        if cur_id.is_some() {
+            e.meta.txn_id = cur_id;
+        }
+        let off = addr.offset_in_line();
+        e.data[off..off + 8].copy_from_slice(&bytes);
+        if let Some(cur) = &mut self.cur {
+            cur.write_set.insert(line.raw());
+        }
+    }
+
+    /// Stores `data` (word-aligned, whole words) with one instruction
+    /// per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned address or ragged length.
+    pub fn store_bytes(&mut self, addr: PmAddr, data: &[u8], kind: StoreKind) {
+        assert!(addr.is_word_aligned(), "unaligned store_bytes at {addr}");
+        assert!(
+            data.len().is_multiple_of(WORD_BYTES),
+            "store_bytes length must be whole words"
+        );
+        for (i, chunk) in data.chunks_exact(WORD_BYTES).enumerate() {
+            let mut w = [0u8; WORD_BYTES];
+            w.copy_from_slice(chunk);
+            self.store_word_bytes(addr.add((i * WORD_BYTES) as u64), w, kind);
+        }
+    }
+
+    /// Loads `buf.len()` bytes (word-aligned, whole words) with one
+    /// instruction per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned address or ragged length.
+    pub fn load_bytes(&mut self, addr: PmAddr, buf: &mut [u8]) {
+        assert!(addr.is_word_aligned(), "unaligned load_bytes at {addr}");
+        assert!(
+            buf.len().is_multiple_of(WORD_BYTES),
+            "load_bytes length must be whole words"
+        );
+        for (i, chunk) in buf.chunks_exact_mut(WORD_BYTES).enumerate() {
+            let v = self.load_u64(addr.add((i * WORD_BYTES) as u64));
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+
+    /// Opens a durable transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open (no nesting).
+    pub fn tx_begin(&mut self) {
+        assert!(self.cur.is_none(), "nested transactions are not supported");
+        assert!(
+            self.txreg.free_count() > 0 || self.txreg.outstanding().count() > 0,
+            "all four 2-bit transaction contexts are in use ({} suspended threads)",
+            self.suspended.len()
+        );
+        self.txn_seq += 1;
+        let id = loop {
+            match self.txreg.allocate() {
+                Ok(id) => break id,
+                Err(oldest) => self.force_persist_through(oldest),
+            }
+        };
+        self.cur = Some(CurTxn {
+            seq: self.txn_seq,
+            id,
+            read_set: BTreeSet::new(),
+            write_set: BTreeSet::new(),
+        });
+        self.stats.tx_begins += 1;
+        self.now += self.cfg.tx_begin_cycles;
+    }
+
+    /// Commits the open transaction, enforcing the Figure 4 persist
+    /// ordering for the configured discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn tx_commit(&mut self) {
+        let cur = self.cur.take().expect("commit without an open transaction");
+        let commit_start = self.now;
+        let redo = self.cfg.features.discipline == Discipline::Redo;
+
+        if self.cfg.battery_backed {
+            // §V-E: the private caches are inside the persistence
+            // domain, so commit needs no data persists — drain any
+            // records of overflowed lines, make the marker durable,
+            // and clear the transaction's metadata (lines stay dirty;
+            // they write back on natural eviction or battery flush).
+            let ev = match &mut self.log_path {
+                LogPath::Tiered(buf) => buf.drain_all(),
+                LogPath::Atom(buf) => buf.drain_all(),
+                LogPath::Ede(e) => e.drain(),
+            };
+            if let Some(ev) = ev {
+                self.persist_flush(ev, true);
+            }
+            if self.commit_crash_point == Some(CommitPhase::AfterRecords) {
+                // Pre-marker crash: the transaction is still in flight,
+                // so the battery flush must drop its lines. Restore the
+                // in-flight state before failing.
+                self.commit_crash_point = None;
+                self.cur = Some(cur);
+                self.crash();
+                return;
+            }
+            self.now = self.dev.persist_commit_marker(self.now, cur.seq);
+            if self.take_crash_point(CommitPhase::AfterMarker) {
+                // Marker durable: the battery flush preserved the
+                // transaction's (still-tagged) lines, so it is durable.
+                return;
+            }
+            self.dev.log_mut().truncate_committed();
+            for cache in [&mut self.l1, &mut self.l2] {
+                for e in cache.iter_mut() {
+                    if e.meta.txn_id == Some(cur.id) {
+                        e.meta.persist = false;
+                        e.meta.log_bits = 0;
+                        e.meta.txn_id = None;
+                    }
+                }
+            }
+            self.txreg.retire_clean(cur.id);
+            self.stats.commit_stall_cycles += self.now - commit_start;
+            self.stats.tx_commits += 1;
+            return;
+        }
+
+        // 1. Identify this transaction's lazily-persistent lines:
+        //    dirty, persist bit clear, tagged with our ID.
+        let mut lazy_lines: Vec<PmAddr> = Vec::new();
+        for cache in [&self.l1, &self.l2] {
+            for e in cache.iter() {
+                if e.meta.dirty
+                    && !e.meta.persist
+                    && e.meta.txn_id == Some(cur.id)
+                    && !e.meta.lazy_pending
+                {
+                    lazy_lines.push(e.addr);
+                }
+            }
+        }
+        lazy_lines.sort();
+
+        // 2. Discard buffered records of lazy lines — their images are
+        //    unnecessary because the lines will not persist eagerly
+        //    (§III-B2).
+        if !lazy_lines.is_empty() {
+            if let LogPath::Tiered(buf) = &mut self.log_path {
+                let dropped = buf.discard_lines(&lazy_lines);
+                self.stats.log_records_discarded += dropped as u64;
+            }
+        }
+
+        // Partition the persist-bit lines: logged lines (records exist)
+        // vs log-free lines. Undo may persist them in any relative
+        // order; redo must persist log-free lines *before* the records
+        // and logged lines only *after* the marker (Figure 4).
+        let mut logged_lines: Vec<PmAddr> = Vec::new();
+        let mut free_lines: Vec<PmAddr> = Vec::new();
+        for cache in [&self.l1, &self.l2] {
+            for e in cache.iter() {
+                if e.meta.persist {
+                    if e.meta.log_bits != 0 {
+                        logged_lines.push(e.addr);
+                    } else {
+                        free_lines.push(e.addr);
+                    }
+                }
+            }
+        }
+        logged_lines.sort();
+        free_lines.sort();
+
+        if redo {
+            // Figure 4 (right): log-free lines → redo records → marker
+            // → logged lines (the in-place write-back).
+            for addr in free_lines {
+                self.commit_persist_line(addr);
+            }
+            if self.take_crash_point(CommitPhase::AfterLogFree) {
+                return;
+            }
+            let ev = match &mut self.log_path {
+                LogPath::Tiered(buf) => buf.drain_all(),
+                _ => unreachable!("redo requires the tiered buffer"),
+            };
+            if let Some(ev) = ev {
+                self.persist_flush(ev, true);
+            }
+            if self.take_crash_point(CommitPhase::AfterRecords) {
+                return;
+            }
+            self.now = self.dev.persist_commit_marker(self.now, cur.seq);
+            if self.take_crash_point(CommitPhase::AfterMarker) {
+                return;
+            }
+            // Write-back: logged lines from the caches and any spilled
+            // to the redo shadow.
+            for addr in logged_lines {
+                self.commit_persist_line(addr);
+            }
+            let spilled: Vec<(u64, [u8; LINE_BYTES])> =
+                self.redo_shadow.iter().map(|(&a, &d)| (a, d)).collect();
+            for (a, data) in spilled {
+                let addr = PmAddr::new(a);
+                self.signature_persist_check(addr);
+                self.persist_line_sync(addr, &data);
+                self.stats.commit_line_persists += 1;
+            }
+            self.redo_shadow.clear();
+            self.dev.log_mut().truncate_committed();
+        } else {
+            // Figure 4 (left): records → data (logged and log-free in
+            // any order) → marker.
+            let ev = match &mut self.log_path {
+                LogPath::Tiered(buf) => buf.drain_all(),
+                LogPath::Atom(buf) => buf.drain_all(),
+                LogPath::Ede(e) => e.drain(),
+            };
+            if let Some(ev) = ev {
+                self.persist_flush(ev, true);
+            }
+            if self.take_crash_point(CommitPhase::AfterRecords) {
+                return;
+            }
+            for addr in free_lines.into_iter().chain(logged_lines) {
+                self.commit_persist_line(addr);
+            }
+            if self.take_crash_point(CommitPhase::AfterData) {
+                return;
+            }
+            self.now = self.dev.persist_commit_marker(self.now, cur.seq);
+            if self.take_crash_point(CommitPhase::AfterMarker) {
+                // For undo everything already persisted: the
+                // transaction is durable despite the crash.
+                return;
+            }
+            self.dev.log_mut().truncate_committed();
+        }
+
+        // Lazy lines stay cached, tagged and pending; record the
+        // transaction's dependency set in a signature.
+        if lazy_lines.is_empty() {
+            self.txreg.retire_clean(cur.id);
+        } else {
+            for addr in &lazy_lines {
+                let e = self
+                    .l1
+                    .peek_mut(*addr)
+                    .or_else(|| self.l2.peek_mut(*addr))
+                    .expect("lazy line resident");
+                e.meta.lazy_pending = true;
+                e.meta.log_bits = 0;
+                self.stats.lazy_lines_deferred += 1;
+            }
+            let mut sig = Signature::new();
+            for &l in cur.read_set.difference(&cur.write_set) {
+                sig.insert(PmAddr::new(l));
+            }
+            self.lazy_txns.push(LazyTxn { id: cur.id, sig });
+            self.txreg.retire_lazy(cur.id);
+        }
+
+        self.stats.commit_stall_cycles += self.now - commit_start;
+        self.stats.tx_commits += 1;
+    }
+
+    /// Persists one commit-path line and clears its metadata.
+    fn commit_persist_line(&mut self, addr: PmAddr) {
+        self.signature_persist_check(addr);
+        let data = {
+            let e = self
+                .l1
+                .peek_mut(addr)
+                .or_else(|| self.l2.peek_mut(addr))
+                .expect("commit line resident");
+            let d = e.data;
+            e.meta.persist = false;
+            e.meta.dirty = false;
+            e.meta.log_bits = 0;
+            e.meta.txn_id = None;
+            d
+        };
+        self.persist_line_sync(addr, &data);
+        self.stats.commit_line_persists += 1;
+    }
+
+    /// Consumes an armed crash injection for `phase`: performs the
+    /// power failure and reports `true` if the commit must stop here.
+    fn take_crash_point(&mut self, phase: CommitPhase) -> bool {
+        if self.commit_crash_point == Some(phase) {
+            self.commit_crash_point = None;
+            self.crash();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Aborts the open transaction (§V-B): clears the log buffer,
+    /// invalidates lines updated by the transaction, and applies any
+    /// already-persisted undo records back to the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn tx_abort(&mut self) {
+        let cur = self.cur.take().expect("abort without an open transaction");
+        // (1) Clear the log buffer — the records' lines are still in the
+        // private cache or were flushed already.
+        match &mut self.log_path {
+            LogPath::Tiered(buf) => buf.clear(),
+            LogPath::Atom(buf) => buf.clear(),
+            LogPath::Ede(e) => e.clear(),
+        }
+        // Invalidate the transaction's updated lines in every level.
+        let mut doomed: Vec<PmAddr> = Vec::new();
+        for cache in [&self.l1, &self.l2] {
+            for e in cache.iter() {
+                if e.meta.txn_id == Some(cur.id) && e.meta.dirty && !e.meta.lazy_pending {
+                    doomed.push(e.addr);
+                }
+            }
+        }
+        for addr in &doomed {
+            self.l1.invalidate(*addr);
+            self.l2.invalidate(*addr);
+            // The L3/image copy may hold stolen (persisted) uncommitted
+            // data; the undo application below repairs the image, so
+            // drop any stale L3 copy too.
+            self.l3.invalidate(*addr);
+        }
+        // (2) Kernel-assisted revocation. Under undo, apply this
+        // transaction's persisted records (pre-images), newest first,
+        // and persist the repaired lines. Under redo the image was
+        // never touched in place: dropping the shadow and the records
+        // suffices.
+        self.now += 2000; // interrupt + syscall entry (§V-B)
+        if self.cfg.features.discipline == Discipline::Redo {
+            self.redo_shadow.clear();
+        } else {
+            let recs: Vec<(PmAddr, Vec<u8>)> = self
+                .dev
+                .log()
+                .records_of(cur.seq)
+                .map(|r| (r.addr, r.payload.clone()))
+                .collect();
+            let mut touched: BTreeSet<u64> = BTreeSet::new();
+            for (addr, payload) in recs.iter().rev() {
+                self.dev.image_mut().write(*addr, payload);
+                touched.insert(addr.line().raw());
+            }
+            for line in touched {
+                let la = PmAddr::new(line);
+                // Any cached copy (even a clean one fetched moments ago)
+                // is stale relative to the repaired image.
+                self.l1.invalidate(la);
+                self.l2.invalidate(la);
+                self.l3.invalidate(la);
+                self.signature_persist_check(la);
+                let data = self.dev.image().read_line(la);
+                self.persist_line_sync(la, &data);
+            }
+        }
+        // The revocations are durable: the aborted transaction's
+        // records must never be replayed by a later recovery pass
+        // (they would clobber newer committed data with stale
+        // pre-images).
+        self.dev.log_mut().drop_txn(cur.seq);
+        self.txreg.retire_clean(cur.id);
+        self.stats.tx_aborts += 1;
+    }
+
+    /// Thread context switch (§V-C): before switching out, the OS
+    /// kernel drains the log buffer so the outgoing thread's undo
+    /// records are durable; the signatures and transaction-ID
+    /// allocation state are left untouched — they are not specific to
+    /// a context, and lazy-persistency dependencies keep being tracked
+    /// across the switch. The open transaction (if any) resumes when
+    /// the thread is scheduled back.
+    pub fn context_switch(&mut self) {
+        let ev = match &mut self.log_path {
+            LogPath::Tiered(buf) => buf.drain_all(),
+            LogPath::Atom(buf) => buf.drain_all(),
+            LogPath::Ede(e) => e.drain(),
+        };
+        if let Some(ev) = ev {
+            self.persist_flush(ev, true);
+        }
+        self.now += 3000; // kernel entry/exit + state save
+    }
+
+    /// Switches the current thread out *with its transaction open*
+    /// (§V-C): the kernel drains the log buffer, the transaction's
+    /// cache-line metadata stays tagged with its 2-bit ID, and another
+    /// thread may begin its own transaction. Returns the suspended
+    /// transaction's sequence number for [`resume_txn`](Self::resume_txn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open, or under the redo discipline
+    /// (a suspended redo transaction would leave its shadow ambiguous).
+    pub fn suspend_txn(&mut self) -> u64 {
+        assert_eq!(
+            self.cfg.features.discipline,
+            Discipline::Undo,
+            "suspension is supported for the undo discipline"
+        );
+        assert!(
+            !self.cfg.battery_backed,
+            "suspension with battery-backed caches is unsupported: the \
+             failure flush cannot distinguish a suspended transaction's \
+             uncommitted lines from committed ones"
+        );
+        let cur = self.cur.take().expect("no open transaction to suspend");
+        self.context_switch();
+        let seq = cur.seq;
+        self.suspended.push(cur);
+        seq
+    }
+
+    /// Resumes the suspended transaction `seq` (the thread is
+    /// scheduled back in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if another transaction is active or `seq` is unknown.
+    pub fn resume_txn(&mut self, seq: u64) {
+        assert!(self.cur.is_none(), "a transaction is already active");
+        let pos = self
+            .suspended
+            .iter()
+            .position(|t| t.seq == seq)
+            .unwrap_or_else(|| panic!("no suspended transaction {seq}"));
+        self.cur = Some(self.suspended.swap_remove(pos));
+        self.now += 3000; // schedule-in
+    }
+
+    /// Aborts the suspended transaction `seq` — the conflict-resolution
+    /// path when the running thread collides with a switched-out one
+    /// (§V-C "detect and resolve the conflicts when a thread is
+    /// switched out"; requester wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not suspended.
+    pub fn abort_suspended(&mut self, seq: u64) {
+        let pos = self
+            .suspended
+            .iter()
+            .position(|t| t.seq == seq)
+            .unwrap_or_else(|| panic!("no suspended transaction {seq}"));
+        let victim = self.suspended.swap_remove(pos);
+        self.stats.suspended_aborts += 1;
+        // Invalidate the victim's cached updates.
+        let mut doomed: Vec<PmAddr> = Vec::new();
+        for cache in [&self.l1, &self.l2] {
+            for e in cache.iter() {
+                if e.meta.txn_id == Some(victim.id) && e.meta.dirty && !e.meta.lazy_pending {
+                    doomed.push(e.addr);
+                }
+            }
+        }
+        for addr in &doomed {
+            self.l1.invalidate(*addr);
+            self.l2.invalidate(*addr);
+            self.l3.invalidate(*addr);
+        }
+        // Apply its persisted undo records (they were drained at
+        // suspension), then drop them from the log region.
+        self.now += 2000;
+        let recs: Vec<(PmAddr, Vec<u8>)> = self
+            .dev
+            .log()
+            .records_of(victim.seq)
+            .map(|r| (r.addr, r.payload.clone()))
+            .collect();
+        let mut touched: BTreeSet<u64> = BTreeSet::new();
+        for (addr, payload) in recs.iter().rev() {
+            self.dev.image_mut().write(*addr, payload);
+            touched.insert(addr.line().raw());
+        }
+        for line in touched {
+            let la = PmAddr::new(line);
+            // Any cached copy (even a clean one fetched moments ago)
+            // is stale relative to the repaired image.
+            self.l1.invalidate(la);
+            self.l2.invalidate(la);
+            self.l3.invalidate(la);
+            self.signature_persist_check(la);
+            let data = self.dev.image().read_line(la);
+            self.persist_line_sync(la, &data);
+        }
+        self.dev.log_mut().drop_txn(victim.seq);
+        self.txreg.retire_clean(victim.id);
+        self.stats.tx_aborts += 1;
+    }
+
+    /// Whether an access to `addr` conflicts with a switched-out
+    /// transaction. Detection uses the suspended transactions'
+    /// read/write sets (the LogTM-SE-style mechanism the paper borrows
+    /// for switched-out threads), which covers lines that were stolen
+    /// to PM and lost their cache tags: a write conflicts with either
+    /// set, a read only with the write set.
+    fn suspended_owner(&self, addr: PmAddr, is_write: bool) -> Option<u64> {
+        let line = addr.line().raw();
+        self.suspended
+            .iter()
+            .find(|t| {
+                t.write_set.contains(&line) || (is_write && t.read_set.contains(&line))
+            })
+            .map(|t| t.seq)
+    }
+
+    /// Forces every outstanding lazy transaction's deferred data
+    /// durable (the "run four empty transactions" effect of §III-C4,
+    /// exposed directly for tests and checkpoints).
+    pub fn drain_lazy(&mut self) {
+        if let Some(last) = self.lazy_txns.last().map(|lt| lt.id) {
+            self.force_persist_through(last);
+        }
+    }
+
+    /// Simulates a power failure: all volatile state (caches, log
+    /// buffer, signatures, transaction registers) is lost; the WPQ
+    /// drains (ADR). The durable image and log region survive.
+    pub fn crash(&mut self) {
+        if self.cfg.battery_backed {
+            // The battery flushes every dirty private-cache line except
+            // those of the in-flight transaction, which vanish —
+            // automatic roll-back of cache-resident updates (§V-E).
+            let cur_id = self.cur.as_ref().map(|c| c.id);
+            let mut dirty: Vec<(PmAddr, [u8; LINE_BYTES])> = Vec::new();
+            for cache in [&self.l1, &self.l2] {
+                for e in cache.iter() {
+                    let in_flight = cur_id.is_some() && e.meta.txn_id == cur_id;
+                    if e.meta.dirty && !in_flight {
+                        dirty.push((e.addr, e.data));
+                    }
+                }
+            }
+            dirty.sort_by_key(|(a, _)| a.raw());
+            for (addr, data) in dirty {
+                self.dev.persist_line(self.now, addr, &data);
+            }
+        }
+        self.dev.crash();
+        self.l1.clear();
+        self.l2.clear();
+        self.l3.clear();
+        match &mut self.log_path {
+            LogPath::Tiered(buf) => buf.clear(),
+            LogPath::Atom(buf) => buf.clear(),
+            LogPath::Ede(e) => e.clear(),
+        }
+        self.lazy_txns.clear();
+        self.txreg.reset();
+        self.redo_shadow.clear();
+        self.cur = None;
+        self.suspended.clear();
+    }
+
+    /// Mutable device access for recovery (`slpmt_core::recovery`).
+    pub(crate) fn device_mut(&mut self) -> &mut PmDevice {
+        &mut self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(scheme: Scheme) -> Machine {
+        Machine::new(MachineConfig::for_scheme(scheme))
+    }
+
+    fn tiny(scheme: Scheme) -> Machine {
+        Machine::new(MachineConfig::for_scheme(scheme).with_tiny_caches())
+    }
+
+    const A: PmAddr = PmAddr::new(0x10000);
+
+    #[test]
+    fn load_returns_setup_value() {
+        let mut m = machine(Scheme::Slpmt);
+        m.setup_write(A, &42u64.to_le_bytes());
+        assert_eq!(m.load_u64(A), 42);
+        assert_eq!(m.stats().loads, 1);
+    }
+
+    #[test]
+    fn store_outside_txn_is_volatile_until_eviction() {
+        let mut m = machine(Scheme::Slpmt);
+        m.store_u64(A, 7, StoreKind::Store);
+        assert_eq!(m.peek_u64(A), 7);
+        // Not yet durable: it sits dirty in L1.
+        assert_eq!(m.device().image().read_u64(A), 0);
+    }
+
+    #[test]
+    fn committed_store_is_durable() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::Store);
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 7);
+        assert_eq!(m.stats().commit_line_persists, 1);
+        assert_eq!(m.stats().log_records_created, 1);
+    }
+
+    #[test]
+    fn undo_ordering_logs_before_data() {
+        // After commit the log was truncated, but traffic shows both the
+        // record and the data line were persisted.
+        let mut m = machine(Scheme::Fg);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::Store);
+        m.tx_commit();
+        let t = m.device().traffic();
+        assert!(t.log_records >= 1);
+        assert_eq!(t.data_lines, 1);
+    }
+
+    #[test]
+    fn log_free_store_creates_no_record() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::log_free());
+        m.tx_commit();
+        assert_eq!(m.stats().log_records_created, 0);
+        // But the data still persisted eagerly.
+        assert_eq!(m.device().image().read_u64(A), 7);
+    }
+
+    #[test]
+    fn log_free_ignored_by_baseline() {
+        let mut m = machine(Scheme::Fg);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::log_free());
+        m.tx_commit();
+        assert_eq!(m.stats().log_records_created, 1, "FG logs everything");
+    }
+
+    #[test]
+    fn lazy_line_stays_volatile_after_commit() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.tx_commit();
+        assert_eq!(m.peek_u64(A), 7);
+        assert_eq!(m.device().image().read_u64(A), 0, "deferred");
+        assert_eq!(m.stats().lazy_lines_deferred, 1);
+        assert_eq!(m.outstanding_lazy_txns(), 1);
+    }
+
+    #[test]
+    fn drain_lazy_makes_deferred_data_durable() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.tx_commit();
+        m.drain_lazy();
+        assert_eq!(m.device().image().read_u64(A), 7);
+        assert_eq!(m.stats().lazy_lines_forced, 1);
+        assert_eq!(m.outstanding_lazy_txns(), 0);
+    }
+
+    #[test]
+    fn lazy_logged_discards_record_when_line_cached() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_logged());
+        m.tx_commit();
+        assert_eq!(m.stats().log_records_created, 1);
+        assert_eq!(m.stats().log_records_discarded, 1);
+        assert_eq!(m.device().traffic().log_records, 1, "only the commit marker");
+    }
+
+    #[test]
+    fn store_cancels_lazy_deferral_of_line() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.store_u64(A.add(8), 8, StoreKind::Store); // same line, eager
+        m.tx_commit();
+        // Whole line persisted at commit; nothing deferred.
+        assert_eq!(m.device().image().read_u64(A), 7);
+        assert_eq!(m.device().image().read_u64(A.add(8)), 8);
+        assert_eq!(m.stats().lazy_lines_deferred, 0);
+    }
+
+    #[test]
+    fn store_to_foreign_lazy_line_takes_ownership() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.tx_commit();
+        // A later transaction overwrites the deferred line with an
+        // eager store: the deferral is cancelled (§III-C1) and the
+        // line persists at the new transaction's commit.
+        m.tx_begin();
+        m.store_u64(A, 9, StoreKind::Store);
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 9);
+        // The earlier transaction no longer owns any deferred line;
+        // draining it persists nothing new.
+        let forced_before = m.stats().lazy_lines_forced;
+        m.drain_lazy();
+        assert_eq!(m.stats().lazy_lines_forced, forced_before);
+        assert_eq!(m.device().image().read_u64(A), 9);
+    }
+
+    #[test]
+    fn lazy_store_to_foreign_lazy_line_reowns_it() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.tx_commit();
+        m.tx_begin();
+        m.store_u64(A, 9, StoreKind::lazy_log_free());
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 0, "still deferred");
+        assert_eq!(m.peek_u64(A), 9);
+        m.drain_lazy();
+        assert_eq!(m.device().image().read_u64(A), 9, "newest value persists");
+    }
+
+    #[test]
+    fn load_of_foreign_lazy_line_forces_persistence() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.tx_commit();
+        m.tx_begin();
+        let v = m.load_u64(A);
+        assert_eq!(v, 7);
+        assert_eq!(m.device().image().read_u64(A), 7);
+        m.tx_commit();
+    }
+
+    #[test]
+    fn id_recycling_persists_oldest() {
+        let mut m = machine(Scheme::Slpmt);
+        // Five lazy transactions on distinct lines exhaust the four IDs.
+        for i in 0..5u64 {
+            m.tx_begin();
+            m.store_u64(PmAddr::new(0x10000 + i * 64), i + 1, StoreKind::lazy_log_free());
+            m.tx_commit();
+        }
+        // The first transaction's data was forced durable.
+        assert_eq!(m.device().image().read_u64(PmAddr::new(0x10000)), 1);
+        // The most recent is still deferred.
+        assert_eq!(m.device().image().read_u64(PmAddr::new(0x10000 + 4 * 64)), 0);
+        assert_eq!(m.outstanding_lazy_txns(), 4);
+    }
+
+    #[test]
+    fn sustained_lazy_transactions_bound_deferral() {
+        // §III-C2/C4: with every transaction deferring data, ID
+        // recycling forces each transaction durable within four
+        // successors — early data can never stay volatile forever.
+        let mut m = machine(Scheme::Slpmt);
+        for i in 0..8u64 {
+            m.tx_begin();
+            m.store_u64(PmAddr::new(0x10000 + i * 64), i + 1, StoreKind::lazy_log_free());
+            m.tx_commit();
+        }
+        for i in 0..4u64 {
+            assert_eq!(
+                m.device().image().read_u64(PmAddr::new(0x10000 + i * 64)),
+                i + 1,
+                "transaction {i} forced by ID recycling"
+            );
+        }
+        // And drain_lazy flushes the tail explicitly (the paper's
+        // empty-transaction idiom).
+        m.drain_lazy();
+        for i in 4..8u64 {
+            assert_eq!(
+                m.device().image().read_u64(PmAddr::new(0x10000 + i * 64)),
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn crash_loses_volatile_keeps_durable() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::Store);
+        m.tx_commit();
+        m.tx_begin();
+        m.store_u64(A.add(64), 9, StoreKind::lazy_log_free());
+        m.tx_commit();
+        m.crash();
+        assert_eq!(m.device().image().read_u64(A), 7);
+        assert_eq!(m.device().image().read_u64(A.add(64)), 0, "lazy data lost");
+        assert_eq!(m.peek_u64(A), 7, "reads fall back to the image");
+    }
+
+    #[test]
+    fn abort_rolls_back_cached_updates() {
+        let mut m = machine(Scheme::Slpmt);
+        m.setup_write(A, &1u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        assert_eq!(m.peek_u64(A), 99);
+        m.tx_abort();
+        assert_eq!(m.peek_u64(A), 1);
+        assert_eq!(m.stats().tx_aborts, 1);
+    }
+
+    #[test]
+    fn abort_rolls_back_stolen_lines() {
+        // Tiny caches force mid-transaction overflow (steal); the
+        // persisted undo records must repair the image on abort.
+        let mut m = tiny(Scheme::Fg);
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        // Thrash the caches so line A overflows to PM.
+        for i in 0..512u64 {
+            m.store_u64(PmAddr::new(0x40000 + i * 64), i, StoreKind::Store);
+        }
+        m.tx_abort();
+        assert_eq!(m.peek_u64(A), 5, "stolen update revoked");
+        assert_eq!(m.device().image().read_u64(A), 5);
+    }
+
+    #[test]
+    fn overflow_persists_lazy_data_naturally() {
+        let mut m = tiny(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.tx_commit();
+        for i in 0..512u64 {
+            m.load_u64(PmAddr::new(0x40000 + i * 64));
+        }
+        assert_eq!(m.device().image().read_u64(A), 7, "overflowed to PM");
+        assert!(m.stats().lazy_lines_overflowed >= 1);
+    }
+
+    #[test]
+    fn word_logging_creates_one_record_per_word() {
+        let mut m = machine(Scheme::Fg);
+        m.tx_begin();
+        m.store_u64(A, 1, StoreKind::Store);
+        m.store_u64(A, 2, StoreKind::Store); // same word: no new record
+        m.store_u64(A.add(8), 3, StoreKind::Store); // new word: record
+        m.tx_commit();
+        assert_eq!(m.stats().log_records_created, 2);
+    }
+
+    #[test]
+    fn line_granularity_logs_whole_line_once() {
+        let mut m = machine(Scheme::FgCl);
+        m.tx_begin();
+        m.store_u64(A, 1, StoreKind::Store);
+        m.store_u64(A.add(8), 2, StoreKind::Store);
+        m.tx_commit();
+        assert_eq!(m.stats().log_records_created, 1);
+        // The single record covers the full 64-byte line (+8 tag).
+        assert!(m.device().traffic().log_bytes >= 72);
+    }
+
+    #[test]
+    fn atom_traffic_exceeds_fg_for_sparse_updates() {
+        let run = |scheme| {
+            let mut m = machine(scheme);
+            m.tx_begin();
+            for i in 0..8u64 {
+                m.store_u64(PmAddr::new(0x10000 + i * 64), i, StoreKind::Store);
+            }
+            m.tx_commit();
+            m.device().traffic().total_bytes()
+        };
+        assert!(
+            run(Scheme::Atom) > run(Scheme::Fg),
+            "line-granularity records cost more than coalesced words"
+        );
+    }
+
+    #[test]
+    fn ede_traffic_exceeds_fg_for_coalescible_runs() {
+        // Sequential multi-word writes: the tiered buffer buddy-merges
+        // each line's eight word records into one 72-byte line record,
+        // while bufferless EDE pays eight 16-byte records per line.
+        let run = |scheme| {
+            let mut m = machine(scheme);
+            m.tx_begin();
+            for i in 0..32u64 {
+                m.store_u64(PmAddr::new(0x10000 + i * 8), i, StoreKind::Store);
+            }
+            m.tx_commit();
+            m.device().traffic().log_bytes
+        };
+        let ede = run(Scheme::Ede);
+        let fg = run(Scheme::Fg);
+        assert!(ede > fg, "EDE {ede} B vs FG {fg} B: buffer coalescing must win");
+    }
+
+    #[test]
+    fn slpmt_beats_fg_on_a_log_free_value_write() {
+        let run = |scheme| {
+            let mut m = machine(scheme);
+            m.tx_begin();
+            // A freshly allocated 256-byte value: log-free candidate.
+            let val = vec![0xCD; 256];
+            m.store_bytes(PmAddr::new(0x20000), &val, StoreKind::log_free());
+            // One logged metadata update.
+            m.store_u64(A, 1, StoreKind::Store);
+            m.tx_commit();
+            (m.now(), m.device().traffic().total_bytes())
+        };
+        let (t_slpmt, b_slpmt) = run(Scheme::Slpmt);
+        let (t_fg, b_fg) = run(Scheme::Fg);
+        assert!(b_slpmt < b_fg, "selective logging reduces traffic");
+        assert!(t_slpmt < t_fg, "and reduces commit latency");
+    }
+
+    #[test]
+    fn speculative_logging_survives_eviction_round_trip() {
+        let mut m = tiny(Scheme::Slpmt);
+        m.tx_begin();
+        // Log three words of a group, then evict the line from L1 (but
+        // not from L2: the thrash lines share A's L1 set — tiny L1 has
+        // 4 sets — while landing in different L2 sets).
+        for w in 0..3u64 {
+            m.store_u64(A.add(w * 8), w, StoreKind::Store);
+        }
+        let created_before = m.stats().log_records_created;
+        assert_eq!(created_before, 3);
+        for line_no in [4u64, 8, 12, 20] {
+            m.load_u64(PmAddr::new(line_no * 64));
+        }
+        assert!(m.l1.peek(A).is_none(), "A evicted from L1");
+        assert!(m.l2.peek(A).is_some(), "A still in L2");
+        // Re-store one of the words: with speculative logging the group
+        // bit survived the round trip, so no duplicate record appears.
+        let spec_created = m.stats().log_records_created;
+        m.store_u64(A, 99, StoreKind::Store);
+        assert_eq!(
+            m.stats().log_records_created,
+            spec_created,
+            "group aggregated by speculative fill — no re-log"
+        );
+        m.tx_commit();
+    }
+
+    #[test]
+    fn peek_bytes_merges_cache_and_image() {
+        let mut m = machine(Scheme::Slpmt);
+        m.setup_write(A, &[1u8; 128]);
+        m.tx_begin();
+        m.store_u64(A.add(64), 0xFFFF_FFFF_FFFF_FFFF, StoreKind::Store);
+        let mut buf = [0u8; 128];
+        m.peek_bytes(A, &mut buf);
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[64], 0xFF);
+        assert_eq!(buf[72], 1);
+        m.tx_commit();
+    }
+
+    #[test]
+    #[should_panic(expected = "nested transactions")]
+    fn nested_txn_rejected() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.tx_begin();
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass a cached copy")]
+    fn setup_write_through_cache_rejected() {
+        let mut m = machine(Scheme::Slpmt);
+        m.load_u64(A);
+        m.setup_write(A, &1u64.to_le_bytes());
+    }
+
+    #[test]
+    fn timing_monotonicity_and_commit_stall() {
+        let mut m = machine(Scheme::Fg);
+        let t0 = m.now();
+        m.tx_begin();
+        m.store_u64(A, 1, StoreKind::Store);
+        let t1 = m.now();
+        assert!(t1 > t0);
+        m.tx_commit();
+        assert!(m.now() > t1);
+        assert!(m.stats().commit_stall_cycles > 0);
+    }
+
+    #[test]
+    fn context_switch_drains_the_log_buffer() {
+        // §V-C: before a switch the kernel drains the log buffer; the
+        // open transaction then resumes and commits normally.
+        let mut m = machine(Scheme::Slpmt);
+        m.setup_write(A, &1u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 2, StoreKind::Store);
+        assert_eq!(m.device().log().len(), 0, "record still buffered");
+        m.context_switch();
+        assert_eq!(m.device().log().len(), 1, "record persisted at switch");
+        // Resume: more stores, then a normal commit.
+        m.store_u64(A.add(8), 3, StoreKind::Store);
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 2);
+        assert_eq!(m.device().image().read_u64(A.add(8)), 3);
+        // Crash-interruption after a switch still rolls back cleanly.
+        m.tx_begin();
+        m.store_u64(A, 9, StoreKind::Store);
+        m.context_switch();
+        m.crash();
+        let report = m.recover();
+        assert!(report.undo_applied >= 1, "switched-out record replayed");
+        assert_eq!(m.device().image().read_u64(A), 2);
+    }
+
+    #[test]
+    fn context_switch_leaves_lazy_tracking_intact() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.tx_commit();
+        m.context_switch();
+        assert_eq!(m.outstanding_lazy_txns(), 1, "signatures survive switches");
+        m.drain_lazy();
+        assert_eq!(m.device().image().read_u64(A), 7);
+    }
+
+    #[test]
+    fn write_latency_sweep_slows_commit() {
+        let run = |ns| {
+            let mut m = machine(Scheme::Fg);
+            m.set_write_latency_ns(ns);
+            m.tx_begin();
+            for i in 0..32u64 {
+                m.store_u64(PmAddr::new(0x10000 + i * 64), i, StoreKind::Store);
+            }
+            m.tx_commit();
+            m.now()
+        };
+        assert!(run(2300) > run(500));
+    }
+}

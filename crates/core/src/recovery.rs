@@ -1,0 +1,329 @@
+//! Post-crash recovery: undo and redo log replay.
+//!
+//! After a crash, the durable state consists of the persistent image
+//! and the log region. Recovery depends on the logging discipline:
+//!
+//! * **Undo** — apply the records of every transaction *without* a
+//!   durable commit marker, newest first, restoring each logged
+//!   word's pre-image. That cancels all logged updates of interrupted
+//!   transactions.
+//! * **Redo** — apply the records of every transaction *with* a
+//!   durable commit marker, oldest first, installing each logged
+//!   word's final value (in-place data never reached the image before
+//!   the marker, so unmarked transactions need nothing).
+//!
+//! Log-free updates are then repaired by the application-specific
+//! recovery (garbage-collecting leaked allocations, rebuilding
+//! lazily-persistent data) that the workloads provide — exactly the
+//! split of §IV.
+
+use crate::machine::Machine;
+use crate::scheme::Discipline;
+use slpmt_pmem::PersistedRecord;
+use std::collections::BTreeSet;
+
+/// What log replay did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Undo records applied (pre-images restored).
+    pub undo_applied: usize,
+    /// Sequence numbers of transactions rolled back (undo).
+    pub rolled_back: Vec<u64>,
+    /// Redo records applied (final values installed).
+    pub redo_applied: usize,
+    /// Sequence numbers of committed transactions replayed (redo).
+    pub replayed: Vec<u64>,
+}
+
+impl Machine {
+    /// Replays the log after a [`crash`](Machine::crash) according to
+    /// the machine's logging discipline, then truncates the log
+    /// region. Structure-specific recovery (leak GC, lazy rebuild) is
+    /// the caller's next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a transaction is open — recovery runs on
+    /// a freshly restarted machine.
+    pub fn recover(&mut self) -> RecoveryReport {
+        assert!(!self.in_txn(), "recovery runs outside any transaction");
+        let mut report = RecoveryReport::default();
+        match self.config().features.discipline {
+            Discipline::Undo => {
+                let records: Vec<PersistedRecord> =
+                    self.device().log().uncommitted_rev().cloned().collect();
+                let mut rolled: BTreeSet<u64> = BTreeSet::new();
+                report.undo_applied = records.len();
+                let dev = self.device_mut();
+                for rec in &records {
+                    dev.image_mut().write(rec.addr, &rec.payload);
+                    rolled.insert(rec.txn);
+                }
+                report.rolled_back = rolled.into_iter().collect();
+            }
+            Discipline::Redo => {
+                let committed: BTreeSet<u64> =
+                    self.device().log().committed_txns().collect();
+                let records: Vec<PersistedRecord> = self
+                    .device()
+                    .log()
+                    .records()
+                    .iter()
+                    .filter(|r| committed.contains(&r.txn))
+                    .cloned()
+                    .collect();
+                let mut replayed: BTreeSet<u64> = BTreeSet::new();
+                report.redo_applied = records.len();
+                let dev = self.device_mut();
+                for rec in &records {
+                    // Forward order: later records carry newer values.
+                    dev.image_mut().write(rec.addr, &rec.payload);
+                    replayed.insert(rec.txn);
+                }
+                report.replayed = replayed.into_iter().collect();
+            }
+        }
+        // The log's job is done; the new epoch starts empty.
+        self.device_mut().log_mut().reset();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::CommitPhase;
+    use crate::{Machine, MachineConfig, Scheme, StoreKind};
+    use slpmt_pmem::PmAddr;
+
+    const A: PmAddr = PmAddr::new(0x10000);
+
+    fn tiny() -> Machine {
+        Machine::new(MachineConfig::for_scheme(Scheme::Fg).with_tiny_caches())
+    }
+
+    #[test]
+    fn committed_transactions_are_not_rolled_back() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::Store);
+        m.tx_commit();
+        m.crash();
+        let report = m.recover();
+        assert_eq!(report.undo_applied, 0);
+        assert_eq!(m.device().image().read_u64(A), 7);
+    }
+
+    #[test]
+    fn interrupted_transaction_rolls_back_stolen_data() {
+        let mut m = tiny();
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        // Thrash caches so the dirty line (and its log record) overflow
+        // to the persistence domain mid-transaction.
+        for i in 0..512u64 {
+            m.store_u64(PmAddr::new(0x40000 + i * 64), i, StoreKind::Store);
+        }
+        // The stolen update reached PM:
+        assert_eq!(m.device().image().read_u64(A), 99);
+        m.crash(); // no commit marker
+        let report = m.recover();
+        assert!(report.undo_applied > 0);
+        assert_eq!(m.device().image().read_u64(A), 5, "pre-image restored");
+    }
+
+    #[test]
+    fn crash_without_steal_needs_no_undo() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Fg));
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        m.crash(); // dirty line and its record both still volatile
+        let report = m.recover();
+        assert_eq!(report.undo_applied, 0);
+        assert_eq!(m.device().image().read_u64(A), 5);
+    }
+
+    #[test]
+    fn undo_crash_before_marker_rolls_back() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Fg));
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        // Crash after data persisted but before the marker: the
+        // transaction must roll back.
+        m.set_commit_crash_point(Some(CommitPhase::AfterData));
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 99, "data persisted");
+        let report = m.recover();
+        assert!(report.undo_applied > 0);
+        assert_eq!(m.device().image().read_u64(A), 5, "rolled back");
+    }
+
+    #[test]
+    fn undo_crash_after_marker_is_durable() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Fg));
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        m.set_commit_crash_point(Some(CommitPhase::AfterMarker));
+        m.tx_commit();
+        let report = m.recover();
+        assert_eq!(report.undo_applied, 0);
+        assert_eq!(m.device().image().read_u64(A), 99);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut m = tiny();
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        for i in 0..512u64 {
+            m.store_u64(PmAddr::new(0x40000 + i * 64), i, StoreKind::Store);
+        }
+        m.crash();
+        m.recover();
+        let second = m.recover();
+        assert_eq!(second.undo_applied, 0);
+        assert_eq!(m.device().image().read_u64(A), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any transaction")]
+    fn recovery_inside_txn_rejected() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        m.tx_begin();
+        m.recover();
+    }
+
+    // ---------------------------------------------------------------
+    // Redo discipline
+
+    #[test]
+    fn redo_commit_is_durable_without_crash() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo));
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 99);
+    }
+
+    #[test]
+    fn redo_crash_mid_txn_leaves_image_untouched() {
+        let mut m = Machine::new(
+            MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches(),
+        );
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        // Thrash: under redo, the logged line spills to the volatile
+        // shadow instead of stealing into the image.
+        for i in 0..512u64 {
+            m.load_u64(PmAddr::new(0x40000 + i * 64));
+        }
+        assert_eq!(m.device().image().read_u64(A), 5, "no in-place steal");
+        assert_eq!(m.peek_u64(A), 99, "logical value intact via shadow");
+        m.crash();
+        let report = m.recover();
+        assert_eq!(report.redo_applied, 0, "unmarked txn needs nothing");
+        assert_eq!(m.device().image().read_u64(A), 5);
+    }
+
+    #[test]
+    fn redo_crash_after_marker_replays_records() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo));
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        m.store_u64(A.add(8), 100, StoreKind::Store);
+        // Crash after the marker but before the in-place write-back:
+        // the redo-replay window.
+        m.set_commit_crash_point(Some(CommitPhase::AfterMarker));
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 5, "write-back not done");
+        let report = m.recover();
+        // The two adjacent words buddy-coalesced into one record.
+        assert!(report.redo_applied >= 1);
+        assert_eq!(report.replayed, vec![1]);
+        assert_eq!(m.device().image().read_u64(A), 99);
+        assert_eq!(m.device().image().read_u64(A.add(8)), 100);
+    }
+
+    #[test]
+    fn redo_crash_before_marker_discards_records() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo));
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        m.set_commit_crash_point(Some(CommitPhase::AfterRecords));
+        m.tx_commit();
+        let report = m.recover();
+        assert_eq!(report.redo_applied, 0);
+        assert_eq!(m.device().image().read_u64(A), 5);
+    }
+
+    #[test]
+    fn redo_records_carry_final_values() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo));
+        m.tx_begin();
+        m.store_u64(A, 1, StoreKind::Store);
+        m.store_u64(A, 2, StoreKind::Store); // overwrites the record
+        m.store_u64(A, 3, StoreKind::Store);
+        m.set_commit_crash_point(Some(CommitPhase::AfterMarker));
+        m.tx_commit();
+        m.recover();
+        assert_eq!(m.device().image().read_u64(A), 3, "final value replayed");
+    }
+
+    #[test]
+    fn redo_log_free_lines_persist_before_records() {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::SlpmtRedo));
+        m.tx_begin();
+        m.store_u64(A, 1, StoreKind::Store); // logged
+        m.store_u64(A.add(64), 2, StoreKind::log_free());
+        m.set_commit_crash_point(Some(CommitPhase::AfterLogFree));
+        m.tx_commit();
+        // Crash right after the log-free lines persisted: the logged
+        // data never reached PM and no record is durable.
+        assert_eq!(m.device().image().read_u64(A.add(64)), 2);
+        assert_eq!(m.device().image().read_u64(A), 0);
+        let report = m.recover();
+        assert_eq!(report.redo_applied, 0);
+    }
+
+    #[test]
+    fn redo_abort_needs_no_image_repair() {
+        let mut m = Machine::new(
+            MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches(),
+        );
+        m.setup_write(A, &5u64.to_le_bytes());
+        m.tx_begin();
+        m.store_u64(A, 99, StoreKind::Store);
+        for i in 0..512u64 {
+            m.load_u64(PmAddr::new(0x40000 + i * 64));
+        }
+        m.tx_abort();
+        assert_eq!(m.peek_u64(A), 5, "logical state restored");
+        assert_eq!(m.device().image().read_u64(A), 5);
+    }
+
+    #[test]
+    fn redo_shadow_round_trip_preserves_values() {
+        // Evict a logged line to the shadow mid-transaction, refetch
+        // it, store again, and commit normally.
+        let mut m = Machine::new(
+            MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches(),
+        );
+        m.tx_begin();
+        m.store_u64(A, 1, StoreKind::Store);
+        for i in 0..512u64 {
+            m.load_u64(PmAddr::new(0x40000 + i * 64));
+        }
+        assert_eq!(m.peek_u64(A), 1, "value visible from the shadow");
+        m.store_u64(A.add(8), 2, StoreKind::Store); // refetch + re-log
+        m.tx_commit();
+        assert_eq!(m.device().image().read_u64(A), 1);
+        assert_eq!(m.device().image().read_u64(A.add(8)), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! The evaluated hardware designs (§VI-C).
+//!
+//! Each [`Scheme`] resolves to a [`SchemeFeatures`] bundle the machine
+//! consults: logging granularity, which log buffer to use, whether the
+//! `storeT` operand bits are honoured, and the logging discipline.
+//!
+//! * **FG** — the paper's baseline: fine-grain (word) logging with the
+//!   four-tier coalescing buffer; `storeT` operands ignored.
+//! * **FG+LG** / **FG+LZ** — baseline plus log-free / lazy persistence
+//!   only (the Figure 8 breakdown).
+//! * **SLPMT** — the full design.
+//! * **ATOM** — line-granularity hardware undo logging with an
+//!   eight-line coalescing buffer (Joshi et al., HPCA'17).
+//! * **EDE** — any-granularity logging with no hardware buffer (Shull
+//!   et al., ISCA'21).
+//! * **FG-CL** / **SLPMT-CL** — the cache-line-granularity variants of
+//!   the Figure 9 study.
+
+use std::fmt;
+
+/// Logging granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Word (8-byte) log records — fine-grain logging (§III-B).
+    Word,
+    /// Whole-cache-line log records.
+    Line,
+}
+
+/// Undo vs redo logging (Figure 4 persist ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Discipline {
+    /// Undo logging: log records persist before logged lines; log-free
+    /// lines persist at any time.
+    #[default]
+    Undo,
+    /// Redo logging: log-free lines persist before logged lines; data
+    /// writes are buffered until commit.
+    Redo,
+}
+
+/// Which on-core log path the machine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// The four-tier buddy-coalescing buffer (SLPMT/FG).
+    Tiered,
+    /// ATOM's eight-entry line-record buffer.
+    AtomLines,
+    /// EDE's bufferless write-combining path.
+    EdeDirect,
+}
+
+/// Feature bundle the machine executes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeFeatures {
+    /// Log record granularity.
+    pub granularity: Granularity,
+    /// Log path.
+    pub buffer: BufferKind,
+    /// Honour the `log-free` operand of `storeT`.
+    pub log_free: bool,
+    /// Honour the `lazy` operand of `storeT`.
+    pub lazy: bool,
+    /// Speculatively log clean words of partially-logged groups before
+    /// L1 eviction so L2's coarse bits stay set (§III-B1).
+    pub speculative_logging: bool,
+    /// Logging discipline (undo/redo ordering).
+    pub discipline: Discipline,
+}
+
+/// The named designs compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Baseline: fine-grain logging only.
+    Fg,
+    /// Baseline + log-free stores.
+    FgLg,
+    /// Baseline + lazy persistence.
+    FgLz,
+    /// The full design.
+    Slpmt,
+    /// ATOM (HPCA'17).
+    Atom,
+    /// EDE (ISCA'21).
+    Ede,
+    /// Baseline restricted to line-granularity logging (Figure 9).
+    FgCl,
+    /// Full design at line granularity (Figure 9).
+    SlpmtCl,
+    /// Baseline under the redo-logging discipline (Figure 4, right).
+    FgRedo,
+    /// Full design under the redo-logging discipline.
+    SlpmtRedo,
+}
+
+impl Scheme {
+    /// All schemes, in the order figures present them.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Fg,
+        Scheme::FgLg,
+        Scheme::FgLz,
+        Scheme::Slpmt,
+        Scheme::Atom,
+        Scheme::Ede,
+        Scheme::FgCl,
+        Scheme::SlpmtCl,
+    ];
+
+    /// The redo-discipline variants (§II/Figure 4 right; not part of
+    /// the paper's headline comparison, which evaluates undo).
+    pub const REDO: [Scheme; 2] = [Scheme::FgRedo, Scheme::SlpmtRedo];
+
+    /// The feature bundle for this scheme.
+    pub fn features(self) -> SchemeFeatures {
+        let base = SchemeFeatures {
+            granularity: Granularity::Word,
+            buffer: BufferKind::Tiered,
+            log_free: false,
+            lazy: false,
+            speculative_logging: true,
+            discipline: Discipline::Undo,
+        };
+        match self {
+            Scheme::Fg => base,
+            Scheme::FgLg => SchemeFeatures {
+                log_free: true,
+                ..base
+            },
+            Scheme::FgLz => SchemeFeatures { lazy: true, ..base },
+            Scheme::Slpmt => SchemeFeatures {
+                log_free: true,
+                lazy: true,
+                ..base
+            },
+            Scheme::Atom => SchemeFeatures {
+                granularity: Granularity::Line,
+                buffer: BufferKind::AtomLines,
+                speculative_logging: false,
+                ..base
+            },
+            Scheme::Ede => SchemeFeatures {
+                buffer: BufferKind::EdeDirect,
+                speculative_logging: false,
+                ..base
+            },
+            Scheme::FgCl => SchemeFeatures {
+                granularity: Granularity::Line,
+                speculative_logging: false,
+                ..base
+            },
+            Scheme::SlpmtCl => SchemeFeatures {
+                granularity: Granularity::Line,
+                log_free: true,
+                lazy: true,
+                speculative_logging: false,
+                ..base
+            },
+            Scheme::FgRedo => SchemeFeatures {
+                discipline: Discipline::Redo,
+                ..base
+            },
+            Scheme::SlpmtRedo => SchemeFeatures {
+                discipline: Discipline::Redo,
+                log_free: true,
+                lazy: true,
+                ..base
+            },
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scheme::Fg => "FG",
+            Scheme::FgLg => "FG+LG",
+            Scheme::FgLz => "FG+LZ",
+            Scheme::Slpmt => "SLPMT",
+            Scheme::Atom => "ATOM",
+            Scheme::Ede => "EDE",
+            Scheme::FgCl => "FG-CL",
+            Scheme::SlpmtCl => "SLPMT-CL",
+            Scheme::FgRedo => "FG-RD",
+            Scheme::SlpmtRedo => "SLPMT-RD",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_disables_selective_features() {
+        let f = Scheme::Fg.features();
+        assert!(!f.log_free);
+        assert!(!f.lazy);
+        assert_eq!(f.granularity, Granularity::Word);
+        assert_eq!(f.buffer, BufferKind::Tiered);
+    }
+
+    #[test]
+    fn breakdown_configs() {
+        assert!(Scheme::FgLg.features().log_free);
+        assert!(!Scheme::FgLg.features().lazy);
+        assert!(Scheme::FgLz.features().lazy);
+        assert!(!Scheme::FgLz.features().log_free);
+        let s = Scheme::Slpmt.features();
+        assert!(s.log_free && s.lazy);
+    }
+
+    #[test]
+    fn comparison_schemes() {
+        let atom = Scheme::Atom.features();
+        assert_eq!(atom.granularity, Granularity::Line);
+        assert_eq!(atom.buffer, BufferKind::AtomLines);
+        assert!(!atom.log_free && !atom.lazy);
+        let ede = Scheme::Ede.features();
+        assert_eq!(ede.granularity, Granularity::Word);
+        assert_eq!(ede.buffer, BufferKind::EdeDirect);
+    }
+
+    #[test]
+    fn figure9_line_variants() {
+        let cl = Scheme::SlpmtCl.features();
+        assert_eq!(cl.granularity, Granularity::Line);
+        assert_eq!(cl.buffer, BufferKind::Tiered);
+        assert!(cl.log_free && cl.lazy);
+        let fgcl = Scheme::FgCl.features();
+        assert_eq!(fgcl.granularity, Granularity::Line);
+        assert!(!fgcl.log_free && !fgcl.lazy);
+    }
+
+    #[test]
+    fn redo_variants() {
+        let r = Scheme::SlpmtRedo.features();
+        assert_eq!(r.discipline, Discipline::Redo);
+        assert!(r.log_free && r.lazy);
+        assert_eq!(r.buffer, BufferKind::Tiered);
+        let f = Scheme::FgRedo.features();
+        assert_eq!(f.discipline, Discipline::Redo);
+        assert!(!f.log_free && !f.lazy);
+    }
+
+    #[test]
+    fn display_names_match_figures() {
+        let names: Vec<String> = Scheme::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            names,
+            ["FG", "FG+LG", "FG+LZ", "SLPMT", "ATOM", "EDE", "FG-CL", "SLPMT-CL"]
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Cycle and event accounting for the simulated machine.
+
+use std::fmt;
+
+/// Counters accumulated by [`Machine`](crate::Machine) during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store-family instructions executed (plain and `storeT`).
+    pub stores: u64,
+    /// Stores that executed with `storeT` semantics honoured.
+    pub store_ts: u64,
+    /// Transactions begun.
+    pub tx_begins: u64,
+    /// Transactions committed.
+    pub tx_commits: u64,
+    /// Transactions aborted.
+    pub tx_aborts: u64,
+    /// Suspended (switched-out) transactions aborted by conflicts.
+    pub suspended_aborts: u64,
+    /// Undo/redo log records created (before coalescing).
+    pub log_records_created: u64,
+    /// Log records discarded at commit because their line was lazy.
+    pub log_records_discarded: u64,
+    /// Data lines persisted eagerly at commit.
+    pub commit_line_persists: u64,
+    /// Lines whose persistence was deferred past commit (lazy).
+    pub lazy_lines_deferred: u64,
+    /// Deferred lines later forced to persist by a conflict or ID
+    /// recycling.
+    pub lazy_lines_forced: u64,
+    /// Deferred lines that persisted as a side effect of cache overflow.
+    pub lazy_lines_overflowed: u64,
+    /// Signature hits that triggered forced persistence.
+    pub signature_hits: u64,
+    /// Cycles spent stalled at commit (log drain + data persists).
+    pub commit_stall_cycles: u64,
+    /// Cycles charged as pure compute by the workload.
+    pub compute_cycles: u64,
+}
+
+impl MachineStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "loads                  {:>12}", self.loads)?;
+        writeln!(f, "stores                 {:>12}", self.stores)?;
+        writeln!(f, "  storeT (honoured)    {:>12}", self.store_ts)?;
+        writeln!(f, "tx begin/commit/abort  {:>6}/{:>6}/{:>6}", self.tx_begins, self.tx_commits, self.tx_aborts)?;
+        writeln!(f, "suspended aborts       {:>12}", self.suspended_aborts)?;
+        writeln!(f, "log records created    {:>12}", self.log_records_created)?;
+        writeln!(f, "log records discarded  {:>12}", self.log_records_discarded)?;
+        writeln!(f, "commit line persists   {:>12}", self.commit_line_persists)?;
+        writeln!(f, "lazy deferred/forced   {:>6}/{:>6}", self.lazy_lines_deferred, self.lazy_lines_forced)?;
+        writeln!(f, "lazy overflowed        {:>12}", self.lazy_lines_overflowed)?;
+        writeln!(f, "signature hits         {:>12}", self.signature_hits)?;
+        write!(f, "commit stall cycles    {:>12}", self.commit_stall_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = MachineStats::new();
+        assert_eq!(s.loads, 0);
+        assert_eq!(s.tx_commits, 0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(format!("{}", MachineStats::new()).contains("loads"));
+    }
+}

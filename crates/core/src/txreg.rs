@@ -1,0 +1,225 @@
+//! The circular transaction-ID register (§III-C2).
+//!
+//! Each core owns four 2-bit transaction IDs. The register keeps the
+//! paper's first/last-free pointer pair: free IDs form a contiguous
+//! arc of the circle, allocation takes the first free ID and a cleanly
+//! retired ID re-joins at the tail. An ID stays *outstanding* after
+//! its transaction commits with lazily-persistent data, until that
+//! data is forced to persistent memory. When the free arc empties, the
+//! allocator reports the **oldest** outstanding ID ("the one next to
+//! the last free ID") so the caller persists that transaction's lazy
+//! data first — organising the IDs as a circle thereby bounds how long
+//! early transactions' data can stay volatile (§III-C4; the
+//! [`Machine::drain_lazy`](crate::Machine::drain_lazy) helper provides
+//! the explicit full flush).
+
+use slpmt_cache::TxnId;
+use std::collections::VecDeque;
+
+/// Allocator for the per-core 2-bit transaction IDs.
+///
+/// ```
+/// use slpmt_core::TxnIdRegister;
+/// let mut reg = TxnIdRegister::new();
+/// let id = reg.allocate().unwrap();
+/// reg.retire_lazy(id);                 // committed with deferred data
+/// assert_eq!(reg.outstanding().count(), 1);
+/// let freed = reg.reclaim_through(id); // deferred data persisted
+/// assert_eq!(freed, vec![id]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxnIdRegister {
+    /// The free arc, first-free at the front.
+    free: VecDeque<TxnId>,
+    /// IDs of committed transactions whose lazy data is still volatile,
+    /// oldest first.
+    outstanding: VecDeque<TxnId>,
+}
+
+impl Default for TxnIdRegister {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnIdRegister {
+    /// Creates a register with all four IDs free, in circular order.
+    pub fn new() -> Self {
+        TxnIdRegister {
+            free: (0..TxnId::COUNT).map(TxnId::new).collect(),
+            outstanding: VecDeque::new(),
+        }
+    }
+
+    /// Allocates the first free ID.
+    ///
+    /// # Errors
+    ///
+    /// When the free arc is empty, returns `Err(oldest)` — the caller
+    /// must persist the lazy data of that transaction, call
+    /// [`reclaim_through`](Self::reclaim_through), and retry.
+    pub fn allocate(&mut self) -> Result<TxnId, TxnId> {
+        match self.free.pop_front() {
+            Some(id) => Ok(id),
+            None => Err(*self
+                .outstanding
+                .front()
+                .expect("no free and no outstanding IDs — an ID leaked")),
+        }
+    }
+
+    /// Marks a committed transaction's ID as outstanding (it still owns
+    /// unpersisted lazy data).
+    pub fn retire_lazy(&mut self, id: TxnId) {
+        debug_assert!(!self.outstanding.contains(&id));
+        debug_assert!(!self.free.contains(&id));
+        self.outstanding.push_back(id);
+    }
+
+    /// Returns an ID whose transaction committed with nothing deferred:
+    /// it re-joins the free arc at the tail (the last-free pointer
+    /// advances).
+    pub fn retire_clean(&mut self, id: TxnId) {
+        debug_assert!(!self.outstanding.contains(&id));
+        debug_assert!(!self.free.contains(&id));
+        self.free.push_back(id);
+    }
+
+    /// Reclaims every outstanding ID up to and including `id` (the
+    /// persist-prior-transactions rule of §III-C2), returning them in
+    /// oldest-first order. Returns an empty vector if `id` is not
+    /// outstanding.
+    pub fn reclaim_through(&mut self, id: TxnId) -> Vec<TxnId> {
+        let Some(pos) = self.outstanding.iter().position(|&o| o == id) else {
+            return Vec::new();
+        };
+        let mut freed = Vec::with_capacity(pos + 1);
+        for _ in 0..=pos {
+            let f = self.outstanding.pop_front().expect("position in range");
+            self.free.push_back(f);
+            freed.push(f);
+        }
+        freed
+    }
+
+    /// Outstanding IDs, oldest first.
+    pub fn outstanding(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.outstanding.iter().copied()
+    }
+
+    /// `true` if `id` is outstanding (committed, data still deferred).
+    pub fn is_outstanding(&self, id: TxnId) -> bool {
+        self.outstanding.contains(&id)
+    }
+
+    /// Number of free IDs.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Resets to the boot state (crash).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_in_circular_order() {
+        let mut r = TxnIdRegister::new();
+        let ids: Vec<u8> = (0..6)
+            .map(|_| {
+                let id = r.allocate().unwrap();
+                r.retire_clean(id);
+                id.raw()
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn one_outstanding_id_does_not_block_allocation() {
+        // The lazy transaction's data stays deferred while the other
+        // three IDs rotate through the free arc.
+        let mut r = TxnIdRegister::new();
+        let lazy = r.allocate().unwrap();
+        r.retire_lazy(lazy);
+        for _ in 0..32 {
+            let id = r.allocate().unwrap();
+            assert_ne!(id, lazy);
+            r.retire_clean(id);
+        }
+        assert!(r.is_outstanding(lazy));
+    }
+
+    #[test]
+    fn exhaustion_reports_oldest_outstanding() {
+        let mut r = TxnIdRegister::new();
+        for _ in 0..4 {
+            let id = r.allocate().unwrap();
+            r.retire_lazy(id);
+        }
+        let blocked = r.allocate().unwrap_err();
+        assert_eq!(blocked.raw(), 0, "oldest outstanding first");
+    }
+
+    #[test]
+    fn reclaim_through_frees_prefix() {
+        let mut r = TxnIdRegister::new();
+        let ids: Vec<_> = (0..4).map(|_| r.allocate().unwrap()).collect();
+        for &id in &ids {
+            r.retire_lazy(id);
+        }
+        let freed = r.reclaim_through(ids[2]);
+        assert_eq!(freed, ids[..3].to_vec());
+        assert_eq!(r.free_count(), 3);
+        assert!(r.is_outstanding(ids[3]));
+        // Freed IDs re-join the arc in order.
+        assert_eq!(r.allocate().unwrap(), ids[0]);
+    }
+
+    #[test]
+    fn reclaim_unknown_id_is_noop() {
+        let mut r = TxnIdRegister::new();
+        let id = r.allocate().unwrap();
+        assert!(r.reclaim_through(id).is_empty());
+        assert_eq!(r.free_count(), 3);
+    }
+
+    #[test]
+    fn sustained_lazy_pressure_recycles_oldest() {
+        // Every transaction retires lazy: each new allocation beyond
+        // the four IDs must reclaim the oldest outstanding one, so no
+        // transaction's data stays volatile for more than four
+        // successors (§III-C2's boundedness guarantee).
+        let mut r = TxnIdRegister::new();
+        let mut reclaimed = Vec::new();
+        for _ in 0..8 {
+            let id = loop {
+                match r.allocate() {
+                    Ok(id) => break id,
+                    Err(oldest) => {
+                        reclaimed.push(oldest.raw());
+                        r.reclaim_through(oldest);
+                    }
+                }
+            };
+            r.retire_lazy(id);
+        }
+        assert_eq!(reclaimed, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_restores_boot_state() {
+        let mut r = TxnIdRegister::new();
+        let id = r.allocate().unwrap();
+        r.retire_lazy(id);
+        r.reset();
+        assert_eq!(r.free_count(), 4);
+        assert_eq!(r.outstanding().count(), 0);
+        assert_eq!(r.allocate().unwrap().raw(), 0);
+    }
+}

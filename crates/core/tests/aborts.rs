@@ -1,0 +1,132 @@
+//! Transaction abort (§V-B) across every scheme, including aborts
+//! after mid-transaction steals.
+
+use slpmt_core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt_pmem::PmAddr;
+
+const WORDS: u64 = 10;
+
+fn word(i: u64) -> PmAddr {
+    PmAddr::new(0x10000 + i * 64)
+}
+
+fn abort_case(scheme: Scheme, tiny: bool, thrash: bool) {
+    let mut cfg = MachineConfig::for_scheme(scheme);
+    if tiny {
+        cfg = cfg.with_tiny_caches();
+    }
+    let mut m = Machine::new(cfg);
+    // Committed base state.
+    m.tx_begin();
+    for i in 0..WORDS {
+        m.store_u64(word(i), 7, StoreKind::Store);
+    }
+    m.tx_commit();
+    // Aborted transaction, optionally with mid-transaction overflow.
+    m.tx_begin();
+    for i in 0..WORDS {
+        m.store_u64(word(i), 999, StoreKind::Store);
+    }
+    if thrash {
+        for i in 0..512u64 {
+            m.load_u64(PmAddr::new(0x80000 + i * 64));
+        }
+    }
+    m.tx_abort();
+    for i in 0..WORDS {
+        assert_eq!(
+            m.peek_u64(word(i)),
+            7,
+            "{scheme} tiny={tiny} thrash={thrash}: word {i} logical"
+        );
+        assert_eq!(
+            m.device().image().read_u64(word(i)),
+            7,
+            "{scheme} tiny={tiny} thrash={thrash}: word {i} durable"
+        );
+    }
+    // The machine keeps working after the abort.
+    m.tx_begin();
+    m.store_u64(word(0), 42, StoreKind::Store);
+    m.tx_commit();
+    assert_eq!(m.device().image().read_u64(word(0)), 42);
+}
+
+#[test]
+fn abort_restores_state_under_every_scheme() {
+    for scheme in Scheme::ALL.into_iter().chain(Scheme::REDO) {
+        abort_case(scheme, false, false);
+        abort_case(scheme, true, true);
+    }
+}
+
+#[test]
+fn abort_with_selective_stores() {
+    // Log-free updates are revoked by the caller's own recovery; the
+    // hardware guarantees logged data. Aborting a mixed transaction
+    // must restore every logged word; log-free words are left to the
+    // application (here: still cached, so invalidation restores them
+    // too when they never left the cache).
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+    m.setup_write(word(0), &1u64.to_le_bytes());
+    m.setup_write(word(1), &2u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(word(0), 10, StoreKind::Store);
+    m.store_u64(word(1), 20, StoreKind::log_free());
+    m.tx_abort();
+    assert_eq!(m.peek_u64(word(0)), 1, "logged word revoked");
+    assert_eq!(m.peek_u64(word(1)), 2, "cache-resident log-free word dropped");
+}
+
+#[test]
+fn abort_does_not_disturb_outstanding_lazy_data() {
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+    m.tx_begin();
+    m.store_u64(word(5), 55, StoreKind::lazy_log_free());
+    m.tx_commit();
+    m.tx_begin();
+    m.store_u64(word(6), 66, StoreKind::Store);
+    m.tx_abort();
+    assert_eq!(m.outstanding_lazy_txns(), 1, "lazy txn unaffected");
+    assert_eq!(m.peek_u64(word(5)), 55);
+    m.drain_lazy();
+    assert_eq!(m.device().image().read_u64(word(5)), 55);
+}
+
+#[test]
+#[should_panic(expected = "mutually exclusive")]
+fn battery_plus_redo_rejected() {
+    let _ = Machine::new(
+        MachineConfig::for_scheme(Scheme::FgRedo).with_battery_backed_cache(),
+    );
+}
+
+#[test]
+fn crash_after_abort_does_not_replay_stale_records() {
+    // Regression: the aborted transaction's persisted undo records
+    // must not survive into the next recovery, or they would roll a
+    // later committed value back to the aborted transaction's
+    // pre-image.
+    let mut m = Machine::new(
+        MachineConfig::for_scheme(Scheme::Fg).with_tiny_caches(),
+    );
+    m.setup_write(word(0), &7u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(word(0), 999, StoreKind::Store);
+    // Overflow so the record persists (steal).
+    for i in 0..512u64 {
+        m.store_u64(PmAddr::new(0x80000 + i * 64), i, StoreKind::Store);
+    }
+    m.tx_abort();
+    // A later transaction commits a new value at the same word.
+    m.tx_begin();
+    m.store_u64(word(0), 42, StoreKind::Store);
+    m.tx_commit();
+    m.crash();
+    let report = m.recover();
+    assert_eq!(
+        m.device().image().read_u64(word(0)),
+        42,
+        "stale abort record replayed: {report:?}"
+    );
+}

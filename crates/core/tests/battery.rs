@@ -1,0 +1,125 @@
+//! §V-E battery-backed-cache semantics.
+
+use slpmt_core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt_pmem::PmAddr;
+
+const A: PmAddr = PmAddr::new(0x10000);
+
+fn battery() -> Machine {
+    Machine::new(MachineConfig::for_scheme(Scheme::Slpmt).with_battery_backed_cache())
+}
+
+fn battery_tiny() -> Machine {
+    Machine::new(
+        MachineConfig::for_scheme(Scheme::Slpmt)
+            .with_tiny_caches()
+            .with_battery_backed_cache(),
+    )
+}
+
+#[test]
+fn commit_persists_no_data_lines() {
+    let mut m = battery();
+    m.tx_begin();
+    for i in 0..16u64 {
+        m.store_u64(A.add(i * 64), i, StoreKind::Store);
+    }
+    m.tx_commit();
+    let t = m.device().traffic();
+    assert_eq!(t.data_lines, 0, "battery: nothing persists at commit");
+    assert_eq!(m.stats().log_records_created, 0, "no store-time logging");
+    // But the data is logically there and crash-durable:
+    m.crash();
+    assert_eq!(m.device().image().read_u64(A), 0);
+    assert_eq!(m.device().image().read_u64(A.add(64)), 1);
+}
+
+#[test]
+fn in_flight_updates_vanish_at_crash() {
+    let mut m = battery();
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    m.crash();
+    let report = m.recover();
+    assert_eq!(report.undo_applied, 0, "cache-resident update just vanished");
+    assert_eq!(m.device().image().read_u64(A), 5);
+}
+
+#[test]
+fn committed_then_uncommitted_crash_keeps_committed_only() {
+    let mut m = battery();
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 7, StoreKind::Store);
+    m.tx_commit();
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    m.crash();
+    m.recover();
+    assert_eq!(m.device().image().read_u64(A), 7, "committed survives, in-flight vanishes");
+}
+
+#[test]
+fn overflowing_uncommitted_lines_are_logged_and_rolled_back() {
+    // §V-E: "log is still needed to ensure the atomicity if any data
+    // is evicted into memory."
+    let mut m = battery_tiny();
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    // Thrash the private caches so line A overflows to PM mid-txn.
+    for i in 0..512u64 {
+        m.store_u64(PmAddr::new(0x40000 + i * 64), i, StoreKind::Store);
+    }
+    assert!(m.stats().log_records_created > 0, "overflow logged");
+    m.crash();
+    let report = m.recover();
+    assert!(report.undo_applied > 0);
+    assert_eq!(m.device().image().read_u64(A), 5, "stolen update revoked");
+}
+
+#[test]
+fn battery_commit_is_much_cheaper() {
+    let run = |battery: bool| {
+        let mut cfg = MachineConfig::for_scheme(Scheme::Slpmt);
+        if battery {
+            cfg = cfg.with_battery_backed_cache();
+        }
+        let mut m = Machine::new(cfg);
+        for t in 0..32u64 {
+            m.tx_begin();
+            for i in 0..8u64 {
+                m.store_u64(PmAddr::new(0x10000 + (t * 8 + i) * 64), i, StoreKind::Store);
+            }
+            m.tx_commit();
+        }
+        m.now()
+    };
+    let adr = run(false);
+    let bat = run(true);
+    assert!(
+        bat * 3 < adr * 2,
+        "battery commits should be substantially cheaper ({bat} vs {adr})"
+    );
+}
+
+#[test]
+fn repeated_commits_and_crashes_stay_consistent() {
+    let mut m = battery_tiny();
+    let mut expect = std::collections::BTreeMap::new();
+    for round in 0..6u64 {
+        for t in 0..8u64 {
+            m.tx_begin();
+            let a = PmAddr::new(0x10000 + ((round * 8 + t) % 64) * 64);
+            m.store_u64(a, round * 100 + t, StoreKind::Store);
+            m.tx_commit();
+            expect.insert(a.raw(), round * 100 + t);
+        }
+        m.crash();
+        m.recover();
+        for (&a, &v) in &expect {
+            assert_eq!(m.device().image().read_u64(PmAddr::new(a)), v, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! §V-C multi-threading: transactions of switched-out threads coexist
+//! with the running thread's transaction via the per-line 2-bit IDs,
+//! conflicts abort the switched-out victim, and crash recovery treats
+//! suspended transactions as unfinished.
+
+use slpmt_core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt_pmem::PmAddr;
+
+const A: PmAddr = PmAddr::new(0x10000);
+const B: PmAddr = PmAddr::new(0x20000);
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::for_scheme(Scheme::Slpmt))
+}
+
+#[test]
+fn two_threads_interleave_disjoint_transactions() {
+    let mut m = machine();
+    // Thread 1 starts a transaction, is switched out mid-way.
+    m.tx_begin();
+    m.store_u64(A, 1, StoreKind::Store);
+    let t1 = m.suspend_txn();
+    // Thread 2 runs a full transaction on disjoint data.
+    m.tx_begin();
+    m.store_u64(B, 2, StoreKind::Store);
+    m.tx_commit();
+    assert_eq!(m.device().image().read_u64(B), 2);
+    // Thread 1 resumes and completes.
+    m.resume_txn(t1);
+    m.store_u64(A.add(8), 11, StoreKind::Store);
+    m.tx_commit();
+    assert_eq!(m.device().image().read_u64(A), 1);
+    assert_eq!(m.device().image().read_u64(A.add(8)), 11);
+    assert_eq!(m.stats().tx_commits, 2);
+    assert_eq!(m.stats().suspended_aborts, 0);
+}
+
+#[test]
+fn conflicting_access_aborts_the_suspended_transaction() {
+    let mut m = machine();
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    let _t1 = m.suspend_txn();
+    // Thread 2 touches the same line: requester wins, thread 1 aborts.
+    m.tx_begin();
+    let v = m.load_u64(A);
+    assert_eq!(v, 5, "the aborted transaction's update is revoked");
+    m.store_u64(A, 7, StoreKind::Store);
+    m.tx_commit();
+    assert_eq!(m.stats().suspended_aborts, 1);
+    assert_eq!(m.device().image().read_u64(A), 7);
+}
+
+#[test]
+fn conflict_after_steal_repairs_the_image() {
+    // The suspended transaction's dirty line overflowed to PM before
+    // the conflict: the abort must apply the persisted undo records.
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt).with_tiny_caches());
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    for i in 0..512u64 {
+        m.load_u64(PmAddr::new(0x80000 + i * 64));
+    }
+    assert_eq!(m.device().image().read_u64(A), 99, "stolen");
+    let _t1 = m.suspend_txn();
+    m.tx_begin();
+    let v = m.load_u64(A);
+    assert_eq!(v, 5, "undo applied on conflict abort");
+    m.tx_commit();
+    assert_eq!(m.device().image().read_u64(A), 5);
+}
+
+#[test]
+fn crash_with_suspended_transaction_rolls_it_back() {
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt).with_tiny_caches());
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    for i in 0..512u64 {
+        m.store_u64(PmAddr::new(0x80000 + i * 64), i, StoreKind::Store);
+    }
+    let _t1 = m.suspend_txn();
+    m.tx_begin();
+    m.store_u64(B, 2, StoreKind::Store);
+    m.tx_commit();
+    m.crash();
+    m.recover();
+    assert_eq!(m.device().image().read_u64(A), 5, "suspended txn rolled back");
+    assert_eq!(m.device().image().read_u64(B), 2, "committed txn durable");
+}
+
+#[test]
+fn several_suspensions_round_robin() {
+    let mut m = machine();
+    let mut seqs = Vec::new();
+    for i in 0..3u64 {
+        m.tx_begin();
+        m.store_u64(PmAddr::new(0x10000 + i * 0x1000), i + 1, StoreKind::Store);
+        seqs.push(m.suspend_txn());
+    }
+    // Resume and commit in a scrambled order.
+    for &seq in [seqs[1], seqs[2], seqs[0]].iter() {
+        m.resume_txn(seq);
+        m.tx_commit();
+    }
+    for i in 0..3u64 {
+        assert_eq!(
+            m.device().image().read_u64(PmAddr::new(0x10000 + i * 0x1000)),
+            i + 1
+        );
+    }
+    assert_eq!(m.stats().tx_commits, 3);
+}
+
+#[test]
+#[should_panic(expected = "no suspended transaction")]
+fn resume_of_unknown_txn_rejected() {
+    let mut m = machine();
+    m.resume_txn(42);
+}
+
+#[test]
+#[should_panic(expected = "undo discipline")]
+fn redo_suspension_rejected() {
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo));
+    m.tx_begin();
+    m.store_u64(A, 1, StoreKind::Store);
+    m.suspend_txn();
+}
+
+#[test]
+fn four_contexts_is_the_hardware_limit() {
+    // 2-bit IDs: three suspended threads plus the running one exhaust
+    // the contexts.
+    let mut m = machine();
+    for i in 0..3u64 {
+        m.tx_begin();
+        m.store_u64(PmAddr::new(0x10000 + i * 0x1000), i, StoreKind::Store);
+        m.suspend_txn();
+    }
+    m.tx_begin(); // fourth context: OK
+    m.tx_commit();
+    // With the fourth committed clean, a new transaction fits again.
+    m.tx_begin();
+    m.tx_commit();
+}
+
+#[test]
+#[should_panic(expected = "transaction contexts are in use")]
+fn fifth_context_rejected() {
+    let mut m = machine();
+    for i in 0..4u64 {
+        m.tx_begin();
+        m.store_u64(PmAddr::new(0x10000 + i * 0x1000), i, StoreKind::Store);
+        m.suspend_txn();
+    }
+    m.tx_begin();
+}
+
+#[test]
+#[should_panic(expected = "battery-backed caches is unsupported")]
+fn battery_suspension_rejected() {
+    let mut m = Machine::new(
+        MachineConfig::for_scheme(Scheme::Slpmt).with_battery_backed_cache(),
+    );
+    m.tx_begin();
+    m.store_u64(A, 1, StoreKind::Store);
+    m.suspend_txn();
+}

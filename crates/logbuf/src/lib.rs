@@ -1,0 +1,34 @@
+//! On-core log buffers for hardware persistent-memory transactions.
+//!
+//! Three buffer designs are modelled, one per evaluated scheme family:
+//!
+//! * [`tiered::TieredLogBuffer`] — the paper's four-tier
+//!   buddy-coalescing buffer (§III-B2, Figure 6): tiers for word,
+//!   double-word, quad-word and full-line records (16/24/40/72 bytes on
+//!   media), eight records per tier, 1,216 bytes total. Adjacent
+//!   records coalesce upward on every insertion; full tiers drain as a
+//!   packed "pad" write.
+//! * [`atom::AtomLineBuffer`] — ATOM's (HPCA'17) buffer of up to eight
+//!   *cache-line-granularity* undo records, flushed together.
+//! * [`ede::EdeCombiner`] — EDE's (ISCA'21) bufferless path with a
+//!   single write-combining slot: word records to the same line merge,
+//!   any record to a different line (or a fence) emits the pending
+//!   record directly to the persistence domain.
+//!
+//! All three produce [`FlushEvent`]s — batches of
+//! [`LogFlushEntry`](slpmt_pmem::LogFlushEntry) plus the number of
+//! 64-byte WPQ slots the packed batch occupies — which `slpmt-core`
+//! forwards to the [`PmDevice`](slpmt_pmem::PmDevice).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod ede;
+pub mod record;
+pub mod tiered;
+
+pub use atom::AtomLineBuffer;
+pub use ede::EdeCombiner;
+pub use record::{packed_lines, FlushEvent, LogRecord};
+pub use tiered::TieredLogBuffer;

@@ -1,0 +1,232 @@
+//! Log records and flush events shared by all buffer designs.
+
+use slpmt_pmem::addr::{PmAddr, LINE_BYTES, WORD_BYTES};
+use slpmt_pmem::device::LogFlushEntry;
+
+/// An in-buffer log record: `payload.len()` bytes of pre-image starting
+/// at the word-aligned `addr`, owned by transaction `txn`.
+///
+/// Record sizes are powers of two between one word and one line; the
+/// media footprint is `payload + 8` bytes of address tag, i.e. the
+/// 16/24/40/72-byte formats of Figure 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Owning transaction sequence number.
+    pub txn: u64,
+    /// Word-aligned, size-aligned start address.
+    pub addr: PmAddr,
+    /// Pre-image bytes (1, 2, 4 or 8 words).
+    pub payload: Vec<u8>,
+}
+
+impl LogRecord {
+    /// Creates a record, validating alignment and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload length is not 8, 16, 32 or 64 bytes, or if
+    /// `addr` is not aligned to the payload length (buddy coalescing
+    /// relies on natural alignment).
+    pub fn new(txn: u64, addr: PmAddr, payload: Vec<u8>) -> Self {
+        let len = payload.len();
+        assert!(
+            matches!(len, 8 | 16 | 32 | 64),
+            "record payload must be 1, 2, 4 or 8 words, got {len} bytes"
+        );
+        assert!(
+            addr.raw().is_multiple_of(len as u64),
+            "record at {addr} must be naturally aligned to its {len}-byte size"
+        );
+        LogRecord { txn, addr, payload }
+    }
+
+    /// Number of words covered.
+    pub fn words(&self) -> usize {
+        self.payload.len() / WORD_BYTES
+    }
+
+    /// Media footprint in bytes (payload + 8-byte address tag).
+    pub fn media_bytes(&self) -> u64 {
+        self.payload.len() as u64 + 8
+    }
+
+    /// Address of the buddy record this one can coalesce with: the
+    /// neighbouring, equally-sized, naturally-aligned block.
+    pub fn buddy_addr(&self) -> PmAddr {
+        PmAddr::new(self.addr.raw() ^ self.payload.len() as u64)
+    }
+
+    /// Line containing this record (records never span lines).
+    pub fn line(&self) -> PmAddr {
+        self.addr.line()
+    }
+
+    /// Merges this record with its buddy into the next-size record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is not this record's buddy, differs in size or
+    /// transaction, or the records already span a full line.
+    pub fn merge(self, other: LogRecord) -> LogRecord {
+        assert_eq!(self.txn, other.txn, "cannot merge across transactions");
+        assert_eq!(
+            self.payload.len(),
+            other.payload.len(),
+            "buddies have equal size"
+        );
+        assert!(self.payload.len() < LINE_BYTES, "line records do not merge");
+        assert_eq!(other.addr, self.buddy_addr(), "not a buddy pair");
+        let (lo, hi) = if self.addr < other.addr {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut payload = lo.payload;
+        payload.extend_from_slice(&hi.payload);
+        LogRecord {
+            txn: lo.txn,
+            addr: lo.addr,
+            payload,
+        }
+    }
+
+    /// Converts into the device-level flush entry.
+    pub fn into_flush_entry(self) -> LogFlushEntry {
+        LogFlushEntry {
+            txn: self.txn,
+            addr: self.addr,
+            payload: self.payload,
+        }
+    }
+}
+
+/// A batch of records leaving a buffer for the persistence domain,
+/// packed pad-style into `lines` 64-byte WPQ slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushEvent {
+    /// Records in the batch.
+    pub entries: Vec<LogFlushEntry>,
+    /// WPQ slots the packed batch occupies.
+    pub lines: u64,
+}
+
+impl FlushEvent {
+    /// Total media bytes across the batch.
+    pub fn media_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.payload.len() as u64 + 8).sum()
+    }
+}
+
+/// Pad-style packing: the number of 64-byte lines needed for records
+/// totalling `media_bytes` bytes.
+///
+/// ```
+/// use slpmt_logbuf::packed_lines;
+/// assert_eq!(packed_lines(16), 1);
+/// assert_eq!(packed_lines(64), 1);
+/// assert_eq!(packed_lines(65), 2);
+/// assert_eq!(packed_lines(8 * 72), 9); // a full line tier
+/// ```
+pub fn packed_lines(media_bytes: u64) -> u64 {
+    media_bytes.div_ceil(LINE_BYTES as u64).max(1)
+}
+
+/// Builds a [`FlushEvent`] from records, computing the packing.
+pub fn flush_event(records: Vec<LogRecord>) -> FlushEvent {
+    let media: u64 = records.iter().map(LogRecord::media_bytes).sum();
+    FlushEvent {
+        lines: packed_lines(media),
+        entries: records.into_iter().map(LogRecord::into_flush_entry).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: u64, len: usize) -> LogRecord {
+        LogRecord::new(1, PmAddr::new(addr), vec![0xAA; len])
+    }
+
+    #[test]
+    fn media_sizes_match_figure6() {
+        assert_eq!(rec(0, 8).media_bytes(), 16);
+        assert_eq!(rec(0, 16).media_bytes(), 24);
+        assert_eq!(rec(0, 32).media_bytes(), 40);
+        assert_eq!(rec(0, 64).media_bytes(), 72);
+    }
+
+    #[test]
+    fn buddy_addresses() {
+        assert_eq!(rec(0, 8).buddy_addr(), PmAddr::new(8));
+        assert_eq!(rec(8, 8).buddy_addr(), PmAddr::new(0));
+        assert_eq!(rec(16, 16).buddy_addr(), PmAddr::new(0));
+        assert_eq!(rec(32, 32).buddy_addr(), PmAddr::new(0));
+    }
+
+    #[test]
+    fn merge_produces_next_size() {
+        let a = LogRecord::new(1, PmAddr::new(0), vec![1; 8]);
+        let b = LogRecord::new(1, PmAddr::new(8), vec![2; 8]);
+        let m = b.clone().merge(a.clone());
+        assert_eq!(m.addr, PmAddr::new(0));
+        assert_eq!(m.payload.len(), 16);
+        assert_eq!(&m.payload[..8], &[1; 8]);
+        assert_eq!(&m.payload[8..], &[2; 8]);
+        // Order independent.
+        let m2 = a.merge(b);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a buddy pair")]
+    fn non_buddy_merge_rejected() {
+        let a = rec(0, 8);
+        let c = rec(16, 8); // buddy of 24, not of 0
+        let _ = a.merge(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "across transactions")]
+    fn cross_txn_merge_rejected() {
+        let a = LogRecord::new(1, PmAddr::new(0), vec![0; 8]);
+        let b = LogRecord::new(2, PmAddr::new(8), vec![0; 8]);
+        let _ = a.merge(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "naturally aligned")]
+    fn misaligned_record_rejected() {
+        let _ = LogRecord::new(1, PmAddr::new(8), vec![0; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1, 2, 4 or 8 words")]
+    fn ragged_record_rejected() {
+        let _ = LogRecord::new(1, PmAddr::new(0), vec![0; 24]);
+    }
+
+    #[test]
+    fn packing_math() {
+        assert_eq!(packed_lines(1), 1);
+        assert_eq!(packed_lines(128), 2);
+        // Eight word records: 8 × 16 = 128 B → 2 lines (the word tier
+        // occupies two cache lines, §III-B2).
+        let ev = flush_event((0..8).map(|i| rec(i * 8, 8)).collect());
+        assert_eq!(ev.lines, 2);
+        assert_eq!(ev.media_bytes(), 128);
+        assert_eq!(ev.entries.len(), 8);
+    }
+
+    #[test]
+    fn tier_capacities_match_paper_sizes() {
+        // Figure 6 / §III-B2: tier sizes are lcm(record, 64) so each
+        // retains eight records — 2, 3, 5 and 9 cache lines.
+        assert_eq!(packed_lines(8 * 16), 2);
+        assert_eq!(packed_lines(8 * 24), 3);
+        assert_eq!(packed_lines(8 * 40), 5);
+        assert_eq!(packed_lines(8 * 72), 9);
+        // Total 1,216 bytes (§VI-B Table III "log buffer").
+        assert_eq!((2 + 3 + 5 + 9) * 64, 1216);
+    }
+}

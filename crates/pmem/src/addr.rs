@@ -1,0 +1,195 @@
+//! Persistent-memory addresses and geometry constants.
+//!
+//! The whole simulator shares one geometry, matching the paper's
+//! assumptions (§III-B): 64-byte cache lines divided into eight 8-byte
+//! words. [`PmAddr`] is a newtype over `u64` so that raw integers,
+//! word indices and byte offsets cannot be confused.
+
+use std::fmt;
+
+/// Bytes per cache line (fixed at 64, as in the paper).
+pub const LINE_BYTES: usize = 64;
+/// Bytes per word — the granularity of fine-grain logging (§III-B).
+pub const WORD_BYTES: usize = 8;
+/// Words per cache line (`64 / 8 = 8`); one L1 log bit covers one word.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / WORD_BYTES;
+/// Words per L2 log-bit group: L2 keeps one log bit per 32-byte half
+/// (§III-B1), i.e. each L2 bit covers four words.
+pub const WORDS_PER_L2_GROUP: usize = 4;
+/// Number of L2 log bits per line (`8 / 4 = 2`).
+pub const L2_GROUPS_PER_LINE: usize = WORDS_PER_LINE / WORDS_PER_L2_GROUP;
+
+/// A byte address within the simulated persistent-memory space.
+///
+/// `PmAddr` is `Copy` and ordered, so it can be used directly as a map
+/// key or sorted for deterministic iteration.
+///
+/// ```
+/// use slpmt_pmem::addr::PmAddr;
+/// let a = PmAddr::new(0x1238);
+/// assert_eq!(a.line().raw(), 0x1200);
+/// assert_eq!(a.word_in_line(), 7);
+/// assert_eq!(a.offset_in_line(), 0x38);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PmAddr(u64);
+
+impl PmAddr {
+    /// Wraps a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        PmAddr(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address of the cache line containing this byte.
+    pub const fn line(self) -> PmAddr {
+        PmAddr(self.0 & !(LINE_BYTES as u64 - 1))
+    }
+
+    /// `true` if this address is cache-line aligned.
+    pub const fn is_line_aligned(self) -> bool {
+        self.0.is_multiple_of(LINE_BYTES as u64)
+    }
+
+    /// `true` if this address is word (8-byte) aligned.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_BYTES as u64)
+    }
+
+    /// The address rounded down to its containing word.
+    pub const fn word(self) -> PmAddr {
+        PmAddr(self.0 & !(WORD_BYTES as u64 - 1))
+    }
+
+    /// Index (0..8) of the word containing this byte within its line.
+    pub const fn word_in_line(self) -> usize {
+        ((self.0 as usize) % LINE_BYTES) / WORD_BYTES
+    }
+
+    /// Index (0..2) of the 32-byte L2 log-bit group within its line.
+    pub const fn l2_group_in_line(self) -> usize {
+        self.word_in_line() / WORDS_PER_L2_GROUP
+    }
+
+    /// Byte offset (0..64) within the containing line.
+    pub const fn offset_in_line(self) -> usize {
+        (self.0 as usize) % LINE_BYTES
+    }
+
+    /// Address advanced by `bytes`.
+    #[must_use]
+    pub const fn add(self, bytes: u64) -> PmAddr {
+        PmAddr(self.0 + bytes)
+    }
+
+    /// Checked difference in bytes (`self - other`).
+    ///
+    /// Returns `None` when `other > self`.
+    pub fn byte_offset_from(self, other: PmAddr) -> Option<u64> {
+        self.0.checked_sub(other.0)
+    }
+}
+
+impl From<u64> for PmAddr {
+    fn from(raw: u64) -> Self {
+        PmAddr(raw)
+    }
+}
+
+impl From<PmAddr> for u64 {
+    fn from(addr: PmAddr) -> Self {
+        addr.0
+    }
+}
+
+impl fmt::Debug for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PmAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_are_consistent() {
+        assert_eq!(LINE_BYTES, WORDS_PER_LINE * WORD_BYTES);
+        assert_eq!(WORDS_PER_LINE, WORDS_PER_L2_GROUP * L2_GROUPS_PER_LINE);
+    }
+
+    #[test]
+    fn line_rounding() {
+        assert_eq!(PmAddr::new(0).line(), PmAddr::new(0));
+        assert_eq!(PmAddr::new(63).line(), PmAddr::new(0));
+        assert_eq!(PmAddr::new(64).line(), PmAddr::new(64));
+        assert_eq!(PmAddr::new(0x12345).line(), PmAddr::new(0x12340));
+    }
+
+    #[test]
+    fn word_indices() {
+        assert_eq!(PmAddr::new(0).word_in_line(), 0);
+        assert_eq!(PmAddr::new(8).word_in_line(), 1);
+        assert_eq!(PmAddr::new(56).word_in_line(), 7);
+        assert_eq!(PmAddr::new(63).word_in_line(), 7);
+        // The next line starts over.
+        assert_eq!(PmAddr::new(64).word_in_line(), 0);
+    }
+
+    #[test]
+    fn l2_groups() {
+        assert_eq!(PmAddr::new(0).l2_group_in_line(), 0);
+        assert_eq!(PmAddr::new(24).l2_group_in_line(), 0);
+        assert_eq!(PmAddr::new(32).l2_group_in_line(), 1);
+        assert_eq!(PmAddr::new(63).l2_group_in_line(), 1);
+    }
+
+    #[test]
+    fn alignment_predicates() {
+        assert!(PmAddr::new(0).is_line_aligned());
+        assert!(!PmAddr::new(8).is_line_aligned());
+        assert!(PmAddr::new(8).is_word_aligned());
+        assert!(!PmAddr::new(9).is_word_aligned());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = PmAddr::new(100);
+        assert_eq!(a.add(28).raw(), 128);
+        assert_eq!(a.add(28).byte_offset_from(a), Some(28));
+        assert_eq!(a.byte_offset_from(a.add(1)), None);
+    }
+
+    #[test]
+    fn conversions_and_formatting() {
+        let a: PmAddr = 0xff_u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0xff);
+        assert_eq!(format!("{a}"), "0xff");
+        assert_eq!(format!("{a:?}"), "PmAddr(0xff)");
+        assert_eq!(format!("{a:x}"), "ff");
+        assert_eq!(format!("{a:X}"), "FF");
+    }
+}

@@ -1,0 +1,108 @@
+//! Timing configuration, mirroring Table III of the paper.
+//!
+//! All latencies are stored in *core cycles* at the configured clock
+//! (2 GHz by default, so 1 ns = 2 cycles). The write-latency knob is
+//! the parameter swept by the Figure 12 sensitivity study (500 ns for
+//! Optane-like ADR memory up to 2300 ns for flash-backed CXL devices).
+
+/// Timing and sizing parameters of the simulated persistent memory.
+///
+/// The defaults reproduce Table III: a 2 GHz core, a 512-byte (eight
+/// 64-byte entries) write pending queue with 4 ns acceptance latency,
+/// 150 ns read latency and 500 ns write latency.
+///
+/// ```
+/// use slpmt_pmem::PmConfig;
+/// let c = PmConfig::default();
+/// assert_eq!(c.pm_write_cycles, 1000); // 500 ns at 2 GHz
+/// assert_eq!(c.wpq_entries, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PmConfig {
+    /// Core clock in MHz; used only to document cycle conversions.
+    pub clock_mhz: u64,
+    /// PM medium read latency in cycles (150 ns → 300 cycles).
+    pub pm_read_cycles: u64,
+    /// PM medium write latency in cycles per 64-byte line drained from
+    /// the WPQ (500 ns → 1000 cycles). Figure 12 sweeps this value.
+    pub pm_write_cycles: u64,
+    /// Latency for the WPQ to accept a line when a slot is free
+    /// (4 ns → 8 cycles).
+    pub wpq_accept_cycles: u64,
+    /// Number of 64-byte WPQ entries (512 bytes total → 8 entries).
+    pub wpq_entries: usize,
+    /// Capacity of the simulated persistent address space in bytes.
+    pub pm_capacity: u64,
+}
+
+impl PmConfig {
+    /// Nanosecond-to-cycle conversion at the configured clock.
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        ns * self.clock_mhz / 1000
+    }
+
+    /// Returns a copy with the PM write latency set to `ns` nanoseconds,
+    /// the Figure 12 sweep knob.
+    #[must_use]
+    pub fn with_write_latency_ns(mut self, ns: u64) -> Self {
+        self.pm_write_cycles = self.ns_to_cycles(ns);
+        self
+    }
+
+    /// Returns a copy with the given persistent capacity in bytes.
+    #[must_use]
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.pm_capacity = bytes;
+        self
+    }
+}
+
+impl Default for PmConfig {
+    fn default() -> Self {
+        let clock_mhz = 2000; // 2 GHz (Table III)
+        PmConfig {
+            clock_mhz,
+            pm_read_cycles: 150 * clock_mhz / 1000,  // 150 ns
+            pm_write_cycles: 500 * clock_mhz / 1000, // 500 ns
+            wpq_accept_cycles: 4 * clock_mhz / 1000, // 4 ns
+            wpq_entries: 8,                          // 512 B / 64 B
+            pm_capacity: 64 << 20,                   // 64 MiB is ample for YCSB-load
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iii() {
+        let c = PmConfig::default();
+        assert_eq!(c.clock_mhz, 2000);
+        assert_eq!(c.pm_read_cycles, 300);
+        assert_eq!(c.pm_write_cycles, 1000);
+        assert_eq!(c.wpq_accept_cycles, 8);
+        assert_eq!(c.wpq_entries, 8);
+    }
+
+    #[test]
+    fn ns_conversion() {
+        let c = PmConfig::default();
+        assert_eq!(c.ns_to_cycles(1), 2);
+        assert_eq!(c.ns_to_cycles(2300), 4600);
+    }
+
+    #[test]
+    fn write_latency_sweep() {
+        let c = PmConfig::default().with_write_latency_ns(2300);
+        assert_eq!(c.pm_write_cycles, 4600);
+        // Other fields untouched.
+        assert_eq!(c.pm_read_cycles, 300);
+    }
+
+    #[test]
+    fn capacity_builder() {
+        let c = PmConfig::default().with_capacity(1 << 20);
+        assert_eq!(c.pm_capacity, 1 << 20);
+    }
+}

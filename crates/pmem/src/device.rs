@@ -1,0 +1,333 @@
+//! The persistent-memory device: durable image + WPQ + accounting.
+//!
+//! [`PmDevice`] is the single point through which the simulated CPU
+//! persists anything. Every persist is timed through the
+//! [write pending queue](crate::wpq) and counted in
+//! [`crate::stats::WriteTraffic`]; log-record persists
+//! are additionally recorded in the durable [`LogRegion`] so that
+//! crash recovery sees exactly what reached the persistence domain.
+
+use crate::addr::{PmAddr, LINE_BYTES};
+use crate::config::PmConfig;
+use crate::log_region::LogRegion;
+use crate::space::PmSpace;
+use crate::stats::WriteTraffic;
+use crate::wpq::WritePendingQueue;
+
+/// One entry of the device's persist-event trace, in acceptance order.
+/// Tests use the trace to assert persist-ordering disciplines
+/// (Figure 4): e.g. that a logged line's undo records are accepted
+/// before the line's data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistEvent {
+    /// A data cache line was accepted by the WPQ.
+    DataLine {
+        /// Line address.
+        addr: PmAddr,
+    },
+    /// A log record was accepted (atomically with its pack).
+    LogRecord {
+        /// Owning transaction.
+        txn: u64,
+        /// Record start address.
+        addr: PmAddr,
+        /// Record length in bytes.
+        len: usize,
+    },
+    /// A commit marker became durable.
+    CommitMarker {
+        /// Committed transaction.
+        txn: u64,
+    },
+}
+
+/// A log record queued for a packed flush; see
+/// [`PmDevice::persist_log_pack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogFlushEntry {
+    /// Owning transaction sequence number.
+    pub txn: u64,
+    /// Word-aligned address the record covers.
+    pub addr: PmAddr,
+    /// Record payload bytes (a whole number of words).
+    pub payload: Vec<u8>,
+}
+
+/// The simulated persistent-memory device.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct PmDevice {
+    config: PmConfig,
+    image: PmSpace,
+    wpq: WritePendingQueue,
+    traffic: WriteTraffic,
+    log: LogRegion,
+    /// Byte offset of the sequential log-area tail. Log appends pack
+    /// into 64-byte media lines; bytes landing in the line already in
+    /// flight at the tail are absorbed for free.
+    log_tail: u64,
+    /// Persist events in acceptance order (survives crash — the trace
+    /// records what reached the persistence domain).
+    events: Vec<PersistEvent>,
+}
+
+impl PmDevice {
+    /// Creates a device with the given configuration.
+    pub fn new(config: PmConfig) -> Self {
+        let image = PmSpace::new(config.pm_capacity);
+        let wpq = WritePendingQueue::new(
+            config.wpq_entries,
+            config.pm_write_cycles,
+            config.wpq_accept_cycles,
+        );
+        PmDevice {
+            config,
+            image,
+            wpq,
+            traffic: WriteTraffic::new(),
+            log: LogRegion::new(),
+            log_tail: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The persist-event trace, in acceptance order.
+    pub fn events(&self) -> &[PersistEvent] {
+        &self.events
+    }
+
+    /// Appends `bytes` to the sequential log area, returning how many
+    /// *new* 64-byte media lines the append touches (0 when fully
+    /// absorbed by the in-flight tail line).
+    fn log_append_lines(&mut self, bytes: u64) -> u64 {
+        let line = LINE_BYTES as u64;
+        let before = self.log_tail.div_ceil(line);
+        self.log_tail += bytes;
+        self.log_tail.div_ceil(line) - before
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &PmConfig {
+        &self.config
+    }
+
+    /// Read latency in cycles for a miss served by the PM medium.
+    pub fn read_cycles(&self) -> u64 {
+        self.config.pm_read_cycles
+    }
+
+    /// The durable image (crash-visible state).
+    pub fn image(&self) -> &PmSpace {
+        &self.image
+    }
+
+    /// Mutable access to the durable image for *out-of-band* setup
+    /// (e.g. pre-populating a heap before measurement). Accesses through
+    /// this method are neither timed nor counted.
+    pub fn image_mut(&mut self) -> &mut PmSpace {
+        &mut self.image
+    }
+
+    /// The durable log region.
+    pub fn log(&self) -> &LogRegion {
+        &self.log
+    }
+
+    /// Mutable access to the log region (used by recovery to truncate).
+    pub fn log_mut(&mut self) -> &mut LogRegion {
+        &mut self.log
+    }
+
+    /// Accumulated write traffic.
+    pub fn traffic(&self) -> &WriteTraffic {
+        &self.traffic
+    }
+
+    /// Total cycles requesters stalled on a full WPQ.
+    pub fn wpq_stall_cycles(&self) -> u64 {
+        self.wpq.total_stall_cycles()
+    }
+
+    /// Cycle by which everything queued so far has drained.
+    pub fn drained_by(&self, now: u64) -> u64 {
+        self.wpq.drained_by(now)
+    }
+
+    /// Persists one 64-byte data line at time `now`; the line becomes
+    /// durable (ADR) once accepted. Returns the acceptance cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned.
+    pub fn persist_line(&mut self, now: u64, addr: PmAddr, data: &[u8; LINE_BYTES]) -> u64 {
+        let push = self.wpq.push(now);
+        self.image.write_line(addr, data);
+        self.traffic.count_data_line();
+        self.events.push(PersistEvent::DataLine { addr });
+        push.accepted_at
+    }
+
+    /// Persists a *pack* of log records: the record bytes append to
+    /// the sequential log area and occupy however many new media lines
+    /// the tail crosses (possibly zero, when absorbed by the in-flight
+    /// tail line). Records become durable atomically with acceptance.
+    /// Returns the acceptance cycle of the final slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn persist_log_pack(&mut self, now: u64, entries: Vec<LogFlushEntry>) -> u64 {
+        assert!(!entries.is_empty(), "empty log pack");
+        let mut bytes = 0;
+        let records = entries.len() as u64;
+        for e in entries {
+            bytes += e.payload.len() as u64 + 8;
+            self.events.push(PersistEvent::LogRecord {
+                txn: e.txn,
+                addr: e.addr,
+                len: e.payload.len(),
+            });
+            self.log.append(e.txn, e.addr, e.payload);
+        }
+        let lines = self.log_append_lines(bytes);
+        let mut accepted = now;
+        for _ in 0..lines {
+            accepted = self.wpq.push(accepted).accepted_at;
+        }
+        self.traffic.count_log_flush(records, bytes, lines);
+        accepted
+    }
+
+    /// Persists the commit marker of transaction `txn` (an 8-byte
+    /// record appended to the log tail). Returns the acceptance cycle.
+    pub fn persist_commit_marker(&mut self, now: u64, txn: u64) -> u64 {
+        self.events.push(PersistEvent::CommitMarker { txn });
+        self.log.mark_committed(txn);
+        let lines = self.log_append_lines(8);
+        let mut accepted = now;
+        for _ in 0..lines {
+            accepted = self.wpq.push(accepted).accepted_at;
+        }
+        self.traffic.count_log_flush(1, 8, lines);
+        accepted
+    }
+
+    /// Updates the PM write latency (Figure 12 sweep) mid-model.
+    pub fn set_write_latency_cycles(&mut self, cycles: u64) {
+        self.config.pm_write_cycles = cycles;
+        self.wpq.set_write_cycles(cycles);
+    }
+
+    /// Simulates a power failure: the WPQ drains (ADR), caches are lost
+    /// by the caller. The durable image and log region are the surviving
+    /// state; the queue model is reset for the post-recovery run.
+    pub fn crash(&mut self) {
+        // Everything accepted by the WPQ already updated `image`, so
+        // draining needs no data movement here.
+        self.wpq.reset();
+    }
+
+    /// Consumes the device returning its durable state (image and log).
+    pub fn into_durable_state(self) -> (PmSpace, LogRegion) {
+        (self.image, self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> PmDevice {
+        PmDevice::new(PmConfig::default().with_capacity(1 << 20))
+    }
+
+    #[test]
+    fn persist_line_updates_image_and_traffic() {
+        let mut d = dev();
+        let t = d.persist_line(0, PmAddr::new(128), &[9u8; 64]);
+        assert_eq!(t, 8); // accept latency
+        assert_eq!(d.image().read_u64(PmAddr::new(128)), 0x0909090909090909);
+        assert_eq!(d.traffic().data_lines, 1);
+        assert_eq!(d.traffic().data_bytes, 64);
+    }
+
+    #[test]
+    fn log_pack_records_and_counts() {
+        let mut d = dev();
+        let entries = vec![
+            LogFlushEntry {
+                txn: 7,
+                addr: PmAddr::new(0),
+                payload: vec![1; 8],
+            },
+            LogFlushEntry {
+                txn: 7,
+                addr: PmAddr::new(8),
+                payload: vec![2; 8],
+            },
+        ];
+        d.persist_log_pack(0, entries);
+        assert_eq!(d.log().records_of(7).count(), 2);
+        assert_eq!(d.traffic().log_records, 2);
+        assert_eq!(d.traffic().log_bytes, 32); // 2 × (8 payload + 8 addr)
+        assert_eq!(d.traffic().wpq_lines, 1);
+    }
+
+    #[test]
+    fn commit_marker_marks_txn() {
+        let mut d = dev();
+        assert!(!d.log().is_committed(3));
+        d.persist_commit_marker(0, 3);
+        assert!(d.log().is_committed(3));
+        assert_eq!(d.traffic().log_bytes, 8);
+        // An 8-byte marker from an empty tail opens one media line;
+        // the next marker is absorbed by it.
+        assert_eq!(d.traffic().wpq_lines, 1);
+        d.persist_commit_marker(0, 4);
+        assert_eq!(d.traffic().wpq_lines, 1);
+    }
+
+    #[test]
+    fn wpq_backpressure_visible_through_device() {
+        let mut d = dev();
+        let mut t = 0;
+        // Fill the queue then keep pushing; later pushes must stall.
+        for _ in 0..32 {
+            t = d.persist_line(t, PmAddr::new(0), &[0u8; 64]);
+        }
+        assert!(d.wpq_stall_cycles() > 0, "sustained persists must stall");
+    }
+
+    #[test]
+    fn out_of_band_setup_is_free() {
+        let mut d = dev();
+        d.image_mut().write_u64(PmAddr::new(0), 42);
+        assert_eq!(d.traffic().total_bytes(), 0);
+        assert_eq!(d.image().read_u64(PmAddr::new(0)), 42);
+    }
+
+    #[test]
+    fn crash_preserves_image_and_log() {
+        let mut d = dev();
+        d.persist_line(0, PmAddr::new(0), &[1u8; 64]);
+        d.persist_commit_marker(10, 1);
+        d.crash();
+        assert_eq!(d.image().read_u64(PmAddr::new(0)), 0x0101010101010101);
+        assert!(d.log().is_committed(1));
+    }
+
+    #[test]
+    fn latency_update_applies() {
+        let mut d = dev();
+        d.set_write_latency_cycles(4600);
+        assert_eq!(d.config().pm_write_cycles, 4600);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty log pack")]
+    fn empty_pack_rejected() {
+        let mut d = dev();
+        d.persist_log_pack(0, vec![]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Persistent-memory device model for the SLPMT simulator.
+//!
+//! This crate provides the *memory side* of the simulated machine:
+//!
+//! * [`addr`] — strongly-typed persistent-memory addresses and the
+//!   line/word geometry shared by the whole simulator (64-byte cache
+//!   lines, 8-byte words).
+//! * [`config`] — timing parameters mirroring Table III of the paper
+//!   (2 GHz core, 150 ns PM read, 500 ns PM write, 512-byte write
+//!   pending queue with 4 ns acceptance latency).
+//! * [`space`] — the byte-addressable persistent image: the state that
+//!   survives a simulated crash.
+//! * [`wpq`] — Intel-ADR-style *write pending queue*: data is durable
+//!   once accepted by the queue, which drains serially to the PM medium
+//!   and exerts backpressure when full.
+//! * [`device`] — [`device::PmDevice`], tying image + WPQ +
+//!   traffic accounting together.
+//! * [`heap`] — a first-fit persistent heap allocator used by the
+//!   durable data-structure workloads, with the mark/rebuild interface
+//!   the post-crash garbage collector needs (paper §IV-B, Pattern 1).
+//! * [`log_region`] — the undo/redo log area layout: per-transaction
+//!   record sequences and commit markers, as persisted through the WPQ.
+//! * [`stats`] — write-traffic counters split into data vs. log bytes,
+//!   the quantity behind Figures 8, 9 and 11 of the paper.
+//!
+//! The device model is deliberately a *cost-attribution* simulator
+//! rather than a full out-of-order pipeline: the paper's results are
+//! first-order functions of PM write traffic and persist-ordering
+//! stalls, both of which this crate models directly (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use slpmt_pmem::{config::PmConfig, device::PmDevice, addr::PmAddr};
+//!
+//! let mut dev = PmDevice::new(PmConfig::default());
+//! let line = PmAddr::new(0x1000);
+//! // Persist one cache line worth of data at simulated time 0.
+//! dev.persist_line(0, line, &[0xAB; 64]);
+//! assert_eq!(dev.image().read_u64(PmAddr::new(0x1000)), 0xABAB_ABAB_ABAB_ABABu64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod device;
+pub mod heap;
+pub mod log_region;
+pub mod space;
+pub mod stats;
+pub mod wpq;
+
+pub use addr::{PmAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use config::PmConfig;
+pub use device::PmDevice;
+pub use heap::PmHeap;
+pub use device::{LogFlushEntry, PersistEvent};
+pub use log_region::{LogRegion, PersistedRecord};
+pub use space::PmSpace;
+pub use stats::WriteTraffic;
+pub use wpq::WritePendingQueue;

@@ -1,0 +1,262 @@
+//! Durable log-area layout.
+//!
+//! The transaction engine persists log records (after coalescing and
+//! packing) into a dedicated region of persistent memory. This module
+//! models the *content* of that region: the sequence of records that
+//! actually reached the persistence domain, plus per-transaction commit
+//! markers. Post-crash recovery walks this region — applying undo
+//! records of unfinished transactions in reverse order (or redo records
+//! of committed ones forward).
+//!
+//! Byte-level placement inside the region is not needed for recovery
+//! correctness; traffic accounting for record bytes happens in
+//! [`crate::stats::WriteTraffic`] where packing into 64-byte WPQ slots
+//! is counted.
+
+use crate::addr::PmAddr;
+use std::collections::BTreeSet;
+
+/// One log record as persisted: the image of `payload.len()` bytes at
+/// `addr` (the *old* value for undo logging, the *new* value for redo).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedRecord {
+    /// Global sequence number of the owning transaction.
+    pub txn: u64,
+    /// Word-aligned start address the record covers.
+    pub addr: PmAddr,
+    /// Logged bytes (8 for a word record up to 64 for a line record).
+    pub payload: Vec<u8>,
+}
+
+impl PersistedRecord {
+    /// On-media size of the record: payload plus an 8-byte address tag,
+    /// matching the 16/24/40/72-byte record formats of Figure 6.
+    pub fn media_bytes(&self) -> u64 {
+        self.payload.len() as u64 + 8
+    }
+}
+
+/// The durable undo/redo log region.
+///
+/// Only records that really persisted (accepted by the WPQ) may be
+/// appended, so the region's content *is* the crash-visible log.
+///
+/// ```
+/// use slpmt_pmem::{LogRegion, PmAddr};
+/// let mut log = LogRegion::new();
+/// log.append(1, PmAddr::new(64), vec![0u8; 8]);
+/// assert_eq!(log.records_of(1).count(), 1);
+/// assert!(!log.is_committed(1));
+/// log.mark_committed(1);
+/// assert!(log.is_committed(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogRegion {
+    records: Vec<PersistedRecord>,
+    committed: BTreeSet<u64>,
+    bytes_appended: u64,
+}
+
+impl LogRegion {
+    /// Creates an empty log region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a persisted record for transaction `txn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is empty or `addr` is not word-aligned —
+    /// hardware only emits word-multiple records (Figure 6).
+    pub fn append(&mut self, txn: u64, addr: PmAddr, payload: Vec<u8>) {
+        assert!(!payload.is_empty(), "empty log record");
+        assert!(addr.is_word_aligned(), "log record must be word-aligned");
+        assert!(
+            payload.len().is_multiple_of(crate::addr::WORD_BYTES),
+            "log payload must be a whole number of words"
+        );
+        let rec = PersistedRecord { txn, addr, payload };
+        self.bytes_appended += rec.media_bytes();
+        self.records.push(rec);
+    }
+
+    /// Marks transaction `txn` committed (its commit marker persisted).
+    pub fn mark_committed(&mut self, txn: u64) {
+        self.committed.insert(txn);
+    }
+
+    /// Whether a commit marker for `txn` is durable.
+    pub fn is_committed(&self, txn: u64) -> bool {
+        self.committed.contains(&txn)
+    }
+
+    /// All records, in persist order.
+    pub fn records(&self) -> &[PersistedRecord] {
+        &self.records
+    }
+
+    /// Records belonging to transaction `txn`, in persist order.
+    pub fn records_of(&self, txn: u64) -> impl Iterator<Item = &PersistedRecord> {
+        self.records.iter().filter(move |r| r.txn == txn)
+    }
+
+    /// Records of transactions that have **no** durable commit marker,
+    /// in *reverse* persist order — the order undo recovery applies them.
+    pub fn uncommitted_rev(&self) -> impl Iterator<Item = &PersistedRecord> {
+        self.records
+            .iter()
+            .rev()
+            .filter(move |r| !self.committed.contains(&r.txn))
+    }
+
+    /// Total bytes appended (records incl. metadata), an audit value.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Drops records of committed transactions (log truncation after a
+    /// successful commit). Commit markers for truncated transactions are
+    /// retained so recovery can still distinguish them.
+    pub fn truncate_committed(&mut self) {
+        let committed = &self.committed;
+        self.records.retain(|r| !committed.contains(&r.txn));
+    }
+
+    /// Removes every record of transaction `txn` (an abort persisted
+    /// its revocations, so the records must never be replayed by a
+    /// later recovery). Returns how many records were dropped.
+    pub fn drop_txn(&mut self, txn: u64) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| r.txn != txn);
+        before - self.records.len()
+    }
+
+    /// Transactions with durable commit markers, in sequence order.
+    pub fn committed_txns(&self) -> impl Iterator<Item = u64> + '_ {
+        self.committed.iter().copied()
+    }
+
+    /// Empties the region entirely — records *and* markers. Used when
+    /// recovery finishes and a new log epoch begins.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.committed.clear();
+    }
+
+    /// Number of live records in the region.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec_addrs<'a>(it: impl Iterator<Item = &'a PersistedRecord>) -> Vec<u64> {
+        it.map(|r| r.addr.raw()).collect()
+    }
+
+    #[test]
+    fn media_bytes_match_figure6() {
+        // word / double / quad / line records: 16 / 24(32?) — Figure 6
+        // gives 16, 24, 40, 72; payload+8 matches 16 (8B), 40 (32B), 72 (64B).
+        // The 24-byte double-word record is payload 16 + 8.
+        let w = PersistedRecord {
+            txn: 0,
+            addr: PmAddr::new(0),
+            payload: vec![0; 8],
+        };
+        assert_eq!(w.media_bytes(), 16);
+        let d = PersistedRecord {
+            txn: 0,
+            addr: PmAddr::new(0),
+            payload: vec![0; 16],
+        };
+        assert_eq!(d.media_bytes(), 24);
+        let q = PersistedRecord {
+            txn: 0,
+            addr: PmAddr::new(0),
+            payload: vec![0; 32],
+        };
+        assert_eq!(q.media_bytes(), 40);
+        let l = PersistedRecord {
+            txn: 0,
+            addr: PmAddr::new(0),
+            payload: vec![0; 64],
+        };
+        assert_eq!(l.media_bytes(), 72);
+    }
+
+    #[test]
+    fn append_and_query() {
+        let mut log = LogRegion::new();
+        log.append(1, PmAddr::new(0), vec![1; 8]);
+        log.append(2, PmAddr::new(64), vec![2; 8]);
+        log.append(1, PmAddr::new(8), vec![3; 8]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(rec_addrs(log.records_of(1)), vec![0, 8]);
+        assert_eq!(log.bytes_appended(), 48);
+    }
+
+    #[test]
+    fn uncommitted_rev_order_and_filter() {
+        let mut log = LogRegion::new();
+        log.append(1, PmAddr::new(0), vec![1; 8]);
+        log.append(1, PmAddr::new(8), vec![2; 8]);
+        log.append(2, PmAddr::new(64), vec![3; 8]);
+        log.mark_committed(2);
+        assert_eq!(rec_addrs(log.uncommitted_rev()), vec![8, 0]);
+    }
+
+    #[test]
+    fn truncation_keeps_uncommitted() {
+        let mut log = LogRegion::new();
+        log.append(1, PmAddr::new(0), vec![1; 8]);
+        log.append(2, PmAddr::new(64), vec![2; 8]);
+        log.mark_committed(1);
+        log.truncate_committed();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].txn, 2);
+        assert!(log.is_committed(1), "marker survives truncation");
+    }
+
+    #[test]
+    fn drop_txn_removes_only_that_txn() {
+        let mut log = LogRegion::new();
+        log.append(1, PmAddr::new(0), vec![1; 8]);
+        log.append(2, PmAddr::new(64), vec![2; 8]);
+        log.append(1, PmAddr::new(8), vec![3; 8]);
+        assert_eq!(log.drop_txn(1), 2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].txn, 2);
+        assert_eq!(log.drop_txn(9), 0);
+    }
+
+    #[test]
+    fn empty_region() {
+        let log = LogRegion::new();
+        assert!(log.is_empty());
+        assert_eq!(log.uncommitted_rev().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_record_rejected() {
+        let mut log = LogRegion::new();
+        log.append(1, PmAddr::new(3), vec![0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of words")]
+    fn ragged_payload_rejected() {
+        let mut log = LogRegion::new();
+        log.append(1, PmAddr::new(0), vec![0; 5]);
+    }
+}

@@ -1,0 +1,216 @@
+//! The byte-addressable persistent image.
+//!
+//! [`PmSpace`] holds the bytes that are *durable*: what a simulated
+//! crash preserves. The cache hierarchy holds newer, volatile copies of
+//! lines; data only enters the image when it is persisted through the
+//! write pending queue (Intel ADR semantics — reaching the WPQ counts
+//! as durable, and the WPQ itself drains on power failure).
+//!
+//! Storage is a sparse map of 64-byte frames so that a 64-MiB address
+//! space costs memory proportional to its touched footprint only.
+
+use crate::addr::{PmAddr, LINE_BYTES};
+use std::collections::HashMap;
+
+/// The durable byte image of the persistent-memory device.
+///
+/// Reads of never-written bytes return zero, matching a zero-initialised
+/// device.
+///
+/// ```
+/// use slpmt_pmem::{PmSpace, PmAddr};
+/// let mut s = PmSpace::new(1 << 20);
+/// s.write_u64(PmAddr::new(64), 0xDEAD_BEEF);
+/// assert_eq!(s.read_u64(PmAddr::new(64)), 0xDEAD_BEEF);
+/// assert_eq!(s.read_u64(PmAddr::new(128)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PmSpace {
+    frames: HashMap<u64, [u8; LINE_BYTES]>,
+    capacity: u64,
+}
+
+impl PmSpace {
+    /// Creates an empty (all-zero) space of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        PmSpace {
+            frames: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of distinct cache-line frames ever written.
+    pub fn touched_lines(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn check(&self, addr: PmAddr, len: usize) {
+        assert!(
+            addr.raw() + len as u64 <= self.capacity,
+            "PM access out of range: {addr} + {len} > capacity {}",
+            self.capacity
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity.
+    pub fn read(&self, addr: PmAddr, buf: &mut [u8]) {
+        self.check(addr, buf.len());
+        let mut cursor = addr.raw();
+        let mut filled = 0;
+        while filled < buf.len() {
+            let line = cursor & !(LINE_BYTES as u64 - 1);
+            let off = (cursor - line) as usize;
+            let take = (LINE_BYTES - off).min(buf.len() - filled);
+            match self.frames.get(&line) {
+                Some(frame) => buf[filled..filled + take].copy_from_slice(&frame[off..off + take]),
+                None => buf[filled..filled + take].fill(0),
+            }
+            filled += take;
+            cursor += take as u64;
+        }
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity.
+    pub fn write(&mut self, addr: PmAddr, data: &[u8]) {
+        self.check(addr, data.len());
+        let mut cursor = addr.raw();
+        let mut written = 0;
+        while written < data.len() {
+            let line = cursor & !(LINE_BYTES as u64 - 1);
+            let off = (cursor - line) as usize;
+            let take = (LINE_BYTES - off).min(data.len() - written);
+            let frame = self.frames.entry(line).or_insert([0; LINE_BYTES]);
+            frame[off..off + take].copy_from_slice(&data[written..written + take]);
+            written += take;
+            cursor += take as u64;
+        }
+    }
+
+    /// Reads one 8-byte little-endian word at a word-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned or out of range.
+    pub fn read_u64(&self, addr: PmAddr) -> u64 {
+        assert!(addr.is_word_aligned(), "unaligned word read at {addr}");
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes one 8-byte little-endian word at a word-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned or out of range.
+    pub fn write_u64(&mut self, addr: PmAddr, value: u64) {
+        assert!(addr.is_word_aligned(), "unaligned word write at {addr}");
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a whole 64-byte line at a line-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned or out of range.
+    pub fn read_line(&self, addr: PmAddr) -> [u8; LINE_BYTES] {
+        assert!(addr.is_line_aligned(), "unaligned line read at {addr}");
+        self.check(addr, LINE_BYTES);
+        self.frames
+            .get(&addr.raw())
+            .copied()
+            .unwrap_or([0; LINE_BYTES])
+    }
+
+    /// Writes a whole 64-byte line at a line-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned or out of range.
+    pub fn write_line(&mut self, addr: PmAddr, data: &[u8; LINE_BYTES]) {
+        assert!(addr.is_line_aligned(), "unaligned line write at {addr}");
+        self.check(addr, LINE_BYTES);
+        self.frames.insert(addr.raw(), *data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let s = PmSpace::new(1 << 16);
+        assert_eq!(s.read_u64(PmAddr::new(0)), 0);
+        assert_eq!(s.read_line(PmAddr::new(1024)), [0u8; 64]);
+        assert_eq!(s.touched_lines(), 0);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut s = PmSpace::new(1 << 16);
+        s.write_u64(PmAddr::new(8), 42);
+        s.write_u64(PmAddr::new(16), u64::MAX);
+        assert_eq!(s.read_u64(PmAddr::new(8)), 42);
+        assert_eq!(s.read_u64(PmAddr::new(16)), u64::MAX);
+        // Neighbours untouched.
+        assert_eq!(s.read_u64(PmAddr::new(0)), 0);
+        assert_eq!(s.read_u64(PmAddr::new(24)), 0);
+    }
+
+    #[test]
+    fn cross_line_write_and_read() {
+        let mut s = PmSpace::new(1 << 16);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        s.write(PmAddr::new(30), &data);
+        let mut back = vec![0u8; 200];
+        s.read(PmAddr::new(30), &mut back);
+        assert_eq!(back, data);
+        assert_eq!(s.touched_lines(), 4); // bytes 30..230 span lines 0..=3
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let mut s = PmSpace::new(1 << 16);
+        let line = [7u8; 64];
+        s.write_line(PmAddr::new(128), &line);
+        assert_eq!(s.read_line(PmAddr::new(128)), line);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn capacity_enforced() {
+        let mut s = PmSpace::new(128);
+        s.write_u64(PmAddr::new(128), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_word_rejected() {
+        let s = PmSpace::new(1 << 16);
+        let _ = s.read_u64(PmAddr::new(3));
+    }
+
+    #[test]
+    fn clone_is_snapshot() {
+        let mut s = PmSpace::new(1 << 16);
+        s.write_u64(PmAddr::new(0), 1);
+        let snap = s.clone();
+        s.write_u64(PmAddr::new(0), 2);
+        assert_eq!(snap.read_u64(PmAddr::new(0)), 1);
+        assert_eq!(s.read_u64(PmAddr::new(0)), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Write-traffic accounting.
+//!
+//! The paper's headline memory metric (Figures 8 right, 9 right, 11) is
+//! *persistent-memory write traffic*, split into data-line bytes and
+//! log bytes. [`WriteTraffic`] accumulates both along with event counts
+//! useful for the ablation benches.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Byte and event counters for traffic into the persistence domain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteTraffic {
+    /// Bytes of *data* cache lines persisted.
+    pub data_bytes: u64,
+    /// Bytes of *log* records persisted (including record metadata).
+    pub log_bytes: u64,
+    /// Number of data cache lines persisted.
+    pub data_lines: u64,
+    /// Number of log records persisted.
+    pub log_records: u64,
+    /// Number of 64-byte WPQ slots consumed (lines occupied, after
+    /// packing log records into lines).
+    pub wpq_lines: u64,
+}
+
+impl WriteTraffic {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total payload bytes written into the persistence domain.
+    pub fn total_bytes(&self) -> u64 {
+        self.data_bytes + self.log_bytes
+    }
+
+    /// Bytes actually written to the PM medium: the WPQ drains whole
+    /// 64-byte lines, so a sparse log record still costs a full line.
+    /// This is the "write traffic" metric of Figures 8, 9 and 11 —
+    /// it is what makes unpacked (EDE) or line-granularity (ATOM)
+    /// logging *more* expensive than the paper's packed word records.
+    pub fn media_bytes(&self) -> u64 {
+        self.wpq_lines * crate::addr::LINE_BYTES as u64
+    }
+
+    /// Records the persist of one full data line.
+    pub fn count_data_line(&mut self) {
+        self.data_bytes += crate::addr::LINE_BYTES as u64;
+        self.data_lines += 1;
+        self.wpq_lines += 1;
+    }
+
+    /// Records the persist of `records` log records totalling `bytes`
+    /// of payload+metadata, packed into `lines` WPQ slots.
+    pub fn count_log_flush(&mut self, records: u64, bytes: u64, lines: u64) {
+        self.log_records += records;
+        self.log_bytes += bytes;
+        self.wpq_lines += lines;
+    }
+
+    /// Fractional reduction of this traffic's *media* bytes relative
+    /// to a `baseline` (`1 - self/baseline`), the quantity plotted in
+    /// Figures 8 and 11. Negative when this scheme writes more.
+    ///
+    /// Returns 0 when the baseline is zero.
+    pub fn reduction_vs(&self, baseline: &WriteTraffic) -> f64 {
+        let base = baseline.media_bytes();
+        if base == 0 {
+            return 0.0;
+        }
+        1.0 - self.media_bytes() as f64 / base as f64
+    }
+}
+
+impl Add for WriteTraffic {
+    type Output = WriteTraffic;
+    fn add(mut self, rhs: WriteTraffic) -> WriteTraffic {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for WriteTraffic {
+    fn add_assign(&mut self, rhs: WriteTraffic) {
+        self.data_bytes += rhs.data_bytes;
+        self.log_bytes += rhs.log_bytes;
+        self.data_lines += rhs.data_lines;
+        self.log_records += rhs.log_records;
+        self.wpq_lines += rhs.wpq_lines;
+    }
+}
+
+impl fmt::Display for WriteTraffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data {} B ({} lines), log {} B ({} records), {} WPQ lines",
+            self.data_bytes, self.data_lines, self.log_bytes, self.log_records, self.wpq_lines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_line_accounting() {
+        let mut t = WriteTraffic::new();
+        t.count_data_line();
+        t.count_data_line();
+        assert_eq!(t.data_bytes, 128);
+        assert_eq!(t.data_lines, 2);
+        assert_eq!(t.wpq_lines, 2);
+        assert_eq!(t.total_bytes(), 128);
+    }
+
+    #[test]
+    fn log_flush_accounting() {
+        let mut t = WriteTraffic::new();
+        t.count_log_flush(8, 128, 2);
+        assert_eq!(t.log_records, 8);
+        assert_eq!(t.log_bytes, 128);
+        assert_eq!(t.wpq_lines, 2);
+    }
+
+    #[test]
+    fn reduction_math() {
+        let mut base = WriteTraffic::new();
+        base.count_data_line(); // 64 B
+        base.count_data_line(); // 128 B
+        let mut mine = WriteTraffic::new();
+        mine.count_data_line(); // 64 B
+        let red = mine.reduction_vs(&base);
+        assert!((red - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_zero_baseline() {
+        let t = WriteTraffic::new();
+        assert_eq!(t.reduction_vs(&WriteTraffic::new()), 0.0);
+    }
+
+    #[test]
+    fn add_combines_all_fields() {
+        let mut a = WriteTraffic::new();
+        a.count_data_line();
+        let mut b = WriteTraffic::new();
+        b.count_log_flush(3, 48, 1);
+        let c = a + b;
+        assert_eq!(c.data_lines, 1);
+        assert_eq!(c.log_records, 3);
+        assert_eq!(c.total_bytes(), 64 + 48);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = WriteTraffic::new();
+        assert!(!format!("{t}").is_empty());
+    }
+}

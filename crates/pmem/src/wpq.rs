@@ -1,0 +1,270 @@
+//! Write pending queue (WPQ) timing model.
+//!
+//! Intel ADR guarantees that data reaching the memory controller's WPQ
+//! is flushed to the medium on power failure, so *persistence* in this
+//! simulator means *acceptance by the WPQ* (paper §VI-B, \[49\]). The
+//! queue has eight 64-byte entries (512 bytes) and drains serially at
+//! the PM write latency. When all entries are occupied, the next push
+//! stalls the requester until the oldest entry finishes draining —
+//! this backpressure is the mechanism by which write-traffic reduction
+//! becomes speedup.
+
+use std::collections::VecDeque;
+
+/// Result of pushing one line into the WPQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WpqPush {
+    /// Cycle at which the requester is released (push accepted).
+    pub accepted_at: u64,
+    /// Cycles the requester stalled waiting for a free entry.
+    pub stall_cycles: u64,
+    /// Cycle at which the line will have fully drained to the medium.
+    pub drained_at: u64,
+}
+
+/// A write pending queue with bounded occupancy draining through a
+/// small number of parallel banks (PM devices expose bank-level
+/// parallelism; each bank sustains one line per `write_cycles`).
+///
+/// ```
+/// use slpmt_pmem::WritePendingQueue;
+/// let mut wpq = WritePendingQueue::new(8, 1000, 8);
+/// let first = wpq.push(0);
+/// assert_eq!(first.stall_cycles, 0);
+/// assert_eq!(first.accepted_at, 8); // accept latency only
+/// ```
+#[derive(Debug, Clone)]
+pub struct WritePendingQueue {
+    entries: usize,
+    write_cycles: u64,
+    accept_cycles: u64,
+    /// Drain-completion times of in-flight entries, oldest first.
+    inflight: VecDeque<u64>,
+    /// Per-bank time at which the bank finishes its current line.
+    bank_free: Vec<u64>,
+    /// Total cycles requesters have stalled on a full queue.
+    total_stall: u64,
+    /// Total lines pushed.
+    pushes: u64,
+}
+
+/// Default number of parallel drain banks.
+pub const DEFAULT_DRAIN_BANKS: usize = 2;
+
+impl WritePendingQueue {
+    /// Creates a queue with `entries` 64-byte slots, a per-line drain
+    /// latency of `write_cycles`, an acceptance latency of
+    /// `accept_cycles`, and [`DEFAULT_DRAIN_BANKS`] drain banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize, write_cycles: u64, accept_cycles: u64) -> Self {
+        Self::with_banks(entries, write_cycles, accept_cycles, DEFAULT_DRAIN_BANKS)
+    }
+
+    /// Creates a queue with an explicit number of drain banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `banks` is zero.
+    pub fn with_banks(
+        entries: usize,
+        write_cycles: u64,
+        accept_cycles: u64,
+        banks: usize,
+    ) -> Self {
+        assert!(entries > 0, "WPQ must have at least one entry");
+        assert!(banks > 0, "WPQ needs at least one drain bank");
+        WritePendingQueue {
+            entries,
+            write_cycles,
+            accept_cycles,
+            inflight: VecDeque::new(),
+            bank_free: vec![0; banks],
+            total_stall: 0,
+            pushes: 0,
+        }
+    }
+
+    /// Updates the drain latency (Figure 12 sweeps PM write latency).
+    pub fn set_write_cycles(&mut self, write_cycles: u64) {
+        self.write_cycles = write_cycles;
+    }
+
+    /// Pushes one 64-byte line at simulated time `now`, returning when
+    /// the requester proceeds and when the line drains.
+    pub fn push(&mut self, now: u64) -> WpqPush {
+        // Retire entries that finished draining by `now`.
+        while let Some(&done) = self.inflight.front() {
+            if done <= now {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Stall until a slot frees if the queue is full.
+        let mut t = now;
+        let mut stall = 0;
+        if self.inflight.len() == self.entries {
+            let free_at = *self.inflight.front().expect("full queue has a front");
+            stall = free_at - now;
+            t = free_at;
+            self.inflight.pop_front();
+        }
+        let accepted_at = t + self.accept_cycles;
+        // Banked drain: the entry occupies the earliest-free bank.
+        let bank = (0..self.bank_free.len())
+            .min_by_key(|&b| self.bank_free[b])
+            .expect("at least one bank");
+        let drain_start = accepted_at.max(self.bank_free[bank]);
+        let drained_at = drain_start + self.write_cycles;
+        self.bank_free[bank] = drained_at;
+        // Keep the occupancy queue ordered by completion time.
+        let pos = self.inflight.partition_point(|&d| d <= drained_at);
+        self.inflight.insert(pos, drained_at);
+        self.total_stall += stall;
+        self.pushes += 1;
+        WpqPush {
+            accepted_at,
+            stall_cycles: stall,
+            drained_at,
+        }
+    }
+
+    /// Cycle at which every queued line will have drained; `now` if idle.
+    pub fn drained_by(&self, now: u64) -> u64 {
+        self.bank_free.iter().copied().max().unwrap_or(0).max(now)
+    }
+
+    /// Current occupancy at time `now`.
+    pub fn occupancy(&self, now: u64) -> usize {
+        self.inflight.iter().filter(|&&done| done > now).count()
+    }
+
+    /// Total stall cycles accumulated by requesters.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total_stall
+    }
+
+    /// Total lines pushed since creation.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Empties the queue (ADR: entries are considered durable already,
+    /// so a crash *keeps* their effects; this reset is for reusing the
+    /// model across runs).
+    pub fn reset(&mut self) {
+        self.inflight.clear();
+        self.bank_free.fill(0);
+        self.total_stall = 0;
+        self.pushes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wpq() -> WritePendingQueue {
+        WritePendingQueue::new(8, 1000, 8)
+    }
+
+    #[test]
+    fn uncontended_pushes_do_not_stall() {
+        let mut q = wpq();
+        for i in 0..8 {
+            let r = q.push(i * 10);
+            assert_eq!(r.stall_cycles, 0, "push {i} should not stall");
+        }
+        assert_eq!(q.pushes(), 8);
+    }
+
+    #[test]
+    fn ninth_push_stalls_until_first_drains() {
+        let mut q = wpq();
+        let mut first_drain = 0;
+        for i in 0..8 {
+            let r = q.push(0);
+            if i == 0 {
+                first_drain = r.drained_at;
+            }
+        }
+        let r = q.push(0);
+        assert_eq!(r.stall_cycles, first_drain);
+        assert_eq!(r.accepted_at, first_drain + 8);
+    }
+
+    #[test]
+    fn banked_drain_parallelism_and_serialisation() {
+        let mut q = wpq();
+        // The first DEFAULT_DRAIN_BANKS lines drain in parallel...
+        let first: Vec<u64> = (0..DEFAULT_DRAIN_BANKS).map(|_| q.push(0).drained_at).collect();
+        assert!(first.windows(2).all(|w| w[1] - w[0] <= 2 * 8));
+        // ...the next line queues behind a busy bank.
+        let next = q.push(0);
+        assert!(next.drained_at >= first[0] + 1000);
+    }
+
+    #[test]
+    fn single_bank_is_serial() {
+        let mut q = WritePendingQueue::with_banks(8, 1000, 8, 1);
+        let a = q.push(0);
+        let b = q.push(0);
+        assert_eq!(a.drained_at, 8 + 1000);
+        assert_eq!(b.drained_at, a.drained_at + 1000, "drain is serial");
+    }
+
+    #[test]
+    fn idle_queue_catches_up() {
+        let mut q = wpq();
+        q.push(0);
+        // Long after the first line drained, a new push sees an empty queue.
+        let r = q.push(1_000_000);
+        assert_eq!(r.stall_cycles, 0);
+        assert_eq!(r.drained_at, 1_000_000 + 8 + 1000);
+        assert_eq!(q.occupancy(1_000_000), 1);
+    }
+
+    #[test]
+    fn drained_by_tracks_last_completion() {
+        let mut q = wpq();
+        assert_eq!(q.drained_by(5), 5);
+        let r = q.push(0);
+        assert_eq!(q.drained_by(0), r.drained_at);
+    }
+
+    #[test]
+    fn stall_accounting_accumulates() {
+        let mut q = WritePendingQueue::new(1, 100, 0);
+        q.push(0); // drains at 100
+        let r = q.push(0); // stalls 100
+        assert_eq!(r.stall_cycles, 100);
+        assert_eq!(q.total_stall_cycles(), 100);
+    }
+
+    #[test]
+    fn latency_sweep_changes_drain_rate() {
+        let mut q = wpq();
+        q.set_write_cycles(4600); // 2300 ns at 2 GHz
+        let r = q.push(0);
+        assert_eq!(r.drained_at, 8 + 4600);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = wpq();
+        q.push(0);
+        q.reset();
+        assert_eq!(q.pushes(), 0);
+        assert_eq!(q.occupancy(0), 0);
+        assert_eq!(q.drained_by(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = WritePendingQueue::new(0, 1000, 8);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the PM device substrate.
+
+use proptest::prelude::*;
+use slpmt_pmem::{PmAddr, PmHeap, PmSpace, WritePendingQueue};
+use std::collections::BTreeMap;
+
+proptest! {
+    /// PmSpace agrees with a flat byte-vector model under random
+    /// writes and reads of random sizes and alignments.
+    #[test]
+    fn space_matches_flat_model(
+        writes in prop::collection::vec((0u64..4000, prop::collection::vec(any::<u8>(), 1..130)), 1..40),
+        probes in prop::collection::vec((0u64..4000, 1usize..130), 1..20),
+    ) {
+        let mut space = PmSpace::new(8192);
+        let mut model = vec![0u8; 8192];
+        for (addr, data) in &writes {
+            space.write(PmAddr::new(*addr), data);
+            model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        }
+        for (addr, len) in &probes {
+            let mut buf = vec![0u8; *len];
+            space.read(PmAddr::new(*addr), &mut buf);
+            prop_assert_eq!(&buf[..], &model[*addr as usize..*addr as usize + len]);
+        }
+    }
+
+    /// WPQ timing is monotone and never exceeds its occupancy bound.
+    #[test]
+    fn wpq_is_monotone_and_bounded(
+        gaps in prop::collection::vec(0u64..3000, 1..120),
+        entries in 1usize..16,
+        write_cycles in 1u64..5000,
+    ) {
+        let mut q = WritePendingQueue::with_banks(entries, write_cycles, 8, 2);
+        let mut now = 0;
+        let mut last_accept = 0;
+        let _ = ();
+        for gap in gaps {
+            now += gap;
+            let r = q.push(now);
+            prop_assert!(r.accepted_at >= now, "acceptance after request");
+            prop_assert!(r.accepted_at >= last_accept, "acceptance monotone");
+            prop_assert!(r.drained_at > r.accepted_at, "drain after acceptance");
+            prop_assert!(q.occupancy(r.accepted_at) <= entries, "bounded occupancy");
+            last_accept = r.accepted_at;
+
+            now = r.accepted_at;
+        }
+    }
+
+    /// Heap allocations are disjoint, contained in the arena, and a
+    /// rebuild keeps exactly the reachable set.
+    #[test]
+    fn heap_allocations_disjoint_and_rebuildable(
+        sizes in prop::collection::vec(1u64..200, 1..60),
+        keep_mask in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        let base = 0x1000u64;
+        let len = 64 * 1024;
+        let mut heap = PmHeap::new(PmAddr::new(base), len);
+        let mut allocs: BTreeMap<u64, u64> = BTreeMap::new();
+        for size in &sizes {
+            let a = heap.alloc(*size).expect("arena large enough");
+            let real = heap.allocation_size(a).unwrap();
+            prop_assert!(a.raw() >= base && a.raw() + real <= base + len, "contained");
+            for (&start, &sz) in &allocs {
+                prop_assert!(a.raw() + real <= start || a.raw() >= start + sz, "disjoint");
+            }
+            allocs.insert(a.raw(), real);
+        }
+        let keep: Vec<PmAddr> = allocs
+            .keys()
+            .zip(keep_mask.iter())
+            .filter(|(_, &k)| k)
+            .map(|(&a, _)| PmAddr::new(a))
+            .collect();
+        let reclaimed = heap.rebuild(&keep);
+        prop_assert_eq!(reclaimed, allocs.len() - keep.len());
+        prop_assert_eq!(heap.live_count(), keep.len());
+        for a in &keep {
+            prop_assert!(heap.is_live(*a));
+        }
+        // The reclaimed space is reusable (the dense first-fit layout
+        // leaves a large contiguous tail after the rebuild).
+        prop_assert!(heap.alloc(4096).is_some());
+    }
+}

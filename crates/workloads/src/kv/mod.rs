@@ -1,0 +1,29 @@
+//! The PMDK-style key-value store (Table II: "key-value store engine
+//! that can be configured with various indexing data structures").
+//!
+//! Three index backends mirror the paper's `kv-btree`, `kv-ctree` and
+//! `kv-rtree` configurations:
+//!
+//! * [`btree`] — an order-8 B-tree; splits copy the upper half of a
+//!   node into a fresh allocation (log-free), in-node shifts stay
+//!   logged.
+//! * [`ctree`] — a crit-bit tree; an insert allocates one leaf and one
+//!   internal node and performs a single logged link update, so almost
+//!   every store is selective — the backend where SLPMT gains most
+//!   (§VI-E).
+//! * [`rtree`] — a path-compressed radix tree; splitting a compressed
+//!   edge *copies* the split node instead of modifying it and can
+//!   create several nodes per insert ("kv-rtree may create more than
+//!   one node in one insertion"), at the cost of extra computation.
+//!
+//! A fourth backend, [`skiplist`], extends the framework beyond the
+//! paper's evaluated trio: its upper tower links are lazily
+//! persistent and rebuilt from the level-0 chain on recovery.
+//!
+//! All backends share the root layout `[0]=index root, [1]=size` and
+//! store values in separate blobs written log-free.
+
+pub mod btree;
+pub mod ctree;
+pub mod rtree;
+pub mod skiplist;

@@ -1,0 +1,48 @@
+//! Durable data-structure workloads for the SLPMT evaluation (§VI-A).
+//!
+//! Six benchmarks from the paper, re-implemented over the simulated
+//! machine:
+//!
+//! * [`hashtable`] — chained hash table that resizes when buckets
+//!   average three records; rehash moves data with lazy persistence.
+//! * [`rbtree`] — red-black tree with parent pointers and colours
+//!   (parent pointers lazily persistent, rebuilt on recovery).
+//! * [`heap`] — array max-heap (appends beyond the committed count are
+//!   log-free).
+//! * [`avl`] — AVL tree without parent pointers (heights lazily
+//!   persistent, recomputed on recovery).
+//! * [`kv`] — the PMDK-style key-value store with `btree`, `ctree`
+//!   (crit-bit) and `rtree` (radix) index backends.
+//!
+//! Every structure implements [`runner::DurableIndex`]:
+//! insert runs inside one durable transaction per operation, all
+//! stores carry *site* tags resolved through an
+//! [`AnnotationTable`](slpmt_annotate::AnnotationTable) — hand-written
+//! ([`manual`] mode) or produced by the `slpmt-annotate` compiler pass
+//! over the structure's [`TxnIr`](slpmt_annotate::TxnIr) description —
+//! and each structure ships the recovery routine its annotations
+//! require (leak GC, parent/height rebuild, rehash re-execution).
+//!
+//! [`ycsb`] generates the paper's workload (1,000 inserts, 8-byte keys,
+//! configurable value size); [`runner`] drives a full benchmark run and
+//! collects cycles + write traffic.
+//!
+//! [`manual`]: ctx::AnnotationSource::Manual
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avl;
+pub mod ctx;
+pub mod hashtable;
+pub mod heap;
+pub mod inspector;
+pub mod kv;
+pub mod rbtree;
+pub mod runner;
+pub mod ycsb;
+
+pub use ctx::{AnnotationSource, PmContext};
+pub use inspector::{inspect, HeapReport};
+pub use runner::{run_inserts, run_mixed, DurableIndex, IndexKind, RangeIndex, RunResult};
+pub use ycsb::{ycsb_load, ycsb_mixed, MixedOp, YcsbOp};

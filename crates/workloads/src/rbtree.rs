@@ -1,0 +1,838 @@
+//! Red-black tree with parent pointers and colours (Table II).
+//!
+//! "Each node contains a pointer to the parent and an integer
+//! recording the color." Parent pointers are the paper's flagship lazy
+//! candidates (§VI-D4): their values are rebuildable from the child
+//! pointers, so updates use `storeT(lazy)` and recovery re-derives
+//! them by walking the tree. Colour updates are likewise annotated
+//! lazy by hand; if a crash loses deferred colours, recovery recolours
+//! the durable *shape* with a black-height dynamic program (any valid
+//! red-black colouring restores the invariant — colours are a balance
+//! hint, not data).
+//!
+//! ### Persistent layout
+//!
+//! ```text
+//! root:  [0]=tree root pointer  [1]=size
+//! node:  [0]=key [1]=left [2]=right [3]=parent [4]=color (0 = black)
+//!        [5..]=value
+//! ```
+
+use crate::ctx::{AnnotationSource, PmContext};
+use crate::runner::DurableIndex;
+use slpmt_annotate::{Annotation, AnnotationTable, Operand, ParamKind, TxnIr, TxnIrBuilder};
+use slpmt_pmem::PmAddr;
+use std::collections::BTreeMap;
+
+/// Store sites of the insert transaction.
+pub mod sites {
+    use slpmt_annotate::SiteId;
+    /// New node's key.
+    pub const NODE_KEY: SiteId = SiteId(0);
+    /// New node's value payload.
+    pub const NODE_VALUE: SiteId = SiteId(1);
+    /// New node's left/right initialisation (null).
+    pub const NODE_CHILD_INIT: SiteId = SiteId(2);
+    /// New node's parent pointer.
+    pub const NODE_PARENT_NEW: SiteId = SiteId(3);
+    /// New node's colour (red).
+    pub const NODE_COLOR_NEW: SiteId = SiteId(4);
+    /// Existing node's child pointer linking in the new node.
+    pub const LINK_CHILD: SiteId = SiteId(5);
+    /// Root object's tree-root pointer.
+    pub const ROOT_PTR: SiteId = SiteId(6);
+    /// Root object's size counter.
+    pub const SIZE: SiteId = SiteId(7);
+    /// Colour update on an existing node (fix-up recolouring).
+    pub const FIX_COLOR: SiteId = SiteId(8);
+    /// Child pointer update on an existing node (rotation).
+    pub const ROT_CHILD: SiteId = SiteId(9);
+    /// Parent pointer update on an existing node (rotation/fix-up).
+    pub const PARENT_UPD: SiteId = SiteId(10);
+    /// Poison store into the node being freed (Pattern 1, free case).
+    pub const RM_POISON: SiteId = SiteId(11);
+    /// In-place value overwrite on update (logged).
+    pub const UPD_VALUE: SiteId = SiteId(12);
+}
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+const CMP_COST: u64 = 6;
+
+fn fld(base: PmAddr, i: u64) -> PmAddr {
+    base.add(i * 8)
+}
+
+/// The durable red-black tree.
+#[derive(Debug, Clone)]
+pub struct Rbtree {
+    root: PmAddr,
+    value_words: u64,
+}
+
+impl Rbtree {
+    /// Hand-written annotations: new-node fields are log-free; parent
+    /// pointers and colours are lazily persistent (rebuildable).
+    pub fn manual_table() -> AnnotationTable {
+        use sites::*;
+        [
+            (NODE_KEY, Annotation::LogFree),
+            (NODE_VALUE, Annotation::LogFree),
+            (NODE_CHILD_INIT, Annotation::LogFree),
+            (NODE_PARENT_NEW, Annotation::LogFree),
+            (NODE_COLOR_NEW, Annotation::LogFree),
+            (FIX_COLOR, Annotation::Lazy),
+            (PARENT_UPD, Annotation::Lazy),
+            (RM_POISON, Annotation::LazyLogFree),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// IR of the insert transaction for the compiler pass: the
+    /// new-node pattern, the rotation's parent-pointer update (flow-out
+    /// and recoverable → lazy), and the colour computation marked
+    /// opaque (the compiler "fails to infer deeper semantics").
+    pub fn ir() -> TxnIr {
+        use sites::*;
+        let mut b = TxnIrBuilder::new("rbtree-insert");
+        let root = b.param(ParamKind::PersistentPtr);
+        let key = b.param(ParamKind::Key);
+        let val = b.param(ParamKind::Value);
+        let pos = b.load(root, 0); // insertion parent found by descent
+        let node = b.alloc();
+        b.store_at(NODE_KEY, node, 0, Operand::Value(key));
+        b.store_at(NODE_VALUE, node, 5, Operand::Value(val));
+        b.store_at(NODE_CHILD_INIT, node, 1, Operand::Const(0));
+        b.store_at(NODE_PARENT_NEW, node, 3, Operand::Value(pos));
+        b.store_at(NODE_COLOR_NEW, node, 4, Operand::Const(RED));
+        b.store_at(LINK_CHILD, pos, 1, Operand::Value(node));
+        let size = b.load(root, 1);
+        let size2 = b.compute_opaque(vec![Operand::Value(size)]);
+        b.store_at(SIZE, root, 1, Operand::Value(size2));
+        // Fix-up portion: rotate around pos's parent. Which pointer
+        // lands where is decided by the re-balancing logic, which the
+        // compiler cannot analyse — the rotated child pointers and the
+        // new tree root flow through opaque computations (so they stay
+        // eagerly logged) while the parent back-pointer is a plain
+        // recoverable value the compiler *does* find (§VI-D4).
+        let gp = b.load(pos, 3);
+        let uncle = b.load(gp, 2);
+        let color = b.compute_opaque(vec![Operand::Value(uncle)]);
+        b.store_at(FIX_COLOR, uncle, 4, Operand::Value(color));
+        let rotated = b.compute_opaque(vec![Operand::Value(uncle), Operand::Value(gp)]);
+        b.store_at(ROT_CHILD, gp, 1, Operand::Value(rotated));
+        b.store_at(PARENT_UPD, uncle, 3, Operand::Value(gp));
+        let new_root = b.compute_opaque(vec![Operand::Value(gp)]);
+        b.store_at(ROOT_PTR, root, 0, Operand::Value(new_root));
+        b.build()
+    }
+
+    /// Builds an empty tree (untimed setup), installing the resolved
+    /// annotation table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value_size` is not a multiple of 8.
+    pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
+        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
+        let root = ctx.setup_alloc(2 * 8);
+        Rbtree {
+            root,
+            value_words: (value_size / 8) as u64,
+        }
+    }
+
+    fn node_bytes(&self) -> u64 {
+        (5 + self.value_words) * 8
+    }
+
+    // Timed accessors -------------------------------------------------
+
+    fn child(&self, ctx: &mut PmContext, n: PmAddr, dir: u64) -> u64 {
+        ctx.load(fld(n, 1 + dir))
+    }
+
+    fn set_child(&self, ctx: &mut PmContext, n: PmAddr, dir: u64, v: u64) {
+        ctx.store(fld(n, 1 + dir), v, sites::ROT_CHILD);
+    }
+
+    fn parent(&self, ctx: &mut PmContext, n: PmAddr) -> u64 {
+        ctx.load(fld(n, 3))
+    }
+
+    fn set_parent(&self, ctx: &mut PmContext, n: PmAddr, v: u64) {
+        ctx.store(fld(n, 3), v, sites::PARENT_UPD);
+    }
+
+    fn color(&self, ctx: &mut PmContext, n: u64) -> u64 {
+        if n == 0 {
+            BLACK
+        } else {
+            ctx.load(fld(PmAddr::new(n), 4))
+        }
+    }
+
+    fn set_color(&self, ctx: &mut PmContext, n: PmAddr, c: u64) {
+        ctx.store(fld(n, 4), c, sites::FIX_COLOR);
+    }
+
+    /// Rotates around `x` in direction `dir` (0 = left, 1 = right).
+    fn rotate(&self, ctx: &mut PmContext, x: PmAddr, dir: u64) {
+        let y = PmAddr::new(self.child(ctx, x, 1 - dir));
+        let beta = self.child(ctx, y, dir);
+        self.set_child(ctx, x, 1 - dir, beta);
+        if beta != 0 {
+            self.set_parent(ctx, PmAddr::new(beta), x.raw());
+        }
+        let xp = self.parent(ctx, x);
+        self.set_parent(ctx, y, xp);
+        if xp == 0 {
+            ctx.store(fld(self.root, 0), y.raw(), sites::ROOT_PTR);
+        } else {
+            let p = PmAddr::new(xp);
+            if self.child(ctx, p, 0) == x.raw() {
+                self.set_child(ctx, p, 0, y.raw());
+            } else {
+                self.set_child(ctx, p, 1, y.raw());
+            }
+        }
+        self.set_child(ctx, y, dir, x.raw());
+        self.set_parent(ctx, x, y.raw());
+    }
+
+    /// CLRS insert fix-up.
+    fn fixup(&self, ctx: &mut PmContext, mut z: PmAddr) {
+        loop {
+            let zp = self.parent(ctx, z);
+            if zp == 0 || self.color(ctx, zp) == BLACK {
+                break;
+            }
+            let p = PmAddr::new(zp);
+            let gp_raw = self.parent(ctx, p);
+            debug_assert_ne!(gp_raw, 0, "red parent implies a grandparent");
+            let g = PmAddr::new(gp_raw);
+            let dir = if self.child(ctx, g, 0) == zp { 0u64 } else { 1u64 };
+            let uncle = self.child(ctx, g, 1 - dir);
+            if self.color(ctx, uncle) == RED {
+                self.set_color(ctx, p, BLACK);
+                self.set_color(ctx, PmAddr::new(uncle), BLACK);
+                self.set_color(ctx, g, RED);
+                z = g;
+            } else {
+                if self.child(ctx, p, 1 - dir) == z.raw() {
+                    z = p;
+                    self.rotate(ctx, z, dir);
+                }
+                let zp2 = PmAddr::new(self.parent(ctx, z));
+                let g2 = PmAddr::new(self.parent(ctx, zp2));
+                self.set_color(ctx, zp2, BLACK);
+                self.set_color(ctx, g2, RED);
+                self.rotate(ctx, g2, 1 - dir);
+            }
+        }
+        let r = ctx.load(fld(self.root, 0));
+        if self.color(ctx, r) == RED {
+            self.set_color(ctx, PmAddr::new(r), BLACK);
+        }
+    }
+
+
+    /// Replaces the subtree rooted at `u` with the one rooted at `v`
+    /// (CLRS `RB-TRANSPLANT`); `v` may be null.
+    fn transplant(&self, ctx: &mut PmContext, u: PmAddr, v: u64) {
+        let up = self.parent(ctx, u);
+        if up == 0 {
+            ctx.store(fld(self.root, 0), v, sites::ROOT_PTR);
+        } else {
+            let p = PmAddr::new(up);
+            if self.child(ctx, p, 0) == u.raw() {
+                self.set_child(ctx, p, 0, v);
+            } else {
+                self.set_child(ctx, p, 1, v);
+            }
+        }
+        if v != 0 {
+            self.set_parent(ctx, PmAddr::new(v), up);
+        }
+    }
+
+    /// CLRS `RB-DELETE-FIXUP`, generalised over direction; `x` may be
+    /// null, so its parent is tracked explicitly.
+    fn delete_fixup(&self, ctx: &mut PmContext, mut x: u64, mut xp: u64) {
+        loop {
+            let root = ctx.load(fld(self.root, 0));
+            if x == root || self.color(ctx, x) == RED {
+                break;
+            }
+            let p = PmAddr::new(xp);
+            let dir = if self.child(ctx, p, 0) == x { 0u64 } else { 1u64 };
+            let mut w = PmAddr::new(self.child(ctx, p, 1 - dir));
+            debug_assert_ne!(w.raw(), 0, "doubly-black node must have a sibling");
+            if self.color(ctx, w.raw()) == RED {
+                self.set_color(ctx, w, BLACK);
+                self.set_color(ctx, p, RED);
+                self.rotate(ctx, p, dir);
+                w = PmAddr::new(self.child(ctx, p, 1 - dir));
+            }
+            let near = self.child(ctx, w, dir);
+            let far = self.child(ctx, w, 1 - dir);
+            if self.color(ctx, near) == BLACK && self.color(ctx, far) == BLACK {
+                self.set_color(ctx, w, RED);
+                x = p.raw();
+                xp = self.parent(ctx, p);
+            } else {
+                if self.color(ctx, far) == BLACK {
+                    if near != 0 {
+                        self.set_color(ctx, PmAddr::new(near), BLACK);
+                    }
+                    self.set_color(ctx, w, RED);
+                    self.rotate(ctx, w, 1 - dir);
+                    w = PmAddr::new(self.child(ctx, p, 1 - dir));
+                }
+                let pc = self.color(ctx, p.raw());
+                self.set_color(ctx, w, pc);
+                self.set_color(ctx, p, BLACK);
+                let far2 = self.child(ctx, w, 1 - dir);
+                if far2 != 0 {
+                    self.set_color(ctx, PmAddr::new(far2), BLACK);
+                }
+                self.rotate(ctx, p, dir);
+                break;
+            }
+        }
+        if x != 0 {
+            self.set_color(ctx, PmAddr::new(x), BLACK);
+        }
+    }
+
+    // Untimed helpers --------------------------------------------------
+
+    fn peek_node(&self, ctx: &PmContext, n: u64) -> Option<(u64, u64, u64, u64, u64)> {
+        if n == 0 {
+            return None;
+        }
+        let a = PmAddr::new(n);
+        Some((
+            ctx.peek(fld(a, 0)), // key
+            ctx.peek(fld(a, 1)), // left
+            ctx.peek(fld(a, 2)), // right
+            ctx.peek(fld(a, 3)), // parent
+            ctx.peek(fld(a, 4)), // color
+        ))
+    }
+
+    fn for_each(&self, ctx: &PmContext, mut f: impl FnMut(u64)) {
+        let mut stack = vec![ctx.peek(fld(self.root, 0))];
+        while let Some(n) = stack.pop() {
+            if n == 0 {
+                continue;
+            }
+            f(n);
+            let a = PmAddr::new(n);
+            stack.push(ctx.peek(fld(a, 1)));
+            stack.push(ctx.peek(fld(a, 2)));
+        }
+    }
+
+    /// Black-height dynamic program: the set of black-heights each
+    /// node's subtree supports per colour. `None` means uncolourable.
+    fn feasible(
+        &self,
+        ctx: &PmContext,
+        n: u64,
+        memo: &mut BTreeMap<u64, Vec<(u64, u64)>>,
+    ) -> Vec<(u64, u64)> {
+        if n == 0 {
+            return vec![(BLACK, 1)];
+        }
+        if let Some(v) = memo.get(&n) {
+            return v.clone();
+        }
+        let a = PmAddr::new(n);
+        let l = self.feasible(ctx, ctx.peek(fld(a, 1)), memo);
+        let r = self.feasible(ctx, ctx.peek(fld(a, 2)), memo);
+        let mut out = Vec::new();
+        for &(lc, lh) in &l {
+            for &(rc, rh) in &r {
+                if lh != rh {
+                    continue;
+                }
+                // Node black: children any colour.
+                out.push((BLACK, lh + 1));
+                // Node red: both children black.
+                if lc == BLACK && rc == BLACK {
+                    out.push((RED, lh));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        memo.insert(n, out.clone());
+        out
+    }
+
+    /// Assigns a concrete colouring consistent with `feasible`.
+    fn assign_colors(&self, ctx: &mut PmContext, n: u64, color: u64, bh: u64) {
+        if n == 0 {
+            return;
+        }
+        let a = PmAddr::new(n);
+        ctx.recovery_write(fld(a, 4), color);
+        let child_bh = if color == BLACK { bh - 1 } else { bh };
+        let mut memo = BTreeMap::new();
+        for dir in [1u64, 2] {
+            let c = ctx.peek(fld(a, dir));
+            let feas = self.feasible(ctx, c, &mut memo);
+            // Prefer black children; red only when black is infeasible
+            // or the parent is black and red is needed for the height.
+            // A red parent forces black children; a black parent
+            // prefers black children when feasible.
+            let child_color = if color == RED || feas.contains(&(BLACK, child_bh)) {
+                BLACK
+            } else {
+                RED
+            };
+            let choice = (child_color, child_bh);
+            debug_assert!(
+                c == 0 || feas.contains(&choice),
+                "recolouring DP inconsistency at node {c:#x}"
+            );
+            self.assign_colors(ctx, c, choice.0, choice.1);
+        }
+    }
+
+    fn recolor_tree(&self, ctx: &mut PmContext) {
+        let r = ctx.peek(fld(self.root, 0));
+        if r == 0 {
+            return;
+        }
+        let mut memo = BTreeMap::new();
+        let feas = self.feasible(ctx, r, &mut memo);
+        let (_, bh) = *feas
+            .iter().find(|(c, _)| *c == BLACK)
+            .expect("a red-black-insertable shape admits a black root colouring");
+        self.assign_colors(ctx, r, BLACK, bh);
+    }
+
+    fn rb_violations(&self, ctx: &PmContext) -> Option<String> {
+        let r = ctx.peek(fld(self.root, 0));
+        if r == 0 {
+            return None;
+        }
+        if ctx.peek(fld(PmAddr::new(r), 4)) == RED {
+            return Some("root is red".into());
+        }
+        // Iterative check: red-red and black-height balance.
+        fn bh(ctx: &PmContext, n: u64) -> Result<u64, String> {
+            if n == 0 {
+                return Ok(1);
+            }
+            let a = PmAddr::new(n);
+            let c = ctx.peek(fld(a, 4));
+            let l = ctx.peek(fld(a, 1));
+            let rt = ctx.peek(fld(a, 2));
+            if c == RED {
+                for ch in [l, rt] {
+                    if ch != 0 && ctx.peek(fld(PmAddr::new(ch), 4)) == RED {
+                        return Err(format!("red-red violation at {n:#x}"));
+                    }
+                }
+            }
+            let lb = bh(ctx, l)?;
+            let rb = bh(ctx, rt)?;
+            if lb != rb {
+                return Err(format!("black-height mismatch at {n:#x}"));
+            }
+            Ok(lb + if c == BLACK { 1 } else { 0 })
+        }
+        bh(ctx, r).err()
+    }
+}
+
+impl DurableIndex for Rbtree {
+    fn name(&self) -> &'static str {
+        "rbtree"
+    }
+
+    fn insert(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) {
+        use sites::*;
+        assert_eq!(value.len() as u64, self.value_words * 8);
+        ctx.tx_begin();
+        // Descend to the insertion point.
+        let mut parent = 0u64;
+        let mut cur = ctx.load(fld(self.root, 0));
+        let mut dir = 0u64;
+        while cur != 0 {
+            ctx.compute(CMP_COST);
+            let k = ctx.load(fld(PmAddr::new(cur), 0));
+            parent = cur;
+            dir = if key < k { 0 } else { 1 };
+            cur = self.child(ctx, PmAddr::new(cur), dir);
+        }
+        // Build the new node (log-free: Pattern 1).
+        let node = ctx.alloc(self.node_bytes());
+        ctx.store(fld(node, 0), key, NODE_KEY);
+        ctx.store(fld(node, 1), 0, NODE_CHILD_INIT);
+        ctx.store(fld(node, 2), 0, NODE_CHILD_INIT);
+        ctx.store(fld(node, 3), parent, NODE_PARENT_NEW);
+        ctx.store(fld(node, 4), RED, NODE_COLOR_NEW);
+        ctx.store_bytes(fld(node, 5), value, NODE_VALUE);
+        // Publish.
+        if parent == 0 {
+            ctx.store(fld(self.root, 0), node.raw(), ROOT_PTR);
+        } else {
+            ctx.store(fld(PmAddr::new(parent), 1 + dir), node.raw(), LINK_CHILD);
+        }
+        let size = ctx.load(fld(self.root, 1)) + 1;
+        ctx.store(fld(self.root, 1), size, SIZE);
+        self.fixup(ctx, node);
+        ctx.tx_commit();
+    }
+
+
+    fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool {
+        use sites::*;
+        ctx.tx_begin();
+        // Find the node.
+        let mut cur = ctx.load(fld(self.root, 0));
+        while cur != 0 {
+            ctx.compute(CMP_COST);
+            let a = PmAddr::new(cur);
+            let k = ctx.load(fld(a, 0));
+            if k == key {
+                break;
+            }
+            cur = self.child(ctx, a, if key < k { 0 } else { 1 });
+        }
+        if cur == 0 {
+            ctx.tx_commit();
+            return false;
+        }
+        let z = PmAddr::new(cur);
+        // CLRS RB-DELETE.
+        let (zl, zr) = (self.child(ctx, z, 0), self.child(ctx, z, 1));
+        let y_color;
+        let x;
+        let xp;
+        if zl == 0 {
+            y_color = self.color(ctx, z.raw());
+            x = zr;
+            xp = self.parent(ctx, z);
+            self.transplant(ctx, z, zr);
+        } else if zr == 0 {
+            y_color = self.color(ctx, z.raw());
+            x = zl;
+            xp = self.parent(ctx, z);
+            self.transplant(ctx, z, zl);
+        } else {
+            // Successor: leftmost of the right subtree.
+            let mut y = PmAddr::new(zr);
+            loop {
+                let l = self.child(ctx, y, 0);
+                if l == 0 {
+                    break;
+                }
+                ctx.compute(CMP_COST);
+                y = PmAddr::new(l);
+            }
+            y_color = self.color(ctx, y.raw());
+            x = self.child(ctx, y, 1);
+            if self.parent(ctx, y) == z.raw() {
+                xp = y.raw();
+            } else {
+                xp = self.parent(ctx, y);
+                self.transplant(ctx, y, x);
+                let zr2 = self.child(ctx, z, 1);
+                self.set_child(ctx, y, 1, zr2);
+                self.set_parent(ctx, PmAddr::new(zr2), y.raw());
+            }
+            self.transplant(ctx, z, y.raw());
+            let zl2 = self.child(ctx, z, 0);
+            self.set_child(ctx, y, 0, zl2);
+            self.set_parent(ctx, PmAddr::new(zl2), y.raw());
+            let zc = self.color(ctx, z.raw());
+            self.set_color(ctx, y, zc);
+        }
+        if y_color == BLACK {
+            self.delete_fixup(ctx, x, xp);
+        }
+        // Poison the dying node (Pattern 1, free case) and retire it.
+        ctx.store(fld(z, 0), 0, RM_POISON);
+        ctx.free(z);
+        let size = ctx.load(fld(self.root, 1)) - 1;
+        ctx.store(fld(self.root, 1), size, SIZE);
+        ctx.tx_commit();
+        true
+    }
+
+
+
+    fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
+        use sites::*;
+        assert_eq!(value.len() as u64, self.value_words * 8);
+        ctx.tx_begin();
+        let mut cur = ctx.load(fld(self.root, 0));
+        while cur != 0 {
+            ctx.compute(CMP_COST);
+            let a = PmAddr::new(cur);
+            let k = ctx.load(fld(a, 0));
+            if k == key {
+                // In-place overwrite: the undo log captures the old
+                // value, so a crash rolls the update back atomically.
+                ctx.store_bytes(fld(a, 5), value, UPD_VALUE);
+                ctx.tx_commit();
+                return true;
+            }
+            cur = self.child(ctx, a, if key < k { 0 } else { 1 });
+        }
+        ctx.tx_commit();
+        false
+    }
+
+    fn get(&mut self, ctx: &mut PmContext, key: u64) -> Option<Vec<u8>> {
+        let mut cur = ctx.load(fld(self.root, 0));
+        while cur != 0 {
+            ctx.compute(CMP_COST);
+            let a = PmAddr::new(cur);
+            let k = ctx.load(fld(a, 0));
+            if k == key {
+                let mut v = vec![0u8; (self.value_words * 8) as usize];
+                ctx.load_bytes(fld(a, 5), &mut v);
+                return Some(v);
+            }
+            cur = self.child(ctx, a, if key < k { 0 } else { 1 });
+        }
+        None
+    }
+
+    fn contains(&self, ctx: &PmContext, key: u64) -> bool {
+        self.value_of(ctx, key).is_some()
+    }
+
+    fn value_of(&self, ctx: &PmContext, key: u64) -> Option<Vec<u8>> {
+        let mut cur = ctx.peek(fld(self.root, 0));
+        while cur != 0 {
+            let a = PmAddr::new(cur);
+            let k = ctx.peek(fld(a, 0));
+            if k == key {
+                let mut v = vec![0u8; (self.value_words * 8) as usize];
+                ctx.peek_bytes(fld(a, 5), &mut v);
+                return Some(v);
+            }
+            cur = ctx.peek(fld(a, if key < k { 1 } else { 2 }));
+        }
+        None
+    }
+
+    fn len(&self, ctx: &PmContext) -> usize {
+        let mut count = 0;
+        self.for_each(ctx, |_| count += 1);
+        count
+    }
+
+    fn check_invariants(&self, ctx: &PmContext) -> Result<(), String> {
+        // BST order + parent-pointer consistency.
+        let mut stack = vec![(ctx.peek(fld(self.root, 0)), u64::MIN, u64::MAX, 0u64)];
+        let mut count = 0usize;
+        while let Some((n, lo, hi, expect_parent)) = stack.pop() {
+            if n == 0 {
+                continue;
+            }
+            count += 1;
+            let (key, l, r, p, _c) = self.peek_node(ctx, n).expect("non-null");
+            if key < lo || key > hi {
+                return Err(format!("BST violation: key {key} outside [{lo}, {hi}]"));
+            }
+            if p != expect_parent {
+                return Err(format!(
+                    "parent pointer of {n:#x} is {p:#x}, expected {expect_parent:#x}"
+                ));
+            }
+            stack.push((l, lo, key.saturating_sub(1), n));
+            stack.push((r, key.saturating_add(1), hi, n));
+        }
+        let size = ctx.peek(fld(self.root, 1));
+        if size as usize != count {
+            return Err(format!("size {size} != node count {count}"));
+        }
+        if let Some(v) = self.rb_violations(ctx) {
+            return Err(v);
+        }
+        Ok(())
+    }
+
+    fn reachable(&self, ctx: &PmContext) -> Vec<PmAddr> {
+        let mut out = vec![self.root];
+        self.for_each(ctx, |n| out.push(PmAddr::new(n)));
+        out
+    }
+
+    fn recover(&mut self, ctx: &mut PmContext) {
+        // Rebuild parent pointers (lazy) from the durable shape.
+        let r = ctx.peek(fld(self.root, 0));
+        let mut stack = vec![(r, 0u64)];
+        let mut count = 0u64;
+        while let Some((n, parent)) = stack.pop() {
+            if n == 0 {
+                continue;
+            }
+            count += 1;
+            let a = PmAddr::new(n);
+            ctx.recovery_write(fld(a, 3), parent);
+            stack.push((ctx.peek(fld(a, 1)), n));
+            stack.push((ctx.peek(fld(a, 2)), n));
+        }
+        ctx.recovery_write(fld(self.root, 1), count);
+        // Recolour only if deferred colour updates were lost.
+        if self.rb_violations(ctx).is_some() {
+            self.recolor_tree(ctx);
+        }
+    }
+}
+
+
+impl crate::runner::RangeIndex for Rbtree {
+    fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        // In-order walk pruning subtrees outside [lo, hi].
+        let mut stack = vec![(ctx.load(fld(self.root, 0)), false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if n == 0 {
+                continue;
+            }
+            let a = PmAddr::new(n);
+            if expanded {
+                let k = ctx.load(fld(a, 0));
+                if (lo..=hi).contains(&k) {
+                    let mut v = vec![0u8; (self.value_words * 8) as usize];
+                    ctx.load_bytes(fld(a, 5), &mut v);
+                    out.push((k, v));
+                }
+                continue;
+            }
+            ctx.compute(CMP_COST);
+            let k = ctx.load(fld(a, 0));
+            if k < hi {
+                stack.push((ctx.load(fld(a, 2)), false));
+            }
+            stack.push((n, true));
+            if k > lo {
+                stack.push((ctx.load(fld(a, 1)), false));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::{value_for, ycsb_load};
+    use slpmt_core::Scheme;
+
+    fn fresh(source: AnnotationSource) -> (PmContext, Rbtree) {
+        let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+        let t = Rbtree::new(&mut ctx, 32, source);
+        (ctx, t)
+    }
+
+    #[test]
+    fn insert_lookup_and_invariants() {
+        let (mut ctx, mut t) = fresh(AnnotationSource::Manual);
+        for op in ycsb_load(200, 32, 1) {
+            t.insert(&mut ctx, op.key, &op.value);
+        }
+        t.check_invariants(&ctx).unwrap();
+        assert_eq!(t.len(&ctx), 200);
+        for op in ycsb_load(200, 32, 1) {
+            assert_eq!(t.value_of(&ctx, op.key).unwrap(), op.value);
+        }
+    }
+
+    #[test]
+    fn sequential_keys_stay_balanced() {
+        let (mut ctx, mut t) = fresh(AnnotationSource::Manual);
+        let v = value_for(1, 32);
+        for k in 1..=128u64 {
+            t.insert(&mut ctx, k, &v);
+        }
+        t.check_invariants(&ctx).unwrap();
+        // A red-black tree of 128 sequential inserts must be shallow.
+        let mut max_depth = 0;
+        fn depth(ctx: &PmContext, n: u64, d: usize, max: &mut usize) {
+            if n == 0 {
+                *max = (*max).max(d);
+                return;
+            }
+            let a = PmAddr::new(n);
+            depth(ctx, ctx.peek(fld(a, 1)), d + 1, max);
+            depth(ctx, ctx.peek(fld(a, 2)), d + 1, max);
+        }
+        depth(&ctx, ctx.peek(fld(t.root, 0)), 0, &mut max_depth);
+        assert!(max_depth <= 2 * 8, "depth {max_depth} too deep for RB tree");
+    }
+
+    #[test]
+    fn crash_recovery_rebuilds_parents_and_colors() {
+        let (mut ctx, mut t) = fresh(AnnotationSource::Manual);
+        let ops = ycsb_load(120, 32, 2);
+        for op in &ops {
+            t.insert(&mut ctx, op.key, &op.value);
+        }
+        ctx.crash_and_recover();
+        t.recover(&mut ctx);
+        ctx.gc(&t.reachable(&ctx));
+        t.check_invariants(&ctx).unwrap();
+        assert_eq!(t.len(&ctx), 120);
+        for op in &ops {
+            assert_eq!(t.value_of(&ctx, op.key).unwrap(), value_for(op.key, 32));
+        }
+        // Still insertable after recovery.
+        for op in ycsb_load(30, 32, 99) {
+            t.insert(&mut ctx, op.key, &op.value);
+        }
+        t.check_invariants(&ctx).unwrap();
+    }
+
+    #[test]
+    fn compiler_annotations_preserve_correctness() {
+        let (mut ctx, mut t) = fresh(AnnotationSource::Compiler);
+        for op in ycsb_load(100, 32, 3) {
+            t.insert(&mut ctx, op.key, &op.value);
+        }
+        t.check_invariants(&ctx).unwrap();
+        ctx.crash_and_recover();
+        t.recover(&mut ctx);
+        ctx.gc(&t.reachable(&ctx));
+        t.check_invariants(&ctx).unwrap();
+        assert_eq!(t.len(&ctx), 100);
+    }
+
+    #[test]
+    fn compiler_finds_parent_pointer_misses_color() {
+        let (table, _) = slpmt_annotate::analyze(&Rbtree::ir());
+        assert!(table.get(sites::NODE_KEY).is_selective());
+        assert_eq!(table.get(sites::PARENT_UPD), Annotation::Lazy);
+        assert_eq!(table.get(sites::FIX_COLOR), Annotation::Plain, "colour is opaque");
+        assert_eq!(table.get(sites::LINK_CHILD), Annotation::Plain);
+    }
+
+    #[test]
+    fn selective_logging_reduces_records() {
+        let count = |source| {
+            let (mut ctx, mut t) = fresh(source);
+            for op in ycsb_load(50, 32, 4) {
+                t.insert(&mut ctx, op.key, &op.value);
+            }
+            ctx.machine().stats().log_records_created
+        };
+        assert!(count(AnnotationSource::Manual) < count(AnnotationSource::None));
+    }
+
+    #[test]
+    fn ir_is_valid() {
+        assert!(Rbtree::ir().validate().is_ok());
+    }
+}

@@ -1,0 +1,306 @@
+//! Benchmark driver: the [`DurableIndex`] trait and the insert-run
+//! harness used by every figure.
+
+use crate::ctx::{AnnotationSource, PmContext};
+use crate::ycsb::{MixedOp, YcsbOp};
+use slpmt_core::{MachineConfig, Scheme};
+use slpmt_pmem::{PmAddr, WriteTraffic};
+use std::fmt;
+
+/// A durable key-value index evaluated by the paper.
+///
+/// `insert` runs one durable transaction per call (the YCSB-load
+/// operation granularity). The untimed methods (`contains`,
+/// `value_of`, `len`, `check_invariants`, `reachable`) inspect logical
+/// state via peeks; `recover` repairs the structure after
+/// [`PmContext::crash_and_recover`] replayed the undo log.
+pub trait DurableIndex {
+    /// Benchmark name as figures print it.
+    fn name(&self) -> &'static str;
+
+    /// Inserts `key → value` in one durable transaction.
+    fn insert(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]);
+
+    /// Removes `key` in one durable transaction, returning whether it
+    /// was present. Deallocated regions are the Pattern 1 *free* case:
+    /// stores into them need neither log nor persistence, and the
+    /// frees themselves defer to commit.
+    fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool;
+
+    /// Timed lookup: reads run through the simulated cache hierarchy
+    /// (no transaction needed — reads are non-mutating).
+    fn get(&mut self, ctx: &mut PmContext, key: u64) -> Option<Vec<u8>>;
+
+    /// Replaces `key`'s value in one durable transaction, returning
+    /// whether the key was present. The PM-friendly copy-on-write
+    /// idiom: write a fresh blob log-free, swap the (logged) pointer,
+    /// free the old blob — a crash either keeps the old blob (pointer
+    /// rolled back, fresh blob leaks to GC) or the new one.
+    fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool;
+
+    /// Whether `key` is present (untimed).
+    fn contains(&self, ctx: &PmContext, key: u64) -> bool;
+
+    /// The value bytes stored for `key`, if present (untimed).
+    fn value_of(&self, ctx: &PmContext, key: u64) -> Option<Vec<u8>>;
+
+    /// Number of keys present (untimed).
+    fn len(&self, ctx: &PmContext) -> usize;
+
+    /// `true` when the index holds no keys.
+    fn is_empty(&self, ctx: &PmContext) -> bool {
+        self.len(ctx) == 0
+    }
+
+    /// Structure-specific invariants (chain integrity, BST/RB/AVL
+    /// properties, heap order, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    fn check_invariants(&self, ctx: &PmContext) -> Result<(), String>;
+
+    /// Every heap allocation reachable from the structure's roots
+    /// (input to the post-crash GC).
+    fn reachable(&self, ctx: &PmContext) -> Vec<PmAddr>;
+
+    /// Post-crash, post-undo-replay structure recovery: rebuild
+    /// lazily-persistent data (parent pointers, heights, moved data,
+    /// counters) from what is durable.
+    fn recover(&mut self, ctx: &mut PmContext);
+}
+
+/// Ordered indexes additionally support timed range scans.
+pub trait RangeIndex: DurableIndex {
+    /// Returns every `(key, value)` with `lo <= key <= hi`, in key
+    /// order, reading through the simulated cache hierarchy.
+    fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)>;
+}
+
+/// Which index a run instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Chained hash table with resizing.
+    Hashtable,
+    /// Red-black tree.
+    Rbtree,
+    /// Array max-heap.
+    Heap,
+    /// AVL tree.
+    Avl,
+    /// PMDK-style KV store, B-tree index.
+    KvBtree,
+    /// PMDK-style KV store, crit-bit-tree index.
+    KvCtree,
+    /// PMDK-style KV store, radix-tree index.
+    KvRtree,
+    /// PMDK-style KV store, skiplist index (extension backend).
+    KvSkiplist,
+}
+
+impl IndexKind {
+    /// The four kernel benchmarks (Figure 8).
+    pub const KERNELS: [IndexKind; 4] = [
+        IndexKind::Hashtable,
+        IndexKind::Rbtree,
+        IndexKind::Heap,
+        IndexKind::Avl,
+    ];
+
+    /// The PMKV backends (Figure 14).
+    pub const PMKV: [IndexKind; 3] = [IndexKind::KvBtree, IndexKind::KvCtree, IndexKind::KvRtree];
+
+    /// Every implemented index, including extension backends.
+    pub const ALL: [IndexKind; 8] = [
+        IndexKind::Hashtable,
+        IndexKind::Rbtree,
+        IndexKind::Heap,
+        IndexKind::Avl,
+        IndexKind::KvBtree,
+        IndexKind::KvCtree,
+        IndexKind::KvRtree,
+        IndexKind::KvSkiplist,
+    ];
+
+    /// Builds the index (setup is untimed) and returns it with its
+    /// resolved annotation table installed into `ctx`.
+    pub fn build(self, ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Box<dyn DurableIndex> {
+        match self {
+            IndexKind::Hashtable => Box::new(crate::hashtable::Hashtable::new(ctx, value_size, source)),
+            IndexKind::Rbtree => Box::new(crate::rbtree::Rbtree::new(ctx, value_size, source)),
+            IndexKind::Heap => Box::new(crate::heap::MaxHeap::new(ctx, value_size, source)),
+            IndexKind::Avl => Box::new(crate::avl::AvlTree::new(ctx, value_size, source)),
+            IndexKind::KvBtree => Box::new(crate::kv::btree::BtreeKv::new(ctx, value_size, source)),
+            IndexKind::KvCtree => Box::new(crate::kv::ctree::CtreeKv::new(ctx, value_size, source)),
+            IndexKind::KvRtree => Box::new(crate::kv::rtree::RtreeKv::new(ctx, value_size, source)),
+            IndexKind::KvSkiplist => {
+                Box::new(crate::kv::skiplist::SkiplistKv::new(ctx, value_size, source))
+            }
+        }
+    }
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IndexKind::Hashtable => "hashtable",
+            IndexKind::Rbtree => "rbtree",
+            IndexKind::Heap => "heap",
+            IndexKind::Avl => "avl",
+            IndexKind::KvBtree => "kv-btree",
+            IndexKind::KvCtree => "kv-ctree",
+            IndexKind::KvRtree => "kv-rtree",
+            IndexKind::KvSkiplist => "kv-skiplist",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Index evaluated.
+    pub kind: IndexKind,
+    /// Total simulated cycles for the measured phase.
+    pub cycles: u64,
+    /// PM write traffic for the measured phase.
+    pub traffic: WriteTraffic,
+    /// Machine event counters.
+    pub stats: slpmt_core::MachineStats,
+}
+
+impl RunResult {
+    /// Speedup of this run relative to `baseline` (baseline cycles /
+    /// these cycles) — the Figure 8 metric.
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Write-traffic reduction relative to `baseline` (1 − media
+    /// bytes / baseline media bytes), the Figure 8/11 metric.
+    pub fn traffic_reduction_vs(&self, baseline: &RunResult) -> f64 {
+        self.traffic.reduction_vs(&baseline.traffic)
+    }
+}
+
+/// Runs the YCSB-load insert stream on one index/scheme combination
+/// and returns cycles + traffic. `verify` additionally checks
+/// invariants and membership after the run (used by tests; figures
+/// disable it for speed).
+pub fn run_inserts(
+    scheme: Scheme,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    verify: bool,
+) -> RunResult {
+    run_inserts_with(MachineConfig::for_scheme(scheme), kind, ops, value_size, source, verify)
+}
+
+/// [`run_inserts`] with an explicit machine configuration (latency
+/// sweeps, tiny caches).
+pub fn run_inserts_with(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    verify: bool,
+) -> RunResult {
+    let scheme = cfg.scheme;
+    let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
+    let mut index = kind.build(&mut ctx, value_size, source);
+    let start_cycles = ctx.machine().now();
+    let start_traffic = *ctx.machine().device().traffic();
+    for op in ops {
+        index.insert(&mut ctx, op.key, &op.value);
+    }
+    let cycles = ctx.machine().now() - start_cycles;
+    let mut traffic = *ctx.machine().device().traffic();
+    traffic.data_bytes -= start_traffic.data_bytes;
+    traffic.log_bytes -= start_traffic.log_bytes;
+    traffic.data_lines -= start_traffic.data_lines;
+    traffic.log_records -= start_traffic.log_records;
+    traffic.wpq_lines -= start_traffic.wpq_lines;
+    if verify {
+        index
+            .check_invariants(&ctx)
+            .unwrap_or_else(|e| panic!("{kind}/{scheme}: invariant violated after run: {e}"));
+        assert_eq!(index.len(&ctx), ops.len(), "{kind}/{scheme}: size mismatch");
+        for op in ops {
+            assert!(
+                index.contains(&ctx, op.key),
+                "{kind}/{scheme}: key {} missing",
+                op.key
+            );
+        }
+    }
+    RunResult {
+        scheme,
+        kind,
+        cycles,
+        traffic,
+        stats: *ctx.machine().stats(),
+    }
+}
+
+/// Runs a mixed workload (after an untimed load phase): inserts and
+/// removes are durable transactions, reads are timed cache-hierarchy
+/// lookups. Returns the measured-phase result.
+pub fn run_mixed(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    load: &[YcsbOp],
+    ops: &[MixedOp],
+    value_size: usize,
+    source: AnnotationSource,
+    verify: bool,
+) -> RunResult {
+    let scheme = cfg.scheme;
+    let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
+    let mut index = kind.build(&mut ctx, value_size, source);
+    for op in load {
+        index.insert(&mut ctx, op.key, &op.value);
+    }
+    let start_cycles = ctx.machine().now();
+    let start_traffic = *ctx.machine().device().traffic();
+    for op in ops {
+        match op {
+            MixedOp::Insert(o) => index.insert(&mut ctx, o.key, &o.value),
+            MixedOp::Read(k) => {
+                let v = index.get(&mut ctx, *k);
+                assert!(v.is_some(), "{kind}/{scheme}: live key {k} unreadable");
+            }
+            MixedOp::Remove(k) => {
+                let removed = index.remove(&mut ctx, *k);
+                assert!(removed, "{kind}/{scheme}: live key {k} unremovable");
+            }
+            MixedOp::Update(o) => {
+                let updated = index.update(&mut ctx, o.key, &o.value);
+                assert!(updated, "{kind}/{scheme}: live key {} unupdatable", o.key);
+            }
+        }
+    }
+    let cycles = ctx.machine().now() - start_cycles;
+    let mut traffic = *ctx.machine().device().traffic();
+    traffic.data_bytes -= start_traffic.data_bytes;
+    traffic.log_bytes -= start_traffic.log_bytes;
+    traffic.data_lines -= start_traffic.data_lines;
+    traffic.log_records -= start_traffic.log_records;
+    traffic.wpq_lines -= start_traffic.wpq_lines;
+    if verify {
+        index
+            .check_invariants(&ctx)
+            .unwrap_or_else(|e| panic!("{kind}/{scheme}: invariant violated after mixed run: {e}"));
+    }
+    RunResult {
+        scheme,
+        kind,
+        cycles,
+        traffic,
+        stats: *ctx.machine().stats(),
+    }
+}

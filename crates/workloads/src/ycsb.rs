@@ -1,0 +1,272 @@
+//! The YCSB-load workload generator (§VI-A).
+//!
+//! The paper evaluates each benchmark with the *load* phase of YCSB:
+//! 1,000 insert operations, each carrying an 8-byte key and a value of
+//! configurable size (256 bytes by default; the sensitivity studies
+//! sweep 16–256 bytes). Keys are unique and pseudo-random; values are
+//! deterministic functions of the key so runs are reproducible and
+//! post-crash checks can recompute the expected payload.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YcsbOp {
+    /// 8-byte key (unique within the run).
+    pub key: u64,
+    /// Value payload (`value_size` bytes, a whole number of words).
+    pub value: Vec<u8>,
+}
+
+/// Deterministic value payload for `key` — recomputable by checkers.
+pub fn value_for(key: u64, value_size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(value_size);
+    let mut x = key ^ 0xA5A5_5A5A_DEAD_BEEF;
+    while v.len() < value_size {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.truncate(value_size);
+    v
+}
+
+/// Generates the YCSB-load insert stream: `ops` unique keys in a
+/// seeded shuffle, each with a `value_size`-byte payload.
+///
+/// # Panics
+///
+/// Panics if `value_size` is not a multiple of 8 (stores are issued a
+/// word at a time).
+///
+/// ```
+/// let ops = slpmt_workloads::ycsb_load(1000, 256, 42);
+/// assert_eq!(ops.len(), 1000);
+/// assert!(ops.iter().all(|o| o.value.len() == 256));
+/// ```
+pub fn ycsb_load(ops: usize, value_size: usize, seed: u64) -> Vec<YcsbOp> {
+    assert!(value_size.is_multiple_of(8), "value size must be whole words");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Unique keys: dense per-seed IDs pushed through the (bijective)
+    // SplitMix64 finaliser, so keys look random, never collide within
+    // a run, and differ across seeds.
+    let mut ids: Vec<u64> = (1..=ops as u64).collect();
+    ids.shuffle(&mut rng);
+    ids.into_iter()
+        .map(|i| {
+            let mut z = (seed << 32) ^ i;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let key = z ^ (z >> 31);
+            YcsbOp {
+                key,
+                value: value_for(key, value_size),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn generates_requested_count_and_size() {
+        let ops = ycsb_load(1000, 256, 7);
+        assert_eq!(ops.len(), 1000);
+        assert!(ops.iter().all(|o| o.value.len() == 256));
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let ops = ycsb_load(1000, 16, 7);
+        let keys: BTreeSet<u64> = ops.iter().map(|o| o.key).collect();
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(ycsb_load(100, 64, 3), ycsb_load(100, 64, 3));
+        assert_ne!(ycsb_load(100, 64, 3), ycsb_load(100, 64, 4));
+    }
+
+    #[test]
+    fn values_recomputable() {
+        let ops = ycsb_load(10, 32, 9);
+        for op in &ops {
+            assert_eq!(op.value, value_for(op.key, 32));
+        }
+    }
+
+    #[test]
+    fn value_sizes_sweep() {
+        for size in [16, 32, 64, 128, 256] {
+            let ops = ycsb_load(10, size, 1);
+            assert!(ops.iter().all(|o| o.value.len() == size));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole words")]
+    fn ragged_value_size_rejected() {
+        let _ = ycsb_load(1, 20, 0);
+    }
+}
+
+/// One operation of a mixed (post-load) workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedOp {
+    /// Insert a fresh key.
+    Insert(YcsbOp),
+    /// Read an existing key.
+    Read(u64),
+    /// Remove an existing key.
+    Remove(u64),
+    /// Replace an existing key's value.
+    Update(YcsbOp),
+}
+
+/// Generates a mixed workload in the style of YCSB's run phases: after
+/// a load of `load` keys, `ops` operations follow with the given read
+/// and remove percentages (the remainder are fresh inserts). Reads and
+/// removes target previously inserted, not-yet-removed keys; the mix
+/// is deterministic for a seed. See [`ycsb_mixed_with_updates`] for
+/// mixes that also replace values (YCSB A/B style).
+///
+/// # Panics
+///
+/// Panics if `read_pct + remove_pct > 100` or `value_size` is not a
+/// multiple of 8.
+pub fn ycsb_mixed(
+    load: usize,
+    ops: usize,
+    value_size: usize,
+    seed: u64,
+    read_pct: u8,
+    remove_pct: u8,
+) -> (Vec<YcsbOp>, Vec<MixedOp>) {
+    ycsb_mixed_with_updates(load, ops, value_size, seed, read_pct, 0, remove_pct)
+}
+
+/// [`ycsb_mixed`] with an update share: YCSB A is (50 read / 50
+/// update), YCSB B is (95 read / 5 update). Updates target live keys
+/// with fresh deterministic values.
+///
+/// # Panics
+///
+/// Panics if the percentages exceed 100 or `value_size` is not a
+/// multiple of 8.
+pub fn ycsb_mixed_with_updates(
+    load: usize,
+    ops: usize,
+    value_size: usize,
+    seed: u64,
+    read_pct: u8,
+    update_pct: u8,
+    remove_pct: u8,
+) -> (Vec<YcsbOp>, Vec<MixedOp>) {
+    assert!(
+        read_pct as u16 + update_pct as u16 + remove_pct as u16 <= 100,
+        "percentages exceed 100"
+    );
+    let loaded = ycsb_load(load, value_size, seed);
+    let extra = ycsb_load(load + ops, value_size, seed ^ 0x5EED);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+    let mut live: Vec<u64> = loaded.iter().map(|o| o.key).collect();
+    let initial: std::collections::BTreeSet<u64> = live.iter().copied().collect();
+    let mut fresh = extra.into_iter().filter(move |o| !initial.contains(&o.key));
+    let mut out = Vec::with_capacity(ops);
+    let mut version = 0u64;
+    for _ in 0..ops {
+        let roll: u8 = rng.gen_range(0..100);
+        if roll < read_pct && !live.is_empty() {
+            let i = rng.gen_range(0..live.len());
+            out.push(MixedOp::Read(live[i]));
+        } else if roll < read_pct + update_pct && !live.is_empty() {
+            let i = rng.gen_range(0..live.len());
+            version += 1;
+            let key = live[i];
+            out.push(MixedOp::Update(YcsbOp {
+                key,
+                value: value_for(key ^ version.rotate_left(32), value_size),
+            }));
+        } else if roll < read_pct + update_pct + remove_pct && !live.is_empty() {
+            let i = rng.gen_range(0..live.len());
+            out.push(MixedOp::Remove(live.swap_remove(i)));
+        } else {
+            let op = fresh.next().expect("fresh key pool exhausted");
+            live.push(op.key);
+            out.push(MixedOp::Insert(op));
+        }
+    }
+    (loaded, out)
+}
+
+#[cfg(test)]
+mod mixed_tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn mixed_ops_respect_liveness() {
+        let (load, ops) = ycsb_mixed(50, 200, 16, 3, 40, 20);
+        let mut live: BTreeSet<u64> = load.iter().map(|o| o.key).collect();
+        for op in &ops {
+            match op {
+                MixedOp::Insert(o) => {
+                    assert!(live.insert(o.key), "insert of live key");
+                }
+                MixedOp::Read(k) => assert!(live.contains(k), "read of dead key"),
+                MixedOp::Remove(k) => {
+                    assert!(live.remove(k), "remove of dead key");
+                }
+                MixedOp::Update(o) => assert!(live.contains(&o.key), "update of dead key"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_is_deterministic() {
+        assert_eq!(ycsb_mixed(10, 50, 16, 9, 50, 10), ycsb_mixed(10, 50, 16, 9, 50, 10));
+    }
+
+    #[test]
+    fn pure_read_mix_has_no_mutations() {
+        let (_, ops) = ycsb_mixed(20, 100, 16, 1, 100, 0);
+        assert!(ops.iter().all(|o| matches!(o, MixedOp::Read(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentages exceed 100")]
+    fn overfull_mix_rejected() {
+        let _ = ycsb_mixed(10, 10, 16, 0, 80, 30);
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+
+    #[test]
+    fn ycsb_a_style_mix() {
+        let (_, ops) = ycsb_mixed_with_updates(50, 400, 16, 2, 50, 50, 0);
+        let updates = ops.iter().filter(|o| matches!(o, MixedOp::Update(_))).count();
+        let reads = ops.iter().filter(|o| matches!(o, MixedOp::Read(_))).count();
+        assert_eq!(updates + reads, 400, "50/50 read-update mix");
+        assert!(updates > 120 && reads > 120);
+    }
+
+    #[test]
+    fn updates_carry_fresh_values() {
+        let (_, ops) = ycsb_mixed_with_updates(5, 50, 16, 3, 0, 100, 0);
+        for op in &ops {
+            let MixedOp::Update(o) = op else { panic!("pure update mix") };
+            assert_eq!(o.value.len(), 16);
+        }
+    }
+}

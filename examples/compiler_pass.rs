@@ -1,0 +1,56 @@
+//! Drive the §IV compiler analyses directly: describe a transaction
+//! in the SSA IR, run Pattern 1 / Pattern 2, and inspect the `storeT`
+//! rewrites.
+//!
+//! ```sh
+//! cargo run --example compiler_pass
+//! ```
+
+use slpmt::annotate::{analyze, Operand, ParamKind, TxnIrBuilder};
+
+fn main() {
+    // The list-insert body of the paper's Figure 7, plus a removal and
+    // a data-movement pattern.
+    let mut b = TxnIrBuilder::new("example-txn");
+    let pos = b.param(ParamKind::PersistentPtr);
+    let other = b.param(ParamKind::PersistentPtr);
+    let v = b.param(ParamKind::Value);
+
+    // Pattern 1: a fresh node.
+    let x = b.alloc();
+    let s_prev = b.store(x, 0, Operand::Value(pos)); // x->prev  = pos
+    let s_val = b.store(x, 1, Operand::Value(v)); //    x->value = v
+    let s_link = b.store(pos, 0, Operand::Value(x)); // pos->next = x  (publishes!)
+
+    // Pattern 1, free case: poison a node the txn deallocates.
+    let victim = b.load(pos, 2);
+    let s_poison = b.store(victim, 0, Operand::Const(0));
+    b.free(victim);
+
+    // Pattern 2: move a recoverable value between existing nodes.
+    let k = b.load(other, 1);
+    let s_move = b.store(pos, 3, Operand::Value(k));
+
+    // Deep semantics the compiler cannot see through.
+    let c = b.compute_opaque(vec![Operand::Value(k)]);
+    let s_opaque = b.store(pos, 4, Operand::Value(c));
+
+    let ir = b.build();
+    let (table, stats) = analyze(&ir);
+
+    println!("transaction `{}`: {} instructions analysed\n", ir.name, stats.insts);
+    for (site, desc) in [
+        (s_prev, "x->prev  = pos           (fresh node)"),
+        (s_val, "x->value = v             (fresh node)"),
+        (s_link, "pos->next = x            (publishes fresh address)"),
+        (s_poison, "victim->f0 = 0           (region freed in txn)"),
+        (s_move, "pos->f3 = other->f1      (data movement)"),
+        (s_opaque, "pos->f4 = opaque(k)      (deep semantics)"),
+    ] {
+        println!("{desc}  →  {}", table.get(site));
+    }
+    println!(
+        "\npattern 1: {} log-free + {} lazy-log-free; pattern 2: {} lazy; {} plain",
+        stats.pattern1_log_free, stats.pattern1_lazy_log_free, stats.pattern2_lazy, stats.plain
+    );
+}

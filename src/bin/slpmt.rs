@@ -1,0 +1,225 @@
+//! `slpmt` — command-line front end for the simulator.
+//!
+//! ```text
+//! slpmt schemes                         list hardware designs
+//! slpmt overhead                        §III-D hardware budget
+//! slpmt run <index> [options]           run YCSB-load inserts
+//! slpmt compare <index> [options]       all schemes side by side
+//! slpmt trace [options]                 dump the persist-event trace
+//!
+//! options: --scheme <name> --ops <n> --value <bytes>
+//!          --annotations <manual|compiler|none> --latency <ns>
+//! ```
+
+use slpmt::cache::CacheConfig;
+use slpmt::core::{HardwareOverhead, MachineConfig, Scheme};
+use slpmt::pmem::PersistEvent;
+use slpmt::workloads::runner::{run_inserts_with, IndexKind};
+use slpmt::workloads::{ycsb_load, AnnotationSource};
+use std::process::ExitCode;
+
+struct Options {
+    scheme: Scheme,
+    ops: usize,
+    value: usize,
+    annotations: AnnotationSource,
+    latency_ns: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scheme: Scheme::Slpmt,
+            ops: 1000,
+            value: 256,
+            annotations: AnnotationSource::Manual,
+            latency_ns: None,
+        }
+    }
+}
+
+fn parse_scheme(name: &str) -> Option<Scheme> {
+    Scheme::ALL
+        .into_iter()
+        .chain(Scheme::REDO)
+        .find(|s| s.to_string().eq_ignore_ascii_case(name))
+}
+
+fn parse_kind(name: &str) -> Option<IndexKind> {
+    IndexKind::ALL
+        .into_iter()
+        .find(|k| k.to_string().eq_ignore_ascii_case(name))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = value()?;
+                o.scheme = parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?;
+            }
+            "--ops" => o.ops = value()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--value" => o.value = value()?.parse().map_err(|e| format!("--value: {e}"))?,
+            "--annotations" => {
+                o.annotations = match value()?.as_str() {
+                    "manual" => AnnotationSource::Manual,
+                    "compiler" => AnnotationSource::Compiler,
+                    "none" => AnnotationSource::None,
+                    other => return Err(format!("unknown annotation source {other}")),
+                }
+            }
+            "--latency" => {
+                o.latency_ns = Some(value()?.parse().map_err(|e| format!("--latency: {e}"))?)
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn config_for(o: &Options, scheme: Scheme) -> MachineConfig {
+    let mut cfg = MachineConfig::for_scheme(scheme);
+    if let Some(ns) = o.latency_ns {
+        cfg.pm = cfg.pm.with_write_latency_ns(ns);
+    }
+    cfg
+}
+
+fn cmd_schemes() {
+    println!("{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}", "scheme", "gran.", "buffer", "log-free", "lazy", "discipline");
+    for s in Scheme::ALL.into_iter().chain(Scheme::REDO) {
+        let f = s.features();
+        println!(
+            "{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}",
+            s.to_string(),
+            format!("{:?}", f.granularity),
+            format!("{:?}", f.buffer),
+            f.log_free,
+            f.lazy,
+            format!("{:?}", f.discipline),
+        );
+    }
+}
+
+fn cmd_overhead() {
+    let oh = HardwareOverhead::for_config(&CacheConfig::default());
+    println!("per-core SLPMT storage (§III-D):");
+    println!("  cache metadata : {} B ({} b/L1 line, {} b/L2 line)", oh.cache_meta_bytes, oh.l1_bits_per_line, oh.l2_bits_per_line);
+    println!("  log buffer     : {} B", oh.log_buffer_bytes);
+    println!("  signatures     : {} B", oh.signature_bytes);
+    println!("  total          : {:.1} KB (paper: 6.1 KB)", oh.total_bytes() as f64 / 1024.0);
+}
+
+fn cmd_run(kind: IndexKind, o: &Options) {
+    let ops = ycsb_load(o.ops, o.value, 42);
+    let r = run_inserts_with(config_for(o, o.scheme), kind, &ops, o.value, o.annotations, true);
+    println!("{kind} under {} ({} × {} B inserts, verified)", o.scheme, o.ops, o.value);
+    println!("  cycles        : {}", r.cycles);
+    println!("  media traffic : {} B ({} data lines, {} log records)", r.traffic.media_bytes(), r.traffic.data_lines, r.traffic.log_records);
+    println!("{}", r.stats);
+}
+
+fn cmd_compare(kind: IndexKind, o: &Options) {
+    let ops = ycsb_load(o.ops, o.value, 42);
+    let base = run_inserts_with(config_for(o, Scheme::Fg), kind, &ops, o.value, o.annotations, false);
+    println!("{kind}: {} × {} B inserts (speedup and traffic vs FG)", o.ops, o.value);
+    for s in [Scheme::Fg, Scheme::FgLg, Scheme::FgLz, Scheme::Slpmt, Scheme::Atom, Scheme::Ede] {
+        let r = run_inserts_with(config_for(o, s), kind, &ops, o.value, o.annotations, false);
+        println!(
+            "  {:<8} {:>12} cycles  {:>5.2}x  {:>9} media B  {:>+6.1}%",
+            s.to_string(),
+            r.cycles,
+            r.speedup_vs(&base),
+            r.traffic.media_bytes(),
+            -r.traffic_reduction_vs(&base) * 100.0,
+        );
+    }
+}
+
+fn cmd_trace(o: &Options) {
+    let ops = ycsb_load(o.ops.min(3), o.value, 42);
+    let mut ctx = slpmt::workloads::PmContext::with_config(
+        config_for(o, o.scheme),
+        slpmt::annotate::AnnotationTable::new(),
+    );
+    let mut idx = IndexKind::Hashtable.build(&mut ctx, o.value, o.annotations);
+    for op in &ops {
+        idx.insert(&mut ctx, op.key, &op.value);
+    }
+    println!("persist-event trace ({} inserts under {}):", ops.len(), o.scheme);
+    for (i, e) in ctx.machine().device().events().iter().enumerate() {
+        match e {
+            PersistEvent::LogRecord { txn, addr, len } => {
+                println!("{i:>4}  log    txn {txn:<3} {addr}  ({len} B)")
+            }
+            PersistEvent::DataLine { addr } => println!("{i:>4}  data   {addr}"),
+            PersistEvent::CommitMarker { txn } => println!("{i:>4}  marker txn {txn}"),
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|trace> \
+         [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
+         indices: {}",
+        IndexKind::ALL
+            .map(|k| k.to_string())
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "schemes" => {
+            cmd_schemes();
+            ExitCode::SUCCESS
+        }
+        "overhead" => {
+            cmd_overhead();
+            ExitCode::SUCCESS
+        }
+        "run" | "compare" => {
+            let Some(kind) = args.get(1).and_then(|k| parse_kind(k)) else {
+                return usage();
+            };
+            match parse_options(&args[2..]) {
+                Ok(o) => {
+                    if cmd == "run" {
+                        cmd_run(kind, &o);
+                    } else {
+                        cmd_compare(kind, &o);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trace" => match parse_options(&args[1..]) {
+            Ok(o) => {
+                cmd_trace(&o);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

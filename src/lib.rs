@@ -1,0 +1,34 @@
+//! SLPMT — selective-logging hardware persistent-memory transactions.
+//!
+//! Facade crate re-exporting the whole simulator workspace. See the
+//! individual crates for details:
+//!
+//! * [`pmem`] — persistent-memory device model (WPQ, image, heap, logs)
+//! * [`cache`] — L1/L2/L3 hierarchy with SLPMT metadata bits
+//! * [`logbuf`] — four-tier coalescing log buffer and baseline buffers
+//! * [`core`] — the transaction engine and evaluated schemes
+//! * [`annotate`] — the compiler-pass simulation (Patterns 1 and 2)
+//! * [`workloads`] — durable data structures and the YCSB driver
+//!
+//! # Example
+//!
+//! ```
+//! use slpmt::core::{Machine, MachineConfig, Scheme, StoreKind};
+//! use slpmt::pmem::PmAddr;
+//!
+//! let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+//! m.tx_begin();
+//! m.store_u64(PmAddr::new(0x1000), 42, StoreKind::Store);
+//! m.store_u64(PmAddr::new(0x2000), 7, StoreKind::log_free());
+//! m.tx_commit();
+//! assert_eq!(m.device().image().read_u64(PmAddr::new(0x1000)), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use slpmt_annotate as annotate;
+pub use slpmt_cache as cache;
+pub use slpmt_core as core;
+pub use slpmt_logbuf as logbuf;
+pub use slpmt_pmem as pmem;
+pub use slpmt_workloads as workloads;

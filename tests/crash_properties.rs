@@ -1,0 +1,200 @@
+//! Property-based crash-consistency tests.
+//!
+//! The machine-level property partitions the address space into three
+//! durability classes (always-plain, always-log-free, always-lazy) and
+//! checks, for random transaction streams crashed at a random point:
+//!
+//! * **plain** words are exactly their last committed value after
+//!   recovery (undo rolls the crashed transaction back);
+//! * **log-free** words hold their last committed value or a value the
+//!   crashed transaction wrote (the leak Pattern-1 recovery reclaims);
+//! * **lazy** words hold *some* committed value (deferral may lose the
+//!   newest, never invents one);
+//! * with no crash and a full drain, everything matches the model.
+//!
+//! The structure-level property inserts a random prefix into a random
+//! index, crashes, recovers, and requires every committed key back
+//! with its exact value plus intact invariants.
+
+use proptest::prelude::*;
+use slpmt::core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt::pmem::PmAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+const WORDS: u64 = 24; // words per class
+
+fn addr(class: usize, word: u64) -> PmAddr {
+    // Distinct lines per word so classes never share a cache line.
+    PmAddr::new(0x10000 + (class as u64 * WORDS + word) * 64)
+}
+
+fn kind_of(class: usize) -> StoreKind {
+    match class {
+        0 => StoreKind::Store,
+        1 => StoreKind::log_free(),
+        _ => StoreKind::lazy_log_free(),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    writes: Vec<(usize, u64, u64)>, // (class, word, value)
+}
+
+fn txn_strategy() -> impl Strategy<Value = Txn> {
+    prop::collection::vec((0usize..3, 0u64..WORDS, 1u64..u64::MAX), 1..8)
+        .prop_map(|writes| Txn { writes })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn machine_crash_durability_classes(
+        txns in prop::collection::vec(txn_strategy(), 1..12),
+        crash_after in 0usize..12,
+        partial in txn_strategy(),
+    ) {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        let crash_after = crash_after.min(txns.len());
+        // committed[class][word] = last committed value
+        let mut committed: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+        // every committed value ever written per lazy word
+        let mut history: BTreeMap<(usize, u64), BTreeSet<u64>> = BTreeMap::new();
+        for t in &txns[..crash_after] {
+            m.tx_begin();
+            for &(c, w, v) in &t.writes {
+                m.store_u64(addr(c, w), v, kind_of(c));
+            }
+            m.tx_commit();
+            for &(c, w, v) in &t.writes {
+                committed.insert((c, w), v);
+                history.entry((c, w)).or_default().insert(v);
+            }
+        }
+        // Logical state matches the model before the crash.
+        for (&(c, w), &v) in &committed {
+            prop_assert_eq!(m.peek_u64(addr(c, w)), v);
+        }
+        // A partially-executed transaction at crash time.
+        m.tx_begin();
+        let mut partial_writes: BTreeMap<(usize, u64), BTreeSet<u64>> = BTreeMap::new();
+        for &(c, w, v) in &partial.writes {
+            m.store_u64(addr(c, w), v, kind_of(c));
+            partial_writes.entry((c, w)).or_default().insert(v);
+        }
+        m.crash();
+        m.recover();
+        for c in 0..3usize {
+            for w in 0..WORDS {
+                let img = m.device().image().read_u64(addr(c, w));
+                let last = committed.get(&(c, w)).copied().unwrap_or(0);
+                match c {
+                    0 => prop_assert_eq!(
+                        img, last,
+                        "plain word {} must be its last committed value", w
+                    ),
+                    1 => {
+                        let leaked = partial_writes
+                            .get(&(c, w))
+                            .is_some_and(|s| s.contains(&img));
+                        prop_assert!(
+                            img == last || leaked,
+                            "log-free word {w}: image {img} is neither committed {last} nor a crashed-txn write"
+                        );
+                    }
+                    _ => {
+                        let ok = img == 0
+                            || history.get(&(c, w)).is_some_and(|s| s.contains(&img));
+                        prop_assert!(
+                            ok,
+                            "lazy word {w}: image {img} was never a committed value"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn machine_drain_makes_model_exact(
+        txns in prop::collection::vec(txn_strategy(), 1..10),
+    ) {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        let mut model: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+        for t in &txns {
+            m.tx_begin();
+            for &(c, w, v) in &t.writes {
+                m.store_u64(addr(c, w), v, kind_of(c));
+            }
+            m.tx_commit();
+            for &(c, w, v) in &t.writes {
+                model.insert((c, w), v);
+            }
+        }
+        m.drain_lazy();
+        for (&(c, w), &v) in &model {
+            prop_assert_eq!(
+                m.device().image().read_u64(addr(c, w)),
+                v,
+                "class {} word {} after full drain",
+                c,
+                w
+            );
+        }
+    }
+}
+
+mod structures {
+    use super::*;
+    use slpmt::annotate::AnnotationTable;
+    use slpmt::workloads::runner::IndexKind;
+    use slpmt::workloads::{ycsb_load, AnnotationSource, PmContext};
+
+    const KINDS: [IndexKind; 8] = IndexKind::ALL;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+        #[test]
+        fn committed_inserts_survive_random_crash_points(
+            kind_idx in 0usize..8,
+            total in 20usize..70,
+            crash_at in 0usize..70,
+            seed in 0u64..1000,
+            manual in any::<bool>(),
+        ) {
+            let kind = KINDS[kind_idx];
+            let crash_at = crash_at.min(total);
+            let src = if manual { AnnotationSource::Manual } else { AnnotationSource::Compiler };
+            let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+            let mut idx = kind.build(&mut ctx, 32, src);
+            let ops = ycsb_load(total, 32, seed);
+            for op in &ops[..crash_at] {
+                idx.insert(&mut ctx, op.key, &op.value);
+            }
+            ctx.crash_and_recover();
+            idx.recover(&mut ctx);
+            let reachable = idx.reachable(&ctx);
+            ctx.gc(&reachable);
+            idx.check_invariants(&ctx)
+                .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
+            prop_assert_eq!(idx.len(&ctx), crash_at);
+            for op in &ops[..crash_at] {
+                let got = idx.value_of(&ctx, op.key);
+                prop_assert_eq!(
+                    got.as_deref(),
+                    Some(op.value.as_slice()),
+                    "{} lost committed key {}", kind, op.key
+                );
+            }
+            // The structure stays usable after recovery.
+            for op in &ops[crash_at..] {
+                idx.insert(&mut ctx, op.key, &op.value);
+            }
+            idx.check_invariants(&ctx)
+                .map_err(|e| TestCaseError::fail(format!("{kind} post-resume: {e}")))?;
+            prop_assert_eq!(idx.len(&ctx), total);
+        }
+    }
+}

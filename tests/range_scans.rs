@@ -1,0 +1,123 @@
+//! Range-scan correctness for the ordered indexes, model-based against
+//! a `BTreeMap` oracle (the ROART-style range queries the paper cites
+//! as motivation for persistent ordered indexes).
+
+use proptest::prelude::*;
+use slpmt::annotate::AnnotationTable;
+use slpmt::core::Scheme;
+use slpmt::workloads::avl::AvlTree;
+use slpmt::workloads::kv::btree::BtreeKv;
+use slpmt::workloads::kv::ctree::CtreeKv;
+use slpmt::workloads::kv::rtree::RtreeKv;
+use slpmt::workloads::kv::skiplist::SkiplistKv;
+use slpmt::workloads::rbtree::Rbtree;
+use slpmt::workloads::runner::{DurableIndex, RangeIndex};
+use slpmt::workloads::{ycsb_load, AnnotationSource, PmContext};
+use std::collections::BTreeMap;
+
+fn check_against_oracle<I: RangeIndex>(
+    mut idx: I,
+    mut ctx: PmContext,
+    n: usize,
+    seed: u64,
+    ranges: &[(u64, u64)],
+) -> Result<(), TestCaseError> {
+    let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for op in ycsb_load(n, 16, seed) {
+        idx.insert(&mut ctx, op.key, &op.value);
+        oracle.insert(op.key, op.value);
+    }
+    for &(a, b) in ranges {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let got = idx.scan(&mut ctx, lo, hi);
+        let want: Vec<(u64, Vec<u8>)> = oracle
+            .range(lo..=hi)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        prop_assert_eq!(&got, &want, "{} range [{}, {}]", idx.name(), lo, hi);
+    }
+    // Full scan covers everything, in order.
+    let all = idx.scan(&mut ctx, u64::MIN, u64::MAX);
+    prop_assert_eq!(all.len(), oracle.len());
+    prop_assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ordered_indexes_scan_like_the_oracle(
+        n in 1usize..120,
+        seed in 0u64..1000,
+        ranges in prop::collection::vec((any::<u64>(), any::<u64>()), 1..6),
+        which in 0usize..6,
+    ) {
+        let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+        match which {
+            0 => {
+                let idx = Rbtree::new(&mut ctx, 16, AnnotationSource::Manual);
+                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+            }
+            1 => {
+                let idx = AvlTree::new(&mut ctx, 16, AnnotationSource::Manual);
+                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+            }
+            2 => {
+                let idx = BtreeKv::new(&mut ctx, 16, AnnotationSource::Manual);
+                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+            }
+            3 => {
+                let idx = CtreeKv::new(&mut ctx, 16, AnnotationSource::Manual);
+                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+            }
+            4 => {
+                let idx = RtreeKv::new(&mut ctx, 16, AnnotationSource::Manual);
+                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+            }
+            _ => {
+                let idx = SkiplistKv::new(&mut ctx, 16, AnnotationSource::Manual);
+                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+            }
+        }
+    }
+}
+
+#[test]
+fn scans_survive_crash_recovery() {
+    let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+    let mut idx = SkiplistKv::new(&mut ctx, 16, AnnotationSource::Manual);
+    let ops = ycsb_load(100, 16, 5);
+    let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for op in &ops {
+        idx.insert(&mut ctx, op.key, &op.value);
+        oracle.insert(op.key, op.value.clone());
+    }
+    ctx.crash_and_recover();
+    idx.recover(&mut ctx);
+    ctx.gc(&idx.reachable(&ctx));
+    let all = idx.scan(&mut ctx, u64::MIN, u64::MAX);
+    let want: Vec<(u64, Vec<u8>)> = oracle.iter().map(|(k, v)| (*k, v.clone())).collect();
+    assert_eq!(all, want);
+}
+
+#[test]
+fn tight_and_empty_ranges() {
+    let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+    let mut idx = BtreeKv::new(&mut ctx, 16, AnnotationSource::Manual);
+    let ops = ycsb_load(50, 16, 6);
+    for op in &ops {
+        idx.insert(&mut ctx, op.key, &op.value);
+    }
+    let k = ops[25].key;
+    assert_eq!(idx.scan(&mut ctx, k, k), vec![(k, ops[25].value.clone())]);
+    // A hole between two adjacent keys is empty.
+    let mut keys: Vec<u64> = ops.iter().map(|o| o.key).collect();
+    keys.sort_unstable();
+    for w in keys.windows(2) {
+        if w[1] - w[0] > 2 {
+            assert!(idx.scan(&mut ctx, w[0] + 1, w[1] - 1).is_empty());
+            break;
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Removal support: the Pattern 1 *free* case ("if a transaction
+//! intends to free a memory region ... any update in that transaction
+//! on the memory region needs no persistence", §IV-B).
+//!
+//! Model-based interleaved insert/remove streams against a `BTreeMap`
+//! oracle, plus crash-recovery across removals and the
+//! memory-reclamation accounting (freed nodes really return to the
+//! heap).
+
+use proptest::prelude::*;
+use slpmt::annotate::AnnotationTable;
+use slpmt::core::Scheme;
+use slpmt::workloads::runner::IndexKind;
+use slpmt::workloads::{ycsb_load, AnnotationSource, PmContext};
+use std::collections::BTreeMap;
+
+const KINDS: [IndexKind; 8] = IndexKind::ALL;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 28, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interleaved_inserts_and_removes_match_oracle(
+        kind_idx in 0usize..8,
+        n in 10usize..90,
+        seed in 0u64..10_000,
+        remove_pattern in 1u64..7,
+    ) {
+        let kind = KINDS[kind_idx];
+        let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+        let mut idx = kind.build(&mut ctx, 32, AnnotationSource::Manual);
+        let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let ops = ycsb_load(n, 32, seed);
+        for (i, op) in ops.iter().enumerate() {
+            idx.insert(&mut ctx, op.key, &op.value);
+            oracle.insert(op.key, op.value.clone());
+            // Periodically remove an earlier key, and update another.
+            if (i as u64).is_multiple_of(remove_pattern) && i > 0 {
+                let victim = ops[i / 2].key;
+                let expect = oracle.remove(&victim).is_some();
+                let got = idx.remove(&mut ctx, victim);
+                prop_assert_eq!(got, expect, "{} remove({})", kind, victim);
+                let target = ops[i / 3].key;
+                let fresh = slpmt::workloads::ycsb::value_for(target ^ i as u64, 32);
+                let expect = oracle.contains_key(&target);
+                if expect {
+                    oracle.insert(target, fresh.clone());
+                }
+                let got = idx.update(&mut ctx, target, &fresh);
+                prop_assert_eq!(got, expect, "{} update({})", kind, target);
+            }
+        }
+        prop_assert_eq!(idx.len(&ctx), oracle.len(), "{} size", kind);
+        for (k, v) in &oracle {
+            let got = idx.value_of(&ctx, *k);
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "{} key {}", kind, k);
+        }
+        for op in &ops {
+            if !oracle.contains_key(&op.key) {
+                prop_assert!(!idx.contains(&ctx, op.key), "{} ghost {}", kind, op.key);
+            }
+        }
+        idx.check_invariants(&ctx)
+            .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
+    }
+
+    #[test]
+    fn crash_after_removes_recovers(
+        kind_idx in 0usize..8,
+        n in 20usize..60,
+        removes in 1usize..15,
+        seed in 0u64..1000,
+    ) {
+        let kind = KINDS[kind_idx];
+        let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+        let mut idx = kind.build(&mut ctx, 32, AnnotationSource::Manual);
+        let ops = ycsb_load(n, 32, seed);
+        let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            idx.insert(&mut ctx, op.key, &op.value);
+            oracle.insert(op.key, op.value.clone());
+        }
+        for op in ops.iter().take(removes) {
+            idx.remove(&mut ctx, op.key);
+            oracle.remove(&op.key);
+        }
+        ctx.crash_and_recover();
+        idx.recover(&mut ctx);
+        ctx.gc(&idx.reachable(&ctx));
+        idx.check_invariants(&ctx)
+            .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
+        prop_assert_eq!(idx.len(&ctx), oracle.len());
+        for (k, v) in &oracle {
+            let got = idx.value_of(&ctx, *k);
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "{} key {}", kind, k);
+        }
+        for op in ops.iter().take(removes) {
+            prop_assert!(!idx.contains(&ctx, op.key), "{} resurrected {}", kind, op.key);
+        }
+    }
+}
+
+#[test]
+fn removal_reclaims_memory() {
+    for kind in KINDS {
+        let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+        let mut idx = kind.build(&mut ctx, 64, AnnotationSource::Manual);
+        let ops = ycsb_load(40, 64, 9);
+        let empty_bytes = ctx.heap().live_bytes();
+        for op in &ops {
+            idx.insert(&mut ctx, op.key, &op.value);
+        }
+        let full_bytes = ctx.heap().live_bytes();
+        assert!(full_bytes > empty_bytes, "{kind}: inserts allocate");
+        for op in &ops {
+            assert!(idx.remove(&mut ctx, op.key), "{kind}: remove {}", op.key);
+        }
+        assert_eq!(idx.len(&ctx), 0, "{kind}: emptied");
+        idx.check_invariants(&ctx).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let end_bytes = ctx.heap().live_bytes();
+        // Most memory returns; resize blocks/arrays (hashtable) and
+        // grown arrays (heap) legitimately persist until GC.
+        assert!(
+            end_bytes < full_bytes,
+            "{kind}: removals must free memory ({end_bytes} vs {full_bytes})"
+        );
+        // After GC of the now-empty structure, stragglers are reclaimed.
+        ctx.gc(&idx.reachable(&ctx));
+        assert!(ctx.heap().live_bytes() <= full_bytes / 2, "{kind}: GC reclaims the rest");
+    }
+}
+
+#[test]
+fn remove_of_absent_key_is_a_clean_noop() {
+    for kind in KINDS {
+        let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+        let mut idx = kind.build(&mut ctx, 32, AnnotationSource::Manual);
+        assert!(!idx.remove(&mut ctx, 42), "{kind}: remove from empty");
+        for op in ycsb_load(20, 32, 1) {
+            idx.insert(&mut ctx, op.key, &op.value);
+        }
+        assert!(!idx.remove(&mut ctx, 0xDEAD_BEEF), "{kind}: absent key");
+        assert_eq!(idx.len(&ctx), 20);
+        idx.check_invariants(&ctx).unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+#[test]
+fn removals_work_under_every_scheme() {
+    for scheme in [Scheme::Fg, Scheme::Atom, Scheme::Ede, Scheme::SlpmtRedo] {
+        let mut ctx = PmContext::new(scheme, AnnotationTable::new());
+        let mut idx = IndexKind::Rbtree.build(&mut ctx, 32, AnnotationSource::Manual);
+        let ops = ycsb_load(60, 32, 4);
+        for op in &ops {
+            idx.insert(&mut ctx, op.key, &op.value);
+        }
+        for op in ops.iter().step_by(2) {
+            assert!(idx.remove(&mut ctx, op.key), "{scheme}: remove");
+        }
+        assert_eq!(idx.len(&ctx), 30, "{scheme}");
+        idx.check_invariants(&ctx).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Long-running soak test: a randomised storm of inserts, updates,
+//! removals, scans, crashes and recoveries across every index and a
+//! rotating set of schemes, checked against a `BTreeMap` oracle the
+//! whole way. The default run is sized for CI; `--ignored` runs the
+//! heavy version.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slpmt::annotate::AnnotationTable;
+use slpmt::core::Scheme;
+use slpmt::workloads::runner::IndexKind;
+use slpmt::workloads::ycsb::value_for;
+use slpmt::workloads::{AnnotationSource, PmContext};
+use std::collections::BTreeMap;
+
+fn soak(kind: IndexKind, scheme: Scheme, rounds: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctx = PmContext::new(scheme, AnnotationTable::new());
+    let mut idx = kind.build(&mut ctx, 32, AnnotationSource::Manual);
+    let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut next_key = 1u64;
+    for round in 0..rounds {
+        let ops = rng.gen_range(5..40);
+        for _ in 0..ops {
+            match rng.gen_range(0..100u32) {
+                0..=54 => {
+                    // Insert a fresh key.
+                    next_key = next_key.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = next_key | 1; // never zero
+                    if oracle.contains_key(&key) {
+                        continue;
+                    }
+                    let val = value_for(key, 32);
+                    idx.insert(&mut ctx, key, &val);
+                    oracle.insert(key, val);
+                }
+                55..=74 => {
+                    // Update a random live key.
+                    if let Some(&key) = oracle.keys().nth(rng.gen_range(0..oracle.len().max(1))) {
+                        let val = value_for(key ^ round as u64, 32);
+                        assert!(idx.update(&mut ctx, key, &val), "{kind}/{scheme}: update");
+                        oracle.insert(key, val);
+                    }
+                }
+                75..=89 => {
+                    // Remove a random live key.
+                    if let Some(&key) = oracle.keys().nth(rng.gen_range(0..oracle.len().max(1))) {
+                        assert!(idx.remove(&mut ctx, key), "{kind}/{scheme}: remove");
+                        oracle.remove(&key);
+                    }
+                }
+                _ => {
+                    // Point lookups, live and dead.
+                    if let Some(&key) = oracle.keys().next() {
+                        let got = idx.get(&mut ctx, key);
+                        assert_eq!(got.as_deref(), oracle.get(&key).map(|v| v.as_slice()));
+                    }
+                    assert!(idx.get(&mut ctx, 0xDEAD_0000_0000_0000).is_none());
+                }
+            }
+        }
+        // Periodic crash + recovery.
+        if rng.gen_bool(0.4) {
+            ctx.crash_and_recover();
+            idx.recover(&mut ctx);
+            ctx.gc(&idx.reachable(&ctx));
+        }
+        idx.check_invariants(&ctx)
+            .unwrap_or_else(|e| panic!("{kind}/{scheme} round {round}: {e}"));
+        assert_eq!(idx.len(&ctx), oracle.len(), "{kind}/{scheme} round {round}");
+    }
+    for (k, v) in &oracle {
+        assert_eq!(
+            idx.value_of(&ctx, *k).as_deref(),
+            Some(v.as_slice()),
+            "{kind}/{scheme}: final check of {k}"
+        );
+    }
+}
+
+#[test]
+fn soak_every_index_briefly() {
+    for (i, kind) in IndexKind::ALL.into_iter().enumerate() {
+        let scheme = [Scheme::Slpmt, Scheme::Fg, Scheme::Atom][i % 3];
+        soak(kind, scheme, 8, 0xC0FFEE + i as u64);
+    }
+}
+
+#[test]
+#[ignore = "heavy soak; run explicitly with --ignored"]
+fn soak_heavy() {
+    for (i, kind) in IndexKind::ALL.into_iter().enumerate() {
+        for (j, scheme) in [Scheme::Slpmt, Scheme::Fg, Scheme::Ede, Scheme::SlpmtCl]
+            .into_iter()
+            .enumerate()
+        {
+            soak(kind, scheme, 60, 0xABCD + (i * 7 + j) as u64);
+        }
+    }
+}
