@@ -68,7 +68,6 @@ struct Flow {
     alloc_derived: bool,
 }
 
-
 impl Flow {
     const CONST: Flow = Flow {
         recoverable: true,
@@ -188,9 +187,7 @@ pub fn analyze(ir: &TxnIr) -> (AnnotationTable, AnalysisStats) {
                     // the pre-image would be lost.
                     None => Flow {
                         recoverable: true,
-                        clobbered: last_store_at
-                            .get(&(*base, *field))
-                            .is_some_and(|&j| j > i),
+                        clobbered: last_store_at.get(&(*base, *field)).is_some_and(|&j| j > i),
                         ..Flow::CONST
                     },
                 };
@@ -440,7 +437,10 @@ mod tests {
         b.store(p, 1, Operand::Const(2)); // lazy
         let (_, stats) = analyze(&b.build());
         assert_eq!(
-            stats.pattern1_log_free + stats.pattern1_lazy_log_free + stats.pattern2_lazy + stats.plain,
+            stats.pattern1_log_free
+                + stats.pattern1_lazy_log_free
+                + stats.pattern2_lazy
+                + stats.plain,
             3
         );
         assert_eq!(stats.insts, 5);

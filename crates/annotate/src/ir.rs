@@ -123,7 +123,10 @@ impl TxnIr {
             if defined.contains(&v) {
                 Ok(())
             } else {
-                Err(format!("value v{} used before definition at inst {at}", v.0))
+                Err(format!(
+                    "value v{} used before definition at inst {at}",
+                    v.0
+                ))
             }
         };
         let define = |v: ValueId, defined: &mut std::collections::BTreeSet<ValueId>, at: usize| {
@@ -334,7 +337,10 @@ mod tests {
     fn validate_rejects_double_definition() {
         let ir = TxnIr {
             name: "bad".into(),
-            insts: vec![Inst::Alloc { dst: ValueId(0) }, Inst::Alloc { dst: ValueId(0) }],
+            insts: vec![
+                Inst::Alloc { dst: ValueId(0) },
+                Inst::Alloc { dst: ValueId(0) },
+            ],
         };
         assert!(ir.validate().unwrap_err().contains("defined twice"));
     }

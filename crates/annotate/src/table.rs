@@ -166,7 +166,7 @@ mod tests {
         .into_iter()
         .collect();
         let compiler: AnnotationTable = [
-            (SiteId(0), Annotation::LogFree),    // exact
+            (SiteId(0), Annotation::LogFree),     // exact
             (SiteId(1), Annotation::LazyLogFree), // found, not exact
             (SiteId(9), Annotation::Lazy),        // extra
         ]

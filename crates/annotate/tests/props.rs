@@ -1,93 +1,105 @@
-//! Property tests for the compiler analyses: on arbitrary valid IR the
-//! analysis never panics and respects its soundness rules.
+//! Randomized tests for the compiler analyses: on arbitrary valid IR
+//! the analysis never panics and respects its soundness rules.
+//! Seeded generation replaces `proptest` (unavailable offline).
 
-use proptest::prelude::*;
 use slpmt_annotate::{analyze, Annotation, Inst, Operand, ParamKind, SiteId, TxnIr, ValueId};
+use slpmt_prng::SimRng;
 
 /// Generates a random valid SSA transaction body.
-fn ir_strategy() -> impl Strategy<Value = TxnIr> {
-    prop::collection::vec((0u8..6, any::<u32>(), any::<u32>(), any::<bool>()), 1..60).prop_map(
-        |choices| {
-            let mut insts = Vec::new();
-            let mut values: Vec<ValueId> = Vec::new();
-            let mut next_value = 0u32;
-            let mut next_site = 0u32;
-            let fresh = |values: &mut Vec<ValueId>, next_value: &mut u32| {
-                let v = ValueId(*next_value);
-                *next_value += 1;
-                values.push(v);
-                v
-            };
-            for (kind, a, b, flag) in choices {
-                match kind {
-                    0 => {
-                        let dst = fresh(&mut values, &mut next_value);
-                        let pk = match a % 3 {
-                            0 => ParamKind::PersistentPtr,
-                            1 => ParamKind::Key,
-                            _ => ParamKind::Value,
-                        };
-                        insts.push(Inst::Param { dst, kind: pk });
-                    }
-                    1 => {
-                        let dst = fresh(&mut values, &mut next_value);
-                        insts.push(Inst::Alloc { dst });
-                    }
-                    2 if !values.is_empty() => {
-                        let ptr = values[a as usize % values.len()];
-                        insts.push(Inst::Free { ptr });
-                    }
-                    3 if !values.is_empty() => {
-                        let base = values[a as usize % values.len()];
-                        let dst = fresh(&mut values, &mut next_value);
-                        insts.push(Inst::Load { dst, base, field: b % 8 });
-                    }
-                    4 if !values.is_empty() => {
-                        let base = values[a as usize % values.len()];
-                        let src = if flag && values.len() > 1 {
-                            Operand::Value(values[b as usize % values.len()])
-                        } else {
-                            Operand::Const(b as u64)
-                        };
-                        insts.push(Inst::Store {
-                            site: SiteId(next_site),
-                            base,
-                            field: b % 8,
-                            src,
-                        });
-                        next_site += 1;
-                    }
-                    _ if !values.is_empty() => {
-                        let arg = Operand::Value(values[a as usize % values.len()]);
-                        let dst = fresh(&mut values, &mut next_value);
-                        insts.push(Inst::Compute {
-                            dst,
-                            args: vec![arg, Operand::Const(b as u64)],
-                            opaque: flag,
-                        });
-                    }
-                    _ => {}
-                }
+fn random_ir(rng: &mut SimRng) -> TxnIr {
+    let mut insts = Vec::new();
+    let mut values: Vec<ValueId> = Vec::new();
+    let mut next_value = 0u32;
+    let mut next_site = 0u32;
+    let fresh = |values: &mut Vec<ValueId>, next_value: &mut u32| {
+        let v = ValueId(*next_value);
+        *next_value += 1;
+        values.push(v);
+        v
+    };
+    for _ in 0..rng.gen_usize(1..60) {
+        let kind = rng.gen_range(0..6) as u8;
+        let a = rng.next_u64() as u32;
+        let b = rng.next_u64() as u32;
+        let flag = rng.gen_bool(0.5);
+        match kind {
+            0 => {
+                let dst = fresh(&mut values, &mut next_value);
+                let pk = match a % 3 {
+                    0 => ParamKind::PersistentPtr,
+                    1 => ParamKind::Key,
+                    _ => ParamKind::Value,
+                };
+                insts.push(Inst::Param { dst, kind: pk });
             }
-            TxnIr {
-                name: "random".into(),
-                insts,
+            1 => {
+                let dst = fresh(&mut values, &mut next_value);
+                insts.push(Inst::Alloc { dst });
             }
-        },
-    )
+            2 if !values.is_empty() => {
+                let ptr = values[a as usize % values.len()];
+                insts.push(Inst::Free { ptr });
+            }
+            3 if !values.is_empty() => {
+                let base = values[a as usize % values.len()];
+                let dst = fresh(&mut values, &mut next_value);
+                insts.push(Inst::Load {
+                    dst,
+                    base,
+                    field: b % 8,
+                });
+            }
+            4 if !values.is_empty() => {
+                let base = values[a as usize % values.len()];
+                let src = if flag && values.len() > 1 {
+                    Operand::Value(values[b as usize % values.len()])
+                } else {
+                    Operand::Const(b as u64)
+                };
+                insts.push(Inst::Store {
+                    site: SiteId(next_site),
+                    base,
+                    field: b % 8,
+                    src,
+                });
+                next_site += 1;
+            }
+            _ if !values.is_empty() => {
+                let arg = Operand::Value(values[a as usize % values.len()]);
+                let dst = fresh(&mut values, &mut next_value);
+                insts.push(Inst::Compute {
+                    dst,
+                    args: vec![arg, Operand::Const(b as u64)],
+                    opaque: flag,
+                });
+            }
+            _ => {}
+        }
+    }
+    TxnIr {
+        name: "random".into(),
+        insts,
+    }
 }
 
-proptest! {
-    #[test]
-    fn analysis_total_and_sound(ir in ir_strategy()) {
-        prop_assume!(ir.validate().is_ok());
+#[test]
+fn analysis_total_and_sound() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(0xA77A ^ case);
+        let ir = random_ir(&mut rng);
+        if ir.validate().is_err() {
+            continue;
+        }
         let (table, stats) = analyze(&ir);
         // Totality: every store classified exactly once.
         let stores = ir.store_sites().len();
-        prop_assert_eq!(
-            stats.pattern1_log_free + stats.pattern1_lazy_log_free
-                + stats.pattern2_lazy + stats.plain,
-            stores
+        assert_eq!(
+            stats.pattern1_log_free
+                + stats.pattern1_lazy_log_free
+                + stats.pattern2_lazy
+                + stats.plain,
+            stores,
+            "case {case}"
         );
         // Soundness spot rules, re-derived from the IR:
         let mut alloc_roots = std::collections::BTreeSet::new();
@@ -103,7 +115,7 @@ proptest! {
                 // across recovery.
                 match src {
                     Operand::Value(v) if alloc_roots.contains(v) => {
-                        prop_assert_ne!(table.get(*site), Annotation::Lazy);
+                        assert_ne!(table.get(*site), Annotation::Lazy, "case {case}");
                     }
                     _ => {}
                 }

@@ -11,6 +11,7 @@
 //! 4. **WPQ drain banks**: how medium parallelism shifts the regime
 //!    from throughput-bound to burst-stall-bound.
 
+use slpmt_bench::runner::par_map;
 use slpmt_bench::{compare, header, workload};
 use slpmt_core::{Machine, MachineConfig, Scheme, StoreKind};
 use slpmt_pmem::PmAddr;
@@ -24,7 +25,14 @@ fn main() {
     let run_spec = |on: bool| {
         let mut cfg = MachineConfig::for_scheme(Scheme::Slpmt).with_tiny_caches();
         cfg.features.speculative_logging = on;
-        let r = run_inserts_with(cfg, IndexKind::Rbtree, &ops, 256, AnnotationSource::Manual, false);
+        let r = run_inserts_with(
+            cfg,
+            IndexKind::Rbtree,
+            &ops,
+            256,
+            AnnotationSource::Manual,
+            false,
+        );
         (r.stats.log_records_created, r.traffic.log_bytes)
     };
     let (rec_on, bytes_on) = run_spec(true);
@@ -38,16 +46,26 @@ fn main() {
     println!("group bits survive; the payoff is avoiding duplicate logging");
     println!("when evicted lines are re-stored (coalesced into the same packs).");
 
-    header("Ablation 2", "log path: tiered buffer vs ATOM lines vs EDE direct");
-    for (name, scheme) in [("tiered (FG)", Scheme::Fg), ("ATOM lines", Scheme::Atom), ("EDE direct", Scheme::Ede)] {
-        let r = run_inserts_with(
+    header(
+        "Ablation 2",
+        "log path: tiered buffer vs ATOM lines vs EDE direct",
+    );
+    let paths = [
+        ("tiered (FG)", Scheme::Fg),
+        ("ATOM lines", Scheme::Atom),
+        ("EDE direct", Scheme::Ede),
+    ];
+    let path_runs = par_map(&paths, |&(_, scheme)| {
+        run_inserts_with(
             MachineConfig::for_scheme(scheme),
             IndexKind::Rbtree,
             &ops,
             256,
             AnnotationSource::None,
             false,
-        );
+        )
+    });
+    for ((name, _), r) in paths.iter().zip(&path_runs) {
         println!(
             "{name:<14} {:>9} log records, {:>9} log B, {:>7} media lines",
             r.traffic.log_records, r.traffic.log_bytes, r.traffic.wpq_lines
@@ -57,7 +75,9 @@ fn main() {
     header("Ablation 3", "§V-A in-place update optimisation");
     // Conventional: N random in-place updates, each logged and
     // persisted eagerly at commit.
-    let updates: Vec<PmAddr> = (0..256u64).map(|i| PmAddr::new(0x10000 + (i * 7 % 256) * 64)).collect();
+    let updates: Vec<PmAddr> = (0..256u64)
+        .map(|i| PmAddr::new(0x10000 + (i * 7 % 256) * 64))
+        .collect();
     let conventional = {
         let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
         m.tx_begin();
@@ -79,7 +99,11 @@ fn main() {
             m.store_u64(a, i as u64, StoreKind::lazy_logged());
             // record = (addr, value), appended sequentially.
             m.store_u64(array.add(i as u64 * 16), a.raw(), StoreKind::log_free());
-            m.store_u64(array.add(i as u64 * 16 + 8), i as u64, StoreKind::log_free());
+            m.store_u64(
+                array.add(i as u64 * 16 + 8),
+                i as u64,
+                StoreKind::log_free(),
+            );
         }
         m.tx_commit();
         (m.now(), m.device().traffic().media_bytes())
@@ -96,25 +120,35 @@ fn main() {
     );
 
     header("Ablation 4", "WPQ drain banks (medium parallelism)");
-    for banks in [1usize, 2, 4, 8] {
-        // Recreate the device-level experiment by scaling write
-        // latency inversely — one bank at 500 ns equals the serial
-        // model; more banks approach latency-bound behaviour.
-        let mut cfg = MachineConfig::for_scheme(Scheme::Slpmt);
+    // Recreate the device-level experiment by scaling write latency
+    // inversely — one bank at 500 ns equals the serial model; more
+    // banks approach latency-bound behaviour. All 8 cells (FG + SLPMT
+    // per bank count) simulate in parallel.
+    let bank_cells: Vec<(usize, Scheme)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .flat_map(|banks| [(banks, Scheme::Fg), (banks, Scheme::Slpmt)])
+        .collect();
+    let bank_runs = par_map(&bank_cells, |&(banks, scheme)| {
+        let mut cfg = MachineConfig::for_scheme(scheme);
         // The WPQ uses DEFAULT_DRAIN_BANKS; emulate bank count by
         // scaling the per-line drain latency.
         let eff_ns = 500 * slpmt_pmem::wpq::DEFAULT_DRAIN_BANKS as u64 / banks as u64;
         cfg.pm = cfg.pm.with_write_latency_ns(eff_ns);
-        let base_cfg = {
-            let mut c = MachineConfig::for_scheme(Scheme::Fg);
-            c.pm = c.pm.with_write_latency_ns(eff_ns);
-            c
-        };
-        let base = run_inserts_with(base_cfg, IndexKind::Hashtable, &ops, 256, AnnotationSource::Manual, false);
-        let r = run_inserts_with(cfg, IndexKind::Hashtable, &ops, 256, AnnotationSource::Manual, false);
+        run_inserts_with(
+            cfg,
+            IndexKind::Hashtable,
+            &ops,
+            256,
+            AnnotationSource::Manual,
+            false,
+        )
+    });
+    for (cells, pair) in bank_cells.chunks_exact(2).zip(bank_runs.chunks_exact(2)) {
+        let banks = cells[0].0;
+        let (base, r) = (&pair[0], &pair[1]);
         println!(
             "{banks} bank(s) equivalent: SLPMT {:.2}x over FG (hashtable)",
-            r.speedup_vs(&base)
+            r.speedup_vs(base)
         );
     }
 }

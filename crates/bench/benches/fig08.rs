@@ -8,15 +8,31 @@
 //! log-free and lazy complement each other (hashtable: +24 % and
 //! +17 %, together +52 %).
 
-use slpmt_bench::{compare, geomean, header, run, workload};
+use slpmt_bench::runner::{fig08_cells, run_matrix};
+use slpmt_bench::{compare, geomean, header, workload};
 use slpmt_core::Scheme;
 use slpmt_workloads::runner::IndexKind;
 use slpmt_workloads::AnnotationSource;
 
 fn main() {
-    header("Figure 8", "kernel speedup (left) and write-traffic reduction (right)");
+    header(
+        "Figure 8",
+        "kernel speedup (left) and write-traffic reduction (right)",
+    );
     let ops = workload(256);
-    let schemes = [Scheme::FgLg, Scheme::FgLz, Scheme::Slpmt, Scheme::Atom, Scheme::Ede];
+    let schemes = [
+        Scheme::FgLg,
+        Scheme::FgLz,
+        Scheme::Slpmt,
+        Scheme::Atom,
+        Scheme::Ede,
+    ];
+
+    // All 24 cells (FG baseline + 5 schemes × 4 kernels) simulate in
+    // parallel; the merge is deterministic, kind-major, FG first.
+    let cells = fig08_cells(&IndexKind::KERNELS);
+    let results = run_matrix(&cells, &ops, 256, AnnotationSource::Manual, None);
+    let row = 1 + schemes.len();
 
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}   (speedup over FG / traffic reduction)",
@@ -24,32 +40,51 @@ fn main() {
     );
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut slpmt_red = Vec::new();
-    for kind in IndexKind::KERNELS {
-        let base = run(Scheme::Fg, kind, &ops, 256, AnnotationSource::Manual);
+    for (k, kind) in IndexKind::KERNELS.into_iter().enumerate() {
+        let base = &results[k * row];
         print!("{:<10}", kind.to_string());
         for (i, s) in schemes.iter().enumerate() {
-            let r = run(*s, kind, &ops, 256, AnnotationSource::Manual);
-            let sp = r.speedup_vs(&base);
+            let r = &results[k * row + 1 + i];
+            let sp = r.speedup_vs(base);
             per_scheme[i].push(sp);
             if *s == Scheme::Slpmt {
-                slpmt_red.push(r.traffic_reduction_vs(&base));
+                slpmt_red.push(r.traffic_reduction_vs(base));
             }
             print!(" {sp:>5.2}x");
-            print!("/{:>+3.0}%", r.traffic_reduction_vs(&base) * 100.0);
+            print!("/{:>+3.0}%", r.traffic_reduction_vs(base) * 100.0);
         }
         println!();
     }
     println!();
     let g = |i: usize| geomean(per_scheme[i].iter().copied());
-    compare("SLPMT speedup over FG", "1.57x avg", format!("{:.2}x geomean", g(2)));
-    compare("SLPMT speedup over ATOM", "1.65x avg", format!("{:.2}x", g(2) / g(3)));
-    compare("SLPMT speedup over EDE", "1.78x avg", format!("{:.2}x", g(2) / g(4)));
+    compare(
+        "SLPMT speedup over FG",
+        "1.57x avg",
+        format!("{:.2}x geomean", g(2)),
+    );
+    compare(
+        "SLPMT speedup over ATOM",
+        "1.65x avg",
+        format!("{:.2}x", g(2) / g(3)),
+    );
+    compare(
+        "SLPMT speedup over EDE",
+        "1.78x avg",
+        format!("{:.2}x", g(2) / g(4)),
+    );
     compare("FG over ATOM", "1.05x", format!("{:.2}x", 1.0 / g(3)));
     compare("FG over EDE", "1.13x", format!("{:.2}x", 1.0 / g(4)));
     compare(
         "SLPMT traffic reduction",
         "35% avg",
-        format!("{:.0}% avg", slpmt_red.iter().sum::<f64>() / slpmt_red.len() as f64 * 100.0),
+        format!(
+            "{:.0}% avg",
+            slpmt_red.iter().sum::<f64>() / slpmt_red.len() as f64 * 100.0
+        ),
     );
-    compare("ATOM/EDE traffic", "above baseline (negative)", "negative reductions above".into());
+    compare(
+        "ATOM/EDE traffic",
+        "above baseline (negative)",
+        "negative reductions above".into(),
+    );
 }

@@ -11,7 +11,10 @@ use slpmt_workloads::runner::IndexKind;
 use slpmt_workloads::AnnotationSource;
 
 fn main() {
-    header("Figure 9", "line-granularity variants: speedup and traffic vs FG-CL");
+    header(
+        "Figure 9",
+        "line-granularity variants: speedup and traffic vs FG-CL",
+    );
     let ops = workload(256);
     println!(
         "{:<10} {:>14} {:>14} {:>22}",
@@ -45,6 +48,9 @@ fn main() {
     compare(
         "line-granularity traffic cost",
         "+15% without features",
-        format!("{:+.0}% avg", extra.iter().sum::<f64>() / extra.len() as f64 * 100.0),
+        format!(
+            "{:+.0}% avg",
+            extra.iter().sum::<f64>() / extra.len() as f64 * 100.0
+        ),
     );
 }

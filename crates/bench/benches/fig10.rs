@@ -35,7 +35,14 @@ fn main() {
             prev = sp;
             print!(" {sp:>6.2}x");
         }
-        println!("{}", if monotone { "   (grows with value size)" } else { "   (non-monotone!)" });
+        println!(
+            "{}",
+            if monotone {
+                "   (grows with value size)"
+            } else {
+                "   (non-monotone!)"
+            }
+        );
     }
     println!();
     compare(
@@ -43,5 +50,9 @@ fn main() {
         "1.22x avg",
         format!("{:.2}x geomean", geomean(at16)),
     );
-    compare("trend", "gains grow with value size", "see rows above".into());
+    compare(
+        "trend",
+        "gains grow with value size",
+        "see rows above".into(),
+    );
 }

@@ -46,7 +46,10 @@ fn main() {
     compare(
         "non-hashtable stability",
         "largely stable",
-        format!("max |500→2300ns change| {:.2}x", spreads.iter().cloned().fold(0.0, f64::max)),
+        format!(
+            "max |500→2300ns change| {:.2}x",
+            spreads.iter().cloned().fold(0.0, f64::max)
+        ),
     );
     compare(
         "hashtable sensitivity",

@@ -35,7 +35,10 @@ fn kernel_manual(kind: IndexKind) -> slpmt_annotate::AnnotationTable {
 }
 
 fn main() {
-    header("Figure 13 (left)", "compiler vs manual annotation speedups over FG");
+    header(
+        "Figure 13 (left)",
+        "compiler vs manual annotation speedups over FG",
+    );
     let ops = workload(256);
     println!("{:<10} {:>9} {:>9}", "kernel", "manual", "compiler");
     let mut manual_sp = Vec::new();

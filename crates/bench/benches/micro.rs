@@ -1,76 +1,87 @@
-//! Criterion microbenchmarks of the core hardware structures: the
-//! tiered log buffer's insert/coalesce path, the working-set
-//! signature, the WPQ timing model, and the machine's store path.
+//! Microbenchmarks of the core hardware structures: the tiered log
+//! buffer's insert/coalesce path, the working-set signature, the WPQ
+//! timing model, and the machine's store path.
+//!
+//! Plain `Instant`-based timing (criterion is unavailable offline):
+//! each benchmark runs a warmup, then reports the mean per-iteration
+//! wall time over a fixed batch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use slpmt_core::{Machine, MachineConfig, Scheme, Signature, StoreKind};
 use slpmt_logbuf::{LogRecord, TieredLogBuffer};
 use slpmt_pmem::{PmAddr, WritePendingQueue};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_logbuf(c: &mut Criterion) {
-    c.bench_function("tiered_buffer_coalesce_line", |b| {
-        b.iter(|| {
-            let mut buf = TieredLogBuffer::new();
-            for w in 0..8u64 {
-                let rec = LogRecord::new(1, PmAddr::new(w * 8), vec![w as u8; 8]);
-                black_box(buf.insert(rec));
-            }
-            black_box(buf.drain_all())
-        })
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters / 10 {
+        f(); // warmup
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:32} {:>12.1} ns/iter  ({iters} iters)",
+        total.as_nanos() as f64 / iters as f64
+    );
+}
+
+fn bench_logbuf() {
+    bench("tiered_buffer_coalesce_line", 100_000, || {
+        let mut buf = TieredLogBuffer::new();
+        for w in 0..8u64 {
+            let rec = LogRecord::new(1, PmAddr::new(w * 8), &[w as u8; 8]);
+            black_box(buf.insert(rec));
+        }
+        black_box(buf.drain_all());
     });
 }
 
-fn bench_signature(c: &mut Criterion) {
+fn bench_signature() {
     let mut sig = Signature::new();
     for i in 0..64u64 {
         sig.insert(PmAddr::new(i * 64));
     }
-    c.bench_function("signature_lookup", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(64);
-            black_box(sig.maybe_contains(PmAddr::new(i)))
-        })
+    let mut i = 0u64;
+    bench("signature_lookup", 1_000_000, || {
+        i = i.wrapping_add(64);
+        black_box(sig.maybe_contains(PmAddr::new(i)));
     });
 }
 
-fn bench_wpq(c: &mut Criterion) {
-    c.bench_function("wpq_push_burst", |b| {
-        b.iter(|| {
-            let mut q = WritePendingQueue::new(8, 1000, 8);
-            let mut t = 0;
-            for _ in 0..64 {
-                t = q.push(t).accepted_at;
-            }
-            black_box(t)
-        })
+fn bench_wpq() {
+    bench("wpq_push_burst", 100_000, || {
+        let mut q = WritePendingQueue::new(8, 1000, 8);
+        let mut t = 0;
+        for _ in 0..64 {
+            t = q.push(t).accepted_at;
+        }
+        black_box(t);
     });
 }
 
-fn bench_machine_store(c: &mut Criterion) {
-    c.bench_function("machine_txn_8_stores", |b| {
-        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            m.tx_begin();
-            for w in 0..8u64 {
-                m.store_u64(
-                    PmAddr::new(0x10000 + ((i * 8 + w) % 4096) * 8),
-                    i,
-                    StoreKind::Store,
-                );
-            }
-            m.tx_commit();
-            black_box(m.now())
-        })
+fn bench_machine_store() {
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+    let mut i = 0u64;
+    bench("machine_txn_8_stores", 50_000, || {
+        i += 1;
+        m.tx_begin();
+        for w in 0..8u64 {
+            m.store_u64(
+                PmAddr::new(0x10000 + ((i * 8 + w) % 4096) * 8),
+                i,
+                StoreKind::Store,
+            );
+        }
+        m.tx_commit();
+        black_box(m.now());
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_logbuf, bench_signature, bench_wpq, bench_machine_store
-);
-criterion_main!(benches);
+fn main() {
+    bench_logbuf();
+    bench_signature();
+    bench_wpq();
+    bench_machine_store();
+}

@@ -16,7 +16,10 @@ use slpmt_workloads::ycsb::ycsb_mixed_with_updates;
 use slpmt_workloads::AnnotationSource;
 
 fn main() {
-    header("Extension", "mixed YCSB-style workloads (read% / remove% / insert%)");
+    header(
+        "Extension",
+        "mixed YCSB-style workloads (read% / remove% / insert%)",
+    );
     let n = ops_count();
     // (label, read%, update%, remove%) — the rest are fresh inserts.
     let mixes = [

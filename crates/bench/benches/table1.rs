@@ -8,23 +8,48 @@ use slpmt_pmem::PmAddr;
 
 fn main() {
     slpmt_bench::header("Table I", "storeT persist/log-bit semantics");
-    println!("{:<34} {:>11} {:>8}", "instruction", "persist bit", "log bit");
+    println!(
+        "{:<34} {:>11} {:>8}",
+        "instruction", "persist bit", "log bit"
+    );
     let rows = [
         (StoreKind::Store, "store"),
-        (StoreKind::StoreT { lazy: false, log_free: false }, "storeT lazy=0 log-free=0"),
+        (
+            StoreKind::StoreT {
+                lazy: false,
+                log_free: false,
+            },
+            "storeT lazy=0 log-free=0",
+        ),
         (StoreKind::log_free(), "storeT lazy=0 log-free=1"),
         (StoreKind::lazy_log_free(), "storeT lazy=1 log-free=1"),
         (StoreKind::lazy_logged(), "storeT lazy=1 log-free=0"),
     ];
-    let expected = [(true, true), (true, true), (true, false), (false, false), (false, true)];
+    let expected = [
+        (true, true),
+        (true, true),
+        (true, false),
+        (false, false),
+        (false, true),
+    ];
     for ((kind, name), (p, l)) in rows.iter().zip(expected) {
         let e = kind.effects(true, true);
-        assert_eq!((e.set_persist, e.set_log), (p, l), "Table I violated for {name}");
-        println!("{name:<34} {:>11} {:>8}", e.set_persist as u8, e.set_log as u8);
+        assert_eq!(
+            (e.set_persist, e.set_log),
+            (p, l),
+            "Table I violated for {name}"
+        );
+        println!(
+            "{name:<34} {:>11} {:>8}",
+            e.set_persist as u8, e.set_log as u8
+        );
     }
     println!("all five rows match Table I");
 
-    slpmt_bench::header("Figure 4", "undo ordering: logs persist before logged lines");
+    slpmt_bench::header(
+        "Figure 4",
+        "undo ordering: logs persist before logged lines",
+    );
     let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
     let a = PmAddr::new(0x10000);
     m.tx_begin();
@@ -34,18 +59,34 @@ fn main() {
     let t = m.device().traffic();
     assert!(t.log_records >= 1 && t.data_lines == 2);
     assert!(m.device().log().is_committed(1));
-    println!("one committed txn: {} log records, {} data lines, marker after data — ordering held", t.log_records, t.data_lines);
+    println!(
+        "one committed txn: {} log records, {} data lines, marker after data — ordering held",
+        t.log_records, t.data_lines
+    );
 
     slpmt_bench::header("§III-D", "hardware overhead budget");
     let oh = HardwareOverhead::for_config(&CacheConfig::default());
     slpmt_bench::compare(
         "cache metadata",
         "~3.9 KB",
-        format!("{:.1} KB (L1 {} b/line, L2 {} b/line)", oh.cache_meta_bytes as f64 / 1024.0, oh.l1_bits_per_line, oh.l2_bits_per_line),
+        format!(
+            "{:.1} KB (L1 {} b/line, L2 {} b/line)",
+            oh.cache_meta_bytes as f64 / 1024.0,
+            oh.l1_bits_per_line,
+            oh.l2_bits_per_line
+        ),
     );
     slpmt_bench::compare("log buffer", "1.2 KB", format!("{} B", oh.log_buffer_bytes));
-    slpmt_bench::compare("signatures", "1.0 KB", format!("{} B (4 × 2048 bit)", oh.signature_bytes));
-    slpmt_bench::compare("total", "6.1 KB", format!("{:.1} KB", oh.total_bytes() as f64 / 1024.0));
+    slpmt_bench::compare(
+        "signatures",
+        "1.0 KB",
+        format!("{} B (4 × 2048 bit)", oh.signature_bytes),
+    );
+    slpmt_bench::compare(
+        "total",
+        "6.1 KB",
+        format!("{:.1} KB", oh.total_bytes() as f64 / 1024.0),
+    );
     let mixed = oh.cache_meta_bytes;
     let naive = HardwareOverhead::naive_uniform_l2_bytes(&CacheConfig::default());
     slpmt_bench::compare(

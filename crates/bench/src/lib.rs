@@ -16,15 +16,21 @@
 //! | `fig13`  | compiler vs manual annotations + analysis time |
 //! | `fig14`  | PMKV backends at 256 B and 16 B values |
 //! | `ablation` | design-choice ablations (§V-A demo, speculative logging, buffer) |
-//! | `micro`  | criterion microbenches of the core structures |
+//! | `micro`  | microbenches of the core structures |
+//! | `sim_throughput` | wall-clock simulator throughput (self-benchmark) |
 //!
 //! The operation count defaults to the paper's 1,000 inserts; set
 //! `SLPMT_OPS` to shrink runs (e.g. in CI). Set `SLPMT_CSV=<path>` to
-//! append every comparison row as CSV for plotting.
+//! append every comparison row as CSV for plotting. Matrix-style
+//! harnesses run their cells in parallel through [`runner`]
+//! (`SLPMT_THREADS` overrides the worker count; results are merged
+//! deterministically, so any worker count prints identical output).
 
 use slpmt_core::{MachineConfig, Scheme};
 use slpmt_workloads::runner::{run_inserts_with, IndexKind, RunResult};
 use slpmt_workloads::{ycsb_load, AnnotationSource, YcsbOp};
+
+pub mod runner;
 
 /// Default operation count (the paper's YCSB-load size).
 pub const DEFAULT_OPS: usize = 1000;
@@ -45,8 +51,21 @@ pub fn workload(value_size: usize) -> Vec<YcsbOp> {
 }
 
 /// Runs one scheme on one index with default Table III timing.
-pub fn run(scheme: Scheme, kind: IndexKind, ops: &[YcsbOp], value_size: usize, src: AnnotationSource) -> RunResult {
-    run_inserts_with(MachineConfig::for_scheme(scheme), kind, ops, value_size, src, false)
+pub fn run(
+    scheme: Scheme,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    src: AnnotationSource,
+) -> RunResult {
+    run_inserts_with(
+        MachineConfig::for_scheme(scheme),
+        kind,
+        ops,
+        value_size,
+        src,
+        false,
+    )
 }
 
 /// Runs with a specific PM write latency in nanoseconds.
@@ -93,9 +112,19 @@ pub fn compare(label: &str, paper: &str, measured: String) {
     println!("{label:<28} paper: {paper:<26} measured: {measured}");
     if let Ok(path) = std::env::var("SLPMT_CSV") {
         use std::io::Write;
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
             let esc = |s: &str| s.replace('"', "'");
-            let _ = writeln!(f, "\"{}\",\"{}\",\"{}\"", esc(label), esc(paper), esc(&measured));
+            let _ = writeln!(
+                f,
+                "\"{}\",\"{}\",\"{}\"",
+                esc(label),
+                esc(paper),
+                esc(&measured)
+            );
         }
     }
 }

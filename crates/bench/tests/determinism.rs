@@ -1,0 +1,46 @@
+//! The parallel matrix runner must be a pure performance optimisation:
+//! for any worker count the merged results are identical — same order,
+//! same cycles, same traffic, same machine-event counters — to a
+//! serial run.
+
+use slpmt_bench::runner::{fig08_cells, run_matrix_with};
+use slpmt_workloads::runner::IndexKind;
+use slpmt_workloads::{ycsb_load, AnnotationSource};
+
+#[test]
+fn parallel_matrix_matches_serial_exactly() {
+    let ops = ycsb_load(60, 64, 42);
+    let cells = fig08_cells(&[IndexKind::Hashtable, IndexKind::Rbtree]);
+    let serial = run_matrix_with(&cells, 1, &ops, 64, AnnotationSource::Manual, None);
+    for workers in [2, 3, 8] {
+        let parallel = run_matrix_with(&cells, workers, &ops, 64, AnnotationSource::Manual, None);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.scheme, b.scheme, "cell {i} order ({workers} workers)");
+            assert_eq!(a.kind, b.kind, "cell {i} order ({workers} workers)");
+            assert_eq!(a.cycles, b.cycles, "cell {i} cycles ({workers} workers)");
+            assert_eq!(a.traffic, b.traffic, "cell {i} traffic ({workers} workers)");
+            assert_eq!(
+                format!("{:?}", a.stats),
+                format!("{:?}", b.stats),
+                "cell {i} stats ({workers} workers)"
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_override_reaches_every_cell() {
+    let ops = ycsb_load(30, 64, 42);
+    let cells = fig08_cells(&[IndexKind::Hashtable]);
+    let fast = run_matrix_with(&cells, 2, &ops, 64, AnnotationSource::Manual, Some(100));
+    let slow = run_matrix_with(&cells, 2, &ops, 64, AnnotationSource::Manual, Some(2000));
+    for (f, s) in fast.iter().zip(&slow) {
+        assert!(
+            f.cycles < s.cycles,
+            "{}/{}: higher PM write latency must cost cycles",
+            f.kind,
+            f.scheme
+        );
+    }
+}

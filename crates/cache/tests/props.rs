@@ -1,49 +1,56 @@
-//! Property tests for the cache substrate.
+//! Randomized tests for the cache substrate (seeded loops replace
+//! `proptest`, which is unavailable offline).
 
-use proptest::prelude::*;
 use slpmt_cache::{
     l1_logbits_to_l2, l2_logbits_to_l1, speculative_fill_words, CacheGeometry, Entry, LineMeta,
     SetAssocCache,
 };
 use slpmt_pmem::PmAddr;
+use slpmt_prng::SimRng;
 use std::collections::BTreeMap;
 
-proptest! {
-    /// Replication inverts conjunction exactly on group-complete
-    /// bitmaps, and a round trip through L2 only ever *loses* bits.
-    #[test]
-    fn logbit_transforms(l1 in any::<u8>()) {
+/// Replication inverts conjunction exactly on group-complete
+/// bitmaps, and a round trip through L2 only ever *loses* bits.
+#[test]
+fn logbit_transforms() {
+    // u8 is small enough to test exhaustively.
+    for l1 in 0u8..=255 {
         let l2 = l1_logbits_to_l2(l1);
         let back = l2_logbits_to_l1(l2);
-        prop_assert_eq!(back & l1, back, "round trip never invents bits");
-        prop_assert_eq!(l1_logbits_to_l2(back), l2, "stable after one trip");
+        assert_eq!(back & l1, back, "round trip never invents bits");
+        assert_eq!(l1_logbits_to_l2(back), l2, "stable after one trip");
         // Speculative fill makes every partially-logged group complete.
         let mut filled = l1;
         for w in speculative_fill_words(l1) {
-            prop_assert_eq!(filled & (1 << w), 0, "fills only clean words");
+            assert_eq!(filled & (1 << w), 0, "fills only clean words");
             filled |= 1 << w;
         }
         for g in 0..2 {
             let bits = (l1 >> (g * 4)) & 0xF;
             if bits != 0 {
-                prop_assert!(l1_logbits_to_l2(filled) & (1 << g) != 0);
+                assert!(l1_logbits_to_l2(filled) & (1 << g) != 0);
             }
         }
     }
+}
 
-    /// The set-associative cache behaves like a bounded map: lookups
-    /// agree with a model restricted to resident lines, occupancy per
-    /// set never exceeds the ways, and every inserted line is either
-    /// resident or was explicitly evicted.
-    #[test]
-    fn cache_is_a_bounded_map(
-        lines in prop::collection::vec(0u64..64, 1..200),
-    ) {
-        let geo = CacheGeometry { capacity: 1024, ways: 2, hit_cycles: 1 };
+/// The set-associative cache behaves like a bounded map: lookups
+/// agree with a model restricted to resident lines, occupancy per
+/// set never exceeds the ways, and every inserted line is either
+/// resident or was explicitly evicted.
+#[test]
+fn cache_is_a_bounded_map() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0xCACE ^ case);
+        let geo = CacheGeometry {
+            capacity: 1024,
+            ways: 2,
+            hit_cycles: 1,
+        };
         let mut cache = SetAssocCache::new(geo);
         let mut resident: BTreeMap<u64, u8> = BTreeMap::new();
-        for (i, line_no) in lines.iter().enumerate() {
-            let addr = PmAddr::new(line_no * 64);
+        for i in 0..rng.gen_usize(1..200) {
+            let addr = PmAddr::new(rng.gen_range(0..64) * 64);
             let tag = i as u8;
             if cache.lookup(addr).is_some() {
                 let e = cache.peek_mut(addr).unwrap();
@@ -54,16 +61,20 @@ proptest! {
                 data[0] = tag;
                 if let Some(victim) = cache.insert(Entry::new(addr, data, LineMeta::clean())) {
                     let removed = resident.remove(&victim.addr.raw());
-                    prop_assert_eq!(removed, Some(victim.data[0]), "evicted data intact");
+                    assert_eq!(
+                        removed,
+                        Some(victim.data[0]),
+                        "case {case}: evicted data intact"
+                    );
                 }
                 resident.insert(addr.raw(), tag);
             }
-            prop_assert!(cache.len() <= geo.lines());
+            assert!(cache.len() <= geo.lines(), "case {case}");
         }
         for (&a, &tag) in &resident {
             let e = cache.peek(PmAddr::new(a)).expect("model says resident");
-            prop_assert_eq!(e.data[0], tag);
+            assert_eq!(e.data[0], tag, "case {case}");
         }
-        prop_assert_eq!(cache.len(), resident.len());
+        assert_eq!(cache.len(), resident.len(), "case {case}");
     }
 }

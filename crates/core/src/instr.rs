@@ -83,7 +83,11 @@ impl fmt::Display for StoreKind {
         match self {
             StoreKind::Store => write!(f, "store"),
             StoreKind::StoreT { lazy, log_free } => {
-                write!(f, "storeT(lazy={}, log-free={})", *lazy as u8, *log_free as u8)
+                write!(
+                    f,
+                    "storeT(lazy={}, log-free={})",
+                    *lazy as u8, *log_free as u8
+                )
             }
         }
     }

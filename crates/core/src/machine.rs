@@ -35,7 +35,7 @@ use slpmt_cache::{
 };
 use slpmt_logbuf::{AtomLineBuffer, EdeCombiner, FlushEvent, LogRecord, TieredLogBuffer};
 use slpmt_pmem::addr::{PmAddr, LINE_BYTES, WORD_BYTES};
-use slpmt_pmem::{PmConfig, PmDevice};
+use slpmt_pmem::{PayloadBuf, PmConfig, PmDevice};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Commit-sequence phases at which a test may inject a power failure
@@ -180,6 +180,14 @@ pub struct Machine {
     redo_shadow: BTreeMap<u64, [u8; LINE_BYTES]>,
     /// Test hook: inject a crash at a commit phase.
     commit_crash_point: Option<CommitPhase>,
+    /// Reusable commit-path scratch: the per-commit line partition
+    /// reuses these across transactions, so a steady-state commit
+    /// allocates nothing. (Taken with `mem::take` for the duration of
+    /// a commit; a crash-point early return drops one, which is fine —
+    /// crashes rebuild the whole machine anyway.)
+    scratch_lazy: Vec<PmAddr>,
+    scratch_logged: Vec<PmAddr>,
+    scratch_free: Vec<PmAddr>,
 }
 
 impl Machine {
@@ -215,6 +223,9 @@ impl Machine {
             now: 0,
             redo_shadow: BTreeMap::new(),
             commit_crash_point: None,
+            scratch_lazy: Vec::new(),
+            scratch_logged: Vec::new(),
+            scratch_free: Vec::new(),
             cfg,
         }
     }
@@ -391,7 +402,7 @@ impl Machine {
 
     fn persist_flush(&mut self, ev: FlushEvent, sync: bool) {
         let budget = self.cfg.pm.wpq_accept_cycles * ev.lines;
-        let accepted = self.dev.persist_log_pack(self.now, ev.entries);
+        let accepted = self.dev.persist_log_pack(self.now, &ev.entries);
         if sync {
             self.now = accepted;
         } else {
@@ -467,11 +478,7 @@ impl Machine {
                         for w in fills {
                             let mut pre = [0u8; WORD_BYTES];
                             pre.copy_from_slice(&victim.data[w * 8..w * 8 + 8]);
-                            let rec = LogRecord::new(
-                                seq,
-                                victim.addr.add((w * 8) as u64),
-                                pre.to_vec(),
-                            );
+                            let rec = LogRecord::new(seq, victim.addr.add((w * 8) as u64), &pre);
                             self.stats.log_records_created += 1;
                             events.extend(buf.insert(rec));
                             victim.meta.set_word_logged(w);
@@ -507,11 +514,14 @@ impl Machine {
         // transaction never overwrote in place.
         if self.cfg.battery_backed
             && victim.meta.dirty
-            && self.cur.as_ref().is_some_and(|c| Some(c.id) == victim.meta.txn_id)
+            && self
+                .cur
+                .as_ref()
+                .is_some_and(|c| Some(c.id) == victim.meta.txn_id)
         {
             let seq = self.cur.as_ref().expect("checked").seq;
             let pre = self.dev.image().read_line(victim.addr);
-            let rec = LogRecord::new(seq, victim.addr, pre.to_vec());
+            let rec = LogRecord::new(seq, victim.addr, &pre);
             self.stats.log_records_created += 1;
             let events = match &mut self.log_path {
                 LogPath::Tiered(buf) => buf.insert(rec),
@@ -614,9 +624,10 @@ impl Machine {
             self.abort_suspended(victim);
             self.ensure_l1(addr);
         }
-        let tag = self.l1.peek(addr).and_then(|e| {
-            (e.meta.lazy_pending).then_some(e.meta.txn_id).flatten()
-        });
+        let tag = self
+            .l1
+            .peek(addr)
+            .and_then(|e| (e.meta.lazy_pending).then_some(e.meta.txn_id).flatten());
         if let Some(id) = tag {
             let is_cur = self.cur.as_ref().is_some_and(|c| c.id == id);
             if is_cur {
@@ -689,7 +700,7 @@ impl Machine {
                             self.stats.log_records_created += 1;
                             let events: Vec<FlushEvent> = match &mut self.log_path {
                                 LogPath::Tiered(buf) => {
-                                    buf.insert(LogRecord::new(seq, addr.word(), payload.to_vec()))
+                                    buf.insert(LogRecord::new(seq, addr.word(), &payload))
                                 }
                                 _ => unreachable!(),
                             };
@@ -702,9 +713,7 @@ impl Machine {
                 }
                 self.stats.log_records_created += 1;
                 let events: Vec<FlushEvent> = match &mut self.log_path {
-                    LogPath::Tiered(buf) => {
-                        buf.insert(LogRecord::new(seq, addr.word(), payload.to_vec()))
-                    }
+                    LogPath::Tiered(buf) => buf.insert(LogRecord::new(seq, addr.word(), &payload)),
                     LogPath::Ede(e) => e.log_word(seq, addr.word(), payload).into_iter().collect(),
                     LogPath::Atom(_) => unreachable!("ATOM logs at line granularity"),
                 };
@@ -727,7 +736,7 @@ impl Machine {
                 }
                 self.stats.log_records_created += 1;
                 let events: Vec<FlushEvent> = match &mut self.log_path {
-                    LogPath::Tiered(buf) => buf.insert(LogRecord::new(seq, line, pre.to_vec())),
+                    LogPath::Tiered(buf) => buf.insert(LogRecord::new(seq, line, &pre)),
                     LogPath::Atom(buf) => buf.insert_line(seq, line, pre).into_iter().collect(),
                     LogPath::Ede(_) => unreachable!("EDE logs at word granularity"),
                 };
@@ -953,7 +962,8 @@ impl Machine {
 
         // 1. Identify this transaction's lazily-persistent lines:
         //    dirty, persist bit clear, tagged with our ID.
-        let mut lazy_lines: Vec<PmAddr> = Vec::new();
+        let mut lazy_lines = std::mem::take(&mut self.scratch_lazy);
+        lazy_lines.clear();
         for cache in [&self.l1, &self.l2] {
             for e in cache.iter() {
                 if e.meta.dirty
@@ -981,8 +991,10 @@ impl Machine {
         // vs log-free lines. Undo may persist them in any relative
         // order; redo must persist log-free lines *before* the records
         // and logged lines only *after* the marker (Figure 4).
-        let mut logged_lines: Vec<PmAddr> = Vec::new();
-        let mut free_lines: Vec<PmAddr> = Vec::new();
+        let mut logged_lines = std::mem::take(&mut self.scratch_logged);
+        logged_lines.clear();
+        let mut free_lines = std::mem::take(&mut self.scratch_free);
+        free_lines.clear();
         for cache in [&self.l1, &self.l2] {
             for e in cache.iter() {
                 if e.meta.persist {
@@ -1000,7 +1012,7 @@ impl Machine {
         if redo {
             // Figure 4 (right): log-free lines → redo records → marker
             // → logged lines (the in-place write-back).
-            for addr in free_lines {
+            for &addr in &free_lines {
                 self.commit_persist_line(addr);
             }
             if self.take_crash_point(CommitPhase::AfterLogFree) {
@@ -1022,7 +1034,7 @@ impl Machine {
             }
             // Write-back: logged lines from the caches and any spilled
             // to the redo shadow.
-            for addr in logged_lines {
+            for &addr in &logged_lines {
                 self.commit_persist_line(addr);
             }
             let spilled: Vec<(u64, [u8; LINE_BYTES])> =
@@ -1049,7 +1061,7 @@ impl Machine {
             if self.take_crash_point(CommitPhase::AfterRecords) {
                 return;
             }
-            for addr in free_lines.into_iter().chain(logged_lines) {
+            for &addr in free_lines.iter().chain(logged_lines.iter()) {
                 self.commit_persist_line(addr);
             }
             if self.take_crash_point(CommitPhase::AfterData) {
@@ -1089,6 +1101,9 @@ impl Machine {
 
         self.stats.commit_stall_cycles += self.now - commit_start;
         self.stats.tx_commits += 1;
+        self.scratch_lazy = lazy_lines;
+        self.scratch_logged = logged_lines;
+        self.scratch_free = free_lines;
     }
 
     /// Persists one commit-path line and clears its metadata.
@@ -1165,11 +1180,11 @@ impl Machine {
         if self.cfg.features.discipline == Discipline::Redo {
             self.redo_shadow.clear();
         } else {
-            let recs: Vec<(PmAddr, Vec<u8>)> = self
+            let recs: Vec<(PmAddr, PayloadBuf)> = self
                 .dev
                 .log()
                 .records_of(cur.seq)
-                .map(|r| (r.addr, r.payload.clone()))
+                .map(|r| (r.addr, r.payload))
                 .collect();
             let mut touched: BTreeSet<u64> = BTreeSet::new();
             for (addr, payload) in recs.iter().rev() {
@@ -1295,11 +1310,11 @@ impl Machine {
         // Apply its persisted undo records (they were drained at
         // suspension), then drop them from the log region.
         self.now += 2000;
-        let recs: Vec<(PmAddr, Vec<u8>)> = self
+        let recs: Vec<(PmAddr, PayloadBuf)> = self
             .dev
             .log()
             .records_of(victim.seq)
-            .map(|r| (r.addr, r.payload.clone()))
+            .map(|r| (r.addr, r.payload))
             .collect();
         let mut touched: BTreeSet<u64> = BTreeSet::new();
         for (addr, payload) in recs.iter().rev() {
@@ -1332,9 +1347,7 @@ impl Machine {
         let line = addr.line().raw();
         self.suspended
             .iter()
-            .find(|t| {
-                t.write_set.contains(&line) || (is_write && t.read_set.contains(&line))
-            })
+            .find(|t| t.write_set.contains(&line) || (is_write && t.read_set.contains(&line)))
             .map(|t| t.seq)
     }
 
@@ -1499,7 +1512,11 @@ mod tests {
         m.tx_commit();
         assert_eq!(m.stats().log_records_created, 1);
         assert_eq!(m.stats().log_records_discarded, 1);
-        assert_eq!(m.device().traffic().log_records, 1, "only the commit marker");
+        assert_eq!(
+            m.device().traffic().log_records,
+            1,
+            "only the commit marker"
+        );
     }
 
     #[test]
@@ -1570,13 +1587,20 @@ mod tests {
         // Five lazy transactions on distinct lines exhaust the four IDs.
         for i in 0..5u64 {
             m.tx_begin();
-            m.store_u64(PmAddr::new(0x10000 + i * 64), i + 1, StoreKind::lazy_log_free());
+            m.store_u64(
+                PmAddr::new(0x10000 + i * 64),
+                i + 1,
+                StoreKind::lazy_log_free(),
+            );
             m.tx_commit();
         }
         // The first transaction's data was forced durable.
         assert_eq!(m.device().image().read_u64(PmAddr::new(0x10000)), 1);
         // The most recent is still deferred.
-        assert_eq!(m.device().image().read_u64(PmAddr::new(0x10000 + 4 * 64)), 0);
+        assert_eq!(
+            m.device().image().read_u64(PmAddr::new(0x10000 + 4 * 64)),
+            0
+        );
         assert_eq!(m.outstanding_lazy_txns(), 4);
     }
 
@@ -1588,7 +1612,11 @@ mod tests {
         let mut m = machine(Scheme::Slpmt);
         for i in 0..8u64 {
             m.tx_begin();
-            m.store_u64(PmAddr::new(0x10000 + i * 64), i + 1, StoreKind::lazy_log_free());
+            m.store_u64(
+                PmAddr::new(0x10000 + i * 64),
+                i + 1,
+                StoreKind::lazy_log_free(),
+            );
             m.tx_commit();
         }
         for i in 0..4u64 {
@@ -1722,7 +1750,10 @@ mod tests {
         };
         let ede = run(Scheme::Ede);
         let fg = run(Scheme::Fg);
-        assert!(ede > fg, "EDE {ede} B vs FG {fg} B: buffer coalescing must win");
+        assert!(
+            ede > fg,
+            "EDE {ede} B vs FG {fg} B: buffer coalescing must win"
+        );
     }
 
     #[test]

@@ -62,8 +62,7 @@ impl Machine {
                 report.rolled_back = rolled.into_iter().collect();
             }
             Discipline::Redo => {
-                let committed: BTreeSet<u64> =
-                    self.device().log().committed_txns().collect();
+                let committed: BTreeSet<u64> = self.device().log().committed_txns().collect();
                 let records: Vec<PersistedRecord> = self
                     .device()
                     .log()
@@ -211,9 +210,7 @@ mod tests {
 
     #[test]
     fn redo_crash_mid_txn_leaves_image_untouched() {
-        let mut m = Machine::new(
-            MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches(),
-        );
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches());
         m.setup_write(A, &5u64.to_le_bytes());
         m.tx_begin();
         m.store_u64(A, 99, StoreKind::Store);
@@ -294,9 +291,7 @@ mod tests {
 
     #[test]
     fn redo_abort_needs_no_image_repair() {
-        let mut m = Machine::new(
-            MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches(),
-        );
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches());
         m.setup_write(A, &5u64.to_le_bytes());
         m.tx_begin();
         m.store_u64(A, 99, StoreKind::Store);
@@ -312,9 +307,7 @@ mod tests {
     fn redo_shadow_round_trip_preserves_values() {
         // Evict a logged line to the shadow mid-transaction, refetch
         // it, store again, and commit normally.
-        let mut m = Machine::new(
-            MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches(),
-        );
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo).with_tiny_caches());
         m.tx_begin();
         m.store_u64(A, 1, StoreKind::Store);
         for i in 0..512u64 {

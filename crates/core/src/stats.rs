@@ -52,13 +52,33 @@ impl fmt::Display for MachineStats {
         writeln!(f, "loads                  {:>12}", self.loads)?;
         writeln!(f, "stores                 {:>12}", self.stores)?;
         writeln!(f, "  storeT (honoured)    {:>12}", self.store_ts)?;
-        writeln!(f, "tx begin/commit/abort  {:>6}/{:>6}/{:>6}", self.tx_begins, self.tx_commits, self.tx_aborts)?;
+        writeln!(
+            f,
+            "tx begin/commit/abort  {:>6}/{:>6}/{:>6}",
+            self.tx_begins, self.tx_commits, self.tx_aborts
+        )?;
         writeln!(f, "suspended aborts       {:>12}", self.suspended_aborts)?;
         writeln!(f, "log records created    {:>12}", self.log_records_created)?;
-        writeln!(f, "log records discarded  {:>12}", self.log_records_discarded)?;
-        writeln!(f, "commit line persists   {:>12}", self.commit_line_persists)?;
-        writeln!(f, "lazy deferred/forced   {:>6}/{:>6}", self.lazy_lines_deferred, self.lazy_lines_forced)?;
-        writeln!(f, "lazy overflowed        {:>12}", self.lazy_lines_overflowed)?;
+        writeln!(
+            f,
+            "log records discarded  {:>12}",
+            self.log_records_discarded
+        )?;
+        writeln!(
+            f,
+            "commit line persists   {:>12}",
+            self.commit_line_persists
+        )?;
+        writeln!(
+            f,
+            "lazy deferred/forced   {:>6}/{:>6}",
+            self.lazy_lines_deferred, self.lazy_lines_forced
+        )?;
+        writeln!(
+            f,
+            "lazy overflowed        {:>12}",
+            self.lazy_lines_overflowed
+        )?;
         writeln!(f, "signature hits         {:>12}", self.signature_hits)?;
         write!(f, "commit stall cycles    {:>12}", self.commit_stall_cycles)
     }

@@ -75,7 +75,11 @@ fn abort_with_selective_stores() {
     m.store_u64(word(1), 20, StoreKind::log_free());
     m.tx_abort();
     assert_eq!(m.peek_u64(word(0)), 1, "logged word revoked");
-    assert_eq!(m.peek_u64(word(1)), 2, "cache-resident log-free word dropped");
+    assert_eq!(
+        m.peek_u64(word(1)),
+        2,
+        "cache-resident log-free word dropped"
+    );
 }
 
 #[test]
@@ -96,9 +100,7 @@ fn abort_does_not_disturb_outstanding_lazy_data() {
 #[test]
 #[should_panic(expected = "mutually exclusive")]
 fn battery_plus_redo_rejected() {
-    let _ = Machine::new(
-        MachineConfig::for_scheme(Scheme::FgRedo).with_battery_backed_cache(),
-    );
+    let _ = Machine::new(MachineConfig::for_scheme(Scheme::FgRedo).with_battery_backed_cache());
 }
 
 #[test]
@@ -107,9 +109,7 @@ fn crash_after_abort_does_not_replay_stale_records() {
     // must not survive into the next recovery, or they would roll a
     // later committed value back to the aborted transaction's
     // pre-image.
-    let mut m = Machine::new(
-        MachineConfig::for_scheme(Scheme::Fg).with_tiny_caches(),
-    );
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Fg).with_tiny_caches());
     m.setup_write(word(0), &7u64.to_le_bytes());
     m.tx_begin();
     m.store_u64(word(0), 999, StoreKind::Store);

@@ -42,7 +42,10 @@ fn in_flight_updates_vanish_at_crash() {
     m.store_u64(A, 99, StoreKind::Store);
     m.crash();
     let report = m.recover();
-    assert_eq!(report.undo_applied, 0, "cache-resident update just vanished");
+    assert_eq!(
+        report.undo_applied, 0,
+        "cache-resident update just vanished"
+    );
     assert_eq!(m.device().image().read_u64(A), 5);
 }
 
@@ -57,7 +60,11 @@ fn committed_then_uncommitted_crash_keeps_committed_only() {
     m.store_u64(A, 99, StoreKind::Store);
     m.crash();
     m.recover();
-    assert_eq!(m.device().image().read_u64(A), 7, "committed survives, in-flight vanishes");
+    assert_eq!(
+        m.device().image().read_u64(A),
+        7,
+        "committed survives, in-flight vanishes"
+    );
 }
 
 #[test]
@@ -119,7 +126,11 @@ fn repeated_commits_and_crashes_stay_consistent() {
         m.crash();
         m.recover();
         for (&a, &v) in &expect {
-            assert_eq!(m.device().image().read_u64(PmAddr::new(a)), v, "round {round}");
+            assert_eq!(
+                m.device().image().read_u64(PmAddr::new(a)),
+                v,
+                "round {round}"
+            );
         }
     }
 }

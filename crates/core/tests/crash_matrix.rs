@@ -55,7 +55,13 @@ fn check_all(m: &Machine, expected: u64, label: &str) {
 
 #[test]
 fn undo_schemes_roll_back_before_marker_and_keep_after() {
-    for scheme in [Scheme::Fg, Scheme::Slpmt, Scheme::FgCl, Scheme::Atom, Scheme::Ede] {
+    for scheme in [
+        Scheme::Fg,
+        Scheme::Slpmt,
+        Scheme::FgCl,
+        Scheme::Atom,
+        Scheme::Ede,
+    ] {
         for tiny in [false, true] {
             let m = run_matrix_case(scheme, CommitPhase::AfterRecords, tiny);
             check_all(&m, 102, &format!("{scheme} tiny={tiny} after-records"));
@@ -88,7 +94,11 @@ fn selective_stores_stay_atomic_at_every_phase() {
     // word must roll back; after the marker it must be durable. The
     // log-free word may land either way pre-marker (its recovery is
     // application-specific) but must be durable post-marker.
-    for phase in [CommitPhase::AfterRecords, CommitPhase::AfterData, CommitPhase::AfterMarker] {
+    for phase in [
+        CommitPhase::AfterRecords,
+        CommitPhase::AfterData,
+        CommitPhase::AfterMarker,
+    ] {
         let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
         m.tx_begin();
         m.store_u64(word(0), 7, StoreKind::Store);
@@ -113,7 +123,10 @@ fn selective_stores_stay_atomic_at_every_phase() {
             assert!(lazy == 9 || lazy == 90, "{phase:?}: lazy {lazy}");
         } else {
             assert_eq!(logged, 7, "{phase:?}: logged word rolled back");
-            assert!(log_free == 8 || log_free == 80, "{phase:?}: log-free {log_free}");
+            assert!(
+                log_free == 8 || log_free == 80,
+                "{phase:?}: log-free {log_free}"
+            );
             assert!(lazy == 9 || lazy == 90, "{phase:?}: lazy {lazy}");
         }
     }
@@ -122,9 +135,8 @@ fn selective_stores_stay_atomic_at_every_phase() {
 #[test]
 fn battery_machine_is_atomic_at_every_phase() {
     for phase in [CommitPhase::AfterRecords, CommitPhase::AfterMarker] {
-        let mut m = Machine::new(
-            MachineConfig::for_scheme(Scheme::Slpmt).with_battery_backed_cache(),
-        );
+        let mut m =
+            Machine::new(MachineConfig::for_scheme(Scheme::Slpmt).with_battery_backed_cache());
         m.tx_begin();
         for i in 0..WORDS {
             m.store_u64(word(i), 1, StoreKind::Store);
@@ -137,7 +149,11 @@ fn battery_machine_is_atomic_at_every_phase() {
         m.set_commit_crash_point(Some(phase));
         m.tx_commit();
         m.recover();
-        let expect = if phase == CommitPhase::AfterMarker { 999 } else { 1 };
+        let expect = if phase == CommitPhase::AfterMarker {
+            999
+        } else {
+            1
+        };
         check_all(&m, expect, &format!("battery {phase:?}"));
     }
 }

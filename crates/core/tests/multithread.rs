@@ -87,7 +87,11 @@ fn crash_with_suspended_transaction_rolls_it_back() {
     m.tx_commit();
     m.crash();
     m.recover();
-    assert_eq!(m.device().image().read_u64(A), 5, "suspended txn rolled back");
+    assert_eq!(
+        m.device().image().read_u64(A),
+        5,
+        "suspended txn rolled back"
+    );
     assert_eq!(m.device().image().read_u64(B), 2, "committed txn durable");
 }
 
@@ -107,7 +111,9 @@ fn several_suspensions_round_robin() {
     }
     for i in 0..3u64 {
         assert_eq!(
-            m.device().image().read_u64(PmAddr::new(0x10000 + i * 0x1000)),
+            m.device()
+                .image()
+                .read_u64(PmAddr::new(0x10000 + i * 0x1000)),
             i + 1
         );
     }
@@ -162,9 +168,7 @@ fn fifth_context_rejected() {
 #[test]
 #[should_panic(expected = "battery-backed caches is unsupported")]
 fn battery_suspension_rejected() {
-    let mut m = Machine::new(
-        MachineConfig::for_scheme(Scheme::Slpmt).with_battery_backed_cache(),
-    );
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt).with_battery_backed_cache());
     m.tx_begin();
     m.store_u64(A, 1, StoreKind::Store);
     m.suspend_txn();

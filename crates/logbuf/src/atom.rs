@@ -77,8 +77,7 @@ impl AtomLineBuffer {
         } else {
             None
         };
-        self.records
-            .push(LogRecord::new(txn, line, pre_image.to_vec()));
+        self.records.push(LogRecord::new(txn, line, &pre_image));
         ev
     }
 
@@ -115,7 +114,9 @@ mod tests {
     fn batches_eight_then_flushes() {
         let mut b = AtomLineBuffer::new();
         for i in 0..8u64 {
-            assert!(b.insert_line(1, PmAddr::new(i * 64), [i as u8; 64]).is_none());
+            assert!(b
+                .insert_line(1, PmAddr::new(i * 64), [i as u8; 64])
+                .is_none());
         }
         let ev = b
             .insert_line(1, PmAddr::new(8 * 64), [8; 64])

@@ -60,7 +60,7 @@ impl EdeCombiner {
     ) -> Option<FlushEvent> {
         assert!(addr.is_word_aligned(), "EDE logs whole words");
         self.emitted += 1;
-        let rec = LogRecord::new(txn, addr, pre_image.to_vec());
+        let rec = LogRecord::new(txn, addr, &pre_image);
         Some(crate::record::flush_event(vec![rec]))
     }
 
@@ -100,7 +100,11 @@ mod tests {
         // where the tiered buffer coalesces them into one 72 B record.
         let mut e = EdeCombiner::new();
         let total: u64 = (0..8u64)
-            .map(|w| e.log_word(1, PmAddr::new(w * 8), [0; 8]).unwrap().media_bytes())
+            .map(|w| {
+                e.log_word(1, PmAddr::new(w * 8), [0; 8])
+                    .unwrap()
+                    .media_bytes()
+            })
             .sum();
         assert_eq!(total, 128);
     }

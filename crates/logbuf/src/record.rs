@@ -2,6 +2,7 @@
 
 use slpmt_pmem::addr::{PmAddr, LINE_BYTES, WORD_BYTES};
 use slpmt_pmem::device::LogFlushEntry;
+use slpmt_pmem::payload::PayloadBuf;
 
 /// An in-buffer log record: `payload.len()` bytes of pre-image starting
 /// at the word-aligned `addr`, owned by transaction `txn`.
@@ -9,14 +10,15 @@ use slpmt_pmem::device::LogFlushEntry;
 /// Record sizes are powers of two between one word and one line; the
 /// media footprint is `payload + 8` bytes of address tag, i.e. the
 /// 16/24/40/72-byte formats of Figure 6.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogRecord {
     /// Owning transaction sequence number.
     pub txn: u64,
     /// Word-aligned, size-aligned start address.
     pub addr: PmAddr,
-    /// Pre-image bytes (1, 2, 4 or 8 words).
-    pub payload: Vec<u8>,
+    /// Pre-image bytes (1, 2, 4 or 8 words), stored inline — a record
+    /// is plain `Copy` data and never touches the heap.
+    pub payload: PayloadBuf,
 }
 
 impl LogRecord {
@@ -27,7 +29,7 @@ impl LogRecord {
     /// Panics if the payload length is not 8, 16, 32 or 64 bytes, or if
     /// `addr` is not aligned to the payload length (buddy coalescing
     /// relies on natural alignment).
-    pub fn new(txn: u64, addr: PmAddr, payload: Vec<u8>) -> Self {
+    pub fn new(txn: u64, addr: PmAddr, payload: &[u8]) -> Self {
         let len = payload.len();
         assert!(
             matches!(len, 8 | 16 | 32 | 64),
@@ -37,7 +39,11 @@ impl LogRecord {
             addr.raw().is_multiple_of(len as u64),
             "record at {addr} must be naturally aligned to its {len}-byte size"
         );
-        LogRecord { txn, addr, payload }
+        LogRecord {
+            txn,
+            addr,
+            payload: PayloadBuf::from_slice(payload),
+        }
     }
 
     /// Number of words covered.
@@ -81,12 +87,10 @@ impl LogRecord {
         } else {
             (other, self)
         };
-        let mut payload = lo.payload;
-        payload.extend_from_slice(&hi.payload);
         LogRecord {
             txn: lo.txn,
             addr: lo.addr,
-            payload,
+            payload: PayloadBuf::concat(&lo.payload, &hi.payload),
         }
     }
 
@@ -113,7 +117,10 @@ pub struct FlushEvent {
 impl FlushEvent {
     /// Total media bytes across the batch.
     pub fn media_bytes(&self) -> u64 {
-        self.entries.iter().map(|e| e.payload.len() as u64 + 8).sum()
+        self.entries
+            .iter()
+            .map(|e| e.payload.len() as u64 + 8)
+            .sum()
     }
 }
 
@@ -136,7 +143,10 @@ pub fn flush_event(records: Vec<LogRecord>) -> FlushEvent {
     let media: u64 = records.iter().map(LogRecord::media_bytes).sum();
     FlushEvent {
         lines: packed_lines(media),
-        entries: records.into_iter().map(LogRecord::into_flush_entry).collect(),
+        entries: records
+            .into_iter()
+            .map(LogRecord::into_flush_entry)
+            .collect(),
     }
 }
 
@@ -145,7 +155,7 @@ mod tests {
     use super::*;
 
     fn rec(addr: u64, len: usize) -> LogRecord {
-        LogRecord::new(1, PmAddr::new(addr), vec![0xAA; len])
+        LogRecord::new(1, PmAddr::new(addr), &vec![0xAA; len])
     }
 
     #[test]
@@ -166,9 +176,9 @@ mod tests {
 
     #[test]
     fn merge_produces_next_size() {
-        let a = LogRecord::new(1, PmAddr::new(0), vec![1; 8]);
-        let b = LogRecord::new(1, PmAddr::new(8), vec![2; 8]);
-        let m = b.clone().merge(a.clone());
+        let a = LogRecord::new(1, PmAddr::new(0), &[1; 8]);
+        let b = LogRecord::new(1, PmAddr::new(8), &[2; 8]);
+        let m = b.merge(a);
         assert_eq!(m.addr, PmAddr::new(0));
         assert_eq!(m.payload.len(), 16);
         assert_eq!(&m.payload[..8], &[1; 8]);
@@ -189,21 +199,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "across transactions")]
     fn cross_txn_merge_rejected() {
-        let a = LogRecord::new(1, PmAddr::new(0), vec![0; 8]);
-        let b = LogRecord::new(2, PmAddr::new(8), vec![0; 8]);
+        let a = LogRecord::new(1, PmAddr::new(0), &[0; 8]);
+        let b = LogRecord::new(2, PmAddr::new(8), &[0; 8]);
         let _ = a.merge(b);
     }
 
     #[test]
     #[should_panic(expected = "naturally aligned")]
     fn misaligned_record_rejected() {
-        let _ = LogRecord::new(1, PmAddr::new(8), vec![0; 16]);
+        let _ = LogRecord::new(1, PmAddr::new(8), &[0; 16]);
     }
 
     #[test]
     #[should_panic(expected = "1, 2, 4 or 8 words")]
     fn ragged_record_rejected() {
-        let _ = LogRecord::new(1, PmAddr::new(0), vec![0; 24]);
+        let _ = LogRecord::new(1, PmAddr::new(0), &[0; 24]);
     }
 
     #[test]

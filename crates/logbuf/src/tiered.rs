@@ -40,8 +40,8 @@ pub struct TieredStats {
 /// use slpmt_pmem::PmAddr;
 /// let mut buf = TieredLogBuffer::new();
 /// // Two adjacent word records coalesce into a double-word record.
-/// buf.insert(LogRecord::new(1, PmAddr::new(0), vec![1; 8]));
-/// buf.insert(LogRecord::new(1, PmAddr::new(8), vec![2; 8]));
+/// buf.insert(LogRecord::new(1, PmAddr::new(0), &[1; 8]));
+/// buf.insert(LogRecord::new(1, PmAddr::new(8), &[2; 8]));
 /// assert_eq!(buf.len(), 1);
 /// let drained = buf.drain_all().unwrap();
 /// assert_eq!(drained.entries[0].payload.len(), 16);
@@ -143,10 +143,7 @@ impl TieredLogBuffer {
     /// Whether any buffered record covers bytes of the line at `line`.
     pub fn has_records_for_line(&self, line: PmAddr) -> bool {
         let line = line.line();
-        self.tiers
-            .iter()
-            .flatten()
-            .any(|r| r.line() == line)
+        self.tiers.iter().flatten().any(|r| r.line() == line)
     }
 
     /// Flushes the records covering `line` (an L2→L3 eviction must
@@ -235,7 +232,7 @@ mod tests {
     use super::*;
 
     fn word(txn: u64, addr: u64, fill: u8) -> LogRecord {
-        LogRecord::new(txn, PmAddr::new(addr), vec![fill; 8])
+        LogRecord::new(txn, PmAddr::new(addr), &[fill; 8])
     }
 
     #[test]
@@ -262,7 +259,9 @@ mod tests {
         assert_eq!(ev.entries[0].payload.len(), 64);
         // Payload is in address order.
         for w in 0..8usize {
-            assert!(ev.entries[0].payload[w * 8..][..8].iter().all(|&x| x == w as u8));
+            assert!(ev.entries[0].payload[w * 8..][..8]
+                .iter()
+                .all(|&x| x == w as u8));
         }
         assert_eq!(b.stats().coalesces, 7);
     }
@@ -392,7 +391,10 @@ mod tests {
         let mut b = TieredLogBuffer::new();
         b.insert(word(1, 0, 1));
         assert!(!b.update_word(2, PmAddr::new(0), &[9u8; 8]), "other txn");
-        assert!(!b.update_word(1, PmAddr::new(64), &[9u8; 8]), "uncovered word");
+        assert!(
+            !b.update_word(1, PmAddr::new(64), &[9u8; 8]),
+            "uncovered word"
+        );
         b.drain_all();
         assert!(!b.update_word(1, PmAddr::new(0), &[9u8; 8]), "flushed");
     }

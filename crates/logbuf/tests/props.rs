@@ -1,27 +1,28 @@
-//! Property tests for the tiered log buffer: coalescing must preserve
-//! exactly the logged bytes — no loss, no overlap, natural alignment.
+//! Randomized tests for the tiered log buffer: coalescing must
+//! preserve exactly the logged bytes — no loss, no overlap, natural
+//! alignment. Seeded loops replace `proptest` (unavailable offline).
 
-use proptest::prelude::*;
 use slpmt_logbuf::{LogRecord, TieredLogBuffer};
 use slpmt_pmem::PmAddr;
+use slpmt_prng::SimRng;
 use std::collections::BTreeMap;
 
-proptest! {
-    #[test]
-    fn coalescing_preserves_coverage_and_payload(
-        words in prop::collection::vec((0u64..64, any::<u64>()), 1..80),
-    ) {
+#[test]
+fn coalescing_preserves_coverage_and_payload() {
+    for case in 0..96u64 {
+        let mut rng = SimRng::seed_from_u64(0xC0A1 ^ case);
         let mut buf = TieredLogBuffer::new();
         let mut model: BTreeMap<u64, u64> = BTreeMap::new(); // word addr -> first-logged value
         let mut flushed: Vec<slpmt_logbuf::FlushEvent> = Vec::new();
-        for (w, val) in &words {
-            let addr = w * 8;
+        for _ in 0..rng.gen_usize(1..80) {
+            let addr = rng.gen_range(0..64) * 8;
+            let val = rng.next_u64();
             // The hardware logs each word once (log bits); mimic that.
             if model.contains_key(&addr) {
                 continue;
             }
-            model.insert(addr, *val);
-            flushed.extend(buf.insert(LogRecord::new(1, PmAddr::new(addr), val.to_le_bytes().to_vec())));
+            model.insert(addr, val);
+            flushed.extend(buf.insert(LogRecord::new(1, PmAddr::new(addr), &val.to_le_bytes())));
         }
         if let Some(ev) = buf.drain_all() {
             flushed.push(ev);
@@ -30,34 +31,44 @@ proptest! {
         let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
         for ev in &flushed {
             for e in &ev.entries {
-                prop_assert_eq!(e.payload.len() % 8, 0);
-                prop_assert!(e.addr.raw() % e.payload.len() as u64 == 0 || e.payload.len() > 64,
-                    "records naturally aligned");
+                assert_eq!(e.payload.len() % 8, 0, "case {case}");
+                assert!(
+                    e.addr.raw() % e.payload.len() as u64 == 0 || e.payload.len() > 64,
+                    "case {case}: records naturally aligned"
+                );
                 for (i, chunk) in e.payload.chunks_exact(8).enumerate() {
                     let addr = e.addr.raw() + i as u64 * 8;
                     let val = u64::from_le_bytes(chunk.try_into().unwrap());
-                    prop_assert!(seen.insert(addr, val).is_none(), "no overlapping coverage");
+                    assert!(
+                        seen.insert(addr, val).is_none(),
+                        "case {case}: no overlapping coverage"
+                    );
                 }
             }
         }
-        prop_assert_eq!(seen, model, "exact coverage with original payloads");
+        assert_eq!(
+            seen, model,
+            "case {case}: exact coverage with original payloads"
+        );
     }
+}
 
-    #[test]
-    fn flush_line_extracts_exactly_that_line(
-        words in prop::collection::vec(0u64..64, 1..40),
-        target in 0u64..8,
-    ) {
+#[test]
+fn flush_line_extracts_exactly_that_line() {
+    for case in 0..96u64 {
+        let mut rng = SimRng::seed_from_u64(0xF1A5 ^ case);
+        let target = rng.gen_range(0..8);
         let mut buf = TieredLogBuffer::new();
         let mut in_line = 0usize;
         let mut seen = std::collections::BTreeSet::new();
-        for w in &words {
-            if !seen.insert(*w) {
+        for _ in 0..rng.gen_usize(1..40) {
+            let w = rng.gen_range(0..64);
+            if !seen.insert(w) {
                 continue;
             }
             // Tier-overflow flushes may carry target-line words away
             // before the explicit flush: discount them.
-            for ev in buf.insert(LogRecord::new(1, PmAddr::new(w * 8), vec![*w as u8; 8])) {
+            for ev in buf.insert(LogRecord::new(1, PmAddr::new(w * 8), &[w as u8; 8])) {
                 for e in &ev.entries {
                     if e.addr.line() == PmAddr::new(target * 64) {
                         in_line -= e.payload.len() / 8;
@@ -71,13 +82,15 @@ proptest! {
         let line = PmAddr::new(target * 64);
         match buf.flush_line(line) {
             Some(ev) => {
-                let words_covered: usize =
-                    ev.entries.iter().map(|e| e.payload.len() / 8).sum();
-                prop_assert_eq!(words_covered, in_line);
-                prop_assert!(ev.entries.iter().all(|e| e.addr.line() == line));
+                let words_covered: usize = ev.entries.iter().map(|e| e.payload.len() / 8).sum();
+                assert_eq!(words_covered, in_line, "case {case}");
+                assert!(
+                    ev.entries.iter().all(|e| e.addr.line() == line),
+                    "case {case}"
+                );
             }
-            None => prop_assert_eq!(in_line, 0),
+            None => assert_eq!(in_line, 0, "case {case}"),
         }
-        prop_assert!(!buf.has_records_for_line(line));
+        assert!(!buf.has_records_for_line(line), "case {case}");
     }
 }

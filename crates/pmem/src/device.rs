@@ -10,6 +10,7 @@
 use crate::addr::{PmAddr, LINE_BYTES};
 use crate::config::PmConfig;
 use crate::log_region::LogRegion;
+use crate::payload::PayloadBuf;
 use crate::space::PmSpace;
 use crate::stats::WriteTraffic;
 use crate::wpq::WritePendingQueue;
@@ -43,14 +44,15 @@ pub enum PersistEvent {
 
 /// A log record queued for a packed flush; see
 /// [`PmDevice::persist_log_pack`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogFlushEntry {
     /// Owning transaction sequence number.
     pub txn: u64,
     /// Word-aligned address the record covers.
     pub addr: PmAddr,
-    /// Record payload bytes (a whole number of words).
-    pub payload: Vec<u8>,
+    /// Record payload bytes (a whole number of words), stored inline
+    /// so packs move through the flush path without heap traffic.
+    pub payload: PayloadBuf,
 }
 
 /// The simulated persistent-memory device.
@@ -177,7 +179,7 @@ impl PmDevice {
     /// # Panics
     ///
     /// Panics if `entries` is empty.
-    pub fn persist_log_pack(&mut self, now: u64, entries: Vec<LogFlushEntry>) -> u64 {
+    pub fn persist_log_pack(&mut self, now: u64, entries: &[LogFlushEntry]) -> u64 {
         assert!(!entries.is_empty(), "empty log pack");
         let mut bytes = 0;
         let records = entries.len() as u64;
@@ -188,7 +190,7 @@ impl PmDevice {
                 addr: e.addr,
                 len: e.payload.len(),
             });
-            self.log.append(e.txn, e.addr, e.payload);
+            self.log.append(e.txn, e.addr, &e.payload);
         }
         let lines = self.log_append_lines(bytes);
         let mut accepted = now;
@@ -259,15 +261,15 @@ mod tests {
             LogFlushEntry {
                 txn: 7,
                 addr: PmAddr::new(0),
-                payload: vec![1; 8],
+                payload: PayloadBuf::from_slice(&[1; 8]),
             },
             LogFlushEntry {
                 txn: 7,
                 addr: PmAddr::new(8),
-                payload: vec![2; 8],
+                payload: PayloadBuf::from_slice(&[2; 8]),
             },
         ];
-        d.persist_log_pack(0, entries);
+        d.persist_log_pack(0, &entries);
         assert_eq!(d.log().records_of(7).count(), 2);
         assert_eq!(d.traffic().log_records, 2);
         assert_eq!(d.traffic().log_bytes, 32); // 2 × (8 payload + 8 addr)
@@ -328,6 +330,6 @@ mod tests {
     #[should_panic(expected = "empty log pack")]
     fn empty_pack_rejected() {
         let mut d = dev();
-        d.persist_log_pack(0, vec![]);
+        d.persist_log_pack(0, &[]);
     }
 }

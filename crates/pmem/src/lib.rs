@@ -48,6 +48,7 @@ pub mod config;
 pub mod device;
 pub mod heap;
 pub mod log_region;
+pub mod payload;
 pub mod space;
 pub mod stats;
 pub mod wpq;
@@ -55,9 +56,10 @@ pub mod wpq;
 pub use addr::{PmAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::PmConfig;
 pub use device::PmDevice;
-pub use heap::PmHeap;
 pub use device::{LogFlushEntry, PersistEvent};
+pub use heap::PmHeap;
 pub use log_region::{LogRegion, PersistedRecord};
+pub use payload::{PayloadBuf, PAYLOAD_CAP};
 pub use space::PmSpace;
 pub use stats::WriteTraffic;
 pub use wpq::WritePendingQueue;

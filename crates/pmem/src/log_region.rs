@@ -14,18 +14,20 @@
 //! is counted.
 
 use crate::addr::PmAddr;
+use crate::payload::PayloadBuf;
 use std::collections::BTreeSet;
 
 /// One log record as persisted: the image of `payload.len()` bytes at
 /// `addr` (the *old* value for undo logging, the *new* value for redo).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PersistedRecord {
     /// Global sequence number of the owning transaction.
     pub txn: u64,
     /// Word-aligned start address the record covers.
     pub addr: PmAddr,
-    /// Logged bytes (8 for a word record up to 64 for a line record).
-    pub payload: Vec<u8>,
+    /// Logged bytes (8 for a word record up to 64 for a line record),
+    /// stored inline — records are plain `Copy` data.
+    pub payload: PayloadBuf,
 }
 
 impl PersistedRecord {
@@ -44,7 +46,7 @@ impl PersistedRecord {
 /// ```
 /// use slpmt_pmem::{LogRegion, PmAddr};
 /// let mut log = LogRegion::new();
-/// log.append(1, PmAddr::new(64), vec![0u8; 8]);
+/// log.append(1, PmAddr::new(64), &[0u8; 8]);
 /// assert_eq!(log.records_of(1).count(), 1);
 /// assert!(!log.is_committed(1));
 /// log.mark_committed(1);
@@ -69,14 +71,18 @@ impl LogRegion {
     ///
     /// Panics if the payload is empty or `addr` is not word-aligned —
     /// hardware only emits word-multiple records (Figure 6).
-    pub fn append(&mut self, txn: u64, addr: PmAddr, payload: Vec<u8>) {
+    pub fn append(&mut self, txn: u64, addr: PmAddr, payload: &[u8]) {
         assert!(!payload.is_empty(), "empty log record");
         assert!(addr.is_word_aligned(), "log record must be word-aligned");
         assert!(
             payload.len().is_multiple_of(crate::addr::WORD_BYTES),
             "log payload must be a whole number of words"
         );
-        let rec = PersistedRecord { txn, addr, payload };
+        let rec = PersistedRecord {
+            txn,
+            addr,
+            payload: PayloadBuf::from_slice(payload),
+        };
         self.bytes_appended += rec.media_bytes();
         self.records.push(rec);
     }
@@ -171,25 +177,25 @@ mod tests {
         let w = PersistedRecord {
             txn: 0,
             addr: PmAddr::new(0),
-            payload: vec![0; 8],
+            payload: PayloadBuf::from_slice(&[0; 8]),
         };
         assert_eq!(w.media_bytes(), 16);
         let d = PersistedRecord {
             txn: 0,
             addr: PmAddr::new(0),
-            payload: vec![0; 16],
+            payload: PayloadBuf::from_slice(&[0; 16]),
         };
         assert_eq!(d.media_bytes(), 24);
         let q = PersistedRecord {
             txn: 0,
             addr: PmAddr::new(0),
-            payload: vec![0; 32],
+            payload: PayloadBuf::from_slice(&[0; 32]),
         };
         assert_eq!(q.media_bytes(), 40);
         let l = PersistedRecord {
             txn: 0,
             addr: PmAddr::new(0),
-            payload: vec![0; 64],
+            payload: PayloadBuf::from_slice(&[0; 64]),
         };
         assert_eq!(l.media_bytes(), 72);
     }
@@ -197,9 +203,9 @@ mod tests {
     #[test]
     fn append_and_query() {
         let mut log = LogRegion::new();
-        log.append(1, PmAddr::new(0), vec![1; 8]);
-        log.append(2, PmAddr::new(64), vec![2; 8]);
-        log.append(1, PmAddr::new(8), vec![3; 8]);
+        log.append(1, PmAddr::new(0), &[1; 8]);
+        log.append(2, PmAddr::new(64), &[2; 8]);
+        log.append(1, PmAddr::new(8), &[3; 8]);
         assert_eq!(log.len(), 3);
         assert_eq!(rec_addrs(log.records_of(1)), vec![0, 8]);
         assert_eq!(log.bytes_appended(), 48);
@@ -208,9 +214,9 @@ mod tests {
     #[test]
     fn uncommitted_rev_order_and_filter() {
         let mut log = LogRegion::new();
-        log.append(1, PmAddr::new(0), vec![1; 8]);
-        log.append(1, PmAddr::new(8), vec![2; 8]);
-        log.append(2, PmAddr::new(64), vec![3; 8]);
+        log.append(1, PmAddr::new(0), &[1; 8]);
+        log.append(1, PmAddr::new(8), &[2; 8]);
+        log.append(2, PmAddr::new(64), &[3; 8]);
         log.mark_committed(2);
         assert_eq!(rec_addrs(log.uncommitted_rev()), vec![8, 0]);
     }
@@ -218,8 +224,8 @@ mod tests {
     #[test]
     fn truncation_keeps_uncommitted() {
         let mut log = LogRegion::new();
-        log.append(1, PmAddr::new(0), vec![1; 8]);
-        log.append(2, PmAddr::new(64), vec![2; 8]);
+        log.append(1, PmAddr::new(0), &[1; 8]);
+        log.append(2, PmAddr::new(64), &[2; 8]);
         log.mark_committed(1);
         log.truncate_committed();
         assert_eq!(log.len(), 1);
@@ -230,9 +236,9 @@ mod tests {
     #[test]
     fn drop_txn_removes_only_that_txn() {
         let mut log = LogRegion::new();
-        log.append(1, PmAddr::new(0), vec![1; 8]);
-        log.append(2, PmAddr::new(64), vec![2; 8]);
-        log.append(1, PmAddr::new(8), vec![3; 8]);
+        log.append(1, PmAddr::new(0), &[1; 8]);
+        log.append(2, PmAddr::new(64), &[2; 8]);
+        log.append(1, PmAddr::new(8), &[3; 8]);
         assert_eq!(log.drop_txn(1), 2);
         assert_eq!(log.len(), 1);
         assert_eq!(log.records()[0].txn, 2);
@@ -250,13 +256,13 @@ mod tests {
     #[should_panic(expected = "word-aligned")]
     fn unaligned_record_rejected() {
         let mut log = LogRegion::new();
-        log.append(1, PmAddr::new(3), vec![0; 8]);
+        log.append(1, PmAddr::new(3), &[0; 8]);
     }
 
     #[test]
     #[should_panic(expected = "whole number of words")]
     fn ragged_payload_rejected() {
         let mut log = LogRegion::new();
-        log.append(1, PmAddr::new(0), vec![0; 5]);
+        log.append(1, PmAddr::new(0), &[0; 5]);
     }
 }

@@ -1,0 +1,179 @@
+//! Inline payload storage for log records.
+//!
+//! Log payloads are at most one cache line (64 bytes) and flow through
+//! the hottest simulator path: store → log-buffer coalesce → flush →
+//! WPQ → log region. Boxing each payload in a `Vec<u8>` put a heap
+//! allocation (and later a free) on every logged store. [`PayloadBuf`]
+//! inlines the bytes instead — a fixed array sized to the largest
+//! tier record's 72-byte media format plus an explicit length — so
+//! records are `Copy` and the whole path allocates nothing.
+
+use std::ops::{Deref, DerefMut};
+
+/// Inline capacity: the largest tier record (a full line) has a
+/// 72-byte media format, so every payload fits with headroom.
+pub const PAYLOAD_CAP: usize = 72;
+
+/// A fixed-capacity inline byte buffer for log payloads.
+///
+/// Dereferences to `[u8]`, so slicing, iteration and length checks
+/// read exactly like the `Vec<u8>` it replaces.
+///
+/// ```
+/// use slpmt_pmem::PayloadBuf;
+/// let p = PayloadBuf::from_slice(&[7; 16]);
+/// assert_eq!(p.len(), 16);
+/// assert_eq!(&p[..8], &[7; 8]);
+/// ```
+#[derive(Clone, Copy)]
+pub struct PayloadBuf {
+    len: u8,
+    bytes: [u8; PAYLOAD_CAP],
+}
+
+impl PayloadBuf {
+    /// Builds a buffer holding a copy of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds [`PAYLOAD_CAP`] bytes.
+    pub fn from_slice(data: &[u8]) -> Self {
+        assert!(
+            data.len() <= PAYLOAD_CAP,
+            "payload of {} bytes exceeds inline capacity {PAYLOAD_CAP}",
+            data.len()
+        );
+        let mut bytes = [0u8; PAYLOAD_CAP];
+        bytes[..data.len()].copy_from_slice(data);
+        PayloadBuf {
+            len: data.len() as u8,
+            bytes,
+        }
+    }
+
+    /// Builds a buffer holding `lo` followed by `hi` (buddy merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the concatenation exceeds [`PAYLOAD_CAP`] bytes.
+    pub fn concat(lo: &[u8], hi: &[u8]) -> Self {
+        let total = lo.len() + hi.len();
+        assert!(
+            total <= PAYLOAD_CAP,
+            "payload of {total} bytes exceeds inline capacity {PAYLOAD_CAP}"
+        );
+        let mut bytes = [0u8; PAYLOAD_CAP];
+        bytes[..lo.len()].copy_from_slice(lo);
+        bytes[lo.len()..total].copy_from_slice(hi);
+        PayloadBuf {
+            len: total as u8,
+            bytes,
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+}
+
+impl Deref for PayloadBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for PayloadBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let len = self.len as usize;
+        &mut self.bytes[..len]
+    }
+}
+
+impl AsRef<[u8]> for PayloadBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for PayloadBuf {
+    fn from(data: &[u8]) -> Self {
+        PayloadBuf::from_slice(data)
+    }
+}
+
+impl PartialEq for PayloadBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PayloadBuf {}
+
+impl PartialEq<[u8]> for PayloadBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for PayloadBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PayloadBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for PayloadBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_slicing() {
+        let p = PayloadBuf::from_slice(&[3; 32]);
+        assert_eq!(p.len(), 32);
+        assert!(!p.is_empty());
+        assert_eq!(&p[..], &[3u8; 32][..]);
+        assert_eq!(p, [3u8; 32]);
+        assert_eq!(p, vec![3u8; 32]);
+    }
+
+    #[test]
+    fn concat_is_ordered() {
+        let p = PayloadBuf::concat(&[1; 8], &[2; 8]);
+        assert_eq!(p.len(), 16);
+        assert_eq!(&p[..8], &[1; 8]);
+        assert_eq!(&p[8..], &[2; 8]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut p = PayloadBuf::from_slice(&[0; 16]);
+        p[8..16].copy_from_slice(&[9; 8]);
+        assert_eq!(&p[..8], &[0; 8]);
+        assert_eq!(&p[8..], &[9; 8]);
+    }
+
+    #[test]
+    fn full_capacity_accepted() {
+        let p = PayloadBuf::from_slice(&[1; PAYLOAD_CAP]);
+        assert_eq!(p.len(), PAYLOAD_CAP);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds inline capacity")]
+    fn oversize_rejected() {
+        let _ = PayloadBuf::from_slice(&[0; PAYLOAD_CAP + 1]);
+    }
+}

@@ -6,11 +6,76 @@
 //! write pending queue (Intel ADR semantics — reaching the WPQ counts
 //! as durable, and the WPQ itself drains on power failure).
 //!
-//! Storage is a sparse map of 64-byte frames so that a 64-MiB address
-//! space costs memory proportional to its touched footprint only.
+//! Storage is a two-level page directory of contiguous 64-KiB frame
+//! arenas: a line access is two indexed loads and a `memcpy`, with no
+//! hashing and no per-line allocation on the hot path. Memory still
+//! scales with the touched footprint (pages materialise on first
+//! write), and a per-page line bitmap preserves the exact
+//! touched-lines accounting of the earlier per-frame map.
 
 use crate::addr::{PmAddr, LINE_BYTES};
-use std::collections::HashMap;
+
+/// log2 of the page size: 64 KiB pages, i.e. 1024 lines per page.
+const PAGE_SHIFT: u32 = 16;
+/// Bytes per page (one contiguous frame arena).
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+/// Lines per page.
+const PAGE_LINES: usize = PAGE_BYTES / LINE_BYTES;
+/// Pages per second-level directory (so one directory spans 16 MiB).
+const DIR_PAGES: usize = 256;
+/// Bytes spanned by one second-level directory.
+const DIR_SPAN: u64 = (PAGE_BYTES * DIR_PAGES) as u64;
+
+/// One materialised 64-KiB arena plus its touched-line bitmap.
+struct Page {
+    bytes: Box<[u8; PAGE_BYTES]>,
+    touched: [u64; PAGE_LINES / 64],
+}
+
+impl Page {
+    fn zeroed() -> Box<Page> {
+        let bytes: Box<[u8; PAGE_BYTES]> = vec![0u8; PAGE_BYTES]
+            .into_boxed_slice()
+            .try_into()
+            .expect("sized allocation");
+        Box::new(Page {
+            bytes,
+            touched: [0; PAGE_LINES / 64],
+        })
+    }
+
+    /// Marks lines `first..=last` (page-local indexes) as written,
+    /// returning how many were newly touched.
+    fn mark_lines(&mut self, first: usize, last: usize) -> usize {
+        let mut newly = 0;
+        for line in first..=last {
+            let (w, b) = (line / 64, line % 64);
+            if self.touched[w] & (1 << b) == 0 {
+                self.touched[w] |= 1 << b;
+                newly += 1;
+            }
+        }
+        newly
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page {
+            bytes: self.bytes.clone(),
+            touched: self.touched,
+        }
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let touched: u32 = self.touched.iter().map(|w| w.count_ones()).sum();
+        write!(f, "Page {{ touched_lines: {touched} }}")
+    }
+}
+
+type Dir = Vec<Option<Box<Page>>>;
 
 /// The durable byte image of the persistent-memory device.
 ///
@@ -26,16 +91,19 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PmSpace {
-    frames: HashMap<u64, [u8; LINE_BYTES]>,
+    dirs: Vec<Option<Dir>>,
     capacity: u64,
+    touched: usize,
 }
 
 impl PmSpace {
     /// Creates an empty (all-zero) space of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
+        let n_dirs = capacity.div_ceil(DIR_SPAN) as usize;
         PmSpace {
-            frames: HashMap::new(),
+            dirs: (0..n_dirs).map(|_| None).collect(),
             capacity,
+            touched: 0,
         }
     }
 
@@ -46,7 +114,7 @@ impl PmSpace {
 
     /// Number of distinct cache-line frames ever written.
     pub fn touched_lines(&self) -> usize {
-        self.frames.len()
+        self.touched
     }
 
     fn check(&self, addr: PmAddr, len: usize) {
@@ -55,6 +123,19 @@ impl PmSpace {
             "PM access out of range: {addr} + {len} > capacity {}",
             self.capacity
         );
+    }
+
+    #[inline]
+    fn page(&self, addr: u64) -> Option<&Page> {
+        let dir = self.dirs[(addr / DIR_SPAN) as usize].as_ref()?;
+        dir[(addr % DIR_SPAN) as usize >> PAGE_SHIFT].as_deref()
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u64) -> &mut Page {
+        let dir = self.dirs[(addr / DIR_SPAN) as usize]
+            .get_or_insert_with(|| (0..DIR_PAGES).map(|_| None).collect());
+        dir[(addr % DIR_SPAN) as usize >> PAGE_SHIFT].get_or_insert_with(Page::zeroed)
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -67,11 +148,12 @@ impl PmSpace {
         let mut cursor = addr.raw();
         let mut filled = 0;
         while filled < buf.len() {
-            let line = cursor & !(LINE_BYTES as u64 - 1);
-            let off = (cursor - line) as usize;
-            let take = (LINE_BYTES - off).min(buf.len() - filled);
-            match self.frames.get(&line) {
-                Some(frame) => buf[filled..filled + take].copy_from_slice(&frame[off..off + take]),
+            let off = (cursor % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - off).min(buf.len() - filled);
+            match self.page(cursor) {
+                Some(page) => {
+                    buf[filled..filled + take].copy_from_slice(&page.bytes[off..off + take])
+                }
                 None => buf[filled..filled + take].fill(0),
             }
             filled += take;
@@ -89,11 +171,14 @@ impl PmSpace {
         let mut cursor = addr.raw();
         let mut written = 0;
         while written < data.len() {
-            let line = cursor & !(LINE_BYTES as u64 - 1);
-            let off = (cursor - line) as usize;
-            let take = (LINE_BYTES - off).min(data.len() - written);
-            let frame = self.frames.entry(line).or_insert([0; LINE_BYTES]);
-            frame[off..off + take].copy_from_slice(&data[written..written + take]);
+            let off = (cursor % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - off).min(data.len() - written);
+            let newly = {
+                let page = self.page_mut(cursor);
+                page.bytes[off..off + take].copy_from_slice(&data[written..written + take]);
+                page.mark_lines(off / LINE_BYTES, (off + take - 1) / LINE_BYTES)
+            };
+            self.touched += newly;
             written += take;
             cursor += take as u64;
         }
@@ -106,9 +191,14 @@ impl PmSpace {
     /// Panics if `addr` is not word-aligned or out of range.
     pub fn read_u64(&self, addr: PmAddr) -> u64 {
         assert!(addr.is_word_aligned(), "unaligned word read at {addr}");
-        let mut buf = [0u8; 8];
-        self.read(addr, &mut buf);
-        u64::from_le_bytes(buf)
+        self.check(addr, 8);
+        match self.page(addr.raw()) {
+            Some(page) => {
+                let off = (addr.raw() % PAGE_BYTES as u64) as usize;
+                u64::from_le_bytes(page.bytes[off..off + 8].try_into().expect("word"))
+            }
+            None => 0,
+        }
     }
 
     /// Writes one 8-byte little-endian word at a word-aligned address.
@@ -118,7 +208,14 @@ impl PmSpace {
     /// Panics if `addr` is not word-aligned or out of range.
     pub fn write_u64(&mut self, addr: PmAddr, value: u64) {
         assert!(addr.is_word_aligned(), "unaligned word write at {addr}");
-        self.write(addr, &value.to_le_bytes());
+        self.check(addr, 8);
+        let off = (addr.raw() % PAGE_BYTES as u64) as usize;
+        let newly = {
+            let page = self.page_mut(addr.raw());
+            page.bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            page.mark_lines(off / LINE_BYTES, off / LINE_BYTES)
+        };
+        self.touched += newly;
     }
 
     /// Reads a whole 64-byte line at a line-aligned address.
@@ -129,10 +226,13 @@ impl PmSpace {
     pub fn read_line(&self, addr: PmAddr) -> [u8; LINE_BYTES] {
         assert!(addr.is_line_aligned(), "unaligned line read at {addr}");
         self.check(addr, LINE_BYTES);
-        self.frames
-            .get(&addr.raw())
-            .copied()
-            .unwrap_or([0; LINE_BYTES])
+        match self.page(addr.raw()) {
+            Some(page) => {
+                let off = (addr.raw() % PAGE_BYTES as u64) as usize;
+                page.bytes[off..off + LINE_BYTES].try_into().expect("line")
+            }
+            None => [0; LINE_BYTES],
+        }
     }
 
     /// Writes a whole 64-byte line at a line-aligned address.
@@ -143,7 +243,13 @@ impl PmSpace {
     pub fn write_line(&mut self, addr: PmAddr, data: &[u8; LINE_BYTES]) {
         assert!(addr.is_line_aligned(), "unaligned line write at {addr}");
         self.check(addr, LINE_BYTES);
-        self.frames.insert(addr.raw(), *data);
+        let off = (addr.raw() % PAGE_BYTES as u64) as usize;
+        let newly = {
+            let page = self.page_mut(addr.raw());
+            page.bytes[off..off + LINE_BYTES].copy_from_slice(data);
+            page.mark_lines(off / LINE_BYTES, off / LINE_BYTES)
+        };
+        self.touched += newly;
     }
 }
 
@@ -188,6 +294,41 @@ mod tests {
         let line = [7u8; 64];
         s.write_line(PmAddr::new(128), &line);
         assert_eq!(s.read_line(PmAddr::new(128)), line);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut s = PmSpace::new(1 << 20);
+        let data: Vec<u8> = (0..512).map(|i| (i * 7) as u8).collect();
+        let addr = PmAddr::new(PAGE_BYTES as u64 - 100); // straddles a page boundary
+        s.write(addr, &data);
+        let mut back = vec![0u8; 512];
+        s.read(addr, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn cross_directory_write_and_read() {
+        let mut s = PmSpace::new(DIR_SPAN * 2);
+        let data = [0xAB_u8; 96];
+        let addr = PmAddr::new(DIR_SPAN - 32); // straddles a directory boundary
+        s.write(addr, &data);
+        let mut back = [0u8; 96];
+        s.read(addr, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(s.touched_lines(), 2);
+    }
+
+    #[test]
+    fn touched_lines_counts_each_line_once() {
+        let mut s = PmSpace::new(1 << 20);
+        for _ in 0..3 {
+            s.write_u64(PmAddr::new(64), 9);
+            s.write_line(PmAddr::new(64), &[1; 64]);
+        }
+        assert_eq!(s.touched_lines(), 1);
+        s.write_u64(PmAddr::new(0), 1);
+        assert_eq!(s.touched_lines(), 2);
     }
 
     #[test]

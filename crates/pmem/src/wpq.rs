@@ -68,12 +68,7 @@ impl WritePendingQueue {
     /// # Panics
     ///
     /// Panics if `entries` or `banks` is zero.
-    pub fn with_banks(
-        entries: usize,
-        write_cycles: u64,
-        accept_cycles: u64,
-        banks: usize,
-    ) -> Self {
+    pub fn with_banks(entries: usize, write_cycles: u64, accept_cycles: u64, banks: usize) -> Self {
         assert!(entries > 0, "WPQ must have at least one entry");
         assert!(banks > 0, "WPQ needs at least one drain bank");
         WritePendingQueue {
@@ -200,7 +195,9 @@ mod tests {
     fn banked_drain_parallelism_and_serialisation() {
         let mut q = wpq();
         // The first DEFAULT_DRAIN_BANKS lines drain in parallel...
-        let first: Vec<u64> = (0..DEFAULT_DRAIN_BANKS).map(|_| q.push(0).drained_at).collect();
+        let first: Vec<u64> = (0..DEFAULT_DRAIN_BANKS)
+            .map(|_| q.push(0).drained_at)
+            .collect();
         assert!(first.windows(2).all(|w| w[1] - w[0] <= 2 * 8));
         // ...the next line queues behind a busy bank.
         let next = q.push(0);

@@ -1,88 +1,225 @@
-//! Property tests for the PM device substrate.
+//! Randomized property tests for the PM device substrate, driven by
+//! the in-repo deterministic PRNG (the environment is hermetic, so
+//! `proptest` is unavailable; each test runs many seeded cases and
+//! reports the failing case seed on panic).
 
-use proptest::prelude::*;
 use slpmt_pmem::{PmAddr, PmHeap, PmSpace, WritePendingQueue};
+use slpmt_prng::SimRng;
 use std::collections::BTreeMap;
 
-proptest! {
-    /// PmSpace agrees with a flat byte-vector model under random
-    /// writes and reads of random sizes and alignments.
-    #[test]
-    fn space_matches_flat_model(
-        writes in prop::collection::vec((0u64..4000, prop::collection::vec(any::<u8>(), 1..130)), 1..40),
-        probes in prop::collection::vec((0u64..4000, 1usize..130), 1..20),
-    ) {
+/// PmSpace agrees with a flat byte-vector model under random writes
+/// and reads of random sizes and alignments.
+#[test]
+fn space_matches_flat_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x5AACE ^ case);
         let mut space = PmSpace::new(8192);
         let mut model = vec![0u8; 8192];
-        for (addr, data) in &writes {
-            space.write(PmAddr::new(*addr), data);
-            model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        for _ in 0..rng.gen_usize(1..40) {
+            let addr = rng.gen_range(0..4000);
+            let mut data = vec![0u8; rng.gen_usize(1..130)];
+            rng.fill_bytes(&mut data);
+            space.write(PmAddr::new(addr), &data);
+            model[addr as usize..addr as usize + data.len()].copy_from_slice(&data);
         }
-        for (addr, len) in &probes {
-            let mut buf = vec![0u8; *len];
-            space.read(PmAddr::new(*addr), &mut buf);
-            prop_assert_eq!(&buf[..], &model[*addr as usize..*addr as usize + len]);
+        for _ in 0..rng.gen_usize(1..20) {
+            let addr = rng.gen_range(0..4000) as usize;
+            let len = rng.gen_usize(1..130);
+            let mut buf = vec![0u8; len];
+            space.read(PmAddr::new(addr as u64), &mut buf);
+            assert_eq!(&buf[..], &model[addr..addr + len], "case {case}");
         }
     }
+}
 
-    /// WPQ timing is monotone and never exceeds its occupancy bound.
-    #[test]
-    fn wpq_is_monotone_and_bounded(
-        gaps in prop::collection::vec(0u64..3000, 1..120),
-        entries in 1usize..16,
-        write_cycles in 1u64..5000,
-    ) {
+/// WPQ timing is monotone and never exceeds its occupancy bound.
+#[test]
+fn wpq_is_monotone_and_bounded() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x3009 ^ case);
+        let entries = rng.gen_usize(1..16);
+        let write_cycles = rng.gen_range(1..5000);
         let mut q = WritePendingQueue::with_banks(entries, write_cycles, 8, 2);
         let mut now = 0;
         let mut last_accept = 0;
-        let _ = ();
-        for gap in gaps {
-            now += gap;
+        for _ in 0..rng.gen_usize(1..120) {
+            now += rng.gen_range(0..3000);
             let r = q.push(now);
-            prop_assert!(r.accepted_at >= now, "acceptance after request");
-            prop_assert!(r.accepted_at >= last_accept, "acceptance monotone");
-            prop_assert!(r.drained_at > r.accepted_at, "drain after acceptance");
-            prop_assert!(q.occupancy(r.accepted_at) <= entries, "bounded occupancy");
+            assert!(
+                r.accepted_at >= now,
+                "case {case}: acceptance after request"
+            );
+            assert!(
+                r.accepted_at >= last_accept,
+                "case {case}: acceptance monotone"
+            );
+            assert!(
+                r.drained_at > r.accepted_at,
+                "case {case}: drain after acceptance"
+            );
+            assert!(
+                q.occupancy(r.accepted_at) <= entries,
+                "case {case}: bounded occupancy"
+            );
             last_accept = r.accepted_at;
-
             now = r.accepted_at;
         }
     }
+}
 
-    /// Heap allocations are disjoint, contained in the arena, and a
-    /// rebuild keeps exactly the reachable set.
-    #[test]
-    fn heap_allocations_disjoint_and_rebuildable(
-        sizes in prop::collection::vec(1u64..200, 1..60),
-        keep_mask in prop::collection::vec(any::<bool>(), 60),
-    ) {
+/// Heap allocations are disjoint, contained in the arena, and a
+/// rebuild keeps exactly the reachable set.
+#[test]
+fn heap_allocations_disjoint_and_rebuildable() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(0x4EA9 ^ case);
         let base = 0x1000u64;
         let len = 64 * 1024;
         let mut heap = PmHeap::new(PmAddr::new(base), len);
         let mut allocs: BTreeMap<u64, u64> = BTreeMap::new();
-        for size in &sizes {
-            let a = heap.alloc(*size).expect("arena large enough");
+        for _ in 0..rng.gen_usize(1..60) {
+            let size = rng.gen_range(1..200);
+            let a = heap.alloc(size).expect("arena large enough");
             let real = heap.allocation_size(a).unwrap();
-            prop_assert!(a.raw() >= base && a.raw() + real <= base + len, "contained");
+            assert!(
+                a.raw() >= base && a.raw() + real <= base + len,
+                "case {case}: contained"
+            );
             for (&start, &sz) in &allocs {
-                prop_assert!(a.raw() + real <= start || a.raw() >= start + sz, "disjoint");
+                assert!(
+                    a.raw() + real <= start || a.raw() >= start + sz,
+                    "case {case}: disjoint"
+                );
             }
             allocs.insert(a.raw(), real);
         }
         let keep: Vec<PmAddr> = allocs
             .keys()
-            .zip(keep_mask.iter())
-            .filter(|(_, &k)| k)
-            .map(|(&a, _)| PmAddr::new(a))
+            .filter(|_| rng.gen_bool(0.5))
+            .map(|&a| PmAddr::new(a))
             .collect();
         let reclaimed = heap.rebuild(&keep);
-        prop_assert_eq!(reclaimed, allocs.len() - keep.len());
-        prop_assert_eq!(heap.live_count(), keep.len());
+        assert_eq!(reclaimed, allocs.len() - keep.len(), "case {case}");
+        assert_eq!(heap.live_count(), keep.len(), "case {case}");
         for a in &keep {
-            prop_assert!(heap.is_live(*a));
+            assert!(heap.is_live(*a), "case {case}");
         }
         // The reclaimed space is reusable (the dense first-fit layout
         // leaves a large contiguous tail after the rebuild).
-        prop_assert!(heap.alloc(4096).is_some());
+        assert!(heap.alloc(4096).is_some(), "case {case}");
+    }
+}
+
+/// The page-directory `PmSpace` must be observably identical to the
+/// per-line hash-map it replaced. The reference model here *is* that
+/// old representation: a `HashMap<line, [u8; 64]>` where absent lines
+/// read as zero and `touched_lines` counts map entries.
+#[test]
+fn space_matches_hashmap_reference_model() {
+    use std::collections::HashMap;
+
+    const CAP: u64 = 1 << 20; // spans 16 pages of the directory
+
+    #[derive(Clone, Default)]
+    struct Model {
+        lines: HashMap<u64, [u8; 64]>,
+    }
+    impl Model {
+        fn write(&mut self, addr: u64, data: &[u8]) {
+            for (i, &b) in data.iter().enumerate() {
+                let a = addr + i as u64;
+                self.lines.entry(a / 64 * 64).or_insert([0u8; 64])[(a % 64) as usize] = b;
+            }
+        }
+        fn read(&self, addr: u64, buf: &mut [u8]) {
+            for (i, b) in buf.iter_mut().enumerate() {
+                let a = addr + i as u64;
+                *b = self
+                    .lines
+                    .get(&(a / 64 * 64))
+                    .map_or(0, |l| l[(a % 64) as usize]);
+            }
+        }
+    }
+
+    for case in 0..12u64 {
+        let mut rng = SimRng::seed_from_u64(0x5AFE ^ case);
+        let mut space = PmSpace::new(CAP);
+        let mut model = Model::default();
+        let mut snapshot: Option<(PmSpace, Model)> = None;
+        for step in 0..400 {
+            match rng.gen_range(0..10) {
+                // Byte-granularity writes, arbitrary length/alignment,
+                // crossing lines, pages and directories.
+                0..=2 => {
+                    let len = rng.gen_usize(1..200);
+                    let addr = rng.gen_range(0..CAP - len as u64);
+                    let fill = (step & 0xFF) as u8;
+                    let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+                    space.write(PmAddr::new(addr), &data);
+                    model.write(addr, &data);
+                }
+                3..=4 => {
+                    let line = rng.gen_range(0..CAP / 64) * 64;
+                    let data = [(step & 0xFF) as u8; 64];
+                    space.write_line(PmAddr::new(line), &data);
+                    model.write(line, &data);
+                }
+                5 => {
+                    let word = rng.gen_range(0..CAP / 8) * 8;
+                    let v = rng.next_u64();
+                    space.write_u64(PmAddr::new(word), v);
+                    model.write(word, &v.to_le_bytes());
+                }
+                6..=7 => {
+                    let len = rng.gen_usize(1..200);
+                    let addr = rng.gen_range(0..CAP - len as u64);
+                    let mut got = vec![0u8; len];
+                    let mut want = vec![0u8; len];
+                    space.read(PmAddr::new(addr), &mut got);
+                    model.read(addr, &mut want);
+                    assert_eq!(got, want, "case {case} step {step}: read @{addr:#x}");
+                    let line = rng.gen_range(0..CAP / 64) * 64;
+                    let mut want_line = [0u8; 64];
+                    model.read(line, &mut want_line);
+                    assert_eq!(
+                        space.read_line(PmAddr::new(line)),
+                        want_line,
+                        "case {case} step {step}: read_line"
+                    );
+                }
+                // Snapshot (the crash path clones the image) …
+                8 => snapshot = Some((space.clone(), model.clone())),
+                // … and restore: recovery resumes from the clone.
+                _ => {
+                    if let Some((s, m)) = snapshot.take() {
+                        space = s;
+                        model = m;
+                    }
+                }
+            }
+            assert_eq!(
+                space.touched_lines(),
+                model.lines.len(),
+                "case {case} step {step}: touched-line count"
+            );
+        }
+        // Final sweep: every touched line plus a sample of untouched
+        // ones must be byte-identical.
+        let sample = (0..256).map(|_| rng.gen_range(0..CAP / 64) * 64);
+        for line in model
+            .lines
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .chain(sample)
+        {
+            let mut want = [0u8; 64];
+            model.read(line, &mut want);
+            if space.read_line(PmAddr::new(line)) != want {
+                panic!("case {case}: final sweep diverged at line {line:#x}");
+            }
+        }
     }
 }

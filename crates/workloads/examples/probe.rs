@@ -4,13 +4,24 @@ use slpmt_workloads::{ycsb_load, AnnotationSource};
 
 fn main() {
     let ops = ycsb_load(1000, 256, 42);
-    let schemes = [Scheme::Fg, Scheme::FgLg, Scheme::FgLz, Scheme::Slpmt, Scheme::Atom, Scheme::Ede];
+    let schemes = [
+        Scheme::Fg,
+        Scheme::FgLg,
+        Scheme::FgLz,
+        Scheme::Slpmt,
+        Scheme::Atom,
+        Scheme::Ede,
+    ];
     for kind in IndexKind::KERNELS {
         let base = run_inserts(Scheme::Fg, kind, &ops, 256, AnnotationSource::Manual, false);
         print!("{kind:10}");
         for s in schemes {
             let r = run_inserts(s, kind, &ops, 256, AnnotationSource::Manual, true);
-            print!("  {s}: {:.2}x/{:+.0}%", r.speedup_vs(&base), r.traffic_reduction_vs(&base)*100.0);
+            print!(
+                "  {s}: {:.2}x/{:+.0}%",
+                r.speedup_vs(&base),
+                r.traffic_reduction_vs(&base) * 100.0
+            );
         }
         println!();
     }

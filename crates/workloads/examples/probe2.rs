@@ -5,7 +5,14 @@ use slpmt_workloads::{ycsb_load, AnnotationSource};
 fn main() {
     let ops = ycsb_load(1000, 256, 42);
     for s in [Scheme::Fg, Scheme::FgLz, Scheme::Slpmt] {
-        let r = run_inserts(s, IndexKind::Hashtable, &ops, 256, AnnotationSource::Manual, false);
+        let r = run_inserts(
+            s,
+            IndexKind::Hashtable,
+            &ops,
+            256,
+            AnnotationSource::Manual,
+            false,
+        );
         println!("{s}: cycles={} commit_stall={} deferred={} forced={} overflowed={} sig_hits={} records={} discarded={} media_lines={}",
             r.cycles, r.stats.commit_stall_cycles, r.stats.lazy_lines_deferred,
             r.stats.lazy_lines_forced, r.stats.lazy_lines_overflowed, r.stats.signature_hits,

@@ -10,8 +10,19 @@ fn main() {
         for vs in [16usize, 32, 64, 128, 256] {
             let ops = ycsb_load(600, vs, 42);
             let base = run_inserts(Scheme::Fg, kind, &ops, vs, AnnotationSource::Manual, false);
-            let r = run_inserts(Scheme::Slpmt, kind, &ops, vs, AnnotationSource::Manual, false);
-            print!("  {vs}B: {:.2}x/{:+.0}%", r.speedup_vs(&base), r.traffic_reduction_vs(&base)*100.0);
+            let r = run_inserts(
+                Scheme::Slpmt,
+                kind,
+                &ops,
+                vs,
+                AnnotationSource::Manual,
+                false,
+            );
+            print!(
+                "  {vs}B: {:.2}x/{:+.0}%",
+                r.speedup_vs(&base),
+                r.traffic_reduction_vs(&base) * 100.0
+            );
         }
         println!();
     }
@@ -21,9 +32,27 @@ fn main() {
         print!("{kind:10}");
         for ns in [500u64, 1100, 1700, 2300] {
             let ops = ycsb_load(600, 256, 42);
-            let mk = |s| { let mut c = MachineConfig::for_scheme(s); c.pm = c.pm.with_write_latency_ns(ns); c };
-            let base = run_inserts_with(mk(Scheme::Fg), kind, &ops, 256, AnnotationSource::Manual, false);
-            let r = run_inserts_with(mk(Scheme::Slpmt), kind, &ops, 256, AnnotationSource::Manual, false);
+            let mk = |s| {
+                let mut c = MachineConfig::for_scheme(s);
+                c.pm = c.pm.with_write_latency_ns(ns);
+                c
+            };
+            let base = run_inserts_with(
+                mk(Scheme::Fg),
+                kind,
+                &ops,
+                256,
+                AnnotationSource::Manual,
+                false,
+            );
+            let r = run_inserts_with(
+                mk(Scheme::Slpmt),
+                kind,
+                &ops,
+                256,
+                AnnotationSource::Manual,
+                false,
+            );
             print!("  {ns}ns: {:.2}x", r.speedup_vs(&base));
         }
         println!();
@@ -34,13 +63,45 @@ fn main() {
         print!("{kind:10}");
         for vs in [256usize, 16] {
             let ops = ycsb_load(600, vs, 42);
-            let base = run_inserts(Scheme::Fg, kind, &ops, vs, AnnotationSource::Compiler, false);
-            let s = run_inserts(Scheme::Slpmt, kind, &ops, vs, AnnotationSource::Compiler, true);
-            let a = run_inserts(Scheme::Atom, kind, &ops, vs, AnnotationSource::Compiler, false);
-            let e = run_inserts(Scheme::Ede, kind, &ops, vs, AnnotationSource::Compiler, false);
-            print!("  {vs}B: SLPMT {:.2}x vsATOM {:.2}x vsEDE {:.2}x red {:+.0}%",
-                s.speedup_vs(&base), a.cycles as f64 / s.cycles as f64, e.cycles as f64 / s.cycles as f64,
-                s.traffic_reduction_vs(&base)*100.0);
+            let base = run_inserts(
+                Scheme::Fg,
+                kind,
+                &ops,
+                vs,
+                AnnotationSource::Compiler,
+                false,
+            );
+            let s = run_inserts(
+                Scheme::Slpmt,
+                kind,
+                &ops,
+                vs,
+                AnnotationSource::Compiler,
+                true,
+            );
+            let a = run_inserts(
+                Scheme::Atom,
+                kind,
+                &ops,
+                vs,
+                AnnotationSource::Compiler,
+                false,
+            );
+            let e = run_inserts(
+                Scheme::Ede,
+                kind,
+                &ops,
+                vs,
+                AnnotationSource::Compiler,
+                false,
+            );
+            print!(
+                "  {vs}B: SLPMT {:.2}x vsATOM {:.2}x vsEDE {:.2}x red {:+.0}%",
+                s.speedup_vs(&base),
+                a.cycles as f64 / s.cycles as f64,
+                e.cycles as f64 / s.cycles as f64,
+                s.traffic_reduction_vs(&base) * 100.0
+            );
         }
         println!();
     }
@@ -48,8 +109,26 @@ fn main() {
     println!("== line granularity ==");
     for kind in IndexKind::KERNELS {
         let ops = ycsb_load(600, 256, 42);
-        let base = run_inserts(Scheme::FgCl, kind, &ops, 256, AnnotationSource::Manual, false);
-        let r = run_inserts(Scheme::SlpmtCl, kind, &ops, 256, AnnotationSource::Manual, true);
-        println!("{kind:10}  SLPMT-CL vs FG-CL: {:.2}x/{:+.0}%", r.speedup_vs(&base), r.traffic_reduction_vs(&base)*100.0);
+        let base = run_inserts(
+            Scheme::FgCl,
+            kind,
+            &ops,
+            256,
+            AnnotationSource::Manual,
+            false,
+        );
+        let r = run_inserts(
+            Scheme::SlpmtCl,
+            kind,
+            &ops,
+            256,
+            AnnotationSource::Manual,
+            true,
+        );
+        println!(
+            "{kind:10}  SLPMT-CL vs FG-CL: {:.2}x/{:+.0}%",
+            r.speedup_vs(&base),
+            r.traffic_reduction_vs(&base) * 100.0
+        );
     }
 }

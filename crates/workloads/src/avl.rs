@@ -118,7 +118,10 @@ impl AvlTree {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(2 * 8);
         AvlTree {
@@ -224,7 +227,10 @@ impl AvlTree {
         let rh = self.check_node(ctx, ctx.peek(fld(a, 2)), key.saturating_add(1), hi)?;
         let h = ctx.peek(fld(a, 3));
         if h != lh.max(rh) + 1 {
-            return Err(format!("height of {n:#x} is {h}, expected {}", lh.max(rh) + 1));
+            return Err(format!(
+                "height of {n:#x} is {h}, expected {}",
+                lh.max(rh) + 1
+            ));
         }
         if (lh as i64 - rh as i64).abs() > 1 {
             return Err(format!("AVL balance violated at {n:#x}: {lh} vs {rh}"));
@@ -283,7 +289,6 @@ impl DurableIndex for AvlTree {
         ctx.tx_commit();
     }
 
-
     fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool {
         use sites::*;
         ctx.tx_begin();
@@ -332,7 +337,11 @@ impl DurableIndex for AvlTree {
         };
         // The victim has at most one child: splice it out.
         let vl = ctx.load(fld(victim, 1));
-        let child = if vl != 0 { vl } else { ctx.load(fld(victim, 2)) };
+        let child = if vl != 0 {
+            vl
+        } else {
+            ctx.load(fld(victim, 2))
+        };
         match path.last() {
             Some(&(p, dir)) => ctx.store(fld(p, dir), child, CHILD_UPD),
             None => ctx.store(fld(self.root, 0), child, ROOT_PTR),
@@ -358,8 +367,6 @@ impl DurableIndex for AvlTree {
         ctx.tx_commit();
         true
     }
-
-
 
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
@@ -457,7 +464,6 @@ impl DurableIndex for AvlTree {
         ctx.recovery_write(fld(self.root, 1), count);
     }
 }
-
 
 impl crate::runner::RangeIndex for AvlTree {
     fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {

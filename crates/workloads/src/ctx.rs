@@ -310,11 +310,15 @@ mod tests {
         b.store(n, 0, slpmt_annotate::Operand::Const(1));
         let ir = b.build();
         assert_eq!(
-            AnnotationSource::Manual.resolve(&manual, &ir).get(SiteId(0)),
+            AnnotationSource::Manual
+                .resolve(&manual, &ir)
+                .get(SiteId(0)),
             Annotation::Lazy
         );
         assert_eq!(
-            AnnotationSource::Compiler.resolve(&manual, &ir).get(SiteId(0)),
+            AnnotationSource::Compiler
+                .resolve(&manual, &ir)
+                .get(SiteId(0)),
             Annotation::LogFree
         );
         assert_eq!(

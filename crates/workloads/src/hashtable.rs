@@ -170,7 +170,10 @@ impl Hashtable {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(9 * 8);
         let buckets = ctx.setup_alloc(INITIAL_BUCKETS * 8);
@@ -247,7 +250,11 @@ impl DurableIndex for Hashtable {
 
     fn insert(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) {
         use sites::*;
-        assert_eq!(value.len() as u64, self.value_bytes, "value size fixed at creation");
+        assert_eq!(
+            value.len() as u64,
+            self.value_bytes,
+            "value size fixed at creation"
+        );
         ctx.tx_begin();
         let root = self.root;
         let buckets = PmAddr::new(ctx.load(fld(root, 0)));
@@ -323,11 +330,20 @@ impl DurableIndex for Hashtable {
         false
     }
 
-
-
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
         assert_eq!(value.len() as u64, self.value_bytes);
+        // Like removal, an update rewrites a moved node's value-blob
+        // pointer inside the resize block; the rehash re-execution
+        // recovery would clobber it back to the retired blob. Close
+        // the redo window first.
+        if ctx.peek(fld(self.root, 3)) != 0 {
+            ctx.drain_lazy();
+            ctx.tx_begin();
+            ctx.store(fld(self.root, 3), 0, RS_OLD_BUCKETS);
+            ctx.store(fld(self.root, 4), 0, RS_OLD_NB);
+            ctx.tx_commit();
+        }
         ctx.tx_begin();
         let buckets = PmAddr::new(ctx.load(fld(self.root, 0)));
         let n = ctx.load(fld(self.root, 1));

@@ -130,7 +130,10 @@ impl MaxHeap {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(3 * 8);
         let arr = ctx.setup_alloc(INITIAL_CAPACITY * 16);
@@ -201,7 +204,6 @@ impl DurableIndex for MaxHeap {
         }
         ctx.tx_commit();
     }
-
 
     fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool {
         use sites::*;
@@ -288,8 +290,6 @@ impl DurableIndex for MaxHeap {
         true
     }
 
-
-
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
         assert_eq!(value.len() as u64, self.value_bytes);
@@ -361,7 +361,9 @@ impl DurableIndex for MaxHeap {
             let pk = ctx.peek(entry(arr, p));
             let ck = ctx.peek(entry(arr, i));
             if pk < ck {
-                return Err(format!("heap order violated: parent {pk} < child {ck} at {i}"));
+                return Err(format!(
+                    "heap order violated: parent {pk} < child {ck} at {i}"
+                ));
             }
         }
         Ok(())
@@ -460,7 +462,11 @@ mod tests {
         let (table, _) = slpmt_annotate::analyze(&MaxHeap::ir());
         assert!(table.get(sites::VALUE).is_selective());
         assert!(table.get(sites::GROW_COPY).is_selective());
-        assert_eq!(table.get(sites::SLOT_KEY), Annotation::Plain, "needs count semantics");
+        assert_eq!(
+            table.get(sites::SLOT_KEY),
+            Annotation::Plain,
+            "needs count semantics"
+        );
         assert_eq!(table.get(sites::COUNT), Annotation::Plain);
     }
 

@@ -131,7 +131,10 @@ impl BtreeKv {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(2 * 8);
         BtreeKv {
@@ -253,7 +256,11 @@ impl BtreeKv {
                 if c == 0 {
                     return Err(format!("missing child {i} in internal node {n:#x}"));
                 }
-                let clo = if i == 0 { lo } else { ctx.peek(key_at(a, i - 1)) };
+                let clo = if i == 0 {
+                    lo
+                } else {
+                    ctx.peek(key_at(a, i - 1))
+                };
                 let chi = if i == nk { hi } else { ctx.peek(key_at(a, i)) };
                 self.check_node(ctx, c, clo, chi, depth + 1, leaf_depth, count)?;
             }
@@ -341,7 +348,6 @@ impl DurableIndex for BtreeKv {
         ctx.tx_commit();
     }
 
-
     fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool {
         use sites::*;
         ctx.tx_begin();
@@ -385,8 +391,6 @@ impl DurableIndex for BtreeKv {
         ctx.tx_commit();
         true
     }
-
-
 
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
@@ -521,7 +525,6 @@ impl DurableIndex for BtreeKv {
     }
 }
 
-
 impl crate::runner::RangeIndex for BtreeKv {
     fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
         let mut out = Vec::new();
@@ -555,7 +558,11 @@ impl crate::runner::RangeIndex for BtreeKv {
             // Push children right-to-left so the walk emits in order.
             let mut bounds = Vec::with_capacity(nk as usize + 1);
             for i in 0..=nk {
-                let clo = if i == 0 { nlo } else { ctx.load(key_at(a, i - 1)) };
+                let clo = if i == 0 {
+                    nlo
+                } else {
+                    ctx.load(key_at(a, i - 1))
+                };
                 let chi = if i == nk { nhi } else { ctx.load(key_at(a, i)) };
                 bounds.push((ctx.load(slot_at(a, i)), clo, chi));
             }

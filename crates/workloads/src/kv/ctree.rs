@@ -102,7 +102,10 @@ impl CtreeKv {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(2 * 8);
         CtreeKv {
@@ -194,7 +197,6 @@ impl DurableIndex for CtreeKv {
         ctx.tx_commit();
     }
 
-
     fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool {
         use sites::*;
         ctx.tx_begin();
@@ -247,8 +249,6 @@ impl DurableIndex for CtreeKv {
         ctx.tx_commit();
         true
     }
-
-
 
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
@@ -393,7 +393,6 @@ impl DurableIndex for CtreeKv {
     }
 }
 
-
 impl crate::runner::RangeIndex for CtreeKv {
     fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
         // MSB-first crit-bit tries are ordered: an in-order DFS (0-bit
@@ -473,8 +472,7 @@ mod tests {
         }
         // Per insert: one logged link + (lazily logged) size counter.
         // All leaf/internal/value stores are log-free.
-        let per_op =
-            ctx.machine().stats().log_records_created as f64 / ops.len() as f64;
+        let per_op = ctx.machine().stats().log_records_created as f64 / ops.len() as f64;
         assert!(per_op <= 3.0, "too many log records per insert: {per_op}");
     }
 

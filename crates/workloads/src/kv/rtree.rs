@@ -130,7 +130,10 @@ impl RtreeKv {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(2 * 8);
         RtreeKv {
@@ -206,8 +209,9 @@ impl DurableIndex for RtreeKv {
                 // with a shortened prefix (key movement into a fresh
                 // allocation — the original is never modified).
                 ctx.compute(NIBBLE_COST * plen); // copy bookkeeping
-                let old_tail: Vec<u64> =
-                    (matched + 1..plen).map(|i| prefix_nibble(prefix, i)).collect();
+                let old_tail: Vec<u64> = (matched + 1..plen)
+                    .map(|i| prefix_nibble(prefix, i))
+                    .collect();
                 let copy = self.new_node(ctx, &old_tail, SPLIT_COPY);
                 // Copy value pointer and children of the split node.
                 let v = ctx.load(fld(cur, 2));
@@ -219,8 +223,7 @@ impl DurableIndex for RtreeKv {
                     }
                 }
                 // Fresh branch holding the common prefix.
-                let common: Vec<u64> =
-                    (0..matched).map(|i| prefix_nibble(prefix, i)).collect();
+                let common: Vec<u64> = (0..matched).map(|i| prefix_nibble(prefix, i)).collect();
                 let branch = self.new_node(ctx, &common, NEW_NODE);
                 ctx.store(
                     child_at(branch, prefix_nibble(prefix, matched)),
@@ -268,7 +271,6 @@ impl DurableIndex for RtreeKv {
         ctx.store(fld(self.root, 1), size, SIZE);
         ctx.tx_commit();
     }
-
 
     fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool {
         use sites::*;
@@ -326,8 +328,6 @@ impl DurableIndex for RtreeKv {
         ctx.tx_commit();
         true
     }
-
-
 
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
@@ -545,7 +545,6 @@ impl RtreeKv {
     }
 }
 
-
 impl crate::runner::RangeIndex for RtreeKv {
     fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
         // DFS in nibble order; a node whose consumed-prefix key window
@@ -569,7 +568,11 @@ impl crate::runner::RangeIndex for RtreeKv {
             let depth = consumed + plen;
             let rem = (KEY_NIBBLES - depth) * 4;
             let window_lo = if rem == 64 { 0 } else { value << rem };
-            let window_hi = if rem == 64 { u64::MAX } else { window_lo | ((1u64 << rem) - 1) };
+            let window_hi = if rem == 64 {
+                u64::MAX
+            } else {
+                window_lo | ((1u64 << rem) - 1)
+            };
             if window_hi < lo || window_lo > hi {
                 continue;
             }

@@ -131,7 +131,10 @@ impl SkiplistKv {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(2 * 8);
         let head = ctx.setup_alloc((3 + MAX_LEVEL) * 8);
@@ -231,7 +234,6 @@ impl DurableIndex for SkiplistKv {
         ctx.tx_commit();
         true
     }
-
 
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
@@ -397,7 +399,6 @@ impl DurableIndex for SkiplistKv {
     }
 }
 
-
 impl crate::runner::RangeIndex for SkiplistKv {
     fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
         // Towers find the range start; level 0 streams it.
@@ -441,7 +442,10 @@ mod tests {
         }
         // Roughly geometric: about half the keys have height 1.
         let ones = (0..10_000u64).filter(|&k| height_of(k) == 1).count();
-        assert!((3800..6200).contains(&ones), "height-1 fraction: {ones}/10000");
+        assert!(
+            (3800..6200).contains(&ones),
+            "height-1 fraction: {ones}/10000"
+        );
     }
 
     #[test]
@@ -472,7 +476,10 @@ mod tests {
         let mut t2 = t.clone();
         assert!(t2.get(&mut ctx, probe).is_some());
         let loads = ctx.machine().stats().loads - before;
-        assert!(loads < 150, "search touched {loads} words — towers not working");
+        assert!(
+            loads < 150,
+            "search touched {loads} words — towers not working"
+        );
     }
 
     #[test]
@@ -529,7 +536,10 @@ mod tests {
             }
             ctx.machine().stats().lazy_lines_deferred
         };
-        assert!(run(AnnotationSource::Manual) > 0, "towers defer persistence");
+        assert!(
+            run(AnnotationSource::Manual) > 0,
+            "towers defer persistence"
+        );
         assert_eq!(run(AnnotationSource::None), 0);
     }
 

@@ -135,7 +135,10 @@ impl Rbtree {
     ///
     /// Panics if `value_size` is not a multiple of 8.
     pub fn new(ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Self {
-        assert!(value_size.is_multiple_of(8), "value size must be whole words");
+        assert!(
+            value_size.is_multiple_of(8),
+            "value size must be whole words"
+        );
         ctx.set_table(source.resolve(&Self::manual_table(), &Self::ir()));
         let root = ctx.setup_alloc(2 * 8);
         Rbtree {
@@ -213,7 +216,11 @@ impl Rbtree {
             let gp_raw = self.parent(ctx, p);
             debug_assert_ne!(gp_raw, 0, "red parent implies a grandparent");
             let g = PmAddr::new(gp_raw);
-            let dir = if self.child(ctx, g, 0) == zp { 0u64 } else { 1u64 };
+            let dir = if self.child(ctx, g, 0) == zp {
+                0u64
+            } else {
+                1u64
+            };
             let uncle = self.child(ctx, g, 1 - dir);
             if self.color(ctx, uncle) == RED {
                 self.set_color(ctx, p, BLACK);
@@ -237,7 +244,6 @@ impl Rbtree {
             self.set_color(ctx, PmAddr::new(r), BLACK);
         }
     }
-
 
     /// Replaces the subtree rooted at `u` with the one rooted at `v`
     /// (CLRS `RB-TRANSPLANT`); `v` may be null.
@@ -267,7 +273,11 @@ impl Rbtree {
                 break;
             }
             let p = PmAddr::new(xp);
-            let dir = if self.child(ctx, p, 0) == x { 0u64 } else { 1u64 };
+            let dir = if self.child(ctx, p, 0) == x {
+                0u64
+            } else {
+                1u64
+            };
             let mut w = PmAddr::new(self.child(ctx, p, 1 - dir));
             debug_assert_ne!(w.raw(), 0, "doubly-black node must have a sibling");
             if self.color(ctx, w.raw()) == RED {
@@ -411,7 +421,8 @@ impl Rbtree {
         let mut memo = BTreeMap::new();
         let feas = self.feasible(ctx, r, &mut memo);
         let (_, bh) = *feas
-            .iter().find(|(c, _)| *c == BLACK)
+            .iter()
+            .find(|(c, _)| *c == BLACK)
             .expect("a red-black-insertable shape admits a black root colouring");
         self.assign_colors(ctx, r, BLACK, bh);
     }
@@ -491,7 +502,6 @@ impl DurableIndex for Rbtree {
         ctx.tx_commit();
     }
 
-
     fn remove(&mut self, ctx: &mut PmContext, key: u64) -> bool {
         use sites::*;
         ctx.tx_begin();
@@ -566,8 +576,6 @@ impl DurableIndex for Rbtree {
         ctx.tx_commit();
         true
     }
-
-
 
     fn update(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) -> bool {
         use sites::*;
@@ -692,7 +700,6 @@ impl DurableIndex for Rbtree {
     }
 }
 
-
 impl crate::runner::RangeIndex for Rbtree {
     fn scan(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
         let mut out = Vec::new();
@@ -815,7 +822,11 @@ mod tests {
         let (table, _) = slpmt_annotate::analyze(&Rbtree::ir());
         assert!(table.get(sites::NODE_KEY).is_selective());
         assert_eq!(table.get(sites::PARENT_UPD), Annotation::Lazy);
-        assert_eq!(table.get(sites::FIX_COLOR), Annotation::Plain, "colour is opaque");
+        assert_eq!(
+            table.get(sites::FIX_COLOR),
+            Annotation::Plain,
+            "colour is opaque"
+        );
         assert_eq!(table.get(sites::LINK_CHILD), Annotation::Plain);
     }
 

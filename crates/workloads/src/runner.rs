@@ -124,18 +124,25 @@ impl IndexKind {
 
     /// Builds the index (setup is untimed) and returns it with its
     /// resolved annotation table installed into `ctx`.
-    pub fn build(self, ctx: &mut PmContext, value_size: usize, source: AnnotationSource) -> Box<dyn DurableIndex> {
+    pub fn build(
+        self,
+        ctx: &mut PmContext,
+        value_size: usize,
+        source: AnnotationSource,
+    ) -> Box<dyn DurableIndex> {
         match self {
-            IndexKind::Hashtable => Box::new(crate::hashtable::Hashtable::new(ctx, value_size, source)),
+            IndexKind::Hashtable => {
+                Box::new(crate::hashtable::Hashtable::new(ctx, value_size, source))
+            }
             IndexKind::Rbtree => Box::new(crate::rbtree::Rbtree::new(ctx, value_size, source)),
             IndexKind::Heap => Box::new(crate::heap::MaxHeap::new(ctx, value_size, source)),
             IndexKind::Avl => Box::new(crate::avl::AvlTree::new(ctx, value_size, source)),
             IndexKind::KvBtree => Box::new(crate::kv::btree::BtreeKv::new(ctx, value_size, source)),
             IndexKind::KvCtree => Box::new(crate::kv::ctree::CtreeKv::new(ctx, value_size, source)),
             IndexKind::KvRtree => Box::new(crate::kv::rtree::RtreeKv::new(ctx, value_size, source)),
-            IndexKind::KvSkiplist => {
-                Box::new(crate::kv::skiplist::SkiplistKv::new(ctx, value_size, source))
-            }
+            IndexKind::KvSkiplist => Box::new(crate::kv::skiplist::SkiplistKv::new(
+                ctx, value_size, source,
+            )),
         }
     }
 }
@@ -197,7 +204,14 @@ pub fn run_inserts(
     source: AnnotationSource,
     verify: bool,
 ) -> RunResult {
-    run_inserts_with(MachineConfig::for_scheme(scheme), kind, ops, value_size, source, verify)
+    run_inserts_with(
+        MachineConfig::for_scheme(scheme),
+        kind,
+        ops,
+        value_size,
+        source,
+        verify,
+    )
 }
 
 /// [`run_inserts`] with an explicit machine configuration (latency

@@ -7,10 +7,7 @@
 //! deterministic functions of the key so runs are reproducible and
 //! post-crash checks can recompute the expected payload.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
+use slpmt_prng::SimRng;
 
 /// One generated operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,13 +46,16 @@ pub fn value_for(key: u64, value_size: usize) -> Vec<u8> {
 /// assert!(ops.iter().all(|o| o.value.len() == 256));
 /// ```
 pub fn ycsb_load(ops: usize, value_size: usize, seed: u64) -> Vec<YcsbOp> {
-    assert!(value_size.is_multiple_of(8), "value size must be whole words");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        value_size.is_multiple_of(8),
+        "value size must be whole words"
+    );
+    let mut rng = SimRng::seed_from_u64(seed);
     // Unique keys: dense per-seed IDs pushed through the (bijective)
     // SplitMix64 finaliser, so keys look random, never collide within
     // a run, and differ across seeds.
     let mut ids: Vec<u64> = (1..=ops as u64).collect();
-    ids.shuffle(&mut rng);
+    rng.shuffle(&mut ids);
     ids.into_iter()
         .map(|i| {
             let mut z = (seed << 32) ^ i;
@@ -176,19 +176,19 @@ pub fn ycsb_mixed_with_updates(
     );
     let loaded = ycsb_load(load, value_size, seed);
     let extra = ycsb_load(load + ops, value_size, seed ^ 0x5EED);
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
     let mut live: Vec<u64> = loaded.iter().map(|o| o.key).collect();
     let initial: std::collections::BTreeSet<u64> = live.iter().copied().collect();
     let mut fresh = extra.into_iter().filter(move |o| !initial.contains(&o.key));
     let mut out = Vec::with_capacity(ops);
     let mut version = 0u64;
     for _ in 0..ops {
-        let roll: u8 = rng.gen_range(0..100);
+        let roll = rng.gen_range(0..100) as u8;
         if roll < read_pct && !live.is_empty() {
-            let i = rng.gen_range(0..live.len());
+            let i = rng.gen_usize(0..live.len());
             out.push(MixedOp::Read(live[i]));
         } else if roll < read_pct + update_pct && !live.is_empty() {
-            let i = rng.gen_range(0..live.len());
+            let i = rng.gen_usize(0..live.len());
             version += 1;
             let key = live[i];
             out.push(MixedOp::Update(YcsbOp {
@@ -196,7 +196,7 @@ pub fn ycsb_mixed_with_updates(
                 value: value_for(key ^ version.rotate_left(32), value_size),
             }));
         } else if roll < read_pct + update_pct + remove_pct && !live.is_empty() {
-            let i = rng.gen_range(0..live.len());
+            let i = rng.gen_usize(0..live.len());
             out.push(MixedOp::Remove(live.swap_remove(i)));
         } else {
             let op = fresh.next().expect("fresh key pool exhausted");
@@ -232,7 +232,10 @@ mod mixed_tests {
 
     #[test]
     fn mixed_is_deterministic() {
-        assert_eq!(ycsb_mixed(10, 50, 16, 9, 50, 10), ycsb_mixed(10, 50, 16, 9, 50, 10));
+        assert_eq!(
+            ycsb_mixed(10, 50, 16, 9, 50, 10),
+            ycsb_mixed(10, 50, 16, 9, 50, 10)
+        );
     }
 
     #[test]
@@ -255,7 +258,10 @@ mod update_tests {
     #[test]
     fn ycsb_a_style_mix() {
         let (_, ops) = ycsb_mixed_with_updates(50, 400, 16, 2, 50, 50, 0);
-        let updates = ops.iter().filter(|o| matches!(o, MixedOp::Update(_))).count();
+        let updates = ops
+            .iter()
+            .filter(|o| matches!(o, MixedOp::Update(_)))
+            .count();
         let reads = ops.iter().filter(|o| matches!(o, MixedOp::Read(_))).count();
         assert_eq!(updates + reads, 400, "50/50 read-update mix");
         assert!(updates > 120 && reads > 120);
@@ -265,7 +271,9 @@ mod update_tests {
     fn updates_carry_fresh_values() {
         let (_, ops) = ycsb_mixed_with_updates(5, 50, 16, 3, 0, 100, 0);
         for op in &ops {
-            let MixedOp::Update(o) = op else { panic!("pure update mix") };
+            let MixedOp::Update(o) = op else {
+                panic!("pure update mix")
+            };
             assert_eq!(o.value.len(), 16);
         }
     }

@@ -38,7 +38,10 @@ fn main() {
     let ir = b.build();
     let (table, stats) = analyze(&ir);
 
-    println!("transaction `{}`: {} instructions analysed\n", ir.name, stats.insts);
+    println!(
+        "transaction `{}`: {} instructions analysed\n",
+        ir.name, stats.insts
+    );
     for (site, desc) in [
         (s_prev, "x->prev  = pos           (fresh node)"),
         (s_val, "x->value = v             (fresh node)"),

@@ -25,7 +25,11 @@ fn main() {
     for op in &ops[..60] {
         table.insert(&mut ctx, op.key, &op.value);
     }
-    println!("before crash: {} keys, heap {} allocations", table.len(&ctx), ctx.heap().live_count());
+    println!(
+        "before crash: {} keys, heap {} allocations",
+        table.len(&ctx),
+        ctx.heap().live_count()
+    );
 
     // Power failure: caches, log buffer, signatures, transaction IDs
     // are lost; the persistent image and durable log survive.
@@ -45,7 +49,9 @@ fn main() {
     println!("GC reclaimed {reclaimed} leaked allocations");
     assert_eq!(reclaimed, report.leaks.len());
 
-    table.check_invariants(&ctx).expect("invariants hold after recovery");
+    table
+        .check_invariants(&ctx)
+        .expect("invariants hold after recovery");
     assert_eq!(table.len(&ctx), 60);
     for op in &ops[..60] {
         assert_eq!(
@@ -61,6 +67,8 @@ fn main() {
     for op in &ops[60..] {
         table.insert(&mut ctx, op.key, &op.value);
     }
-    table.check_invariants(&ctx).expect("invariants hold after resumed inserts");
+    table
+        .check_invariants(&ctx)
+        .expect("invariants hold after resumed inserts");
     println!("resumed inserts OK — {} keys total", table.len(&ctx));
 }

@@ -47,8 +47,16 @@ fn run_optimized() -> (u64, u64, Machine) {
         // The in-place update: logged (revocable) but lazily persisted.
         m.store_u64(scattered(i), i + 1, StoreKind::lazy_logged());
         // The sequential record: (address, new value), log-free eager.
-        m.store_u64(PmAddr::new(ARRAY + i * 16), scattered(i).raw(), StoreKind::log_free());
-        m.store_u64(PmAddr::new(ARRAY + i * 16 + 8), i + 1, StoreKind::log_free());
+        m.store_u64(
+            PmAddr::new(ARRAY + i * 16),
+            scattered(i).raw(),
+            StoreKind::log_free(),
+        );
+        m.store_u64(
+            PmAddr::new(ARRAY + i * 16 + 8),
+            i + 1,
+            StoreKind::log_free(),
+        );
     }
     m.tx_commit();
     (m.now(), m.device().traffic().media_bytes(), m)

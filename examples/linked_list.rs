@@ -112,5 +112,8 @@ fn main() {
     list.recover(&mut m);
     list.check_links(&m);
     assert_eq!(list.values(&m), vec![1, 2, 3]);
-    println!("after crash + Figure 1(d) recovery: {:?} — links consistent", list.values(&m));
+    println!(
+        "after crash + Figure 1(d) recovery: {:?} — links consistent",
+        list.values(&m)
+    );
 }

@@ -30,7 +30,12 @@ fn balances(m: &Machine) -> (u64, u64, u64, u64) {
 
 fn main() {
     let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
-    for (acct, v) in [(ACCT_A, 100u64), (ACCT_B, 100), (ACCT_C, 100), (ACCT_D, 100)] {
+    for (acct, v) in [
+        (ACCT_A, 100u64),
+        (ACCT_B, 100),
+        (ACCT_C, 100),
+        (ACCT_D, 100),
+    ] {
         m.setup_write(acct, &v.to_le_bytes());
     }
 

@@ -5,10 +5,15 @@
 //! slpmt overhead                        §III-D hardware budget
 //! slpmt run <index> [options]           run YCSB-load inserts
 //! slpmt compare <index> [options]       all schemes side by side
+//! slpmt matrix [options]                full scheme × index matrix (parallel)
 //! slpmt trace [options]                 dump the persist-event trace
 //!
 //! options: --scheme <name> --ops <n> --value <bytes>
 //!          --annotations <manual|compiler|none> --latency <ns>
+//!
+//! `matrix` fans its cells across worker threads (one per available
+//! core; override with SLPMT_THREADS, where 1 forces a serial run);
+//! the merged output is identical for any worker count.
 //! ```
 
 use slpmt::cache::CacheConfig;
@@ -93,7 +98,10 @@ fn config_for(o: &Options, scheme: Scheme) -> MachineConfig {
 }
 
 fn cmd_schemes() {
-    println!("{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}", "scheme", "gran.", "buffer", "log-free", "lazy", "discipline");
+    println!(
+        "{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}",
+        "scheme", "gran.", "buffer", "log-free", "lazy", "discipline"
+    );
     for s in Scheme::ALL.into_iter().chain(Scheme::REDO) {
         let f = s.features();
         println!(
@@ -111,26 +119,64 @@ fn cmd_schemes() {
 fn cmd_overhead() {
     let oh = HardwareOverhead::for_config(&CacheConfig::default());
     println!("per-core SLPMT storage (§III-D):");
-    println!("  cache metadata : {} B ({} b/L1 line, {} b/L2 line)", oh.cache_meta_bytes, oh.l1_bits_per_line, oh.l2_bits_per_line);
+    println!(
+        "  cache metadata : {} B ({} b/L1 line, {} b/L2 line)",
+        oh.cache_meta_bytes, oh.l1_bits_per_line, oh.l2_bits_per_line
+    );
     println!("  log buffer     : {} B", oh.log_buffer_bytes);
     println!("  signatures     : {} B", oh.signature_bytes);
-    println!("  total          : {:.1} KB (paper: 6.1 KB)", oh.total_bytes() as f64 / 1024.0);
+    println!(
+        "  total          : {:.1} KB (paper: 6.1 KB)",
+        oh.total_bytes() as f64 / 1024.0
+    );
 }
 
 fn cmd_run(kind: IndexKind, o: &Options) {
     let ops = ycsb_load(o.ops, o.value, 42);
-    let r = run_inserts_with(config_for(o, o.scheme), kind, &ops, o.value, o.annotations, true);
-    println!("{kind} under {} ({} × {} B inserts, verified)", o.scheme, o.ops, o.value);
+    let r = run_inserts_with(
+        config_for(o, o.scheme),
+        kind,
+        &ops,
+        o.value,
+        o.annotations,
+        true,
+    );
+    println!(
+        "{kind} under {} ({} × {} B inserts, verified)",
+        o.scheme, o.ops, o.value
+    );
     println!("  cycles        : {}", r.cycles);
-    println!("  media traffic : {} B ({} data lines, {} log records)", r.traffic.media_bytes(), r.traffic.data_lines, r.traffic.log_records);
+    println!(
+        "  media traffic : {} B ({} data lines, {} log records)",
+        r.traffic.media_bytes(),
+        r.traffic.data_lines,
+        r.traffic.log_records
+    );
     println!("{}", r.stats);
 }
 
 fn cmd_compare(kind: IndexKind, o: &Options) {
     let ops = ycsb_load(o.ops, o.value, 42);
-    let base = run_inserts_with(config_for(o, Scheme::Fg), kind, &ops, o.value, o.annotations, false);
-    println!("{kind}: {} × {} B inserts (speedup and traffic vs FG)", o.ops, o.value);
-    for s in [Scheme::Fg, Scheme::FgLg, Scheme::FgLz, Scheme::Slpmt, Scheme::Atom, Scheme::Ede] {
+    let base = run_inserts_with(
+        config_for(o, Scheme::Fg),
+        kind,
+        &ops,
+        o.value,
+        o.annotations,
+        false,
+    );
+    println!(
+        "{kind}: {} × {} B inserts (speedup and traffic vs FG)",
+        o.ops, o.value
+    );
+    for s in [
+        Scheme::Fg,
+        Scheme::FgLg,
+        Scheme::FgLz,
+        Scheme::Slpmt,
+        Scheme::Atom,
+        Scheme::Ede,
+    ] {
         let r = run_inserts_with(config_for(o, s), kind, &ops, o.value, o.annotations, false);
         println!(
             "  {:<8} {:>12} cycles  {:>5.2}x  {:>9} media B  {:>+6.1}%",
@@ -140,6 +186,42 @@ fn cmd_compare(kind: IndexKind, o: &Options) {
             r.traffic.media_bytes(),
             -r.traffic_reduction_vs(&base) * 100.0,
         );
+    }
+}
+
+fn cmd_matrix(o: &Options) {
+    use slpmt::bench::runner::{fig08_cells, run_matrix, threads};
+    let ops = ycsb_load(o.ops, o.value, 42);
+    let cells = fig08_cells(&IndexKind::ALL);
+    let start = std::time::Instant::now();
+    let results = run_matrix(&cells, &ops, o.value, o.annotations, o.latency_ns);
+    let elapsed = start.elapsed();
+    println!(
+        "scheme × index matrix: {} cells, {} × {} B inserts, {} worker(s), {:.2}s",
+        cells.len(),
+        o.ops,
+        o.value,
+        threads(),
+        elapsed.as_secs_f64(),
+    );
+    println!(
+        "{:<18} {:>12} {:>8} {:>12} {:>10}",
+        "cell", "cycles", "vs FG", "media B", "log recs"
+    );
+    let row = 1 + 5; // FG baseline + the five compared schemes
+    for (k, chunk) in results.chunks_exact(row).enumerate() {
+        let kind = IndexKind::ALL[k];
+        let base = &chunk[0];
+        for r in chunk {
+            println!(
+                "{:<18} {:>12} {:>7.2}x {:>12} {:>10}",
+                format!("{kind}/{}", r.scheme),
+                r.cycles,
+                r.speedup_vs(base),
+                r.traffic.media_bytes(),
+                r.traffic.log_records,
+            );
+        }
     }
 }
 
@@ -153,7 +235,11 @@ fn cmd_trace(o: &Options) {
     for op in &ops {
         idx.insert(&mut ctx, op.key, &op.value);
     }
-    println!("persist-event trace ({} inserts under {}):", ops.len(), o.scheme);
+    println!(
+        "persist-event trace ({} inserts under {}):",
+        ops.len(),
+        o.scheme
+    );
     for (i, e) in ctx.machine().device().events().iter().enumerate() {
         match e {
             PersistEvent::LogRecord { txn, addr, len } => {
@@ -167,12 +253,10 @@ fn cmd_trace(o: &Options) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|trace> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          indices: {}",
-        IndexKind::ALL
-            .map(|k| k.to_string())
-            .join(", ")
+        IndexKind::ALL.map(|k| k.to_string()).join(", ")
     );
     ExitCode::FAILURE
 }
@@ -210,6 +294,16 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "matrix" => match parse_options(&args[1..]) {
+            Ok(o) => {
+                cmd_matrix(&o);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "trace" => match parse_options(&args[1..]) {
             Ok(o) => {
                 cmd_trace(&o);

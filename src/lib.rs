@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub use slpmt_annotate as annotate;
+pub use slpmt_bench as bench;
 pub use slpmt_cache as cache;
 pub use slpmt_core as core;
 pub use slpmt_logbuf as logbuf;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-092e1d88a30613e7.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-092e1d88a30613e7: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

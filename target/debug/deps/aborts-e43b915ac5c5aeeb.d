@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aborts-e43b915ac5c5aeeb.d: crates/core/tests/aborts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaborts-e43b915ac5c5aeeb.rmeta: crates/core/tests/aborts.rs Cargo.toml
+
+crates/core/tests/aborts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

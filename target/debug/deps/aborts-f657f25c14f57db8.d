@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aborts-f657f25c14f57db8.d: crates/core/tests/aborts.rs
+
+/root/repo/target/debug/deps/aborts-f657f25c14f57db8: crates/core/tests/aborts.rs
+
+crates/core/tests/aborts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/battery-4547ebc0359ca89e.d: crates/core/tests/battery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbattery-4547ebc0359ca89e.rmeta: crates/core/tests/battery.rs Cargo.toml
+
+crates/core/tests/battery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/battery-bd6539ad48d7d6d8.d: crates/core/tests/battery.rs
+
+/root/repo/target/debug/deps/battery-bd6539ad48d7d6d8: crates/core/tests/battery.rs
+
+crates/core/tests/battery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_matrix-03ac6090806ee5e0.d: crates/core/tests/crash_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_matrix-03ac6090806ee5e0.rmeta: crates/core/tests/crash_matrix.rs Cargo.toml
+
+crates/core/tests/crash_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

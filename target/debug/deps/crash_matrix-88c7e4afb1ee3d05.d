@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_matrix-88c7e4afb1ee3d05.d: crates/core/tests/crash_matrix.rs
+
+/root/repo/target/debug/deps/crash_matrix-88c7e4afb1ee3d05: crates/core/tests/crash_matrix.rs
+
+crates/core/tests/crash_matrix.rs:

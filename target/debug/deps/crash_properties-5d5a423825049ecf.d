@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_properties-5d5a423825049ecf.d: tests/crash_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_properties-5d5a423825049ecf.rmeta: tests/crash_properties.rs Cargo.toml
+
+tests/crash_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_properties-ff534ce10ee43a01.d: tests/crash_properties.rs
+
+/root/repo/target/debug/deps/crash_properties-ff534ce10ee43a01: tests/crash_properties.rs
+
+tests/crash_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_soak-485d69f7bb133022.d: tests/debug_soak.rs
+
+/root/repo/target/debug/deps/debug_soak-485d69f7bb133022: tests/debug_soak.rs
+
+tests/debug_soak.rs:

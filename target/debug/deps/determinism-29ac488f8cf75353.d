@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-29ac488f8cf75353.d: crates/bench/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-29ac488f8cf75353.rmeta: crates/bench/tests/determinism.rs Cargo.toml
+
+crates/bench/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c70db2a65e0e4195.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c70db2a65e0e4195: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

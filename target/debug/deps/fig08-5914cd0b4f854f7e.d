@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08-5914cd0b4f854f7e.d: crates/bench/benches/fig08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08-5914cd0b4f854f7e.rmeta: crates/bench/benches/fig08.rs Cargo.toml
+
+crates/bench/benches/fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-fa89531e134596e1.d: crates/bench/benches/fig08.rs
+
+/root/repo/target/debug/deps/fig08-fa89531e134596e1: crates/bench/benches/fig08.rs
+
+crates/bench/benches/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-a9761a150983933b.d: crates/bench/benches/fig09.rs
+
+/root/repo/target/debug/deps/fig09-a9761a150983933b: crates/bench/benches/fig09.rs
+
+crates/bench/benches/fig09.rs:

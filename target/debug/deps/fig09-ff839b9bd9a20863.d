@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09-ff839b9bd9a20863.d: crates/bench/benches/fig09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09-ff839b9bd9a20863.rmeta: crates/bench/benches/fig09.rs Cargo.toml
+
+crates/bench/benches/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

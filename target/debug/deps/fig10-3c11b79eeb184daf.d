@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-3c11b79eeb184daf.d: crates/bench/benches/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-3c11b79eeb184daf.rmeta: crates/bench/benches/fig10.rs Cargo.toml
+
+crates/bench/benches/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-635d111c966b22ae.d: crates/bench/benches/fig10.rs
+
+/root/repo/target/debug/deps/fig10-635d111c966b22ae: crates/bench/benches/fig10.rs
+
+crates/bench/benches/fig10.rs:

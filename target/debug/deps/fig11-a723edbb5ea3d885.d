@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-a723edbb5ea3d885.d: crates/bench/benches/fig11.rs
+
+/root/repo/target/debug/deps/fig11-a723edbb5ea3d885: crates/bench/benches/fig11.rs
+
+crates/bench/benches/fig11.rs:

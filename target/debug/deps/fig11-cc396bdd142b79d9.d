@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-cc396bdd142b79d9.d: crates/bench/benches/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-cc396bdd142b79d9.rmeta: crates/bench/benches/fig11.rs Cargo.toml
+
+crates/bench/benches/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-c45cbc93b02c41e0.d: crates/bench/benches/fig12.rs
+
+/root/repo/target/debug/deps/fig12-c45cbc93b02c41e0: crates/bench/benches/fig12.rs
+
+crates/bench/benches/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-8534c2aef990eba9.d: crates/bench/benches/fig13.rs
+
+/root/repo/target/debug/deps/fig13-8534c2aef990eba9: crates/bench/benches/fig13.rs
+
+crates/bench/benches/fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-f323666d4a298b2b.d: crates/bench/benches/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-f323666d4a298b2b.rmeta: crates/bench/benches/fig13.rs Cargo.toml
+
+crates/bench/benches/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-55a2daf327446901.d: crates/bench/benches/fig14.rs
+
+/root/repo/target/debug/deps/fig14-55a2daf327446901: crates/bench/benches/fig14.rs
+
+crates/bench/benches/fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-85a2e887758e403b.d: crates/bench/benches/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-85a2e887758e403b.rmeta: crates/bench/benches/fig14.rs Cargo.toml
+
+crates/bench/benches/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-9c6c77b558f78557.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-9c6c77b558f78557: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-b7f934a50f8550a2.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-b7f934a50f8550a2.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mixed-05db63507d20185f.d: crates/bench/benches/mixed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmixed-05db63507d20185f.rmeta: crates/bench/benches/mixed.rs Cargo.toml
+
+crates/bench/benches/mixed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mixed-b1e9b48800ffbf12.d: crates/bench/benches/mixed.rs
+
+/root/repo/target/debug/deps/mixed-b1e9b48800ffbf12: crates/bench/benches/mixed.rs
+
+crates/bench/benches/mixed.rs:

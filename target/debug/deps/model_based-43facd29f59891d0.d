@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_based-43facd29f59891d0.d: tests/model_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_based-43facd29f59891d0.rmeta: tests/model_based.rs Cargo.toml
+
+tests/model_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_based-6de0a13b1ee25153.d: tests/model_based.rs
+
+/root/repo/target/debug/deps/model_based-6de0a13b1ee25153: tests/model_based.rs
+
+tests/model_based.rs:

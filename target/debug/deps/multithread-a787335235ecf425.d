@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multithread-a787335235ecf425.d: crates/core/tests/multithread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultithread-a787335235ecf425.rmeta: crates/core/tests/multithread.rs Cargo.toml
+
+crates/core/tests/multithread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithread-d2183c8690737eb7.d: crates/core/tests/multithread.rs
+
+/root/repo/target/debug/deps/multithread-d2183c8690737eb7: crates/core/tests/multithread.rs
+
+crates/core/tests/multithread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ordering-3d1ead792ee47bd8.d: tests/ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libordering-3d1ead792ee47bd8.rmeta: tests/ordering.rs Cargo.toml
+
+tests/ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

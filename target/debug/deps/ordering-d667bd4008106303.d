@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering-d667bd4008106303.d: tests/ordering.rs
+
+/root/repo/target/debug/deps/ordering-d667bd4008106303: tests/ordering.rs
+
+tests/ordering.rs:

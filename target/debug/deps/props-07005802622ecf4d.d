@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-07005802622ecf4d.d: crates/logbuf/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-07005802622ecf4d.rmeta: crates/logbuf/tests/props.rs Cargo.toml
+
+crates/logbuf/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-09e8cb311d8551a1.d: crates/cache/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-09e8cb311d8551a1.rmeta: crates/cache/tests/props.rs Cargo.toml
+
+crates/cache/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

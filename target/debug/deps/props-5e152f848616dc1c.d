@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-5e152f848616dc1c.d: crates/annotate/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-5e152f848616dc1c.rmeta: crates/annotate/tests/props.rs Cargo.toml
+
+crates/annotate/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-7fedeb813c901978.d: crates/pmem/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-7fedeb813c901978.rmeta: crates/pmem/tests/props.rs Cargo.toml
+
+crates/pmem/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

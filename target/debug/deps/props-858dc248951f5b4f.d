@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-858dc248951f5b4f.d: crates/cache/tests/props.rs
+
+/root/repo/target/debug/deps/props-858dc248951f5b4f: crates/cache/tests/props.rs
+
+crates/cache/tests/props.rs:

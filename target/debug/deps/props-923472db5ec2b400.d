@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-923472db5ec2b400.d: crates/logbuf/tests/props.rs
+
+/root/repo/target/debug/deps/props-923472db5ec2b400: crates/logbuf/tests/props.rs
+
+crates/logbuf/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b665a030a04b57c1.d: crates/annotate/tests/props.rs
+
+/root/repo/target/debug/deps/props-b665a030a04b57c1: crates/annotate/tests/props.rs
+
+crates/annotate/tests/props.rs:

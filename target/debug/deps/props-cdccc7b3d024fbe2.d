@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-cdccc7b3d024fbe2.d: crates/pmem/tests/props.rs
+
+/root/repo/target/debug/deps/props-cdccc7b3d024fbe2: crates/pmem/tests/props.rs
+
+crates/pmem/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/range_scans-6c04e62485d93818.d: tests/range_scans.rs
+
+/root/repo/target/debug/deps/range_scans-6c04e62485d93818: tests/range_scans.rs
+
+tests/range_scans.rs:

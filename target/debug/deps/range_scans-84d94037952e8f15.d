@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/range_scans-84d94037952e8f15.d: tests/range_scans.rs Cargo.toml
+
+/root/repo/target/debug/deps/librange_scans-84d94037952e8f15.rmeta: tests/range_scans.rs Cargo.toml
+
+tests/range_scans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

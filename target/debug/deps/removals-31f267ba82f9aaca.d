@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/removals-31f267ba82f9aaca.d: tests/removals.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremovals-31f267ba82f9aaca.rmeta: tests/removals.rs Cargo.toml
+
+tests/removals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

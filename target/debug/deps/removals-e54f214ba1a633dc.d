@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/removals-e54f214ba1a633dc.d: tests/removals.rs
+
+/root/repo/target/debug/deps/removals-e54f214ba1a633dc: tests/removals.rs
+
+tests/removals.rs:

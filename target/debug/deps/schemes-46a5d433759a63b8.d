@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schemes-46a5d433759a63b8.d: tests/schemes.rs
+
+/root/repo/target/debug/deps/schemes-46a5d433759a63b8: tests/schemes.rs
+
+tests/schemes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schemes-50438dce75a542b6.d: tests/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschemes-50438dce75a542b6.rmeta: tests/schemes.rs Cargo.toml
+
+tests/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_throughput-e52ebdabe7053540.d: crates/bench/benches/sim_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_throughput-e52ebdabe7053540.rmeta: crates/bench/benches/sim_throughput.rs Cargo.toml
+
+crates/bench/benches/sim_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slpmt-5d3878e799ba7115.d: src/bin/slpmt.rs
+
+/root/repo/target/debug/deps/slpmt-5d3878e799ba7115: src/bin/slpmt.rs
+
+src/bin/slpmt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slpmt-5d6c1516ab6b062d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt-5d6c1516ab6b062d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slpmt-71ec427a4e7cec20.d: src/lib.rs
+
+/root/repo/target/debug/deps/slpmt-71ec427a4e7cec20: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slpmt-88da1ea429b23081.d: src/bin/slpmt.rs
+
+/root/repo/target/debug/deps/slpmt-88da1ea429b23081: src/bin/slpmt.rs
+
+src/bin/slpmt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slpmt-8f4a157d33b98a8a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libslpmt-8f4a157d33b98a8a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libslpmt-8f4a157d33b98a8a.rmeta: src/lib.rs
+
+src/lib.rs:

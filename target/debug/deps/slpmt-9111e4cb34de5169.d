@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slpmt-9111e4cb34de5169.d: src/bin/slpmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt-9111e4cb34de5169.rmeta: src/bin/slpmt.rs Cargo.toml
+
+src/bin/slpmt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slpmt-921c2dcfc7f753e9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt-921c2dcfc7f753e9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slpmt_annotate-35dc20e01ad56e6a.d: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_annotate-35dc20e01ad56e6a.rmeta: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs Cargo.toml
+
+crates/annotate/src/lib.rs:
+crates/annotate/src/analysis.rs:
+crates/annotate/src/ir.rs:
+crates/annotate/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

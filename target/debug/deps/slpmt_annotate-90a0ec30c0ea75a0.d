@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slpmt_annotate-90a0ec30c0ea75a0.d: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_annotate-90a0ec30c0ea75a0.rmeta: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs Cargo.toml
+
+crates/annotate/src/lib.rs:
+crates/annotate/src/analysis.rs:
+crates/annotate/src/ir.rs:
+crates/annotate/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

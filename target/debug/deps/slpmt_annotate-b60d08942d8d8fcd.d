@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slpmt_annotate-b60d08942d8d8fcd.d: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+/root/repo/target/debug/deps/slpmt_annotate-b60d08942d8d8fcd: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+crates/annotate/src/lib.rs:
+crates/annotate/src/analysis.rs:
+crates/annotate/src/ir.rs:
+crates/annotate/src/table.rs:

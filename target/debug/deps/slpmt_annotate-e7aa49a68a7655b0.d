@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slpmt_annotate-e7aa49a68a7655b0.d: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+/root/repo/target/debug/deps/libslpmt_annotate-e7aa49a68a7655b0.rlib: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+/root/repo/target/debug/deps/libslpmt_annotate-e7aa49a68a7655b0.rmeta: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+crates/annotate/src/lib.rs:
+crates/annotate/src/analysis.rs:
+crates/annotate/src/ir.rs:
+crates/annotate/src/table.rs:

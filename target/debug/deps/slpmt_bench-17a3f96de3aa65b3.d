@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slpmt_bench-17a3f96de3aa65b3.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libslpmt_bench-17a3f96de3aa65b3.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libslpmt_bench-17a3f96de3aa65b3.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

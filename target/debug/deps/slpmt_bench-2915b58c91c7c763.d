@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slpmt_bench-2915b58c91c7c763.d: crates/bench/src/lib.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_bench-2915b58c91c7c763.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/slpmt_bench-5c1abfdc34461ac4.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/slpmt_bench-5c1abfdc34461ac4: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slpmt_cache-112b7a8d879270c0.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libslpmt_cache-112b7a8d879270c0.rlib: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libslpmt_cache-112b7a8d879270c0.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/meta.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

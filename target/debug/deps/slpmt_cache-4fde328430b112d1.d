@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slpmt_cache-4fde328430b112d1.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_cache-4fde328430b112d1.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/meta.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

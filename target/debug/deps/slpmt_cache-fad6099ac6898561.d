@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slpmt_cache-fad6099ac6898561.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/slpmt_cache-fad6099ac6898561: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/meta.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/slpmt_core-969986c95a7532c1.d: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_core-969986c95a7532c1.rmeta: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/instr.rs:
+crates/core/src/machine.rs:
+crates/core/src/overhead.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/signature.rs:
+crates/core/src/stats.rs:
+crates/core/src/txreg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/slpmt_core-9e61c2c5c3bbc9f9.d: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+/root/repo/target/debug/deps/libslpmt_core-9e61c2c5c3bbc9f9.rlib: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+/root/repo/target/debug/deps/libslpmt_core-9e61c2c5c3bbc9f9.rmeta: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+crates/core/src/lib.rs:
+crates/core/src/instr.rs:
+crates/core/src/machine.rs:
+crates/core/src/overhead.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/signature.rs:
+crates/core/src/stats.rs:
+crates/core/src/txreg.rs:

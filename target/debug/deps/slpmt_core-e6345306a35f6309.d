@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slpmt_core-e6345306a35f6309.d: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+/root/repo/target/debug/deps/slpmt_core-e6345306a35f6309: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+crates/core/src/lib.rs:
+crates/core/src/instr.rs:
+crates/core/src/machine.rs:
+crates/core/src/overhead.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/signature.rs:
+crates/core/src/stats.rs:
+crates/core/src/txreg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slpmt_logbuf-624a3887d67200e9.d: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+/root/repo/target/debug/deps/slpmt_logbuf-624a3887d67200e9: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+crates/logbuf/src/lib.rs:
+crates/logbuf/src/atom.rs:
+crates/logbuf/src/ede.rs:
+crates/logbuf/src/record.rs:
+crates/logbuf/src/tiered.rs:

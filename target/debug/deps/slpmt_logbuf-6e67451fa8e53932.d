@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slpmt_logbuf-6e67451fa8e53932.d: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_logbuf-6e67451fa8e53932.rmeta: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs Cargo.toml
+
+crates/logbuf/src/lib.rs:
+crates/logbuf/src/atom.rs:
+crates/logbuf/src/ede.rs:
+crates/logbuf/src/record.rs:
+crates/logbuf/src/tiered.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

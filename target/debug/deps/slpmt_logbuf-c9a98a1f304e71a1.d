@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slpmt_logbuf-c9a98a1f304e71a1.d: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+/root/repo/target/debug/deps/libslpmt_logbuf-c9a98a1f304e71a1.rlib: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+/root/repo/target/debug/deps/libslpmt_logbuf-c9a98a1f304e71a1.rmeta: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+crates/logbuf/src/lib.rs:
+crates/logbuf/src/atom.rs:
+crates/logbuf/src/ede.rs:
+crates/logbuf/src/record.rs:
+crates/logbuf/src/tiered.rs:

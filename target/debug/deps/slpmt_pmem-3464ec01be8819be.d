@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/slpmt_pmem-3464ec01be8819be.d: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+/root/repo/target/debug/deps/libslpmt_pmem-3464ec01be8819be.rlib: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+/root/repo/target/debug/deps/libslpmt_pmem-3464ec01be8819be.rmeta: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/addr.rs:
+crates/pmem/src/config.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/heap.rs:
+crates/pmem/src/log_region.rs:
+crates/pmem/src/payload.rs:
+crates/pmem/src/space.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/wpq.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slpmt_pmem-359a7db2fb3cc1eb.d: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+/root/repo/target/debug/deps/slpmt_pmem-359a7db2fb3cc1eb: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/addr.rs:
+crates/pmem/src/config.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/heap.rs:
+crates/pmem/src/log_region.rs:
+crates/pmem/src/payload.rs:
+crates/pmem/src/space.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/wpq.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/slpmt_pmem-b2b7045fa8de383d.d: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_pmem-b2b7045fa8de383d.rmeta: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/addr.rs:
+crates/pmem/src/config.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/heap.rs:
+crates/pmem/src/log_region.rs:
+crates/pmem/src/payload.rs:
+crates/pmem/src/space.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/wpq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slpmt_prng-071d062fa89b1db1.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libslpmt_prng-071d062fa89b1db1.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libslpmt_prng-071d062fa89b1db1.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

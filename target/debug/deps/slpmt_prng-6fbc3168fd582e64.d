@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slpmt_prng-6fbc3168fd582e64.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/slpmt_prng-6fbc3168fd582e64: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slpmt_prng-7dc487be801a92de.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_prng-7dc487be801a92de.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slpmt_prng-b0b1fa5df46fa8f4.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_prng-b0b1fa5df46fa8f4.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/slpmt_workloads-b34de345df7ba53d.d: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslpmt_workloads-b34de345df7ba53d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avl.rs:
+crates/workloads/src/ctx.rs:
+crates/workloads/src/hashtable.rs:
+crates/workloads/src/heap.rs:
+crates/workloads/src/inspector.rs:
+crates/workloads/src/kv/mod.rs:
+crates/workloads/src/kv/btree.rs:
+crates/workloads/src/kv/ctree.rs:
+crates/workloads/src/kv/rtree.rs:
+crates/workloads/src/kv/skiplist.rs:
+crates/workloads/src/rbtree.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/slpmt_workloads-fe18a9a6195318c2.d: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libslpmt_workloads-fe18a9a6195318c2.rlib: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libslpmt_workloads-fe18a9a6195318c2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avl.rs:
+crates/workloads/src/ctx.rs:
+crates/workloads/src/hashtable.rs:
+crates/workloads/src/heap.rs:
+crates/workloads/src/inspector.rs:
+crates/workloads/src/kv/mod.rs:
+crates/workloads/src/kv/btree.rs:
+crates/workloads/src/kv/ctree.rs:
+crates/workloads/src/kv/rtree.rs:
+crates/workloads/src/kv/skiplist.rs:
+crates/workloads/src/rbtree.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/ycsb.rs:

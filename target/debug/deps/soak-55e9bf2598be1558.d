@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-55e9bf2598be1558.d: tests/soak.rs
+
+/root/repo/target/debug/deps/soak-55e9bf2598be1558: tests/soak.rs
+
+tests/soak.rs:

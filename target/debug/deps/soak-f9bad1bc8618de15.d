@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-f9bad1bc8618de15.d: tests/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-f9bad1bc8618de15.rmeta: tests/soak.rs Cargo.toml
+
+tests/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-82ec644d0020679a.d: crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-82ec644d0020679a.rmeta: crates/bench/benches/table1.rs Cargo.toml
+
+crates/bench/benches/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

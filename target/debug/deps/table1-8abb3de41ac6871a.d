@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-8abb3de41ac6871a.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-8abb3de41ac6871a: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_pass-74bc004c1aa1b972.d: examples/compiler_pass.rs
+
+/root/repo/target/debug/examples/compiler_pass-74bc004c1aa1b972: examples/compiler_pass.rs
+
+examples/compiler_pass.rs:

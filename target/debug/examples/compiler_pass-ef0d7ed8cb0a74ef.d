@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compiler_pass-ef0d7ed8cb0a74ef.d: examples/compiler_pass.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompiler_pass-ef0d7ed8cb0a74ef.rmeta: examples/compiler_pass.rs Cargo.toml
+
+examples/compiler_pass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-62f49552951ad051.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-62f49552951ad051: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

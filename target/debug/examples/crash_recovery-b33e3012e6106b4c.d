@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_recovery-b33e3012e6106b4c.d: examples/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_recovery-b33e3012e6106b4c.rmeta: examples/crash_recovery.rs Cargo.toml
+
+examples/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

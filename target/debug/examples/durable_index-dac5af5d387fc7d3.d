@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/durable_index-dac5af5d387fc7d3.d: examples/durable_index.rs
+
+/root/repo/target/debug/examples/durable_index-dac5af5d387fc7d3: examples/durable_index.rs
+
+examples/durable_index.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/durable_index-dff37d5bfde3f4cd.d: examples/durable_index.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdurable_index-dff37d5bfde3f4cd.rmeta: examples/durable_index.rs Cargo.toml
+
+examples/durable_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

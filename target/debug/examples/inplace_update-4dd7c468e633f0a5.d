@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inplace_update-4dd7c468e633f0a5.d: examples/inplace_update.rs
+
+/root/repo/target/debug/examples/inplace_update-4dd7c468e633f0a5: examples/inplace_update.rs
+
+examples/inplace_update.rs:

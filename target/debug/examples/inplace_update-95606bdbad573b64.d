@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inplace_update-95606bdbad573b64.d: examples/inplace_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinplace_update-95606bdbad573b64.rmeta: examples/inplace_update.rs Cargo.toml
+
+examples/inplace_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/linked_list-1dc188fd3450e7d5.d: examples/linked_list.rs
+
+/root/repo/target/debug/examples/linked_list-1dc188fd3450e7d5: examples/linked_list.rs
+
+examples/linked_list.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/linked_list-e1a80ab14edf9bf5.d: examples/linked_list.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblinked_list-e1a80ab14edf9bf5.rmeta: examples/linked_list.rs Cargo.toml
+
+examples/linked_list.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multithread-47624b100bd86bc9.d: examples/multithread.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultithread-47624b100bd86bc9.rmeta: examples/multithread.rs Cargo.toml
+
+examples/multithread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multithread-aba938b33e813246.d: examples/multithread.rs
+
+/root/repo/target/debug/examples/multithread-aba938b33e813246: examples/multithread.rs
+
+examples/multithread.rs:

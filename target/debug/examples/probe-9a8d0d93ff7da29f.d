@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-9a8d0d93ff7da29f.d: crates/workloads/examples/probe.rs
+
+/root/repo/target/debug/examples/probe-9a8d0d93ff7da29f: crates/workloads/examples/probe.rs
+
+crates/workloads/examples/probe.rs:

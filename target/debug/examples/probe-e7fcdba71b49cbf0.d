@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe-e7fcdba71b49cbf0.d: crates/workloads/examples/probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe-e7fcdba71b49cbf0.rmeta: crates/workloads/examples/probe.rs Cargo.toml
+
+crates/workloads/examples/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe2-774179efaa4ba13e.d: crates/workloads/examples/probe2.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe2-774179efaa4ba13e.rmeta: crates/workloads/examples/probe2.rs Cargo.toml
+
+crates/workloads/examples/probe2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

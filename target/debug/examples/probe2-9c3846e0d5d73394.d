@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe2-9c3846e0d5d73394.d: crates/workloads/examples/probe2.rs
+
+/root/repo/target/debug/examples/probe2-9c3846e0d5d73394: crates/workloads/examples/probe2.rs
+
+crates/workloads/examples/probe2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe3-af6ea2965e3c6a4f.d: crates/workloads/examples/probe3.rs
+
+/root/repo/target/debug/examples/probe3-af6ea2965e3c6a4f: crates/workloads/examples/probe3.rs
+
+crates/workloads/examples/probe3.rs:

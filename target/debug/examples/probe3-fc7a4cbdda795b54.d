@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe3-fc7a4cbdda795b54.d: crates/workloads/examples/probe3.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe3-fc7a4cbdda795b54.rmeta: crates/workloads/examples/probe3.rs Cargo.toml
+
+crates/workloads/examples/probe3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bf34ad1b6e1a43bf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bf34ad1b6e1a43bf: examples/quickstart.rs
+
+examples/quickstart.rs:

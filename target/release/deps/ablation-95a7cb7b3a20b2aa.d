@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-95a7cb7b3a20b2aa.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-95a7cb7b3a20b2aa: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

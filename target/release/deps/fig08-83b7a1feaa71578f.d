@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08-83b7a1feaa71578f.d: crates/bench/benches/fig08.rs
+
+/root/repo/target/release/deps/fig08-83b7a1feaa71578f: crates/bench/benches/fig08.rs
+
+crates/bench/benches/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-781838d722daeb89.d: crates/bench/benches/fig14.rs
+
+/root/repo/target/release/deps/fig14-781838d722daeb89: crates/bench/benches/fig14.rs
+
+crates/bench/benches/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-232610efbfccef2d.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-232610efbfccef2d: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

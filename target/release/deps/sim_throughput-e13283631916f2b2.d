@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-e13283631916f2b2.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-e13283631916f2b2: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slpmt-8dc8dbba4788b515.d: src/lib.rs
+
+/root/repo/target/release/deps/libslpmt-8dc8dbba4788b515.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libslpmt-8dc8dbba4788b515.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slpmt-a239e5e3827853b0.d: src/bin/slpmt.rs
+
+/root/repo/target/release/deps/slpmt-a239e5e3827853b0: src/bin/slpmt.rs
+
+src/bin/slpmt.rs:

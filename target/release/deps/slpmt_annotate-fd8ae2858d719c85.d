@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slpmt_annotate-fd8ae2858d719c85.d: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+/root/repo/target/release/deps/libslpmt_annotate-fd8ae2858d719c85.rlib: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+/root/repo/target/release/deps/libslpmt_annotate-fd8ae2858d719c85.rmeta: crates/annotate/src/lib.rs crates/annotate/src/analysis.rs crates/annotate/src/ir.rs crates/annotate/src/table.rs
+
+crates/annotate/src/lib.rs:
+crates/annotate/src/analysis.rs:
+crates/annotate/src/ir.rs:
+crates/annotate/src/table.rs:

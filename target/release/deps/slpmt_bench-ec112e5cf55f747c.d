@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/slpmt_bench-ec112e5cf55f747c.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libslpmt_bench-ec112e5cf55f747c.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libslpmt_bench-ec112e5cf55f747c.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/slpmt_cache-5c923fb6375e01e5.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libslpmt_cache-5c923fb6375e01e5.rlib: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libslpmt_cache-5c923fb6375e01e5.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/meta.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/meta.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/slpmt_core-b6c0b6ad33eb0c8d.d: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+/root/repo/target/release/deps/libslpmt_core-b6c0b6ad33eb0c8d.rlib: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+/root/repo/target/release/deps/libslpmt_core-b6c0b6ad33eb0c8d.rmeta: crates/core/src/lib.rs crates/core/src/instr.rs crates/core/src/machine.rs crates/core/src/overhead.rs crates/core/src/recovery.rs crates/core/src/scheme.rs crates/core/src/signature.rs crates/core/src/stats.rs crates/core/src/txreg.rs
+
+crates/core/src/lib.rs:
+crates/core/src/instr.rs:
+crates/core/src/machine.rs:
+crates/core/src/overhead.rs:
+crates/core/src/recovery.rs:
+crates/core/src/scheme.rs:
+crates/core/src/signature.rs:
+crates/core/src/stats.rs:
+crates/core/src/txreg.rs:

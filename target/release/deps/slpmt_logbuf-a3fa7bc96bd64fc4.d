@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/slpmt_logbuf-a3fa7bc96bd64fc4.d: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+/root/repo/target/release/deps/libslpmt_logbuf-a3fa7bc96bd64fc4.rlib: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+/root/repo/target/release/deps/libslpmt_logbuf-a3fa7bc96bd64fc4.rmeta: crates/logbuf/src/lib.rs crates/logbuf/src/atom.rs crates/logbuf/src/ede.rs crates/logbuf/src/record.rs crates/logbuf/src/tiered.rs
+
+crates/logbuf/src/lib.rs:
+crates/logbuf/src/atom.rs:
+crates/logbuf/src/ede.rs:
+crates/logbuf/src/record.rs:
+crates/logbuf/src/tiered.rs:

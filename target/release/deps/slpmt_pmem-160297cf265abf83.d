@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/slpmt_pmem-160297cf265abf83.d: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+/root/repo/target/release/deps/libslpmt_pmem-160297cf265abf83.rlib: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+/root/repo/target/release/deps/libslpmt_pmem-160297cf265abf83.rmeta: crates/pmem/src/lib.rs crates/pmem/src/addr.rs crates/pmem/src/config.rs crates/pmem/src/device.rs crates/pmem/src/heap.rs crates/pmem/src/log_region.rs crates/pmem/src/payload.rs crates/pmem/src/space.rs crates/pmem/src/stats.rs crates/pmem/src/wpq.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/addr.rs:
+crates/pmem/src/config.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/heap.rs:
+crates/pmem/src/log_region.rs:
+crates/pmem/src/payload.rs:
+crates/pmem/src/space.rs:
+crates/pmem/src/stats.rs:
+crates/pmem/src/wpq.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slpmt_prng-ae9a75dec064d32d.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libslpmt_prng-ae9a75dec064d32d.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libslpmt_prng-ae9a75dec064d32d.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/slpmt_workloads-4ba0ccfa1d1b7c72.d: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libslpmt_workloads-4ba0ccfa1d1b7c72.rlib: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libslpmt_workloads-4ba0ccfa1d1b7c72.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avl.rs crates/workloads/src/ctx.rs crates/workloads/src/hashtable.rs crates/workloads/src/heap.rs crates/workloads/src/inspector.rs crates/workloads/src/kv/mod.rs crates/workloads/src/kv/btree.rs crates/workloads/src/kv/ctree.rs crates/workloads/src/kv/rtree.rs crates/workloads/src/kv/skiplist.rs crates/workloads/src/rbtree.rs crates/workloads/src/runner.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avl.rs:
+crates/workloads/src/ctx.rs:
+crates/workloads/src/hashtable.rs:
+crates/workloads/src/heap.rs:
+crates/workloads/src/inspector.rs:
+crates/workloads/src/kv/mod.rs:
+crates/workloads/src/kv/btree.rs:
+crates/workloads/src/kv/ctree.rs:
+crates/workloads/src/kv/rtree.rs:
+crates/workloads/src/kv/skiplist.rs:
+crates/workloads/src/rbtree.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/ycsb.rs:

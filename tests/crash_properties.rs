@@ -1,4 +1,5 @@
-//! Property-based crash-consistency tests.
+//! Randomized crash-consistency tests (seeded loops replace
+//! `proptest`, which is unavailable offline).
 //!
 //! The machine-level property partitions the address space into three
 //! durability classes (always-plain, always-log-free, always-lazy) and
@@ -16,9 +17,9 @@
 //! index, crashes, recovers, and requires every committed key back
 //! with its exact value plus intact invariants.
 
-use proptest::prelude::*;
 use slpmt::core::{Machine, MachineConfig, Scheme, StoreKind};
 use slpmt::pmem::PmAddr;
+use slpmt_prng::SimRng;
 use std::collections::{BTreeMap, BTreeSet};
 
 const WORDS: u64 = 24; // words per class
@@ -41,22 +42,29 @@ struct Txn {
     writes: Vec<(usize, u64, u64)>, // (class, word, value)
 }
 
-fn txn_strategy() -> impl Strategy<Value = Txn> {
-    prop::collection::vec((0usize..3, 0u64..WORDS, 1u64..u64::MAX), 1..8)
-        .prop_map(|writes| Txn { writes })
+fn random_txn(rng: &mut SimRng) -> Txn {
+    let writes = (0..rng.gen_usize(1..8))
+        .map(|_| {
+            (
+                rng.gen_usize(0..3),
+                rng.gen_range(0..WORDS),
+                rng.gen_range(1..u64::MAX),
+            )
+        })
+        .collect();
+    Txn { writes }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn machine_crash_durability_classes(
-        txns in prop::collection::vec(txn_strategy(), 1..12),
-        crash_after in 0usize..12,
-        partial in txn_strategy(),
-    ) {
+#[test]
+fn machine_crash_durability_classes() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(0xC4A5 ^ case);
+        let txns: Vec<Txn> = (0..rng.gen_usize(1..12))
+            .map(|_| random_txn(&mut rng))
+            .collect();
+        let crash_after = rng.gen_usize(0..12).min(txns.len());
+        let partial = random_txn(&mut rng);
         let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
-        let crash_after = crash_after.min(txns.len());
         // committed[class][word] = last committed value
         let mut committed: BTreeMap<(usize, u64), u64> = BTreeMap::new();
         // every committed value ever written per lazy word
@@ -74,7 +82,7 @@ proptest! {
         }
         // Logical state matches the model before the crash.
         for (&(c, w), &v) in &committed {
-            prop_assert_eq!(m.peek_u64(addr(c, w)), v);
+            assert_eq!(m.peek_u64(addr(c, w)), v, "case {case}");
         }
         // A partially-executed transaction at crash time.
         m.tx_begin();
@@ -90,36 +98,39 @@ proptest! {
                 let img = m.device().image().read_u64(addr(c, w));
                 let last = committed.get(&(c, w)).copied().unwrap_or(0);
                 match c {
-                    0 => prop_assert_eq!(
+                    0 => assert_eq!(
                         img, last,
-                        "plain word {} must be its last committed value", w
+                        "case {case}: plain word {w} must be its last committed value"
                     ),
                     1 => {
                         let leaked = partial_writes
                             .get(&(c, w))
                             .is_some_and(|s| s.contains(&img));
-                        prop_assert!(
+                        assert!(
                             img == last || leaked,
-                            "log-free word {w}: image {img} is neither committed {last} nor a crashed-txn write"
+                            "case {case}: log-free word {w}: image {img} is neither committed {last} nor a crashed-txn write"
                         );
                     }
                     _ => {
-                        let ok = img == 0
-                            || history.get(&(c, w)).is_some_and(|s| s.contains(&img));
-                        prop_assert!(
+                        let ok = img == 0 || history.get(&(c, w)).is_some_and(|s| s.contains(&img));
+                        assert!(
                             ok,
-                            "lazy word {w}: image {img} was never a committed value"
+                            "case {case}: lazy word {w}: image {img} was never a committed value"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn machine_drain_makes_model_exact(
-        txns in prop::collection::vec(txn_strategy(), 1..10),
-    ) {
+#[test]
+fn machine_drain_makes_model_exact() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(0xD4A1 ^ case);
+        let txns: Vec<Txn> = (0..rng.gen_usize(1..10))
+            .map(|_| random_txn(&mut rng))
+            .collect();
         let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
         let mut model: BTreeMap<(usize, u64), u64> = BTreeMap::new();
         for t in &txns {
@@ -134,39 +145,37 @@ proptest! {
         }
         m.drain_lazy();
         for (&(c, w), &v) in &model {
-            prop_assert_eq!(
+            assert_eq!(
                 m.device().image().read_u64(addr(c, w)),
                 v,
-                "class {} word {} after full drain",
-                c,
-                w
+                "case {case}: class {c} word {w} after full drain"
             );
         }
     }
 }
 
 mod structures {
-    use super::*;
+    use super::SimRng;
     use slpmt::annotate::AnnotationTable;
+    use slpmt::core::Scheme;
     use slpmt::workloads::runner::IndexKind;
     use slpmt::workloads::{ycsb_load, AnnotationSource, PmContext};
 
     const KINDS: [IndexKind; 8] = IndexKind::ALL;
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
-
-        #[test]
-        fn committed_inserts_survive_random_crash_points(
-            kind_idx in 0usize..8,
-            total in 20usize..70,
-            crash_at in 0usize..70,
-            seed in 0u64..1000,
-            manual in any::<bool>(),
-        ) {
-            let kind = KINDS[kind_idx];
-            let crash_at = crash_at.min(total);
-            let src = if manual { AnnotationSource::Manual } else { AnnotationSource::Compiler };
+    #[test]
+    fn committed_inserts_survive_random_crash_points() {
+        for case in 0..20u64 {
+            let mut rng = SimRng::seed_from_u64(0x5C4A ^ case);
+            let kind = KINDS[rng.gen_usize(0..KINDS.len())];
+            let total = rng.gen_usize(20..70);
+            let crash_at = rng.gen_usize(0..70).min(total);
+            let seed = rng.gen_range(0..1000);
+            let src = if rng.gen_bool(0.5) {
+                AnnotationSource::Manual
+            } else {
+                AnnotationSource::Compiler
+            };
             let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
             let mut idx = kind.build(&mut ctx, 32, src);
             let ops = ycsb_load(total, 32, seed);
@@ -177,24 +186,27 @@ mod structures {
             idx.recover(&mut ctx);
             let reachable = idx.reachable(&ctx);
             ctx.gc(&reachable);
-            idx.check_invariants(&ctx)
-                .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
-            prop_assert_eq!(idx.len(&ctx), crash_at);
+            if let Err(e) = idx.check_invariants(&ctx) {
+                panic!("case {case}: {kind}: {e}");
+            }
+            assert_eq!(idx.len(&ctx), crash_at, "case {case}: {kind}");
             for op in &ops[..crash_at] {
                 let got = idx.value_of(&ctx, op.key);
-                prop_assert_eq!(
+                assert_eq!(
                     got.as_deref(),
                     Some(op.value.as_slice()),
-                    "{} lost committed key {}", kind, op.key
+                    "case {case}: {kind} lost committed key {}",
+                    op.key
                 );
             }
             // The structure stays usable after recovery.
             for op in &ops[crash_at..] {
                 idx.insert(&mut ctx, op.key, &op.value);
             }
-            idx.check_invariants(&ctx)
-                .map_err(|e| TestCaseError::fail(format!("{kind} post-resume: {e}")))?;
-            prop_assert_eq!(idx.len(&ctx), total);
+            if let Err(e) = idx.check_invariants(&ctx) {
+                panic!("case {case}: {kind} post-resume: {e}");
+            }
+            assert_eq!(idx.len(&ctx), total, "case {case}: {kind}");
         }
     }
 }

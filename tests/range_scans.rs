@@ -1,8 +1,8 @@
 //! Range-scan correctness for the ordered indexes, model-based against
 //! a `BTreeMap` oracle (the ROART-style range queries the paper cites
-//! as motivation for persistent ordered indexes).
+//! as motivation for persistent ordered indexes). Seeded loops replace
+//! `proptest` (unavailable offline).
 
-use proptest::prelude::*;
 use slpmt::annotate::AnnotationTable;
 use slpmt::core::Scheme;
 use slpmt::workloads::avl::AvlTree;
@@ -13,6 +13,7 @@ use slpmt::workloads::kv::skiplist::SkiplistKv;
 use slpmt::workloads::rbtree::Rbtree;
 use slpmt::workloads::runner::{DurableIndex, RangeIndex};
 use slpmt::workloads::{ycsb_load, AnnotationSource, PmContext};
+use slpmt_prng::SimRng;
 use std::collections::BTreeMap;
 
 fn check_against_oracle<I: RangeIndex>(
@@ -21,7 +22,7 @@ fn check_against_oracle<I: RangeIndex>(
     n: usize,
     seed: u64,
     ranges: &[(u64, u64)],
-) -> Result<(), TestCaseError> {
+) {
     let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     for op in ycsb_load(n, 16, seed) {
         idx.insert(&mut ctx, op.key, &op.value);
@@ -34,50 +35,49 @@ fn check_against_oracle<I: RangeIndex>(
             .range(lo..=hi)
             .map(|(k, v)| (*k, v.clone()))
             .collect();
-        prop_assert_eq!(&got, &want, "{} range [{}, {}]", idx.name(), lo, hi);
+        assert_eq!(&got, &want, "{} range [{}, {}]", idx.name(), lo, hi);
     }
     // Full scan covers everything, in order.
     let all = idx.scan(&mut ctx, u64::MIN, u64::MAX);
-    prop_assert_eq!(all.len(), oracle.len());
-    prop_assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
-    Ok(())
+    assert_eq!(all.len(), oracle.len());
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    #[test]
-    fn ordered_indexes_scan_like_the_oracle(
-        n in 1usize..120,
-        seed in 0u64..1000,
-        ranges in prop::collection::vec((any::<u64>(), any::<u64>()), 1..6),
-        which in 0usize..6,
-    ) {
+#[test]
+fn ordered_indexes_scan_like_the_oracle() {
+    for case in 0..12u64 {
+        let mut rng = SimRng::seed_from_u64(0x5CA2 ^ case);
+        let n = rng.gen_usize(1..120);
+        let seed = rng.gen_range(0..1000);
+        let ranges: Vec<(u64, u64)> = (0..rng.gen_usize(1..6))
+            .map(|_| (rng.next_u64(), rng.next_u64()))
+            .collect();
+        let which = rng.gen_usize(0..6);
         let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
         match which {
             0 => {
                 let idx = Rbtree::new(&mut ctx, 16, AnnotationSource::Manual);
-                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+                check_against_oracle(idx, ctx, n, seed, &ranges);
             }
             1 => {
                 let idx = AvlTree::new(&mut ctx, 16, AnnotationSource::Manual);
-                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+                check_against_oracle(idx, ctx, n, seed, &ranges);
             }
             2 => {
                 let idx = BtreeKv::new(&mut ctx, 16, AnnotationSource::Manual);
-                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+                check_against_oracle(idx, ctx, n, seed, &ranges);
             }
             3 => {
                 let idx = CtreeKv::new(&mut ctx, 16, AnnotationSource::Manual);
-                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+                check_against_oracle(idx, ctx, n, seed, &ranges);
             }
             4 => {
                 let idx = RtreeKv::new(&mut ctx, 16, AnnotationSource::Manual);
-                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+                check_against_oracle(idx, ctx, n, seed, &ranges);
             }
             _ => {
                 let idx = SkiplistKv::new(&mut ctx, 16, AnnotationSource::Manual);
-                check_against_oracle(idx, ctx, n, seed, &ranges)?;
+                check_against_oracle(idx, ctx, n, seed, &ranges);
             }
         }
     }

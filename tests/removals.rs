@@ -5,28 +5,25 @@
 //! Model-based interleaved insert/remove streams against a `BTreeMap`
 //! oracle, plus crash-recovery across removals and the
 //! memory-reclamation accounting (freed nodes really return to the
-//! heap).
+//! heap). Seeded loops replace `proptest` (unavailable offline).
 
-use proptest::prelude::*;
 use slpmt::annotate::AnnotationTable;
 use slpmt::core::Scheme;
 use slpmt::workloads::runner::IndexKind;
 use slpmt::workloads::{ycsb_load, AnnotationSource, PmContext};
+use slpmt_prng::SimRng;
 use std::collections::BTreeMap;
 
 const KINDS: [IndexKind; 8] = IndexKind::ALL;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 28, ..ProptestConfig::default() })]
-
-    #[test]
-    fn interleaved_inserts_and_removes_match_oracle(
-        kind_idx in 0usize..8,
-        n in 10usize..90,
-        seed in 0u64..10_000,
-        remove_pattern in 1u64..7,
-    ) {
-        let kind = KINDS[kind_idx];
+#[test]
+fn interleaved_inserts_and_removes_match_oracle() {
+    for case in 0..28u64 {
+        let mut rng = SimRng::seed_from_u64(0x2E40 ^ case);
+        let kind = KINDS[rng.gen_usize(0..KINDS.len())];
+        let n = rng.gen_usize(10..90);
+        let seed = rng.gen_range(0..10_000);
+        let remove_pattern = rng.gen_range(1..7);
         let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
         let mut idx = kind.build(&mut ctx, 32, AnnotationSource::Manual);
         let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
@@ -39,7 +36,7 @@ proptest! {
                 let victim = ops[i / 2].key;
                 let expect = oracle.remove(&victim).is_some();
                 let got = idx.remove(&mut ctx, victim);
-                prop_assert_eq!(got, expect, "{} remove({})", kind, victim);
+                assert_eq!(got, expect, "case {case}: {kind} remove({victim})");
                 let target = ops[i / 3].key;
                 let fresh = slpmt::workloads::ycsb::value_for(target ^ i as u64, 32);
                 let expect = oracle.contains_key(&target);
@@ -47,31 +44,41 @@ proptest! {
                     oracle.insert(target, fresh.clone());
                 }
                 let got = idx.update(&mut ctx, target, &fresh);
-                prop_assert_eq!(got, expect, "{} update({})", kind, target);
+                assert_eq!(got, expect, "case {case}: {kind} update({target})");
             }
         }
-        prop_assert_eq!(idx.len(&ctx), oracle.len(), "{} size", kind);
+        assert_eq!(idx.len(&ctx), oracle.len(), "case {case}: {kind} size");
         for (k, v) in &oracle {
             let got = idx.value_of(&ctx, *k);
-            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "{} key {}", kind, k);
+            assert_eq!(
+                got.as_deref(),
+                Some(v.as_slice()),
+                "case {case}: {kind} key {k}"
+            );
         }
         for op in &ops {
             if !oracle.contains_key(&op.key) {
-                prop_assert!(!idx.contains(&ctx, op.key), "{} ghost {}", kind, op.key);
+                assert!(
+                    !idx.contains(&ctx, op.key),
+                    "case {case}: {kind} ghost {}",
+                    op.key
+                );
             }
         }
-        idx.check_invariants(&ctx)
-            .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
+        if let Err(e) = idx.check_invariants(&ctx) {
+            panic!("case {case}: {kind}: {e}");
+        }
     }
+}
 
-    #[test]
-    fn crash_after_removes_recovers(
-        kind_idx in 0usize..8,
-        n in 20usize..60,
-        removes in 1usize..15,
-        seed in 0u64..1000,
-    ) {
-        let kind = KINDS[kind_idx];
+#[test]
+fn crash_after_removes_recovers() {
+    for case in 0..28u64 {
+        let mut rng = SimRng::seed_from_u64(0xC2A4 ^ case);
+        let kind = KINDS[rng.gen_usize(0..KINDS.len())];
+        let n = rng.gen_usize(20..60);
+        let removes = rng.gen_usize(1..15);
+        let seed = rng.gen_range(0..1000);
         let mut ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
         let mut idx = kind.build(&mut ctx, 32, AnnotationSource::Manual);
         let ops = ycsb_load(n, 32, seed);
@@ -87,15 +94,24 @@ proptest! {
         ctx.crash_and_recover();
         idx.recover(&mut ctx);
         ctx.gc(&idx.reachable(&ctx));
-        idx.check_invariants(&ctx)
-            .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
-        prop_assert_eq!(idx.len(&ctx), oracle.len());
+        if let Err(e) = idx.check_invariants(&ctx) {
+            panic!("case {case}: {kind}: {e}");
+        }
+        assert_eq!(idx.len(&ctx), oracle.len(), "case {case}: {kind}");
         for (k, v) in &oracle {
             let got = idx.value_of(&ctx, *k);
-            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "{} key {}", kind, k);
+            assert_eq!(
+                got.as_deref(),
+                Some(v.as_slice()),
+                "case {case}: {kind} key {k}"
+            );
         }
         for op in ops.iter().take(removes) {
-            prop_assert!(!idx.contains(&ctx, op.key), "{} resurrected {}", kind, op.key);
+            assert!(
+                !idx.contains(&ctx, op.key),
+                "case {case}: {kind} resurrected {}",
+                op.key
+            );
         }
     }
 }
@@ -116,7 +132,8 @@ fn removal_reclaims_memory() {
             assert!(idx.remove(&mut ctx, op.key), "{kind}: remove {}", op.key);
         }
         assert_eq!(idx.len(&ctx), 0, "{kind}: emptied");
-        idx.check_invariants(&ctx).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        idx.check_invariants(&ctx)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
         let end_bytes = ctx.heap().live_bytes();
         // Most memory returns; resize blocks/arrays (hashtable) and
         // grown arrays (heap) legitimately persist until GC.
@@ -126,7 +143,10 @@ fn removal_reclaims_memory() {
         );
         // After GC of the now-empty structure, stragglers are reclaimed.
         ctx.gc(&idx.reachable(&ctx));
-        assert!(ctx.heap().live_bytes() <= full_bytes / 2, "{kind}: GC reclaims the rest");
+        assert!(
+            ctx.heap().live_bytes() <= full_bytes / 2,
+            "{kind}: GC reclaims the rest"
+        );
     }
 }
 
@@ -141,7 +161,8 @@ fn remove_of_absent_key_is_a_clean_noop() {
         }
         assert!(!idx.remove(&mut ctx, 0xDEAD_BEEF), "{kind}: absent key");
         assert_eq!(idx.len(&ctx), 20);
-        idx.check_invariants(&ctx).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        idx.check_invariants(&ctx)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
     }
 }
 
@@ -158,6 +179,7 @@ fn removals_work_under_every_scheme() {
             assert!(idx.remove(&mut ctx, op.key), "{scheme}: remove");
         }
         assert_eq!(idx.len(&ctx), 30, "{scheme}");
-        idx.check_invariants(&ctx).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        idx.check_invariants(&ctx)
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
     }
 }

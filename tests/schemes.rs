@@ -19,7 +19,10 @@ fn every_scheme_runs_every_index_correctly() {
         for scheme in Scheme::ALL {
             let r = run(scheme, kind, AnnotationSource::Manual);
             assert!(r.cycles > 0, "{kind}/{scheme} must consume time");
-            assert!(r.traffic.media_bytes() > 0, "{kind}/{scheme} must persist data");
+            assert!(
+                r.traffic.media_bytes() > 0,
+                "{kind}/{scheme} must persist data"
+            );
         }
     }
 }
@@ -86,7 +89,11 @@ fn annotations_do_not_change_results() {
     // affect performance, never semantics.
     let ops = ycsb_load(100, 32, 5);
     for kind in ALL_KINDS {
-        for src in [AnnotationSource::None, AnnotationSource::Manual, AnnotationSource::Compiler] {
+        for src in [
+            AnnotationSource::None,
+            AnnotationSource::Manual,
+            AnnotationSource::Compiler,
+        ] {
             // run_inserts(verify=true) already asserts membership of
             // every inserted key and structural invariants.
             let _ = run_inserts(Scheme::Slpmt, kind, &ops, 32, src, true);

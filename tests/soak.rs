@@ -4,25 +4,24 @@
 //! whole way. The default run is sized for CI; `--ignored` runs the
 //! heavy version.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slpmt::annotate::AnnotationTable;
 use slpmt::core::Scheme;
 use slpmt::workloads::runner::IndexKind;
 use slpmt::workloads::ycsb::value_for;
 use slpmt::workloads::{AnnotationSource, PmContext};
+use slpmt_prng::SimRng;
 use std::collections::BTreeMap;
 
 fn soak(kind: IndexKind, scheme: Scheme, rounds: usize, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut ctx = PmContext::new(scheme, AnnotationTable::new());
     let mut idx = kind.build(&mut ctx, 32, AnnotationSource::Manual);
     let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut next_key = 1u64;
     for round in 0..rounds {
-        let ops = rng.gen_range(5..40);
+        let ops = rng.gen_usize(5..40);
         for _ in 0..ops {
-            match rng.gen_range(0..100u32) {
+            match rng.gen_range(0..100) {
                 0..=54 => {
                     // Insert a fresh key.
                     next_key = next_key.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -36,7 +35,7 @@ fn soak(kind: IndexKind, scheme: Scheme, rounds: usize, seed: u64) {
                 }
                 55..=74 => {
                     // Update a random live key.
-                    if let Some(&key) = oracle.keys().nth(rng.gen_range(0..oracle.len().max(1))) {
+                    if let Some(&key) = oracle.keys().nth(rng.gen_usize(0..oracle.len().max(1))) {
                         let val = value_for(key ^ round as u64, 32);
                         assert!(idx.update(&mut ctx, key, &val), "{kind}/{scheme}: update");
                         oracle.insert(key, val);
@@ -44,7 +43,7 @@ fn soak(kind: IndexKind, scheme: Scheme, rounds: usize, seed: u64) {
                 }
                 75..=89 => {
                     // Remove a random live key.
-                    if let Some(&key) = oracle.keys().nth(rng.gen_range(0..oracle.len().max(1))) {
+                    if let Some(&key) = oracle.keys().nth(rng.gen_usize(0..oracle.len().max(1))) {
                         assert!(idx.remove(&mut ctx, key), "{kind}/{scheme}: remove");
                         oracle.remove(&key);
                     }
