@@ -1,0 +1,143 @@
+//! Parallel persist-event crash-sweep matrix.
+//!
+//! [`slpmt_workloads::crashsweep`] defines the per-point check: replay
+//! a fixed seeded trace with the device armed to crash at persist
+//! event `k`, recover, compare against the volatile oracle. This
+//! module fans a scheme × workload matrix of those checks across the
+//! [`runner`](crate::runner) worker pool:
+//!
+//! 1. One [`par_map`] pass runs every case crash-free to learn its
+//!    event count `N` (and sanity-check the crash-free end state).
+//! 2. The sweep domain — every `(case, k)` with `k ∈ 1..=N` — is
+//!    flattened into one point list and a second [`par_map`] pass
+//!    checks all points. Points are independent, so a slow case never
+//!    idles workers assigned to cheap ones.
+//!
+//! Failures come back as reproducible `(scheme, workload, seed, k)`
+//! tuples; `slpmt crashsweep` and the `tests/crash_sweep.rs` gate
+//! print them verbatim.
+
+use crate::runner::par_map;
+use slpmt_core::Scheme;
+use slpmt_workloads::crashsweep::{check_point, count_events, SweepCase, SweepFailure};
+use slpmt_workloads::runner::IndexKind;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of a full sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Cases swept (scheme × workload pairs).
+    pub cases: usize,
+    /// Total crash points checked across all cases.
+    pub points: usize,
+    /// Every failing point, in deterministic (case, k) order.
+    pub failures: Vec<SweepFailure>,
+}
+
+impl SweepReport {
+    /// `true` when every crash point recovered correctly.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crash sweep: {} points across {} cases, {} failure(s)",
+            self.points,
+            self.cases,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The scheme × workload matrix of sweep cases, one per pair, all
+/// sharing the trace parameters.
+pub fn sweep_cases(
+    schemes: &[Scheme],
+    kinds: &[IndexKind],
+    seed: u64,
+    ops: usize,
+) -> Vec<SweepCase> {
+    let mut cases = Vec::with_capacity(schemes.len() * kinds.len());
+    for &kind in kinds {
+        for &scheme in schemes {
+            cases.push(SweepCase::new(scheme, kind, seed, ops));
+        }
+    }
+    cases
+}
+
+/// Sweeps every persist event of every case, in parallel, and returns
+/// the aggregated report. A case whose crash-free run already fails
+/// the oracle is reported as a single failure at `k = 0` and generates
+/// no crash points.
+pub fn run_sweep(cases: &[SweepCase]) -> SweepReport {
+    // Pass 1: crash-free event counts (each also oracle-checks the
+    // crash-free end state).
+    let counts = par_map(cases, |case| {
+        catch_unwind(AssertUnwindSafe(|| count_events(case))).map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            SweepFailure {
+                case: *case,
+                k: 0,
+                detail: format!("crash-free run failed: {msg}"),
+            }
+        })
+    });
+    let mut failures = Vec::new();
+    let mut points = Vec::new();
+    for (case, count) in cases.iter().zip(counts) {
+        match count {
+            Ok(n) => points.extend((1..=n).map(|k| (*case, k))),
+            Err(fail) => failures.push(fail),
+        }
+    }
+    // Pass 2: every crash point, flattened so workers never idle on a
+    // finished case.
+    let results = par_map(&points, |(case, k)| check_point(case, *k));
+    failures.extend(results.into_iter().filter_map(Result::err));
+    SweepReport {
+        cases: cases.len(),
+        points: points.len(),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_kind_major_and_complete() {
+        let cases = sweep_cases(
+            &[Scheme::Fg, Scheme::Slpmt],
+            &[IndexKind::Hashtable, IndexKind::Heap],
+            7,
+            10,
+        );
+        assert_eq!(cases.len(), 4);
+        assert_eq!(cases[0].kind, IndexKind::Hashtable);
+        assert_eq!(cases[1].scheme, Scheme::Slpmt);
+        assert_eq!(cases[2].kind, IndexKind::Heap);
+    }
+
+    #[test]
+    fn tiny_sweep_is_clean() {
+        let cases = sweep_cases(&[Scheme::Fg], &[IndexKind::Heap], 3, 4);
+        let report = run_sweep(&cases);
+        assert!(report.points > 0);
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -69,6 +69,18 @@ pub struct LineMeta {
     /// The line was updated lazily (persist bit left clear) by a
     /// *committed* transaction and awaits deferred persistence.
     pub lazy_pending: bool,
+    /// Per-word deferral bitmap: words written `storeT lazy=1
+    /// log-free=1` by the *open* transaction. Such a word has no log
+    /// record and asked for post-commit persistence, so it must never
+    /// reach PM before its transaction's commit marker — even when an
+    /// eager store to a sibling word sets the line's persist bit
+    /// (Pattern 1, free case: a rollback would have no record to
+    /// repair it). Commit withholds these words from in-place
+    /// persists; the bitmap is cleared once the line's custody moves
+    /// to the post-commit lazy machinery. Kept at word granularity at
+    /// every level — unlike `log_bits`, it does not aggregate on
+    /// L1→L2 eviction.
+    pub defer_bits: u8,
 }
 
 impl LineMeta {
@@ -101,6 +113,27 @@ impl LineMeta {
     pub fn set_group_logged(&mut self, group: usize) {
         debug_assert!(group < L2_GROUPS_PER_LINE);
         self.log_bits |= 1 << group;
+    }
+
+    /// `true` if word `word` (0..8) carries an unhonoured-until-commit
+    /// deferral (written `storeT lazy=1 log-free=1` by the open
+    /// transaction).
+    pub fn word_deferred(&self, word: usize) -> bool {
+        debug_assert!(word < WORDS_PER_LINE);
+        self.defer_bits & (1 << word) != 0
+    }
+
+    /// Marks word `word` (0..8) as deferral-requested.
+    pub fn set_word_deferred(&mut self, word: usize) {
+        debug_assert!(word < WORDS_PER_LINE);
+        self.defer_bits |= 1 << word;
+    }
+
+    /// Clears word `word`'s deferral — a later eager or logged store
+    /// to the word supersedes it (latest store wins per word).
+    pub fn clear_word_deferred(&mut self, word: usize) {
+        debug_assert!(word < WORDS_PER_LINE);
+        self.defer_bits &= !(1 << word);
     }
 }
 
@@ -201,6 +234,18 @@ mod tests {
         assert!(m.word_logged(7));
         assert!(!m.word_logged(3));
         assert_eq!(m.log_bits, 0b1000_0001);
+    }
+
+    #[test]
+    fn defer_bits_set_and_superseded() {
+        let mut m = LineMeta::clean();
+        m.set_word_deferred(2);
+        m.set_word_deferred(6);
+        assert!(m.word_deferred(2) && m.word_deferred(6));
+        assert!(!m.word_deferred(0));
+        m.clear_word_deferred(2);
+        assert!(!m.word_deferred(2));
+        assert_eq!(m.defer_bits, 0b0100_0000);
     }
 
     #[test]

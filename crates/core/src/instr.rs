@@ -67,11 +67,18 @@ impl StoreKind {
                 set_log: true,
             },
             StoreKind::StoreT { lazy, log_free } => {
-                let lazy = lazy && lazy_enabled;
-                let log_free = log_free && log_free_enabled;
+                let lazy_honoured = lazy && lazy_enabled;
+                // `lazy=1 log-free=1` degrades to a full `store` (not
+                // to eager log-free) when the lazy feature is missing:
+                // the deferral is what makes the missing log record
+                // safe for stores into regions freed by the open
+                // transaction (Pattern 1, free case). Persisting such
+                // a store in place before the commit marker would
+                // survive a rollback with no record to repair it.
+                let log_free_honoured = log_free && log_free_enabled && (lazy_honoured || !lazy);
                 BitEffects {
-                    set_persist: !lazy,
-                    set_log: !log_free,
+                    set_persist: !lazy_honoured,
+                    set_log: !log_free_honoured,
                 }
             }
         }
@@ -139,6 +146,10 @@ mod tests {
     }
 
     /// Disabling lazy degrades the operand (FG+LG configuration).
+    /// `lazy=1 log-free=1` must fall all the way back to a plain
+    /// `store`: honouring only the log-free half would let stores into
+    /// regions freed by the open transaction persist in place with no
+    /// record to undo them on rollback.
     #[test]
     fn lazy_disabled_degrades_to_eager() {
         let e = StoreKind::lazy_logged().effects(true, false);
@@ -146,7 +157,7 @@ mod tests {
         assert!(e.set_log);
         let e = StoreKind::lazy_log_free().effects(true, false);
         assert!(e.set_persist);
-        assert!(!e.set_log);
+        assert!(e.set_log, "unhonoured deferral revokes log-free-ness");
     }
 
     /// With both features off every flavour behaves like `store` (FG).

@@ -176,8 +176,11 @@ pub struct Machine {
     /// Redo discipline only: volatile holding area for logged lines
     /// evicted from the private cache before commit — in-place updates
     /// must not reach the persistence domain until the commit marker
-    /// is durable (Figure 4, right).
-    redo_shadow: BTreeMap<u64, [u8; LINE_BYTES]>,
+    /// is durable (Figure 4, right). Each entry keeps the line's
+    /// `log_bits` and `defer_bits` alongside its data: a spilled line
+    /// may mix logged words with log-free and deferred ones, and
+    /// commit must still tell them apart.
+    redo_shadow: BTreeMap<u64, ([u8; LINE_BYTES], u8, u8)>,
     /// Test hook: inject a crash at a commit phase.
     commit_crash_point: Option<CommitPhase>,
     /// Reusable commit-path scratch: the per-commit line partition
@@ -233,8 +236,58 @@ impl Machine {
     /// Arms a one-shot crash injection at the given commit phase: the
     /// next `tx_commit` performs a power failure at that point and
     /// returns. Used by the Figure 4 ordering tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the active commit sequence never visits `phase`: the
+    /// injection would be silently skipped and the commit would finish
+    /// normally with the crash point still armed — a test arming it
+    /// would pass vacuously. `AfterLogFree` exists only under the redo
+    /// discipline, `AfterData` only under undo, and battery-backed
+    /// commit (§V-E) persists no data lines, so it visits only
+    /// `AfterRecords` and `AfterMarker`.
     pub fn set_commit_crash_point(&mut self, phase: Option<CommitPhase>) {
+        if let Some(p) = phase {
+            let supported = if self.cfg.battery_backed {
+                matches!(p, CommitPhase::AfterRecords | CommitPhase::AfterMarker)
+            } else {
+                match self.cfg.features.discipline {
+                    Discipline::Redo => p != CommitPhase::AfterData,
+                    Discipline::Undo => p != CommitPhase::AfterLogFree,
+                }
+            };
+            assert!(
+                supported,
+                "commit phase {p:?} is never visited by {} \
+                 (discipline {:?}, battery_backed {}): the crash point \
+                 would be silently ignored",
+                self.cfg.scheme, self.cfg.features.discipline, self.cfg.battery_backed
+            );
+        }
         self.commit_crash_point = phase;
+    }
+
+    /// Arms the device's persist-event crash scheduler: once `k` total
+    /// persist events have been accepted, every later durable mutation
+    /// is dropped (see `PmDevice::arm_crash_at_event`). Unlike
+    /// [`set_commit_crash_point`](Self::set_commit_crash_point) this
+    /// covers *every* durable-state mutation — background drains,
+    /// forced lazy persists, log truncation — not just the four
+    /// commit-sequence phases.
+    pub fn arm_crash_at_event(&mut self, k: u64) {
+        self.dev.arm_crash_at_event(k);
+    }
+
+    /// `true` once an armed persist-event crash has tripped (the
+    /// durable state is frozen; call [`crash`](Self::crash) to also
+    /// discard volatile state and recover).
+    pub fn crash_tripped(&self) -> bool {
+        self.dev.crash_tripped()
+    }
+
+    /// Total persist events the device has accepted (1-based indices).
+    pub fn persist_event_count(&self) -> u64 {
+        self.dev.event_count()
     }
 
     // ------------------------------------------------------------------
@@ -321,7 +374,7 @@ impl Machine {
         if let Some(e) = self.l3.peek(line) {
             return from_entry(e);
         }
-        if let Some(data) = self.redo_shadow.get(&line.raw()) {
+        if let Some((data, _, _)) = self.redo_shadow.get(&line.raw()) {
             let mut b = [0u8; 8];
             b.copy_from_slice(&data[off..off + 8]);
             return u64::from_le_bytes(b);
@@ -338,7 +391,7 @@ impl Machine {
         let mut line = first;
         while line <= last {
             let la = PmAddr::new(line);
-            let shadow = self.redo_shadow.get(&line);
+            let shadow = self.redo_shadow.get(&line).map(|(d, _, _)| d);
             let cached = self
                 .l1
                 .peek(la)
@@ -440,13 +493,16 @@ impl Machine {
             return;
         }
         // Redo shadow: a logged line spilled mid-transaction returns
-        // dirty and re-owned by the current transaction (its words are
-        // re-logged on the next store; forward replay applies the
-        // newest record last).
-        if let Some(data) = self.redo_shadow.remove(&line.raw()) {
+        // dirty and re-owned by the current transaction, keeping its
+        // log and defer bits — without them the commit partition would
+        // treat the line as log-free and persist its logged or
+        // deferred words in place before the marker.
+        if let Some((data, log_bits, defer_bits)) = self.redo_shadow.remove(&line.raw()) {
             let mut meta = LineMeta::clean();
             meta.dirty = true;
             meta.persist = true;
+            meta.log_bits = log_bits;
+            meta.defer_bits = defer_bits;
             meta.txn_id = self.cur.as_ref().map(|c| c.id);
             self.insert_l1(Entry::new(line, data, meta));
             return;
@@ -474,10 +530,18 @@ impl Machine {
                     let seq = cur.seq;
                     let fills = speculative_fill_words(victim.meta.log_bits);
                     let mut events = Vec::new();
+                    // Deferred words' durable pre-state lives in the
+                    // image, not the cache (see `log_store`).
+                    let image = self.dev.image().read_line(victim.addr);
                     if let LogPath::Tiered(buf) = &mut self.log_path {
                         for w in fills {
+                            let src = if victim.meta.word_deferred(w) {
+                                &image
+                            } else {
+                                &victim.data
+                            };
                             let mut pre = [0u8; WORD_BYTES];
-                            pre.copy_from_slice(&victim.data[w * 8..w * 8 + 8]);
+                            pre.copy_from_slice(&src[w * 8..w * 8 + 8]);
                             let rec = LogRecord::new(seq, victim.addr.add((w * 8) as u64), &pre);
                             self.stats.log_records_created += 1;
                             events.extend(buf.insert(rec));
@@ -537,11 +601,43 @@ impl Machine {
         // redirection redo hardware performs).
         if self.cfg.features.discipline == Discipline::Redo
             && self.cur.is_some()
-            && victim.meta.log_bits != 0
+            && (victim.meta.log_bits != 0 || victim.meta.defer_bits != 0)
             && victim.meta.dirty
         {
-            self.redo_shadow.insert(victim.addr.raw(), victim.data);
+            self.redo_shadow.insert(
+                victim.addr.raw(),
+                (victim.data, victim.meta.log_bits, victim.meta.defer_bits),
+            );
             return;
+        }
+        // An overflowing line may carry deferred (lazy log-free) words
+        // of the open transaction: they have no record and must not be
+        // stolen into PM before the commit marker. Log their *durable*
+        // pre-images first (the image still holds them — the deferral
+        // kept every earlier persist away), so a rollback can repair
+        // the steal below.
+        if victim.meta.dirty && victim.meta.defer_bits != 0 && self.cur.is_some() {
+            let seq = self.cur.as_ref().expect("checked").seq;
+            let image = self.dev.image().read_line(victim.addr);
+            let mut events = Vec::new();
+            if let LogPath::Tiered(buf) = &mut self.log_path {
+                for w in 0..LINE_BYTES / WORD_BYTES {
+                    if victim.meta.word_deferred(w) {
+                        let mut pre = [0u8; WORD_BYTES];
+                        pre.copy_from_slice(&image[w * 8..w * 8 + 8]);
+                        let rec = LogRecord::new(seq, victim.addr.add((w * 8) as u64), &pre);
+                        self.stats.log_records_created += 1;
+                        events.extend(buf.insert(rec));
+                    }
+                }
+                // The records must be durable before the steal below:
+                // abort and recovery repair from the device log only.
+                events.extend(buf.drain_all());
+            }
+            for ev in events {
+                self.persist_flush(ev, true);
+            }
+            victim.meta.defer_bits = 0;
         }
         // Dirty data overflowing the private cache writes back to PM —
         // the natural path by which lazy data becomes durable.
@@ -677,11 +773,24 @@ impl Machine {
         let redo = self.cfg.features.discipline == Discipline::Redo;
         match self.cfg.features.granularity {
             Granularity::Word => {
-                let (pre, logged) = {
+                let (cached, logged, deferred) = {
                     let e = self.l1.peek(line).expect("line resident");
                     let mut pre = [0u8; WORD_BYTES];
                     pre.copy_from_slice(&e.data[word * 8..word * 8 + 8]);
-                    (pre, e.meta.word_logged(word))
+                    (pre, e.meta.word_logged(word), e.meta.word_deferred(word))
+                };
+                // A word the open transaction already scribbled with a
+                // deferred (lazy log-free) store holds that scribble in
+                // the cache; the rollback target is the *durable*
+                // pre-state, still intact in the image because the
+                // deferral kept every persist away.
+                let pre = if deferred {
+                    let img = self.dev.image().read_line(line);
+                    let mut p = [0u8; WORD_BYTES];
+                    p.copy_from_slice(&img[word * 8..word * 8 + 8]);
+                    p
+                } else {
+                    cached
                 };
                 // Undo records carry the pre-image; redo records the
                 // final value of the word.
@@ -727,12 +836,24 @@ impl Machine {
                     .set_word_logged(word);
             }
             Granularity::Line => {
-                let (pre, need) = {
+                let (mut pre, need, defer_bits) = {
                     let e = self.l1.peek(line).expect("line resident");
-                    (e.data, e.meta.log_bits == 0)
+                    (e.data, e.meta.log_bits == 0, e.meta.defer_bits)
                 };
                 if !need {
                     return;
+                }
+                // Same-transaction deferred scribbles must not leak
+                // into the whole-line pre-image: rollback restores the
+                // durable pre-state, which for those words is still in
+                // the image (the deferral kept every persist away).
+                if defer_bits != 0 {
+                    let img = self.dev.image().read_line(line);
+                    for w in 0..LINE_BYTES / WORD_BYTES {
+                        if defer_bits & (1 << w) != 0 {
+                            pre[w * 8..w * 8 + 8].copy_from_slice(&img[w * 8..w * 8 + 8]);
+                        }
+                    }
                 }
                 self.stats.log_records_created += 1;
                 let events: Vec<FlushEvent> = match &mut self.log_path {
@@ -823,6 +944,15 @@ impl Machine {
             // (§III-C1): the whole line persists at commit.
             e.meta.persist = true;
             e.meta.lazy_pending = false;
+        }
+        // A lazy log-free word has neither a record nor permission to
+        // persist before its commit marker; track it per word so a
+        // sibling eager store (which sets the line's persist bit)
+        // cannot drag it into the commit-time in-place persist.
+        if self.cur.is_some() && !eff.set_persist && !eff.set_log {
+            e.meta.set_word_deferred(addr.word_in_line());
+        } else {
+            e.meta.clear_word_deferred(addr.word_in_line());
         }
         e.meta.dirty = true;
         if cur_id.is_some() {
@@ -944,12 +1074,13 @@ impl Machine {
                 // transaction's (still-tagged) lines, so it is durable.
                 return;
             }
-            self.dev.log_mut().truncate_committed();
+            self.dev.truncate_log();
             for cache in [&mut self.l1, &mut self.l2] {
                 for e in cache.iter_mut() {
                     if e.meta.txn_id == Some(cur.id) {
                         e.meta.persist = false;
                         e.meta.log_bits = 0;
+                        e.meta.defer_bits = 0;
                         e.meta.txn_id = None;
                     }
                 }
@@ -1009,11 +1140,40 @@ impl Machine {
         logged_lines.sort();
         free_lines.sort();
 
+        let mut deferred_mixed = false;
         if redo {
             // Figure 4 (right): log-free lines → redo records → marker
             // → logged lines (the in-place write-back).
             for &addr in &free_lines {
-                self.commit_persist_line(addr);
+                deferred_mixed |= self.commit_persist_line(addr);
+            }
+            // A *mixed* line — log-free words sharing a line with
+            // logged words — belongs to both phases: its log-free
+            // words have no redo record, so the post-marker write-back
+            // is their only durability path, and a crash in the replay
+            // window would lose them even though the marker (hence the
+            // transaction) is durable. Persist them now, without
+            // exposing the logged words' new values: overlay only the
+            // non-logged, non-deferred modified words onto the durable
+            // image.
+            for &addr in &logged_lines {
+                let (data, log_bits, defer_bits) = {
+                    let e = self
+                        .l1
+                        .peek(addr)
+                        .or_else(|| self.l2.peek(addr))
+                        .expect("commit line resident");
+                    (e.data, e.meta.log_bits, e.meta.defer_bits)
+                };
+                self.persist_log_free_words_premarker(addr, &data, log_bits, defer_bits);
+            }
+            let spilled_mixed: Vec<(u64, [u8; LINE_BYTES], u8, u8)> = self
+                .redo_shadow
+                .iter()
+                .map(|(&a, &(d, b, f))| (a, d, b, f))
+                .collect();
+            for (a, data, bits, defer) in &spilled_mixed {
+                self.persist_log_free_words_premarker(PmAddr::new(*a), data, *bits, *defer);
             }
             if self.take_crash_point(CommitPhase::AfterLogFree) {
                 return;
@@ -1033,12 +1193,17 @@ impl Machine {
                 return;
             }
             // Write-back: logged lines from the caches and any spilled
-            // to the redo shadow.
+            // to the redo shadow. (Spilled lines persist in full: the
+            // marker is durable, so their deferred words are committed
+            // and may land in place.)
             for &addr in &logged_lines {
-                self.commit_persist_line(addr);
+                deferred_mixed |= self.commit_persist_line(addr);
             }
-            let spilled: Vec<(u64, [u8; LINE_BYTES])> =
-                self.redo_shadow.iter().map(|(&a, &d)| (a, d)).collect();
+            let spilled: Vec<(u64, [u8; LINE_BYTES])> = self
+                .redo_shadow
+                .iter()
+                .map(|(&a, &(d, _, _))| (a, d))
+                .collect();
             for (a, data) in spilled {
                 let addr = PmAddr::new(a);
                 self.signature_persist_check(addr);
@@ -1046,7 +1211,7 @@ impl Machine {
                 self.stats.commit_line_persists += 1;
             }
             self.redo_shadow.clear();
-            self.dev.log_mut().truncate_committed();
+            self.dev.truncate_log();
         } else {
             // Figure 4 (left): records → data (logged and log-free in
             // any order) → marker.
@@ -1062,7 +1227,7 @@ impl Machine {
                 return;
             }
             for &addr in free_lines.iter().chain(logged_lines.iter()) {
-                self.commit_persist_line(addr);
+                deferred_mixed |= self.commit_persist_line(addr);
             }
             if self.take_crash_point(CommitPhase::AfterData) {
                 return;
@@ -1073,12 +1238,15 @@ impl Machine {
                 // transaction is durable despite the crash.
                 return;
             }
-            self.dev.log_mut().truncate_committed();
+            self.dev.truncate_log();
         }
 
         // Lazy lines stay cached, tagged and pending; record the
-        // transaction's dependency set in a signature.
-        if lazy_lines.is_empty() {
+        // transaction's dependency set in a signature. A commit whose
+        // only deferral came from mixed lines (deferred words withheld
+        // by `commit_persist_line`) retires lazy too: those words'
+        // durability is still outstanding.
+        if lazy_lines.is_empty() && !deferred_mixed {
             self.txreg.retire_clean(cur.id);
         } else {
             for addr in &lazy_lines {
@@ -1089,6 +1257,7 @@ impl Machine {
                     .expect("lazy line resident");
                 e.meta.lazy_pending = true;
                 e.meta.log_bits = 0;
+                e.meta.defer_bits = 0;
                 self.stats.lazy_lines_deferred += 1;
             }
             let mut sig = Signature::new();
@@ -1106,24 +1275,95 @@ impl Machine {
         self.scratch_free = free_lines;
     }
 
-    /// Persists one commit-path line and clears its metadata.
-    fn commit_persist_line(&mut self, addr: PmAddr) {
+    /// Redo commit, pre-marker phase: persists the *log-free* words of
+    /// a logged (mixed) line by overlaying the line's non-logged
+    /// modified words onto the durable image. Logged words keep their
+    /// image (pre-transaction) values — their atomicity comes from the
+    /// post-marker replay — and deferred words are withheld entirely
+    /// (they have no record and asked to persist after commit). The
+    /// line's cache metadata is left untouched for the write-back
+    /// phase. No persist is issued when every modified word is logged
+    /// or deferred (the common case; in particular every FG-RD line).
+    fn persist_log_free_words_premarker(
+        &mut self,
+        addr: PmAddr,
+        data: &[u8; LINE_BYTES],
+        log_bits: u8,
+        defer_bits: u8,
+    ) {
+        if self.cfg.features.granularity == Granularity::Line && log_bits != 0 {
+            // Line-granularity records cover the whole line: replay
+            // restores every word, logged or not.
+            return;
+        }
+        let mut merged = self.dev.image().read_line(addr);
+        let mut mixed = false;
+        for w in 0..LINE_BYTES / WORD_BYTES {
+            let r = w * WORD_BYTES..(w + 1) * WORD_BYTES;
+            if (log_bits | defer_bits) & (1 << w) == 0 && merged[r.clone()] != data[r.clone()] {
+                merged[r.clone()].copy_from_slice(&data[r]);
+                mixed = true;
+            }
+        }
+        if mixed {
+            self.signature_persist_check(addr);
+            self.persist_line_sync(addr, &merged);
+            self.stats.commit_line_persists += 1;
+        }
+    }
+
+    /// Persists one commit-path line and clears its metadata. Deferred
+    /// (lazy log-free) words are withheld — they keep their durable
+    /// image values, so a pre-marker crash rolls back cleanly with no
+    /// record needed — and the line stays cached `lazy_pending`, dirty
+    /// and transaction-tagged, so the withheld words become durable
+    /// only through the post-commit lazy machinery (forced persists or
+    /// natural eviction). Returns `true` when words were withheld: the
+    /// caller must then retire the transaction as lazy.
+    fn commit_persist_line(&mut self, addr: PmAddr) -> bool {
         self.signature_persist_check(addr);
-        let data = {
+        let (data, defer_bits) = {
+            let e = self
+                .l1
+                .peek(addr)
+                .or_else(|| self.l2.peek(addr))
+                .expect("commit line resident");
+            (e.data, e.meta.defer_bits)
+        };
+        if defer_bits == 0 {
             let e = self
                 .l1
                 .peek_mut(addr)
                 .or_else(|| self.l2.peek_mut(addr))
                 .expect("commit line resident");
-            let d = e.data;
             e.meta.persist = false;
             e.meta.dirty = false;
             e.meta.log_bits = 0;
             e.meta.txn_id = None;
-            d
-        };
-        self.persist_line_sync(addr, &data);
+            self.persist_line_sync(addr, &data);
+            self.stats.commit_line_persists += 1;
+            return false;
+        }
+        let mut merged = self.dev.image().read_line(addr);
+        for w in 0..LINE_BYTES / WORD_BYTES {
+            if defer_bits & (1 << w) == 0 {
+                let r = w * WORD_BYTES..(w + 1) * WORD_BYTES;
+                merged[r.clone()].copy_from_slice(&data[r]);
+            }
+        }
+        let e = self
+            .l1
+            .peek_mut(addr)
+            .or_else(|| self.l2.peek_mut(addr))
+            .expect("commit line resident");
+        e.meta.persist = false;
+        e.meta.log_bits = 0;
+        e.meta.defer_bits = 0;
+        e.meta.lazy_pending = true;
+        self.persist_line_sync(addr, &merged);
         self.stats.commit_line_persists += 1;
+        self.stats.lazy_lines_deferred += 1;
+        true
     }
 
     /// Consumes an armed crash injection for `phase`: performs the
@@ -1520,15 +1760,34 @@ mod tests {
     }
 
     #[test]
-    fn store_cancels_lazy_deferral_of_line() {
+    fn eager_store_does_not_cancel_deferral_of_other_words() {
         let mut m = machine(Scheme::Slpmt);
         m.tx_begin();
         m.store_u64(A, 7, StoreKind::lazy_log_free());
         m.store_u64(A.add(8), 8, StoreKind::Store); // same line, eager
         m.tx_commit();
-        // Whole line persisted at commit; nothing deferred.
+        // The eager word is durable at commit, but the lazy log-free
+        // word has no record and must not reach PM before the marker:
+        // commit merges the image value for the deferred word and the
+        // line stays pending (the Pattern 1 free case).
+        assert_eq!(m.device().image().read_u64(A.add(8)), 8);
+        assert_eq!(m.device().image().read_u64(A), 0, "still deferred");
+        assert_eq!(m.stats().lazy_lines_deferred, 1);
+        m.drain_lazy();
         assert_eq!(m.device().image().read_u64(A), 7);
         assert_eq!(m.device().image().read_u64(A.add(8)), 8);
+    }
+
+    #[test]
+    fn eager_store_cancels_deferral_of_its_own_word() {
+        let mut m = machine(Scheme::Slpmt);
+        m.tx_begin();
+        m.store_u64(A, 7, StoreKind::lazy_log_free());
+        m.store_u64(A, 8, StoreKind::Store); // same word, eager
+        m.tx_commit();
+        // The overwrite supersedes the deferral: the word is logged
+        // and persists in place at commit like any eager store.
+        assert_eq!(m.device().image().read_u64(A), 8);
         assert_eq!(m.stats().lazy_lines_deferred, 0);
     }
 

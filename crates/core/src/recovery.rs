@@ -19,7 +19,8 @@
 
 use crate::machine::Machine;
 use crate::scheme::Discipline;
-use slpmt_pmem::PersistedRecord;
+use slpmt_pmem::addr::LINE_BYTES;
+use slpmt_pmem::{PersistedRecord, PmAddr};
 use std::collections::BTreeSet;
 
 /// What log replay did.
@@ -33,6 +34,10 @@ pub struct RecoveryReport {
     pub redo_applied: usize,
     /// Sequence numbers of committed transactions replayed (redo).
     pub replayed: Vec<u64>,
+    /// Data lines persisted while replaying records. Replay goes
+    /// through the device's persist path, so these appear in the
+    /// device's write-traffic counters and persist-event trace.
+    pub lines_persisted: usize,
 }
 
 impl Machine {
@@ -54,9 +59,8 @@ impl Machine {
                     self.device().log().uncommitted_rev().cloned().collect();
                 let mut rolled: BTreeSet<u64> = BTreeSet::new();
                 report.undo_applied = records.len();
-                let dev = self.device_mut();
                 for rec in &records {
-                    dev.image_mut().write(rec.addr, &rec.payload);
+                    report.lines_persisted += self.replay_record(rec);
                     rolled.insert(rec.txn);
                 }
                 report.rolled_back = rolled.into_iter().collect();
@@ -73,18 +77,47 @@ impl Machine {
                     .collect();
                 let mut replayed: BTreeSet<u64> = BTreeSet::new();
                 report.redo_applied = records.len();
-                let dev = self.device_mut();
+                // Forward order: later records carry newer values.
                 for rec in &records {
-                    // Forward order: later records carry newer values.
-                    dev.image_mut().write(rec.addr, &rec.payload);
+                    report.lines_persisted += self.replay_record(rec);
                     replayed.insert(rec.txn);
                 }
                 report.replayed = replayed.into_iter().collect();
             }
         }
-        // The log's job is done; the new epoch starts empty.
-        self.device_mut().log_mut().reset();
+        // The log's job is done; the new epoch starts empty. The reset
+        // is itself a persist event, so an injected crash mid-recovery
+        // leaves the log intact for the next attempt.
+        self.device_mut().reset_log();
         report
+    }
+
+    /// Applies one log record to the durable image through the device's
+    /// persist path (read-modify-write of each covered line), so the
+    /// replay is counted in write traffic and numbered in the
+    /// persist-event trace. Returns the number of lines persisted.
+    fn replay_record(&mut self, rec: &PersistedRecord) -> usize {
+        let line_bytes = LINE_BYTES as u64;
+        let start = rec.addr.line().raw();
+        let end = rec.addr.raw() + rec.payload.len() as u64;
+        let mut line = start;
+        let mut persisted = 0;
+        while line < end {
+            let la = PmAddr::new(line);
+            let mut data = self.device().image().read_line(la);
+            // Intersect [line, line+64) with the record's byte range.
+            let lo = line.max(rec.addr.raw());
+            let hi = (line + line_bytes).min(end);
+            let dst = (lo - line) as usize;
+            let src = (lo - rec.addr.raw()) as usize;
+            let n = (hi - lo) as usize;
+            data[dst..dst + n].copy_from_slice(&rec.payload[src..src + n]);
+            let now = self.now();
+            self.device_mut().persist_line(now, la, &data);
+            persisted += 1;
+            line += line_bytes;
+        }
+        persisted
     }
 }
 

@@ -70,18 +70,42 @@ impl TxnIdRegister {
 
     /// Marks a committed transaction's ID as outstanding (it still owns
     /// unpersisted lazy data).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double retire: a retired ID re-entering the circle
+    /// would grow it past four entries and corrupt the oldest-first
+    /// reclaim order lazy persistency depends on, so the invariant is
+    /// enforced in every build (the circle has only four slots — the
+    /// containment scans are trivially cheap).
     pub fn retire_lazy(&mut self, id: TxnId) {
-        debug_assert!(!self.outstanding.contains(&id));
-        debug_assert!(!self.free.contains(&id));
+        assert!(
+            !self.outstanding.contains(&id),
+            "double retire: {id:?} is already outstanding"
+        );
+        assert!(
+            !self.free.contains(&id),
+            "double retire: {id:?} is already free"
+        );
         self.outstanding.push_back(id);
     }
 
     /// Returns an ID whose transaction committed with nothing deferred:
     /// it re-joins the free arc at the tail (the last-free pointer
     /// advances).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double retire, like [`retire_lazy`](Self::retire_lazy).
     pub fn retire_clean(&mut self, id: TxnId) {
-        debug_assert!(!self.outstanding.contains(&id));
-        debug_assert!(!self.free.contains(&id));
+        assert!(
+            !self.outstanding.contains(&id),
+            "double retire: {id:?} is already outstanding"
+        );
+        assert!(
+            !self.free.contains(&id),
+            "double retire: {id:?} is already free"
+        );
         self.free.push_back(id);
     }
 
@@ -210,6 +234,33 @@ mod tests {
             r.retire_lazy(id);
         }
         assert_eq!(reclaimed, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double retire")]
+    fn double_retire_clean_rejected() {
+        let mut r = TxnIdRegister::new();
+        let id = r.allocate().unwrap();
+        r.retire_clean(id);
+        r.retire_clean(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "double retire")]
+    fn double_retire_lazy_rejected() {
+        let mut r = TxnIdRegister::new();
+        let id = r.allocate().unwrap();
+        r.retire_lazy(id);
+        r.retire_lazy(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "double retire")]
+    fn lazy_then_clean_retire_rejected() {
+        let mut r = TxnIdRegister::new();
+        let id = r.allocate().unwrap();
+        r.retire_lazy(id);
+        r.retire_clean(id);
     }
 
     #[test]

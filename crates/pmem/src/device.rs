@@ -19,6 +19,11 @@ use crate::wpq::WritePendingQueue;
 /// Tests use the trace to assert persist-ordering disciplines
 /// (Figure 4): e.g. that a logged line's undo records are accepted
 /// before the line's data.
+///
+/// Every variant is one *numbered* durable-state mutation: the index
+/// of an event in the trace (1-based) is the value the crash scheduler
+/// ([`PmDevice::arm_crash_at_event`]) counts, so a crash state is
+/// always an exact prefix of this trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistEvent {
     /// A data cache line was accepted by the WPQ.
@@ -40,6 +45,10 @@ pub enum PersistEvent {
         /// Committed transaction.
         txn: u64,
     },
+    /// The durable log head advanced: committed records were truncated
+    /// (post-commit) or the whole region was reset (post-recovery) —
+    /// an 8-byte head-pointer update in real hardware.
+    LogTruncate,
 }
 
 /// A log record queued for a packed flush; see
@@ -72,6 +81,16 @@ pub struct PmDevice {
     /// Persist events in acceptance order (survives crash — the trace
     /// records what reached the persistence domain).
     events: Vec<PersistEvent>,
+    /// Total persist events ever accepted (monotonic across crashes;
+    /// `events` is cleared by nothing, so this equals `events.len()`).
+    event_count: u64,
+    /// Armed crash point: after `k` total events have been accepted,
+    /// every further durable mutation is dropped (the power failed
+    /// between event `k` and event `k + 1`).
+    crash_at_event: Option<u64>,
+    /// Set once the armed crash point has been reached and a durable
+    /// mutation was dropped.
+    crash_tripped: bool,
 }
 
 impl PmDevice {
@@ -91,12 +110,65 @@ impl PmDevice {
             log: LogRegion::new(),
             log_tail: 0,
             events: Vec::new(),
+            event_count: 0,
+            crash_at_event: None,
+            crash_tripped: false,
         }
     }
 
     /// The persist-event trace, in acceptance order.
     pub fn events(&self) -> &[PersistEvent] {
         &self.events
+    }
+
+    /// Total persist events accepted since construction. Event indices
+    /// are 1-based: the first durable mutation is event 1.
+    pub fn event_count(&self) -> u64 {
+        self.event_count
+    }
+
+    /// Arms the persist-event crash scheduler: once `k` total events
+    /// have been accepted (counting from device construction), every
+    /// later durable mutation is silently dropped — the durable state
+    /// freezes as the exact `k`-event prefix of the persist trace,
+    /// exactly what a power failure between event `k` and `k + 1`
+    /// leaves behind. Pair with [`crash_tripped`](Self::crash_tripped)
+    /// to detect the trip and a subsequent [`crash`](Self::crash) to
+    /// discard volatile state.
+    ///
+    /// Arming with `k` at or below the current
+    /// [`event_count`](Self::event_count) trips on the very next
+    /// mutation.
+    pub fn arm_crash_at_event(&mut self, k: u64) {
+        self.crash_at_event = Some(k);
+        self.crash_tripped = false;
+    }
+
+    /// Disarms a pending persist-event crash without crashing.
+    pub fn disarm_crash(&mut self) {
+        self.crash_at_event = None;
+        self.crash_tripped = false;
+    }
+
+    /// `true` once an armed persist-event crash point has been reached
+    /// and at least one durable mutation was dropped.
+    pub fn crash_tripped(&self) -> bool {
+        self.crash_tripped
+    }
+
+    /// Gate for every durable-state mutation: numbers the event and
+    /// reports whether it reached the persistence domain. After an
+    /// armed crash trips, all further mutations are dropped.
+    fn accept(&mut self, event: PersistEvent) -> bool {
+        if let Some(k) = self.crash_at_event {
+            if self.event_count >= k {
+                self.crash_tripped = true;
+                return false;
+            }
+        }
+        self.event_count += 1;
+        self.events.push(event);
+        true
     }
 
     /// Appends `bytes` to the sequential log area, returning how many
@@ -163,10 +235,12 @@ impl PmDevice {
     ///
     /// Panics if `addr` is not line-aligned.
     pub fn persist_line(&mut self, now: u64, addr: PmAddr, data: &[u8; LINE_BYTES]) -> u64 {
+        if !self.accept(PersistEvent::DataLine { addr }) {
+            return now;
+        }
         let push = self.wpq.push(now);
         self.image.write_line(addr, data);
         self.traffic.count_data_line();
-        self.events.push(PersistEvent::DataLine { addr });
         push.accepted_at
     }
 
@@ -182,15 +256,23 @@ impl PmDevice {
     pub fn persist_log_pack(&mut self, now: u64, entries: &[LogFlushEntry]) -> u64 {
         assert!(!entries.is_empty(), "empty log pack");
         let mut bytes = 0;
-        let records = entries.len() as u64;
+        let mut records = 0;
         for e in entries {
-            bytes += e.payload.len() as u64 + 8;
-            self.events.push(PersistEvent::LogRecord {
+            // Each record is its own persist event: a crash may land
+            // between two records of the same pack.
+            if !self.accept(PersistEvent::LogRecord {
                 txn: e.txn,
                 addr: e.addr,
                 len: e.payload.len(),
-            });
+            }) {
+                break;
+            }
+            bytes += e.payload.len() as u64 + 8;
+            records += 1;
             self.log.append(e.txn, e.addr, &e.payload);
+        }
+        if records == 0 {
+            return now;
         }
         let lines = self.log_append_lines(bytes);
         let mut accepted = now;
@@ -204,7 +286,9 @@ impl PmDevice {
     /// Persists the commit marker of transaction `txn` (an 8-byte
     /// record appended to the log tail). Returns the acceptance cycle.
     pub fn persist_commit_marker(&mut self, now: u64, txn: u64) -> u64 {
-        self.events.push(PersistEvent::CommitMarker { txn });
+        if !self.accept(PersistEvent::CommitMarker { txn }) {
+            return now;
+        }
         self.log.mark_committed(txn);
         let lines = self.log_append_lines(8);
         let mut accepted = now;
@@ -213,6 +297,25 @@ impl PmDevice {
         }
         self.traffic.count_log_flush(1, 8, lines);
         accepted
+    }
+
+    /// Truncates committed records from the durable log (the post-commit
+    /// head-pointer advance). A numbered persist event: when a crash is
+    /// armed and trips here, the log keeps its committed records — the
+    /// head pointer never reached the persistence domain.
+    pub fn truncate_log(&mut self) {
+        if self.accept(PersistEvent::LogTruncate) {
+            self.log.truncate_committed();
+        }
+    }
+
+    /// Resets the whole durable log region (the post-recovery head/tail
+    /// reset). A numbered persist event, like
+    /// [`truncate_log`](Self::truncate_log).
+    pub fn reset_log(&mut self) {
+        if self.accept(PersistEvent::LogTruncate) {
+            self.log.reset();
+        }
     }
 
     /// Updates the PM write latency (Figure 12 sweep) mid-model.
@@ -228,6 +331,10 @@ impl PmDevice {
         // Everything accepted by the WPQ already updated `image`, so
         // draining needs no data movement here.
         self.wpq.reset();
+        // The armed crash (if any) has happened; recovery's own persists
+        // must reach the device.
+        self.crash_at_event = None;
+        self.crash_tripped = false;
     }
 
     /// Consumes the device returning its durable state (image and log).
@@ -331,5 +438,89 @@ mod tests {
     fn empty_pack_rejected() {
         let mut d = dev();
         d.persist_log_pack(0, &[]);
+    }
+
+    #[test]
+    fn events_are_numbered_monotonically() {
+        let mut d = dev();
+        assert_eq!(d.event_count(), 0);
+        d.persist_line(0, PmAddr::new(0), &[1u8; 64]);
+        assert_eq!(d.event_count(), 1);
+        d.persist_commit_marker(0, 1);
+        d.truncate_log();
+        assert_eq!(d.event_count(), 3);
+        assert_eq!(d.events().len(), 3);
+        assert_eq!(d.events()[2], PersistEvent::LogTruncate);
+    }
+
+    #[test]
+    fn armed_crash_freezes_durable_prefix() {
+        let mut d = dev();
+        d.arm_crash_at_event(1);
+        d.persist_line(0, PmAddr::new(0), &[1u8; 64]);
+        assert!(!d.crash_tripped());
+        // Event 2 onward is dropped: image, log and traffic freeze.
+        d.persist_line(0, PmAddr::new(64), &[2u8; 64]);
+        d.persist_commit_marker(0, 1);
+        assert!(d.crash_tripped());
+        assert_eq!(d.event_count(), 1);
+        assert_eq!(d.image().read_u64(PmAddr::new(0)), 0x0101010101010101);
+        assert_eq!(d.image().read_u64(PmAddr::new(64)), 0);
+        assert!(!d.log().is_committed(1));
+        assert_eq!(d.traffic().data_lines, 1);
+    }
+
+    #[test]
+    fn log_pack_crashes_between_records() {
+        let mut d = dev();
+        let entries = vec![
+            LogFlushEntry {
+                txn: 7,
+                addr: PmAddr::new(0),
+                payload: PayloadBuf::from_slice(&[1; 8]),
+            },
+            LogFlushEntry {
+                txn: 7,
+                addr: PmAddr::new(8),
+                payload: PayloadBuf::from_slice(&[2; 8]),
+            },
+        ];
+        d.arm_crash_at_event(1);
+        d.persist_log_pack(0, &entries);
+        assert!(d.crash_tripped());
+        assert_eq!(d.log().records_of(7).count(), 1);
+        assert_eq!(d.traffic().log_records, 1);
+    }
+
+    #[test]
+    fn tripped_truncate_keeps_log() {
+        let mut d = dev();
+        d.persist_commit_marker(0, 1);
+        d.arm_crash_at_event(1);
+        d.truncate_log();
+        assert!(d.crash_tripped());
+        assert!(d.log().is_committed(1));
+    }
+
+    #[test]
+    fn crash_disarms_scheduler() {
+        let mut d = dev();
+        d.arm_crash_at_event(0);
+        d.persist_line(0, PmAddr::new(0), &[1u8; 64]);
+        assert!(d.crash_tripped());
+        d.crash();
+        assert!(!d.crash_tripped());
+        d.persist_line(0, PmAddr::new(0), &[3u8; 64]);
+        assert_eq!(d.image().read_u64(PmAddr::new(0)), 0x0303030303030303);
+    }
+
+    #[test]
+    fn disarm_without_crash() {
+        let mut d = dev();
+        d.arm_crash_at_event(0);
+        d.disarm_crash();
+        d.persist_line(0, PmAddr::new(0), &[1u8; 64]);
+        assert!(!d.crash_tripped());
+        assert_eq!(d.event_count(), 1);
     }
 }

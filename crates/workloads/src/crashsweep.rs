@@ -1,0 +1,374 @@
+//! Exhaustive persist-event crash sweep with oracle-checked recovery.
+//!
+//! The commit-phase crash matrix (`CommitPhase`) covers four coarse
+//! points of the commit sequence; everything *between* them — the
+//! individual WPQ drains, log-record pack writes, lazy-drain forced
+//! persists, log truncations — is exactly where selective logging and
+//! lazy persistency could silently break recoverability. This module
+//! enumerates those states exhaustively:
+//!
+//! 1. [`count_events`] runs a fixed seeded workload trace once and
+//!    returns how many persist events `N` it generates (sanity-checking
+//!    the crash-free end state against a volatile oracle on the way).
+//! 2. [`run_crash_at`] replays the identical trace with the device
+//!    armed to crash at event `k` (see
+//!    `slpmt_core::Machine::arm_crash_at_event`): events `1..=k` are
+//!    durable, every later mutation is dropped. It then crashes, runs
+//!    log replay plus the structure's own recovery, and checks the
+//!    result against the oracle.
+//! 3. [`sweep_serial`] does that for every `k ∈ 1..=N`. The parallel
+//!    fan-out over a scheme × workload matrix lives in
+//!    `slpmt_bench::crashsweep`.
+//!
+//! ### The oracle check
+//!
+//! Commit markers persist in transaction order, so the durably
+//! committed transactions always form a prefix of the sequence
+//! numbers. Each trace operation records the sequence number of the
+//! last transaction it ran; `b` = the number of operations whose last
+//! transaction has a durable marker. Auxiliary transactions an
+//! operation runs *before* its main one (a hashtable update closing a
+//! redo window, a resize) are membership-neutral, so the recovered
+//! structure must equal a `BTreeMap` oracle after exactly `b`
+//! operations: same length, every key mapped to its exact value,
+//! structure invariants intact, and the heap clean after the leak GC
+//! ([`inspect`](crate::inspector::inspect)-verified).
+//!
+//! Battery-backed configurations (§V-E) are *not* swept: with the
+//! caches inside the persistence domain, the state a power failure
+//! leaves behind depends on the volatile cache contents at failure
+//! time, not on a prefix of the persist-event trace, so "crash at
+//! event k" does not define their crash state. (No named [`Scheme`]
+//! enables the battery; it is a separate `MachineConfig` flag.)
+
+use crate::ctx::{AnnotationSource, PmContext};
+use crate::inspector::inspect;
+use crate::runner::{DurableIndex, IndexKind};
+use crate::ycsb::{ycsb_mixed_with_updates, MixedOp};
+use slpmt_annotate::AnnotationTable;
+use slpmt_core::Scheme;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One cell of a crash sweep: a scheme × workload pair plus the trace
+/// parameters that make it reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCase {
+    /// Hardware design to simulate.
+    pub scheme: Scheme,
+    /// Index workload to drive.
+    pub kind: IndexKind,
+    /// Trace seed.
+    pub seed: u64,
+    /// Number of trace operations (each mutating operation is at least
+    /// one durable transaction).
+    pub ops: usize,
+    /// Value payload size in bytes (whole words).
+    pub value_size: usize,
+}
+
+impl SweepCase {
+    /// A sweep case with the standard trace shape (`ops` operations,
+    /// 32-byte values).
+    pub fn new(scheme: Scheme, kind: IndexKind, seed: u64, ops: usize) -> Self {
+        SweepCase {
+            scheme,
+            kind,
+            seed,
+            ops,
+            value_size: 32,
+        }
+    }
+}
+
+impl fmt::Display for SweepCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scheme={} workload={} seed={} ops={}",
+            self.scheme, self.kind, self.seed, self.ops
+        )
+    }
+}
+
+/// One failed crash point, carrying everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// The failing cell.
+    pub case: SweepCase,
+    /// Persist-event index the crash was armed at.
+    pub k: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crashsweep FAIL {} k={}: {}",
+            self.case, self.k, self.detail
+        )
+    }
+}
+
+/// The schemes a persist-event sweep covers: every named design,
+/// undo and redo (battery-backed §V-E configurations are excluded —
+/// see the module docs).
+pub const SWEEP_SCHEMES: [Scheme; 10] = [
+    Scheme::Fg,
+    Scheme::FgLg,
+    Scheme::FgLz,
+    Scheme::Slpmt,
+    Scheme::Atom,
+    Scheme::Ede,
+    Scheme::FgCl,
+    Scheme::SlpmtCl,
+    Scheme::FgRedo,
+    Scheme::SlpmtRedo,
+];
+
+/// The deterministic operation trace of a case: a seeded insert /
+/// update / remove / read mix starting from an empty structure.
+pub fn trace_ops(case: &SweepCase) -> Vec<MixedOp> {
+    // 5% reads, 15% updates, 20% removes, the rest inserts — enough
+    // churn to exercise remove frees, update copy-on-write swaps and
+    // (at these sizes) hashtable resizes, while keeping the structure
+    // growing so later crash points see non-trivial state.
+    let (_, ops) = ycsb_mixed_with_updates(0, case.ops, case.value_size, case.seed, 5, 15, 20);
+    ops
+}
+
+fn apply(idx: &mut dyn DurableIndex, ctx: &mut PmContext, op: &MixedOp) {
+    match op {
+        MixedOp::Insert(o) => idx.insert(ctx, o.key, &o.value),
+        MixedOp::Read(k) => {
+            idx.get(ctx, *k);
+        }
+        MixedOp::Remove(k) => {
+            idx.remove(ctx, *k);
+        }
+        MixedOp::Update(o) => {
+            idx.update(ctx, o.key, &o.value);
+        }
+    }
+}
+
+/// The volatile reference model after the first `b` trace operations.
+fn oracle_after(ops: &[MixedOp], b: usize) -> BTreeMap<u64, Vec<u8>> {
+    let mut model = BTreeMap::new();
+    for op in &ops[..b] {
+        match op {
+            MixedOp::Insert(o) | MixedOp::Update(o) => {
+                model.insert(o.key, o.value.clone());
+            }
+            MixedOp::Remove(k) => {
+                model.remove(k);
+            }
+            MixedOp::Read(_) => {}
+        }
+    }
+    model
+}
+
+fn build(case: &SweepCase) -> (PmContext, Box<dyn DurableIndex>) {
+    let mut ctx = PmContext::new(case.scheme, AnnotationTable::new());
+    let idx = case
+        .kind
+        .build(&mut ctx, case.value_size, AnnotationSource::Manual);
+    (ctx, idx)
+}
+
+/// Runs the case's trace crash-free, checks the end state against the
+/// oracle, and returns the number of persist events the trace
+/// generated — the sweep domain is `1..=N`.
+///
+/// # Panics
+///
+/// Panics if the crash-free run already disagrees with the oracle (the
+/// sweep would be meaningless).
+pub fn count_events(case: &SweepCase) -> u64 {
+    let ops = trace_ops(case);
+    let (mut ctx, mut idx) = build(case);
+    for op in &ops {
+        apply(idx.as_mut(), &mut ctx, op);
+    }
+    let oracle = oracle_after(&ops, ops.len());
+    assert_eq!(
+        idx.len(&ctx),
+        oracle.len(),
+        "{case}: crash-free run disagrees with the oracle"
+    );
+    for (key, value) in &oracle {
+        assert_eq!(
+            idx.value_of(&ctx, *key).as_deref(),
+            Some(value.as_slice()),
+            "{case}: crash-free value of {key}"
+        );
+    }
+    ctx.machine().persist_event_count()
+}
+
+/// Replays the case's trace with a crash armed at persist event `k`,
+/// recovers, and checks the recovered structure against the oracle.
+///
+/// # Errors
+///
+/// Returns the reproducible failure tuple when the recovered state
+/// violates committed-prefix durability, value equality, a structure
+/// invariant, or heap-leak accounting.
+pub fn run_crash_at(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
+    let fail = |detail: String| SweepFailure {
+        case: *case,
+        k,
+        detail,
+    };
+    let ops = trace_ops(case);
+    let (mut ctx, mut idx) = build(case);
+    ctx.machine_mut().arm_crash_at_event(k);
+    // Sequence number of the last transaction each executed operation
+    // ran (reads re-record the previous value — they commit nothing).
+    let mut op_seq = Vec::with_capacity(ops.len());
+    for op in &ops {
+        apply(idx.as_mut(), &mut ctx, op);
+        op_seq.push(ctx.machine().txn_seq());
+        if ctx.machine().crash_tripped() {
+            break;
+        }
+    }
+    // Power failure: volatile state is lost; events 1..=k survive.
+    ctx.crash();
+    // Durably committed transactions form a prefix of the sequence
+    // numbers (markers persist in commit order), so the committed
+    // operation count is a prefix length too.
+    let marker = ctx
+        .machine()
+        .device()
+        .log()
+        .committed_txns()
+        .max()
+        .unwrap_or(0);
+    let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
+    ctx.recover();
+    idx.recover(&mut ctx);
+    let reachable = idx.reachable(&ctx);
+    let leaks = inspect(&ctx, &reachable).leaks.len();
+    ctx.gc(&reachable);
+    if let Err(e) = idx.check_invariants(&ctx) {
+        return Err(fail(format!("invariant violated after recovery: {e}")));
+    }
+    let after_gc = inspect(&ctx, &reachable);
+    if !after_gc.is_clean() {
+        return Err(fail(format!(
+            "{} allocations still leaked after GC reclaimed {leaks}",
+            after_gc.leaks.len()
+        )));
+    }
+    let oracle = oracle_after(&ops, b);
+    if idx.len(&ctx) != oracle.len() {
+        return Err(fail(format!(
+            "{} keys recovered, oracle has {} after {b} committed ops \
+             (marker seq {marker})",
+            idx.len(&ctx),
+            oracle.len()
+        )));
+    }
+    for (key, value) in &oracle {
+        let got = idx.value_of(&ctx, *key);
+        if got.as_deref() != Some(value.as_slice()) {
+            return Err(fail(format!(
+                "key {key} recovered as {:?}, oracle says {:?} (b={b})",
+                got.map(|v| v.len()),
+                value.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`run_crash_at`] with panics converted into failure tuples, so a
+/// sweep over thousands of crash points reports `(scheme, workload,
+/// seed, k)` instead of dying mid-matrix.
+pub fn check_point(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_crash_at(case, k))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(SweepFailure {
+                case: *case,
+                k,
+                detail: format!("panic: {msg}"),
+            })
+        }
+    }
+}
+
+/// Sweeps every crash point of one case serially, returning all
+/// failures (empty = the case is crash-consistent at every persist
+/// event).
+pub fn sweep_serial(case: &SweepCase) -> Vec<SweepFailure> {
+    let n = count_events(case);
+    (1..=n).filter_map(|k| check_point(case, k).err()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_mutates_enough() {
+        let case = SweepCase::new(Scheme::Slpmt, IndexKind::Hashtable, 7, 60);
+        let a = trace_ops(&case);
+        assert_eq!(a, trace_ops(&case));
+        let mutating = a.iter().filter(|o| !matches!(o, MixedOp::Read(_))).count();
+        assert!(mutating >= 50, "trace must carry ≥50 transactions");
+    }
+
+    #[test]
+    fn oracle_prefix_applies_ops_in_order() {
+        let case = SweepCase::new(Scheme::Slpmt, IndexKind::Rbtree, 3, 30);
+        let ops = trace_ops(&case);
+        let full = oracle_after(&ops, ops.len());
+        assert!(!full.is_empty());
+        assert!(oracle_after(&ops, 0).is_empty());
+    }
+
+    #[test]
+    fn event_count_is_stable_for_a_case() {
+        let case = SweepCase::new(Scheme::Fg, IndexKind::Heap, 11, 10);
+        assert_eq!(count_events(&case), count_events(&case));
+    }
+
+    #[test]
+    fn crash_after_all_events_recovers_everything() {
+        let case = SweepCase::new(Scheme::Slpmt, IndexKind::Hashtable, 5, 15);
+        let n = count_events(&case);
+        run_crash_at(&case, n).unwrap();
+    }
+
+    #[test]
+    fn crash_before_any_event_recovers_empty() {
+        // k = 0: the very first durable mutation is dropped, so no
+        // transaction ever has a durable marker.
+        let case = SweepCase::new(Scheme::Fg, IndexKind::Rbtree, 5, 10);
+        run_crash_at(&case, 0).unwrap();
+    }
+
+    #[test]
+    fn failure_line_is_reproducible() {
+        let f = SweepFailure {
+            case: SweepCase::new(Scheme::Slpmt, IndexKind::Heap, 42, 50),
+            k: 137,
+            detail: "boom".into(),
+        };
+        let line = f.to_string();
+        assert!(line.contains("scheme=SLPMT"));
+        assert!(line.contains("workload=heap"));
+        assert!(line.contains("seed=42"));
+        assert!(line.contains("k=137"));
+    }
+}

@@ -238,8 +238,23 @@ impl PmContext {
     /// must then run the structure's own recovery and
     /// [`gc`](Self::gc) the heap.
     pub fn crash_and_recover(&mut self) -> slpmt_core::RecoveryReport {
+        self.crash();
+        self.recover()
+    }
+
+    /// Simulates the power failure alone: volatile state (including
+    /// deferred frees) is lost, the durable image and log survive.
+    /// Lets a caller inspect the surviving durable state (e.g. which
+    /// commit markers made it) before log replay runs.
+    pub fn crash(&mut self) {
         self.machine.crash();
         self.pending_frees.clear();
+    }
+
+    /// Replays the log after [`crash`](Self::crash). The caller must
+    /// then run the structure's own recovery and [`gc`](Self::gc) the
+    /// heap.
+    pub fn recover(&mut self) -> slpmt_core::RecoveryReport {
         self.machine.recover()
     }
 

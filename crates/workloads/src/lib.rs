@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod avl;
+pub mod crashsweep;
 pub mod ctx;
 pub mod hashtable;
 pub mod heap;
@@ -42,6 +43,7 @@ pub mod rbtree;
 pub mod runner;
 pub mod ycsb;
 
+pub use crashsweep::{SweepCase, SweepFailure};
 pub use ctx::{AnnotationSource, PmContext};
 pub use inspector::{inspect, HeapReport};
 pub use runner::{run_inserts, run_mixed, DurableIndex, IndexKind, RangeIndex, RunResult};

@@ -7,13 +7,18 @@
 //! slpmt compare <index> [options]       all schemes side by side
 //! slpmt matrix [options]                full scheme × index matrix (parallel)
 //! slpmt trace [options]                 dump the persist-event trace
+//! slpmt crashsweep [sweep options]      exhaustive persist-event crash sweep
 //!
 //! options: --scheme <name> --ops <n> --value <bytes>
 //!          --annotations <manual|compiler|none> --latency <ns>
+//! sweep options: --scheme <name|all> --workload <name|all>
+//!                --seed <n> --ops <n> [--at <k>]
 //!
-//! `matrix` fans its cells across worker threads (one per available
-//! core; override with SLPMT_THREADS, where 1 forces a serial run);
-//! the merged output is identical for any worker count.
+//! `matrix` and `crashsweep` fan their cells across worker threads
+//! (one per available core; override with SLPMT_THREADS, where 1
+//! forces a serial run); the merged output is identical for any
+//! worker count. `crashsweep --at K` replays exactly one failing
+//! `(scheme, workload, seed, k)` tuple from a sweep report.
 //! ```
 
 use slpmt::cache::CacheConfig;
@@ -247,14 +252,91 @@ fn cmd_trace(o: &Options) {
             }
             PersistEvent::DataLine { addr } => println!("{i:>4}  data   {addr}"),
             PersistEvent::CommitMarker { txn } => println!("{i:>4}  marker txn {txn}"),
+            PersistEvent::LogTruncate => println!("{i:>4}  trunc"),
         }
     }
 }
 
+/// `slpmt crashsweep`: the exhaustive persist-event crash sweep, or a
+/// single reproduced `(scheme, workload, seed, k)` point with `--at`.
+fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::crashsweep::{run_sweep, sweep_cases};
+    use slpmt::workloads::crashsweep::{check_point, count_events, SweepCase, SWEEP_SCHEMES};
+
+    let mut schemes: Vec<Scheme> = SWEEP_SCHEMES.to_vec();
+    let mut kinds = vec![IndexKind::Hashtable, IndexKind::Rbtree, IndexKind::Heap];
+    let mut seed = 42u64;
+    let mut ops = 50usize;
+    let mut at: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = value()?;
+                if !v.eq_ignore_ascii_case("all") {
+                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                }
+            }
+            "--workload" => {
+                let v = value()?;
+                if !v.eq_ignore_ascii_case("all") {
+                    kinds = vec![parse_kind(&v).ok_or_else(|| format!("unknown workload {v}"))?];
+                }
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ops" => ops = value()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--at" => at = Some(value()?.parse().map_err(|e| format!("--at: {e}"))?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    if let Some(k) = at {
+        // Reproduce one tuple: exactly one scheme and workload.
+        let (&scheme, &kind) = match (&schemes[..], &kinds[..]) {
+            ([s], [w]) => (s, w),
+            _ => return Err("--at needs exactly one --scheme and one --workload".into()),
+        };
+        let case = SweepCase::new(scheme, kind, seed, ops);
+        return Ok(match check_point(&case, k) {
+            Ok(()) => {
+                println!("crashsweep OK {case} k={k}: recovered to the oracle state");
+                ExitCode::SUCCESS
+            }
+            Err(fail) => {
+                println!("{fail}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    let cases = sweep_cases(&schemes, &kinds, seed, ops);
+    let total: u64 = cases.iter().map(count_events).sum();
+    println!(
+        "sweeping {} case(s), {} persist events total (seed {seed}, {ops} ops) ...",
+        cases.len(),
+        total
+    );
+    let start = std::time::Instant::now();
+    let report = run_sweep(&cases);
+    print!("{report}");
+    println!("({:.2}s)", start.elapsed().as_secs_f64());
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
+         crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
          indices: {}",
         IndexKind::ALL.map(|k| k.to_string()).join(", ")
     );
@@ -299,6 +381,13 @@ fn main() -> ExitCode {
                 cmd_matrix(&o);
                 ExitCode::SUCCESS
             }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "crashsweep" => match cmd_crashsweep(&args[1..]) {
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

@@ -1,0 +1,193 @@
+//! Crash-injection regression tests (issue 2 satellites): commit-phase
+//! validation per discipline, recovery write accounting through the
+//! device, crash-during-recovery idempotence, and signature
+//! false-positive behaviour.
+
+use slpmt::core::{CommitPhase, Machine, MachineConfig, Scheme, Signature, StoreKind};
+use slpmt::pmem::PmAddr;
+
+const A: PmAddr = PmAddr::new(0x10000);
+const B: PmAddr = PmAddr::new(0x10080);
+
+fn machine(scheme: Scheme) -> Machine {
+    Machine::new(MachineConfig::for_scheme(scheme))
+}
+
+fn battery(scheme: Scheme) -> Machine {
+    Machine::new(MachineConfig::for_scheme(scheme).with_battery_backed_cache())
+}
+
+// -------------------------------------------------------------------
+// Commit-phase validation: arming a phase the discipline never visits
+// must fail loudly instead of letting the commit complete with the
+// crash point still armed (a vacuously passing test).
+
+#[test]
+fn undo_accepts_its_phases() {
+    let mut m = machine(Scheme::Fg);
+    for p in [
+        CommitPhase::AfterRecords,
+        CommitPhase::AfterData,
+        CommitPhase::AfterMarker,
+    ] {
+        m.set_commit_crash_point(Some(p));
+    }
+    m.set_commit_crash_point(None);
+}
+
+#[test]
+#[should_panic(expected = "never visited")]
+fn undo_rejects_after_log_free() {
+    machine(Scheme::Fg).set_commit_crash_point(Some(CommitPhase::AfterLogFree));
+}
+
+#[test]
+fn redo_accepts_its_phases() {
+    let mut m = machine(Scheme::FgRedo);
+    for p in [
+        CommitPhase::AfterLogFree,
+        CommitPhase::AfterRecords,
+        CommitPhase::AfterMarker,
+    ] {
+        m.set_commit_crash_point(Some(p));
+    }
+}
+
+#[test]
+#[should_panic(expected = "never visited")]
+fn redo_rejects_after_data() {
+    machine(Scheme::FgRedo).set_commit_crash_point(Some(CommitPhase::AfterData));
+}
+
+#[test]
+fn battery_accepts_records_and_marker() {
+    let mut m = battery(Scheme::Slpmt);
+    m.set_commit_crash_point(Some(CommitPhase::AfterRecords));
+    m.set_commit_crash_point(Some(CommitPhase::AfterMarker));
+}
+
+#[test]
+#[should_panic(expected = "never visited")]
+fn battery_rejects_data_phase() {
+    // Battery commit persists no data lines (§V-E).
+    battery(Scheme::Slpmt).set_commit_crash_point(Some(CommitPhase::AfterData));
+}
+
+// -------------------------------------------------------------------
+// Recovery write accounting: replay goes through the device's persist
+// path, so it shows up in write traffic and the persist-event trace.
+
+#[test]
+fn recovery_replay_counts_in_device_traffic() {
+    let mut m = machine(Scheme::Fg);
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    m.set_commit_crash_point(Some(CommitPhase::AfterData));
+    m.tx_commit();
+    let data_before = m.device().traffic().data_lines;
+    let events_before = m.device().event_count();
+    let report = m.recover();
+    assert!(report.undo_applied > 0);
+    assert!(report.lines_persisted > 0);
+    assert_eq!(
+        m.device().traffic().data_lines,
+        data_before + report.lines_persisted as u64,
+        "every replayed line is counted as data-line write traffic"
+    );
+    assert!(
+        m.device().event_count() > events_before,
+        "replay persists are numbered persist events"
+    );
+    assert_eq!(m.device().image().read_u64(A), 5, "rolled back");
+}
+
+// -------------------------------------------------------------------
+// Crash during recovery: a persist-event crash mid-replay must leave a
+// state from which a second recovery converges (replay is idempotent
+// and the log survives until the post-replay reset).
+
+#[test]
+fn undo_recovery_crash_is_idempotent() {
+    let mut m = machine(Scheme::Fg);
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.setup_write(B, &6u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    m.store_u64(B, 100, StoreKind::Store);
+    m.set_commit_crash_point(Some(CommitPhase::AfterData));
+    m.tx_commit();
+    // First recovery attempt dies after its first replay persist:
+    // every later durable mutation (more replays, the log reset) is
+    // dropped.
+    m.arm_crash_at_event(m.device().event_count() + 1);
+    let _ = m.recover();
+    assert!(m.crash_tripped(), "the replay tripped the scheduler");
+    m.crash();
+    let report = m.recover();
+    assert!(report.undo_applied > 0, "log survived the interrupted pass");
+    assert_eq!(m.device().image().read_u64(A), 5);
+    assert_eq!(m.device().image().read_u64(B), 6);
+    // A third pass finds a clean log.
+    assert_eq!(m.recover().undo_applied, 0);
+}
+
+#[test]
+fn redo_recovery_crash_is_idempotent() {
+    let mut m = machine(Scheme::FgRedo);
+    m.setup_write(A, &5u64.to_le_bytes());
+    m.setup_write(B, &6u64.to_le_bytes());
+    m.tx_begin();
+    m.store_u64(A, 99, StoreKind::Store);
+    m.store_u64(B, 100, StoreKind::Store);
+    m.set_commit_crash_point(Some(CommitPhase::AfterMarker));
+    m.tx_commit();
+    m.arm_crash_at_event(m.device().event_count() + 1);
+    let _ = m.recover();
+    assert!(m.crash_tripped());
+    m.crash();
+    let report = m.recover();
+    assert_eq!(report.replayed, vec![1]);
+    assert_eq!(m.device().image().read_u64(A), 99);
+    assert_eq!(m.device().image().read_u64(B), 100);
+    assert_eq!(m.recover().redo_applied, 0);
+}
+
+// -------------------------------------------------------------------
+// Signature false positives: aliasing in the dependency signature may
+// force-persist transactions that were not actually depended on, but
+// must never change post-recovery values.
+
+#[test]
+fn signature_aliasing_forces_but_preserves_values() {
+    // Find a line that aliases `probe` in a fresh signature.
+    let probe = PmAddr::new(0x8000);
+    let mut sig = Signature::new();
+    sig.insert(probe);
+    let alias = (1..1_000_000u64)
+        .map(|i| PmAddr::new(0x8000 + i * 64))
+        .find(|a| sig.maybe_contains(*a))
+        .expect("a finite signature must alias some other line");
+
+    let mut m = machine(Scheme::Slpmt);
+    m.setup_write(probe, &1u64.to_le_bytes());
+    // Txn 1 derives a lazily-persistent value from `probe`.
+    m.tx_begin();
+    let v = m.load_u64(probe);
+    m.store_u64(A, v + 10, StoreKind::lazy_logged());
+    m.tx_commit();
+    assert_eq!(m.device().image().read_u64(A), 0, "deferred, not durable");
+    // Txn 2 persists an unrelated line that merely *aliases* the
+    // signature: the false positive forces txn 1's deferral durable.
+    m.tx_begin();
+    m.store_u64(alias, 42, StoreKind::Store);
+    m.tx_commit();
+    assert!(
+        m.stats().lazy_lines_forced > 0,
+        "the aliased persist forced the deferred line"
+    );
+    m.crash();
+    m.recover();
+    assert_eq!(m.device().image().read_u64(A), 11, "forced value correct");
+    assert_eq!(m.device().image().read_u64(alias), 42);
+}

@@ -1,0 +1,102 @@
+//! Exhaustive persist-event crash sweep (oracle-checked recovery).
+//!
+//! Every test enumerates *all* persist events of a fixed seeded trace
+//! and crashes at each one — there is no sampling; see
+//! `slpmt::workloads::crashsweep` for the crash-state model and the
+//! oracle. Failures print reproducible `(scheme, workload, seed, k)`
+//! tuples; re-run one with
+//! `slpmt crashsweep --scheme S --ops N --at K`.
+//!
+//! The un-ignored tests are the PR gate: a scheme subset × three
+//! workloads at a trace size that keeps the whole file comfortably
+//! inside the CI budget (the sweep fans across `SLPMT_THREADS`
+//! workers). The `#[ignore]`d test is the nightly exhaustive matrix:
+//! all ten schemes, ≥50-transaction traces.
+
+use slpmt::bench::crashsweep::{run_sweep, sweep_cases};
+use slpmt::core::Scheme;
+use slpmt::workloads::crashsweep::{count_events, sweep_serial, SweepCase};
+use slpmt::workloads::runner::IndexKind;
+
+const SEED: u64 = 42;
+
+/// Gate subset: the undo baseline, each single-feature variant (the
+/// `storeT` operand-degrade paths are where annotation soundness bugs
+/// hide), full SLPMT, the line-granularity variant, and both redo
+/// designs — every commit sequence in Figure 4 is represented.
+const GATE_SCHEMES: [Scheme; 7] = [
+    Scheme::Fg,
+    Scheme::FgLg,
+    Scheme::FgLz,
+    Scheme::Slpmt,
+    Scheme::SlpmtCl,
+    Scheme::FgRedo,
+    Scheme::SlpmtRedo,
+];
+
+const GATE_KINDS: [IndexKind; 3] = [IndexKind::Hashtable, IndexKind::Rbtree, IndexKind::Heap];
+
+#[test]
+fn gate_sweep_every_persist_event() {
+    let cases = sweep_cases(&GATE_SCHEMES, &GATE_KINDS, SEED, 12);
+    let report = run_sweep(&cases);
+    assert!(report.points > 0);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn sweep_covers_lazy_and_selective_features() {
+    // Serial spot-check of the scheme that exercises most machinery
+    // (signatures, log-free stores, lazy drains) on the structure with
+    // the most auxiliary transactions (hashtable resize + close-window
+    // preliminary transactions).
+    let failures = sweep_serial(&SweepCase::new(Scheme::Slpmt, IndexKind::Hashtable, 7, 10));
+    assert!(
+        failures.is_empty(),
+        "{}",
+        failures
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn event_counts_grow_with_trace_length() {
+    let short = count_events(&SweepCase::new(Scheme::Fg, IndexKind::Heap, SEED, 5));
+    let long = count_events(&SweepCase::new(Scheme::Fg, IndexKind::Heap, SEED, 20));
+    assert!(short > 0);
+    assert!(
+        long > short,
+        "longer traces must persist more ({short} vs {long})"
+    );
+}
+
+/// Nightly exhaustive matrix: all ten schemes × three workloads, ≥50
+/// operations per trace, every persist event. Run with
+/// `cargo test --release --test crash_sweep -- --ignored`.
+#[test]
+#[ignore = "exhaustive matrix; run nightly or on demand"]
+fn full_sweep_all_schemes() {
+    use slpmt::workloads::crashsweep::SWEEP_SCHEMES;
+    let cases = sweep_cases(&SWEEP_SCHEMES, &GATE_KINDS, SEED, 50);
+    let report = run_sweep(&cases);
+    println!("{report}");
+    assert!(report.is_clean(), "{report}");
+}
+
+/// Nightly seed diversity: shorter traces, but several seeds, so trace
+/// shapes the fixed seed never produces (different resize points,
+/// removal orders, signature collisions) still get swept.
+#[test]
+#[ignore = "exhaustive matrix; run nightly or on demand"]
+fn full_sweep_multiple_seeds() {
+    use slpmt::workloads::crashsweep::SWEEP_SCHEMES;
+    for seed in [1, 7, 99, 1234] {
+        let cases = sweep_cases(&SWEEP_SCHEMES, &GATE_KINDS, seed, 30);
+        let report = run_sweep(&cases);
+        println!("seed {seed}: {report}");
+        assert!(report.is_clean(), "seed {seed}: {report}");
+    }
+}

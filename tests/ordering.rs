@@ -30,7 +30,7 @@ fn assert_undo_windows(m: &Machine) {
             PersistEvent::CommitMarker { txn } => {
                 window_end.insert(*txn, i);
             }
-            PersistEvent::DataLine { .. } => {}
+            PersistEvent::DataLine { .. } | PersistEvent::LogTruncate => {}
         }
     }
     assert!(!window_end.is_empty(), "trace must contain commits");
@@ -76,7 +76,7 @@ fn assert_markers_follow_records(m: &Machine) {
                     assert!(r < i, "txn {txn}: marker at {i} before record at {r}");
                 }
             }
-            PersistEvent::DataLine { .. } => {}
+            PersistEvent::DataLine { .. } | PersistEvent::LogTruncate => {}
         }
     }
 }
