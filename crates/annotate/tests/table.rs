@@ -1,0 +1,119 @@
+//! Table I operand coverage for the annotation table: the four
+//! `storeT` operand combinations, the plain-store default, and the
+//! Figure 13 comparison accounting — exercised with seeded random
+//! tables checked against a `BTreeMap` model.
+
+use slpmt_annotate::{Annotation, AnnotationTable, SiteId};
+use slpmt_prng::SimRng;
+use std::collections::BTreeMap;
+
+const FORMS: [Annotation; 4] = [
+    Annotation::Plain,
+    Annotation::LogFree,
+    Annotation::Lazy,
+    Annotation::LazyLogFree,
+];
+
+#[test]
+fn every_operand_combination_round_trips() {
+    let mut t = AnnotationTable::new();
+    for (i, a) in FORMS.into_iter().enumerate() {
+        t.set(SiteId(i as u32), a);
+        assert_eq!(t.get(SiteId(i as u32)), a);
+    }
+    // Plain entries are not stored: three selective forms remain.
+    assert_eq!(t.selective_count(), 3);
+    // Display covers each Table I row exactly once.
+    let shown: Vec<String> = FORMS.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        shown,
+        [
+            "store",
+            "storeT(log-free)",
+            "storeT(lazy)",
+            "storeT(lazy,log-free)"
+        ]
+    );
+}
+
+#[test]
+fn random_tables_match_map_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x7AB1E ^ case);
+        let mut t = AnnotationTable::new();
+        let mut model: BTreeMap<u32, Annotation> = BTreeMap::new();
+        for _ in 0..rng.gen_usize(1..120) {
+            let site = rng.next_u64() as u32 % 40;
+            let a = FORMS[rng.gen_usize(0..FORMS.len())];
+            t.set(SiteId(site), a);
+            if a == Annotation::Plain {
+                model.remove(&site);
+            } else {
+                model.insert(site, a);
+            }
+        }
+        assert_eq!(t.selective_count(), model.len(), "case {case}");
+        for site in 0..40u32 {
+            assert_eq!(
+                t.get(SiteId(site)),
+                model.get(&site).copied().unwrap_or(Annotation::Plain),
+                "case {case} site {site}"
+            );
+        }
+        // iter() yields exactly the selective entries, in ID order.
+        let got: Vec<(u32, Annotation)> = t.iter().map(|(s, a)| (s.0, a)).collect();
+        let want: Vec<(u32, Annotation)> = model.iter().map(|(&s, &a)| (s, a)).collect();
+        assert_eq!(got, want, "case {case}");
+        // Rebuilding through FromIterator is lossless.
+        let rebuilt: AnnotationTable = t.iter().collect();
+        assert_eq!(rebuilt, t, "case {case}");
+    }
+}
+
+#[test]
+fn comparison_report_bounds_hold_on_random_pairs() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0xF1613 ^ case);
+        let gen_table = |rng: &mut SimRng| {
+            (0..rng.gen_usize(0..30))
+                .map(|_| {
+                    (
+                        SiteId(rng.next_u64() as u32 % 26),
+                        FORMS[rng.gen_usize(1..FORMS.len())],
+                    )
+                })
+                .collect::<AnnotationTable>()
+        };
+        let manual = gen_table(&mut rng);
+        let compiler = gen_table(&mut rng);
+        let r = compiler.compare_to_manual(&manual);
+        assert_eq!(r.total_manual, manual.selective_count(), "case {case}");
+        assert!(
+            r.exact <= r.found,
+            "case {case}: exact {} > found {}",
+            r.exact,
+            r.found
+        );
+        assert!(r.found <= r.total_manual, "case {case}");
+        assert!(r.extra <= compiler.selective_count(), "case {case}");
+        // found + extra never exceeds what the compiler annotated plus
+        // what it missed... sanity: comparing a table to itself is
+        // perfect.
+        let self_r = manual.compare_to_manual(&manual);
+        assert_eq!(self_r.found, self_r.total_manual, "case {case}");
+        assert_eq!(self_r.exact, self_r.total_manual, "case {case}");
+        assert_eq!(self_r.extra, 0, "case {case}");
+    }
+}
+
+#[test]
+fn selectivity_partitions_the_forms() {
+    assert!(!Annotation::Plain.is_selective());
+    for a in [
+        Annotation::LogFree,
+        Annotation::Lazy,
+        Annotation::LazyLogFree,
+    ] {
+        assert!(a.is_selective(), "{a} must count as a Figure 13 variable");
+    }
+}

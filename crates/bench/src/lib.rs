@@ -32,6 +32,7 @@ use slpmt_workloads::{ycsb_load, AnnotationSource, YcsbOp};
 
 pub mod crashsweep;
 pub mod runner;
+pub mod sharded;
 
 /// Default operation count (the paper's YCSB-load size).
 pub const DEFAULT_OPS: usize = 1000;

@@ -1,0 +1,81 @@
+//! Parallel sharded driver: real `std::thread` workers over the
+//! share-nothing shards of `slpmt_workloads::sharded`.
+//!
+//! Each shard owns a private machine and a hash-partitioned slice of
+//! the keyspace, so shards are embarrassingly parallel; this driver
+//! fans them across the [`runner`](crate::runner) thread pool
+//! (`SLPMT_THREADS` workers) and merges results *in shard order* —
+//! the outcome is bit-identical to
+//! [`run_sharded_serial`](slpmt_workloads::sharded::run_sharded_serial)
+//! for any worker count, which `bench/tests/determinism.rs` asserts.
+
+use crate::runner::par_map;
+use slpmt_core::MachineConfig;
+use slpmt_workloads::runner::{IndexKind, RunResult};
+use slpmt_workloads::sharded::{partition_ops, run_shard, ShardedResult};
+use slpmt_workloads::{AnnotationSource, YcsbOp};
+
+/// Partitions `ops` into `shards` keyspace shards and runs each on its
+/// own simulated machine, shards fanned across `SLPMT_THREADS` host
+/// workers. Per-shard results come back in shard order regardless of
+/// completion order.
+pub fn run_sharded(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    shards: usize,
+    verify: bool,
+) -> ShardedResult {
+    let scheme = cfg.scheme;
+    let parts = partition_ops(ops, shards);
+    let results: Vec<RunResult> = par_map(&parts, |part| {
+        run_shard(cfg.clone(), kind, part, value_size, source, verify)
+    });
+    ShardedResult {
+        scheme,
+        kind,
+        shards: results,
+        total_ops: ops.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpmt_core::Scheme;
+    use slpmt_workloads::sharded::run_sharded_serial;
+    use slpmt_workloads::ycsb_load;
+
+    #[test]
+    fn parallel_matches_serial_driver() {
+        let ops = ycsb_load(60, 8, 5);
+        let cfg = MachineConfig::for_scheme(Scheme::Slpmt);
+        let par = run_sharded(
+            cfg.clone(),
+            IndexKind::Hashtable,
+            &ops,
+            8,
+            AnnotationSource::Manual,
+            4,
+            false,
+        );
+        let ser = run_sharded_serial(
+            cfg,
+            IndexKind::Hashtable,
+            &ops,
+            8,
+            AnnotationSource::Manual,
+            4,
+            false,
+        );
+        assert_eq!(par.shards.len(), ser.shards.len());
+        for (p, s) in par.shards.iter().zip(&ser.shards) {
+            assert_eq!(p.cycles, s.cycles);
+            assert_eq!(p.stats, s.stats);
+            assert_eq!(p.traffic, s.traffic);
+        }
+        assert_eq!(par.sim_cycles(), ser.sim_cycles());
+    }
+}

@@ -172,6 +172,19 @@ impl SetAssocCache {
         Some(set.swap_remove(pos))
     }
 
+    /// Removes and returns the line containing `addr` for a
+    /// cache-to-cache transfer into *another core's* private cache,
+    /// counting the migration. The entry's metadata travels with it —
+    /// a migrated line keeps its lazy/transaction tags so the
+    /// receiving core's coherence checks see them.
+    pub fn migrate_out(&mut self, addr: PmAddr) -> Option<Entry> {
+        let e = self.remove(addr);
+        if e.is_some() {
+            self.stats.migrations += 1;
+        }
+        e
+    }
+
     /// Invalidates the line containing `addr`, counting the event.
     /// Returns the dropped entry, if any.
     pub fn invalidate(&mut self, addr: PmAddr) -> Option<Entry> {

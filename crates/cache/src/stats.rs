@@ -13,6 +13,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Lines explicitly invalidated (e.g. transaction abort).
     pub invalidations: u64,
+    /// Lines migrated out to another core's private cache
+    /// (multi-core cache-to-cache transfers).
+    pub migrations: u64,
 }
 
 impl CacheStats {
@@ -31,12 +34,13 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}%), {} evictions, {} invalidations",
+            "{} hits / {} misses ({:.1}%), {} evictions, {} invalidations, {} migrations",
             self.hits,
             self.misses,
             self.hit_ratio() * 100.0,
             self.evictions,
-            self.invalidations
+            self.invalidations,
+            self.migrations
         )
     }
 }

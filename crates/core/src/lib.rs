@@ -16,6 +16,9 @@
 //! * [`txreg`] — the circular transaction-ID register (§III-C2).
 //! * [`machine`] — the simulated core: cache hierarchy + log buffer +
 //!   device, executing loads, stores, transactions, aborts, crashes.
+//! * [`multi`] — N cores sharing one persistence domain under a
+//!   seeded deterministic scheduler, plus the interleaving and
+//!   multi-core crash-sweep oracles.
 //! * [`recovery`] — post-crash undo/redo replay.
 //! * [`stats`] — cycle and event accounting.
 //! * [`overhead`] — the §III-D hardware budget arithmetic.
@@ -42,6 +45,7 @@
 
 pub mod instr;
 pub mod machine;
+pub mod multi;
 pub mod overhead;
 pub mod recovery;
 pub mod scheme;
@@ -51,6 +55,9 @@ pub mod txreg;
 
 pub use instr::{BitEffects, StoreKind};
 pub use machine::{CommitPhase, Machine, MachineConfig};
+pub use multi::{
+    McEvent, McOutcome, McSweepCase, MultiMachine, ProgramSpec, SchedPolicy, Schedule, TraceOp,
+};
 pub use overhead::HardwareOverhead;
 pub use recovery::RecoveryReport;
 pub use scheme::{Discipline, Granularity, Scheme, SchemeFeatures};

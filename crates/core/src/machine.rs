@@ -151,6 +151,23 @@ struct LazyTxn {
     sig: Signature,
 }
 
+/// The per-core private state of a *parked* core in multi-core mode
+/// (`crate::multi`): its L1, its log buffer, its open transaction and
+/// its redo spill area. The active core's copies of these live in
+/// [`Machine`]'s own fields; switching cores swaps them with a parked
+/// slot, so single-core execution pays nothing for the indirection.
+/// Everything else — L2, L3, the device (WPQ + image + log), the
+/// transaction-ID register and the dependency signatures — is shared
+/// by all cores, exactly the split the paper's §III-D per-core budget
+/// implies.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreCtx {
+    l1: SetAssocCache,
+    log_path: LogPath,
+    cur: Option<CurTxn>,
+    redo_shadow: BTreeMap<u64, ([u8; LINE_BYTES], u8, u8)>,
+}
+
 /// The simulated SLPMT core. See the [crate docs](crate) for an
 /// example.
 #[derive(Debug, Clone)]
@@ -181,6 +198,16 @@ pub struct Machine {
     /// may mix logged words with log-free and deferred ones, and
     /// commit must still tell them apart.
     redo_shadow: BTreeMap<u64, ([u8; LINE_BYTES], u8, u8)>,
+    /// Multi-core mode (`crate::multi`): the private contexts of the
+    /// cores that are not currently executing. Empty — and `multi`
+    /// false — on single-core machines, so none of the multi-core
+    /// paths below change single-core behaviour.
+    parked: Vec<CoreCtx>,
+    /// `true` once [`enable_multi`](Self::enable_multi) ran: L2 is
+    /// then shared between cores, which moves the private-domain
+    /// duties (record flush, redo spill, deferred-word pre-image
+    /// capture) from the L2→L3 boundary up to L1→L2.
+    multi: bool,
     /// Test hook: inject a crash at a commit phase.
     commit_crash_point: Option<CommitPhase>,
     /// Reusable commit-path scratch: the per-commit line partition
@@ -225,6 +252,8 @@ impl Machine {
             stats: MachineStats::new(),
             now: 0,
             redo_shadow: BTreeMap::new(),
+            parked: Vec::new(),
+            multi: false,
             commit_crash_point: None,
             scratch_lazy: Vec::new(),
             scratch_logged: Vec::new(),
@@ -379,6 +408,16 @@ impl Machine {
             b.copy_from_slice(&data[off..off + 8]);
             return u64::from_le_bytes(b);
         }
+        for ctx in &self.parked {
+            if let Some(e) = ctx.l1.peek(line) {
+                return from_entry(e);
+            }
+            if let Some((data, _, _)) = ctx.redo_shadow.get(&line.raw()) {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&data[off..off + 8]);
+                return u64::from_le_bytes(b);
+            }
+        }
         self.dev.image().read_u64(addr)
     }
 
@@ -398,7 +437,14 @@ impl Machine {
                 .or_else(|| self.l2.peek(la))
                 .or_else(|| self.l3.peek(la))
                 .map(|e| &e.data)
-                .or(shadow);
+                .or(shadow)
+                .or_else(|| {
+                    self.parked.iter().find_map(|c| {
+                        c.l1.peek(la)
+                            .map(|e| &e.data)
+                            .or_else(|| c.redo_shadow.get(&line).map(|(d, _, _)| d))
+                    })
+                });
             if let Some(e) = cached {
                 // Intersect [line, line+64) with [addr, addr+len).
                 let lo = line.max(addr.raw());
@@ -429,7 +475,11 @@ impl Machine {
                 self.l1.peek(la).is_none()
                     && self.l2.peek(la).is_none()
                     && self.l3.peek(la).is_none()
-                    && !self.redo_shadow.contains_key(&la.raw()),
+                    && !self.redo_shadow.contains_key(&la.raw())
+                    && self
+                        .parked
+                        .iter()
+                        .all(|c| c.l1.peek(la).is_none() && !c.redo_shadow.contains_key(&la.raw())),
                 "setup_write would bypass a cached copy of line {la}"
             );
             line += LINE_BYTES as u64;
@@ -475,6 +525,20 @@ impl Machine {
         self.now += self.cfg.caches.l1.hit_cycles;
         if self.l1.lookup(line).is_some() {
             return;
+        }
+        if self.multi {
+            // Coherence probe: the line may live in another core's
+            // private L1. Migrate it here with its metadata intact —
+            // lazy tags keep their meaning across cores (the signature
+            // set and ID register are shared), and open-transaction
+            // lines of other cores never reach this point: the
+            // cross-core conflict check aborts the owner first.
+            let hit = self.parked.iter_mut().find_map(|c| c.l1.migrate_out(line));
+            if let Some(e) = hit {
+                self.now += self.cfg.caches.l2.hit_cycles; // c2c transfer
+                self.insert_l1(e);
+                return;
+            }
         }
         self.now += self.cfg.caches.l2.hit_cycles;
         if self.l2.lookup(line).is_some() {
@@ -552,6 +616,59 @@ impl Machine {
                         self.persist_flush(ev, false);
                     }
                 }
+            }
+        }
+        if self.multi {
+            // L2 is shared between cores, so this is the private-domain
+            // boundary: the duties the single-core hierarchy performs at
+            // L2→L3 — record flush (§III-A), redo spill, deferred-word
+            // pre-image capture — happen here, before other cores can
+            // see (or evict) the line.
+            let ev = match &mut self.log_path {
+                LogPath::Tiered(buf) => buf.flush_line(victim.addr),
+                LogPath::Atom(buf) => buf.flush_line(victim.addr),
+                LogPath::Ede(e) => e.flush_line(victim.addr),
+            };
+            if let Some(ev) = ev {
+                self.persist_flush(ev, false);
+            }
+            if self.cfg.features.discipline == Discipline::Redo
+                && self.cur.is_some()
+                && (victim.meta.log_bits != 0 || victim.meta.defer_bits != 0)
+                && victim.meta.dirty
+            {
+                // A logged open-transaction line must not become visible
+                // to the shared hierarchy before the marker. Spilled with
+                // L1-format bits — `ensure_l1` restores them into L1.
+                self.redo_shadow.insert(
+                    victim.addr.raw(),
+                    (victim.data, victim.meta.log_bits, victim.meta.defer_bits),
+                );
+                return;
+            }
+            if victim.meta.dirty && victim.meta.defer_bits != 0 && self.cur.is_some() {
+                // Deferred (lazy log-free) words: log their durable
+                // pre-images so a later steal out of the shared levels
+                // stays repairable (same rule as the L2→L3 path).
+                let seq = self.cur.as_ref().expect("checked").seq;
+                let image = self.dev.image().read_line(victim.addr);
+                let mut events = Vec::new();
+                if let LogPath::Tiered(buf) = &mut self.log_path {
+                    for w in 0..LINE_BYTES / WORD_BYTES {
+                        if victim.meta.word_deferred(w) {
+                            let mut pre = [0u8; WORD_BYTES];
+                            pre.copy_from_slice(&image[w * 8..w * 8 + 8]);
+                            let rec = LogRecord::new(seq, victim.addr.add((w * 8) as u64), &pre);
+                            self.stats.log_records_created += 1;
+                            events.extend(buf.insert(rec));
+                        }
+                    }
+                    events.extend(buf.drain_all());
+                }
+                for ev in events {
+                    self.persist_flush(ev, true);
+                }
+                victim.meta.defer_bits = 0;
             }
         }
         // Figure 5: conjunction of each group of four L1 bits.
@@ -678,6 +795,15 @@ impl Machine {
                 }
             }
         }
+        // Multi-core: a freed transaction's deferred lines may live in
+        // any core's private L1, not just the active one.
+        for ctx in &self.parked {
+            for e in ctx.l1.iter() {
+                if e.meta.lazy_pending && e.meta.txn_id.is_some_and(|t| freed.contains(&t)) {
+                    doomed.push(e.addr);
+                }
+            }
+        }
         doomed.sort();
         for addr in doomed {
             let data = {
@@ -685,6 +811,7 @@ impl Machine {
                     .l1
                     .peek_mut(addr)
                     .or_else(|| self.l2.peek_mut(addr))
+                    .or_else(|| self.parked.iter_mut().find_map(|c| c.l1.peek_mut(addr)))
                     .expect("collected above");
                 let d = e.data;
                 e.meta.dirty = false;
@@ -711,7 +838,16 @@ impl Machine {
     ///   deferral is cancelled or re-owned through the normal Table I
     ///   bit updates, and the undo log captures the pre-image — no
     ///   immediate persist is required for recoverability.
-    fn lazy_checks(&mut self, addr: PmAddr, is_write: bool) {
+    ///
+    /// The takeover is only sound when an abort of the *new*
+    /// transaction can restore the lazy value: the undo pre-image
+    /// record is what protects it. A store that creates no pre-image —
+    /// a log-free store (`will_log` false), or any store under the
+    /// redo discipline (redo records hold new values, not pre-images)
+    /// — must instead force the earlier transaction's deferred lines
+    /// durable before overwriting, or an abort would drop the line's
+    /// only copy of committed data.
+    fn lazy_checks(&mut self, addr: PmAddr, is_write: bool, will_log: bool) {
         // HTM-style conflict with a switched-out thread's transaction:
         // the requester wins, the suspended transaction aborts (§V-C).
         // The abort invalidates and repairs the accessed line, so it
@@ -729,10 +865,18 @@ impl Machine {
             if is_cur {
                 return;
             }
-            if is_write {
-                // Ownership conversion: the line leaves the earlier
-                // transaction's custody; the store path re-tags it and
-                // sets the persist bit per its own operands.
+            let takeover_sound =
+                !self.multi || (will_log && self.cfg.features.discipline == Discipline::Undo);
+            if is_write && takeover_sound {
+                // Ownership conversion (§III-C1): the line leaves the
+                // earlier transaction's custody; the store path re-tags
+                // it and sets the persist bit per its own operands.
+                // With multiple cores the committed value's only copy
+                // is this cached line, and a cross-core abort of the
+                // new owner can only restore it from an undo pre-image
+                // — so takeover is allowed there only when the incoming
+                // store is about to log one; every other store forces
+                // the deferred line durable first.
                 let e = self.l1.peek_mut(addr).expect("line resident");
                 e.meta.lazy_pending = false;
                 e.meta.txn_id = None;
@@ -882,7 +1026,7 @@ impl Machine {
         self.stats.loads += 1;
         self.now += self.cfg.load_issue_cycles;
         self.ensure_l1(addr);
-        self.lazy_checks(addr, false);
+        self.lazy_checks(addr, false, false);
         if let Some(cur) = &mut self.cur {
             cur.read_set.insert(addr.line().raw());
         }
@@ -913,7 +1057,7 @@ impl Machine {
         }
         self.now += self.cfg.store_issue_cycles;
         self.ensure_l1(addr);
-        self.lazy_checks(addr, true);
+        self.lazy_checks(addr, true, eff.set_log && self.cur.is_some());
         if self.cfg.battery_backed {
             // Battery mode: a line holding committed-but-unpersisted
             // data must flush before the in-flight transaction
@@ -1128,7 +1272,11 @@ impl Machine {
         free_lines.clear();
         for cache in [&self.l1, &self.l2] {
             for e in cache.iter() {
-                if e.meta.persist {
+                // Multi-core: the shared L2 may hold persist-marked
+                // lines of *other* cores' open transactions — commit
+                // must only persist its own (the ID filter is vacuous
+                // single-core: commit clears the bits it sets).
+                if e.meta.persist && (!self.multi || e.meta.txn_id == Some(cur.id)) {
                     if e.meta.log_bits != 0 {
                         logged_lines.push(e.addr);
                     } else {
@@ -1410,6 +1558,9 @@ impl Machine {
             // data; the undo application below repairs the image, so
             // drop any stale L3 copy too.
             self.l3.invalidate(*addr);
+            for ctx in &mut self.parked {
+                ctx.l1.invalidate(*addr);
+            }
         }
         // (2) Kernel-assisted revocation. Under undo, apply this
         // transaction's persisted records (pre-images), newest first,
@@ -1438,6 +1589,9 @@ impl Machine {
                 self.l1.invalidate(la);
                 self.l2.invalidate(la);
                 self.l3.invalidate(la);
+                for ctx in &mut self.parked {
+                    ctx.l1.invalidate(la);
+                }
                 self.signature_persist_check(la);
                 let data = self.dev.image().read_line(la);
                 self.persist_line_sync(la, &data);
@@ -1637,11 +1791,231 @@ impl Machine {
         self.redo_shadow.clear();
         self.cur = None;
         self.suspended.clear();
+        for ctx in &mut self.parked {
+            ctx.l1.clear();
+            match &mut ctx.log_path {
+                LogPath::Tiered(buf) => buf.clear(),
+                LogPath::Atom(buf) => buf.clear(),
+                LogPath::Ede(e) => e.clear(),
+            }
+            ctx.cur = None;
+            ctx.redo_shadow.clear();
+        }
     }
 
     /// Mutable device access for recovery (`slpmt_core::recovery`).
     pub(crate) fn device_mut(&mut self) -> &mut PmDevice {
         &mut self.dev
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-core support (`crate::multi`)
+
+    /// Converts a freshly built machine into an `n`-core one: cores
+    /// `1..n` receive private contexts (L1 + log buffer + transaction
+    /// slot + redo spill area) parked alongside; core 0's context is
+    /// the machine's own fields. L2, L3, the device, the transaction-ID
+    /// register and the signature set stay shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called twice, on a machine that already executed
+    /// anything, with battery-backed caches (§V-E has no multi-core
+    /// story: the failure flush cannot tell cores apart), or with
+    /// `cores` outside `1..=4` (one 2-bit transaction context per core).
+    pub(crate) fn enable_multi(&mut self, cores: usize) {
+        assert!(!self.multi, "enable_multi called twice");
+        assert!(
+            (1..=TxnId::COUNT as usize).contains(&cores),
+            "core count {cores} outside 1..={} (one 2-bit transaction \
+             context per core)",
+            TxnId::COUNT
+        );
+        assert!(
+            !self.cfg.battery_backed,
+            "battery-backed caches are single-core only"
+        );
+        assert!(
+            self.now == 0 && self.cur.is_none() && self.txn_seq == 0,
+            "enable_multi requires a fresh machine"
+        );
+        // A single "multi-core" machine has nobody to conflict with;
+        // leaving the flag off keeps it bit-identical to the plain
+        // single-core machine (asserted by the wrapper's tests).
+        self.multi = cores > 1;
+        for _ in 1..cores {
+            let log_path = match self.cfg.features.buffer {
+                BufferKind::Tiered => LogPath::Tiered(TieredLogBuffer::new()),
+                BufferKind::AtomLines => LogPath::Atom(AtomLineBuffer::new()),
+                BufferKind::EdeDirect => LogPath::Ede(EdeCombiner::new()),
+            };
+            self.parked.push(CoreCtx {
+                l1: SetAssocCache::new(self.cfg.caches.l1),
+                log_path,
+                cur: None,
+                redo_shadow: BTreeMap::new(),
+            });
+        }
+    }
+
+    /// Number of parked core contexts (`cores - 1` after
+    /// [`enable_multi`](Self::enable_multi)).
+    pub(crate) fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Swaps the active core's private state with parked slot `slot`.
+    /// Pure bookkeeping: no cycles, no cache movement — the cores run
+    /// concurrently in reality; the wrapper interleaves them onto one
+    /// deterministic timeline.
+    pub(crate) fn switch_core(&mut self, slot: usize) {
+        let ctx = &mut self.parked[slot];
+        std::mem::swap(&mut self.l1, &mut ctx.l1);
+        std::mem::swap(&mut self.log_path, &mut ctx.log_path);
+        std::mem::swap(&mut self.cur, &mut ctx.cur);
+        std::mem::swap(&mut self.redo_shadow, &mut ctx.redo_shadow);
+    }
+
+    /// Sequence number of the open transaction parked in `slot`.
+    pub(crate) fn parked_cur_seq(&self, slot: usize) -> Option<u64> {
+        self.parked[slot].cur.as_ref().map(|c| c.seq)
+    }
+
+    /// Sequence number of the *active* core's open transaction.
+    pub(crate) fn cur_seq(&self) -> Option<u64> {
+        self.cur.as_ref().map(|c| c.seq)
+    }
+
+    /// LogTM-SE-style conflict check against *parked cores'* open
+    /// transactions (the §V-C mechanism, applied across cores): a
+    /// write conflicts with either set, a read only with the write
+    /// set. Returns the parked slot of the first conflicting owner.
+    pub(crate) fn parked_conflict(&self, addr: PmAddr, is_write: bool) -> Option<usize> {
+        let line = addr.line().raw();
+        self.parked.iter().position(|c| {
+            c.cur.as_ref().is_some_and(|t| {
+                t.write_set.contains(&line) || (is_write && t.read_set.contains(&line))
+            })
+        })
+    }
+
+    /// Aborts the open transaction of the parked core in `slot` — the
+    /// cross-core conflict-resolution path (requester wins, as for
+    /// switched-out threads in §V-C). Mirrors
+    /// [`abort_suspended`](Self::abort_suspended): the victim's
+    /// buffered records are dropped, its cached updates invalidated
+    /// everywhere, and any records it already persisted (drained on
+    /// eviction or by an earlier switch) are applied back to the image
+    /// under the undo discipline. Returns the aborted sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has no open transaction.
+    pub(crate) fn abort_parked(&mut self, slot: usize) -> u64 {
+        let victim = self.parked[slot]
+            .cur
+            .take()
+            .expect("no open transaction on parked core");
+        self.stats.cross_core_aborts += 1;
+        let undo = self.cfg.features.discipline == Discipline::Undo;
+        // Collect the victim's still-buffered records: under undo
+        // they carry pre-images the repair needs (their data may
+        // already sit in the victim's L1 merged with committed sibling
+        // words). Under redo they hold new values and are dropped.
+        let buffered: Vec<(PmAddr, PayloadBuf)> = {
+            let ev = match &mut self.parked[slot].log_path {
+                LogPath::Tiered(buf) => buf.drain_all(),
+                LogPath::Atom(buf) => buf.drain_all(),
+                LogPath::Ede(e) => e.drain(),
+            };
+            ev.into_iter()
+                .flat_map(|ev| ev.entries)
+                .filter(|e| e.txn == victim.seq)
+                .map(|e| (e.addr, e.payload))
+                .collect()
+        };
+        // Compute the undo repairs *before* invalidating anything: the
+        // pre-images apply onto the line's coherent contents, because
+        // the image can be stale — a sibling word's only up-to-date
+        // copy may be a committed-but-lazy cached value the victim
+        // took over.
+        let repairs: Vec<(PmAddr, [u8; LINE_BYTES])> = if undo {
+            let mut per_line: BTreeMap<u64, Vec<(PmAddr, PayloadBuf)>> = BTreeMap::new();
+            for r in self.dev.log().records_of(victim.seq) {
+                per_line
+                    .entry(r.addr.line().raw())
+                    .or_default()
+                    .push((r.addr, r.payload));
+            }
+            for (addr, payload) in &buffered {
+                per_line
+                    .entry(addr.line().raw())
+                    .or_default()
+                    .push((*addr, *payload));
+            }
+            per_line
+                .into_iter()
+                .map(|(line, recs)| {
+                    let la = PmAddr::new(line);
+                    let mut data = [0u8; LINE_BYTES];
+                    self.peek_bytes(la, &mut data);
+                    // Newest-first, so the oldest pre-image of a word
+                    // lands last (a word is logged at most once per
+                    // transaction, but line-granularity records can
+                    // overlap).
+                    for (addr, payload) in recs.iter().rev() {
+                        let off = (addr.raw() - line) as usize;
+                        data[off..off + payload.len()].copy_from_slice(payload);
+                    }
+                    (la, data)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Invalidate the victim's cached updates: its private L1 plus
+        // the shared levels (lines it evicted while it was active).
+        let mut doomed: Vec<PmAddr> = Vec::new();
+        for e in self.parked[slot].l1.iter().chain(self.l2.iter()) {
+            if e.meta.txn_id == Some(victim.id) && e.meta.dirty && !e.meta.lazy_pending {
+                doomed.push(e.addr);
+            }
+        }
+        for addr in &doomed {
+            self.l1.invalidate(*addr);
+            self.l2.invalidate(*addr);
+            self.l3.invalidate(*addr);
+            for ctx in &mut self.parked {
+                ctx.l1.invalidate(*addr);
+            }
+        }
+        self.now += 2000; // interrupt + syscall entry (§V-B)
+        if !undo {
+            self.parked[slot].redo_shadow.clear();
+        }
+        // Repair through the gated device path — the image is never
+        // mutated out of band, so a persist-event crash tripping
+        // mid-abort leaves an exact event-prefix durable state, with
+        // the surviving records still rolling the victim back at
+        // recovery.
+        for (la, data) in repairs {
+            self.l1.invalidate(la);
+            self.l2.invalidate(la);
+            self.l3.invalidate(la);
+            for ctx in &mut self.parked {
+                ctx.l1.invalidate(la);
+            }
+            self.signature_persist_check(la);
+            self.persist_line_sync(la, &data);
+        }
+        // Keep the records when a crash tripped mid-repair: recovery
+        // still needs them to finish the roll-back.
+        if !self.dev.crash_tripped() {
+            self.dev.log_mut().drop_txn(victim.seq);
+        }
+        self.txreg.retire_clean(victim.id);
+        self.stats.tx_aborts += 1;
+        victim.seq
     }
 }
 

@@ -1,0 +1,1073 @@
+//! Deterministic multi-core SLPMT execution (§V-C across cores).
+//!
+//! The paper evaluates a single core; its conflict story for *other*
+//! threads (LogTM-SE-style read/write-set checks, requester wins) is
+//! specified for switched-out transactions. This module scales that to
+//! N simulated cores sharing one persistence domain:
+//!
+//! * **Private per core** — L1 cache, tiered log buffer, the open
+//!   transaction's read/write sets, and the redo spill area.
+//! * **Shared** — L2, L3, the write-pending queue, the persistent
+//!   image and log region, the circular transaction-ID register
+//!   (§III-C2) and the working-set signatures (§III-C3). A conflicting
+//!   access from another core therefore hits the *same* signature path
+//!   as any other persist: dependent lazily-persistent lines are
+//!   forced durable before the access's update can reach the
+//!   persistence domain, wherever they are cached.
+//!
+//! [`MultiMachine`] multiplexes the cores onto one [`Machine`]: the
+//! active core's private state lives in the machine's own fields and
+//! the rest sit parked; scheduling a core swaps contexts (pure
+//! bookkeeping — the cores run concurrently in reality, the wrapper
+//! serialises them onto one deterministic timeline). Because every
+//! instruction, conflict and persist is driven by a seeded
+//! [`Schedule`], any run — including its persist-event trace and final
+//! image — is replayable from `(program seed, schedule)`.
+//!
+//! [`run_programs`] executes per-core [`TraceOp`] programs under a
+//! schedule and returns an [`McOutcome`] with the commit order, every
+//! executed store, the conflict events, and a digest of the final
+//! image, which [`check_serialized_oracle`] compares against a
+//! serialized `BTreeMap` reference. The `mc_*` functions extend the
+//! persist-event crash sweep (PR 2) to multi-core traces.
+
+use crate::instr::StoreKind;
+use crate::machine::{Machine, MachineConfig};
+use crate::scheme::Scheme;
+use crate::stats::MachineStats;
+use slpmt_pmem::PmAddr;
+use slpmt_prng::{splitmix64, SimRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One step of a per-core trace program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Open a durable transaction.
+    Begin,
+    /// Load the word at `addr`.
+    Load {
+        /// Word-aligned address.
+        addr: u64,
+    },
+    /// Store `value` to the word at `addr` with the given flavour.
+    Store {
+        /// Word-aligned address.
+        addr: u64,
+        /// Value written (the generators make every value unique, so
+        /// oracles can identify a word's writer from its contents).
+        value: u64,
+        /// `store` / `storeT` operand combination (Table I).
+        kind: StoreKind,
+    },
+    /// Commit the open transaction.
+    Commit,
+}
+
+/// How the scheduler picks the next core to step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Cores step one trace operation each, in cyclic order.
+    RoundRobin,
+    /// Each core draws a weight in `1..=4` from the schedule seed; each
+    /// step picks a runnable core with probability proportional to its
+    /// weight, skewing the interleaving so one core can race far ahead.
+    Weighted,
+}
+
+/// A seeded, deterministic interleaving: `(policy, seed)` fully
+/// determines the execution, so failures reproduce from this value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Core-selection policy.
+    pub policy: SchedPolicy,
+    /// Seed for the scheduler's [`SimRng`] stream.
+    pub seed: u64,
+}
+
+impl Schedule {
+    /// A round-robin schedule (the seed is still consumed so weighted
+    /// and round-robin schedules with equal seeds stay distinct runs).
+    pub fn round_robin(seed: u64) -> Self {
+        Schedule {
+            policy: SchedPolicy::RoundRobin,
+            seed,
+        }
+    }
+
+    /// A weighted-random schedule.
+    pub fn weighted(seed: u64) -> Self {
+        Schedule {
+            policy: SchedPolicy::Weighted,
+            seed,
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.policy {
+            SchedPolicy::RoundRobin => "rr",
+            SchedPolicy::Weighted => "weighted",
+        };
+        write!(f, "{p}:{}", self.seed)
+    }
+}
+
+/// A cross-core event observed during a run, in occurrence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McEvent {
+    /// A core committed a transaction.
+    Committed {
+        /// Committing core.
+        core: usize,
+        /// Global transaction sequence number.
+        seq: u64,
+    },
+    /// A core's open transaction was aborted by a conflicting access
+    /// from another core (requester wins, §V-C).
+    ConflictAborted {
+        /// Victim core.
+        core: usize,
+        /// The aborted transaction's sequence number.
+        seq: u64,
+        /// The core whose access won.
+        by_core: usize,
+        /// Line address of the conflicting access.
+        line: u64,
+        /// Whether the winning access was a write.
+        is_write: bool,
+    },
+}
+
+/// N simulated SLPMT cores over one shared persistence domain.
+///
+/// Every public operation takes the issuing core's index; the wrapper
+/// activates that core (context swap), resolves cross-core conflicts
+/// (aborting parked owners — the requester wins), stamps the device's
+/// persist-event origin, and then executes the operation on the
+/// underlying [`Machine`].
+#[derive(Debug)]
+pub struct MultiMachine {
+    m: Machine,
+    cores: usize,
+    active: usize,
+    /// `slot_of[core]` is the parked-context slot holding that core's
+    /// state; [`ACTIVE_SLOT`](Self) marks the active core.
+    slot_of: Vec<usize>,
+    events: Vec<McEvent>,
+}
+
+/// Sentinel slot index marking the active core in `slot_of`.
+const ACTIVE_SLOT: usize = usize::MAX;
+
+impl MultiMachine {
+    /// Builds an `n`-core machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= cores <= 4` (one 2-bit transaction context
+    /// per core), or if `cfg` is battery-backed.
+    pub fn new(cfg: MachineConfig, cores: usize) -> Self {
+        let mut m = Machine::new(cfg);
+        m.enable_multi(cores);
+        debug_assert_eq!(m.parked_count(), cores - 1);
+        let mut slot_of = vec![ACTIVE_SLOT; cores];
+        for (core, slot) in slot_of.iter_mut().enumerate().skip(1) {
+            *slot = core - 1;
+        }
+        MultiMachine {
+            m,
+            cores,
+            active: 0,
+            slot_of,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The currently active core.
+    pub fn active_core(&self) -> usize {
+        self.active
+    }
+
+    /// The underlying machine (device, stats, config, peeks).
+    pub fn machine(&self) -> &Machine {
+        &self.m
+    }
+
+    /// Cross-core events observed so far, in occurrence order.
+    pub fn events(&self) -> &[McEvent] {
+        &self.events
+    }
+
+    /// Drains and returns the recorded events.
+    pub fn take_events(&mut self) -> Vec<McEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Makes `core` the active context (no-op when it already is).
+    fn activate(&mut self, core: usize) {
+        assert!(core < self.cores, "core {core} out of range");
+        if core == self.active {
+            return;
+        }
+        let slot = self.slot_of[core];
+        self.m.switch_core(slot);
+        self.slot_of[self.active] = slot;
+        self.slot_of[core] = ACTIVE_SLOT;
+        self.active = core;
+        self.m.device_mut().set_event_origin(core as u8);
+    }
+
+    /// The core whose context is parked in `slot`.
+    fn core_of_slot(&self, slot: usize) -> usize {
+        self.slot_of
+            .iter()
+            .position(|&s| s == slot)
+            .expect("every parked slot belongs to a core")
+    }
+
+    /// Aborts every *parked* transaction conflicting with the active
+    /// core's access (requester wins). A write conflicts with both
+    /// sets, a read only with the write set.
+    fn resolve_conflicts(&mut self, addr: PmAddr, is_write: bool) {
+        while let Some(slot) = self.m.parked_conflict(addr, is_write) {
+            let core = self.core_of_slot(slot);
+            let seq = self.m.abort_parked(slot);
+            self.events.push(McEvent::ConflictAborted {
+                core,
+                seq,
+                by_core: self.active,
+                line: addr.line().raw(),
+                is_write,
+            });
+        }
+    }
+
+    /// Whether `core` has an open transaction. A transaction that was
+    /// open from the core's point of view but has vanished was aborted
+    /// by a cross-core conflict.
+    pub fn in_txn(&self, core: usize) -> bool {
+        if core == self.active {
+            self.m.in_txn()
+        } else {
+            self.m.parked_cur_seq(self.slot_of[core]).is_some()
+        }
+    }
+
+    /// Opens a transaction on `core`, returning its sequence number.
+    pub fn tx_begin(&mut self, core: usize) -> u64 {
+        self.activate(core);
+        self.m.tx_begin();
+        self.m.cur_seq().expect("transaction just opened")
+    }
+
+    /// Commits `core`'s open transaction, returning its sequence
+    /// number.
+    pub fn tx_commit(&mut self, core: usize) -> u64 {
+        self.activate(core);
+        let seq = self.m.cur_seq().expect("commit without open transaction");
+        self.m.tx_commit();
+        self.events.push(McEvent::Committed { core, seq });
+        seq
+    }
+
+    /// Aborts `core`'s open transaction.
+    pub fn tx_abort(&mut self, core: usize) {
+        self.activate(core);
+        self.m.tx_abort();
+    }
+
+    /// Executes a load on `core`.
+    pub fn load_u64(&mut self, core: usize, addr: PmAddr) -> u64 {
+        self.activate(core);
+        self.resolve_conflicts(addr, false);
+        self.m.load_u64(addr)
+    }
+
+    /// Executes a store on `core`.
+    pub fn store_u64(&mut self, core: usize, addr: PmAddr, value: u64, kind: StoreKind) {
+        self.activate(core);
+        self.resolve_conflicts(addr, true);
+        self.m.store_u64(addr, value, kind)
+    }
+
+    /// Forces every outstanding lazily-persistent line durable
+    /// (machine-wide; the ID register and signatures are shared).
+    pub fn drain_lazy(&mut self) {
+        self.m.drain_lazy();
+    }
+
+    /// Arms the shared device's persist-event crash scheduler.
+    pub fn arm_crash_at_event(&mut self, k: u64) {
+        self.m.arm_crash_at_event(k);
+    }
+
+    /// Whether an armed crash point has tripped.
+    pub fn crash_tripped(&self) -> bool {
+        self.m.crash_tripped()
+    }
+
+    /// Simulates a power failure: every core's volatile state is lost.
+    pub fn crash(&mut self) {
+        self.m.crash();
+    }
+
+    /// Post-crash log replay (shared log, one recovery pass).
+    pub fn recover(&mut self) -> crate::recovery::RecoveryReport {
+        self.m.recover()
+    }
+
+    /// Coherent view of the word at `addr` (caches, then image).
+    pub fn peek_u64(&self, addr: PmAddr) -> u64 {
+        self.m.peek_u64(addr)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Program generation
+
+/// Shape of a generated multi-core workload: each core runs
+/// `txns_per_core` transactions of `stores_per_txn` stores (plus
+/// interleaved loads) against a shared line pool (cross-core
+/// conflicts, logged kinds only — keeps the serialized oracle exact)
+/// and a per-core private pool (the full Table I kind mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Number of cores (1–4).
+    pub cores: usize,
+    /// Transactions per core.
+    pub txns_per_core: usize,
+    /// Stores per transaction.
+    pub stores_per_txn: usize,
+    /// Lines in the shared, conflict-inducing pool.
+    pub shared_lines: usize,
+    /// Lines in each core's private pool.
+    pub private_lines: usize,
+    /// Restrict all stores to logged kinds (`store` / `storeT
+    /// lazy=1,log-free=0`). The crash sweep uses this: log-free
+    /// updates of aborted transactions are indeterminate by design
+    /// (they model freshly-allocated memory), which a word-exact crash
+    /// oracle cannot admit.
+    pub logged_only: bool,
+    /// Program-generation seed (independent of the schedule seed).
+    pub seed: u64,
+}
+
+impl ProgramSpec {
+    /// A small spec suitable for PR-gate tests.
+    pub fn small(cores: usize, seed: u64) -> Self {
+        ProgramSpec {
+            cores,
+            txns_per_core: 6,
+            stores_per_txn: 4,
+            shared_lines: 8,
+            private_lines: 6,
+            logged_only: false,
+            seed,
+        }
+    }
+}
+
+/// Base address of the shared line pool.
+pub const SHARED_BASE: u64 = 0x1_0000;
+/// Base address of the private pools (core `c`'s pool follows core
+/// `c - 1`'s contiguously).
+pub const PRIVATE_BASE: u64 = 0x8_0000;
+/// Base address of the fresh-allocation region: log-free stores write
+/// lines no other transaction ever touched, modelling the paper's
+/// freshly-allocated-memory use case (§II-B). Each core bump-allocates
+/// from its own disjoint slice.
+pub const FRESH_BASE: u64 = 0x40_0000;
+/// Bytes of fresh-allocation address space per core.
+pub const FRESH_STRIDE: u64 = 0x4_0000;
+
+/// Generates the per-core trace programs for `spec`. Every store
+/// carries a globally unique non-zero value; every access sits inside
+/// a transaction.
+pub fn gen_programs(spec: &ProgramSpec) -> Vec<Vec<TraceOp>> {
+    assert!(spec.cores >= 1 && spec.shared_lines >= 1 && spec.private_lines >= 1);
+    let mut rng = SimRng::seed_from_u64(spec.seed ^ 0x6d63_7072_6f67);
+    let mut value = 0u64;
+    let mut programs = Vec::with_capacity(spec.cores);
+    for core in 0..spec.cores {
+        let priv_base = PRIVATE_BASE + (core * spec.private_lines * 64) as u64;
+        let fresh_base = FRESH_BASE + core as u64 * FRESH_STRIDE;
+        // Words handed out so far from this core's fresh region.
+        let mut fresh_words = 0u64;
+        let shared_word =
+            |rng: &mut SimRng| SHARED_BASE + rng.gen_range(0..spec.shared_lines as u64 * 8) * 8;
+        let private_word =
+            |rng: &mut SimRng| priv_base + rng.gen_range(0..spec.private_lines as u64 * 8) * 8;
+        let mut prog = Vec::new();
+        for _ in 0..spec.txns_per_core {
+            prog.push(TraceOp::Begin);
+            // A transaction never writes log-free into another
+            // transaction's allocation: round up to a line boundary.
+            fresh_words = fresh_words.div_ceil(8) * 8;
+            for _ in 0..spec.stores_per_txn {
+                if rng.gen_bool(0.4) {
+                    let addr = if rng.gen_bool(0.7) {
+                        shared_word(&mut rng)
+                    } else {
+                        private_word(&mut rng)
+                    };
+                    prog.push(TraceOp::Load { addr });
+                }
+                let shared = rng.gen_bool(0.5);
+                let (addr, kind) = if shared {
+                    // Shared pool: logged kinds only, so aborted
+                    // cross-core writers always roll back exactly.
+                    let kind = if rng.gen_bool(0.5) {
+                        StoreKind::Store
+                    } else {
+                        StoreKind::lazy_logged()
+                    };
+                    (shared_word(&mut rng), kind)
+                } else if spec.logged_only {
+                    let kind = if rng.gen_bool(0.5) {
+                        StoreKind::Store
+                    } else {
+                        StoreKind::lazy_logged()
+                    };
+                    (private_word(&mut rng), kind)
+                } else {
+                    // Log-free kinds write fresh lines only (that is
+                    // what makes skipping the log sound): each store
+                    // takes the next word of the core's private
+                    // bump-allocated region.
+                    match rng.gen_range(0..4) {
+                        0 => (private_word(&mut rng), StoreKind::Store),
+                        1 | 2 => {
+                            let addr = fresh_base + fresh_words * 8;
+                            fresh_words += 1;
+                            let kind = if rng.gen_bool(0.5) {
+                                StoreKind::log_free()
+                            } else {
+                                StoreKind::lazy_log_free()
+                            };
+                            (addr, kind)
+                        }
+                        _ => (private_word(&mut rng), StoreKind::lazy_logged()),
+                    }
+                };
+                value += 1;
+                prog.push(TraceOp::Store { addr, value, kind });
+            }
+            prog.push(TraceOp::Commit);
+        }
+        programs.push(prog);
+    }
+    programs
+}
+
+/// Every line address a program set touches (digest / oracle domain).
+pub fn program_lines(programs: &[Vec<TraceOp>]) -> BTreeSet<u64> {
+    let mut lines = BTreeSet::new();
+    for prog in programs {
+        for op in prog {
+            match *op {
+                TraceOp::Load { addr } | TraceOp::Store { addr, .. } => {
+                    lines.insert(PmAddr::new(addr).line().raw());
+                }
+                _ => {}
+            }
+        }
+    }
+    lines
+}
+
+// ---------------------------------------------------------------------
+// The driver
+
+/// One committed transaction, in commit order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTxn {
+    /// Committing core.
+    pub core: usize,
+    /// Global sequence number.
+    pub seq: u64,
+    /// The transaction's stores, in program order.
+    pub stores: Vec<ExecStore>,
+}
+
+/// One executed store instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStore {
+    /// Word address.
+    pub addr: u64,
+    /// Stored value.
+    pub value: u64,
+    /// Instruction flavour.
+    pub kind: StoreKind,
+    /// Issuing core.
+    pub core: usize,
+    /// Owning transaction's sequence number.
+    pub seq: u64,
+}
+
+/// Everything a deterministic multi-core run produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McOutcome {
+    /// Committed transactions, in commit order.
+    pub committed: Vec<CommittedTxn>,
+    /// Every executed store, in execution order (committed or not).
+    pub exec_stores: Vec<ExecStore>,
+    /// Cross-core events, in occurrence order.
+    pub events: Vec<McEvent>,
+    /// Final machine counters.
+    pub stats: MachineStats,
+    /// `splitmix64` fold over the final persistent image restricted to
+    /// the program's line universe — byte-identical runs fold equal.
+    pub image_digest: u64,
+    /// Final simulated cycle.
+    pub now: u64,
+    /// Whether an armed persist-event crash tripped mid-run.
+    pub crashed: bool,
+}
+
+/// Runs per-core `programs` under `sched` on a fresh
+/// `programs.len()`-core machine. When `crash_at` is armed, execution
+/// stops at the first scheduling step after the trip (lazy data is
+/// *not* drained; the crash sweep takes over).
+fn run_programs_inner(
+    cfg: MachineConfig,
+    programs: &[Vec<TraceOp>],
+    sched: Schedule,
+    crash_at: Option<u64>,
+) -> (MultiMachine, McOutcome) {
+    let n = programs.len();
+    let mut mm = MultiMachine::new(cfg, n);
+    if let Some(k) = crash_at {
+        mm.arm_crash_at_event(k);
+    }
+    let mut rng = SimRng::seed_from_u64(sched.seed ^ 0x006d_6373_6368_6564);
+    let weights: Vec<u64> = match sched.policy {
+        SchedPolicy::RoundRobin => vec![1; n],
+        SchedPolicy::Weighted => (0..n).map(|_| 1 + rng.gen_range(0..4)).collect(),
+    };
+    let mut pc = vec![0usize; n];
+    let mut open = vec![false; n];
+    let mut cur_seq = vec![0u64; n];
+    let mut cur_stores: Vec<Vec<ExecStore>> = vec![Vec::new(); n];
+    let mut committed = Vec::new();
+    let mut exec_stores = Vec::new();
+    let mut rr = 0usize;
+    let mut crashed = false;
+    loop {
+        if mm.crash_tripped() {
+            crashed = true;
+            break;
+        }
+        let live: Vec<usize> = (0..n).filter(|&c| pc[c] < programs[c].len()).collect();
+        if live.is_empty() {
+            break;
+        }
+        let core = match sched.policy {
+            SchedPolicy::RoundRobin => {
+                let c = *live.iter().find(|&&c| c >= rr).unwrap_or(&live[0]);
+                rr = c + 1;
+                c
+            }
+            SchedPolicy::Weighted => {
+                let total: u64 = live.iter().map(|&c| weights[c]).sum();
+                let mut pick = rng.gen_range(0..total);
+                let mut chosen = live[0];
+                for &c in &live {
+                    if pick < weights[c] {
+                        chosen = c;
+                        break;
+                    }
+                    pick -= weights[c];
+                }
+                chosen
+            }
+        };
+        // A transaction this core believes open but the machine no
+        // longer tracks was conflict-aborted: skip to just past the
+        // program's matching Commit (the thread observes the abort and
+        // gives up on the transaction).
+        if open[core] && !mm.in_txn(core) {
+            while pc[core] < programs[core].len() {
+                let was_commit = matches!(programs[core][pc[core]], TraceOp::Commit);
+                pc[core] += 1;
+                if was_commit {
+                    break;
+                }
+            }
+            open[core] = false;
+            cur_stores[core].clear();
+            continue;
+        }
+        let op = programs[core][pc[core]];
+        pc[core] += 1;
+        match op {
+            TraceOp::Begin => {
+                cur_seq[core] = mm.tx_begin(core);
+                open[core] = true;
+            }
+            TraceOp::Load { addr } => {
+                mm.load_u64(core, PmAddr::new(addr));
+            }
+            TraceOp::Store { addr, value, kind } => {
+                mm.store_u64(core, PmAddr::new(addr), value, kind);
+                let s = ExecStore {
+                    addr,
+                    value,
+                    kind,
+                    core,
+                    seq: cur_seq[core],
+                };
+                cur_stores[core].push(s);
+                exec_stores.push(s);
+            }
+            TraceOp::Commit => {
+                let seq = mm.tx_commit(core);
+                open[core] = false;
+                committed.push(CommittedTxn {
+                    core,
+                    seq,
+                    stores: std::mem::take(&mut cur_stores[core]),
+                });
+            }
+        }
+    }
+    if !crashed {
+        // Close the run: outstanding lazily-persistent lines become
+        // durable, so the image oracle sees the committed state.
+        mm.drain_lazy();
+    }
+    let digest = image_digest(&mm, programs);
+    let outcome = McOutcome {
+        committed,
+        exec_stores,
+        events: mm.take_events(),
+        stats: *mm.machine().stats(),
+        image_digest: digest,
+        now: mm.machine().now(),
+        crashed,
+    };
+    (mm, outcome)
+}
+
+/// Runs per-core `programs` under `sched`, draining lazy data at the
+/// end. See [`McOutcome`] for what comes back.
+pub fn run_programs(
+    cfg: MachineConfig,
+    programs: &[Vec<TraceOp>],
+    sched: Schedule,
+) -> (MultiMachine, McOutcome) {
+    run_programs_inner(cfg, programs, sched, None)
+}
+
+/// `splitmix64` fold over the final image restricted to the program's
+/// line universe.
+fn image_digest(mm: &MultiMachine, programs: &[Vec<TraceOp>]) -> u64 {
+    let mut h = 0x736c_706d_745f_6d63u64;
+    for line in program_lines(programs) {
+        h ^= line;
+        splitmix64(&mut h);
+        let data = mm.machine().device().image().read_line(PmAddr::new(line));
+        for chunk in data.chunks_exact(8) {
+            h ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            splitmix64(&mut h);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// The serialized-order oracle
+
+/// Outcome of a serialized-oracle check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Words checked exactly against the serialized reference.
+    pub words_checked: usize,
+    /// Words skipped because their trailing writer was an aborted
+    /// log-free store (freshly-allocated-memory semantics: the value
+    /// is garbage by design and unreachable by the application).
+    pub words_skipped: usize,
+}
+
+/// Serialized reference: every committed transaction's stores applied
+/// in commit order. Conflict resolution guarantees per-word store
+/// order agrees with commit order, so this is the linearised history.
+pub fn serialized_reference(outcome: &McOutcome) -> BTreeMap<u64, u64> {
+    let mut model = BTreeMap::new();
+    for txn in &outcome.committed {
+        for s in &txn.stores {
+            model.insert(s.addr, s.value);
+        }
+    }
+    model
+}
+
+/// Checks the machine's final state against the serialized reference:
+/// for every word the programs wrote, both the coherent view
+/// ([`MultiMachine::peek_u64`]) and the *durable image* must hold the
+/// last committed writer's value (0 if every writer aborted). Words
+/// whose trailing writer was an aborted log-free store are skipped —
+/// see [`OracleReport::words_skipped`].
+///
+/// # Errors
+///
+/// Returns a description of the first mismatching word.
+pub fn check_serialized_oracle(
+    mm: &MultiMachine,
+    outcome: &McOutcome,
+) -> Result<OracleReport, String> {
+    let committed: BTreeSet<u64> = outcome.committed.iter().map(|t| t.seq).collect();
+    let f = mm.machine().config().features;
+    let reference = serialized_reference(outcome);
+    // Replay the execution order: per word, the last committed value
+    // and whether an aborted log-free store trails it.
+    let mut last_committed: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut tainted: BTreeSet<u64> = BTreeSet::new();
+    for s in &outcome.exec_stores {
+        if committed.contains(&s.seq) {
+            last_committed.insert(s.addr, s.value);
+            tainted.remove(&s.addr);
+        } else if !s.kind.effects(f.log_free, f.lazy).set_log {
+            tainted.insert(s.addr);
+        }
+    }
+    // Per-word execution order must agree with commit order — this is
+    // exactly what cross-core conflict resolution (§V-C) guarantees.
+    for (addr, value) in &reference {
+        if last_committed.get(addr) != Some(value) {
+            return Err(format!(
+                "word {addr:#x}: commit-order value {value:#x} != \
+                 execution-order value {:?} — conflict serialisation broken",
+                last_committed.get(addr)
+            ));
+        }
+    }
+    let mut report = OracleReport {
+        words_checked: 0,
+        words_skipped: 0,
+    };
+    let words: BTreeSet<u64> = outcome.exec_stores.iter().map(|s| s.addr).collect();
+    for word in words {
+        if tainted.contains(&word) {
+            report.words_skipped += 1;
+            continue;
+        }
+        let expect = last_committed.get(&word).copied().unwrap_or(0);
+        let a = PmAddr::new(word);
+        let peeked = mm.peek_u64(a);
+        if peeked != expect {
+            return Err(format!(
+                "word {word:#x}: coherent view {peeked:#x}, serialized \
+                 reference {expect:#x}"
+            ));
+        }
+        let imaged = mm.machine().device().image().read_u64(a);
+        if imaged != expect {
+            return Err(format!(
+                "word {word:#x}: durable image {imaged:#x}, serialized \
+                 reference {expect:#x}"
+            ));
+        }
+        report.words_checked += 1;
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Multi-core persist-event crash sweep
+
+/// One cell of a multi-core crash sweep, reproducible from this value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McSweepCase {
+    /// Hardware design to simulate.
+    pub scheme: Scheme,
+    /// Number of cores.
+    pub cores: usize,
+    /// Program seed (see [`ProgramSpec`]).
+    pub seed: u64,
+    /// Interleaving schedule.
+    pub sched: Schedule,
+    /// Transactions per core.
+    pub txns_per_core: usize,
+    /// Stores per transaction.
+    pub stores_per_txn: usize,
+}
+
+impl McSweepCase {
+    /// A case with the standard trace shape.
+    pub fn new(scheme: Scheme, cores: usize, seed: u64, sched: Schedule) -> Self {
+        McSweepCase {
+            scheme,
+            cores,
+            seed,
+            sched,
+            txns_per_core: 6,
+            stores_per_txn: 4,
+        }
+    }
+
+    fn spec(&self) -> ProgramSpec {
+        ProgramSpec {
+            cores: self.cores,
+            txns_per_core: self.txns_per_core,
+            stores_per_txn: self.stores_per_txn,
+            shared_lines: 8,
+            private_lines: 6,
+            // Word-exact crash oracles need every store rolled back
+            // exactly; log-free kinds are excluded by design.
+            logged_only: true,
+            seed: self.seed,
+        }
+    }
+}
+
+impl fmt::Display for McSweepCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scheme={} cores={} seed={} sched={}",
+            self.scheme, self.cores, self.seed, self.sched
+        )
+    }
+}
+
+/// Runs the case crash-free, checks the serialized oracle, and returns
+/// the persist-event count `N` — the sweep domain is `0..=N`.
+///
+/// # Panics
+///
+/// Panics if the crash-free run already violates the oracle (the sweep
+/// would be meaningless).
+pub fn mc_count_events(case: &McSweepCase) -> u64 {
+    let programs = gen_programs(&case.spec());
+    let (mm, outcome) = run_programs(
+        MachineConfig::for_scheme(case.scheme),
+        &programs,
+        case.sched,
+    );
+    check_serialized_oracle(&mm, &outcome)
+        .unwrap_or_else(|e| panic!("{case}: crash-free run disagrees with the oracle: {e}"));
+    mm.machine().persist_event_count()
+}
+
+/// Replays the case with a crash armed at persist event `k`, recovers,
+/// and checks every program word against its *admissible* value set:
+///
+/// * Writers are the durably-committed transactions' stores to the
+///   word, in commit order (durable markers form a prefix of the
+///   commit order).
+/// * Admissible are the values from the last *eager* committed writer
+///   onward: its commit persisted the word (undo: data before marker;
+///   redo: a replayable record before marker), so nothing older can
+///   survive recovery, while later lazily-persistent values may or may
+///   not have been forced — and their records were discarded at commit
+///   (§III-B2) in both disciplines, so redo replay cannot re-create
+///   them either. The initial 0 joins the set when no committed writer
+///   was eager.
+///
+/// Store values are globally unique, so membership also proves no
+/// uncommitted or aborted transaction's value survived recovery.
+///
+/// # Errors
+///
+/// Returns a reproducible description of the first violating word.
+pub fn mc_run_crash_at(case: &McSweepCase, k: u64) -> Result<(), String> {
+    let programs = gen_programs(&case.spec());
+    let cfg = MachineConfig::for_scheme(case.scheme);
+    let lazy_enabled = cfg.features.lazy;
+    let (mut mm, outcome) = run_programs_inner(cfg, &programs, case.sched, Some(k));
+    mm.crash();
+    // Durable markers decide what counts as committed.
+    let durable: BTreeSet<u64> = mm.machine().device().log().committed_txns().collect();
+    mm.recover();
+    // Admissible values per word, from the durably committed prefix.
+    let mut writers: BTreeMap<u64, Vec<(u64, bool)>> = BTreeMap::new();
+    for txn in outcome
+        .committed
+        .iter()
+        .filter(|t| durable.contains(&t.seq))
+    {
+        for s in &txn.stores {
+            let eager = s.kind.effects(true, lazy_enabled).set_persist;
+            writers.entry(s.addr).or_default().push((s.value, eager));
+        }
+    }
+    let words: BTreeSet<u64> = outcome.exec_stores.iter().map(|s| s.addr).collect();
+    for word in words {
+        let got = mm.machine().device().image().read_u64(PmAddr::new(word));
+        let empty = Vec::new();
+        let w = writers.get(&word).unwrap_or(&empty);
+        let last_eager = w.iter().rposition(|&(_, eager)| eager);
+        let mut admissible: Vec<u64> = match last_eager {
+            Some(i) => w[i..].iter().map(|&(v, _)| v).collect(),
+            None => {
+                let mut v = vec![0];
+                v.extend(w.iter().map(|&(v, _)| v));
+                v
+            }
+        };
+        admissible.dedup();
+        if !admissible.contains(&got) {
+            return Err(format!(
+                "{case} k={k}: word {word:#x} recovered as {got:#x}, \
+                 admissible {admissible:x?} ({} durable txns)",
+                durable.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`mc_run_crash_at`] with panics converted into failure strings, so
+/// a sweep reports the reproducible `(case, k)` instead of dying.
+pub fn mc_check_point(case: &McSweepCase, k: u64) -> Result<(), String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mc_run_crash_at(case, k))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(format!("{case} k={k}: panic: {msg}"))
+        }
+    }
+}
+
+/// Sweeps every crash point of one case serially, returning all
+/// failures (empty = crash-consistent at every persist event).
+pub fn mc_sweep_serial(case: &McSweepCase) -> Vec<String> {
+    let n = mc_count_events(case);
+    (0..=n)
+        .filter_map(|k| mc_check_point(case, k).err())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_are_deterministic() {
+        let spec = ProgramSpec::small(3, 7);
+        assert_eq!(gen_programs(&spec), gen_programs(&spec));
+        let other = ProgramSpec::small(3, 8);
+        assert_ne!(gen_programs(&spec), gen_programs(&other));
+    }
+
+    #[test]
+    fn store_values_are_unique_and_nonzero() {
+        let programs = gen_programs(&ProgramSpec::small(4, 11));
+        let mut seen = BTreeSet::new();
+        for op in programs.iter().flatten() {
+            if let TraceOp::Store { value, .. } = op {
+                assert!(*value != 0);
+                assert!(seen.insert(*value), "duplicate store value {value}");
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn single_core_multimachine_matches_plain_machine() {
+        // One core, no conflicts: the wrapper must be an identity
+        // layer over Machine.
+        let programs = gen_programs(&ProgramSpec::small(1, 3));
+        let (mm, outcome) = run_programs(MachineConfig::for_scheme(Scheme::Slpmt), &programs, {
+            Schedule::round_robin(0)
+        });
+        assert!(!outcome.crashed);
+        assert_eq!(outcome.stats.cross_core_aborts, 0);
+        check_serialized_oracle(&mm, &outcome).unwrap();
+
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        for op in &programs[0] {
+            match *op {
+                TraceOp::Begin => m.tx_begin(),
+                TraceOp::Load { addr } => {
+                    m.load_u64(PmAddr::new(addr));
+                }
+                TraceOp::Store { addr, value, kind } => m.store_u64(PmAddr::new(addr), value, kind),
+                TraceOp::Commit => m.tx_commit(),
+            }
+        }
+        m.drain_lazy();
+        assert_eq!(m.now(), outcome.now, "wrapper must not change timing");
+        assert_eq!(*m.stats(), outcome.stats);
+    }
+
+    #[test]
+    fn conflicts_abort_parked_owners() {
+        // Two cores hammer one shared line: conflicts are inevitable
+        // under round-robin interleaving.
+        let spec = ProgramSpec {
+            cores: 2,
+            txns_per_core: 8,
+            stores_per_txn: 4,
+            shared_lines: 1,
+            private_lines: 1,
+            logged_only: true,
+            seed: 5,
+        };
+        let programs = gen_programs(&spec);
+        let (mm, outcome) = run_programs(
+            MachineConfig::for_scheme(Scheme::Slpmt),
+            &programs,
+            Schedule::round_robin(1),
+        );
+        assert!(
+            outcome.stats.cross_core_aborts > 0,
+            "single shared line must conflict"
+        );
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, McEvent::ConflictAborted { .. })));
+        check_serialized_oracle(&mm, &outcome).unwrap();
+    }
+
+    #[test]
+    fn weighted_and_round_robin_schedules_differ() {
+        let programs = gen_programs(&ProgramSpec::small(3, 9));
+        let cfg = || MachineConfig::for_scheme(Scheme::Slpmt);
+        let (_, rr) = run_programs(cfg(), &programs, Schedule::round_robin(2));
+        let (_, w) = run_programs(cfg(), &programs, Schedule::weighted(2));
+        // Same programs, different interleaving: commit order differs
+        // (overwhelmingly likely with 3 cores × 6 txns).
+        let rr_order: Vec<u64> = rr.committed.iter().map(|t| t.seq).collect();
+        let w_order: Vec<u64> = w.committed.iter().map(|t| t.seq).collect();
+        assert_ne!(rr_order, w_order, "schedules must actually differ");
+    }
+
+    #[test]
+    fn mc_crash_at_zero_recovers_to_initial_state() {
+        let case = McSweepCase::new(Scheme::Slpmt, 2, 3, Schedule::round_robin(1));
+        mc_run_crash_at(&case, 0).unwrap();
+    }
+
+    #[test]
+    fn mc_crash_past_all_events_recovers_final_state() {
+        let case = McSweepCase::new(Scheme::Slpmt, 2, 3, Schedule::round_robin(1));
+        let n = mc_count_events(&case);
+        mc_run_crash_at(&case, n).unwrap();
+    }
+
+    #[test]
+    fn event_origins_attribute_cores() {
+        let programs = gen_programs(&ProgramSpec::small(2, 13));
+        let (mm, _) = run_programs(
+            MachineConfig::for_scheme(Scheme::Fg),
+            &programs,
+            Schedule::round_robin(0),
+        );
+        let origins = mm.machine().device().event_origins();
+        assert!(origins.contains(&0) && origins.contains(&1));
+        assert_eq!(origins.len(), mm.machine().device().events().len());
+    }
+}

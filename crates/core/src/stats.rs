@@ -19,6 +19,9 @@ pub struct MachineStats {
     pub tx_aborts: u64,
     /// Suspended (switched-out) transactions aborted by conflicts.
     pub suspended_aborts: u64,
+    /// Open transactions of *other cores* aborted by a conflicting
+    /// access (multi-core execution; requester wins, as in §V-C).
+    pub cross_core_aborts: u64,
     /// Undo/redo log records created (before coalescing).
     pub log_records_created: u64,
     /// Log records discarded at commit because their line was lazy.
@@ -45,6 +48,28 @@ impl MachineStats {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Adds `other`'s counters into `self` (merging per-shard or
+    /// per-worker runs; field-wise, order-independent).
+    pub fn accumulate(&mut self, other: &MachineStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.store_ts += other.store_ts;
+        self.tx_begins += other.tx_begins;
+        self.tx_commits += other.tx_commits;
+        self.tx_aborts += other.tx_aborts;
+        self.suspended_aborts += other.suspended_aborts;
+        self.cross_core_aborts += other.cross_core_aborts;
+        self.log_records_created += other.log_records_created;
+        self.log_records_discarded += other.log_records_discarded;
+        self.commit_line_persists += other.commit_line_persists;
+        self.lazy_lines_deferred += other.lazy_lines_deferred;
+        self.lazy_lines_forced += other.lazy_lines_forced;
+        self.lazy_lines_overflowed += other.lazy_lines_overflowed;
+        self.signature_hits += other.signature_hits;
+        self.commit_stall_cycles += other.commit_stall_cycles;
+        self.compute_cycles += other.compute_cycles;
+    }
 }
 
 impl fmt::Display for MachineStats {
@@ -58,6 +83,7 @@ impl fmt::Display for MachineStats {
             self.tx_begins, self.tx_commits, self.tx_aborts
         )?;
         writeln!(f, "suspended aborts       {:>12}", self.suspended_aborts)?;
+        writeln!(f, "cross-core aborts      {:>12}", self.cross_core_aborts)?;
         writeln!(f, "log records created    {:>12}", self.log_records_created)?;
         writeln!(
             f,

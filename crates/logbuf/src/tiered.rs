@@ -205,6 +205,24 @@ impl TieredLogBuffer {
         }
     }
 
+    /// Records currently buffered in each tier (word, double, quad,
+    /// line) — the occupancy invariant hook: no tier ever exceeds
+    /// [`TIER_CAPACITY`].
+    pub fn tier_lens(&self) -> [usize; TIERS] {
+        [
+            self.tiers[0].len(),
+            self.tiers[1].len(),
+            self.tiers[2].len(),
+            self.tiers[3].len(),
+        ]
+    }
+
+    /// Every buffered record, tier by tier (test hook: size-class,
+    /// alignment and overlap invariants without draining).
+    pub fn records(&self) -> impl Iterator<Item = &LogRecord> {
+        self.tiers.iter().flatten()
+    }
+
     /// Words currently covered by buffered records of transaction `txn`
     /// within `line` — a bitmap at word granularity. Used by tests and
     /// the speculative-logging path to avoid double-logging.

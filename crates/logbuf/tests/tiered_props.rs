@@ -1,0 +1,199 @@
+//! Structural property tests for the four-tier buddy-coalescing
+//! buffer, complementing `props.rs` (which checks end-to-end payload
+//! conservation): these assert the *internal* invariants of §III-B2 —
+//! tier occupancy, size classes, natural alignment, no buffered
+//! overlap, packed flush sizing — after every single insert of seeded
+//! `slpmt-prng` streams.
+
+use slpmt_logbuf::tiered::{TIERS, TIER_CAPACITY};
+use slpmt_logbuf::{packed_lines, FlushEvent, LogRecord, TieredLogBuffer};
+use slpmt_pmem::PmAddr;
+use slpmt_prng::SimRng;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Size class of tier `i`: 2^i words.
+fn tier_bytes(tier: usize) -> usize {
+    8 << tier
+}
+
+/// Asserts every structural invariant of the buffer's current state.
+fn check_invariants(buf: &TieredLogBuffer, case: u64) {
+    let lens = buf.tier_lens();
+    assert_eq!(lens.len(), TIERS);
+    for (tier, &len) in lens.iter().enumerate() {
+        assert!(
+            len <= TIER_CAPACITY,
+            "case {case}: tier {tier} holds {len} > {TIER_CAPACITY} records"
+        );
+    }
+    assert_eq!(lens.iter().sum::<usize>(), buf.len(), "case {case}");
+    // Size class + natural alignment, reconstructed per record.
+    let mut covered: BTreeSet<(u64, u64)> = BTreeSet::new(); // (txn, word addr)
+    for r in buf.records() {
+        let size = r.payload.len();
+        assert!(
+            (0..TIERS).any(|t| tier_bytes(t) == size),
+            "case {case}: record size {size} is no tier's class"
+        );
+        assert_eq!(
+            r.addr.raw() % size as u64,
+            0,
+            "case {case}: {size}-byte record at {} not naturally aligned",
+            r.addr
+        );
+        for w in 0..r.words() {
+            let word = r.addr.raw() + w as u64 * 8;
+            assert!(
+                covered.insert((r.txn, word)),
+                "case {case}: word {word:#x} of txn {} buffered twice",
+                r.txn
+            );
+        }
+    }
+}
+
+/// Flush events must be packed pad-style: the advertised WPQ line
+/// count is exactly what the records' media bytes require.
+fn check_packing(ev: &FlushEvent, case: u64) {
+    let media: u64 = ev.entries.iter().map(|e| e.payload.len() as u64 + 8).sum();
+    assert_eq!(
+        ev.lines,
+        packed_lines(media),
+        "case {case}: flush of {media} media bytes packed into {} lines",
+        ev.lines
+    );
+    assert!(!ev.entries.is_empty(), "case {case}: empty flush event");
+}
+
+#[test]
+fn invariants_hold_after_every_insert() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x7123_D005 ^ case);
+        let mut buf = TieredLogBuffer::new();
+        // Multiple transactions interleaved over a small line pool so
+        // buddies, duplicates-across-txns and overflows all occur.
+        let mut logged: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for _ in 0..rng.gen_usize(1..200) {
+            let txn = rng.gen_range(1..4);
+            let addr = rng.gen_range(0..96) * 8;
+            // One record per (txn, word), like the machine's log bits.
+            if !logged.insert((txn, addr)) {
+                continue;
+            }
+            let val = rng.next_u64();
+            let events = buf.insert(LogRecord::new(txn, PmAddr::new(addr), &val.to_le_bytes()));
+            for ev in &events {
+                check_packing(ev, case);
+            }
+            check_invariants(&buf, case);
+        }
+        if let Some(ev) = buf.drain_all() {
+            check_packing(&ev, case);
+        }
+        assert!(buf.is_empty(), "case {case}: drain_all left records");
+        check_invariants(&buf, case);
+    }
+}
+
+#[test]
+fn coalescing_only_merges_true_buddies() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x0B0D_D1E5 ^ case);
+        let mut buf = TieredLogBuffer::new();
+        let mut seen = BTreeSet::new();
+        for _ in 0..rng.gen_usize(1..64) {
+            let addr = rng.gen_range(0..64) * 8;
+            if !seen.insert(addr) {
+                continue;
+            }
+            buf.insert(LogRecord::new(1, PmAddr::new(addr), &[0xAB; 8]));
+        }
+        // A merged record of 2^k words exists only if all 2^k aligned
+        // words were inserted — reconstruct and cross-check.
+        for r in buf.records() {
+            for w in 0..r.words() {
+                let word = r.addr.raw() + w as u64 * 8;
+                assert!(
+                    seen.contains(&word),
+                    "case {case}: record at {} covers never-inserted word {word:#x}",
+                    r.addr
+                );
+            }
+        }
+        check_invariants(&buf, case);
+    }
+}
+
+#[test]
+fn stats_balance_inserts_coalesces_and_flushes() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x0005_7A75 ^ case);
+        let mut buf = TieredLogBuffer::new();
+        let mut seen = BTreeSet::new();
+        let mut flushed_records = 0usize;
+        for _ in 0..rng.gen_usize(1..150) {
+            let addr = rng.gen_range(0..128) * 8;
+            if !seen.insert(addr) {
+                continue;
+            }
+            for ev in buf.insert(LogRecord::new(7, PmAddr::new(addr), &[1; 8])) {
+                flushed_records += ev.entries.len();
+            }
+        }
+        // Every insert is one record; every coalesce removes exactly
+        // one; the rest is either still buffered or was flushed.
+        let s = *buf.stats();
+        assert_eq!(
+            s.inserts as usize,
+            buf.len() + flushed_records + s.coalesces as usize,
+            "case {case}: record balance broken"
+        );
+    }
+}
+
+#[test]
+fn redo_update_word_survives_coalescing() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x4ED0 ^ case);
+        let mut buf = TieredLogBuffer::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut flushed: Vec<FlushEvent> = Vec::new();
+        for _ in 0..rng.gen_usize(1..120) {
+            let addr = rng.gen_range(0..32) * 8;
+            let val = rng.next_u64();
+            match model.entry(addr) {
+                // Redo path: rewrite the buffered final value in place;
+                // a miss means the record already flushed — the model
+                // keeps the flushed (older) value for those words.
+                Entry::Occupied(mut o) => {
+                    if buf.update_word(1, PmAddr::new(addr), &val.to_le_bytes()) {
+                        o.insert(val);
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(val);
+                    flushed.extend(buf.insert(LogRecord::new(
+                        1,
+                        PmAddr::new(addr),
+                        &val.to_le_bytes(),
+                    )));
+                }
+            }
+            check_invariants(&buf, case);
+        }
+        flushed.extend(buf.drain_all());
+        let mut got: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in flushed.iter().flat_map(|ev| &ev.entries) {
+            for (i, chunk) in e.payload.chunks_exact(8).enumerate() {
+                let addr = e.addr.raw() + i as u64 * 8;
+                // First write wins in the reconstruction: a flushed
+                // record precedes any re-inserted... but words are
+                // inserted once, so addresses never repeat.
+                let prev = got.insert(addr, u64::from_le_bytes(chunk.try_into().unwrap()));
+                assert!(prev.is_none(), "case {case}: word {addr:#x} flushed twice");
+            }
+        }
+        assert_eq!(got, model, "case {case}: final values lost in coalescing");
+    }
+}

@@ -81,6 +81,13 @@ pub struct PmDevice {
     /// Persist events in acceptance order (survives crash — the trace
     /// records what reached the persistence domain).
     events: Vec<PersistEvent>,
+    /// Originating core of each accepted event, parallel to `events`.
+    /// Single-core machines leave every entry 0; a multi-core wrapper
+    /// calls [`set_event_origin`](Self::set_event_origin) at each
+    /// scheduling step so the shared trace stays attributable.
+    origins: Vec<u8>,
+    /// Core id stamped on the next accepted events.
+    origin: u8,
     /// Total persist events ever accepted (monotonic across crashes;
     /// `events` is cleared by nothing, so this equals `events.len()`).
     event_count: u64,
@@ -110,6 +117,8 @@ impl PmDevice {
             log: LogRegion::new(),
             log_tail: 0,
             events: Vec::new(),
+            origins: Vec::new(),
+            origin: 0,
             event_count: 0,
             crash_at_event: None,
             crash_tripped: false,
@@ -119,6 +128,20 @@ impl PmDevice {
     /// The persist-event trace, in acceptance order.
     pub fn events(&self) -> &[PersistEvent] {
         &self.events
+    }
+
+    /// Originating core of each accepted event (parallel to
+    /// [`events`](Self::events); all zeros on single-core machines).
+    pub fn event_origins(&self) -> &[u8] {
+        &self.origins
+    }
+
+    /// Sets the core id stamped on subsequently accepted events. A
+    /// multi-core front end calls this whenever it switches the active
+    /// core, so every entry of the shared, globally-numbered persist
+    /// trace remains attributable to the core that issued it.
+    pub fn set_event_origin(&mut self, core: u8) {
+        self.origin = core;
     }
 
     /// Total persist events accepted since construction. Event indices
@@ -168,6 +191,7 @@ impl PmDevice {
         }
         self.event_count += 1;
         self.events.push(event);
+        self.origins.push(self.origin);
         true
     }
 

@@ -25,7 +25,8 @@
 //!
 //! [`ycsb`] generates the paper's workload (1,000 inserts, 8-byte keys,
 //! configurable value size); [`runner`] drives a full benchmark run and
-//! collects cycles + write traffic.
+//! collects cycles + write traffic; [`sharded`] partitions the keyspace
+//! across independent per-shard machines for scaling runs.
 //!
 //! [`manual`]: ctx::AnnotationSource::Manual
 
@@ -41,10 +42,12 @@ pub mod inspector;
 pub mod kv;
 pub mod rbtree;
 pub mod runner;
+pub mod sharded;
 pub mod ycsb;
 
 pub use crashsweep::{SweepCase, SweepFailure};
 pub use ctx::{AnnotationSource, PmContext};
 pub use inspector::{inspect, HeapReport};
 pub use runner::{run_inserts, run_mixed, DurableIndex, IndexKind, RangeIndex, RunResult};
+pub use sharded::{partition_ops, run_sharded_serial, shard_of, ShardedResult};
 pub use ycsb::{ycsb_load, ycsb_mixed, MixedOp, YcsbOp};

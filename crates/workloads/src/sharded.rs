@@ -1,0 +1,185 @@
+//! Sharded execution: keyspace-partitioned scaling runs (§VI scaling).
+//!
+//! The multi-core engine in `slpmt_core::multi` interleaves cores over
+//! *one* persistence domain; this module models the other end of the
+//! design space — share-nothing scaling, where each shard owns a
+//! private machine (caches + log buffer + device) and the keyspace is
+//! hash-partitioned across shards. Shards never touch each other's
+//! state, so they can execute on real host threads
+//! (`slpmt_bench::sharded`) with bit-identical results to the serial
+//! driver here: determinism comes from the partition function and the
+//! per-shard seeded traces, not from scheduling.
+//!
+//! Throughput is reported in *simulated* terms: shards run
+//! concurrently in simulated time, so a run's makespan is the slowest
+//! shard's cycle count ([`ShardedResult::sim_cycles`]) and scaling is
+//! `total ops / makespan` ([`ShardedResult::sim_ops_per_kcycle`]).
+
+use crate::ctx::AnnotationSource;
+use crate::runner::{run_inserts_with, IndexKind, RunResult};
+use crate::ycsb::YcsbOp;
+use slpmt_core::{MachineConfig, MachineStats, Scheme};
+use slpmt_pmem::WriteTraffic;
+use slpmt_prng::splitmix64;
+
+/// The shard owning `key`: a `splitmix64` hash keeps the partition
+/// balanced even for dense or striped keyspaces.
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "at least one shard");
+    let mut x = key;
+    (splitmix64(&mut x) % shards as u64) as usize
+}
+
+/// Splits an operation stream by key ownership, preserving each
+/// shard's relative operation order.
+pub fn partition_ops(ops: &[YcsbOp], shards: usize) -> Vec<Vec<YcsbOp>> {
+    let mut parts = vec![Vec::new(); shards];
+    for op in ops {
+        parts[shard_of(op.key, shards)].push(op.clone());
+    }
+    parts
+}
+
+/// Outcome of one sharded run: the per-shard results in shard order
+/// plus the merged view.
+#[derive(Debug, Clone)]
+pub struct ShardedResult {
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Index evaluated (one instance per shard).
+    pub kind: IndexKind,
+    /// Per-shard measured-phase results, indexed by shard.
+    pub shards: Vec<RunResult>,
+    /// Operations executed across all shards.
+    pub total_ops: usize,
+}
+
+impl ShardedResult {
+    /// Simulated makespan: shards run concurrently, so the run takes
+    /// as long as its slowest shard.
+    pub fn sim_cycles(&self) -> u64 {
+        self.shards.iter().map(|r| r.cycles).max().unwrap_or(0)
+    }
+
+    /// Total simulated work (the serial-equivalent cycle count).
+    pub fn total_cycles(&self) -> u64 {
+        self.shards.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Simulated throughput: operations per thousand cycles of
+    /// makespan. The scaling metric — doubling shards on a balanced
+    /// partition roughly doubles this.
+    pub fn sim_ops_per_kcycle(&self) -> f64 {
+        let makespan = self.sim_cycles();
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.total_ops as f64 * 1000.0 / makespan as f64
+    }
+
+    /// Machine counters summed over shards (order-independent).
+    pub fn merged_stats(&self) -> MachineStats {
+        let mut out = MachineStats::new();
+        for r in &self.shards {
+            out.accumulate(&r.stats);
+        }
+        out
+    }
+
+    /// PM write traffic summed over shards (order-independent).
+    pub fn merged_traffic(&self) -> WriteTraffic {
+        let mut out = WriteTraffic::new();
+        for r in &self.shards {
+            out += r.traffic;
+        }
+        out
+    }
+}
+
+/// Runs one shard of a partitioned insert stream on its own private
+/// machine. Shards are independent by construction, so callers may run
+/// this from any thread; results depend only on `(cfg, shard_ops)`.
+pub fn run_shard(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    shard_ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    verify: bool,
+) -> RunResult {
+    run_inserts_with(cfg, kind, shard_ops, value_size, source, verify)
+}
+
+/// Serial reference driver: partitions `ops` and runs every shard in
+/// shard order on the calling thread. The parallel driver in
+/// `slpmt_bench::sharded` must produce identical results.
+pub fn run_sharded_serial(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    shards: usize,
+    verify: bool,
+) -> ShardedResult {
+    let scheme = cfg.scheme;
+    let parts = partition_ops(ops, shards);
+    let results: Vec<RunResult> = parts
+        .iter()
+        .map(|part| run_shard(cfg.clone(), kind, part, value_size, source, verify))
+        .collect();
+    ShardedResult {
+        scheme,
+        kind,
+        shards: results,
+        total_ops: ops.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::ycsb_load;
+
+    #[test]
+    fn partition_is_total_and_deterministic() {
+        let ops = ycsb_load(64, 8, 1);
+        let parts = partition_ops(&ops, 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), ops.len());
+        assert_eq!(parts, partition_ops(&ops, 4));
+        for (s, part) in parts.iter().enumerate() {
+            for op in part {
+                assert_eq!(shard_of(op.key, 4), s);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_roughly_balanced() {
+        let ops = ycsb_load(400, 8, 7);
+        let parts = partition_ops(&ops, 4);
+        for part in &parts {
+            // 100 expected; a 4x imbalance would mean a broken hash.
+            assert!(part.len() > 25 && part.len() < 400, "{}", part.len());
+        }
+    }
+
+    #[test]
+    fn sharded_run_inserts_every_key_once() {
+        let ops = ycsb_load(48, 16, 3);
+        let res = run_sharded_serial(
+            MachineConfig::for_scheme(Scheme::Slpmt),
+            IndexKind::Hashtable,
+            &ops,
+            16,
+            AnnotationSource::Manual,
+            3,
+            true, // per-shard verify checks membership of its partition
+        );
+        assert_eq!(res.total_ops, 48);
+        assert_eq!(res.shards.len(), 3);
+        assert!(res.merged_stats().tx_commits >= 48);
+        assert!(res.sim_cycles() > 0);
+        assert!(res.sim_cycles() <= res.total_cycles());
+    }
+}

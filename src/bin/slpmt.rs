@@ -8,17 +8,28 @@
 //! slpmt matrix [options]                full scheme × index matrix (parallel)
 //! slpmt trace [options]                 dump the persist-event trace
 //! slpmt crashsweep [sweep options]      exhaustive persist-event crash sweep
+//! slpmt mc [mc options]                 deterministic multi-core run
+//! slpmt shards <index> [shard options]  keyspace-sharded scaling run
 //!
 //! options: --scheme <name> --ops <n> --value <bytes>
 //!          --annotations <manual|compiler|none> --latency <ns>
 //! sweep options: --scheme <name|all> --workload <name|all>
 //!                --seed <n> --ops <n> [--at <k>]
+//! mc options: --scheme <name> --cores <2-4> --seed <n>
+//!             --sched <rr:K|weighted:K> --txns <n> --stores <n>
+//!             [--crash-at <k>]
+//! shard options: --scheme <name> --ops <n> --value <bytes> --shards <n>
 //!
 //! `matrix` and `crashsweep` fan their cells across worker threads
 //! (one per available core; override with SLPMT_THREADS, where 1
 //! forces a serial run); the merged output is identical for any
 //! worker count. `crashsweep --at K` replays exactly one failing
-//! `(scheme, workload, seed, k)` tuple from a sweep report.
+//! `(scheme, workload, seed, k)` tuple from a sweep report; `mc`
+//! replays one `(scheme, cores, seed, schedule)` interleaving tuple
+//! from an interleaving-sweep report (`--crash-at K` additionally arms
+//! a crash at persist event K and oracle-checks recovery). `shards`
+//! runs share-nothing keyspace shards on `SLPMT_THREADS` host workers
+//! and reports *simulated* scaling (ops per kilocycle of makespan).
 //! ```
 
 use slpmt::cache::CacheConfig;
@@ -332,11 +343,200 @@ fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// `rr:SEED` or `weighted:SEED`, the format sweep reports print.
+fn parse_sched(v: &str) -> Result<slpmt::core::Schedule, String> {
+    use slpmt::core::Schedule;
+    let (policy, seed) = v
+        .split_once(':')
+        .ok_or_else(|| format!("schedule {v} is not <rr|weighted>:<seed>"))?;
+    let seed: u64 = seed.parse().map_err(|e| format!("schedule seed: {e}"))?;
+    match policy {
+        "rr" => Ok(Schedule::round_robin(seed)),
+        "weighted" => Ok(Schedule::weighted(seed)),
+        other => Err(format!("unknown schedule policy {other}")),
+    }
+}
+
+/// `slpmt mc`: one deterministic multi-core run — the replay side of
+/// the interleaving and multi-core crash sweeps.
+fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::core::multi::{check_serialized_oracle, gen_programs, mc_check_point, run_programs};
+    use slpmt::core::{McEvent, McSweepCase, ProgramSpec, Schedule};
+
+    let mut case = McSweepCase::new(Scheme::Slpmt, 2, 42, Schedule::round_robin(42));
+    let mut crash_at: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = value()?;
+                case.scheme = parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?;
+            }
+            "--cores" => case.cores = value()?.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--seed" => case.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--sched" => case.sched = parse_sched(&value()?)?,
+            "--txns" => {
+                case.txns_per_core = value()?.parse().map_err(|e| format!("--txns: {e}"))?
+            }
+            "--stores" => {
+                case.stores_per_txn = value()?.parse().map_err(|e| format!("--stores: {e}"))?
+            }
+            "--crash-at" => {
+                crash_at = Some(value()?.parse().map_err(|e| format!("--crash-at: {e}"))?)
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    if let Some(k) = crash_at {
+        return Ok(match mc_check_point(&case, k) {
+            Ok(()) => {
+                println!("mc OK {case} k={k}: recovered within the admissible set");
+                ExitCode::SUCCESS
+            }
+            Err(fail) => {
+                println!("{fail}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    let mut spec = ProgramSpec::small(case.cores, case.seed);
+    spec.txns_per_core = case.txns_per_core;
+    spec.stores_per_txn = case.stores_per_txn;
+    let programs = gen_programs(&spec);
+    let (mm, outcome) = run_programs(
+        MachineConfig::for_scheme(case.scheme),
+        &programs,
+        case.sched,
+    );
+    let aborts = outcome
+        .events
+        .iter()
+        .filter(|e| matches!(e, McEvent::ConflictAborted { .. }))
+        .count();
+    println!(
+        "{case}: {} txns/core × {} stores",
+        case.txns_per_core, case.stores_per_txn
+    );
+    println!(
+        "  committed     : {} txns ({} cross-core aborts)",
+        outcome.committed.len(),
+        aborts
+    );
+    println!("  cycles        : {}", outcome.now);
+    println!("  image digest  : {:#018x}", outcome.image_digest);
+    for e in &outcome.events {
+        match e {
+            McEvent::Committed { core, seq } => println!("  core {core} committed txn {seq}"),
+            McEvent::ConflictAborted {
+                core,
+                seq,
+                by_core,
+                line,
+                is_write,
+            } => println!(
+                "  core {core} txn {seq} aborted by core {by_core} ({} line {line:#x})",
+                if *is_write { "write to" } else { "read of" }
+            ),
+        }
+    }
+    Ok(match check_serialized_oracle(&mm, &outcome) {
+        Ok(report) => {
+            println!(
+                "oracle OK: {} words checked, {} skipped",
+                report.words_checked, report.words_skipped
+            );
+            println!("{}", outcome.stats);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("oracle FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    })
+}
+
+/// `slpmt shards`: the share-nothing scaling run.
+fn cmd_shards(kind: IndexKind, args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::sharded::run_sharded;
+
+    let mut scheme = Scheme::Slpmt;
+    let mut ops = 1000usize;
+    let mut value = 256usize;
+    let mut shards = 4usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = val()?;
+                scheme = parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?;
+            }
+            "--ops" => ops = val()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--value" => value = val()?.parse().map_err(|e| format!("--value: {e}"))?,
+            "--shards" => shards = val()?.parse().map_err(|e| format!("--shards: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+
+    let stream = ycsb_load(ops, value, 42);
+    let run = |n: usize| {
+        run_sharded(
+            MachineConfig::for_scheme(scheme),
+            kind,
+            &stream,
+            value,
+            AnnotationSource::Manual,
+            n,
+            false,
+        )
+    };
+    let base = run(1);
+    let res = run(shards);
+    println!("{kind} under {scheme}: {ops} × {value} B inserts across {shards} shard(s)");
+    for (s, r) in res.shards.iter().enumerate() {
+        println!(
+            "  shard {s}: {:>6} ops {:>12} cycles",
+            r.stats.tx_commits, r.cycles
+        );
+    }
+    println!(
+        "  makespan      : {} cycles (slowest shard)",
+        res.sim_cycles()
+    );
+    println!(
+        "  sim throughput: {:.3} ops/kcycle ({:.2}x vs 1 shard)",
+        res.sim_ops_per_kcycle(),
+        res.sim_ops_per_kcycle() / base.sim_ops_per_kcycle()
+    );
+    println!(
+        "  media traffic : {} B across shards",
+        res.merged_traffic().media_bytes()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|mc|shards <index>> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
+         mc: [--scheme S] [--cores 2-4] [--seed N] [--sched rr:K|weighted:K] \
+         [--txns N] [--stores N] [--crash-at K]\n\
+         shards: [--scheme S] [--ops N] [--value B] [--shards N]\n\
          indices: {}",
         IndexKind::ALL.map(|k| k.to_string()).join(", ")
     );
@@ -393,6 +593,25 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "mc" => match cmd_mc(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "shards" => {
+            let Some(kind) = args.get(1).and_then(|k| parse_kind(k)) else {
+                return usage();
+            };
+            match cmd_shards(kind, &args[2..]) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "trace" => match parse_options(&args[1..]) {
             Ok(o) => {
                 cmd_trace(&o);

@@ -14,7 +14,9 @@
 //! all ten schemes, ≥50-transaction traces.
 
 use slpmt::bench::crashsweep::{run_sweep, sweep_cases};
-use slpmt::core::Scheme;
+use slpmt::bench::runner::par_map;
+use slpmt::core::multi::{mc_count_events, mc_sweep_serial};
+use slpmt::core::{McSweepCase, Schedule, Scheme};
 use slpmt::workloads::crashsweep::{count_events, sweep_serial, SweepCase};
 use slpmt::workloads::runner::IndexKind;
 
@@ -71,6 +73,79 @@ fn event_counts_grow_with_trace_length() {
         long > short,
         "longer traces must persist more ({short} vs {long})"
     );
+}
+
+// ---------------------------------------------------------------------
+// Multi-core crash sweeps: two interleaved cores, a crash armed at
+// every persist event, recovery checked against the admissible-value
+// oracle (`slpmt::core::multi::mc_run_crash_at`). Failures print
+// reproducible `(scheme, cores, seed, schedule, k)` tuples.
+
+#[test]
+fn gate_mc_sweep_every_persist_event() {
+    let cases = [
+        McSweepCase::new(Scheme::Slpmt, 2, SEED, Schedule::round_robin(3)),
+        McSweepCase::new(Scheme::SlpmtRedo, 2, SEED, Schedule::weighted(3)),
+        McSweepCase::new(Scheme::Fg, 2, SEED, Schedule::weighted(9)),
+    ];
+    let failures: Vec<String> = par_map(&cases, mc_sweep_serial)
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn mc_event_counts_grow_with_cores() {
+    let one = mc_count_events(&McSweepCase::new(
+        Scheme::Fg,
+        1,
+        SEED,
+        Schedule::round_robin(0),
+    ));
+    let three = mc_count_events(&McSweepCase::new(
+        Scheme::Fg,
+        3,
+        SEED,
+        Schedule::round_robin(0),
+    ));
+    assert!(one > 0);
+    assert!(
+        three > one,
+        "more cores must persist more ({one} vs {three})"
+    );
+}
+
+/// Nightly exhaustive multi-core matrix: the gate schemes × 2–3 cores
+/// × both scheduler policies, every persist event of every case. Run
+/// with `cargo test --release --test crash_sweep -- --ignored`.
+#[test]
+#[ignore = "exhaustive matrix; run nightly or on demand"]
+fn full_mc_sweep_all_schemes() {
+    let mut cases = Vec::new();
+    for scheme in GATE_SCHEMES {
+        for cores in [2, 3] {
+            for seed in [SEED, 7] {
+                cases.push(McSweepCase::new(
+                    scheme,
+                    cores,
+                    seed,
+                    Schedule::round_robin(seed),
+                ));
+                cases.push(McSweepCase::new(
+                    scheme,
+                    cores,
+                    seed,
+                    Schedule::weighted(seed + 1),
+                ));
+            }
+        }
+    }
+    let failures: Vec<String> = par_map(&cases, mc_sweep_serial)
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
 
 /// Nightly exhaustive matrix: all ten schemes × three workloads, ≥50

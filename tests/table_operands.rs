@@ -1,0 +1,131 @@
+//! Table I operand semantics end to end: annotation → `storeT`
+//! lowering → per-scheme bit effects → machine behaviour, including
+//! the unhonoured-lazy degrade path (a `lazy=1,log-free=1` store on
+//! hardware without the lazy feature must degrade to a *full* store,
+//! not to eager log-free — persisting an unlogged store in place
+//! before the commit marker would survive a rollback unrepaired).
+
+use slpmt::annotate::{Annotation, AnnotationTable, SiteId};
+use slpmt::core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt::pmem::PmAddr;
+use slpmt::workloads::PmContext;
+
+/// The annotation each Table I row lowers to, via the workload
+/// context's table lookup (the path every benchmark store takes).
+fn lowered(a: Annotation) -> StoreKind {
+    let mut table = AnnotationTable::new();
+    table.set(SiteId(0), a);
+    let ctx = PmContext::new(Scheme::Slpmt, table);
+    ctx.kind_of(SiteId(0))
+}
+
+#[test]
+fn annotations_lower_to_table_i_rows() {
+    assert_eq!(lowered(Annotation::Plain), StoreKind::Store);
+    assert_eq!(lowered(Annotation::LogFree), StoreKind::log_free());
+    assert_eq!(lowered(Annotation::Lazy), StoreKind::lazy_logged());
+    assert_eq!(lowered(Annotation::LazyLogFree), StoreKind::lazy_log_free());
+    // Unannotated sites fall back to the plain store.
+    let ctx = PmContext::new(Scheme::Slpmt, AnnotationTable::new());
+    assert_eq!(ctx.kind_of(SiteId(99)), StoreKind::Store);
+}
+
+/// Table I proper: with both features enabled, the four operand
+/// combinations produce the four persist/log bit patterns.
+#[test]
+fn effects_with_full_hardware() {
+    let cases = [
+        (StoreKind::Store, true, true),
+        (StoreKind::log_free(), true, false),
+        (StoreKind::lazy_logged(), false, true),
+        (StoreKind::lazy_log_free(), false, false),
+    ];
+    for (kind, persist, log) in cases {
+        let e = kind.effects(true, true);
+        assert_eq!(e.set_persist, persist, "{kind}: persist bit");
+        assert_eq!(e.set_log, log, "{kind}: log bit");
+    }
+}
+
+/// The degrade matrix: disabling a feature degrades its operand to the
+/// plain-store behaviour, and — the PR 2 fix — `lazy=1,log-free=1`
+/// with lazy disabled degrades log-free too.
+#[test]
+fn effects_degrade_without_features() {
+    // (log_free_enabled, lazy_enabled) = (true, false): FG+LG.
+    let e = StoreKind::lazy_log_free().effects(true, false);
+    assert!(e.set_persist, "unhonoured lazy degrades to eager");
+    assert!(
+        e.set_log,
+        "unhonoured lazy must drag log-free down with it (full store)"
+    );
+    // Pure log-free survives without the lazy feature...
+    let e = StoreKind::log_free().effects(true, false);
+    assert!(e.set_persist && !e.set_log);
+    // ...but not without the log-free feature: FG+LZ.
+    let e = StoreKind::log_free().effects(false, true);
+    assert!(e.set_persist && e.set_log);
+    // lazy_logged without lazy is a plain store.
+    let e = StoreKind::lazy_logged().effects(false, false);
+    assert!(e.set_persist && e.set_log);
+    // lazy_log_free with only the lazy feature: deferral is honoured,
+    // the missing log-free feature still logs.
+    let e = StoreKind::lazy_log_free().effects(false, true);
+    assert!(!e.set_persist && e.set_log);
+}
+
+/// Machine-level check of the degrade: on FG+LG hardware a
+/// `lazy_log_free` store behaves exactly like a plain store — logged,
+/// durable at commit, rolled back on abort.
+#[test]
+fn degraded_lazy_log_free_is_recoverable_on_fglg() {
+    let a = PmAddr::new(0x3000);
+    // Commit path: durable at commit, exactly like a plain store.
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgLg));
+    m.tx_begin();
+    m.store_u64(a, 7, StoreKind::lazy_log_free());
+    m.tx_commit();
+    assert_eq!(m.device().image().read_u64(a), 7, "degraded store is eager");
+    assert_eq!(m.stats().lazy_lines_deferred, 0);
+    assert!(m.stats().log_records_created >= 1, "degraded store logs");
+
+    // Abort path: the log record repairs the line.
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgLg));
+    m.tx_begin();
+    m.store_u64(a, 1, StoreKind::Store);
+    m.tx_commit();
+    m.tx_begin();
+    m.store_u64(a, 9, StoreKind::lazy_log_free());
+    m.tx_abort();
+    assert_eq!(m.peek_u64(a), 1, "abort must roll the degraded store back");
+
+    // Crash path: an uncommitted degraded store never survives.
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::FgLg));
+    m.tx_begin();
+    m.store_u64(a, 1, StoreKind::Store);
+    m.tx_commit();
+    m.tx_begin();
+    m.store_u64(a, 9, StoreKind::lazy_log_free());
+    m.crash();
+    m.recover();
+    assert_eq!(
+        m.device().image().read_u64(a),
+        1,
+        "recovery must undo the degraded uncommitted store"
+    );
+}
+
+/// The same store on full SLPMT hardware is honoured: deferred, record
+/// discarded — behaviourally distinct from the degraded form.
+#[test]
+fn honoured_lazy_log_free_defers_on_slpmt() {
+    let a = PmAddr::new(0x3000);
+    let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+    m.tx_begin();
+    m.store_u64(a, 7, StoreKind::lazy_log_free());
+    m.tx_commit();
+    assert_eq!(m.device().image().read_u64(a), 0, "honoured lazy defers");
+    assert_eq!(m.stats().lazy_lines_deferred, 1);
+    m.drain_lazy();
+    assert_eq!(m.device().image().read_u64(a), 7);
+}
