@@ -1,0 +1,174 @@
+//! Parallel media-fault sweep matrix.
+//!
+//! [`slpmt_workloads::faultsweep`] defines the per-point check: replay
+//! a seeded trace with a [`FaultPlan`](slpmt_pmem::FaultPlan) armed —
+//! torn crash-boundary event, poisoned lines, flipped log bits, drain
+//! jitter — crash at persist event `k`, recover, and verify the
+//! degradation rules. This module fans a scheme × workload × plan
+//! matrix of those checks across the [`runner`](crate::runner) worker
+//! pool, mirroring [`crashsweep`](crate::crashsweep):
+//!
+//! 1. One [`par_map`] pass derives each cell's crash points (the clean
+//!    event count plus seeded draws from it).
+//! 2. The flattened `(cell, k)` point list is checked by a second
+//!    [`par_map`] pass; points are independent, so a slow case never
+//!    idles workers assigned to cheap ones.
+//!
+//! Failures come back as reproducible `(scheme, workload, seed, k,
+//! plan)` tuples; `slpmt faults` and the `tests/fault_properties.rs`
+//! gate print them verbatim, and `slpmt faults --plan … --at …`
+//! replays a single one.
+
+use crate::runner::par_map;
+use slpmt_core::Scheme;
+use slpmt_pmem::FaultPlan;
+use slpmt_workloads::crashsweep::SweepCase;
+use slpmt_workloads::faultsweep::{
+    check_fault_point, default_plans, fault_points, FaultCase, FaultFailure,
+};
+use slpmt_workloads::runner::IndexKind;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of a full fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepReport {
+    /// Cells swept (scheme × workload × plan triples).
+    pub cases: usize,
+    /// Total fault points checked across all cells.
+    pub points: usize,
+    /// Every failing point, in deterministic (cell, k) order.
+    pub failures: Vec<FaultFailure>,
+}
+
+impl FaultSweepReport {
+    /// `true` when every fault point satisfied the degradation rules.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FaultSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault sweep: {} points across {} cells, {} failure(s)",
+            self.points,
+            self.cases,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The scheme × workload × plan matrix: every base pair crossed with
+/// the given plans (or [`default_plans`] when `plans` is empty).
+pub fn fault_cases(
+    schemes: &[Scheme],
+    kinds: &[IndexKind],
+    seed: u64,
+    ops: usize,
+    plans: &[FaultPlan],
+) -> Vec<FaultCase> {
+    let defaults;
+    let plans = if plans.is_empty() {
+        defaults = default_plans(seed);
+        &defaults
+    } else {
+        plans
+    };
+    let mut cases = Vec::with_capacity(schemes.len() * kinds.len() * plans.len());
+    for &kind in kinds {
+        for &scheme in schemes {
+            for &plan in plans {
+                cases.push(FaultCase {
+                    base: SweepCase::new(scheme, kind, seed, ops),
+                    plan,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Sweeps `points_per_case` seeded crash points of every cell, in
+/// parallel, and returns the aggregated report. A cell whose
+/// crash-free run already fails the oracle is reported as a single
+/// failure at `k = 0` and generates no fault points.
+pub fn run_fault_sweep(cases: &[FaultCase], points_per_case: usize) -> FaultSweepReport {
+    // Every panic below is caught and either admissible (degraded
+    // structure recovery on a damaged image) or reported as a failure
+    // tuple, so the default hook's backtraces are pure noise — silence
+    // it for the duration of the sweep.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_fault_sweep_inner(cases, points_per_case);
+    std::panic::set_hook(hook);
+    report
+}
+
+fn run_fault_sweep_inner(cases: &[FaultCase], points_per_case: usize) -> FaultSweepReport {
+    // Pass 1: seeded crash points per cell (each derivation also
+    // oracle-checks the cell's crash-free run).
+    let ks = par_map(cases, |case| {
+        catch_unwind(AssertUnwindSafe(|| fault_points(case, points_per_case))).map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            FaultFailure {
+                case: *case,
+                k: 0,
+                detail: format!("crash-free run failed: {msg}"),
+            }
+        })
+    });
+    let mut failures = Vec::new();
+    let mut points = Vec::new();
+    for (case, drawn) in cases.iter().zip(ks) {
+        match drawn {
+            Ok(ks) => points.extend(ks.into_iter().map(|k| (*case, k))),
+            Err(fail) => failures.push(fail),
+        }
+    }
+    // Pass 2: every fault point, flattened so workers never idle on a
+    // finished cell.
+    let results = par_map(&points, |(case, k)| check_fault_point(case, *k));
+    failures.extend(results.into_iter().filter_map(Result::err));
+    FaultSweepReport {
+        cases: cases.len(),
+        points: points.len(),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_crosses_plans_and_defaults_apply() {
+        let cases = fault_cases(&[Scheme::Fg, Scheme::Slpmt], &[IndexKind::Heap], 7, 10, &[]);
+        assert_eq!(cases.len(), 2 * default_plans(7).len());
+        let one = [FaultPlan {
+            tear: true,
+            ..FaultPlan::NONE
+        }];
+        assert_eq!(
+            fault_cases(&[Scheme::Fg], &[IndexKind::Heap], 7, 10, &one).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn tiny_fault_sweep_is_clean() {
+        let cases = fault_cases(&[Scheme::Fg], &[IndexKind::Heap], 3, 4, &[]);
+        let report = run_fault_sweep(&cases, 2);
+        assert!(report.points > 0);
+        assert!(report.is_clean(), "{report}");
+    }
+}

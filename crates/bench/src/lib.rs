@@ -31,6 +31,7 @@ use slpmt_workloads::runner::{run_inserts_with, IndexKind, RunResult};
 use slpmt_workloads::{ycsb_load, AnnotationSource, YcsbOp};
 
 pub mod crashsweep;
+pub mod faultsweep;
 pub mod runner;
 pub mod sharded;
 

@@ -307,6 +307,14 @@ impl Machine {
         self.dev.arm_crash_at_event(k);
     }
 
+    /// Installs a deterministic media-fault plan on the device (tear
+    /// the crash-boundary persist, poison/flip durable state after the
+    /// crash, jitter WPQ drains). An empty plan — the default — leaves
+    /// behaviour bit-identical; see `slpmt_pmem::FaultPlan`.
+    pub fn set_fault_plan(&mut self, plan: slpmt_pmem::FaultPlan) {
+        self.dev.set_fault_plan(plan);
+    }
+
     /// `true` once an armed persist-event crash has tripped (the
     /// durable state is frozen; call [`crash`](Self::crash) to also
     /// discard volatile state and recover).
@@ -1934,12 +1942,28 @@ impl Machine {
                 .map(|e| (e.addr, e.payload))
                 .collect()
         };
+        // Validate the victim's durable records before repairing from
+        // them: a torn or corrupt record seen here (the crash tripped
+        // mid-trace with a tearing fault plan armed) must abort the
+        // repair deterministically rather than replay garbage onto the
+        // image. The records stay in the log, so post-crash recovery —
+        // which runs the full validate phase — finishes the roll-back
+        // from whatever is intact.
+        let repair_tainted = undo
+            && self
+                .dev
+                .log()
+                .records_of(victim.seq)
+                .any(|r| !r.is_intact());
+        if repair_tainted {
+            self.stats.cross_core_repair_aborts += 1;
+        }
         // Compute the undo repairs *before* invalidating anything: the
         // pre-images apply onto the line's coherent contents, because
         // the image can be stale — a sibling word's only up-to-date
         // copy may be a committed-but-lazy cached value the victim
         // took over.
-        let repairs: Vec<(PmAddr, [u8; LINE_BYTES])> = if undo {
+        let repairs: Vec<(PmAddr, [u8; LINE_BYTES])> = if undo && !repair_tainted {
             let mut per_line: BTreeMap<u64, Vec<(PmAddr, PayloadBuf)>> = BTreeMap::new();
             for r in self.dev.log().records_of(victim.seq) {
                 per_line
@@ -2008,9 +2032,10 @@ impl Machine {
             self.signature_persist_check(la);
             self.persist_line_sync(la, &data);
         }
-        // Keep the records when a crash tripped mid-repair: recovery
-        // still needs them to finish the roll-back.
-        if !self.dev.crash_tripped() {
+        // Keep the records when a crash tripped mid-repair — or when
+        // the repair was aborted on a tainted record: recovery still
+        // needs them to finish the roll-back.
+        if !self.dev.crash_tripped() && !repair_tainted {
             self.dev.log_mut().drop_txn(victim.seq);
         }
         self.txreg.retire_clean(victim.id);

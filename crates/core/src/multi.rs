@@ -35,7 +35,7 @@ use crate::instr::StoreKind;
 use crate::machine::{Machine, MachineConfig};
 use crate::scheme::Scheme;
 use crate::stats::MachineStats;
-use slpmt_pmem::PmAddr;
+use slpmt_pmem::{PersistEvent, PmAddr};
 use slpmt_prng::{splitmix64, SimRng};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -883,8 +883,21 @@ pub fn mc_run_crash_at(case: &McSweepCase, k: u64) -> Result<(), String> {
     let lazy_enabled = cfg.features.lazy;
     let (mut mm, outcome) = run_programs_inner(cfg, &programs, case.sched, Some(k));
     mm.crash();
-    // Durable markers decide what counts as committed.
-    let durable: BTreeSet<u64> = mm.machine().device().log().committed_txns().collect();
+    // Durable markers decide what counts as committed. Walk the persist
+    // trace rather than the live marker map: `truncate_committed`
+    // retires fully-persisted markers into a watermark, and a marker
+    // that landed torn at the crash boundary must not count.
+    let log = mm.machine().device().log();
+    let durable: BTreeSet<u64> = mm
+        .machine()
+        .device()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            PersistEvent::CommitMarker { txn } if log.marker_usable(*txn) => Some(*txn),
+            _ => None,
+        })
+        .collect();
     mm.recover();
     // Admissible values per word, from the durably committed prefix.
     let mut writers: BTreeMap<u64, Vec<(u64, bool)>> = BTreeMap::new();

@@ -16,12 +16,23 @@
 //! recovery (garbage-collecting leaked allocations, rebuilding
 //! lazily-persistent data) that the workloads provide — exactly the
 //! split of §IV.
+//!
+//! Replay is preceded by a **validate phase**: every durable record
+//! and commit marker carries a CRC32 + sequence tag (see
+//! `slpmt_pmem::log_region`), so recovery classifies records as
+//! intact / torn-tail / corrupt before trusting them. Torn tail
+//! records are truncated (their persist never logically completed), a
+//! torn commit marker counts as absent (the transaction rolls back),
+//! and poisoned image lines are re-materialised from log pre/post
+//! images when their words are fully covered — otherwise the line is
+//! reported lost in the [`RecoveryReport`] instead of recovery
+//! panicking or replaying garbage.
 
 use crate::machine::Machine;
 use crate::scheme::Discipline;
-use slpmt_pmem::addr::LINE_BYTES;
+use slpmt_pmem::addr::{LINE_BYTES, WORD_BYTES};
 use slpmt_pmem::{PersistedRecord, PmAddr};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What log replay did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -38,6 +49,23 @@ pub struct RecoveryReport {
     /// through the device's persist path, so these appear in the
     /// device's write-traffic counters and persist-event trace.
     pub lines_persisted: usize,
+    /// Log records whose persist tore at the crash boundary (the
+    /// torn tail is truncated before replay).
+    pub torn_records: usize,
+    /// Commit markers whose persist tore — their transactions were
+    /// treated as uncommitted.
+    pub torn_markers: usize,
+    /// Records whose checksum disagreed with their content (media bit
+    /// flips); skipped by replay, their lines degraded.
+    pub corrupt_records: usize,
+    /// Poisoned lines fully re-materialised from intact log records,
+    /// in address order.
+    pub salvaged_lines: Vec<u64>,
+    /// Lines whose contents could not be reconstructed (poisoned
+    /// beyond salvage, or covered only by corrupt records), in address
+    /// order. Unsalvageable poisoned lines are scrubbed to zeros so
+    /// the image stays deterministic and readable.
+    pub lost_lines: Vec<u64>,
 }
 
 impl Machine {
@@ -53,15 +81,41 @@ impl Machine {
     pub fn recover(&mut self) -> RecoveryReport {
         assert!(!self.in_txn(), "recovery runs outside any transaction");
         let mut report = RecoveryReport::default();
+        // Validate phase: classify every durable record and marker
+        // before anything is replayed. Torn tail records are dropped
+        // here (persist ordering makes the drop sound); corrupt
+        // records stay but must never be applied.
+        let v = self.device_mut().log_mut().validate();
+        report.torn_records = v.torn_records;
+        report.corrupt_records = v.corrupt_records;
+        report.torn_markers = v.torn_markers;
+        // Poisoned lines re-materialise word-by-word from replayed
+        // records; track per-line coverage to tell salvage from loss.
+        let mut poison_cov: BTreeMap<u64, u8> = self
+            .device()
+            .poisoned_line_addrs()
+            .into_iter()
+            .map(|la| (la, 0u8))
+            .collect();
+        let mut lost: BTreeSet<u64> = BTreeSet::new();
         match self.config().features.discipline {
             Discipline::Undo => {
+                // Torn markers never entered the committed set, so
+                // their transactions are rolled back here like any
+                // other unfinished transaction.
                 let records: Vec<PersistedRecord> =
                     self.device().log().uncommitted_rev().cloned().collect();
                 let mut rolled: BTreeSet<u64> = BTreeSet::new();
-                report.undo_applied = records.len();
                 for rec in &records {
-                    report.lines_persisted += self.replay_record(rec);
+                    if !rec.is_intact() {
+                        // The pre-image itself is unreadable: the
+                        // covered lines cannot be rolled back.
+                        lost.extend(covered_lines(rec));
+                        continue;
+                    }
+                    report.undo_applied += 1;
                     rolled.insert(rec.txn);
+                    report.lines_persisted += self.replay_record(rec, &mut poison_cov);
                 }
                 report.rolled_back = rolled.into_iter().collect();
             }
@@ -76,15 +130,45 @@ impl Machine {
                     .cloned()
                     .collect();
                 let mut replayed: BTreeSet<u64> = BTreeSet::new();
-                report.redo_applied = records.len();
                 // Forward order: later records carry newer values.
                 for rec in &records {
-                    report.lines_persisted += self.replay_record(rec);
+                    if !rec.is_intact() {
+                        // A committed transaction's new value is
+                        // unreadable; the write-back never happened,
+                        // so the covered lines are degraded.
+                        lost.extend(covered_lines(rec));
+                        continue;
+                    }
+                    report.redo_applied += 1;
                     replayed.insert(rec.txn);
+                    report.lines_persisted += self.replay_record(rec, &mut poison_cov);
                 }
                 report.replayed = replayed.into_iter().collect();
             }
         }
+        // Classify every poisoned line: full word coverage by intact
+        // records = salvaged; anything else is lost. Lines replay
+        // never touched are still poisoned — scrub them to zeros so
+        // post-recovery reads are deterministic instead of faulting.
+        for (&la, &mask) in &poison_cov {
+            if mask == u8::MAX {
+                continue; // fully re-materialised
+            }
+            lost.insert(la);
+            let addr = PmAddr::new(la);
+            if self.device().line_poisoned(addr) {
+                let now = self.now();
+                self.device_mut()
+                    .persist_line(now, addr, &[0u8; LINE_BYTES]);
+                report.lines_persisted += 1;
+            }
+        }
+        report.salvaged_lines = poison_cov
+            .iter()
+            .filter(|(la, &mask)| mask == u8::MAX && !lost.contains(la))
+            .map(|(&la, _)| la)
+            .collect();
+        report.lost_lines = lost.into_iter().collect();
         // The log's job is done; the new epoch starts empty. The reset
         // is itself a persist event, so an injected crash mid-recovery
         // leaves the log intact for the next attempt.
@@ -95,8 +179,15 @@ impl Machine {
     /// Applies one log record to the durable image through the device's
     /// persist path (read-modify-write of each covered line), so the
     /// replay is counted in write traffic and numbered in the
-    /// persist-event trace. Returns the number of lines persisted.
-    fn replay_record(&mut self, rec: &PersistedRecord) -> usize {
+    /// persist-event trace. A poisoned base line reads as zeros (the
+    /// loss is detectable, not silent) and the words the record
+    /// overlays accumulate in `poison_cov`. Returns the number of
+    /// lines persisted.
+    fn replay_record(
+        &mut self,
+        rec: &PersistedRecord,
+        poison_cov: &mut BTreeMap<u64, u8>,
+    ) -> usize {
         let line_bytes = LINE_BYTES as u64;
         let start = rec.addr.line().raw();
         let end = rec.addr.raw() + rec.payload.len() as u64;
@@ -104,7 +195,11 @@ impl Machine {
         let mut persisted = 0;
         while line < end {
             let la = PmAddr::new(line);
-            let mut data = self.device().image().read_line(la);
+            let mut data = if self.device().line_poisoned(la) {
+                [0u8; LINE_BYTES]
+            } else {
+                self.device().image().read_line(la)
+            };
             // Intersect [line, line+64) with the record's byte range.
             let lo = line.max(rec.addr.raw());
             let hi = (line + line_bytes).min(end);
@@ -112,6 +207,13 @@ impl Machine {
             let src = (lo - rec.addr.raw()) as usize;
             let n = (hi - lo) as usize;
             data[dst..dst + n].copy_from_slice(&rec.payload[src..src + n]);
+            if let Some(mask) = poison_cov.get_mut(&line) {
+                // Records are word-aligned whole-word spans, so the
+                // intersection covers whole words of the line.
+                for w in (dst / WORD_BYTES)..((dst + n) / WORD_BYTES) {
+                    *mask |= 1 << w;
+                }
+            }
             let now = self.now();
             self.device_mut().persist_line(now, la, &data);
             persisted += 1;
@@ -119,6 +221,15 @@ impl Machine {
         }
         persisted
     }
+}
+
+/// Line addresses a record's payload covers.
+fn covered_lines(rec: &PersistedRecord) -> impl Iterator<Item = u64> {
+    let first = rec.addr.line().raw();
+    let last = PmAddr::new(rec.addr.raw() + rec.payload.len() as u64 - 1)
+        .line()
+        .raw();
+    (first..=last).step_by(LINE_BYTES)
 }
 
 #[cfg(test)]

@@ -22,6 +22,10 @@ pub struct MachineStats {
     /// Open transactions of *other cores* aborted by a conflicting
     /// access (multi-core execution; requester wins, as in §V-C).
     pub cross_core_aborts: u64,
+    /// Cross-core abort repairs skipped because a victim's durable
+    /// record failed validation (torn/corrupt) — the roll-back is left
+    /// to post-crash recovery instead of replaying garbage.
+    pub cross_core_repair_aborts: u64,
     /// Undo/redo log records created (before coalescing).
     pub log_records_created: u64,
     /// Log records discarded at commit because their line was lazy.
@@ -60,6 +64,7 @@ impl MachineStats {
         self.tx_aborts += other.tx_aborts;
         self.suspended_aborts += other.suspended_aborts;
         self.cross_core_aborts += other.cross_core_aborts;
+        self.cross_core_repair_aborts += other.cross_core_repair_aborts;
         self.log_records_created += other.log_records_created;
         self.log_records_discarded += other.log_records_discarded;
         self.commit_line_persists += other.commit_line_persists;
@@ -84,6 +89,11 @@ impl fmt::Display for MachineStats {
         )?;
         writeln!(f, "suspended aborts       {:>12}", self.suspended_aborts)?;
         writeln!(f, "cross-core aborts      {:>12}", self.cross_core_aborts)?;
+        writeln!(
+            f,
+            "cross-core repair skip {:>12}",
+            self.cross_core_repair_aborts
+        )?;
         writeln!(f, "log records created    {:>12}", self.log_records_created)?;
         writeln!(
             f,

@@ -7,13 +7,15 @@
 //! are additionally recorded in the durable [`LogRegion`] so that
 //! crash recovery sees exactly what reached the persistence domain.
 
-use crate::addr::{PmAddr, LINE_BYTES};
+use crate::addr::{PmAddr, LINE_BYTES, WORD_BYTES};
 use crate::config::PmConfig;
+use crate::fault::{mix64, FaultPlan};
 use crate::log_region::LogRegion;
 use crate::payload::PayloadBuf;
 use crate::space::PmSpace;
 use crate::stats::WriteTraffic;
 use crate::wpq::WritePendingQueue;
+use std::collections::BTreeSet;
 
 /// One entry of the device's persist-event trace, in acceptance order.
 /// Tests use the trace to assert persist-ordering disciplines
@@ -64,6 +66,32 @@ pub struct LogFlushEntry {
     pub payload: PayloadBuf,
 }
 
+/// How the acceptance gate admitted one durable mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// The persist completed; durable state mutates fully.
+    Full,
+    /// The persist tore at the crash boundary: only the first `w`
+    /// 8-byte words landed.
+    Torn(u32),
+    /// The crash already tripped; the mutation never happened.
+    Dropped,
+}
+
+/// The word range `[lo, hi)` a torn word index may take for `event`,
+/// or `None` when the event is a single-word (untearable) update.
+/// Data lines tear with at least one word landed (`lo = 1`); records
+/// may land tag-only (`lo = 0`, the payload entirely missing);
+/// markers are two words (sequence, checksum) and may tear at either.
+fn tear_range(event: &PersistEvent) -> Option<(u32, u32)> {
+    match event {
+        PersistEvent::DataLine { .. } => Some((1, (LINE_BYTES / WORD_BYTES) as u32)),
+        PersistEvent::LogRecord { len, .. } => Some((0, (len / WORD_BYTES) as u32)),
+        PersistEvent::CommitMarker { .. } => Some((0, 2)),
+        PersistEvent::LogTruncate => None,
+    }
+}
+
 /// The simulated persistent-memory device.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -98,6 +126,19 @@ pub struct PmDevice {
     /// Set once the armed crash point has been reached and a durable
     /// mutation was dropped.
     crash_tripped: bool,
+    /// Media-fault plan (tear / poison / flip / jitter); empty by
+    /// default, in which case none of the fault paths run.
+    plan: FaultPlan,
+    /// `true` when an armed crash should apply the plan's post-crash
+    /// corruption (poison + flips) at the next [`crash`](Self::crash).
+    faults_pending: bool,
+    /// Line addresses currently unreadable (uncorrectable-ECC model).
+    poisoned: BTreeSet<u64>,
+    /// Ground truth: lines the plan poisoned at the last crash.
+    fault_poisoned: Vec<u64>,
+    /// Ground truth: lines covered by records the plan bit-flipped at
+    /// the last crash.
+    fault_flipped: Vec<u64>,
 }
 
 impl PmDevice {
@@ -122,6 +163,11 @@ impl PmDevice {
             event_count: 0,
             crash_at_event: None,
             crash_tripped: false,
+            plan: FaultPlan::NONE,
+            faults_pending: false,
+            poisoned: BTreeSet::new(),
+            fault_poisoned: Vec::new(),
+            fault_flipped: Vec::new(),
         }
     }
 
@@ -165,6 +211,26 @@ impl PmDevice {
     pub fn arm_crash_at_event(&mut self, k: u64) {
         self.crash_at_event = Some(k);
         self.crash_tripped = false;
+        self.faults_pending = self.plan.poison_lines > 0 || self.plan.flip_records > 0;
+        self.fault_poisoned.clear();
+        self.fault_flipped.clear();
+    }
+
+    /// Installs a media-fault plan (see [`FaultPlan`]). The jitter
+    /// component takes effect immediately on the WPQ; tear applies to
+    /// the next armed crash boundary; poison and flips apply at the
+    /// [`crash`](Self::crash) following the next
+    /// [`arm_crash_at_event`](Self::arm_crash_at_event). An empty plan
+    /// restores bit-identical fault-free behaviour.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.wpq
+            .set_drain_jitter(plan.jitter as u64, mix64(plan.seed ^ 0x6A77));
+    }
+
+    /// The installed media-fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Disarms a pending persist-event crash without crashing.
@@ -181,18 +247,37 @@ impl PmDevice {
 
     /// Gate for every durable-state mutation: numbers the event and
     /// reports whether it reached the persistence domain. After an
-    /// armed crash trips, all further mutations are dropped.
-    fn accept(&mut self, event: PersistEvent) -> bool {
+    /// armed crash trips, all further mutations are dropped. With a
+    /// tearing [`FaultPlan`], the crash-boundary event `k` itself
+    /// lands *partially*, at 8-byte word granularity.
+    fn accept(&mut self, event: PersistEvent) -> Admission {
         if let Some(k) = self.crash_at_event {
             if self.event_count >= k {
                 self.crash_tripped = true;
-                return false;
+                return Admission::Dropped;
+            }
+            if self.plan.tear && self.event_count + 1 == k {
+                if let Some((lo, hi)) = tear_range(&event) {
+                    self.event_count += 1;
+                    self.events.push(event);
+                    self.origins.push(self.origin);
+                    // Power failed *during* event k: the prefix of the
+                    // persist landed, nothing later can.
+                    self.crash_tripped = true;
+                    let w = match self.plan.tear_word {
+                        Some(w) => (w as u32).clamp(lo, hi - 1),
+                        None => lo + (mix64(self.plan.seed ^ k) % (hi - lo) as u64) as u32,
+                    };
+                    return Admission::Torn(w);
+                }
+                // Untearable events (the 8-byte log-head update) land
+                // fully; the crash trips on the next mutation instead.
             }
         }
         self.event_count += 1;
         self.events.push(event);
         self.origins.push(self.origin);
-        true
+        Admission::Full
     }
 
     /// Appends `bytes` to the sequential log area, returning how many
@@ -259,13 +344,28 @@ impl PmDevice {
     ///
     /// Panics if `addr` is not line-aligned.
     pub fn persist_line(&mut self, now: u64, addr: PmAddr, data: &[u8; LINE_BYTES]) -> u64 {
-        if !self.accept(PersistEvent::DataLine { addr }) {
-            return now;
+        match self.accept(PersistEvent::DataLine { addr }) {
+            Admission::Dropped => now,
+            Admission::Full => {
+                let push = self.wpq.push(now);
+                self.image.write_line(addr, data);
+                // A completed line write re-establishes ECC: the line
+                // is readable again (cheap no-op when nothing is
+                // poisoned).
+                self.poisoned.remove(&addr.raw());
+                self.traffic.count_data_line();
+                push.accepted_at
+            }
+            Admission::Torn(w) => {
+                let push = self.wpq.push(now);
+                let mut line = self.image.read_line(addr);
+                let landed = w as usize * WORD_BYTES;
+                line[..landed].copy_from_slice(&data[..landed]);
+                self.image.write_line(addr, &line);
+                self.traffic.count_data_line();
+                push.accepted_at
+            }
         }
-        let push = self.wpq.push(now);
-        self.image.write_line(addr, data);
-        self.traffic.count_data_line();
-        push.accepted_at
     }
 
     /// Persists a *pack* of log records: the record bytes append to
@@ -283,17 +383,28 @@ impl PmDevice {
         let mut records = 0;
         for e in entries {
             // Each record is its own persist event: a crash may land
-            // between two records of the same pack.
-            if !self.accept(PersistEvent::LogRecord {
+            // between two records of the same pack — or *inside* one,
+            // when a tearing fault plan is armed.
+            match self.accept(PersistEvent::LogRecord {
                 txn: e.txn,
                 addr: e.addr,
                 len: e.payload.len(),
             }) {
-                break;
+                Admission::Dropped => break,
+                Admission::Full => {
+                    bytes += e.payload.len() as u64 + 8;
+                    records += 1;
+                    self.log.append(e.txn, e.addr, &e.payload);
+                }
+                Admission::Torn(w) => {
+                    // The tag word landed (the tail line was in
+                    // flight), the payload tore after `w` words.
+                    bytes += e.payload.len() as u64 + 8;
+                    records += 1;
+                    self.log.append_torn(e.txn, e.addr, &e.payload, w as u8);
+                    break;
+                }
             }
-            bytes += e.payload.len() as u64 + 8;
-            records += 1;
-            self.log.append(e.txn, e.addr, &e.payload);
         }
         if records == 0 {
             return now;
@@ -307,20 +418,28 @@ impl PmDevice {
         accepted
     }
 
-    /// Persists the commit marker of transaction `txn` (an 8-byte
-    /// record appended to the log tail). Returns the acceptance cycle.
+    /// Persists the commit marker of transaction `txn`: a two-word
+    /// (16-byte) record appended to the log tail — the committed
+    /// sequence number plus its CRC32 tag — so a torn marker is
+    /// detectable at either word. Returns the acceptance cycle.
     pub fn persist_commit_marker(&mut self, now: u64, txn: u64) -> u64 {
-        if !self.accept(PersistEvent::CommitMarker { txn }) {
-            return now;
+        match self.accept(PersistEvent::CommitMarker { txn }) {
+            Admission::Dropped => now,
+            admission => {
+                match admission {
+                    Admission::Full => self.log.mark_committed(txn),
+                    Admission::Torn(w) => self.log.mark_committed_torn(txn, w as u8),
+                    Admission::Dropped => unreachable!(),
+                }
+                let lines = self.log_append_lines(16);
+                let mut accepted = now;
+                for _ in 0..lines {
+                    accepted = self.wpq.push(accepted).accepted_at;
+                }
+                self.traffic.count_log_flush(1, 16, lines);
+                accepted
+            }
         }
-        self.log.mark_committed(txn);
-        let lines = self.log_append_lines(8);
-        let mut accepted = now;
-        for _ in 0..lines {
-            accepted = self.wpq.push(accepted).accepted_at;
-        }
-        self.traffic.count_log_flush(1, 8, lines);
-        accepted
     }
 
     /// Truncates committed records from the durable log (the post-commit
@@ -328,7 +447,9 @@ impl PmDevice {
     /// armed and trips here, the log keeps its committed records — the
     /// head pointer never reached the persistence domain.
     pub fn truncate_log(&mut self) {
-        if self.accept(PersistEvent::LogTruncate) {
+        // Head updates are single-word and untearable, so the gate
+        // only ever answers Full or Dropped here.
+        if self.accept(PersistEvent::LogTruncate) == Admission::Full {
             self.log.truncate_committed();
         }
     }
@@ -337,7 +458,7 @@ impl PmDevice {
     /// reset). A numbered persist event, like
     /// [`truncate_log`](Self::truncate_log).
     pub fn reset_log(&mut self) {
-        if self.accept(PersistEvent::LogTruncate) {
+        if self.accept(PersistEvent::LogTruncate) == Admission::Full {
             self.log.reset();
         }
     }
@@ -359,6 +480,74 @@ impl PmDevice {
         // must reach the device.
         self.crash_at_event = None;
         self.crash_tripped = false;
+        // Post-crash media corruption (poison + bit flips) applies
+        // exactly once per armed crash, deterministically from the
+        // plan seed.
+        if self.faults_pending {
+            self.faults_pending = false;
+            self.apply_media_faults();
+        }
+    }
+
+    /// Injects the plan's post-crash corruption: poisons
+    /// `plan.poison_lines` touched image lines (detectably unreadable)
+    /// and flips one payload bit in `plan.flip_records` durable log
+    /// records (exposed by their CRC mismatch). Every choice derives
+    /// from `plan.seed` and the frozen event count, so the same
+    /// `(trace, k, plan)` corrupts identically on every replay.
+    fn apply_media_faults(&mut self) {
+        let base = mix64(self.plan.seed ^ mix64(self.event_count));
+        let lines = self.image.touched_line_addrs();
+        if !lines.is_empty() {
+            for i in 0..self.plan.poison_lines as u64 {
+                let la = lines[(mix64(base ^ (0x5050 + i)) % lines.len() as u64) as usize];
+                if self.poisoned.insert(la) {
+                    self.fault_poisoned.push(la);
+                }
+            }
+            self.fault_poisoned.sort_unstable();
+        }
+        let n = self.log.len();
+        if n > 0 {
+            for i in 0..self.plan.flip_records as u64 {
+                let idx = (mix64(base ^ (0xF11F + i)) % n as u64) as usize;
+                let bit = mix64(base ^ (0xB17 + i)) as usize;
+                if let Some(covered) = self.log.corrupt_record_bit(idx, bit) {
+                    self.fault_flipped.extend(covered);
+                }
+            }
+            self.fault_flipped.sort_unstable();
+            self.fault_flipped.dedup();
+        }
+    }
+
+    /// `true` when `addr`'s line is currently poisoned: a read of it
+    /// is detectably lost (uncorrectable ECC), not silently wrong.
+    pub fn line_poisoned(&self, addr: PmAddr) -> bool {
+        !self.poisoned.is_empty() && self.poisoned.contains(&addr.line().raw())
+    }
+
+    /// Line addresses currently poisoned, in address order.
+    pub fn poisoned_line_addrs(&self) -> Vec<u64> {
+        self.poisoned.iter().copied().collect()
+    }
+
+    /// Clears poison from `addr`'s line without rewriting it (the
+    /// recovery scrub path). Returns whether the line was poisoned.
+    pub fn clear_poison(&mut self, addr: PmAddr) -> bool {
+        self.poisoned.remove(&addr.line().raw())
+    }
+
+    /// Ground truth for sweep oracles: lines the plan poisoned at the
+    /// last armed crash (sorted), regardless of later salvage.
+    pub fn fault_poisoned_lines(&self) -> &[u64] {
+        &self.fault_poisoned
+    }
+
+    /// Ground truth for sweep oracles: lines covered by log records
+    /// the plan bit-flipped at the last armed crash (sorted, deduped).
+    pub fn fault_flipped_lines(&self) -> &[u64] {
+        &self.fault_flipped
     }
 
     /// Consumes the device returning its durable state (image and log).
@@ -413,9 +602,10 @@ mod tests {
         assert!(!d.log().is_committed(3));
         d.persist_commit_marker(0, 3);
         assert!(d.log().is_committed(3));
-        assert_eq!(d.traffic().log_bytes, 8);
-        // An 8-byte marker from an empty tail opens one media line;
-        // the next marker is absorbed by it.
+        // A marker is two words: sequence + CRC32 tag.
+        assert_eq!(d.traffic().log_bytes, 16);
+        // A 16-byte marker from an empty tail opens one media line;
+        // the next marker is absorbed by it (32 ≤ 64 bytes).
         assert_eq!(d.traffic().wpq_lines, 1);
         d.persist_commit_marker(0, 4);
         assert_eq!(d.traffic().wpq_lines, 1);
@@ -546,5 +736,150 @@ mod tests {
         d.persist_line(0, PmAddr::new(0), &[1u8; 64]);
         assert!(!d.crash_tripped());
         assert_eq!(d.event_count(), 1);
+    }
+
+    // -----------------------------------------------------------------
+    // Media-fault injection
+
+    #[test]
+    fn torn_data_line_lands_word_prefix() {
+        let mut d = dev();
+        d.persist_line(0, PmAddr::new(0), &[1u8; 64]);
+        d.set_fault_plan(FaultPlan {
+            tear: true,
+            tear_word: Some(3),
+            ..FaultPlan::NONE
+        });
+        d.arm_crash_at_event(2);
+        d.persist_line(0, PmAddr::new(0), &[9u8; 64]);
+        assert!(d.crash_tripped(), "power failed during event 2");
+        assert_eq!(d.event_count(), 2, "the torn event is still counted");
+        // Words 0..3 carry the new value, words 3..8 the old one.
+        for w in 0..8u64 {
+            let got = d.image().read_u64(PmAddr::new(w * 8));
+            let want = if w < 3 {
+                0x0909090909090909
+            } else {
+                0x0101010101010101
+            };
+            assert_eq!(got, want, "word {w}");
+        }
+    }
+
+    #[test]
+    fn torn_marker_is_uncommitted_but_traced() {
+        let mut d = dev();
+        d.set_fault_plan(FaultPlan {
+            tear: true,
+            tear_word: Some(1),
+            ..FaultPlan::NONE
+        });
+        d.arm_crash_at_event(1);
+        d.persist_commit_marker(0, 5);
+        assert!(d.crash_tripped());
+        assert!(!d.log().is_committed(5));
+        assert!(!d.log().marker_usable(5));
+        assert_eq!(d.events().len(), 1, "torn marker appears in the trace");
+    }
+
+    #[test]
+    fn torn_log_record_truncates_at_validate() {
+        let mut d = dev();
+        let entries = vec![LogFlushEntry {
+            txn: 7,
+            addr: PmAddr::new(0),
+            payload: PayloadBuf::from_slice(&[3; 16]),
+        }];
+        d.set_fault_plan(FaultPlan {
+            tear: true,
+            ..FaultPlan::NONE
+        });
+        d.arm_crash_at_event(1);
+        d.persist_log_pack(0, &entries);
+        assert!(d.crash_tripped());
+        assert_eq!(d.log().len(), 1);
+        assert!(!d.log().records()[0].is_intact());
+        let v = d.log_mut().validate();
+        assert_eq!(v.torn_tail_truncated, 1);
+        assert!(d.log().is_empty());
+    }
+
+    #[test]
+    fn poison_and_flips_apply_once_at_crash_and_replay_identically() {
+        let run = || {
+            let mut d = dev();
+            for i in 0..4u64 {
+                d.persist_line(0, PmAddr::new(i * 64), &[i as u8 + 1; 64]);
+            }
+            d.persist_log_pack(
+                0,
+                &[LogFlushEntry {
+                    txn: 1,
+                    addr: PmAddr::new(0),
+                    payload: PayloadBuf::from_slice(&[8; 8]),
+                }],
+            );
+            d.set_fault_plan(FaultPlan {
+                seed: 77,
+                poison_lines: 2,
+                flip_records: 1,
+                ..FaultPlan::NONE
+            });
+            d.arm_crash_at_event(u64::MAX);
+            d.crash();
+            (
+                d.fault_poisoned_lines().to_vec(),
+                d.fault_flipped_lines().to_vec(),
+                d.log().records()[0].payload.to_vec(),
+            )
+        };
+        let (pa, fa, ra) = run();
+        let (pb, fb, rb) = run();
+        assert_eq!(pa, pb);
+        assert_eq!(fa, fb);
+        assert_eq!(ra, rb);
+        assert!(!pa.is_empty(), "poison chose among touched lines");
+        assert_eq!(fa, vec![0], "the only record covers line 0");
+    }
+
+    #[test]
+    fn poisoned_line_detectable_and_cleared_by_full_persist() {
+        let mut d = dev();
+        d.persist_line(0, PmAddr::new(64), &[1u8; 64]);
+        d.set_fault_plan(FaultPlan {
+            seed: 1,
+            poison_lines: 1,
+            ..FaultPlan::NONE
+        });
+        d.arm_crash_at_event(u64::MAX);
+        d.crash();
+        let la = PmAddr::new(d.fault_poisoned_lines()[0]);
+        assert!(d.line_poisoned(la));
+        assert_eq!(d.poisoned_line_addrs(), d.fault_poisoned_lines());
+        d.persist_line(0, la, &[7u8; 64]);
+        assert!(!d.line_poisoned(la), "rewrite re-establishes ECC");
+        // Ground truth is unaffected by the salvage.
+        assert_eq!(d.fault_poisoned_lines(), &[la.raw()]);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut d = dev();
+            if let Some(p) = plan {
+                d.set_fault_plan(p);
+            }
+            let mut t = 0;
+            for i in 0..6u64 {
+                t = d.persist_line(t, PmAddr::new(i * 64), &[i as u8; 64]);
+            }
+            d.arm_crash_at_event(4);
+            for i in 0..6u64 {
+                t = d.persist_line(t, PmAddr::new(i * 64), &[9; 64]);
+            }
+            d.crash();
+            (t, d.event_count(), d.image().read_line(PmAddr::new(0)))
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::NONE)));
     }
 }

@@ -46,6 +46,7 @@
 pub mod addr;
 pub mod config;
 pub mod device;
+pub mod fault;
 pub mod heap;
 pub mod log_region;
 pub mod payload;
@@ -57,8 +58,9 @@ pub use addr::{PmAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::PmConfig;
 pub use device::PmDevice;
 pub use device::{LogFlushEntry, PersistEvent};
+pub use fault::FaultPlan;
 pub use heap::PmHeap;
-pub use log_region::{LogRegion, PersistedRecord};
+pub use log_region::{LogRegion, LogValidation, MarkerState, PersistedRecord, RecordIntegrity};
 pub use payload::{PayloadBuf, PAYLOAD_CAP};
 pub use space::PmSpace;
 pub use stats::WriteTraffic;

@@ -117,6 +117,28 @@ impl PmSpace {
         self.touched
     }
 
+    /// Line addresses of every touched cache-line frame, in address
+    /// order (the deterministic target set for media-fault injection).
+    pub fn touched_line_addrs(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.touched);
+        for (di, dir) in self.dirs.iter().enumerate() {
+            let Some(dir) = dir else { continue };
+            for (pi, page) in dir.iter().enumerate() {
+                let Some(page) = page else { continue };
+                let base = di as u64 * DIR_SPAN + ((pi as u64) << PAGE_SHIFT);
+                for (wi, &word) in page.touched.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as u64;
+                        out.push(base + (wi as u64 * 64 + b) * LINE_BYTES as u64);
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn check(&self, addr: PmAddr, len: usize) {
         assert!(
             addr.raw() + len as u64 <= self.capacity,
@@ -317,6 +339,16 @@ mod tests {
         s.read(addr, &mut back);
         assert_eq!(back, data);
         assert_eq!(s.touched_lines(), 2);
+    }
+
+    #[test]
+    fn touched_line_addrs_enumerates_in_order() {
+        let mut s = PmSpace::new(DIR_SPAN * 2);
+        s.write_u64(PmAddr::new(DIR_SPAN + 64), 1); // second directory
+        s.write_u64(PmAddr::new(128), 2);
+        s.write_u64(PmAddr::new(0), 3);
+        assert_eq!(s.touched_line_addrs(), vec![0, 128, DIR_SPAN + 64]);
+        assert_eq!(s.touched_line_addrs().len(), s.touched_lines());
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct WritePendingQueue {
     total_stall: u64,
     /// Total lines pushed.
     pushes: u64,
+    /// Drain-jitter window in cycles (0 = deterministic drains). ADR
+    /// makes drain *order* invisible to crash states, so jitter only
+    /// perturbs completion timing within the window — the allowed
+    /// reordering of a real memory controller.
+    jitter_window: u64,
+    /// Seed for the per-push jitter derivation.
+    jitter_seed: u64,
 }
 
 /// Default number of parallel drain banks.
@@ -79,12 +86,23 @@ impl WritePendingQueue {
             bank_free: vec![0; banks],
             total_stall: 0,
             pushes: 0,
+            jitter_window: 0,
+            jitter_seed: 0,
         }
     }
 
     /// Updates the drain latency (Figure 12 sweeps PM write latency).
     pub fn set_write_cycles(&mut self, write_cycles: u64) {
         self.write_cycles = write_cycles;
+    }
+
+    /// Enables deterministic drain-completion jitter within `window`
+    /// cycles (0 disables it and restores bit-identical behaviour).
+    /// Jitter can reorder drain completions across banks, but never
+    /// affects durability: acceptance by the queue is what persists.
+    pub fn set_drain_jitter(&mut self, window: u64, seed: u64) {
+        self.jitter_window = window;
+        self.jitter_seed = seed;
     }
 
     /// Pushes one 64-byte line at simulated time `now`, returning when
@@ -113,7 +131,10 @@ impl WritePendingQueue {
             .min_by_key(|&b| self.bank_free[b])
             .expect("at least one bank");
         let drain_start = accepted_at.max(self.bank_free[bank]);
-        let drained_at = drain_start + self.write_cycles;
+        let mut drained_at = drain_start + self.write_cycles;
+        if self.jitter_window > 0 {
+            drained_at += crate::fault::mix64(self.jitter_seed ^ self.pushes) % self.jitter_window;
+        }
         self.bank_free[bank] = drained_at;
         // Keep the occupancy queue ordered by completion time.
         let pos = self.inflight.partition_point(|&d| d <= drained_at);
@@ -263,5 +284,31 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_rejected() {
         let _ = WritePendingQueue::new(0, 1000, 8);
+    }
+
+    #[test]
+    fn drain_jitter_is_bounded_deterministic_and_optional() {
+        let clean: Vec<u64> = {
+            let mut q = wpq();
+            (0..6).map(|_| q.push(0).drained_at).collect()
+        };
+        let jittered = |seed: u64| -> Vec<u64> {
+            let mut q = wpq();
+            q.set_drain_jitter(500, seed);
+            (0..6).map(|_| q.push(0).drained_at).collect()
+        };
+        let a = jittered(42);
+        assert_eq!(a, jittered(42), "same seed ⇒ same perturbation");
+        // Each push adds at most one window of delay (cumulative when
+        // drains serialise behind a jittered bank).
+        for (i, (j, c)) in a.iter().zip(&clean).enumerate() {
+            assert!(*j >= *c, "jitter never completes early");
+            assert!(*j < *c + 500 * (i as u64 + 1), "jitter bounded per push");
+        }
+        // Window 0 restores the clean timings exactly.
+        let mut q = wpq();
+        q.set_drain_jitter(0, 42);
+        let off: Vec<u64> = (0..6).map(|_| q.push(0).drained_at).collect();
+        assert_eq!(off, clean);
     }
 }

@@ -139,7 +139,7 @@ pub fn trace_ops(case: &SweepCase) -> Vec<MixedOp> {
     ops
 }
 
-fn apply(idx: &mut dyn DurableIndex, ctx: &mut PmContext, op: &MixedOp) {
+pub(crate) fn apply(idx: &mut dyn DurableIndex, ctx: &mut PmContext, op: &MixedOp) {
     match op {
         MixedOp::Insert(o) => idx.insert(ctx, o.key, &o.value),
         MixedOp::Read(k) => {
@@ -155,7 +155,7 @@ fn apply(idx: &mut dyn DurableIndex, ctx: &mut PmContext, op: &MixedOp) {
 }
 
 /// The volatile reference model after the first `b` trace operations.
-fn oracle_after(ops: &[MixedOp], b: usize) -> BTreeMap<u64, Vec<u8>> {
+pub(crate) fn oracle_after(ops: &[MixedOp], b: usize) -> BTreeMap<u64, Vec<u8>> {
     let mut model = BTreeMap::new();
     for op in &ops[..b] {
         match op {
@@ -171,7 +171,7 @@ fn oracle_after(ops: &[MixedOp], b: usize) -> BTreeMap<u64, Vec<u8>> {
     model
 }
 
-fn build(case: &SweepCase) -> (PmContext, Box<dyn DurableIndex>) {
+pub(crate) fn build(case: &SweepCase) -> (PmContext, Box<dyn DurableIndex>) {
     let mut ctx = PmContext::new(case.scheme, AnnotationTable::new());
     let idx = case
         .kind
@@ -241,13 +241,7 @@ pub fn run_crash_at(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
     // Durably committed transactions form a prefix of the sequence
     // numbers (markers persist in commit order), so the committed
     // operation count is a prefix length too.
-    let marker = ctx
-        .machine()
-        .device()
-        .log()
-        .committed_txns()
-        .max()
-        .unwrap_or(0);
+    let marker = ctx.machine().device().log().max_committed_seq();
     let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
     ctx.recover();
     idx.recover(&mut ctx);

@@ -36,6 +36,7 @@
 pub mod avl;
 pub mod crashsweep;
 pub mod ctx;
+pub mod faultsweep;
 pub mod hashtable;
 pub mod heap;
 pub mod inspector;
@@ -47,6 +48,7 @@ pub mod ycsb;
 
 pub use crashsweep::{SweepCase, SweepFailure};
 pub use ctx::{AnnotationSource, PmContext};
+pub use faultsweep::{FaultCase, FaultFailure};
 pub use inspector::{inspect, HeapReport};
 pub use runner::{run_inserts, run_mixed, DurableIndex, IndexKind, RangeIndex, RunResult};
 pub use sharded::{partition_ops, run_sharded_serial, shard_of, ShardedResult};

@@ -8,6 +8,7 @@
 //! slpmt matrix [options]                full scheme × index matrix (parallel)
 //! slpmt trace [options]                 dump the persist-event trace
 //! slpmt crashsweep [sweep options]      exhaustive persist-event crash sweep
+//! slpmt faults [fault options]          media-fault sweep (tear/poison/flip/jitter)
 //! slpmt mc [mc options]                 deterministic multi-core run
 //! slpmt shards <index> [shard options]  keyspace-sharded scaling run
 //!
@@ -15,6 +16,9 @@
 //!          --annotations <manual|compiler|none> --latency <ns>
 //! sweep options: --scheme <name|all> --workload <name|all>
 //!                --seed <n> --ops <n> [--at <k>]
+//! fault options: sweep options plus --points <n> and
+//!                --plan s<seed>:t<0|1>[:w<word>]:p<n>:f<n>:j<n>
+//!                (repeatable; `--plan P --at K` replays one point)
 //! mc options: --scheme <name> --cores <2-4> --seed <n>
 //!             --sched <rr:K|weighted:K> --txns <n> --stores <n>
 //!             [--crash-at <k>]
@@ -343,6 +347,90 @@ fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// `slpmt faults`: the media-fault sweep — seeded crash points under
+/// torn-write / poison / bit-flip / jitter plans — or a single
+/// reproduced `(scheme, workload, seed, k, plan)` point with
+/// `--plan … --at …`.
+fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::faultsweep::{fault_cases, run_fault_sweep};
+    use slpmt::pmem::FaultPlan;
+    use slpmt::workloads::crashsweep::{SweepCase, SWEEP_SCHEMES};
+    use slpmt::workloads::faultsweep::{check_fault_point, FaultCase};
+
+    let mut schemes: Vec<Scheme> = SWEEP_SCHEMES.to_vec();
+    let mut kinds = vec![IndexKind::Hashtable, IndexKind::Rbtree, IndexKind::Heap];
+    let mut seed = 42u64;
+    let mut ops = 20usize;
+    let mut points = 2usize;
+    let mut plans: Vec<FaultPlan> = Vec::new();
+    let mut at: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = value()?;
+                if !v.eq_ignore_ascii_case("all") {
+                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                }
+            }
+            "--workload" => {
+                let v = value()?;
+                if !v.eq_ignore_ascii_case("all") {
+                    kinds = vec![parse_kind(&v).ok_or_else(|| format!("unknown workload {v}"))?];
+                }
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ops" => ops = value()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--points" => points = value()?.parse().map_err(|e| format!("--points: {e}"))?,
+            "--plan" => plans.push(value()?.parse().map_err(|e| format!("--plan: {e}"))?),
+            "--at" => at = Some(value()?.parse().map_err(|e| format!("--at: {e}"))?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    if let Some(k) = at {
+        // Reproduce one failure tuple verbatim.
+        let (&scheme, &kind, &plan) = match (&schemes[..], &kinds[..], &plans[..]) {
+            ([s], [w], [p]) => (s, w, p),
+            _ => return Err("--at needs exactly one --scheme, --workload and --plan".into()),
+        };
+        let case = FaultCase {
+            base: SweepCase::new(scheme, kind, seed, ops),
+            plan,
+        };
+        return Ok(match check_fault_point(&case, k) {
+            Ok(()) => {
+                println!("faultsweep OK {case} k={k}: degradation rules held");
+                ExitCode::SUCCESS
+            }
+            Err(fail) => {
+                println!("{fail}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    let cases = fault_cases(&schemes, &kinds, seed, ops, &plans);
+    println!(
+        "fault-sweeping {} cell(s) × {points} crash point(s) (seed {seed}, {ops} ops) ...",
+        cases.len()
+    );
+    let start = std::time::Instant::now();
+    let report = run_fault_sweep(&cases, points);
+    print!("{report}");
+    println!("({:.2}s)", start.elapsed().as_secs_f64());
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// `rr:SEED` or `weighted:SEED`, the format sweep reports print.
 fn parse_sched(v: &str) -> Result<slpmt::core::Schedule, String> {
     use slpmt::core::Schedule;
@@ -531,9 +619,11 @@ fn cmd_shards(kind: IndexKind, args: &[String]) -> Result<ExitCode, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|mc|shards <index>> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
+         faults: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] \
+         [--points N] [--plan s<seed>:t<0|1>:p<n>:f<n>:j<n>] [--at K]\n\
          mc: [--scheme S] [--cores 2-4] [--seed N] [--sched rr:K|weighted:K] \
          [--txns N] [--stores N] [--crash-at K]\n\
          shards: [--scheme S] [--ops N] [--value B] [--shards N]\n\
@@ -587,6 +677,13 @@ fn main() -> ExitCode {
             }
         },
         "crashsweep" => match cmd_crashsweep(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "faults" => match cmd_faults(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

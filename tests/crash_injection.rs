@@ -4,7 +4,7 @@
 //! false-positive behaviour.
 
 use slpmt::core::{CommitPhase, Machine, MachineConfig, Scheme, Signature, StoreKind};
-use slpmt::pmem::PmAddr;
+use slpmt::pmem::{FaultPlan, MarkerState, PersistEvent, PmAddr};
 
 const A: PmAddr = PmAddr::new(0x10000);
 const B: PmAddr = PmAddr::new(0x10080);
@@ -151,6 +151,75 @@ fn redo_recovery_crash_is_idempotent() {
     assert_eq!(m.device().image().read_u64(A), 99);
     assert_eq!(m.device().image().read_u64(B), 100);
     assert_eq!(m.recover().redo_applied, 0);
+}
+
+// -------------------------------------------------------------------
+// Torn commit markers: the 16-byte marker can tear at either of its
+// two 8-byte words. In every discipline × persistency combination a
+// torn marker must read as *absent* — the transaction stays
+// uncommitted, recovery rolls it back (undo) or skips its replay
+// (redo), and the pre-transaction value survives.
+
+#[test]
+fn torn_marker_leaves_txn_uncommitted_in_every_discipline() {
+    for scheme in [Scheme::Fg, Scheme::FgLz, Scheme::FgRedo, Scheme::SlpmtRedo] {
+        let run = |tear: Option<(u8, u64)>| -> Machine {
+            let mut m = machine(scheme);
+            m.setup_write(A, &5u64.to_le_bytes());
+            if let Some((w, k)) = tear {
+                m.set_fault_plan(FaultPlan {
+                    seed: 7,
+                    tear: true,
+                    tear_word: Some(w),
+                    ..FaultPlan::NONE
+                });
+                m.arm_crash_at_event(k);
+            }
+            m.tx_begin();
+            m.store_u64(A, 99, StoreKind::Store);
+            m.tx_commit();
+            m
+        };
+        // Twin run locates the marker's persist-event number.
+        let twin = run(None);
+        let marker_k = twin
+            .device()
+            .events()
+            .iter()
+            .position(|e| matches!(e, PersistEvent::CommitMarker { .. }))
+            .expect("commit persists a marker") as u64
+            + 1;
+        for w in [0u8, 1] {
+            let mut m = run(Some((w, marker_k)));
+            assert!(m.crash_tripped(), "{scheme} w={w}: tear trips the crash");
+            m.crash();
+            let log = m.device().log();
+            assert!(
+                matches!(log.marker_state(1), Some(MarkerState::Torn(_))),
+                "{scheme} w={w}: marker must be durably torn"
+            );
+            assert!(
+                !log.is_committed(1),
+                "{scheme} w={w}: torn marker must not commit"
+            );
+            assert_eq!(
+                log.max_committed_seq(),
+                0,
+                "{scheme} w={w}: no durably committed transaction"
+            );
+            let report = m.recover();
+            assert_eq!(report.torn_markers, 1, "{scheme} w={w}");
+            assert!(
+                report.lost_lines.is_empty(),
+                "{scheme} w={w}: no media loss"
+            );
+            assert_eq!(
+                m.device().image().read_u64(A),
+                5,
+                "{scheme} w={w}: pre-transaction value survives"
+            );
+        }
+    }
 }
 
 // -------------------------------------------------------------------
