@@ -9,10 +9,10 @@
 //! [`run_sharded_serial`](slpmt_workloads::sharded::run_sharded_serial)
 //! for any worker count, which `bench/tests/determinism.rs` asserts.
 
-use crate::runner::par_map;
-use slpmt_core::MachineConfig;
+use crate::runner::{par_map, par_map_with};
+use slpmt_core::{MachineConfig, TraceRecord};
 use slpmt_workloads::runner::{IndexKind, RunResult};
-use slpmt_workloads::sharded::{partition_ops, run_shard, ShardedResult};
+use slpmt_workloads::sharded::{partition_ops, run_shard, run_shard_traced, ShardedResult};
 use slpmt_workloads::{AnnotationSource, YcsbOp};
 
 /// Partitions `ops` into `shards` keyspace shards and runs each on its
@@ -39,6 +39,43 @@ pub fn run_sharded(
         shards: results,
         total_ops: ops.len(),
     }
+}
+
+/// [`run_sharded`] with event tracing enabled on every shard, at an
+/// explicit worker count: each shard's measured phase comes back as a
+/// record sequence, merged deterministically in shard order. For any
+/// `workers` the per-shard sequences are identical to
+/// [`run_sharded_serial_traced`](slpmt_workloads::sharded::run_sharded_serial_traced) —
+/// the property `tests/trace_determinism.rs` pins down.
+pub fn run_sharded_traced_with(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    shards: usize,
+    workers: usize,
+) -> (ShardedResult, Vec<Vec<TraceRecord>>) {
+    let scheme = cfg.scheme;
+    let parts = partition_ops(ops, shards);
+    let pairs: Vec<(RunResult, Vec<TraceRecord>)> = par_map_with(&parts, workers, |part| {
+        run_shard_traced(cfg.clone(), kind, part, value_size, source)
+    });
+    let mut results = Vec::with_capacity(shards);
+    let mut traces = Vec::with_capacity(shards);
+    for (r, t) in pairs {
+        results.push(r);
+        traces.push(t);
+    }
+    (
+        ShardedResult {
+            scheme,
+            kind,
+            shards: results,
+            total_ops: ops.len(),
+        },
+        traces,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,69 @@
+//! Trace determinism across execution strategies: the parallel
+//! sharded driver must capture *identical* per-shard event sequences
+//! to the serial reference driver, for any worker count, and the
+//! deterministic shard-order merge must therefore be byte-identical
+//! too (same Chrome-trace export).
+
+#![cfg(not(feature = "no-trace"))]
+
+use slpmt_bench::sharded::run_sharded_traced_with;
+use slpmt_core::{MachineConfig, Scheme};
+use slpmt_workloads::runner::IndexKind;
+use slpmt_workloads::{run_sharded_serial_traced, ycsb_load, AnnotationSource};
+
+#[test]
+fn sharded_trace_matches_serial_for_any_worker_count() {
+    let ops = ycsb_load(48, 32, 11);
+    let cfg = MachineConfig::for_scheme(Scheme::Slpmt);
+    let (ser_res, ser_traces) = run_sharded_serial_traced(
+        cfg.clone(),
+        IndexKind::Hashtable,
+        &ops,
+        32,
+        AnnotationSource::Manual,
+        3,
+    );
+    assert_eq!(ser_traces.len(), 3);
+    assert!(ser_traces.iter().all(|t| !t.is_empty()));
+    for workers in [1, 2, 8] {
+        let (par_res, par_traces) = run_sharded_traced_with(
+            cfg.clone(),
+            IndexKind::Hashtable,
+            &ops,
+            32,
+            AnnotationSource::Manual,
+            3,
+            workers,
+        );
+        assert_eq!(par_res.sim_cycles(), ser_res.sim_cycles());
+        assert_eq!(
+            par_traces, ser_traces,
+            "{workers} worker(s): per-shard event sequences diverged"
+        );
+    }
+}
+
+#[test]
+fn merged_shard_trace_exports_byte_identically() {
+    let ops = ycsb_load(30, 16, 5);
+    let cfg = MachineConfig::for_scheme(Scheme::Slpmt);
+    let export = |workers: usize| {
+        let (_, traces) = run_sharded_traced_with(
+            cfg.clone(),
+            IndexKind::Heap,
+            &ops,
+            16,
+            AnnotationSource::Manual,
+            4,
+            workers,
+        );
+        // The deterministic merge: shard order, then each shard's own
+        // record order (already totally ordered per machine).
+        let merged: Vec<_> = traces.into_iter().flatten().collect();
+        slpmt_trace::export_chrome_trace(&merged)
+    };
+    let a = export(1);
+    let b = export(4);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "merged export must be byte-identical");
+}

@@ -62,5 +62,6 @@ pub use overhead::HardwareOverhead;
 pub use recovery::RecoveryReport;
 pub use scheme::{Discipline, Granularity, Scheme, SchemeFeatures};
 pub use signature::{Signature, SIGNATURE_BITS};
+pub use slpmt_trace::{Event as TraceEvent, Metrics as TraceMetrics, TraceHandle, TraceRecord};
 pub use stats::MachineStats;
 pub use txreg::TxnIdRegister;

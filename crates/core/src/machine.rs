@@ -36,6 +36,7 @@ use slpmt_cache::{
 use slpmt_logbuf::{AtomLineBuffer, EdeCombiner, FlushEvent, LogRecord, TieredLogBuffer};
 use slpmt_pmem::addr::{PmAddr, LINE_BYTES, WORD_BYTES};
 use slpmt_pmem::{PayloadBuf, PmConfig, PmDevice};
+use slpmt_trace::{CommitStage, Event as TraceEvent, TraceHandle, TraceRecord, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Commit-sequence phases at which a test may inject a power failure
@@ -147,6 +148,7 @@ struct CurTxn {
 /// An outstanding committed transaction with deferred lazy data.
 #[derive(Debug, Clone)]
 struct LazyTxn {
+    seq: u64,
     id: TxnId,
     sig: Signature,
 }
@@ -218,6 +220,10 @@ pub struct Machine {
     scratch_lazy: Vec<PmAddr>,
     scratch_logged: Vec<PmAddr>,
     scratch_free: Vec<PmAddr>,
+    /// Event tracing (`slpmt-trace`): `None` — the default — keeps
+    /// every hook down to a single branch; `enable_tracing` installs a
+    /// shared handle here, in the device and in every log buffer.
+    tracer: Option<TraceHandle>,
 }
 
 impl Machine {
@@ -258,7 +264,71 @@ impl Machine {
             scratch_lazy: Vec::new(),
             scratch_logged: Vec::new(),
             scratch_free: Vec::new(),
+            tracer: None,
             cfg,
+        }
+    }
+
+    /// Installs a fresh bounded tracer (at most `capacity_per_core`
+    /// buffered records per core, oldest dropped first) into the
+    /// machine, its device and every log buffer, and returns the
+    /// shared handle. All timestamps are simulated (the durable-event
+    /// counter, per-core sequence numbers and the cycle clock), so a
+    /// trace replays bit-identically from the same seeded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_per_core` is zero.
+    pub fn enable_tracing(&mut self, capacity_per_core: usize) -> TraceHandle {
+        let h = slpmt_trace::tracer(capacity_per_core);
+        self.tracer = Some(h.clone());
+        self.dev.set_tracer(Some(h.clone()));
+        if let LogPath::Tiered(buf) = &mut self.log_path {
+            buf.set_tracer(Some(h.clone()));
+        }
+        for ctx in &mut self.parked {
+            if let LogPath::Tiered(buf) = &mut ctx.log_path {
+                buf.set_tracer(Some(h.clone()));
+            }
+        }
+        h
+    }
+
+    /// Whether event tracing is enabled (and compiled in).
+    pub fn trace_enabled(&self) -> bool {
+        !cfg!(feature = "no-trace") && self.tracer.is_some()
+    }
+
+    /// Drains and returns the records captured so far, in deterministic
+    /// emission order. Empty when tracing was never enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        match &self.tracer {
+            Some(t) => t.borrow_mut().take(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Attributes subsequent events to `core` (multi-core wrapper).
+    pub(crate) fn trace_set_core(&self, core: u8) {
+        if cfg!(feature = "no-trace") {
+            return;
+        }
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().set_core(core);
+        }
+    }
+
+    /// Runs `f` against the tracer with the clock stamped to `now` —
+    /// a single branch (plus a constant-false feature check the
+    /// compiler deletes) when tracing is off.
+    pub(crate) fn trace(&self, f: impl FnOnce(&mut Tracer)) {
+        if cfg!(feature = "no-trace") {
+            return;
+        }
+        if let Some(t) = &self.tracer {
+            let mut t = t.borrow_mut();
+            t.set_clock(self.now);
+            f(&mut t);
         }
     }
 
@@ -544,6 +614,13 @@ impl Machine {
             let hit = self.parked.iter_mut().find_map(|c| c.l1.migrate_out(line));
             if let Some(e) = hit {
                 self.now += self.cfg.caches.l2.hit_cycles; // c2c transfer
+                self.trace(|t| {
+                    t.emit(TraceEvent::CacheFetch {
+                        level: 1,
+                        addr: line.raw(),
+                        replicated: false,
+                    });
+                });
                 self.insert_l1(e);
                 return;
             }
@@ -552,7 +629,15 @@ impl Machine {
         if self.l2.lookup(line).is_some() {
             let mut e = self.l2.remove(line).expect("looked up");
             // Figure 5: replicate each L2 group bit into four L1 bits.
+            let replicated = e.meta.log_bits != 0;
             e.meta.log_bits = l2_logbits_to_l1(e.meta.log_bits);
+            self.trace(|t| {
+                t.emit(TraceEvent::CacheFetch {
+                    level: 2,
+                    addr: line.raw(),
+                    replicated,
+                });
+            });
             self.insert_l1(e);
             return;
         }
@@ -561,6 +646,13 @@ impl Machine {
             let mut e = self.l3.remove(line).expect("looked up");
             // L3 keeps no SLPMT metadata: bits re-initialise to zero.
             e.meta = LineMeta::clean();
+            self.trace(|t| {
+                t.emit(TraceEvent::CacheFetch {
+                    level: 3,
+                    addr: line.raw(),
+                    replicated: false,
+                });
+            });
             self.insert_l1(e);
             return;
         }
@@ -582,6 +674,13 @@ impl Machine {
         // LLC miss: fetch from the persistent medium.
         self.now += self.dev.read_cycles();
         let data = self.dev.image().read_line(line);
+        self.trace(|t| {
+            t.emit(TraceEvent::CacheFetch {
+                level: 4,
+                addr: line.raw(),
+                replicated: false,
+            });
+        });
         self.insert_l1(Entry::new(line, data, LineMeta::clean()));
     }
 
@@ -680,13 +779,37 @@ impl Machine {
             }
         }
         // Figure 5: conjunction of each group of four L1 bits.
-        victim.meta.log_bits = l1_logbits_to_l2(victim.meta.log_bits);
+        let l1_bits = victim.meta.log_bits;
+        victim.meta.log_bits = l1_logbits_to_l2(l1_bits);
+        self.trace(|t| {
+            t.emit(TraceEvent::CacheEvict {
+                level: 1,
+                addr: victim.addr.raw(),
+                dirty: victim.meta.dirty,
+                logged: l1_bits != 0,
+            });
+            if l1_bits != 0 {
+                t.emit(TraceEvent::LogBitConj {
+                    addr: victim.addr.raw(),
+                    l1_bits,
+                    l2_bits: victim.meta.log_bits,
+                });
+            }
+        });
         if let Some(victim2) = self.l2.insert(victim) {
             self.evict_l2_to_l3(victim2);
         }
     }
 
     fn evict_l2_to_l3(&mut self, mut victim: Entry) {
+        self.trace(|t| {
+            t.emit(TraceEvent::CacheEvict {
+                level: 2,
+                addr: victim.addr.raw(),
+                dirty: victim.meta.dirty,
+                logged: victim.meta.log_bits != 0,
+            });
+        });
         // Before a line's data leaves the private cache, its buffered
         // log records must persist (§III-A).
         let ev = match &mut self.log_path {
@@ -793,6 +916,16 @@ impl Machine {
         if freed.is_empty() {
             return;
         }
+        self.trace(|t| {
+            for lt in &self.lazy_txns {
+                if freed.contains(&lt.id) {
+                    t.emit(TraceEvent::TxnIdRetire {
+                        txn: lt.seq,
+                        id: lt.id.raw(),
+                    });
+                }
+            }
+        });
         self.lazy_txns.retain(|lt| !freed.contains(&lt.id));
         // Collect the deferred lines of the freed transactions.
         let mut doomed: Vec<PmAddr> = Vec::new();
@@ -813,6 +946,12 @@ impl Machine {
             }
         }
         doomed.sort();
+        self.trace(|t| {
+            t.emit(TraceEvent::SigForcedPersist {
+                id: id.raw(),
+                lines: doomed.len().min(u32::MAX as usize) as u32,
+            });
+        });
         for addr in doomed {
             let data = {
                 let e = self
@@ -910,6 +1049,12 @@ impl Machine {
             .map(|lt| lt.id);
         if let Some(id) = hit {
             self.stats.signature_hits += 1;
+            self.trace(|t| {
+                t.emit(TraceEvent::SigHit {
+                    addr: addr.line().raw(),
+                    id: id.raw(),
+                });
+            });
             self.force_persist_through(id);
         }
     }
@@ -986,6 +1131,13 @@ impl Machine {
                     .expect("line resident")
                     .meta
                     .set_word_logged(word);
+                self.trace(|t| {
+                    t.emit(TraceEvent::LogBit {
+                        addr: line.raw(),
+                        word: word as u8,
+                        lazy: deferred,
+                    });
+                });
             }
             Granularity::Line => {
                 let (mut pre, need, defer_bits) = {
@@ -1063,6 +1215,23 @@ impl Machine {
         if matches!(kind, StoreKind::StoreT { .. }) && (f.log_free || f.lazy) {
             self.stats.store_ts += 1;
         }
+        self.trace(|t| {
+            // `honoured` is whether the operands survived the degrade
+            // rules: the Table I bit effects match what the operands
+            // asked for (vacuously true for a plain `store`).
+            let honoured = match kind {
+                StoreKind::Store => true,
+                StoreKind::StoreT { lazy, log_free } => {
+                    eff.set_persist != lazy && eff.set_log != log_free
+                }
+            };
+            t.emit(TraceEvent::StoreIssue {
+                addr: addr.raw(),
+                log: eff.set_log,
+                lazy: !eff.set_persist,
+                honoured,
+            });
+        });
         self.now += self.cfg.store_issue_cycles;
         self.ensure_l1(addr);
         self.lazy_checks(addr, true, eff.set_log && self.cur.is_some());
@@ -1176,6 +1345,12 @@ impl Machine {
                 Err(oldest) => self.force_persist_through(oldest),
             }
         };
+        self.trace(|t| {
+            t.emit(TraceEvent::TxnIdAlloc {
+                txn: self.txn_seq,
+                id: id.raw(),
+            });
+        });
         self.cur = Some(CurTxn {
             seq: self.txn_seq,
             id,
@@ -1196,6 +1371,7 @@ impl Machine {
         let cur = self.cur.take().expect("commit without an open transaction");
         let commit_start = self.now;
         let redo = self.cfg.features.discipline == Discipline::Redo;
+        self.trace(|t| t.emit(TraceEvent::CommitBegin { txn: cur.seq }));
 
         if self.cfg.battery_backed {
             // §V-E: the private caches are inside the persistence
@@ -1221,7 +1397,7 @@ impl Machine {
                 return;
             }
             self.now = self.dev.persist_commit_marker(self.now, cur.seq);
-            if self.take_crash_point(CommitPhase::AfterMarker) {
+            if self.take_crash_point(cur.seq, CommitPhase::AfterMarker) {
                 // Marker durable: the battery flush preserved the
                 // transaction's (still-tagged) lines, so it is durable.
                 return;
@@ -1238,6 +1414,13 @@ impl Machine {
                 }
             }
             self.txreg.retire_clean(cur.id);
+            self.trace(|t| {
+                t.emit(TraceEvent::TxnIdRetire {
+                    txn: cur.seq,
+                    id: cur.id.raw(),
+                });
+                t.emit(TraceEvent::CommitEnd { txn: cur.seq });
+            });
             self.stats.commit_stall_cycles += self.now - commit_start;
             self.stats.tx_commits += 1;
             return;
@@ -1331,7 +1514,7 @@ impl Machine {
             for (a, data, bits, defer) in &spilled_mixed {
                 self.persist_log_free_words_premarker(PmAddr::new(*a), data, *bits, *defer);
             }
-            if self.take_crash_point(CommitPhase::AfterLogFree) {
+            if self.take_crash_point(cur.seq, CommitPhase::AfterLogFree) {
                 return;
             }
             let ev = match &mut self.log_path {
@@ -1341,11 +1524,11 @@ impl Machine {
             if let Some(ev) = ev {
                 self.persist_flush(ev, true);
             }
-            if self.take_crash_point(CommitPhase::AfterRecords) {
+            if self.take_crash_point(cur.seq, CommitPhase::AfterRecords) {
                 return;
             }
             self.now = self.dev.persist_commit_marker(self.now, cur.seq);
-            if self.take_crash_point(CommitPhase::AfterMarker) {
+            if self.take_crash_point(cur.seq, CommitPhase::AfterMarker) {
                 return;
             }
             // Write-back: logged lines from the caches and any spilled
@@ -1379,17 +1562,17 @@ impl Machine {
             if let Some(ev) = ev {
                 self.persist_flush(ev, true);
             }
-            if self.take_crash_point(CommitPhase::AfterRecords) {
+            if self.take_crash_point(cur.seq, CommitPhase::AfterRecords) {
                 return;
             }
             for &addr in free_lines.iter().chain(logged_lines.iter()) {
                 deferred_mixed |= self.commit_persist_line(addr);
             }
-            if self.take_crash_point(CommitPhase::AfterData) {
+            if self.take_crash_point(cur.seq, CommitPhase::AfterData) {
                 return;
             }
             self.now = self.dev.persist_commit_marker(self.now, cur.seq);
-            if self.take_crash_point(CommitPhase::AfterMarker) {
+            if self.take_crash_point(cur.seq, CommitPhase::AfterMarker) {
                 // For undo everything already persisted: the
                 // transaction is durable despite the crash.
                 return;
@@ -1404,6 +1587,12 @@ impl Machine {
         // durability is still outstanding.
         if lazy_lines.is_empty() && !deferred_mixed {
             self.txreg.retire_clean(cur.id);
+            self.trace(|t| {
+                t.emit(TraceEvent::TxnIdRetire {
+                    txn: cur.seq,
+                    id: cur.id.raw(),
+                });
+            });
         } else {
             for addr in &lazy_lines {
                 let e = self
@@ -1420,9 +1609,24 @@ impl Machine {
             for &l in cur.read_set.difference(&cur.write_set) {
                 sig.insert(PmAddr::new(l));
             }
-            self.lazy_txns.push(LazyTxn { id: cur.id, sig });
+            self.trace(|t| {
+                // The exact line set is the aggregator's ground truth
+                // for the false-positive rate; the `Vec` is built only
+                // when tracing is on.
+                t.emit(TraceEvent::SigInsert {
+                    txn: cur.seq,
+                    id: cur.id.raw(),
+                    lines: cur.read_set.difference(&cur.write_set).copied().collect(),
+                });
+            });
+            self.lazy_txns.push(LazyTxn {
+                seq: cur.seq,
+                id: cur.id,
+                sig,
+            });
             self.txreg.retire_lazy(cur.id);
         }
+        self.trace(|t| t.emit(TraceEvent::CommitEnd { txn: cur.seq }));
 
         self.stats.commit_stall_cycles += self.now - commit_start;
         self.stats.tx_commits += 1;
@@ -1524,7 +1728,18 @@ impl Machine {
 
     /// Consumes an armed crash injection for `phase`: performs the
     /// power failure and reports `true` if the commit must stop here.
-    fn take_crash_point(&mut self, phase: CommitPhase) -> bool {
+    /// Also the single site stamping the commit persist-ordering trace:
+    /// reaching a phase means its stage just completed, crash or not.
+    fn take_crash_point(&mut self, txn: u64, phase: CommitPhase) -> bool {
+        self.trace(|t| {
+            let stage = match phase {
+                CommitPhase::AfterLogFree => CommitStage::LogFree,
+                CommitPhase::AfterRecords => CommitStage::Records,
+                CommitPhase::AfterData => CommitStage::Data,
+                CommitPhase::AfterMarker => CommitStage::Marker,
+            };
+            t.emit(TraceEvent::CommitStageDone { txn, stage });
+        });
         if self.commit_crash_point == Some(phase) {
             self.commit_crash_point = None;
             self.crash();
@@ -1543,6 +1758,13 @@ impl Machine {
     /// Panics if no transaction is open.
     pub fn tx_abort(&mut self) {
         let cur = self.cur.take().expect("abort without an open transaction");
+        self.trace(|t| {
+            t.emit(TraceEvent::Abort { txn: cur.seq });
+            t.emit(TraceEvent::TxnIdRetire {
+                txn: cur.seq,
+                id: cur.id.raw(),
+            });
+        });
         // (1) Clear the log buffer — the records' lines are still in the
         // private cache or were flushed already.
         match &mut self.log_path {
@@ -1852,11 +2074,16 @@ impl Machine {
         // single-core machine (asserted by the wrapper's tests).
         self.multi = cores > 1;
         for _ in 1..cores {
-            let log_path = match self.cfg.features.buffer {
+            let mut log_path = match self.cfg.features.buffer {
                 BufferKind::Tiered => LogPath::Tiered(TieredLogBuffer::new()),
                 BufferKind::AtomLines => LogPath::Atom(AtomLineBuffer::new()),
                 BufferKind::EdeDirect => LogPath::Ede(EdeCombiner::new()),
             };
+            // Tracing enabled before the cores existed: the new private
+            // buffers join the shared tracer too.
+            if let (Some(h), LogPath::Tiered(buf)) = (&self.tracer, &mut log_path) {
+                buf.set_tracer(Some(h.clone()));
+            }
             self.parked.push(CoreCtx {
                 l1: SetAssocCache::new(self.cfg.caches.l1),
                 log_path,
@@ -1900,11 +2127,20 @@ impl Machine {
     /// set. Returns the parked slot of the first conflicting owner.
     pub(crate) fn parked_conflict(&self, addr: PmAddr, is_write: bool) -> Option<usize> {
         let line = addr.line().raw();
-        self.parked.iter().position(|c| {
+        let hit = self.parked.iter().position(|c| {
             c.cur.as_ref().is_some_and(|t| {
                 t.write_set.contains(&line) || (is_write && t.read_set.contains(&line))
             })
-        })
+        });
+        if let Some(slot) = hit {
+            self.trace(|t| {
+                t.emit(TraceEvent::CrossConflict {
+                    addr: addr.raw(),
+                    holder: slot as u8,
+                });
+            });
+        }
+        hit
     }
 
     /// Aborts the open transaction of the parked core in `slot` — the
@@ -1925,6 +2161,12 @@ impl Machine {
             .take()
             .expect("no open transaction on parked core");
         self.stats.cross_core_aborts += 1;
+        self.trace(|t| {
+            t.emit(TraceEvent::CrossAbort {
+                victim: slot as u8,
+                txn: victim.seq,
+            });
+        });
         let undo = self.cfg.features.discipline == Discipline::Undo;
         // Collect the victim's still-buffered records: under undo
         // they carry pre-images the repair needs (their data may
@@ -1958,6 +2200,14 @@ impl Machine {
         if repair_tainted {
             self.stats.cross_core_repair_aborts += 1;
         }
+        self.trace(|t| {
+            let records = self.dev.log().records_of(victim.seq).count() + buffered.len();
+            t.emit(TraceEvent::CrossRepair {
+                victim: slot as u8,
+                records: records.min(u32::MAX as usize) as u32,
+                deferred: repair_tainted,
+            });
+        });
         // Compute the undo repairs *before* invalidating anything: the
         // pre-images apply onto the line's coherent contents, because
         // the image can be stale — a sibling word's only up-to-date

@@ -210,6 +210,18 @@ impl MultiMachine {
         std::mem::take(&mut self.events)
     }
 
+    /// Enables event tracing on the underlying machine (see
+    /// [`Machine::enable_tracing`]); events are attributed to the
+    /// issuing core.
+    pub fn enable_tracing(&mut self, capacity_per_core: usize) -> slpmt_trace::TraceHandle {
+        self.m.enable_tracing(capacity_per_core)
+    }
+
+    /// Drains and returns the trace captured so far.
+    pub fn take_trace(&mut self) -> Vec<slpmt_trace::TraceRecord> {
+        self.m.take_trace()
+    }
+
     /// Makes `core` the active context (no-op when it already is).
     fn activate(&mut self, core: usize) {
         assert!(core < self.cores, "core {core} out of range");
@@ -222,6 +234,7 @@ impl MultiMachine {
         self.slot_of[core] = ACTIVE_SLOT;
         self.active = core;
         self.m.device_mut().set_event_origin(core as u8);
+        self.m.trace_set_core(core as u8);
     }
 
     /// The core whose context is parked in `slot`.
@@ -541,8 +554,21 @@ fn run_programs_inner(
     sched: Schedule,
     crash_at: Option<u64>,
 ) -> (MultiMachine, McOutcome) {
+    run_programs_opts(cfg, programs, sched, crash_at, None)
+}
+
+fn run_programs_opts(
+    cfg: MachineConfig,
+    programs: &[Vec<TraceOp>],
+    sched: Schedule,
+    crash_at: Option<u64>,
+    trace_capacity: Option<usize>,
+) -> (MultiMachine, McOutcome) {
     let n = programs.len();
     let mut mm = MultiMachine::new(cfg, n);
+    if let Some(cap) = trace_capacity {
+        mm.enable_tracing(cap);
+    }
     if let Some(k) = crash_at {
         mm.arm_crash_at_event(k);
     }
@@ -663,6 +689,20 @@ pub fn run_programs(
     sched: Schedule,
 ) -> (MultiMachine, McOutcome) {
     run_programs_inner(cfg, programs, sched, None)
+}
+
+/// [`run_programs`] with event tracing on from the first instruction
+/// (per-core ring capacity `trace_capacity`) and an optionally armed
+/// crash — the capture side of the interleaving sweeps. Drain the
+/// records with [`MultiMachine::take_trace`].
+pub fn run_programs_traced(
+    cfg: MachineConfig,
+    programs: &[Vec<TraceOp>],
+    sched: Schedule,
+    crash_at: Option<u64>,
+    trace_capacity: usize,
+) -> (MultiMachine, McOutcome) {
+    run_programs_opts(cfg, programs, sched, crash_at, Some(trace_capacity))
 }
 
 /// `splitmix64` fold over the final image restricted to the program's
@@ -935,6 +975,26 @@ pub fn mc_run_crash_at(case: &McSweepCase, k: u64) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Replays the machine-level sequence of [`mc_run_crash_at`] — run
+/// under the case's schedule, crash at persist event `k`, power
+/// failure, log replay — with event tracing enabled, and returns the
+/// captured records. Recovery panics are swallowed so the trace up to
+/// the failure still comes back; the same `(case, k)` always yields
+/// the same records.
+pub fn mc_trace_crash_at(case: &McSweepCase, k: u64) -> Vec<slpmt_trace::TraceRecord> {
+    let programs = gen_programs(&case.spec());
+    let (mut mm, _) = run_programs_traced(
+        MachineConfig::for_scheme(case.scheme),
+        &programs,
+        case.sched,
+        Some(k),
+        1 << 20,
+    );
+    mm.crash();
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mm.recover()));
+    mm.take_trace()
 }
 
 /// [`mc_run_crash_at`] with panics converted into failure strings, so

@@ -32,7 +32,9 @@ use crate::machine::Machine;
 use crate::scheme::Discipline;
 use slpmt_pmem::addr::{LINE_BYTES, WORD_BYTES};
 use slpmt_pmem::{PersistedRecord, PmAddr};
+use slpmt_trace::{Event as TraceEvent, RecoveryStage};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// What log replay did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -68,6 +70,29 @@ pub struct RecoveryReport {
     pub lost_lines: Vec<u64>,
 }
 
+impl fmt::Display for RecoveryReport {
+    /// One line, e.g. `undo 3 (2 txns), redo 0 (0 txns), persisted 5,
+    /// torn 1r/0m, corrupt 0, salvaged 0, lost 0` — the format the
+    /// sweep logs share instead of hand-formatting the counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "undo {} ({} txns), redo {} ({} txns), persisted {}, \
+             torn {}r/{}m, corrupt {}, salvaged {}, lost {}",
+            self.undo_applied,
+            self.rolled_back.len(),
+            self.redo_applied,
+            self.replayed.len(),
+            self.lines_persisted,
+            self.torn_records,
+            self.torn_markers,
+            self.corrupt_records,
+            self.salvaged_lines.len(),
+            self.lost_lines.len()
+        )
+    }
+}
+
 impl Machine {
     /// Replays the log after a [`crash`](Machine::crash) according to
     /// the machine's logging discipline, then truncates the log
@@ -89,6 +114,21 @@ impl Machine {
         report.torn_records = v.torn_records;
         report.corrupt_records = v.corrupt_records;
         report.torn_markers = v.torn_markers;
+        let n_records = self.device().log().records().len();
+        self.trace(|t| {
+            t.emit(TraceEvent::Recovery {
+                stage: RecoveryStage::Validate,
+                n: n_records as u64,
+            });
+            t.emit(TraceEvent::Recovery {
+                stage: RecoveryStage::Truncate,
+                n: v.torn_records as u64,
+            });
+            t.emit(TraceEvent::Recovery {
+                stage: RecoveryStage::Skip,
+                n: v.corrupt_records as u64,
+            });
+        });
         // Poisoned lines re-materialise word-by-word from replayed
         // records; track per-line coverage to tell salvage from loss.
         let mut poison_cov: BTreeMap<u64, u8> = self
@@ -146,10 +186,17 @@ impl Machine {
                 report.replayed = replayed.into_iter().collect();
             }
         }
+        self.trace(|t| {
+            t.emit(TraceEvent::Recovery {
+                stage: RecoveryStage::Replay,
+                n: (report.undo_applied + report.redo_applied) as u64,
+            });
+        });
         // Classify every poisoned line: full word coverage by intact
         // records = salvaged; anything else is lost. Lines replay
         // never touched are still poisoned — scrub them to zeros so
         // post-recovery reads are deterministic instead of faulting.
+        let mut scrubbed = 0u64;
         for (&la, &mask) in &poison_cov {
             if mask == u8::MAX {
                 continue; // fully re-materialised
@@ -161,6 +208,7 @@ impl Machine {
                 self.device_mut()
                     .persist_line(now, addr, &[0u8; LINE_BYTES]);
                 report.lines_persisted += 1;
+                scrubbed += 1;
             }
         }
         report.salvaged_lines = poison_cov
@@ -169,6 +217,16 @@ impl Machine {
             .map(|(&la, _)| la)
             .collect();
         report.lost_lines = lost.into_iter().collect();
+        self.trace(|t| {
+            t.emit(TraceEvent::Recovery {
+                stage: RecoveryStage::Salvage,
+                n: report.salvaged_lines.len() as u64,
+            });
+            t.emit(TraceEvent::Recovery {
+                stage: RecoveryStage::Scrub,
+                n: scrubbed,
+            });
+        });
         // The log's job is done; the new epoch starts empty. The reset
         // is itself a persist event, so an injected crash mid-recovery
         // leaves the log intact for the next attempt.

@@ -53,6 +53,31 @@ impl MachineStats {
         Self::default()
     }
 
+    /// One-line summary for sweep logs, e.g.
+    /// `ld 100 st 80 (storeT 20) tx 10/9/1 rec 30 (disc 4) persists 12
+    /// lazy 3/1/0 sig 2 stall 4000` — the shared compact form the
+    /// sweep runners print instead of hand-formatting counters.
+    pub fn summary(&self) -> String {
+        format!(
+            "ld {} st {} (storeT {}) tx {}/{}/{} rec {} (disc {}) \
+             persists {} lazy {}/{}/{} sig {} stall {}",
+            self.loads,
+            self.stores,
+            self.store_ts,
+            self.tx_begins,
+            self.tx_commits,
+            self.tx_aborts,
+            self.log_records_created,
+            self.log_records_discarded,
+            self.commit_line_persists,
+            self.lazy_lines_deferred,
+            self.lazy_lines_forced,
+            self.lazy_lines_overflowed,
+            self.signature_hits,
+            self.commit_stall_cycles
+        )
+    }
+
     /// Adds `other`'s counters into `self` (merging per-shard or
     /// per-worker runs; field-wise, order-independent).
     pub fn accumulate(&mut self, other: &MachineStats) {

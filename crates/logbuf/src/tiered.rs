@@ -14,6 +14,7 @@
 
 use crate::record::{flush_event, FlushEvent, LogRecord};
 use slpmt_pmem::addr::{PmAddr, LINE_BYTES, WORD_BYTES};
+use slpmt_trace::{Event as TraceEvent, TraceHandle, Tracer};
 
 /// Number of tiers: word, double-word, quad-word, line.
 pub const TIERS: usize = 4;
@@ -50,6 +51,9 @@ pub struct TieredStats {
 pub struct TieredLogBuffer {
     tiers: [Vec<LogRecord>; TIERS],
     stats: TieredStats,
+    /// Optional trace sink shared with the owning machine. `None` (the
+    /// default) keeps every buffer operation at a single branch.
+    tracer: Option<TraceHandle>,
 }
 
 fn tier_of(record: &LogRecord) -> usize {
@@ -71,6 +75,46 @@ impl TieredLogBuffer {
     /// Behaviour counters.
     pub fn stats(&self) -> &TieredStats {
         &self.stats
+    }
+
+    /// Installs (or removes) the shared trace sink: appends, buddy
+    /// coalesces, drains and occupancy snapshots are emitted while a
+    /// sink is present.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.tracer = tracer;
+    }
+
+    /// `true` when buffer operations should collect trace detail.
+    fn tracing(&self) -> bool {
+        !cfg!(feature = "no-trace") && self.tracer.is_some()
+    }
+
+    /// Runs `f` against the sink when tracing is enabled.
+    fn trace(&self, f: impl FnOnce(&mut Tracer)) {
+        if cfg!(feature = "no-trace") {
+            return;
+        }
+        if let Some(t) = &self.tracer {
+            f(&mut t.borrow_mut());
+        }
+    }
+
+    /// Emits a post-mutation tier-occupancy snapshot.
+    fn trace_occupancy(&self) {
+        if !self.tracing() {
+            return;
+        }
+        let lens = self.tier_lens();
+        self.trace(|t| {
+            t.emit(TraceEvent::TierOccupancy {
+                lens: [
+                    lens[0].min(255) as u8,
+                    lens[1].min(255) as u8,
+                    lens[2].min(255) as u8,
+                    lens[3].min(255) as u8,
+                ],
+            });
+        });
     }
 
     /// Total records currently buffered.
@@ -101,6 +145,13 @@ impl TieredLogBuffer {
                     let buddy = self.tiers[tier].swap_remove(pos);
                     self.stats.coalesces += 1;
                     rec = rec.merge(buddy);
+                    self.trace(|t| {
+                        t.emit(TraceEvent::TierCoalesce {
+                            tier: tier_of(&rec) as u8,
+                            addr: rec.addr.raw(),
+                            len: rec.payload.len() as u16,
+                        });
+                    });
                     continue; // try to coalesce again in the next tier
                 }
             }
@@ -108,9 +159,28 @@ impl TieredLogBuffer {
             if self.tiers[tier].len() == TIER_CAPACITY {
                 self.stats.overflow_drains += 1;
                 let drained = std::mem::take(&mut self.tiers[tier]);
+                self.trace(|t| {
+                    for r in &drained {
+                        t.emit(TraceEvent::TierDrain {
+                            tier: tier as u8,
+                            addr: r.addr.raw(),
+                            len: r.payload.len() as u16,
+                            overflow: true,
+                        });
+                    }
+                });
                 events.push(flush_event(drained));
             }
+            let (addr, len) = (rec.addr.raw(), rec.payload.len() as u16);
             self.tiers[tier].push(rec);
+            self.trace(|t| {
+                t.emit(TraceEvent::TierAppend {
+                    tier: tier as u8,
+                    addr,
+                    len,
+                });
+            });
+            self.trace_occupancy();
             return events;
         }
     }
@@ -151,11 +221,16 @@ impl TieredLogBuffer {
     /// `None` when the buffer holds no such record.
     pub fn flush_line(&mut self, line: PmAddr) -> Option<FlushEvent> {
         let line = line.line();
+        let tracing = self.tracing();
         let mut out = Vec::new();
-        for tier in &mut self.tiers {
+        let mut out_tiers = Vec::new();
+        for (ti, tier) in self.tiers.iter_mut().enumerate() {
             let mut i = 0;
             while i < tier.len() {
                 if tier[i].line() == line {
+                    if tracing {
+                        out_tiers.push(ti as u8);
+                    }
                     out.push(tier.swap_remove(i));
                 } else {
                     i += 1;
@@ -165,6 +240,17 @@ impl TieredLogBuffer {
         if out.is_empty() {
             None
         } else {
+            self.trace(|t| {
+                for (ti, r) in out_tiers.iter().zip(&out) {
+                    t.emit(TraceEvent::TierDrain {
+                        tier: *ti,
+                        addr: r.addr.raw(),
+                        len: r.payload.len() as u16,
+                        overflow: false,
+                    });
+                }
+            });
+            self.trace_occupancy();
             Some(flush_event(out))
         }
     }
@@ -186,13 +272,29 @@ impl TieredLogBuffer {
     /// Drains every tier into one packed flush (transaction commit).
     /// Returns `None` when empty.
     pub fn drain_all(&mut self) -> Option<FlushEvent> {
+        let tracing = self.tracing();
         let mut all = Vec::new();
-        for tier in &mut self.tiers {
+        let mut all_tiers = Vec::new();
+        for (ti, tier) in self.tiers.iter_mut().enumerate() {
+            if tracing {
+                all_tiers.resize(all_tiers.len() + tier.len(), ti as u8);
+            }
             all.append(tier);
         }
         if all.is_empty() {
             None
         } else {
+            self.trace(|t| {
+                for (ti, r) in all_tiers.iter().zip(&all) {
+                    t.emit(TraceEvent::TierDrain {
+                        tier: *ti,
+                        addr: r.addr.raw(),
+                        len: r.payload.len() as u16,
+                        overflow: false,
+                    });
+                }
+            });
+            self.trace_occupancy();
             Some(flush_event(all))
         }
     }

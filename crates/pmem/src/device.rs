@@ -14,7 +14,8 @@ use crate::log_region::LogRegion;
 use crate::payload::PayloadBuf;
 use crate::space::PmSpace;
 use crate::stats::WriteTraffic;
-use crate::wpq::WritePendingQueue;
+use crate::wpq::{WpqPush, WritePendingQueue};
+use slpmt_trace::{Event as TraceEvent, PersistKind, TraceHandle};
 use std::collections::BTreeSet;
 
 /// One entry of the device's persist-event trace, in acceptance order.
@@ -139,6 +140,9 @@ pub struct PmDevice {
     /// Ground truth: lines covered by records the plan bit-flipped at
     /// the last crash.
     fault_flipped: Vec<u64>,
+    /// Optional trace sink shared with the machine front end. `None`
+    /// (the default) keeps the persist path at a single branch.
+    tracer: Option<TraceHandle>,
 }
 
 impl PmDevice {
@@ -168,6 +172,71 @@ impl PmDevice {
             poisoned: BTreeSet::new(),
             fault_poisoned: Vec::new(),
             fault_flipped: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Installs (or removes) the shared trace sink. Accepted durable
+    /// mutations, WPQ enqueues and log packs are emitted while a sink
+    /// is present; the durable-event counter is mirrored into it so
+    /// records from every emitter share the same clock.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.tracer = tracer;
+    }
+
+    /// Stamps the simulated cycle clock on the trace sink (no-op when
+    /// tracing is disabled).
+    fn trace_clock(&mut self, now: u64) {
+        if cfg!(feature = "no-trace") {
+            return;
+        }
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().set_clock(now);
+        }
+    }
+
+    /// Emits the accepted durable mutation into the trace sink.
+    fn trace_accepted(&mut self, event: &PersistEvent, torn: bool) {
+        if cfg!(feature = "no-trace") {
+            return;
+        }
+        if let Some(t) = &self.tracer {
+            let (kind, addr, len, txn) = match event {
+                PersistEvent::DataLine { addr } => {
+                    (PersistKind::Data, addr.raw(), LINE_BYTES as u16, 0)
+                }
+                PersistEvent::LogRecord { txn, addr, len } => {
+                    (PersistKind::Record, addr.raw(), *len as u16, *txn)
+                }
+                PersistEvent::CommitMarker { txn } => (PersistKind::Marker, 0, 16, *txn),
+                PersistEvent::LogTruncate => (PersistKind::Truncate, 0, 0, 0),
+            };
+            let mut t = t.borrow_mut();
+            t.set_devent(self.event_count);
+            t.emit(TraceEvent::Persist {
+                kind,
+                addr,
+                len,
+                txn,
+                torn,
+            });
+        }
+    }
+
+    /// Emits the WPQ enqueue + drain-complete pair for one push.
+    fn trace_wpq(&mut self, now: u64, push: &WpqPush) {
+        if cfg!(feature = "no-trace") {
+            return;
+        }
+        if let Some(t) = &self.tracer {
+            let depth = self.wpq.occupancy(push.accepted_at).min(255) as u8;
+            let stall = push.stall_cycles.min(u64::from(u32::MAX)) as u32;
+            let mut t = t.borrow_mut();
+            t.set_clock(now);
+            t.emit(TraceEvent::WpqEnqueue { depth, stall });
+            t.emit(TraceEvent::WpqDrainComplete {
+                at: push.drained_at,
+            });
         }
     }
 
@@ -259,6 +328,7 @@ impl PmDevice {
             if self.plan.tear && self.event_count + 1 == k {
                 if let Some((lo, hi)) = tear_range(&event) {
                     self.event_count += 1;
+                    self.trace_accepted(&event, true);
                     self.events.push(event);
                     self.origins.push(self.origin);
                     // Power failed *during* event k: the prefix of the
@@ -275,6 +345,7 @@ impl PmDevice {
             }
         }
         self.event_count += 1;
+        self.trace_accepted(&event, false);
         self.events.push(event);
         self.origins.push(self.origin);
         Admission::Full
@@ -344,10 +415,12 @@ impl PmDevice {
     ///
     /// Panics if `addr` is not line-aligned.
     pub fn persist_line(&mut self, now: u64, addr: PmAddr, data: &[u8; LINE_BYTES]) -> u64 {
+        self.trace_clock(now);
         match self.accept(PersistEvent::DataLine { addr }) {
             Admission::Dropped => now,
             Admission::Full => {
                 let push = self.wpq.push(now);
+                self.trace_wpq(now, &push);
                 self.image.write_line(addr, data);
                 // A completed line write re-establishes ECC: the line
                 // is readable again (cheap no-op when nothing is
@@ -358,6 +431,7 @@ impl PmDevice {
             }
             Admission::Torn(w) => {
                 let push = self.wpq.push(now);
+                self.trace_wpq(now, &push);
                 let mut line = self.image.read_line(addr);
                 let landed = w as usize * WORD_BYTES;
                 line[..landed].copy_from_slice(&data[..landed]);
@@ -379,6 +453,7 @@ impl PmDevice {
     /// Panics if `entries` is empty.
     pub fn persist_log_pack(&mut self, now: u64, entries: &[LogFlushEntry]) -> u64 {
         assert!(!entries.is_empty(), "empty log pack");
+        self.trace_clock(now);
         let mut bytes = 0;
         let mut records = 0;
         for e in entries {
@@ -412,9 +487,19 @@ impl PmDevice {
         let lines = self.log_append_lines(bytes);
         let mut accepted = now;
         for _ in 0..lines {
-            accepted = self.wpq.push(accepted).accepted_at;
+            let push = self.wpq.push(accepted);
+            self.trace_wpq(accepted, &push);
+            accepted = push.accepted_at;
         }
         self.traffic.count_log_flush(records, bytes, lines);
+        if !cfg!(feature = "no-trace") {
+            if let Some(t) = &self.tracer {
+                t.borrow_mut().emit(TraceEvent::LogPack {
+                    records: records as u16,
+                    bytes: bytes.min(u64::from(u32::MAX)) as u32,
+                });
+            }
+        }
         accepted
     }
 
@@ -423,6 +508,7 @@ impl PmDevice {
     /// sequence number plus its CRC32 tag — so a torn marker is
     /// detectable at either word. Returns the acceptance cycle.
     pub fn persist_commit_marker(&mut self, now: u64, txn: u64) -> u64 {
+        self.trace_clock(now);
         match self.accept(PersistEvent::CommitMarker { txn }) {
             Admission::Dropped => now,
             admission => {
@@ -434,7 +520,9 @@ impl PmDevice {
                 let lines = self.log_append_lines(16);
                 let mut accepted = now;
                 for _ in 0..lines {
-                    accepted = self.wpq.push(accepted).accepted_at;
+                    let push = self.wpq.push(accepted);
+                    self.trace_wpq(accepted, &push);
+                    accepted = push.accepted_at;
                 }
                 self.traffic.count_log_flush(1, 16, lines);
                 accepted

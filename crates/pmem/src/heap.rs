@@ -251,6 +251,72 @@ mod tests {
     }
 
     #[test]
+    fn coalescing_at_range_boundaries() {
+        // Exactly fill the heap with three allocations so the first
+        // and last touch the range boundaries, then free in an order
+        // that exercises predecessor-only, successor-only and both-
+        // sided coalescing against the boundary extents.
+        let mut h = PmHeap::new(PmAddr::new(0x2000), 0x300);
+        let lo = h.alloc(0x100).unwrap();
+        let mid = h.alloc(0x100).unwrap();
+        let hi = h.alloc(0x100).unwrap();
+        assert_eq!(lo.raw(), 0x2000, "first allocation starts at base");
+        assert_eq!(hi.raw() + 0x100, 0x2300, "last allocation ends at top");
+        assert!(h.alloc(8).is_none(), "heap is exactly full");
+        // Free the boundary blocks: two disjoint extents, nothing to
+        // coalesce with beyond the range (no wraparound, no panic).
+        h.free(lo);
+        h.free(hi);
+        assert!(h.alloc(0x101).is_none(), "holes must not merge across mid");
+        // Freeing the middle merges all three into the original range.
+        h.free(mid);
+        assert_eq!(h.alloc(0x300).unwrap(), PmAddr::new(0x2000));
+    }
+
+    #[test]
+    fn rebuild_with_empty_mark_set_reclaims_everything() {
+        let mut h = heap();
+        let a = h.alloc(40).unwrap();
+        let b = h.alloc(40).unwrap();
+        let reclaimed = h.rebuild(&[]);
+        assert_eq!(reclaimed, 2);
+        assert!(!h.is_live(a) && !h.is_live(b));
+        assert!(h.is_empty());
+        assert_eq!(h.live_bytes(), 0);
+        // The reclaimed extents coalesced back into the whole range.
+        assert_eq!(h.alloc(0x1000).unwrap(), h.base());
+    }
+
+    #[test]
+    fn rebuild_with_empty_mark_set_on_empty_heap_is_noop() {
+        let mut h = heap();
+        assert_eq!(h.rebuild(&[]), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn exhaustion_returns_none_without_disturbing_state() {
+        // A fragmented heap with enough total free bytes but no single
+        // hole large enough must return None — not panic — and leave
+        // both holes intact for later fitting requests.
+        let mut h = PmHeap::new(PmAddr::new(0x1000), 0x100);
+        let a = h.alloc(0x40).unwrap();
+        let b = h.alloc(0x40).unwrap();
+        let c = h.alloc(0x40).unwrap();
+        let _d = h.alloc(0x40).unwrap();
+        h.free(a);
+        h.free(c);
+        // 0x80 bytes free in two 0x40 holes: a 0x80 request has no fit.
+        assert!(h.alloc(0x80).is_none());
+        assert_eq!(h.live_bytes(), 0x80);
+        assert_eq!(h.alloc(0x40).unwrap(), a, "first hole still usable");
+        assert_eq!(h.alloc(0x40).unwrap(), c, "second hole still usable");
+        assert!(h.alloc(1).is_none(), "now genuinely exhausted");
+        assert_eq!(h.live_count(), 4);
+        let _ = b;
+    }
+
+    #[test]
     fn accounting() {
         let mut h = heap();
         let a = h.alloc(24).unwrap();

@@ -1,0 +1,178 @@
+//! A minimal, dependency-free JSON writer.
+//!
+//! The workspace bakes in no serialisation dependency, so both the
+//! Perfetto exporter and the CLI's `--json` output hand-emit JSON
+//! through this writer. Output is deterministic: keys are written in
+//! call order and numbers format via the standard integer/float
+//! formatters.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Streaming JSON writer with automatic comma placement.
+///
+/// ```
+/// use slpmt_trace::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_obj();
+/// w.key("scheme");
+/// w.string("SLPMT");
+/// w.key("ops");
+/// w.u64(100);
+/// w.end_obj();
+/// assert_eq!(w.finish(), r#"{"scheme":"SLPMT","ops":100}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has an element
+    /// (so the next element needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(has) = self.stack.last_mut() {
+            if *has && !self.out.ends_with(':') {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key (the next call writes its value).
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        let _ = write!(self.out, "\"{}\":", escape(k));
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        let _ = write!(self.out, "\"{}\"", escape(s));
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a float value (finite; NaN/∞ fall back to `null`).
+    pub fn f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure_with_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("a");
+        w.begin_arr();
+        w.u64(1);
+        w.u64(2);
+        w.begin_obj();
+        w.key("b");
+        w.bool(true);
+        w.end_obj();
+        w.end_arr();
+        w.key("c");
+        w.f64(1.5);
+        w.key("d");
+        w.i64(-3);
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":[1,2,{"b":true}],"c":1.5,"d":-3}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.f64(f64::NAN);
+        w.end_arr();
+        assert_eq!(w.finish(), "[null]");
+    }
+}

@@ -1,0 +1,383 @@
+//! Metrics aggregation over a trace.
+//!
+//! [`Metrics::from_records`] folds a record stream into the summary
+//! quantities the paper's evaluation reasons about: tier-occupancy
+//! histograms (Fig. 6), WPQ depth over time, durable log bytes per
+//! transaction, the signature false-positive rate (§III-C2 — exact
+//! line sets from [`Event::SigInsert`] are the ground truth a
+//! [`Event::SigHit`] is checked against) and forced-persist counts.
+
+use crate::event::{Event, PersistKind};
+use crate::tracer::TraceRecord;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Aggregated metrics of one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Records aggregated.
+    pub records: usize,
+    /// Per-tier occupancy histogram: `tier_hist[t][n]` counts the
+    /// occupancy snapshots that saw `n` records in tier `t` (tiers
+    /// hold at most 8).
+    pub tier_hist: [[u64; 9]; 4],
+    /// Maximum WPQ depth observed at an enqueue.
+    pub wpq_depth_max: u8,
+    /// Sum of observed WPQ depths (mean = sum / samples).
+    pub wpq_depth_sum: u64,
+    /// WPQ depth samples (enqueues).
+    pub wpq_depth_samples: u64,
+    /// Total cycles requesters stalled on a full WPQ.
+    pub wpq_stall_cycles: u64,
+    /// Durable log bytes per transaction (records + markers).
+    pub log_bytes_by_txn: BTreeMap<u64, u64>,
+    /// Durable persist events by kind (data, record, marker, truncate).
+    pub persists: [u64; 4],
+    /// Signatures inserted.
+    pub sig_inserts: u64,
+    /// Signature hits (forced-persist triggers).
+    pub sig_hits: u64,
+    /// Signature hits whose probed line was *not* in the matched
+    /// transaction's exact set — false positives.
+    pub sig_false_hits: u64,
+    /// Forced-persist events (conflict or ID recycling).
+    pub forced_persists: u64,
+    /// Lines persisted by forces.
+    pub forced_lines: u64,
+    /// Commits observed.
+    pub commits: u64,
+    /// Aborts observed (local + cross-core).
+    pub aborts: u64,
+    /// Cross-core conflicts observed.
+    pub cross_conflicts: u64,
+    /// Cache evictions by level left (`cache_evicts[l]`, levels 1–3).
+    pub cache_evicts: [u64; 4],
+    /// Evicted lines that were dirty.
+    pub cache_dirty_evicts: u64,
+    /// Evicted lines that carried log bits.
+    pub cache_logged_evicts: u64,
+    /// Fetches into L1 by serving level (`cache_fetches[l]`, 2–3, 4 =
+    /// the medium — i.e. last-level misses).
+    pub cache_fetches: [u64; 5],
+    /// Fetches whose log bits were replicated group→word on the
+    /// L2→L1 move (Fig. 5 fetch replication).
+    pub cache_fetch_replications: u64,
+    /// Log-buffer appends observed.
+    pub tier_appends: u64,
+    /// Buddy coalesces observed.
+    pub tier_coalesces: u64,
+    /// Overflow drains observed.
+    pub tier_overflow_drains: u64,
+}
+
+impl Metrics {
+    /// Folds `records` into a metrics summary.
+    pub fn from_records(records: &[TraceRecord]) -> Self {
+        let mut m = Metrics {
+            records: records.len(),
+            ..Metrics::default()
+        };
+        // Ground truth for the false-positive rate: the newest exact
+        // line set per live 2-bit ID, exactly what the hardware's
+        // newest-match probe consults.
+        let mut sig_sets: BTreeMap<u8, BTreeSet<u64>> = BTreeMap::new();
+        for rec in records {
+            match &rec.event {
+                Event::TierOccupancy { lens } => {
+                    for (t, &n) in lens.iter().enumerate() {
+                        m.tier_hist[t][usize::from(n.min(8))] += 1;
+                    }
+                }
+                Event::TierAppend { .. } => m.tier_appends += 1,
+                Event::TierCoalesce { .. } => m.tier_coalesces += 1,
+                Event::TierDrain { overflow: true, .. } => m.tier_overflow_drains += 1,
+                Event::TierDrain { .. } => {}
+                Event::CacheEvict {
+                    level,
+                    dirty,
+                    logged,
+                    ..
+                } => {
+                    m.cache_evicts[usize::from((*level).min(3))] += 1;
+                    m.cache_dirty_evicts += u64::from(*dirty);
+                    m.cache_logged_evicts += u64::from(*logged);
+                }
+                Event::CacheFetch {
+                    level, replicated, ..
+                } => {
+                    m.cache_fetches[usize::from((*level).min(4))] += 1;
+                    m.cache_fetch_replications += u64::from(*replicated);
+                }
+                Event::WpqEnqueue { depth, stall } => {
+                    m.wpq_depth_max = m.wpq_depth_max.max(*depth);
+                    m.wpq_depth_sum += u64::from(*depth);
+                    m.wpq_depth_samples += 1;
+                    m.wpq_stall_cycles += u64::from(*stall);
+                }
+                Event::Persist { kind, len, txn, .. } => {
+                    m.persists[*kind as usize] += 1;
+                    match kind {
+                        PersistKind::Record => {
+                            // Payload + 8-byte tag, as counted by the
+                            // device's traffic model.
+                            *m.log_bytes_by_txn.entry(*txn).or_insert(0) += u64::from(*len) + 8;
+                        }
+                        PersistKind::Marker => {
+                            *m.log_bytes_by_txn.entry(*txn).or_insert(0) += 16;
+                        }
+                        _ => {}
+                    }
+                }
+                Event::SigInsert { id, lines, .. } => {
+                    m.sig_inserts += 1;
+                    sig_sets.insert(*id, lines.iter().copied().collect());
+                }
+                Event::SigHit { addr, id } => {
+                    m.sig_hits += 1;
+                    let actual = sig_sets.get(id).map(|s| s.contains(addr)).unwrap_or(false);
+                    if !actual {
+                        m.sig_false_hits += 1;
+                    }
+                }
+                Event::SigForcedPersist { lines, .. } => {
+                    m.forced_persists += 1;
+                    m.forced_lines += u64::from(*lines);
+                }
+                Event::TxnIdRetire { id, .. } => {
+                    sig_sets.remove(id);
+                }
+                Event::CommitEnd { .. } => m.commits += 1,
+                Event::Abort { .. } | Event::CrossAbort { .. } => m.aborts += 1,
+                Event::CrossConflict { .. } => m.cross_conflicts += 1,
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// Mean observed WPQ depth (0 when never sampled).
+    pub fn wpq_depth_mean(&self) -> f64 {
+        if self.wpq_depth_samples == 0 {
+            0.0
+        } else {
+            self.wpq_depth_sum as f64 / self.wpq_depth_samples as f64
+        }
+    }
+
+    /// Signature false-positive rate over all hits (0 when no hits).
+    pub fn sig_false_positive_rate(&self) -> f64 {
+        if self.sig_hits == 0 {
+            0.0
+        } else {
+            self.sig_false_hits as f64 / self.sig_hits as f64
+        }
+    }
+
+    /// Mean occupancy of tier `t` over all snapshots.
+    pub fn tier_mean(&self, t: usize) -> f64 {
+        let samples: u64 = self.tier_hist[t].iter().sum();
+        if samples == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.tier_hist[t]
+            .iter()
+            .enumerate()
+            .map(|(n, c)| n as u64 * c)
+            .sum();
+        sum as f64 / samples as f64
+    }
+
+    /// Mean durable log bytes per transaction (0 when none logged).
+    pub fn log_bytes_per_txn_mean(&self) -> f64 {
+        if self.log_bytes_by_txn.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.log_bytes_by_txn.values().sum();
+        sum as f64 / self.log_bytes_by_txn.len() as f64
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events                 {:>12}", self.records)?;
+        writeln!(
+            f,
+            "persists (d/r/m/t)     {}/{}/{}/{}",
+            self.persists[0], self.persists[1], self.persists[2], self.persists[3]
+        )?;
+        writeln!(
+            f,
+            "tier occupancy mean    {:.2}/{:.2}/{:.2}/{:.2}",
+            self.tier_mean(0),
+            self.tier_mean(1),
+            self.tier_mean(2),
+            self.tier_mean(3)
+        )?;
+        writeln!(
+            f,
+            "tier append/coal/ovf   {}/{}/{}",
+            self.tier_appends, self.tier_coalesces, self.tier_overflow_drains
+        )?;
+        writeln!(
+            f,
+            "cache evicts (1/2/3)   {}/{}/{} ({} dirty, {} logged)",
+            self.cache_evicts[1],
+            self.cache_evicts[2],
+            self.cache_evicts[3],
+            self.cache_dirty_evicts,
+            self.cache_logged_evicts
+        )?;
+        writeln!(
+            f,
+            "cache fetches (2/3/m)  {}/{}/{} ({} replicated)",
+            self.cache_fetches[2],
+            self.cache_fetches[3],
+            self.cache_fetches[4],
+            self.cache_fetch_replications
+        )?;
+        writeln!(
+            f,
+            "wpq depth max/mean     {}/{:.2} (stall {} cyc)",
+            self.wpq_depth_max,
+            self.wpq_depth_mean(),
+            self.wpq_stall_cycles
+        )?;
+        writeln!(
+            f,
+            "log bytes/txn mean     {:.1} ({} txns)",
+            self.log_bytes_per_txn_mean(),
+            self.log_bytes_by_txn.len()
+        )?;
+        writeln!(
+            f,
+            "signatures             {} inserted, {} hits, {} false ({:.1}%)",
+            self.sig_inserts,
+            self.sig_hits,
+            self.sig_false_hits,
+            100.0 * self.sig_false_positive_rate()
+        )?;
+        writeln!(
+            f,
+            "forced persists        {} ({} lines)",
+            self.forced_persists, self.forced_lines
+        )?;
+        write!(
+            f,
+            "commits/aborts/xconf   {}/{}/{}",
+            self.commits, self.aborts, self.cross_conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn aggregates_core_quantities() {
+        let mut t = Tracer::new(128);
+        t.emit(Event::TierOccupancy { lens: [2, 0, 0, 0] });
+        t.emit(Event::TierOccupancy { lens: [4, 1, 0, 0] });
+        t.emit(Event::WpqEnqueue { depth: 3, stall: 5 });
+        t.emit(Event::WpqEnqueue { depth: 5, stall: 0 });
+        t.emit(Event::Persist {
+            kind: PersistKind::Record,
+            addr: 64,
+            len: 8,
+            txn: 7,
+            torn: false,
+        });
+        t.emit(Event::Persist {
+            kind: PersistKind::Marker,
+            addr: 0,
+            len: 0,
+            txn: 7,
+            torn: false,
+        });
+        t.emit(Event::CommitEnd { txn: 7 });
+        let m = Metrics::from_records(&t.records());
+        assert_eq!(m.tier_hist[0][2], 1);
+        assert_eq!(m.tier_hist[0][4], 1);
+        assert_eq!(m.tier_hist[1][1], 1);
+        assert!((m.tier_mean(0) - 3.0).abs() < 1e-9);
+        assert_eq!(m.wpq_depth_max, 5);
+        assert!((m.wpq_depth_mean() - 4.0).abs() < 1e-9);
+        assert_eq!(m.wpq_stall_cycles, 5);
+        assert_eq!(m.log_bytes_by_txn[&7], 8 + 8 + 16);
+        assert_eq!(m.persists, [0, 1, 1, 0]);
+        assert_eq!(m.commits, 1);
+    }
+
+    #[test]
+    fn false_positive_rate_uses_exact_sets() {
+        let mut t = Tracer::new(64);
+        t.emit(Event::SigInsert {
+            txn: 1,
+            id: 2,
+            lines: vec![64, 128],
+        });
+        t.emit(Event::SigHit { addr: 64, id: 2 }); // true positive
+        t.emit(Event::SigHit { addr: 192, id: 2 }); // false positive
+        let m = Metrics::from_records(&t.records());
+        assert_eq!(m.sig_hits, 2);
+        assert_eq!(m.sig_false_hits, 1);
+        assert!((m.sig_false_positive_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retire_drops_ground_truth() {
+        let mut t = Tracer::new(64);
+        t.emit(Event::SigInsert {
+            txn: 1,
+            id: 0,
+            lines: vec![64],
+        });
+        t.emit(Event::TxnIdRetire { txn: 1, id: 0 });
+        t.emit(Event::SigHit { addr: 64, id: 0 });
+        let m = Metrics::from_records(&t.records());
+        assert_eq!(m.sig_false_hits, 1, "hit on a retired id is spurious");
+    }
+
+    #[test]
+    fn cache_counters_fold_by_level() {
+        let mut t = Tracer::new(64);
+        t.emit(Event::CacheEvict {
+            level: 1,
+            addr: 64,
+            dirty: true,
+            logged: false,
+        });
+        t.emit(Event::CacheEvict {
+            level: 3,
+            addr: 128,
+            dirty: true,
+            logged: true,
+        });
+        t.emit(Event::CacheFetch {
+            level: 2,
+            addr: 64,
+            replicated: true,
+        });
+        t.emit(Event::CacheFetch {
+            level: 4,
+            addr: 192,
+            replicated: false,
+        });
+        let m = Metrics::from_records(&t.records());
+        assert_eq!(m.cache_evicts[1], 1);
+        assert_eq!(m.cache_evicts[3], 1);
+        assert_eq!(m.cache_dirty_evicts, 2);
+        assert_eq!(m.cache_logged_evicts, 1);
+        assert_eq!(m.cache_fetches[2], 1);
+        assert_eq!(m.cache_fetches[4], 1);
+        assert_eq!(m.cache_fetch_replications, 1);
+    }
+
+    #[test]
+    fn display_is_snapshot_shaped() {
+        let s = Metrics::default().to_string();
+        assert!(s.contains("wpq depth"));
+        assert!(s.contains("signatures"));
+    }
+}

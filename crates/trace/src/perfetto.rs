@@ -1,0 +1,442 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! Produces the [Trace Event Format] consumed by `ui.perfetto.dev` and
+//! `chrome://tracing`: one *process* for the cores (one thread track
+//! per core) and one for the shared device (one thread track per
+//! component — WPQ, log buffer, persistent medium, signatures,
+//! recovery). Commit persist-ordering stages render as duration slices
+//! on the issuing core's track; WPQ depth and tier occupancy render as
+//! counter tracks; everything else is a thread-scoped instant event.
+//!
+//! The export is **byte-deterministic**: records are walked in the
+//! tracer's deterministic merge order and all timestamps are simulated
+//! cycles (written as microseconds, which Perfetto only uses for
+//! scaling).
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::{Component, Event};
+use crate::json::JsonWriter;
+use crate::tracer::TraceRecord;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Process id of the per-core tracks.
+const PID_CORES: u64 = 1;
+/// Process id of the device-component tracks.
+const PID_DEVICE: u64 = 2;
+
+fn device_tid(c: Component) -> u64 {
+    match c {
+        Component::Wpq => 1,
+        Component::LogBuffer => 2,
+        Component::Pm => 3,
+        Component::Signature => 4,
+        Component::Recovery => 5,
+        Component::Core => unreachable!("core events go to the core process"),
+    }
+}
+
+fn meta(w: &mut JsonWriter, name: &str, pid: u64, tid: Option<u64>, value: &str) {
+    w.begin_obj();
+    w.key("name");
+    w.string(name);
+    w.key("ph");
+    w.string("M");
+    w.key("pid");
+    w.u64(pid);
+    if let Some(tid) = tid {
+        w.key("tid");
+        w.u64(tid);
+    }
+    w.key("args");
+    w.begin_obj();
+    w.key("name");
+    w.string(value);
+    w.end_obj();
+    w.end_obj();
+}
+
+fn event_head(w: &mut JsonWriter, name: &str, ph: &str, ts: u64, pid: u64, tid: u64) {
+    w.begin_obj();
+    w.key("name");
+    w.string(name);
+    w.key("ph");
+    w.string(ph);
+    w.key("ts");
+    w.u64(ts);
+    w.key("pid");
+    w.u64(pid);
+    w.key("tid");
+    w.u64(tid);
+}
+
+/// Writes the event-specific argument object plus the deterministic
+/// clocks (`devent`, `seq`).
+fn event_args(w: &mut JsonWriter, rec: &TraceRecord) {
+    w.key("args");
+    w.begin_obj();
+    w.key("devent");
+    w.u64(rec.devent);
+    w.key("seq");
+    w.u64(rec.seq);
+    match &rec.event {
+        Event::StoreIssue {
+            addr,
+            log,
+            lazy,
+            honoured,
+        } => {
+            w.key("addr");
+            w.u64(*addr);
+            w.key("log");
+            w.bool(*log);
+            w.key("lazy");
+            w.bool(*lazy);
+            w.key("honoured");
+            w.bool(*honoured);
+        }
+        Event::LogBit { addr, word, lazy } => {
+            w.key("addr");
+            w.u64(*addr);
+            w.key("word");
+            w.u64(u64::from(*word));
+            w.key("lazy");
+            w.bool(*lazy);
+        }
+        Event::LogBitConj {
+            addr,
+            l1_bits,
+            l2_bits,
+        } => {
+            w.key("addr");
+            w.u64(*addr);
+            w.key("l1_bits");
+            w.u64(u64::from(*l1_bits));
+            w.key("l2_bits");
+            w.u64(u64::from(*l2_bits));
+        }
+        Event::TierAppend { tier, addr, len } | Event::TierCoalesce { tier, addr, len } => {
+            w.key("tier");
+            w.u64(u64::from(*tier));
+            w.key("addr");
+            w.u64(*addr);
+            w.key("len");
+            w.u64(u64::from(*len));
+        }
+        Event::TierDrain {
+            tier,
+            addr,
+            len,
+            overflow,
+        } => {
+            w.key("tier");
+            w.u64(u64::from(*tier));
+            w.key("addr");
+            w.u64(*addr);
+            w.key("len");
+            w.u64(u64::from(*len));
+            w.key("overflow");
+            w.bool(*overflow);
+        }
+        Event::TierOccupancy { lens } => {
+            for (i, n) in lens.iter().enumerate() {
+                w.key(&format!("t{i}"));
+                w.u64(u64::from(*n));
+            }
+        }
+        Event::LogPack { records, bytes } => {
+            w.key("records");
+            w.u64(u64::from(*records));
+            w.key("bytes");
+            w.u64(u64::from(*bytes));
+        }
+        Event::CacheEvict {
+            level,
+            addr,
+            dirty,
+            logged,
+        } => {
+            w.key("level");
+            w.u64(u64::from(*level));
+            w.key("addr");
+            w.u64(*addr);
+            w.key("dirty");
+            w.bool(*dirty);
+            w.key("logged");
+            w.bool(*logged);
+        }
+        Event::CacheFetch {
+            level,
+            addr,
+            replicated,
+        } => {
+            w.key("level");
+            w.u64(u64::from(*level));
+            w.key("addr");
+            w.u64(*addr);
+            w.key("replicated");
+            w.bool(*replicated);
+        }
+        Event::WpqEnqueue { depth, stall } => {
+            w.key("depth");
+            w.u64(u64::from(*depth));
+            w.key("stall");
+            w.u64(u64::from(*stall));
+        }
+        Event::WpqDrainComplete { at } => {
+            w.key("at");
+            w.u64(*at);
+        }
+        Event::Persist {
+            kind,
+            addr,
+            len,
+            txn,
+            torn,
+        } => {
+            w.key("kind");
+            w.string(kind.label());
+            w.key("addr");
+            w.u64(*addr);
+            w.key("len");
+            w.u64(u64::from(*len));
+            w.key("txn");
+            w.u64(*txn);
+            w.key("torn");
+            w.bool(*torn);
+        }
+        Event::CommitBegin { txn } | Event::CommitEnd { txn } | Event::Abort { txn } => {
+            w.key("txn");
+            w.u64(*txn);
+        }
+        Event::CommitStageDone { txn, stage } => {
+            w.key("txn");
+            w.u64(*txn);
+            w.key("stage");
+            w.string(stage.label());
+        }
+        Event::TxnIdAlloc { txn, id } | Event::TxnIdRetire { txn, id } => {
+            w.key("txn");
+            w.u64(*txn);
+            w.key("id");
+            w.u64(u64::from(*id));
+        }
+        Event::SigInsert { txn, id, lines } => {
+            w.key("txn");
+            w.u64(*txn);
+            w.key("id");
+            w.u64(u64::from(*id));
+            w.key("lines");
+            w.u64(lines.len() as u64);
+        }
+        Event::SigHit { addr, id } => {
+            w.key("addr");
+            w.u64(*addr);
+            w.key("id");
+            w.u64(u64::from(*id));
+        }
+        Event::SigForcedPersist { id, lines } => {
+            w.key("id");
+            w.u64(u64::from(*id));
+            w.key("lines");
+            w.u64(u64::from(*lines));
+        }
+        Event::CrossConflict { addr, holder } => {
+            w.key("addr");
+            w.u64(*addr);
+            w.key("holder");
+            w.u64(u64::from(*holder));
+        }
+        Event::CrossAbort { victim, txn } => {
+            w.key("victim");
+            w.u64(u64::from(*victim));
+            w.key("txn");
+            w.u64(*txn);
+        }
+        Event::CrossRepair {
+            victim,
+            records,
+            deferred,
+        } => {
+            w.key("victim");
+            w.u64(u64::from(*victim));
+            w.key("records");
+            w.u64(u64::from(*records));
+            w.key("deferred");
+            w.bool(*deferred);
+        }
+        Event::Recovery { stage, n } => {
+            w.key("stage");
+            w.string(stage.label());
+            w.key("n");
+            w.u64(*n);
+        }
+    }
+    w.end_obj();
+}
+
+/// Exports `records` (in the tracer's merged order) as Chrome
+/// trace-event JSON loadable by Perfetto.
+pub fn export_chrome_trace(records: &[TraceRecord]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("displayTimeUnit");
+    w.string("ns");
+    w.key("traceEvents");
+    w.begin_arr();
+
+    // Track naming metadata.
+    meta(&mut w, "process_name", PID_CORES, None, "cores");
+    meta(&mut w, "process_name", PID_DEVICE, None, "device");
+    let cores: BTreeSet<u8> = records.iter().map(|r| r.core).collect();
+    for core in cores {
+        meta(
+            &mut w,
+            "thread_name",
+            PID_CORES,
+            Some(u64::from(core) + 1),
+            &format!("core {core}"),
+        );
+    }
+    for (c, label) in [
+        (Component::Wpq, "WPQ"),
+        (Component::LogBuffer, "log buffer"),
+        (Component::Pm, "pm"),
+        (Component::Signature, "signatures"),
+        (Component::Recovery, "recovery"),
+    ] {
+        meta(
+            &mut w,
+            "thread_name",
+            PID_DEVICE,
+            Some(device_tid(c)),
+            label,
+        );
+    }
+
+    // Per-core commit-span state: the cycle the current stage started.
+    let mut stage_start: BTreeMap<u8, u64> = BTreeMap::new();
+    for rec in records {
+        let (pid, tid) = match rec.event.component() {
+            Component::Core => (PID_CORES, u64::from(rec.core) + 1),
+            c => (PID_DEVICE, device_tid(c)),
+        };
+        match &rec.event {
+            Event::CommitBegin { .. } => {
+                stage_start.insert(rec.core, rec.now);
+                event_head(&mut w, "commit", "B", rec.now, pid, tid);
+                event_args(&mut w, rec);
+                w.end_obj();
+            }
+            Event::CommitStageDone { stage, .. } => {
+                let start = stage_start.insert(rec.core, rec.now).unwrap_or(rec.now);
+                event_head(
+                    &mut w,
+                    &format!("commit:{}", stage.label()),
+                    "X",
+                    start,
+                    pid,
+                    tid,
+                );
+                w.key("dur");
+                w.u64(rec.now.saturating_sub(start));
+                event_args(&mut w, rec);
+                w.end_obj();
+            }
+            Event::CommitEnd { .. } => {
+                stage_start.remove(&rec.core);
+                event_head(&mut w, "commit", "E", rec.now, pid, tid);
+                event_args(&mut w, rec);
+                w.end_obj();
+            }
+            Event::WpqEnqueue { depth, .. } => {
+                event_head(&mut w, "wpq_depth", "C", rec.now, pid, tid);
+                w.key("args");
+                w.begin_obj();
+                w.key("depth");
+                w.u64(u64::from(*depth));
+                w.end_obj();
+                w.end_obj();
+            }
+            Event::TierOccupancy { lens } => {
+                event_head(&mut w, "tier_occupancy", "C", rec.now, pid, tid);
+                w.key("args");
+                w.begin_obj();
+                for (i, n) in lens.iter().enumerate() {
+                    w.key(&format!("t{i}"));
+                    w.u64(u64::from(*n));
+                }
+                w.end_obj();
+                w.end_obj();
+            }
+            _ => {
+                event_head(&mut w, rec.event.name(), "i", rec.now, pid, tid);
+                w.key("s");
+                w.string("t");
+                event_args(&mut w, rec);
+                w.end_obj();
+            }
+        }
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CommitStage;
+    use crate::tracer::Tracer;
+
+    fn sample() -> Vec<TraceRecord> {
+        let mut t = Tracer::new(64);
+        t.set_clock(10);
+        t.emit(Event::CommitBegin { txn: 1 });
+        t.set_clock(20);
+        t.emit(Event::CommitStageDone {
+            txn: 1,
+            stage: CommitStage::Records,
+        });
+        t.set_clock(25);
+        t.emit(Event::WpqEnqueue { depth: 3, stall: 0 });
+        t.set_clock(30);
+        t.emit(Event::CommitStageDone {
+            txn: 1,
+            stage: CommitStage::Marker,
+        });
+        t.emit(Event::CommitEnd { txn: 1 });
+        t.records()
+    }
+
+    #[test]
+    fn export_is_deterministic_and_structured() {
+        let recs = sample();
+        let a = export_chrome_trace(&recs);
+        let b = export_chrome_trace(&recs);
+        assert_eq!(a, b, "byte-identical on re-export");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"traceEvents\":["));
+        assert!(a.contains("\"commit:records\""));
+        assert!(a.contains("\"ph\":\"B\"") && a.contains("\"ph\":\"E\""));
+        assert!(a.contains("\"wpq_depth\""));
+    }
+
+    #[test]
+    fn stage_spans_cover_the_gap() {
+        let a = export_chrome_trace(&sample());
+        // records stage: started at commit begin (10), done at 20.
+        assert!(a.contains("\"name\":\"commit:records\",\"ph\":\"X\",\"ts\":10"));
+        assert!(a.contains("\"dur\":10"));
+        // marker stage: 20 → 30.
+        assert!(a.contains("\"name\":\"commit:marker\",\"ph\":\"X\",\"ts\":20"));
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let a = export_chrome_trace(&[]);
+        assert!(a.contains("\"traceEvents\":["));
+        assert!(a.ends_with("]}"));
+    }
+}

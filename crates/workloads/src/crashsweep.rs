@@ -280,6 +280,30 @@ pub fn run_crash_at(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
     Ok(())
 }
 
+/// Replays the machine-level sequence of [`run_crash_at`] — trace,
+/// crash at persist event `k`, power failure, log replay — with event
+/// tracing enabled, and returns the captured records. Structure-level
+/// recovery is skipped (it can legitimately panic on the failing
+/// tuples this capture path exists for); panics during log replay are
+/// swallowed so the trace of everything up to the panic still comes
+/// back. Deterministic: the same `(case, k)` always yields the same
+/// records.
+pub fn trace_crash_at(case: &SweepCase, k: u64) -> Vec<slpmt_core::TraceRecord> {
+    let ops = trace_ops(case);
+    let (mut ctx, mut idx) = build(case);
+    ctx.enable_tracing(1 << 20);
+    ctx.machine_mut().arm_crash_at_event(k);
+    for op in &ops {
+        apply(idx.as_mut(), &mut ctx, op);
+        if ctx.machine().crash_tripped() {
+            break;
+        }
+    }
+    ctx.crash();
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.recover()));
+    ctx.take_trace()
+}
+
 /// [`run_crash_at`] with panics converted into failure tuples, so a
 /// sweep over thousands of crash points reports `(scheme, workload,
 /// seed, k)` instead of dying mid-matrix.

@@ -263,6 +263,20 @@ impl PmContext {
     pub fn gc(&mut self, reachable: &[PmAddr]) -> usize {
         self.heap.rebuild(reachable)
     }
+
+    // ------------------------------------------------------------------
+    // Event tracing
+
+    /// Turns on event tracing on the underlying machine (per-core ring
+    /// capacity `capacity_per_core`); see `slpmt_core::Machine`.
+    pub fn enable_tracing(&mut self, capacity_per_core: usize) -> slpmt_core::TraceHandle {
+        self.machine.enable_tracing(capacity_per_core)
+    }
+
+    /// Drains every captured trace record in deterministic order.
+    pub fn take_trace(&mut self) -> Vec<slpmt_core::TraceRecord> {
+        self.machine.take_trace()
+    }
 }
 
 #[cfg(test)]

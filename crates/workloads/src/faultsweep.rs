@@ -269,6 +269,30 @@ fn check_oracle(
     Ok(())
 }
 
+/// Replays the machine-level sequence of [`run_fault_at`] — fault
+/// plan armed, crash at persist event `k`, power failure, log replay —
+/// with event tracing enabled, and returns the captured records.
+/// Structure-level recovery is skipped and log-replay panics are
+/// swallowed (this capture path exists for failing tuples), so the
+/// trace of everything up to the failure still comes back.
+/// Deterministic: the same `(case, k)` always yields the same records.
+pub fn trace_fault_at(case: &FaultCase, k: u64) -> Vec<slpmt_core::TraceRecord> {
+    let ops = crashsweep::trace_ops(&case.base);
+    let (mut ctx, mut idx) = crashsweep::build(&case.base);
+    ctx.enable_tracing(1 << 20);
+    ctx.machine_mut().set_fault_plan(case.plan);
+    ctx.machine_mut().arm_crash_at_event(k);
+    for op in &ops {
+        crashsweep::apply(idx.as_mut(), &mut ctx, op);
+        if ctx.machine().crash_tripped() {
+            break;
+        }
+    }
+    ctx.crash();
+    let _ = catch_unwind(AssertUnwindSafe(|| ctx.recover()));
+    ctx.take_trace()
+}
+
 /// [`run_fault_at`] with residual panics converted into failure
 /// tuples, so a sweep reports `(scheme, workload, seed, k, plan)`
 /// instead of dying mid-matrix.

@@ -51,5 +51,7 @@ pub use ctx::{AnnotationSource, PmContext};
 pub use faultsweep::{FaultCase, FaultFailure};
 pub use inspector::{inspect, HeapReport};
 pub use runner::{run_inserts, run_mixed, DurableIndex, IndexKind, RangeIndex, RunResult};
-pub use sharded::{partition_ops, run_sharded_serial, shard_of, ShardedResult};
+pub use sharded::{
+    partition_ops, run_sharded_serial, run_sharded_serial_traced, shard_of, ShardedResult,
+};
 pub use ycsb::{ycsb_load, ycsb_mixed, MixedOp, YcsbOp};

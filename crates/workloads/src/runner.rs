@@ -261,6 +261,48 @@ pub fn run_inserts_with(
     }
 }
 
+/// [`run_inserts_with`] with event tracing enabled for the measured
+/// phase, returning the captured records alongside the result. Setup
+/// (structure build) happens before tracing turns on, so the records
+/// cover exactly the measured insert stream; verification is skipped
+/// (capture runs exist to be exported, not gated).
+pub fn run_inserts_traced(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+) -> (RunResult, Vec<slpmt_core::TraceRecord>) {
+    let scheme = cfg.scheme;
+    let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
+    let mut index = kind.build(&mut ctx, value_size, source);
+    ctx.enable_tracing(1 << 20);
+    let start_cycles = ctx.machine().now();
+    let start_traffic = *ctx.machine().device().traffic();
+    for op in ops {
+        index.insert(&mut ctx, op.key, &op.value);
+    }
+    let cycles = ctx.machine().now() - start_cycles;
+    let mut traffic = *ctx.machine().device().traffic();
+    traffic.data_bytes -= start_traffic.data_bytes;
+    traffic.log_bytes -= start_traffic.log_bytes;
+    traffic.data_lines -= start_traffic.data_lines;
+    traffic.log_records -= start_traffic.log_records;
+    traffic.wpq_lines -= start_traffic.wpq_lines;
+    let stats = *ctx.machine().stats();
+    let records = ctx.take_trace();
+    (
+        RunResult {
+            scheme,
+            kind,
+            cycles,
+            traffic,
+            stats,
+        },
+        records,
+    )
+}
+
 /// Runs a mixed workload (after an untimed load phase): inserts and
 /// removes are durable transactions, reads are timed cache-hierarchy
 /// lookups. Returns the measured-phase result.

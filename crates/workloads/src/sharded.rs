@@ -16,7 +16,7 @@
 //! `total ops / makespan` ([`ShardedResult::sim_ops_per_kcycle`]).
 
 use crate::ctx::AnnotationSource;
-use crate::runner::{run_inserts_with, IndexKind, RunResult};
+use crate::runner::{run_inserts_traced, run_inserts_with, IndexKind, RunResult};
 use crate::ycsb::YcsbOp;
 use slpmt_core::{MachineConfig, MachineStats, Scheme};
 use slpmt_pmem::WriteTraffic;
@@ -108,6 +108,53 @@ pub fn run_shard(
     verify: bool,
 ) -> RunResult {
     run_inserts_with(cfg, kind, shard_ops, value_size, source, verify)
+}
+
+/// [`run_shard`] with event tracing enabled: the shard's measured
+/// phase is captured as trace records alongside its result. Shards
+/// stay independent, so any thread may call this; the records depend
+/// only on `(cfg, shard_ops)` — the determinism the sharded trace
+/// tests pin down.
+pub fn run_shard_traced(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    shard_ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+) -> (RunResult, Vec<slpmt_core::TraceRecord>) {
+    run_inserts_traced(cfg, kind, shard_ops, value_size, source)
+}
+
+/// Serial reference driver for traced sharded runs: partitions `ops`
+/// and captures every shard's trace in shard order. The parallel
+/// driver in `slpmt_bench::sharded` must produce identical per-shard
+/// record sequences for any worker count.
+pub fn run_sharded_serial_traced(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    shards: usize,
+) -> (ShardedResult, Vec<Vec<slpmt_core::TraceRecord>>) {
+    let scheme = cfg.scheme;
+    let parts = partition_ops(ops, shards);
+    let mut results = Vec::with_capacity(shards);
+    let mut traces = Vec::with_capacity(shards);
+    for part in &parts {
+        let (r, t) = run_shard_traced(cfg.clone(), kind, part, value_size, source);
+        results.push(r);
+        traces.push(t);
+    }
+    (
+        ShardedResult {
+            scheme,
+            kind,
+            shards: results,
+            total_ops: ops.len(),
+        },
+        traces,
+    )
 }
 
 /// Serial reference driver: partitions `ops` and runs every shard in

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Disabled-tracing overhead guard (DESIGN.md §11).
+#
+# The default build compiles the tracing hooks in but leaves them
+# disabled at runtime — a single is-Some branch per hook. This script
+# measures the price of that branch: it runs the sim_throughput hot
+# path on the default build and on the `no-trace` build (hooks
+# compiled out) and fails if the default build is more than 2% slower.
+#
+# Knobs:
+#   TRACE_OVERHEAD_RUNS       best-of-N runs per side (default 3)
+#   TRACE_OVERHEAD_MIN_RATIO  minimum default/no-trace ratio (default 0.98)
+#   SLPMT_OPS                 workload size per cell (bench default 1000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${TRACE_OVERHEAD_RUNS:-3}"
+MIN_RATIO="${TRACE_OVERHEAD_MIN_RATIO:-0.98}"
+
+# Sums the per-scheme hot-path lines ("Fg  123456 sim-ops/s (...)").
+aggregate() {
+  awk '$3 == "sim-ops/s" { sum += $2 } END { printf "%.0f\n", sum }'
+}
+
+# best_of <label> [cargo feature flags...] — best hot-path aggregate
+# over $RUNS runs (max, to shed scheduler noise).
+best_of() {
+  local label=$1
+  shift
+  local best=0 total
+  for i in $(seq "$RUNS"); do
+    total=$(cargo bench -q -p slpmt-bench --bench sim_throughput "$@" | aggregate)
+    echo "  $label run $i/$RUNS: $total sim-ops/s (hot-path aggregate)" >&2
+    if awk -v a="$total" -v b="$best" 'BEGIN { exit !(a > b) }'; then
+      best=$total
+    fi
+  done
+  echo "$best"
+}
+
+echo "== no-trace build (hooks compiled out) =="
+baseline=$(best_of "no-trace" --features no-trace)
+echo "== default build (hooks compiled in, disabled) =="
+traced=$(best_of "default ")
+
+if [ "$baseline" -le 0 ] || [ "$traced" -le 0 ]; then
+  echo "trace_overhead: failed to parse sim_throughput output" >&2
+  exit 1
+fi
+
+ratio=$(awk -v t="$traced" -v b="$baseline" 'BEGIN { printf "%.4f", t / b }')
+echo "no-trace best: $baseline sim-ops/s"
+echo "default  best: $traced sim-ops/s"
+echo "ratio:         $ratio (minimum allowed $MIN_RATIO)"
+
+if awk -v r="$ratio" -v m="$MIN_RATIO" 'BEGIN { exit !(r >= m) }'; then
+  echo "trace overhead OK: disabled-path cost within budget"
+else
+  echo "trace overhead FAIL: default build is more than $(awk -v m="$MIN_RATIO" \
+    'BEGIN { printf "%.0f%%", (1 - m) * 100 }') slower than the no-trace build" >&2
+  exit 1
+fi

@@ -6,7 +6,7 @@
 //! slpmt run <index> [options]           run YCSB-load inserts
 //! slpmt compare <index> [options]       all schemes side by side
 //! slpmt matrix [options]                full scheme × index matrix (parallel)
-//! slpmt trace [options]                 dump the persist-event trace
+//! slpmt trace [trace options]           capture an event trace (Perfetto JSON)
 //! slpmt crashsweep [sweep options]      exhaustive persist-event crash sweep
 //! slpmt faults [fault options]          media-fault sweep (tear/poison/flip/jitter)
 //! slpmt mc [mc options]                 deterministic multi-core run
@@ -14,6 +14,8 @@
 //!
 //! options: --scheme <name> --ops <n> --value <bytes>
 //!          --annotations <manual|compiler|none> --latency <ns>
+//! trace options: --scheme <name> --workload <name> --ops <n>
+//!                --value <bytes> --seed <n> --out <file>
 //! sweep options: --scheme <name|all> --workload <name|all>
 //!                --seed <n> --ops <n> [--at <k>]
 //! fault options: sweep options plus --points <n> and
@@ -37,11 +39,70 @@
 //! ```
 
 use slpmt::cache::CacheConfig;
-use slpmt::core::{HardwareOverhead, MachineConfig, Scheme};
-use slpmt::pmem::PersistEvent;
+use slpmt::core::{HardwareOverhead, MachineConfig, MachineStats, Scheme};
+use slpmt::trace::{export_chrome_trace, JsonWriter, Metrics, TraceRecord};
 use slpmt::workloads::runner::{run_inserts_with, IndexKind};
 use slpmt::workloads::{ycsb_load, AnnotationSource};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// The deterministic dump path for a captured trace: a sanitised stem
+/// under `target/traces/`. The same reproducer tuple always maps to
+/// the same path, so replaying `--at K` overwrites byte-identically.
+fn trace_path(stem: &str) -> PathBuf {
+    let safe: String = stem
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    Path::new("target/traces").join(format!("{safe}.json"))
+}
+
+/// Exports `records` as Chrome-trace JSON at `path` (parent created).
+fn dump_trace(records: &[TraceRecord], path: &Path) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, export_chrome_trace(records))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Emits every [`MachineStats`] counter under `key` in the current
+/// JSON object (the machine-readable twin of `MachineStats::summary`).
+fn json_stats(w: &mut JsonWriter, key: &str, s: &MachineStats) {
+    w.key(key);
+    w.begin_obj();
+    for (name, v) in [
+        ("loads", s.loads),
+        ("stores", s.stores),
+        ("store_ts", s.store_ts),
+        ("tx_begins", s.tx_begins),
+        ("tx_commits", s.tx_commits),
+        ("tx_aborts", s.tx_aborts),
+        ("suspended_aborts", s.suspended_aborts),
+        ("cross_core_aborts", s.cross_core_aborts),
+        ("cross_core_repair_aborts", s.cross_core_repair_aborts),
+        ("log_records_created", s.log_records_created),
+        ("log_records_discarded", s.log_records_discarded),
+        ("commit_line_persists", s.commit_line_persists),
+        ("lazy_lines_deferred", s.lazy_lines_deferred),
+        ("lazy_lines_forced", s.lazy_lines_forced),
+        ("lazy_lines_overflowed", s.lazy_lines_overflowed),
+        ("signature_hits", s.signature_hits),
+        ("commit_stall_cycles", s.commit_stall_cycles),
+        ("compute_cycles", s.compute_cycles),
+    ] {
+        w.key(name);
+        w.u64(v);
+    }
+    w.end_obj();
+}
 
 struct Options {
     scheme: Scheme,
@@ -209,13 +270,56 @@ fn cmd_compare(kind: IndexKind, o: &Options) {
     }
 }
 
-fn cmd_matrix(o: &Options) {
+fn cmd_matrix(o: &Options, json: bool) {
     use slpmt::bench::runner::{fig08_cells, run_matrix, threads};
     let ops = ycsb_load(o.ops, o.value, 42);
     let cells = fig08_cells(&IndexKind::ALL);
     let start = std::time::Instant::now();
     let results = run_matrix(&cells, &ops, o.value, o.annotations, o.latency_ns);
     let elapsed = start.elapsed();
+    let row = 1 + 5; // FG baseline + the five compared schemes
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("matrix");
+        w.key("ops");
+        w.u64(o.ops as u64);
+        w.key("value_bytes");
+        w.u64(o.value as u64);
+        w.key("workers");
+        w.u64(threads() as u64);
+        w.key("elapsed_s");
+        w.f64(elapsed.as_secs_f64());
+        w.key("cells");
+        w.begin_arr();
+        for (k, chunk) in results.chunks_exact(row).enumerate() {
+            let base = &chunk[0];
+            for r in chunk {
+                w.begin_obj();
+                w.key("workload");
+                w.string(&IndexKind::ALL[k].to_string());
+                w.key("scheme");
+                w.string(&r.scheme.to_string());
+                w.key("cycles");
+                w.u64(r.cycles);
+                w.key("speedup_vs_fg");
+                w.f64(r.speedup_vs(base));
+                w.key("media_bytes");
+                w.u64(r.traffic.media_bytes());
+                w.key("data_lines");
+                w.u64(r.traffic.data_lines);
+                w.key("log_records");
+                w.u64(r.traffic.log_records);
+                json_stats(&mut w, "stats", &r.stats);
+                w.end_obj();
+            }
+        }
+        w.end_arr();
+        w.end_obj();
+        println!("{}", w.finish());
+        return;
+    }
     println!(
         "scheme × index matrix: {} cells, {} × {} B inserts, {} worker(s), {:.2}s",
         cells.len(),
@@ -228,7 +332,6 @@ fn cmd_matrix(o: &Options) {
         "{:<18} {:>12} {:>8} {:>12} {:>10}",
         "cell", "cycles", "vs FG", "media B", "log recs"
     );
-    let row = 1 + 5; // FG baseline + the five compared schemes
     for (k, chunk) in results.chunks_exact(row).enumerate() {
         let kind = IndexKind::ALL[k];
         let base = &chunk[0];
@@ -245,38 +348,71 @@ fn cmd_matrix(o: &Options) {
     }
 }
 
-fn cmd_trace(o: &Options) {
-    let ops = ycsb_load(o.ops.min(3), o.value, 42);
-    let mut ctx = slpmt::workloads::PmContext::with_config(
-        config_for(o, o.scheme),
-        slpmt::annotate::AnnotationTable::new(),
-    );
-    let mut idx = IndexKind::Hashtable.build(&mut ctx, o.value, o.annotations);
-    for op in &ops {
-        idx.insert(&mut ctx, op.key, &op.value);
-    }
-    println!(
-        "persist-event trace ({} inserts under {}):",
-        ops.len(),
-        o.scheme
-    );
-    for (i, e) in ctx.machine().device().events().iter().enumerate() {
-        match e {
-            PersistEvent::LogRecord { txn, addr, len } => {
-                println!("{i:>4}  log    txn {txn:<3} {addr}  ({len} B)")
+/// `slpmt trace`: run a seeded workload with event tracing on, export
+/// the Chrome/Perfetto trace to `--out`, and print the metrics
+/// snapshot folded from the very same records.
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::workloads::runner::run_inserts_traced;
+
+    let mut scheme = Scheme::Slpmt;
+    let mut kind = IndexKind::Hashtable;
+    let mut ops = 50usize;
+    let mut value = 64usize;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("trace.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = val()?;
+                scheme = parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?;
             }
-            PersistEvent::DataLine { addr } => println!("{i:>4}  data   {addr}"),
-            PersistEvent::CommitMarker { txn } => println!("{i:>4}  marker txn {txn}"),
-            PersistEvent::LogTruncate => println!("{i:>4}  trunc"),
+            "--workload" => {
+                let v = val()?;
+                kind = parse_kind(&v).ok_or_else(|| format!("unknown workload {v}"))?;
+            }
+            "--ops" => ops = val()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--value" => value = val()?.parse().map_err(|e| format!("--value: {e}"))?,
+            "--seed" => seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => out = PathBuf::from(val()?),
+            other => return Err(format!("unknown option {other}")),
         }
     }
+
+    let stream = ycsb_load(ops, value, seed);
+    let (r, records) = run_inserts_traced(
+        MachineConfig::for_scheme(scheme),
+        kind,
+        &stream,
+        value,
+        AnnotationSource::Manual,
+    );
+    dump_trace(&records, &out)?;
+    println!(
+        "captured {} events: {kind} under {scheme}, {ops} × {value} B inserts (seed {seed})",
+        records.len()
+    );
+    println!(
+        "trace written to {} (open in Perfetto / chrome://tracing)",
+        out.display()
+    );
+    println!("  {}", r.stats.summary());
+    println!("{}", Metrics::from_records(&records));
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `slpmt crashsweep`: the exhaustive persist-event crash sweep, or a
 /// single reproduced `(scheme, workload, seed, k)` point with `--at`.
 fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
     use slpmt::bench::crashsweep::{run_sweep, sweep_cases};
-    use slpmt::workloads::crashsweep::{check_point, count_events, SweepCase, SWEEP_SCHEMES};
+    use slpmt::workloads::crashsweep::{
+        check_point, count_events, trace_crash_at, SweepCase, SWEEP_SCHEMES,
+    };
 
     let mut schemes: Vec<Scheme> = SWEEP_SCHEMES.to_vec();
     let mut kinds = vec![IndexKind::Hashtable, IndexKind::Rbtree, IndexKind::Heap];
@@ -317,13 +453,21 @@ fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
             _ => return Err("--at needs exactly one --scheme and one --workload".into()),
         };
         let case = SweepCase::new(scheme, kind, seed, ops);
-        return Ok(match check_point(&case, k) {
+        let verdict = check_point(&case, k);
+        // Replays are capture runs: always dump the trace, to the same
+        // deterministic path the sweep's auto-capture uses, so a
+        // re-run reproduces the file byte-identically.
+        let path = trace_path(&format!("crashsweep-{scheme}-{kind}-s{seed}-k{k}"));
+        dump_trace(&trace_crash_at(&case, k), &path)?;
+        return Ok(match verdict {
             Ok(()) => {
                 println!("crashsweep OK {case} k={k}: recovered to the oracle state");
+                println!("  trace: {}", path.display());
                 ExitCode::SUCCESS
             }
             Err(fail) => {
                 println!("{fail}");
+                println!("  trace: {}", path.display());
                 ExitCode::FAILURE
             }
         });
@@ -339,6 +483,25 @@ fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
     let start = std::time::Instant::now();
     let report = run_sweep(&cases);
     print!("{report}");
+    // Auto-capture: re-run each failing tuple with tracing on and dump
+    // the trace next to it (capped — every tuple stays replayable via
+    // `--at K`, which writes the same path).
+    const CAPTURE_CAP: usize = 16;
+    for fail in report.failures.iter().take(CAPTURE_CAP) {
+        let c = &fail.case;
+        let path = trace_path(&format!(
+            "crashsweep-{}-{}-s{}-k{}",
+            c.scheme, c.kind, c.seed, fail.k
+        ));
+        dump_trace(&trace_crash_at(c, fail.k), &path)?;
+        println!("  trace for k={}: {}", fail.k, path.display());
+    }
+    if report.failures.len() > CAPTURE_CAP {
+        println!(
+            "  ({} more failure(s) not auto-captured; replay with --at K)",
+            report.failures.len() - CAPTURE_CAP
+        );
+    }
     println!("({:.2}s)", start.elapsed().as_secs_f64());
     Ok(if report.is_clean() {
         ExitCode::SUCCESS
@@ -355,7 +518,7 @@ fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
     use slpmt::bench::faultsweep::{fault_cases, run_fault_sweep};
     use slpmt::pmem::FaultPlan;
     use slpmt::workloads::crashsweep::{SweepCase, SWEEP_SCHEMES};
-    use slpmt::workloads::faultsweep::{check_fault_point, FaultCase};
+    use slpmt::workloads::faultsweep::{check_fault_point, trace_fault_at, FaultCase};
 
     let mut schemes: Vec<Scheme> = SWEEP_SCHEMES.to_vec();
     let mut kinds = vec![IndexKind::Hashtable, IndexKind::Rbtree, IndexKind::Heap];
@@ -364,8 +527,13 @@ fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
     let mut points = 2usize;
     let mut plans: Vec<FaultPlan> = Vec::new();
     let mut at: Option<u64> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
         let mut value = || {
             it.next()
                 .cloned()
@@ -403,27 +571,107 @@ fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
             base: SweepCase::new(scheme, kind, seed, ops),
             plan,
         };
-        return Ok(match check_fault_point(&case, k) {
+        let verdict = check_fault_point(&case, k);
+        // Replays are capture runs: dump to the deterministic path the
+        // sweep's auto-capture uses (byte-identical on every re-run).
+        let path = trace_path(&format!("faultsweep-{scheme}-{kind}-s{seed}-p{plan}-k{k}"));
+        dump_trace(&trace_fault_at(&case, k), &path)?;
+        return Ok(match verdict {
             Ok(()) => {
                 println!("faultsweep OK {case} k={k}: degradation rules held");
+                println!("  trace: {}", path.display());
                 ExitCode::SUCCESS
             }
             Err(fail) => {
                 println!("{fail}");
+                println!("  trace: {}", path.display());
                 ExitCode::FAILURE
             }
         });
     }
 
     let cases = fault_cases(&schemes, &kinds, seed, ops, &plans);
-    println!(
-        "fault-sweeping {} cell(s) × {points} crash point(s) (seed {seed}, {ops} ops) ...",
-        cases.len()
-    );
+    if !json {
+        println!(
+            "fault-sweeping {} cell(s) × {points} crash point(s) (seed {seed}, {ops} ops) ...",
+            cases.len()
+        );
+    }
     let start = std::time::Instant::now();
     let report = run_fault_sweep(&cases, points);
-    print!("{report}");
-    println!("({:.2}s)", start.elapsed().as_secs_f64());
+    // Auto-capture: re-run each failing tuple with tracing on (capped;
+    // every tuple stays replayable via `--plan P --at K`).
+    const CAPTURE_CAP: usize = 16;
+    let mut captured = Vec::new();
+    for fail in report.failures.iter().take(CAPTURE_CAP) {
+        let b = &fail.case.base;
+        let path = trace_path(&format!(
+            "faultsweep-{}-{}-s{}-p{}-k{}",
+            b.scheme, b.kind, b.seed, fail.case.plan, fail.k
+        ));
+        dump_trace(&trace_fault_at(&fail.case, fail.k), &path)?;
+        captured.push(path);
+    }
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("faults");
+        w.key("seed");
+        w.u64(seed);
+        w.key("ops");
+        w.u64(ops as u64);
+        w.key("points_per_case");
+        w.u64(points as u64);
+        w.key("cases");
+        w.u64(report.cases as u64);
+        w.key("points");
+        w.u64(report.points as u64);
+        w.key("clean");
+        w.bool(report.is_clean());
+        w.key("failures");
+        w.begin_arr();
+        for (i, fail) in report.failures.iter().enumerate() {
+            let b = &fail.case.base;
+            w.begin_obj();
+            w.key("scheme");
+            w.string(&b.scheme.to_string());
+            w.key("workload");
+            w.string(&b.kind.to_string());
+            w.key("seed");
+            w.u64(b.seed);
+            w.key("ops");
+            w.u64(b.ops as u64);
+            w.key("plan");
+            w.string(&fail.case.plan.to_string());
+            w.key("k");
+            w.u64(fail.k);
+            w.key("detail");
+            w.string(&fail.detail);
+            if let Some(path) = captured.get(i) {
+                w.key("trace");
+                w.string(&path.display().to_string());
+            }
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("elapsed_s");
+        w.f64(start.elapsed().as_secs_f64());
+        w.end_obj();
+        println!("{}", w.finish());
+    } else {
+        print!("{report}");
+        for (fail, path) in report.failures.iter().zip(&captured) {
+            println!("  trace for k={}: {}", fail.k, path.display());
+        }
+        if report.failures.len() > CAPTURE_CAP {
+            println!(
+                "  ({} more failure(s) not auto-captured; replay with --plan P --at K)",
+                report.failures.len() - CAPTURE_CAP
+            );
+        }
+        println!("({:.2}s)", start.elapsed().as_secs_f64());
+    }
     Ok(if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -448,13 +696,20 @@ fn parse_sched(v: &str) -> Result<slpmt::core::Schedule, String> {
 /// `slpmt mc`: one deterministic multi-core run — the replay side of
 /// the interleaving and multi-core crash sweeps.
 fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
-    use slpmt::core::multi::{check_serialized_oracle, gen_programs, mc_check_point, run_programs};
+    use slpmt::core::multi::{
+        check_serialized_oracle, gen_programs, mc_check_point, mc_trace_crash_at, run_programs,
+    };
     use slpmt::core::{McEvent, McSweepCase, ProgramSpec, Schedule};
 
     let mut case = McSweepCase::new(Scheme::Slpmt, 2, 42, Schedule::round_robin(42));
     let mut crash_at: Option<u64> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
         let mut value = || {
             it.next()
                 .cloned()
@@ -482,13 +737,23 @@ fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
     }
 
     if let Some(k) = crash_at {
-        return Ok(match mc_check_point(&case, k) {
+        let verdict = mc_check_point(&case, k);
+        // Replays are capture runs: dump the interleaving's trace to a
+        // deterministic path (byte-identical on every re-run).
+        let path = trace_path(&format!(
+            "mc-{}-c{}-s{}-{}-k{k}",
+            case.scheme, case.cores, case.seed, case.sched
+        ));
+        dump_trace(&mc_trace_crash_at(&case, k), &path)?;
+        return Ok(match verdict {
             Ok(()) => {
                 println!("mc OK {case} k={k}: recovered within the admissible set");
+                println!("  trace: {}", path.display());
                 ExitCode::SUCCESS
             }
             Err(fail) => {
                 println!("{fail}");
+                println!("  trace: {}", path.display());
                 ExitCode::FAILURE
             }
         });
@@ -508,6 +773,47 @@ fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
         .iter()
         .filter(|e| matches!(e, McEvent::ConflictAborted { .. }))
         .count();
+    let oracle = check_serialized_oracle(&mm, &outcome);
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("mc");
+        w.key("scheme");
+        w.string(&case.scheme.to_string());
+        w.key("cores");
+        w.u64(case.cores as u64);
+        w.key("seed");
+        w.u64(case.seed);
+        w.key("sched");
+        w.string(&case.sched.to_string());
+        w.key("txns_per_core");
+        w.u64(case.txns_per_core as u64);
+        w.key("stores_per_txn");
+        w.u64(case.stores_per_txn as u64);
+        w.key("committed");
+        w.u64(outcome.committed.len() as u64);
+        w.key("cross_core_aborts");
+        w.u64(aborts as u64);
+        w.key("cycles");
+        w.u64(outcome.now);
+        w.key("image_digest");
+        w.string(&format!("{:#018x}", outcome.image_digest));
+        w.key("oracle_ok");
+        w.bool(oracle.is_ok());
+        if let Err(e) = &oracle {
+            w.key("oracle_error");
+            w.string(e);
+        }
+        json_stats(&mut w, "stats", &outcome.stats);
+        w.end_obj();
+        println!("{}", w.finish());
+        return Ok(if oracle.is_ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     println!(
         "{case}: {} txns/core × {} stores",
         case.txns_per_core, case.stores_per_txn
@@ -534,13 +840,13 @@ fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
             ),
         }
     }
-    Ok(match check_serialized_oracle(&mm, &outcome) {
+    Ok(match oracle {
         Ok(report) => {
             println!(
                 "oracle OK: {} words checked, {} skipped",
                 report.words_checked, report.words_skipped
             );
-            println!("{}", outcome.stats);
+            println!("  {}", outcome.stats.summary());
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -558,8 +864,13 @@ fn cmd_shards(kind: IndexKind, args: &[String]) -> Result<ExitCode, String> {
     let mut ops = 1000usize;
     let mut value = 256usize;
     let mut shards = 4usize;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
         let mut val = || {
             it.next()
                 .cloned()
@@ -594,6 +905,47 @@ fn cmd_shards(kind: IndexKind, args: &[String]) -> Result<ExitCode, String> {
     };
     let base = run(1);
     let res = run(shards);
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("shards");
+        w.key("workload");
+        w.string(&kind.to_string());
+        w.key("scheme");
+        w.string(&scheme.to_string());
+        w.key("ops");
+        w.u64(ops as u64);
+        w.key("value_bytes");
+        w.u64(value as u64);
+        w.key("shards");
+        w.u64(shards as u64);
+        w.key("makespan_cycles");
+        w.u64(res.sim_cycles());
+        w.key("total_cycles");
+        w.u64(res.total_cycles());
+        w.key("sim_ops_per_kcycle");
+        w.f64(res.sim_ops_per_kcycle());
+        w.key("speedup_vs_1_shard");
+        w.f64(res.sim_ops_per_kcycle() / base.sim_ops_per_kcycle());
+        w.key("media_bytes");
+        w.u64(res.merged_traffic().media_bytes());
+        w.key("per_shard");
+        w.begin_arr();
+        for r in &res.shards {
+            w.begin_obj();
+            w.key("commits");
+            w.u64(r.stats.tx_commits);
+            w.key("cycles");
+            w.u64(r.cycles);
+            w.end_obj();
+        }
+        w.end_arr();
+        json_stats(&mut w, "stats", &res.merged_stats());
+        w.end_obj();
+        println!("{}", w.finish());
+        return Ok(ExitCode::SUCCESS);
+    }
     println!("{kind} under {scheme}: {ops} × {value} B inserts across {shards} shard(s)");
     for (s, r) in res.shards.iter().enumerate() {
         println!(
@@ -614,6 +966,7 @@ fn cmd_shards(kind: IndexKind, args: &[String]) -> Result<ExitCode, String> {
         "  media traffic : {} B across shards",
         res.merged_traffic().media_bytes()
     );
+    println!("  {}", res.merged_stats().summary());
     Ok(ExitCode::SUCCESS)
 }
 
@@ -621,12 +974,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
+         trace: [--scheme S] [--workload W] [--ops N] [--value B] [--seed N] [--out FILE]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
          faults: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] \
-         [--points N] [--plan s<seed>:t<0|1>:p<n>:f<n>:j<n>] [--at K]\n\
+         [--points N] [--plan s<seed>:t<0|1>:p<n>:f<n>:j<n>] [--at K] [--json]\n\
          mc: [--scheme S] [--cores 2-4] [--seed N] [--sched rr:K|weighted:K] \
-         [--txns N] [--stores N] [--crash-at K]\n\
-         shards: [--scheme S] [--ops N] [--value B] [--shards N]\n\
+         [--txns N] [--stores N] [--crash-at K] [--json]\n\
+         shards: [--scheme S] [--ops N] [--value B] [--shards N] [--json]\n\
+         matrix also accepts --json; sweep failures auto-dump traces to target/traces/\n\
          indices: {}",
         IndexKind::ALL.map(|k| k.to_string()).join(", ")
     );
@@ -666,16 +1021,24 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "matrix" => match parse_options(&args[1..]) {
-            Ok(o) => {
-                cmd_matrix(&o);
-                ExitCode::SUCCESS
+        "matrix" => {
+            let json = args[1..].iter().any(|a| a == "--json");
+            let rest: Vec<String> = args[1..]
+                .iter()
+                .filter(|a| *a != "--json")
+                .cloned()
+                .collect();
+            match parse_options(&rest) {
+                Ok(o) => {
+                    cmd_matrix(&o, json);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        }
         "crashsweep" => match cmd_crashsweep(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
@@ -709,11 +1072,8 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "trace" => match parse_options(&args[1..]) {
-            Ok(o) => {
-                cmd_trace(&o);
-                ExitCode::SUCCESS
-            }
+        "trace" => match cmd_trace(&args[1..]) {
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

@@ -9,6 +9,8 @@
 //! * [`core`] — the transaction engine and evaluated schemes
 //! * [`annotate`] — the compiler-pass simulation (Patterns 1 and 2)
 //! * [`workloads`] — durable data structures and the YCSB driver
+//! * [`trace`] — deterministic event tracing, metrics and Perfetto
+//!   export
 //!
 //! # Example
 //!
@@ -32,4 +34,5 @@ pub use slpmt_cache as cache;
 pub use slpmt_core as core;
 pub use slpmt_logbuf as logbuf;
 pub use slpmt_pmem as pmem;
+pub use slpmt_trace as trace;
 pub use slpmt_workloads as workloads;
