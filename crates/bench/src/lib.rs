@@ -32,6 +32,7 @@ use slpmt_workloads::{ycsb_load, AnnotationSource, YcsbOp};
 
 pub mod crashsweep;
 pub mod faultsweep;
+pub mod micro;
 pub mod runner;
 pub mod sharded;
 

@@ -1,0 +1,233 @@
+//! Per-operation microbenchmarks of the simulator hot path.
+//!
+//! Each probe isolates one primitive — `storeT`, `tx_commit`, a
+//! batched WPQ drain, crash recovery — and reports both the
+//! *simulated* cycle cost per operation (a semantic property: it must
+//! not move when the host is slow) and the *host* nanosecond cost per
+//! operation (the quantity the raw-speed work optimises). `slpmt
+//! bench` embeds these rows in `BENCH_<n>.json`; the `micro` figure
+//! bench prints them for eyeballing.
+//!
+//! Host numbers are best-of-`reps` wall times over a fixed iteration
+//! count, mirroring `scripts/trace_overhead.sh`'s best-of-N discipline
+//! so one noisy run cannot fake a regression.
+
+use std::time::Instant;
+
+use slpmt_core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt_pmem::{LogFlushEntry, PayloadBuf, PmAddr, PmConfig, PmDevice};
+
+/// One measured primitive.
+#[derive(Debug, Clone)]
+pub struct MicroRow {
+    /// Primitive name (`store`, `commit`, `drain`, `recover`).
+    pub name: &'static str,
+    /// Operations timed per repetition.
+    pub iters: u64,
+    /// Simulated cycles consumed per operation (deterministic).
+    pub sim_cycles_per_op: f64,
+    /// Best-of-reps host nanoseconds per operation.
+    pub host_ns_per_op: f64,
+}
+
+/// Stores per transaction in the store/commit probes — small enough
+/// that the undo log never overflows under any scheme, large enough
+/// that per-transaction setup does not dominate the store probe.
+const STORES_PER_TXN: usize = 32;
+
+fn base_addr(txn: usize, word: usize) -> PmAddr {
+    // Spread transactions across lines but reuse a bounded region so
+    // the probe measures steady-state cache behaviour, not cold
+    // compulsory misses over an ever-growing footprint.
+    let txn = (txn % 64) as u64;
+    PmAddr::new(0x1_0000 + txn * 4096 + (word as u64) * 8)
+}
+
+/// Times the `storeT` fast path: transactional stores under the SLPMT
+/// scheme, commit excluded from the timed region.
+fn probe_store(iters: u64, reps: u32) -> MicroRow {
+    let txns = (iters as usize).div_ceil(STORES_PER_TXN);
+    let mut best_ns = f64::INFINITY;
+    let mut sim_cycles = 0u64;
+    let mut timed_ops = 0u64;
+    for _ in 0..reps {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        let mut host_ns = 0f64;
+        sim_cycles = 0;
+        timed_ops = 0;
+        for t in 0..txns {
+            m.tx_begin();
+            let sim0 = m.now();
+            let t0 = Instant::now();
+            for w in 0..STORES_PER_TXN {
+                m.store_u64(
+                    base_addr(t, w),
+                    (t * STORES_PER_TXN + w) as u64,
+                    StoreKind::StoreT {
+                        lazy: false,
+                        log_free: false,
+                    },
+                );
+            }
+            host_ns += t0.elapsed().as_nanos() as f64;
+            sim_cycles += m.now() - sim0;
+            timed_ops += STORES_PER_TXN as u64;
+            m.tx_commit();
+        }
+        best_ns = best_ns.min(host_ns);
+    }
+    MicroRow {
+        name: "store",
+        iters: timed_ops,
+        sim_cycles_per_op: sim_cycles as f64 / timed_ops as f64,
+        host_ns_per_op: best_ns / timed_ops as f64,
+    }
+}
+
+/// Times `tx_commit` alone: the stores happen outside the timed
+/// region, so this isolates the write-set partition + log flush +
+/// marker cost per committed transaction.
+fn probe_commit(iters: u64, reps: u32) -> MicroRow {
+    let txns = (iters as usize).div_ceil(STORES_PER_TXN).max(1);
+    let mut best_ns = f64::INFINITY;
+    let mut sim_cycles = 0u64;
+    for _ in 0..reps {
+        let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Slpmt));
+        let mut host_ns = 0f64;
+        sim_cycles = 0;
+        for t in 0..txns {
+            m.tx_begin();
+            for w in 0..STORES_PER_TXN {
+                m.store_u64(base_addr(t, w), t as u64, StoreKind::Store);
+            }
+            let sim0 = m.now();
+            let t0 = Instant::now();
+            m.tx_commit();
+            host_ns += t0.elapsed().as_nanos() as f64;
+            sim_cycles += m.now() - sim0;
+        }
+        best_ns = best_ns.min(host_ns);
+    }
+    MicroRow {
+        name: "commit",
+        iters: txns as u64,
+        sim_cycles_per_op: sim_cycles as f64 / txns as f64,
+        host_ns_per_op: best_ns / txns as f64,
+    }
+}
+
+/// Times the batched WPQ drain directly at the device layer: packed
+/// log flushes of four records, the shape `tx_commit` emits. The
+/// simulated column reports WPQ acceptance cycles per record.
+fn probe_drain(iters: u64, reps: u32) -> MicroRow {
+    const PACK: usize = 4;
+    let packs = (iters as usize).div_ceil(PACK).max(1);
+    let entries: Vec<LogFlushEntry> = (0..PACK)
+        .map(|i| LogFlushEntry {
+            txn: 1,
+            addr: PmAddr::new(0x2_0000 + i as u64 * 64),
+            payload: PayloadBuf::from_slice(&[i as u8 + 1; 32]),
+        })
+        .collect();
+    let mut best_ns = f64::INFINITY;
+    let mut sim_cycles = 0u64;
+    for _ in 0..reps {
+        let mut d = PmDevice::new(PmConfig::default());
+        let mut now = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..packs {
+            now = d.persist_log_pack(now, &entries);
+        }
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as f64);
+        sim_cycles = now;
+    }
+    let records = (packs * PACK) as u64;
+    MicroRow {
+        name: "drain",
+        iters: records,
+        sim_cycles_per_op: sim_cycles as f64 / records as f64,
+        host_ns_per_op: best_ns / records as f64,
+    }
+}
+
+/// Times crash recovery: a tiny-cache FG machine is crashed with a
+/// large transaction in flight, so dirty lines overflowed to PM under
+/// cache pressure and their undo records are durable in the log. The
+/// per-op unit is one applied undo record. Recovery runs *off* the
+/// simulated clock (it happens at boot, before timed execution), so
+/// the simulated column is always `0` for this row; the host column
+/// is the measured quantity.
+fn probe_recover(iters: u64, reps: u32) -> MicroRow {
+    // Line-stride stores far past the tiny caches' ~168-line capacity:
+    // overflows force undo records durable before the crash.
+    const LINES_IN_FLIGHT: u64 = 256;
+    let runs = (iters / 64).clamp(1, 64);
+    let mut best_ns = f64::INFINITY;
+    let mut records = 0u64;
+    for _ in 0..reps {
+        let mut host_ns = 0f64;
+        records = 0;
+        for r in 0..runs {
+            let mut m = Machine::new(MachineConfig::for_scheme(Scheme::Fg).with_tiny_caches());
+            m.tx_begin();
+            for w in 0..LINES_IN_FLIGHT {
+                m.store_u64(PmAddr::new(0x1_0000 + w * 64), 0xdead ^ r, StoreKind::Store);
+            }
+            m.crash();
+            let t0 = Instant::now();
+            let report = m.recover();
+            host_ns += t0.elapsed().as_nanos() as f64;
+            records += (report.undo_applied + report.redo_applied) as u64;
+        }
+        best_ns = best_ns.min(host_ns);
+    }
+    MicroRow {
+        name: "recover",
+        iters: records,
+        sim_cycles_per_op: 0.0,
+        host_ns_per_op: best_ns / records.max(1) as f64,
+    }
+}
+
+/// Runs every probe at `iters` timed operations each, best of `reps`
+/// repetitions for the host column.
+pub fn run_all(iters: u64, reps: u32) -> Vec<MicroRow> {
+    vec![
+        probe_store(iters, reps),
+        probe_commit(iters, reps),
+        probe_drain(iters, reps),
+        probe_recover(iters, reps),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_report_positive_costs() {
+        let rows = run_all(256, 1);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.iters > 0, "{}", row.name);
+            assert!(row.host_ns_per_op > 0.0, "{}", row.name);
+        }
+        // Store, commit, and drain consume simulated time; recovery
+        // runs off the simulated clock but must have applied records
+        // (its cache-pressure setup guarantees live undo records).
+        for row in rows.iter().take(3) {
+            assert!(row.sim_cycles_per_op > 0.0, "{}", row.name);
+        }
+        assert!(rows[3].iters >= 64, "recovery applied undo records");
+    }
+
+    #[test]
+    fn sim_columns_are_deterministic() {
+        let a = run_all(256, 1);
+        let b = run_all(256, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sim_cycles_per_op, y.sim_cycles_per_op, "{}", x.name);
+            assert_eq!(x.iters, y.iters, "{}", x.name);
+        }
+    }
+}

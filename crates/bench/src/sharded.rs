@@ -41,6 +41,34 @@ pub fn run_sharded(
     }
 }
 
+/// [`run_sharded`] at an explicit worker count, ignoring
+/// `SLPMT_THREADS`. Scaling studies (`slpmt bench`, `scripts/bench.sh`)
+/// use this to sweep 1/4/8/16 workers over a fixed shard count; the
+/// merged result is bit-identical for every `workers` value.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_with(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    ops: &[YcsbOp],
+    value_size: usize,
+    source: AnnotationSource,
+    shards: usize,
+    workers: usize,
+    verify: bool,
+) -> ShardedResult {
+    let scheme = cfg.scheme;
+    let parts = partition_ops(ops, shards);
+    let results: Vec<RunResult> = par_map_with(&parts, workers, |part| {
+        run_shard(cfg.clone(), kind, part, value_size, source, verify)
+    });
+    ShardedResult {
+        scheme,
+        kind,
+        shards: results,
+        total_ops: ops.len(),
+    }
+}
+
 /// [`run_sharded`] with event tracing enabled on every shard, at an
 /// explicit worker count: each shard's measured phase comes back as a
 /// record sequence, merged deterministically in shard order. For any
@@ -114,5 +142,39 @@ mod tests {
             assert_eq!(p.traffic, s.traffic);
         }
         assert_eq!(par.sim_cycles(), ser.sim_cycles());
+    }
+
+    #[test]
+    fn sixteen_shards_bit_identical_across_worker_counts() {
+        let ops = ycsb_load(160, 8, 9);
+        let cfg = MachineConfig::for_scheme(Scheme::Slpmt);
+        let ser = run_sharded_serial(
+            cfg.clone(),
+            IndexKind::Hashtable,
+            &ops,
+            8,
+            AnnotationSource::Manual,
+            16,
+            false,
+        );
+        for workers in [1usize, 4, 8, 16] {
+            let par = run_sharded_with(
+                cfg.clone(),
+                IndexKind::Hashtable,
+                &ops,
+                8,
+                AnnotationSource::Manual,
+                16,
+                workers,
+                false,
+            );
+            assert_eq!(par.shards.len(), ser.shards.len());
+            for (p, s) in par.shards.iter().zip(&ser.shards) {
+                assert_eq!(p.cycles, s.cycles, "workers={workers}");
+                assert_eq!(p.stats, s.stats, "workers={workers}");
+                assert_eq!(p.traffic, s.traffic, "workers={workers}");
+            }
+            assert_eq!(par.sim_cycles(), ser.sim_cycles(), "workers={workers}");
+        }
     }
 }

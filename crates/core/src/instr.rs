@@ -30,6 +30,37 @@ pub enum StoreKind {
 }
 
 impl StoreKind {
+    /// Every store flavour, in [`StoreKind::index`] order.
+    pub const ALL: [StoreKind; 5] = [
+        StoreKind::Store,
+        StoreKind::StoreT {
+            lazy: false,
+            log_free: false,
+        },
+        StoreKind::StoreT {
+            lazy: false,
+            log_free: true,
+        },
+        StoreKind::StoreT {
+            lazy: true,
+            log_free: false,
+        },
+        StoreKind::StoreT {
+            lazy: true,
+            log_free: true,
+        },
+    ];
+
+    /// Dense index of this flavour in `0..5`, used to key precomputed
+    /// per-scheme action tables: `store` is 0, the four `storeT`
+    /// operand combinations follow as `1 + lazy*2 + log_free`.
+    pub fn index(self) -> usize {
+        match self {
+            StoreKind::Store => 0,
+            StoreKind::StoreT { lazy, log_free } => 1 + (lazy as usize) * 2 + log_free as usize,
+        }
+    }
+
     /// `storeT lazy=0 log-free=1`: selective logging, eager persistence.
     pub fn log_free() -> Self {
         StoreKind::StoreT {

@@ -145,28 +145,63 @@ struct CurTxn {
     write_set: BTreeSet<u64>,
 }
 
+/// Precomputed per-store-flavour action for one scheme configuration:
+/// everything `store_word_bytes` needs that depends only on
+/// `(SchemeFeatures, StoreKind)`, resolved once at machine
+/// construction so the per-store hot path is a table lookup plus
+/// straight-line metadata writes instead of re-deriving the Table I
+/// degrade rules on every store. Indexed by [`StoreKind::index`].
+#[derive(Debug, Clone, Copy, Default)]
+struct StoreAction {
+    /// Table I persist-bit column after the degrade rules.
+    set_persist: bool,
+    /// Table I log-bit column after the degrade rules.
+    set_log: bool,
+    /// Whether this flavour counts toward `stats.store_ts` (a `storeT`
+    /// under a scheme with at least one selective feature).
+    count_store_t: bool,
+    /// Trace-only: the operands survived the degrade rules.
+    honoured: bool,
+    /// In-transaction stores of this flavour track per-word deferral
+    /// (`!set_persist && !set_log`): a lazy log-free word has neither a
+    /// record nor permission to persist before its commit marker.
+    defer_word: bool,
+}
+
 /// An outstanding committed transaction with deferred lazy data.
 #[derive(Debug, Clone)]
 struct LazyTxn {
     seq: u64,
     id: TxnId,
     sig: Signature,
+    /// The lines the transaction deferred, recorded at commit so a
+    /// forced persist walks them directly instead of sweeping every
+    /// cache entry. A recorded line may have persisted (overflow,
+    /// takeover) since commit; the force re-checks each line's
+    /// metadata, so the list is a superset, never ground truth.
+    lines: Vec<PmAddr>,
 }
 
-/// The per-core private state of a *parked* core in multi-core mode
-/// (`crate::multi`): its L1, its log buffer, its open transaction and
-/// its redo spill area. The active core's copies of these live in
-/// [`Machine`]'s own fields; switching cores swaps them with a parked
-/// slot, so single-core execution pays nothing for the indirection.
-/// Everything else — L2, L3, the device (WPQ + image + log), the
-/// transaction-ID register and the dependency signatures — is shared
-/// by all cores, exactly the split the paper's §III-D per-core budget
-/// implies.
+/// One core's private state: its L1, its log buffer, its open
+/// transaction and its redo spill area. The active core's context is
+/// [`Machine::core`]; the others wait in [`Machine::parked`]. Both
+/// sides are boxed, so switching cores exchanges two pointers — no
+/// cache or shadow-map copies on the activation path. Everything else
+/// — L2, L3, the device (WPQ + image + log), the transaction-ID
+/// register and the dependency signatures — is shared by all cores,
+/// exactly the split the paper's §III-D per-core budget implies.
 #[derive(Debug, Clone)]
 pub(crate) struct CoreCtx {
     l1: SetAssocCache,
     log_path: LogPath,
     cur: Option<CurTxn>,
+    /// Redo discipline only: volatile holding area for logged lines
+    /// evicted from the private cache before commit — in-place updates
+    /// must not reach the persistence domain until the commit marker
+    /// is durable (Figure 4, right). Each entry keeps the line's
+    /// `log_bits` and `defer_bits` alongside its data: a spilled line
+    /// may mix logged words with log-free and deferred ones, and
+    /// commit must still tell them apart.
     redo_shadow: BTreeMap<u64, ([u8; LINE_BYTES], u8, u8)>,
 }
 
@@ -176,35 +211,31 @@ pub(crate) struct CoreCtx {
 pub struct Machine {
     cfg: MachineConfig,
     now: u64,
-    l1: SetAssocCache,
+    /// The active core's private state — its L1, log buffer, open
+    /// transaction and redo spill area — boxed so a core switch swaps
+    /// one pointer with a parked slot instead of copying the structs.
+    core: Box<CoreCtx>,
     l2: SetAssocCache,
     l3: SetAssocCache,
     dev: PmDevice,
-    log_path: LogPath,
     /// Outstanding lazy transactions, oldest first (parallel to the
     /// transaction-ID register's outstanding queue).
     lazy_txns: Vec<LazyTxn>,
     txreg: TxnIdRegister,
-    cur: Option<CurTxn>,
     /// Transactions of switched-out threads (§V-C): their cache-line
     /// metadata stays tagged with their 2-bit IDs while another
     /// thread's transaction runs.
     suspended: Vec<CurTxn>,
     txn_seq: u64,
     stats: MachineStats,
-    /// Redo discipline only: volatile holding area for logged lines
-    /// evicted from the private cache before commit — in-place updates
-    /// must not reach the persistence domain until the commit marker
-    /// is durable (Figure 4, right). Each entry keeps the line's
-    /// `log_bits` and `defer_bits` alongside its data: a spilled line
-    /// may mix logged words with log-free and deferred ones, and
-    /// commit must still tell them apart.
-    redo_shadow: BTreeMap<u64, ([u8; LINE_BYTES], u8, u8)>,
     /// Multi-core mode (`crate::multi`): the private contexts of the
     /// cores that are not currently executing. Empty — and `multi`
     /// false — on single-core machines, so none of the multi-core
-    /// paths below change single-core behaviour.
-    parked: Vec<CoreCtx>,
+    /// paths below change single-core behaviour. Boxed on purpose:
+    /// `switch_core` swaps the active `Box<CoreCtx>` with a parked one
+    /// by pointer, never moving the multi-KB context itself.
+    #[allow(clippy::vec_box)]
+    parked: Vec<Box<CoreCtx>>,
     /// `true` once [`enable_multi`](Self::enable_multi) ran: L2 is
     /// then shared between cores, which moves the private-domain
     /// duties (record flush, redo spill, deferred-word pre-image
@@ -224,6 +255,9 @@ pub struct Machine {
     /// every hook down to a single branch; `enable_tracing` installs a
     /// shared handle here, in the device and in every log buffer.
     tracer: Option<TraceHandle>,
+    /// Per-flavour store actions precomputed from the scheme features
+    /// (see [`StoreAction`]), indexed by [`StoreKind::index`].
+    store_actions: [StoreAction; 5],
 }
 
 impl Machine {
@@ -244,20 +278,39 @@ impl Machine {
             BufferKind::AtomLines => LogPath::Atom(AtomLineBuffer::new()),
             BufferKind::EdeDirect => LogPath::Ede(EdeCombiner::new()),
         };
+        let f = &cfg.features;
+        let mut store_actions = [StoreAction::default(); 5];
+        for kind in StoreKind::ALL {
+            let eff = kind.effects(f.log_free, f.lazy);
+            store_actions[kind.index()] = StoreAction {
+                set_persist: eff.set_persist,
+                set_log: eff.set_log,
+                count_store_t: matches!(kind, StoreKind::StoreT { .. }) && (f.log_free || f.lazy),
+                honoured: match kind {
+                    StoreKind::Store => true,
+                    StoreKind::StoreT { lazy, log_free } => {
+                        eff.set_persist != lazy && eff.set_log != log_free
+                    }
+                },
+                defer_word: !eff.set_persist && !eff.set_log,
+            };
+        }
         Machine {
-            l1: SetAssocCache::new(cfg.caches.l1),
             l2: SetAssocCache::new(cfg.caches.l2),
             l3: SetAssocCache::new(cfg.caches.l3),
             dev: PmDevice::new(cfg.pm.clone()),
-            log_path,
+            core: Box::new(CoreCtx {
+                l1: SetAssocCache::new(cfg.caches.l1),
+                log_path,
+                cur: None,
+                redo_shadow: BTreeMap::new(),
+            }),
             lazy_txns: Vec::new(),
             txreg: TxnIdRegister::new(),
-            cur: None,
             suspended: Vec::new(),
             txn_seq: 0,
             stats: MachineStats::new(),
             now: 0,
-            redo_shadow: BTreeMap::new(),
             parked: Vec::new(),
             multi: false,
             commit_crash_point: None,
@@ -265,6 +318,7 @@ impl Machine {
             scratch_logged: Vec::new(),
             scratch_free: Vec::new(),
             tracer: None,
+            store_actions,
             cfg,
         }
     }
@@ -283,7 +337,7 @@ impl Machine {
         let h = slpmt_trace::tracer(capacity_per_core);
         self.tracer = Some(h.clone());
         self.dev.set_tracer(Some(h.clone()));
-        if let LogPath::Tiered(buf) = &mut self.log_path {
+        if let LogPath::Tiered(buf) = &mut self.core.log_path {
             buf.set_tracer(Some(h.clone()));
         }
         for ctx in &mut self.parked {
@@ -427,7 +481,7 @@ impl Machine {
 
     /// `true` while a transaction is open.
     pub fn in_txn(&self) -> bool {
-        self.cur.is_some()
+        self.core.cur.is_some()
     }
 
     /// Sequence number of the most recently begun transaction.
@@ -472,7 +526,7 @@ impl Machine {
             b.copy_from_slice(&e.data[off..off + 8]);
             u64::from_le_bytes(b)
         };
-        if let Some(e) = self.l1.peek(line) {
+        if let Some(e) = self.core.l1.peek(line) {
             return from_entry(e);
         }
         if let Some(e) = self.l2.peek(line) {
@@ -481,7 +535,7 @@ impl Machine {
         if let Some(e) = self.l3.peek(line) {
             return from_entry(e);
         }
-        if let Some((data, _, _)) = self.redo_shadow.get(&line.raw()) {
+        if let Some((data, _, _)) = self.core.redo_shadow.get(&line.raw()) {
             let mut b = [0u8; 8];
             b.copy_from_slice(&data[off..off + 8]);
             return u64::from_le_bytes(b);
@@ -508,8 +562,9 @@ impl Machine {
         let mut line = first;
         while line <= last {
             let la = PmAddr::new(line);
-            let shadow = self.redo_shadow.get(&line).map(|(d, _, _)| d);
+            let shadow = self.core.redo_shadow.get(&line).map(|(d, _, _)| d);
             let cached = self
+                .core
                 .l1
                 .peek(la)
                 .or_else(|| self.l2.peek(la))
@@ -550,10 +605,10 @@ impl Machine {
         while line < end {
             let la = PmAddr::new(line);
             assert!(
-                self.l1.peek(la).is_none()
+                self.core.l1.peek(la).is_none()
                     && self.l2.peek(la).is_none()
                     && self.l3.peek(la).is_none()
-                    && !self.redo_shadow.contains_key(&la.raw())
+                    && !self.core.redo_shadow.contains_key(&la.raw())
                     && self
                         .parked
                         .iter()
@@ -563,6 +618,14 @@ impl Machine {
             line += LINE_BYTES as u64;
         }
         self.dev.image_mut().write(addr, data);
+    }
+
+    /// Pre-faults the durable image's backing pages for
+    /// `[addr, addr + bytes)` (see [`slpmt_pmem::PmSpace::prefault`]).
+    /// A host-side arena warm-up for benchmark drivers: no simulated
+    /// cycles, no change to any simulated state.
+    pub fn prefault_image(&mut self, addr: PmAddr, bytes: u64) {
+        self.dev.image_mut().prefault(addr.raw(), bytes);
     }
 
     // ------------------------------------------------------------------
@@ -601,7 +664,7 @@ impl Machine {
     fn ensure_l1(&mut self, addr: PmAddr) {
         let line = addr.line();
         self.now += self.cfg.caches.l1.hit_cycles;
-        if self.l1.lookup(line).is_some() {
+        if self.core.l1.lookup(line).is_some() {
             return;
         }
         if self.multi {
@@ -661,13 +724,13 @@ impl Machine {
         // log and defer bits — without them the commit partition would
         // treat the line as log-free and persist its logged or
         // deferred words in place before the marker.
-        if let Some((data, log_bits, defer_bits)) = self.redo_shadow.remove(&line.raw()) {
+        if let Some((data, log_bits, defer_bits)) = self.core.redo_shadow.remove(&line.raw()) {
             let mut meta = LineMeta::clean();
             meta.dirty = true;
             meta.persist = true;
             meta.log_bits = log_bits;
             meta.defer_bits = defer_bits;
-            meta.txn_id = self.cur.as_ref().map(|c| c.id);
+            meta.txn_id = self.core.cur.as_ref().map(|c| c.id);
             self.insert_l1(Entry::new(line, data, meta));
             return;
         }
@@ -685,7 +748,7 @@ impl Machine {
     }
 
     fn insert_l1(&mut self, entry: Entry) {
-        if let Some(victim) = self.l1.insert(entry) {
+        if let Some(victim) = self.core.l1.insert(entry) {
             self.evict_l1_to_l2(victim);
         }
     }
@@ -696,7 +759,7 @@ impl Machine {
         if self.cfg.features.speculative_logging
             && self.cfg.features.granularity == Granularity::Word
         {
-            if let (Some(cur), LogPath::Tiered(_)) = (&self.cur, &self.log_path) {
+            if let (Some(cur), LogPath::Tiered(_)) = (&self.core.cur, &self.core.log_path) {
                 if victim.meta.txn_id == Some(cur.id) && victim.meta.log_bits != 0 {
                     let seq = cur.seq;
                     let fills = speculative_fill_words(victim.meta.log_bits);
@@ -704,7 +767,7 @@ impl Machine {
                     // Deferred words' durable pre-state lives in the
                     // image, not the cache (see `log_store`).
                     let image = self.dev.image().read_line(victim.addr);
-                    if let LogPath::Tiered(buf) = &mut self.log_path {
+                    if let LogPath::Tiered(buf) = &mut self.core.log_path {
                         for w in fills {
                             let src = if victim.meta.word_deferred(w) {
                                 &image
@@ -731,7 +794,7 @@ impl Machine {
             // L2→L3 — record flush (§III-A), redo spill, deferred-word
             // pre-image capture — happen here, before other cores can
             // see (or evict) the line.
-            let ev = match &mut self.log_path {
+            let ev = match &mut self.core.log_path {
                 LogPath::Tiered(buf) => buf.flush_line(victim.addr),
                 LogPath::Atom(buf) => buf.flush_line(victim.addr),
                 LogPath::Ede(e) => e.flush_line(victim.addr),
@@ -740,27 +803,27 @@ impl Machine {
                 self.persist_flush(ev, false);
             }
             if self.cfg.features.discipline == Discipline::Redo
-                && self.cur.is_some()
+                && self.core.cur.is_some()
                 && (victim.meta.log_bits != 0 || victim.meta.defer_bits != 0)
                 && victim.meta.dirty
             {
                 // A logged open-transaction line must not become visible
                 // to the shared hierarchy before the marker. Spilled with
                 // L1-format bits — `ensure_l1` restores them into L1.
-                self.redo_shadow.insert(
+                self.core.redo_shadow.insert(
                     victim.addr.raw(),
                     (victim.data, victim.meta.log_bits, victim.meta.defer_bits),
                 );
                 return;
             }
-            if victim.meta.dirty && victim.meta.defer_bits != 0 && self.cur.is_some() {
+            if victim.meta.dirty && victim.meta.defer_bits != 0 && self.core.cur.is_some() {
                 // Deferred (lazy log-free) words: log their durable
                 // pre-images so a later steal out of the shared levels
                 // stays repairable (same rule as the L2→L3 path).
-                let seq = self.cur.as_ref().expect("checked").seq;
+                let seq = self.core.cur.as_ref().expect("checked").seq;
                 let image = self.dev.image().read_line(victim.addr);
                 let mut events = Vec::new();
-                if let LogPath::Tiered(buf) = &mut self.log_path {
+                if let LogPath::Tiered(buf) = &mut self.core.log_path {
                     for w in 0..LINE_BYTES / WORD_BYTES {
                         if victim.meta.word_deferred(w) {
                             let mut pre = [0u8; WORD_BYTES];
@@ -812,7 +875,7 @@ impl Machine {
         });
         // Before a line's data leaves the private cache, its buffered
         // log records must persist (§III-A).
-        let ev = match &mut self.log_path {
+        let ev = match &mut self.core.log_path {
             LogPath::Tiered(buf) => buf.flush_line(victim.addr),
             LogPath::Atom(buf) => buf.flush_line(victim.addr),
             LogPath::Ede(e) => e.flush_line(victim.addr),
@@ -827,15 +890,16 @@ impl Machine {
         if self.cfg.battery_backed
             && victim.meta.dirty
             && self
+                .core
                 .cur
                 .as_ref()
                 .is_some_and(|c| Some(c.id) == victim.meta.txn_id)
         {
-            let seq = self.cur.as_ref().expect("checked").seq;
+            let seq = self.core.cur.as_ref().expect("checked").seq;
             let pre = self.dev.image().read_line(victim.addr);
             let rec = LogRecord::new(seq, victim.addr, &pre);
             self.stats.log_records_created += 1;
-            let events = match &mut self.log_path {
+            let events = match &mut self.core.log_path {
                 LogPath::Tiered(buf) => buf.insert(rec),
                 _ => vec![slpmt_logbuf::record::flush_event(vec![rec])],
             };
@@ -848,11 +912,11 @@ impl Machine {
         // spill it to the volatile shadow instead (the DudeTM-style
         // redirection redo hardware performs).
         if self.cfg.features.discipline == Discipline::Redo
-            && self.cur.is_some()
+            && self.core.cur.is_some()
             && (victim.meta.log_bits != 0 || victim.meta.defer_bits != 0)
             && victim.meta.dirty
         {
-            self.redo_shadow.insert(
+            self.core.redo_shadow.insert(
                 victim.addr.raw(),
                 (victim.data, victim.meta.log_bits, victim.meta.defer_bits),
             );
@@ -864,11 +928,11 @@ impl Machine {
         // pre-images first (the image still holds them — the deferral
         // kept every earlier persist away), so a rollback can repair
         // the steal below.
-        if victim.meta.dirty && victim.meta.defer_bits != 0 && self.cur.is_some() {
-            let seq = self.cur.as_ref().expect("checked").seq;
+        if victim.meta.dirty && victim.meta.defer_bits != 0 && self.core.cur.is_some() {
+            let seq = self.core.cur.as_ref().expect("checked").seq;
             let image = self.dev.image().read_line(victim.addr);
             let mut events = Vec::new();
-            if let LogPath::Tiered(buf) = &mut self.log_path {
+            if let LogPath::Tiered(buf) = &mut self.core.log_path {
                 for w in 0..LINE_BYTES / WORD_BYTES {
                     if victim.meta.word_deferred(w) {
                         let mut pre = [0u8; WORD_BYTES];
@@ -926,26 +990,31 @@ impl Machine {
                 }
             }
         });
-        self.lazy_txns.retain(|lt| !freed.contains(&lt.id));
-        // Collect the deferred lines of the freed transactions.
+        // Collect the deferred lines of the freed transactions from the
+        // lists recorded at commit (a superset of the still-pending
+        // lines), then keep only lines whose metadata still says
+        // lazy-pending for a freed ID — exactly the set a full sweep of
+        // L1 + L2 + every parked core's L1 would find, without visiting
+        // every cache entry on the hot path.
         let mut doomed: Vec<PmAddr> = Vec::new();
-        for cache in [&self.l1, &self.l2] {
-            for e in cache.iter() {
-                if e.meta.lazy_pending && e.meta.txn_id.is_some_and(|t| freed.contains(&t)) {
-                    doomed.push(e.addr);
-                }
+        for lt in &self.lazy_txns {
+            if freed.contains(&lt.id) {
+                doomed.extend_from_slice(&lt.lines);
             }
         }
-        // Multi-core: a freed transaction's deferred lines may live in
-        // any core's private L1, not just the active one.
-        for ctx in &self.parked {
-            for e in ctx.l1.iter() {
-                if e.meta.lazy_pending && e.meta.txn_id.is_some_and(|t| freed.contains(&t)) {
-                    doomed.push(e.addr);
-                }
-            }
-        }
+        self.lazy_txns.retain(|lt| !freed.contains(&lt.id));
         doomed.sort();
+        doomed.dedup();
+        doomed.retain(|&addr| {
+            self.core
+                .l1
+                .peek(addr)
+                .or_else(|| self.l2.peek(addr))
+                .or_else(|| self.parked.iter().find_map(|c| c.l1.peek(addr)))
+                .is_some_and(|e| {
+                    e.meta.lazy_pending && e.meta.txn_id.is_some_and(|t| freed.contains(&t))
+                })
+        });
         self.trace(|t| {
             t.emit(TraceEvent::SigForcedPersist {
                 id: id.raw(),
@@ -955,6 +1024,7 @@ impl Machine {
         for addr in doomed {
             let data = {
                 let e = self
+                    .core
                     .l1
                     .peek_mut(addr)
                     .or_else(|| self.l2.peek_mut(addr))
@@ -1004,11 +1074,12 @@ impl Machine {
             self.ensure_l1(addr);
         }
         let tag = self
+            .core
             .l1
             .peek(addr)
             .and_then(|e| (e.meta.lazy_pending).then_some(e.meta.txn_id).flatten());
         if let Some(id) = tag {
-            let is_cur = self.cur.as_ref().is_some_and(|c| c.id == id);
+            let is_cur = self.core.cur.as_ref().is_some_and(|c| c.id == id);
             if is_cur {
                 return;
             }
@@ -1024,7 +1095,7 @@ impl Machine {
                 // — so takeover is allowed there only when the incoming
                 // store is about to log one; every other store forces
                 // the deferred line durable first.
-                let e = self.l1.peek_mut(addr).expect("line resident");
+                let e = self.core.l1.peek_mut(addr).expect("line resident");
                 e.meta.lazy_pending = false;
                 e.meta.txn_id = None;
             } else {
@@ -1063,7 +1134,7 @@ impl Machine {
     // Logging
 
     fn log_store(&mut self, addr: PmAddr, new_bytes: [u8; WORD_BYTES]) {
-        let Some(cur) = &self.cur else { return };
+        let Some(cur) = &self.core.cur else { return };
         let seq = cur.seq;
         let line = addr.line();
         let word = addr.word_in_line();
@@ -1071,7 +1142,7 @@ impl Machine {
         match self.cfg.features.granularity {
             Granularity::Word => {
                 let (cached, logged, deferred) = {
-                    let e = self.l1.peek(line).expect("line resident");
+                    let e = self.core.l1.peek(line).expect("line resident");
                     let mut pre = [0u8; WORD_BYTES];
                     pre.copy_from_slice(&e.data[word * 8..word * 8 + 8]);
                     (pre, e.meta.word_logged(word), e.meta.word_deferred(word))
@@ -1098,13 +1169,13 @@ impl Machine {
                         // it in the buffer, or append a fresh record if
                         // it already flushed (forward replay applies
                         // the newest last).
-                        let patched = match &mut self.log_path {
+                        let patched = match &mut self.core.log_path {
                             LogPath::Tiered(buf) => buf.update_word(seq, addr.word(), &payload),
                             _ => unreachable!("redo requires the tiered buffer"),
                         };
                         if !patched {
                             self.stats.log_records_created += 1;
-                            let events: Vec<FlushEvent> = match &mut self.log_path {
+                            let events: Vec<FlushEvent> = match &mut self.core.log_path {
                                 LogPath::Tiered(buf) => {
                                     buf.insert(LogRecord::new(seq, addr.word(), &payload))
                                 }
@@ -1118,7 +1189,7 @@ impl Machine {
                     return;
                 }
                 self.stats.log_records_created += 1;
-                let events: Vec<FlushEvent> = match &mut self.log_path {
+                let events: Vec<FlushEvent> = match &mut self.core.log_path {
                     LogPath::Tiered(buf) => buf.insert(LogRecord::new(seq, addr.word(), &payload)),
                     LogPath::Ede(e) => e.log_word(seq, addr.word(), payload).into_iter().collect(),
                     LogPath::Atom(_) => unreachable!("ATOM logs at line granularity"),
@@ -1126,7 +1197,8 @@ impl Machine {
                 for ev in events {
                     self.persist_flush(ev, false);
                 }
-                self.l1
+                self.core
+                    .l1
                     .peek_mut(line)
                     .expect("line resident")
                     .meta
@@ -1141,7 +1213,7 @@ impl Machine {
             }
             Granularity::Line => {
                 let (mut pre, need, defer_bits) = {
-                    let e = self.l1.peek(line).expect("line resident");
+                    let e = self.core.l1.peek(line).expect("line resident");
                     (e.data, e.meta.log_bits == 0, e.meta.defer_bits)
                 };
                 if !need {
@@ -1160,7 +1232,7 @@ impl Machine {
                     }
                 }
                 self.stats.log_records_created += 1;
-                let events: Vec<FlushEvent> = match &mut self.log_path {
+                let events: Vec<FlushEvent> = match &mut self.core.log_path {
                     LogPath::Tiered(buf) => buf.insert(LogRecord::new(seq, line, &pre)),
                     LogPath::Atom(buf) => buf.insert_line(seq, line, pre).into_iter().collect(),
                     LogPath::Ede(_) => unreachable!("EDE logs at word granularity"),
@@ -1168,7 +1240,12 @@ impl Machine {
                 for ev in events {
                     self.persist_flush(ev, false);
                 }
-                self.l1.peek_mut(line).expect("line resident").meta.log_bits = 0xFF;
+                self.core
+                    .l1
+                    .peek_mut(line)
+                    .expect("line resident")
+                    .meta
+                    .log_bits = 0xFF;
             }
         }
     }
@@ -1187,10 +1264,10 @@ impl Machine {
         self.now += self.cfg.load_issue_cycles;
         self.ensure_l1(addr);
         self.lazy_checks(addr, false, false);
-        if let Some(cur) = &mut self.cur {
+        if let Some(cur) = &mut self.core.cur {
             cur.read_set.insert(addr.line().raw());
         }
-        let e = self.l1.peek(addr.line()).expect("line resident");
+        let e = self.core.l1.peek(addr.line()).expect("line resident");
         let off = addr.offset_in_line();
         let mut b = [0u8; 8];
         b.copy_from_slice(&e.data[off..off + 8]);
@@ -1209,58 +1286,49 @@ impl Machine {
 
     fn store_word_bytes(&mut self, addr: PmAddr, bytes: [u8; WORD_BYTES], kind: StoreKind) {
         assert!(addr.is_word_aligned(), "unaligned store at {addr}");
+        // All (scheme, flavour) dispatch — Table I bit effects, degrade
+        // rules, honoured-ness, deferral — was resolved into the action
+        // table at construction; the hot path is a lookup.
+        let act = self.store_actions[kind.index()];
         self.stats.stores += 1;
-        let f = &self.cfg.features;
-        let eff = kind.effects(f.log_free, f.lazy);
-        if matches!(kind, StoreKind::StoreT { .. }) && (f.log_free || f.lazy) {
-            self.stats.store_ts += 1;
-        }
+        self.stats.store_ts += act.count_store_t as u64;
         self.trace(|t| {
-            // `honoured` is whether the operands survived the degrade
-            // rules: the Table I bit effects match what the operands
-            // asked for (vacuously true for a plain `store`).
-            let honoured = match kind {
-                StoreKind::Store => true,
-                StoreKind::StoreT { lazy, log_free } => {
-                    eff.set_persist != lazy && eff.set_log != log_free
-                }
-            };
             t.emit(TraceEvent::StoreIssue {
                 addr: addr.raw(),
-                log: eff.set_log,
-                lazy: !eff.set_persist,
-                honoured,
+                log: act.set_log,
+                lazy: !act.set_persist,
+                honoured: act.honoured,
             });
         });
         self.now += self.cfg.store_issue_cycles;
         self.ensure_l1(addr);
-        self.lazy_checks(addr, true, eff.set_log && self.cur.is_some());
+        self.lazy_checks(addr, true, act.set_log && self.core.cur.is_some());
         if self.cfg.battery_backed {
             // Battery mode: a line holding committed-but-unpersisted
             // data must flush before the in-flight transaction
             // overwrites it — at a crash the in-flight line is dropped,
             // so the committed value must already be in the image.
             let flush = {
-                let e = self.l1.peek(addr.line()).expect("line resident");
-                let cur_id = self.cur.as_ref().map(|c| c.id);
+                let e = self.core.l1.peek(addr.line()).expect("line resident");
+                let cur_id = self.core.cur.as_ref().map(|c| c.id);
                 e.meta.dirty && (cur_id.is_none() || e.meta.txn_id != cur_id)
             };
             if flush {
                 let (line, data) = {
-                    let e = self.l1.peek_mut(addr.line()).expect("line resident");
+                    let e = self.core.l1.peek_mut(addr.line()).expect("line resident");
                     e.meta.dirty = false;
                     e.meta.txn_id = None;
                     (e.addr, e.data)
                 };
                 self.persist_line_async(line, &data);
             }
-        } else if self.cur.is_some() && eff.set_log {
+        } else if self.core.cur.is_some() && act.set_log {
             self.log_store(addr, bytes);
         }
-        let cur_id = self.cur.as_ref().map(|c| c.id);
+        let cur_id = self.core.cur.as_ref().map(|c| c.id);
         let line = addr.line();
-        let e = self.l1.peek_mut(line).expect("line resident");
-        if eff.set_persist {
+        let e = self.core.l1.peek_mut(line).expect("line resident");
+        if act.set_persist {
             // A persistent store cancels any lazy deferral of the line
             // (§III-C1): the whole line persists at commit.
             e.meta.persist = true;
@@ -1270,7 +1338,7 @@ impl Machine {
         // persist before its commit marker; track it per word so a
         // sibling eager store (which sets the line's persist bit)
         // cannot drag it into the commit-time in-place persist.
-        if self.cur.is_some() && !eff.set_persist && !eff.set_log {
+        if act.defer_word && cur_id.is_some() {
             e.meta.set_word_deferred(addr.word_in_line());
         } else {
             e.meta.clear_word_deferred(addr.word_in_line());
@@ -1281,7 +1349,7 @@ impl Machine {
         }
         let off = addr.offset_in_line();
         e.data[off..off + 8].copy_from_slice(&bytes);
-        if let Some(cur) = &mut self.cur {
+        if let Some(cur) = &mut self.core.cur {
             cur.write_set.insert(line.raw());
         }
     }
@@ -1332,7 +1400,10 @@ impl Machine {
     ///
     /// Panics if a transaction is already open (no nesting).
     pub fn tx_begin(&mut self) {
-        assert!(self.cur.is_none(), "nested transactions are not supported");
+        assert!(
+            self.core.cur.is_none(),
+            "nested transactions are not supported"
+        );
         assert!(
             self.txreg.free_count() > 0 || self.txreg.outstanding().count() > 0,
             "all four 2-bit transaction contexts are in use ({} suspended threads)",
@@ -1351,7 +1422,7 @@ impl Machine {
                 id: id.raw(),
             });
         });
-        self.cur = Some(CurTxn {
+        self.core.cur = Some(CurTxn {
             seq: self.txn_seq,
             id,
             read_set: BTreeSet::new(),
@@ -1368,7 +1439,11 @@ impl Machine {
     ///
     /// Panics if no transaction is open.
     pub fn tx_commit(&mut self) {
-        let cur = self.cur.take().expect("commit without an open transaction");
+        let cur = self
+            .core
+            .cur
+            .take()
+            .expect("commit without an open transaction");
         let commit_start = self.now;
         let redo = self.cfg.features.discipline == Discipline::Redo;
         self.trace(|t| t.emit(TraceEvent::CommitBegin { txn: cur.seq }));
@@ -1379,7 +1454,7 @@ impl Machine {
             // records of overflowed lines, make the marker durable,
             // and clear the transaction's metadata (lines stay dirty;
             // they write back on natural eviction or battery flush).
-            let ev = match &mut self.log_path {
+            let ev = match &mut self.core.log_path {
                 LogPath::Tiered(buf) => buf.drain_all(),
                 LogPath::Atom(buf) => buf.drain_all(),
                 LogPath::Ede(e) => e.drain(),
@@ -1392,7 +1467,7 @@ impl Machine {
                 // so the battery flush must drop its lines. Restore the
                 // in-flight state before failing.
                 self.commit_crash_point = None;
-                self.cur = Some(cur);
+                self.core.cur = Some(cur);
                 self.crash();
                 return;
             }
@@ -1403,8 +1478,18 @@ impl Machine {
                 return;
             }
             self.dev.truncate_log();
-            for cache in [&mut self.l1, &mut self.l2] {
-                for e in cache.iter_mut() {
+            // Only lines the transaction wrote can carry its tag, so
+            // walking the write set finds every tagged line without
+            // sweeping both caches (battery mode is single-core, so no
+            // other core's lines are involved).
+            for &raw in &cur.write_set {
+                let addr = PmAddr::new(raw);
+                if let Some(e) = self
+                    .core
+                    .l1
+                    .peek_mut(addr)
+                    .or_else(|| self.l2.peek_mut(addr))
+                {
                     if e.meta.txn_id == Some(cur.id) {
                         e.meta.persist = false;
                         e.meta.log_bits = 0;
@@ -1427,27 +1512,35 @@ impl Machine {
         }
 
         // 1. Identify this transaction's lazily-persistent lines:
-        //    dirty, persist bit clear, tagged with our ID.
+        //    dirty, persist bit clear, tagged with our ID. Only lines
+        //    in the write set can match (stores are the only path that
+        //    tags a line), so commit walks the write set — already in
+        //    ascending address order — instead of sweeping L1 + L2.
         let mut lazy_lines = std::mem::take(&mut self.scratch_lazy);
         lazy_lines.clear();
-        for cache in [&self.l1, &self.l2] {
-            for e in cache.iter() {
-                if e.meta.dirty
-                    && !e.meta.persist
-                    && e.meta.txn_id == Some(cur.id)
-                    && !e.meta.lazy_pending
-                {
-                    lazy_lines.push(e.addr);
-                }
+        for &raw in &cur.write_set {
+            let addr = PmAddr::new(raw);
+            if self
+                .core
+                .l1
+                .peek(addr)
+                .or_else(|| self.l2.peek(addr))
+                .is_some_and(|e| {
+                    e.meta.dirty
+                        && !e.meta.persist
+                        && e.meta.txn_id == Some(cur.id)
+                        && !e.meta.lazy_pending
+                })
+            {
+                lazy_lines.push(addr);
             }
         }
-        lazy_lines.sort();
 
         // 2. Discard buffered records of lazy lines — their images are
         //    unnecessary because the lines will not persist eagerly
         //    (§III-B2).
         if !lazy_lines.is_empty() {
-            if let LogPath::Tiered(buf) = &mut self.log_path {
+            if let LogPath::Tiered(buf) = &mut self.core.log_path {
                 let dropped = buf.discard_lines(&lazy_lines);
                 self.stats.log_records_discarded += dropped as u64;
             }
@@ -1461,30 +1554,39 @@ impl Machine {
         logged_lines.clear();
         let mut free_lines = std::mem::take(&mut self.scratch_free);
         free_lines.clear();
-        for cache in [&self.l1, &self.l2] {
-            for e in cache.iter() {
-                // Multi-core: the shared L2 may hold persist-marked
-                // lines of *other* cores' open transactions — commit
-                // must only persist its own (the ID filter is vacuous
-                // single-core: commit clears the bits it sets).
-                if e.meta.persist && (!self.multi || e.meta.txn_id == Some(cur.id)) {
-                    if e.meta.log_bits != 0 {
-                        logged_lines.push(e.addr);
-                    } else {
-                        free_lines.push(e.addr);
-                    }
+        for &raw in &cur.write_set {
+            let addr = PmAddr::new(raw);
+            let Some(e) = self.core.l1.peek(addr).or_else(|| self.l2.peek(addr)) else {
+                continue;
+            };
+            // Multi-core: the shared L2 may hold persist-marked lines
+            // of *other* cores' open transactions — commit must only
+            // persist its own (the ID filter is vacuous single-core:
+            // commit clears the bits it sets). Either way only lines
+            // this transaction wrote are candidates, so the write-set
+            // walk sees every line the old full-cache sweep saw.
+            if e.meta.persist && (!self.multi || e.meta.txn_id == Some(cur.id)) {
+                if e.meta.log_bits != 0 {
+                    logged_lines.push(addr);
+                } else {
+                    free_lines.push(addr);
                 }
             }
         }
-        logged_lines.sort();
-        free_lines.sort();
 
         let mut deferred_mixed = false;
+        // Mixed lines whose deferred words `commit_persist_line`
+        // withheld: recorded alongside the lazy lines so a later forced
+        // persist can find them without sweeping the caches.
+        let mut mixed_lines: Vec<PmAddr> = Vec::new();
         if redo {
             // Figure 4 (right): log-free lines → redo records → marker
             // → logged lines (the in-place write-back).
             for &addr in &free_lines {
-                deferred_mixed |= self.commit_persist_line(addr);
+                if self.commit_persist_line(addr) {
+                    deferred_mixed = true;
+                    mixed_lines.push(addr);
+                }
             }
             // A *mixed* line — log-free words sharing a line with
             // logged words — belongs to both phases: its log-free
@@ -1498,6 +1600,7 @@ impl Machine {
             for &addr in &logged_lines {
                 let (data, log_bits, defer_bits) = {
                     let e = self
+                        .core
                         .l1
                         .peek(addr)
                         .or_else(|| self.l2.peek(addr))
@@ -1507,6 +1610,7 @@ impl Machine {
                 self.persist_log_free_words_premarker(addr, &data, log_bits, defer_bits);
             }
             let spilled_mixed: Vec<(u64, [u8; LINE_BYTES], u8, u8)> = self
+                .core
                 .redo_shadow
                 .iter()
                 .map(|(&a, &(d, b, f))| (a, d, b, f))
@@ -1517,7 +1621,7 @@ impl Machine {
             if self.take_crash_point(cur.seq, CommitPhase::AfterLogFree) {
                 return;
             }
-            let ev = match &mut self.log_path {
+            let ev = match &mut self.core.log_path {
                 LogPath::Tiered(buf) => buf.drain_all(),
                 _ => unreachable!("redo requires the tiered buffer"),
             };
@@ -1536,9 +1640,13 @@ impl Machine {
             // marker is durable, so their deferred words are committed
             // and may land in place.)
             for &addr in &logged_lines {
-                deferred_mixed |= self.commit_persist_line(addr);
+                if self.commit_persist_line(addr) {
+                    deferred_mixed = true;
+                    mixed_lines.push(addr);
+                }
             }
             let spilled: Vec<(u64, [u8; LINE_BYTES])> = self
+                .core
                 .redo_shadow
                 .iter()
                 .map(|(&a, &(d, _, _))| (a, d))
@@ -1549,12 +1657,12 @@ impl Machine {
                 self.persist_line_sync(addr, &data);
                 self.stats.commit_line_persists += 1;
             }
-            self.redo_shadow.clear();
+            self.core.redo_shadow.clear();
             self.dev.truncate_log();
         } else {
             // Figure 4 (left): records → data (logged and log-free in
             // any order) → marker.
-            let ev = match &mut self.log_path {
+            let ev = match &mut self.core.log_path {
                 LogPath::Tiered(buf) => buf.drain_all(),
                 LogPath::Atom(buf) => buf.drain_all(),
                 LogPath::Ede(e) => e.drain(),
@@ -1566,7 +1674,10 @@ impl Machine {
                 return;
             }
             for &addr in free_lines.iter().chain(logged_lines.iter()) {
-                deferred_mixed |= self.commit_persist_line(addr);
+                if self.commit_persist_line(addr) {
+                    deferred_mixed = true;
+                    mixed_lines.push(addr);
+                }
             }
             if self.take_crash_point(cur.seq, CommitPhase::AfterData) {
                 return;
@@ -1596,6 +1707,7 @@ impl Machine {
         } else {
             for addr in &lazy_lines {
                 let e = self
+                    .core
                     .l1
                     .peek_mut(*addr)
                     .or_else(|| self.l2.peek_mut(*addr))
@@ -1619,10 +1731,13 @@ impl Machine {
                     lines: cur.read_set.difference(&cur.write_set).copied().collect(),
                 });
             });
+            let mut lines = lazy_lines.clone();
+            lines.extend_from_slice(&mixed_lines);
             self.lazy_txns.push(LazyTxn {
                 seq: cur.seq,
                 id: cur.id,
                 sig,
+                lines,
             });
             self.txreg.retire_lazy(cur.id);
         }
@@ -1684,6 +1799,7 @@ impl Machine {
         self.signature_persist_check(addr);
         let (data, defer_bits) = {
             let e = self
+                .core
                 .l1
                 .peek(addr)
                 .or_else(|| self.l2.peek(addr))
@@ -1692,6 +1808,7 @@ impl Machine {
         };
         if defer_bits == 0 {
             let e = self
+                .core
                 .l1
                 .peek_mut(addr)
                 .or_else(|| self.l2.peek_mut(addr))
@@ -1712,6 +1829,7 @@ impl Machine {
             }
         }
         let e = self
+            .core
             .l1
             .peek_mut(addr)
             .or_else(|| self.l2.peek_mut(addr))
@@ -1757,7 +1875,11 @@ impl Machine {
     ///
     /// Panics if no transaction is open.
     pub fn tx_abort(&mut self) {
-        let cur = self.cur.take().expect("abort without an open transaction");
+        let cur = self
+            .core
+            .cur
+            .take()
+            .expect("abort without an open transaction");
         self.trace(|t| {
             t.emit(TraceEvent::Abort { txn: cur.seq });
             t.emit(TraceEvent::TxnIdRetire {
@@ -1767,14 +1889,14 @@ impl Machine {
         });
         // (1) Clear the log buffer — the records' lines are still in the
         // private cache or were flushed already.
-        match &mut self.log_path {
+        match &mut self.core.log_path {
             LogPath::Tiered(buf) => buf.clear(),
             LogPath::Atom(buf) => buf.clear(),
             LogPath::Ede(e) => e.clear(),
         }
         // Invalidate the transaction's updated lines in every level.
         let mut doomed: Vec<PmAddr> = Vec::new();
-        for cache in [&self.l1, &self.l2] {
+        for cache in [&self.core.l1, &self.l2] {
             for e in cache.iter() {
                 if e.meta.txn_id == Some(cur.id) && e.meta.dirty && !e.meta.lazy_pending {
                     doomed.push(e.addr);
@@ -1782,7 +1904,7 @@ impl Machine {
             }
         }
         for addr in &doomed {
-            self.l1.invalidate(*addr);
+            self.core.l1.invalidate(*addr);
             self.l2.invalidate(*addr);
             // The L3/image copy may hold stolen (persisted) uncommitted
             // data; the undo application below repairs the image, so
@@ -1799,7 +1921,7 @@ impl Machine {
         // suffices.
         self.now += 2000; // interrupt + syscall entry (§V-B)
         if self.cfg.features.discipline == Discipline::Redo {
-            self.redo_shadow.clear();
+            self.core.redo_shadow.clear();
         } else {
             let recs: Vec<(PmAddr, PayloadBuf)> = self
                 .dev
@@ -1816,7 +1938,7 @@ impl Machine {
                 let la = PmAddr::new(line);
                 // Any cached copy (even a clean one fetched moments ago)
                 // is stale relative to the repaired image.
-                self.l1.invalidate(la);
+                self.core.l1.invalidate(la);
                 self.l2.invalidate(la);
                 self.l3.invalidate(la);
                 for ctx in &mut self.parked {
@@ -1844,7 +1966,7 @@ impl Machine {
     /// across the switch. The open transaction (if any) resumes when
     /// the thread is scheduled back.
     pub fn context_switch(&mut self) {
-        let ev = match &mut self.log_path {
+        let ev = match &mut self.core.log_path {
             LogPath::Tiered(buf) => buf.drain_all(),
             LogPath::Atom(buf) => buf.drain_all(),
             LogPath::Ede(e) => e.drain(),
@@ -1877,7 +1999,11 @@ impl Machine {
              failure flush cannot distinguish a suspended transaction's \
              uncommitted lines from committed ones"
         );
-        let cur = self.cur.take().expect("no open transaction to suspend");
+        let cur = self
+            .core
+            .cur
+            .take()
+            .expect("no open transaction to suspend");
         self.context_switch();
         let seq = cur.seq;
         self.suspended.push(cur);
@@ -1891,13 +2017,13 @@ impl Machine {
     ///
     /// Panics if another transaction is active or `seq` is unknown.
     pub fn resume_txn(&mut self, seq: u64) {
-        assert!(self.cur.is_none(), "a transaction is already active");
+        assert!(self.core.cur.is_none(), "a transaction is already active");
         let pos = self
             .suspended
             .iter()
             .position(|t| t.seq == seq)
             .unwrap_or_else(|| panic!("no suspended transaction {seq}"));
-        self.cur = Some(self.suspended.swap_remove(pos));
+        self.core.cur = Some(self.suspended.swap_remove(pos));
         self.now += 3000; // schedule-in
     }
 
@@ -1919,7 +2045,7 @@ impl Machine {
         self.stats.suspended_aborts += 1;
         // Invalidate the victim's cached updates.
         let mut doomed: Vec<PmAddr> = Vec::new();
-        for cache in [&self.l1, &self.l2] {
+        for cache in [&self.core.l1, &self.l2] {
             for e in cache.iter() {
                 if e.meta.txn_id == Some(victim.id) && e.meta.dirty && !e.meta.lazy_pending {
                     doomed.push(e.addr);
@@ -1927,7 +2053,7 @@ impl Machine {
             }
         }
         for addr in &doomed {
-            self.l1.invalidate(*addr);
+            self.core.l1.invalidate(*addr);
             self.l2.invalidate(*addr);
             self.l3.invalidate(*addr);
         }
@@ -1949,7 +2075,7 @@ impl Machine {
             let la = PmAddr::new(line);
             // Any cached copy (even a clean one fetched moments ago)
             // is stale relative to the repaired image.
-            self.l1.invalidate(la);
+            self.core.l1.invalidate(la);
             self.l2.invalidate(la);
             self.l3.invalidate(la);
             self.signature_persist_check(la);
@@ -1992,9 +2118,9 @@ impl Machine {
             // The battery flushes every dirty private-cache line except
             // those of the in-flight transaction, which vanish —
             // automatic roll-back of cache-resident updates (§V-E).
-            let cur_id = self.cur.as_ref().map(|c| c.id);
+            let cur_id = self.core.cur.as_ref().map(|c| c.id);
             let mut dirty: Vec<(PmAddr, [u8; LINE_BYTES])> = Vec::new();
-            for cache in [&self.l1, &self.l2] {
+            for cache in [&self.core.l1, &self.l2] {
                 for e in cache.iter() {
                     let in_flight = cur_id.is_some() && e.meta.txn_id == cur_id;
                     if e.meta.dirty && !in_flight {
@@ -2008,18 +2134,18 @@ impl Machine {
             }
         }
         self.dev.crash();
-        self.l1.clear();
+        self.core.l1.clear();
         self.l2.clear();
         self.l3.clear();
-        match &mut self.log_path {
+        match &mut self.core.log_path {
             LogPath::Tiered(buf) => buf.clear(),
             LogPath::Atom(buf) => buf.clear(),
             LogPath::Ede(e) => e.clear(),
         }
         self.lazy_txns.clear();
         self.txreg.reset();
-        self.redo_shadow.clear();
-        self.cur = None;
+        self.core.redo_shadow.clear();
+        self.core.cur = None;
         self.suspended.clear();
         for ctx in &mut self.parked {
             ctx.l1.clear();
@@ -2066,7 +2192,7 @@ impl Machine {
             "battery-backed caches are single-core only"
         );
         assert!(
-            self.now == 0 && self.cur.is_none() && self.txn_seq == 0,
+            self.now == 0 && self.core.cur.is_none() && self.txn_seq == 0,
             "enable_multi requires a fresh machine"
         );
         // A single "multi-core" machine has nobody to conflict with;
@@ -2084,12 +2210,12 @@ impl Machine {
             if let (Some(h), LogPath::Tiered(buf)) = (&self.tracer, &mut log_path) {
                 buf.set_tracer(Some(h.clone()));
             }
-            self.parked.push(CoreCtx {
+            self.parked.push(Box::new(CoreCtx {
                 l1: SetAssocCache::new(self.cfg.caches.l1),
                 log_path,
                 cur: None,
                 redo_shadow: BTreeMap::new(),
-            });
+            }));
         }
     }
 
@@ -2104,11 +2230,9 @@ impl Machine {
     /// concurrently in reality; the wrapper interleaves them onto one
     /// deterministic timeline.
     pub(crate) fn switch_core(&mut self, slot: usize) {
-        let ctx = &mut self.parked[slot];
-        std::mem::swap(&mut self.l1, &mut ctx.l1);
-        std::mem::swap(&mut self.log_path, &mut ctx.log_path);
-        std::mem::swap(&mut self.cur, &mut ctx.cur);
-        std::mem::swap(&mut self.redo_shadow, &mut ctx.redo_shadow);
+        // Both contexts are boxed, so this exchanges two pointers —
+        // activation cost is independent of L1 size or shadow depth.
+        std::mem::swap(&mut self.core, &mut self.parked[slot]);
     }
 
     /// Sequence number of the open transaction parked in `slot`.
@@ -2118,7 +2242,7 @@ impl Machine {
 
     /// Sequence number of the *active* core's open transaction.
     pub(crate) fn cur_seq(&self) -> Option<u64> {
-        self.cur.as_ref().map(|c| c.seq)
+        self.core.cur.as_ref().map(|c| c.seq)
     }
 
     /// LogTM-SE-style conflict check against *parked cores'* open
@@ -2256,7 +2380,7 @@ impl Machine {
             }
         }
         for addr in &doomed {
-            self.l1.invalidate(*addr);
+            self.core.l1.invalidate(*addr);
             self.l2.invalidate(*addr);
             self.l3.invalidate(*addr);
             for ctx in &mut self.parked {
@@ -2273,7 +2397,7 @@ impl Machine {
         // the surviving records still rolling the victim back at
         // recovery.
         for (la, data) in repairs {
-            self.l1.invalidate(la);
+            self.core.l1.invalidate(la);
             self.l2.invalidate(la);
             self.l3.invalidate(la);
             for ctx in &mut self.parked {
@@ -2698,7 +2822,7 @@ mod tests {
         for line_no in [4u64, 8, 12, 20] {
             m.load_u64(PmAddr::new(line_no * 64));
         }
-        assert!(m.l1.peek(A).is_none(), "A evicted from L1");
+        assert!(m.core.l1.peek(A).is_none(), "A evicted from L1");
         assert!(m.l2.peek(A).is_some(), "A still in L2");
         // Re-store one of the words: with speculative logging the group
         // bit survived the round trip, so no duplicate record appears.

@@ -1,0 +1,213 @@
+//! Exhaustive (scheme × `StoreKind` × line-state) golden snapshot for
+//! the `storeT` metadata path.
+//!
+//! The per-store hot path (`store_word_bytes` → log-bit / defer-bit /
+//! scheme dispatch) was rewritten to be table-driven; this test pins
+//! its observable behaviour to the pre-refactor branchy implementation.
+//! Every case runs a small deterministic program that first drives one
+//! cache line into a chosen *prestate* (resident / dirty / logged /
+//! deferred / lazy-tagged / evicted …), then executes the store flavour
+//! under test, commits, drains lazy persistence, and digests the
+//! machine: cycle count, persist-event numbering, the stats counters
+//! the store path feeds, device write traffic, and the durable image.
+//!
+//! The digest of every case is one line in
+//! `tests/golden/store_matrix.txt`. Regenerate with
+//! `SLPMT_BLESS=1 cargo test -p slpmt-core --test store_matrix` —
+//! but only when a *semantic* change is intended; a pure-performance
+//! refactor must leave the file untouched.
+
+use slpmt_core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt_pmem::PmAddr;
+
+/// Line under test: line-aligned, maps to L1 set 0 of the tiny config.
+const BASE: u64 = 0x4000;
+/// Same-set neighbours (tiny L1 has 4 sets of 2 ways; stride 256).
+const SET_STRIDE: u64 = 256;
+
+/// The five store flavours of Table I.
+fn kinds() -> [(&'static str, StoreKind); 5] {
+    [
+        ("store", StoreKind::Store),
+        (
+            "storeT00",
+            StoreKind::StoreT {
+                lazy: false,
+                log_free: false,
+            },
+        ),
+        ("storeT01", StoreKind::log_free()),
+        ("storeT11", StoreKind::lazy_log_free()),
+        ("storeT10", StoreKind::lazy_logged()),
+    ]
+}
+
+/// Line-state prestates the store under test executes against. Each
+/// prep runs with a transaction already open unless noted.
+const PRESTATES: [&str; 9] = [
+    "fresh",       // line not resident anywhere
+    "clean",       // resident clean (loaded before the txn)
+    "dirty-plain", // dirtied by a non-transactional store
+    "eager-sib",   // sibling word stored eagerly in this txn
+    "logged-word", // same word already logged in this txn
+    "defer-sib",   // sibling word deferred (lazy log-free) in this txn
+    "defer-word",  // same word deferred in this txn
+    "lazy-prev",   // line lazy-tagged by a previous committed txn
+    "evicted",     // written in-txn, then evicted to L2 by set pressure
+];
+
+fn run_case(scheme: Scheme, battery: bool, kind: StoreKind, prestate: &str) -> String {
+    let mut cfg = MachineConfig::for_scheme(scheme).with_tiny_caches();
+    if battery {
+        cfg = cfg.with_battery_backed_cache();
+    }
+    let mut m = Machine::new(cfg);
+    let a = PmAddr::new(BASE);
+    let sib = a.add(8);
+
+    // Deterministic initial image for the line under test.
+    let mut init = [0u8; 64];
+    for (i, b) in init.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(3).wrapping_add(1);
+    }
+    m.setup_write(a, &init);
+
+    match prestate {
+        "fresh" => m.tx_begin(),
+        "clean" => {
+            let _ = m.load_u64(sib);
+            m.tx_begin();
+        }
+        "dirty-plain" => {
+            m.store_u64(sib, 0x1111, StoreKind::Store);
+            m.tx_begin();
+        }
+        "eager-sib" => {
+            m.tx_begin();
+            m.store_u64(sib, 0x2222, StoreKind::Store);
+        }
+        "logged-word" => {
+            m.tx_begin();
+            m.store_u64(a, 0x3333, StoreKind::Store);
+        }
+        "defer-sib" => {
+            m.tx_begin();
+            m.store_u64(sib, 0x4444, StoreKind::lazy_log_free());
+        }
+        "defer-word" => {
+            m.tx_begin();
+            m.store_u64(a, 0x5555, StoreKind::lazy_log_free());
+        }
+        "lazy-prev" => {
+            m.tx_begin();
+            m.store_u64(a, 0x6666, StoreKind::lazy_logged());
+            m.tx_commit();
+            m.tx_begin();
+        }
+        "evicted" => {
+            m.tx_begin();
+            m.store_u64(a, 0x7777, StoreKind::Store);
+            // Two same-set lines push BASE out of the 2-way L1 set.
+            m.store_u64(PmAddr::new(BASE + SET_STRIDE), 0x8888, StoreKind::Store);
+            m.store_u64(PmAddr::new(BASE + 2 * SET_STRIDE), 0x9999, StoreKind::Store);
+        }
+        other => panic!("unknown prestate {other}"),
+    }
+
+    // The store under test.
+    m.store_u64(a, 0xDEAD_BEEF_0000_0001, kind);
+    m.tx_commit();
+    m.drain_lazy();
+
+    let s = m.stats();
+    let t = m.device().traffic();
+    format!(
+        "now={} ev={} st={} stT={} rec={} disc={} per={} lzd={} lzf={} lzo={} sig={} \
+         stall={} tx={}/{} dl={} db={} lr={} lb={} wl={} wstall={} w0={:#x} w8={:#x}",
+        m.now(),
+        m.persist_event_count(),
+        s.stores,
+        s.store_ts,
+        s.log_records_created,
+        s.log_records_discarded,
+        s.commit_line_persists,
+        s.lazy_lines_deferred,
+        s.lazy_lines_forced,
+        s.lazy_lines_overflowed,
+        s.signature_hits,
+        s.commit_stall_cycles,
+        s.tx_begins,
+        s.tx_commits,
+        t.data_lines,
+        t.data_bytes,
+        t.log_records,
+        t.log_bytes,
+        t.wpq_lines,
+        m.device().wpq_stall_cycles(),
+        m.device().image().read_u64(a),
+        m.device().image().read_u64(sib),
+    )
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("store_matrix.txt")
+}
+
+#[test]
+fn store_path_matches_golden_snapshot() {
+    let mut lines = Vec::new();
+    for &scheme in Scheme::ALL.iter().chain(Scheme::REDO.iter()) {
+        for battery in [false, true] {
+            // Battery-backed caches are an undo-only configuration.
+            if battery && Scheme::REDO.contains(&scheme) {
+                continue;
+            }
+            for (kname, kind) in kinds() {
+                for prestate in PRESTATES {
+                    let digest = run_case(scheme, battery, kind, prestate);
+                    lines.push(format!(
+                        "{scheme} bat={} {kname} {prestate}: {digest}",
+                        battery as u8
+                    ));
+                }
+            }
+        }
+    }
+    let got = lines.join("\n") + "\n";
+
+    let path = golden_path();
+    if std::env::var("SLPMT_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with SLPMT_BLESS=1",
+            path.display()
+        )
+    });
+    if got != want {
+        let mismatches: Vec<String> = want
+            .lines()
+            .zip(got.lines())
+            .filter(|(w, g)| w != g)
+            .take(10)
+            .map(|(w, g)| format!("- {w}\n+ {g}"))
+            .collect();
+        panic!(
+            "store-path digest drifted from golden snapshot \
+             ({} of {} lines differ; first {} shown):\n{}",
+            want.lines()
+                .zip(got.lines())
+                .filter(|(w, g)| w != g)
+                .count(),
+            want.lines().count().max(got.lines().count()),
+            mismatches.len(),
+            mismatches.join("\n")
+        );
+    }
+}

@@ -485,12 +485,7 @@ impl PmDevice {
             return now;
         }
         let lines = self.log_append_lines(bytes);
-        let mut accepted = now;
-        for _ in 0..lines {
-            let push = self.wpq.push(accepted);
-            self.trace_wpq(accepted, &push);
-            accepted = push.accepted_at;
-        }
+        let accepted = self.drain_lines(now, lines);
         self.traffic.count_log_flush(records, bytes, lines);
         if !cfg!(feature = "no-trace") {
             if let Some(t) = &self.tracer {
@@ -499,6 +494,26 @@ impl PmDevice {
                     bytes: bytes.min(u64::from(u32::MAX)) as u32,
                 });
             }
+        }
+        accepted
+    }
+
+    /// Drains `lines` dependent WPQ pushes starting at `now` and
+    /// returns the final acceptance cycle. With no tracer attached the
+    /// whole chain runs as one batched queue pass
+    /// ([`WritePendingQueue::push_chain`]); with tracing on, each push
+    /// is issued individually so the per-push `WpqEnqueue` /
+    /// `WpqDrainComplete` records keep their exact timings. Both paths
+    /// produce identical queue state and acceptance cycles.
+    fn drain_lines(&mut self, now: u64, lines: u64) -> u64 {
+        if cfg!(feature = "no-trace") || self.tracer.is_none() {
+            return self.wpq.push_chain(now, lines);
+        }
+        let mut accepted = now;
+        for _ in 0..lines {
+            let push = self.wpq.push(accepted);
+            self.trace_wpq(accepted, &push);
+            accepted = push.accepted_at;
         }
         accepted
     }
@@ -518,12 +533,7 @@ impl PmDevice {
                     Admission::Dropped => unreachable!(),
                 }
                 let lines = self.log_append_lines(16);
-                let mut accepted = now;
-                for _ in 0..lines {
-                    let push = self.wpq.push(accepted);
-                    self.trace_wpq(accepted, &push);
-                    accepted = push.accepted_at;
-                }
+                let accepted = self.drain_lines(now, lines);
                 self.traffic.count_log_flush(1, 16, lines);
                 accepted
             }

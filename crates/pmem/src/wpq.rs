@@ -148,6 +148,59 @@ impl WritePendingQueue {
         }
     }
 
+    /// Pushes `count` dependent lines back-to-back — each push issues
+    /// at the previous push's acceptance cycle, exactly like calling
+    /// [`push`](Self::push) in a loop and chaining `accepted_at` —
+    /// and returns the final acceptance cycle (`now` when `count` is
+    /// zero).
+    ///
+    /// This is the batched form the device uses to drain a multi-line
+    /// log flush in one pass: per-push bookkeeping (retire scan, bank
+    /// selection, stall and jitter accounting) is identical, but no
+    /// intermediate [`WpqPush`] results are materialized and the
+    /// occupancy queue is walked incrementally as time advances, so a
+    /// caller that does not need per-push timings (e.g. when tracing
+    /// is off) pays one call instead of `count`.
+    pub fn push_chain(&mut self, now: u64, count: u64) -> u64 {
+        let mut t = now;
+        for _ in 0..count {
+            // Same retire/stall/bank/jitter math as `push`, with `t`
+            // monotonically nondecreasing across iterations — entries
+            // retired once stay retired, so the front scan resumes
+            // where the previous iteration stopped.
+            while let Some(&done) = self.inflight.front() {
+                if done <= t {
+                    self.inflight.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let mut start = t;
+            if self.inflight.len() == self.entries {
+                let free_at = *self.inflight.front().expect("full queue has a front");
+                self.total_stall += free_at - t;
+                start = free_at;
+                self.inflight.pop_front();
+            }
+            let accepted_at = start + self.accept_cycles;
+            let bank = (0..self.bank_free.len())
+                .min_by_key(|&b| self.bank_free[b])
+                .expect("at least one bank");
+            let drain_start = accepted_at.max(self.bank_free[bank]);
+            let mut drained_at = drain_start + self.write_cycles;
+            if self.jitter_window > 0 {
+                drained_at +=
+                    crate::fault::mix64(self.jitter_seed ^ self.pushes) % self.jitter_window;
+            }
+            self.bank_free[bank] = drained_at;
+            let pos = self.inflight.partition_point(|&d| d <= drained_at);
+            self.inflight.insert(pos, drained_at);
+            self.pushes += 1;
+            t = accepted_at;
+        }
+        t
+    }
+
     /// Cycle at which every queued line will have drained; `now` if idle.
     pub fn drained_by(&self, now: u64) -> u64 {
         self.bank_free.iter().copied().max().unwrap_or(0).max(now)
@@ -284,6 +337,49 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_rejected() {
         let _ = WritePendingQueue::new(0, 1000, 8);
+    }
+
+    /// `push_chain(now, n)` must be indistinguishable from `n` chained
+    /// `push` calls — final acceptance cycle, stall totals, push
+    /// counter, occupancy and drain horizon — including across a full
+    /// queue (stalls) and with jitter enabled (per-push perturbation
+    /// keyed by the push counter).
+    #[test]
+    fn push_chain_matches_chained_pushes() {
+        for (entries, banks, jitter, counts) in [
+            (8, 2, 0, vec![1u64, 3, 9, 2]),
+            (2, 1, 0, vec![5, 5]),
+            (8, 2, 500, vec![4, 12]),
+            (3, 2, 77, vec![1, 1, 7]),
+        ] {
+            let mut a = WritePendingQueue::with_banks(entries, 1000, 8, banks);
+            let mut b = WritePendingQueue::with_banks(entries, 1000, 8, banks);
+            if jitter > 0 {
+                a.set_drain_jitter(jitter, 42);
+                b.set_drain_jitter(jitter, 42);
+            }
+            let mut now = 17;
+            for &count in &counts {
+                let mut acc = now;
+                for _ in 0..count {
+                    acc = a.push(acc).accepted_at;
+                }
+                let chained = b.push_chain(now, count);
+                assert_eq!(chained, acc, "final acceptance (count {count})");
+                assert_eq!(a.total_stall_cycles(), b.total_stall_cycles());
+                assert_eq!(a.pushes(), b.pushes());
+                assert_eq!(a.occupancy(acc), b.occupancy(acc));
+                assert_eq!(a.drained_by(acc), b.drained_by(acc));
+                now = acc + 100;
+            }
+        }
+    }
+
+    #[test]
+    fn push_chain_of_zero_is_a_no_op() {
+        let mut q = wpq();
+        assert_eq!(q.push_chain(123, 0), 123);
+        assert_eq!(q.pushes(), 0);
     }
 
     #[test]

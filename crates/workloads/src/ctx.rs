@@ -82,6 +82,16 @@ impl PmContext {
         }
     }
 
+    /// Sizes the heap arena up front: pre-faults the durable image's
+    /// backing pages for the first `bytes` bytes of the heap (clamped
+    /// to capacity), so a run's host-side page allocations happen here
+    /// instead of lazily inside the measured loop — and, for parallel
+    /// sharded runs, outside the phase where every shard allocates
+    /// concurrently. Simulation-invisible: no cycles, no state change.
+    pub fn prefault_heap(&mut self, bytes: u64) {
+        self.machine.prefault_image(PmAddr::new(HEAP_BASE), bytes);
+    }
+
     /// The underlying machine.
     pub fn machine(&self) -> &Machine {
         &self.machine

@@ -214,6 +214,15 @@ pub fn run_inserts(
     )
 }
 
+/// Up-front heap-arena estimate for an op stream: value payloads plus
+/// index-node and allocator overhead per op, with slack for structure
+/// roots. Only sizes the host-side page prefault (clamped to capacity
+/// by the space itself) — an over- or under-estimate affects setup
+/// cost, never simulated behaviour.
+fn arena_estimate(ops: usize, value_size: usize) -> u64 {
+    ops as u64 * (value_size as u64 + 192) + (1 << 20)
+}
+
 /// [`run_inserts`] with an explicit machine configuration (latency
 /// sweeps, tiny caches).
 pub fn run_inserts_with(
@@ -226,6 +235,7 @@ pub fn run_inserts_with(
 ) -> RunResult {
     let scheme = cfg.scheme;
     let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
+    ctx.prefault_heap(arena_estimate(ops.len(), value_size));
     let mut index = kind.build(&mut ctx, value_size, source);
     let start_cycles = ctx.machine().now();
     let start_traffic = *ctx.machine().device().traffic();
@@ -275,6 +285,7 @@ pub fn run_inserts_traced(
 ) -> (RunResult, Vec<slpmt_core::TraceRecord>) {
     let scheme = cfg.scheme;
     let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
+    ctx.prefault_heap(arena_estimate(ops.len(), value_size));
     let mut index = kind.build(&mut ctx, value_size, source);
     ctx.enable_tracing(1 << 20);
     let start_cycles = ctx.machine().now();
@@ -317,6 +328,7 @@ pub fn run_mixed(
 ) -> RunResult {
     let scheme = cfg.scheme;
     let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
+    ctx.prefault_heap(arena_estimate(load.len() + ops.len(), value_size));
     let mut index = kind.build(&mut ctx, value_size, source);
     for op in load {
         index.insert(&mut ctx, op.key, &op.value);

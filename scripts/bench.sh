@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Performance snapshot + regression gate (DESIGN.md §12).
+#
+# Builds the release binary, runs `slpmt bench --json` (matrix,
+# multi-core, 16-way sharded scaling, per-op microbenches; wall-clock
+# columns best-of-N), writes the snapshot to BENCH_<n>.json — the next
+# free index, so the repo accumulates a perf trajectory — and compares
+# the host sim-throughput numbers against the newest committed
+# BENCH_*.json. Fails if matrix or mc sim-ops/s regressed more than
+# the allowed loss.
+#
+# Knobs:
+#   BENCH_RUNS      best-of-N reps inside slpmt bench (default 3)
+#   BENCH_OPS       inserts per matrix cell (default 1000)
+#   BENCH_MAX_LOSS  max fractional throughput loss (default 0.05)
+#   BENCH_OUT       output path (default BENCH_<next>.json)
+#   BENCH_BASELINE  baseline path (default newest BENCH_*.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${BENCH_RUNS:-3}"
+OPS="${BENCH_OPS:-1000}"
+MAX_LOSS="${BENCH_MAX_LOSS:-0.05}"
+
+cargo build --release -q
+
+baseline="${BENCH_BASELINE:-}"
+if [ -z "$baseline" ]; then
+  baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)
+fi
+
+out="${BENCH_OUT:-}"
+if [ -z "$out" ]; then
+  n=1
+  while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+  out="BENCH_${n}.json"
+fi
+
+./target/release/slpmt bench --ops "$OPS" --reps "$RUNS" --json > "$out"
+echo "wrote $out"
+
+if [ -z "$baseline" ] || [ ! -e "$baseline" ]; then
+  echo "no committed BENCH_*.json baseline; skipping regression gate"
+  exit 0
+fi
+
+echo "gating against $baseline (max loss $MAX_LOSS)"
+python3 - "$baseline" "$out" "$MAX_LOSS" <<'PY'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+max_loss = float(sys.argv[3])
+fail = False
+for section in ("matrix", "mc"):
+    b = base[section]["sim_ops_per_s"]
+    c = cur[section]["sim_ops_per_s"]
+    ratio = c / b
+    print(f"{section:<6} baseline {b:>12.0f} sim-ops/s  "
+          f"current {c:>12.0f} sim-ops/s  ratio {ratio:.3f}")
+    if ratio < 1.0 - max_loss:
+        print(f"{section}: regressed more than {max_loss:.0%}",
+              file=sys.stderr)
+        fail = True
+# The simulated shard makespan is deterministic: any drift is a
+# semantic change, not noise, so it gates hard.
+bm = base["shards"]["makespan_cycles"]
+cm = cur["shards"]["makespan_cycles"]
+if base["ops"] == cur["ops"] and base["value_bytes"] == cur["value_bytes"]:
+    print(f"shards makespan: baseline {bm} cycles, current {cm} cycles")
+    if bm != cm:
+        print("shards: simulated makespan changed — semantics moved",
+              file=sys.stderr)
+        fail = True
+sys.exit(1 if fail else 0)
+PY
+echo "bench gate OK"

@@ -970,9 +970,271 @@ fn cmd_shards(kind: IndexKind, args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Short git revision for tagging benchmark snapshots, `unknown`
+/// outside a work tree.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// `slpmt bench`: the performance snapshot behind `BENCH_<n>.json`
+/// (`scripts/bench.sh`). Times three hot-path drivers — the
+/// scheme×index matrix, the multi-core engine, and the 16-way sharded
+/// driver at 1/4/8/16 workers — plus the per-op microbenches, and
+/// emits one schema-stable JSON object. Simulated columns (cycles,
+/// ops/kcycle) are deterministic; wall-clock columns are best-of
+/// `--reps`, mirroring `scripts/trace_overhead.sh`'s best-of-N
+/// discipline so one noisy run cannot fake a regression.
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::micro;
+    use slpmt::bench::runner::{fig08_cells, run_matrix_with, threads};
+    use slpmt::bench::sharded::run_sharded_with;
+    use slpmt::core::multi::{gen_programs, run_programs};
+    use slpmt::core::{ProgramSpec, Schedule};
+    use std::time::Instant;
+
+    let mut ops = 1000usize;
+    let mut value = 256usize;
+    let mut reps = 3u32;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--ops" => ops = val()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--value" => value = val()?.parse().map_err(|e| format!("--value: {e}"))?,
+            "--reps" => reps = val()?.parse().map_err(|e| format!("--reps: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+
+    let stream = ycsb_load(ops, value, 42);
+    let workers = threads();
+
+    // Matrix: every fig08 cell once, fanned across the default worker
+    // pool. Sim-throughput = simulated inserts retired per host second.
+    let cells = fig08_cells(&IndexKind::ALL);
+    let mut matrix_wall = f64::INFINITY;
+    let mut matrix_cells = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let results = run_matrix_with(
+            &cells,
+            workers,
+            &stream,
+            value,
+            AnnotationSource::Manual,
+            None,
+        );
+        matrix_wall = matrix_wall.min(t0.elapsed().as_secs_f64());
+        matrix_cells = results.len();
+    }
+    let matrix_sim_ops = (matrix_cells * ops) as f64;
+    let matrix_ops_per_s = matrix_sim_ops / matrix_wall;
+
+    // Multi-core engine: a fixed 4-core round-robin program mix.
+    let mut spec = ProgramSpec::small(4, 42);
+    spec.txns_per_core = 64;
+    spec.stores_per_txn = 8;
+    let programs = gen_programs(&spec);
+    let mc_ops: u64 = programs.iter().map(|p| p.len() as u64).sum();
+    let mut mc_wall = f64::INFINITY;
+    let mut mc_cycles = 0u64;
+    let mut mc_commits = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (mm, _outcome) = run_programs(
+            MachineConfig::for_scheme(Scheme::Slpmt),
+            &programs,
+            Schedule::round_robin(42),
+        );
+        mc_wall = mc_wall.min(t0.elapsed().as_secs_f64());
+        mc_cycles = mm.machine().now();
+        mc_commits = mm.machine().stats().tx_commits;
+    }
+    // Conflict aborts make commit counts schedule-dependent, so the
+    // throughput metric is trace operations executed per host second.
+    let mc_ops_per_s = mc_ops as f64 / mc_wall;
+
+    // Sharded driver: 16 keyspace shards, worker sweep. The simulated
+    // makespan is identical at every worker count (the bit-identity
+    // property the sharded tests pin); only wall-clock moves.
+    const SHARDS: usize = 16;
+    let mut shard_makespan = 0u64;
+    let mut shard_kcycle = 0.0f64;
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    for &w in &[1usize, 4, 8, 16] {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = run_sharded_with(
+                MachineConfig::for_scheme(Scheme::Slpmt),
+                IndexKind::Hashtable,
+                &stream,
+                value,
+                AnnotationSource::Manual,
+                SHARDS,
+                w,
+                false,
+            );
+            best = best.min(t0.elapsed().as_secs_f64());
+            if shard_makespan != 0 && shard_makespan != r.sim_cycles() {
+                return Err(format!(
+                    "sharded makespan diverged across worker counts: {} vs {}",
+                    shard_makespan,
+                    r.sim_cycles()
+                ));
+            }
+            shard_makespan = r.sim_cycles();
+            shard_kcycle = r.sim_ops_per_kcycle();
+        }
+        scaling.push((w, best));
+    }
+
+    let micro_rows = micro::run_all(4096, reps);
+
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("bench");
+        w.key("schema");
+        w.u64(1);
+        w.key("git_sha");
+        w.string(&git_sha());
+        w.key("ops");
+        w.u64(ops as u64);
+        w.key("value_bytes");
+        w.u64(value as u64);
+        w.key("reps");
+        w.u64(reps as u64);
+        w.key("host_workers");
+        w.u64(workers as u64);
+        w.key("matrix");
+        w.begin_obj();
+        w.key("cells");
+        w.u64(matrix_cells as u64);
+        w.key("workers");
+        w.u64(workers as u64);
+        w.key("wall_s");
+        w.f64(matrix_wall);
+        w.key("sim_ops");
+        w.u64(matrix_sim_ops as u64);
+        w.key("sim_ops_per_s");
+        w.f64(matrix_ops_per_s);
+        w.end_obj();
+        w.key("mc");
+        w.begin_obj();
+        w.key("cores");
+        w.u64(4);
+        w.key("commits");
+        w.u64(mc_commits);
+        w.key("sim_ops");
+        w.u64(mc_ops);
+        w.key("sim_cycles");
+        w.u64(mc_cycles);
+        w.key("wall_s");
+        w.f64(mc_wall);
+        w.key("sim_ops_per_s");
+        w.f64(mc_ops_per_s);
+        w.end_obj();
+        w.key("shards");
+        w.begin_obj();
+        w.key("shards");
+        w.u64(SHARDS as u64);
+        w.key("makespan_cycles");
+        w.u64(shard_makespan);
+        w.key("sim_ops_per_kcycle");
+        w.f64(shard_kcycle);
+        w.key("scaling");
+        w.begin_arr();
+        for &(wk, wall) in &scaling {
+            w.begin_obj();
+            w.key("workers");
+            w.u64(wk as u64);
+            w.key("wall_s");
+            w.f64(wall);
+            w.key("ops_per_s");
+            w.f64(ops as f64 / wall);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        w.key("micro");
+        w.begin_arr();
+        for row in &micro_rows {
+            w.begin_obj();
+            w.key("name");
+            w.string(row.name);
+            w.key("iters");
+            w.u64(row.iters);
+            w.key("sim_cycles_per_op");
+            w.f64(row.sim_cycles_per_op);
+            w.key("host_ns_per_op");
+            w.f64(row.host_ns_per_op);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        println!("{}", w.finish());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!(
+        "bench snapshot @ {} ({} × {} B inserts, best of {} reps)",
+        git_sha(),
+        ops,
+        value,
+        reps
+    );
+    println!(
+        "  matrix : {matrix_cells} cells in {matrix_wall:.3}s @ {workers} workers \
+         → {matrix_ops_per_s:.0} sim-ops/s"
+    );
+    println!(
+        "  mc     : {mc_ops} trace ops ({mc_commits} commits, {mc_cycles} cycles) \
+         in {mc_wall:.3}s → {mc_ops_per_s:.0} sim-ops/s"
+    );
+    println!(
+        "  shards : {SHARDS} shards, makespan {shard_makespan} cycles \
+         ({shard_kcycle:.3} ops/kcycle)"
+    );
+    for &(wk, wall) in &scaling {
+        println!(
+            "    {wk:>2} workers: {wall:.3}s wall ({:.0} ops/s)",
+            ops as f64 / wall
+        );
+    }
+    println!("  micro  :");
+    for row in &micro_rows {
+        println!(
+            "    {:<8} {:>8} iters  {:>10.1} sim-cycles/op  {:>9.1} host-ns/op",
+            row.name, row.iters, row.sim_cycles_per_op, row.host_ns_per_op
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|bench> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          trace: [--scheme S] [--workload W] [--ops N] [--value B] [--seed N] [--out FILE]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
@@ -981,6 +1243,7 @@ fn usage() -> ExitCode {
          mc: [--scheme S] [--cores 2-4] [--seed N] [--sched rr:K|weighted:K] \
          [--txns N] [--stores N] [--crash-at K] [--json]\n\
          shards: [--scheme S] [--ops N] [--value B] [--shards N] [--json]\n\
+         bench: [--ops N] [--value B] [--reps N] [--json]\n\
          matrix also accepts --json; sweep failures auto-dump traces to target/traces/\n\
          indices: {}",
         IndexKind::ALL.map(|k| k.to_string()).join(", ")
@@ -1072,6 +1335,13 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "bench" => match cmd_bench(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "trace" => match cmd_trace(&args[1..]) {
             Ok(code) => code,
             Err(e) => {

@@ -223,6 +223,183 @@ fn torn_marker_leaves_txn_uncommitted_in_every_discipline() {
 }
 
 // -------------------------------------------------------------------
+// Batched WPQ drains: with tracing off, the device timing-batches a
+// log pack through `WritePendingQueue::push_chain` instead of looping
+// per-record pushes. The batch must be invisible to everything the
+// crash and fault machinery observes — persist-event numbering, WPQ
+// stall/drain accounting, and the durable state an armed crash or
+// fault plan leaves behind. Each test drives a plain machine (batched
+// path) and a tracing twin (per-push path) through identical inputs
+// and demands identical observables.
+
+/// Commit-heavy FG workload: every store logs, every commit flushes a
+/// multi-record pack through the batched drain.
+fn drive(m: &mut Machine) {
+    for t in 0..6u64 {
+        m.tx_begin();
+        for i in 0..10u64 {
+            m.store_u64(
+                PmAddr::new(0x2_0000 + (t * 10 + i) * 64),
+                t * 100 + i + 1,
+                StoreKind::Store,
+            );
+        }
+        m.tx_commit();
+    }
+}
+
+#[test]
+fn batched_drain_matches_per_push_timing_and_numbering() {
+    let mut plain = machine(Scheme::Fg);
+    let mut traced = machine(Scheme::Fg);
+    let _h = traced.enable_tracing(1 << 14);
+    drive(&mut plain);
+    drive(&mut traced);
+    assert_eq!(plain.now(), traced.now(), "simulated clock");
+    assert_eq!(
+        plain.persist_event_count(),
+        traced.persist_event_count(),
+        "persist-event numbering"
+    );
+    assert_eq!(
+        plain.device().wpq_stall_cycles(),
+        traced.device().wpq_stall_cycles(),
+        "full-queue stall accounting"
+    );
+    assert_eq!(
+        plain.device().drained_by(plain.now()),
+        traced.device().drained_by(traced.now()),
+        "drained_by horizon"
+    );
+    assert_eq!(plain.device().traffic(), traced.device().traffic());
+    assert_eq!(plain.stats(), traced.stats());
+}
+
+#[test]
+fn batched_drain_matches_per_push_under_drain_jitter() {
+    // A non-zero jitter window perturbs every drain completion via the
+    // per-push counter — the exact state push_chain must thread
+    // through the batch.
+    let plan = FaultPlan {
+        seed: 23,
+        jitter: 700,
+        ..FaultPlan::NONE
+    };
+    let mut plain = machine(Scheme::Fg);
+    plain.set_fault_plan(plan);
+    let mut traced = machine(Scheme::Fg);
+    traced.set_fault_plan(plan);
+    let _h = traced.enable_tracing(1 << 14);
+    drive(&mut plain);
+    drive(&mut traced);
+    assert_eq!(plain.now(), traced.now());
+    assert_eq!(
+        plain.device().drained_by(plain.now()),
+        traced.device().drained_by(traced.now())
+    );
+    assert_eq!(
+        plain.device().wpq_stall_cycles(),
+        traced.device().wpq_stall_cycles()
+    );
+}
+
+#[test]
+fn batched_drain_preserves_crash_point_semantics() {
+    // Sweep every persist-event crash point of the workload: the
+    // batched path must trip at the same event and leave the same
+    // durable state as the per-push path, and both must recover to the
+    // same image.
+    let total = {
+        let mut m = machine(Scheme::Fg);
+        drive(&mut m);
+        m.persist_event_count()
+    };
+    assert!(total > 12, "workload persists enough events to sweep");
+    for k in 1..=total {
+        let run = |tracing: bool| -> (bool, u64, Machine) {
+            let mut m = machine(Scheme::Fg);
+            if tracing {
+                let _h = m.enable_tracing(1 << 14);
+            }
+            m.arm_crash_at_event(k);
+            drive(&mut m);
+            let tripped = m.crash_tripped();
+            m.crash();
+            (tripped, m.device().event_count(), m)
+        };
+        let (pt, pe, mut plain) = run(false);
+        let (tt, te, mut traced) = run(true);
+        assert_eq!(pt, tt, "k={k}: trip");
+        assert_eq!(pe, te, "k={k}: durable event count");
+        let pr = plain.recover();
+        let tr = traced.recover();
+        assert_eq!(pr.undo_applied, tr.undo_applied, "k={k}");
+        assert_eq!(pr.rolled_back, tr.rolled_back, "k={k}");
+        for t in 0..6u64 {
+            for i in 0..10u64 {
+                let a = PmAddr::new(0x2_0000 + (t * 10 + i) * 64);
+                assert_eq!(
+                    plain.device().image().read_u64(a),
+                    traced.device().image().read_u64(a),
+                    "k={k}: post-recovery image at {a:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_drain_preserves_fault_plan_outcomes() {
+    // Tear + poison + flip at a mid-pack crash point: the injected
+    // damage derives from persist-event numbering and the touched-line
+    // set, both of which the batch must keep identical.
+    let plan = FaultPlan {
+        seed: 11,
+        tear: true,
+        tear_word: None,
+        poison_lines: 2,
+        flip_records: 1,
+        jitter: 0,
+    };
+    let k = 9;
+    let run = |tracing: bool| -> Machine {
+        let mut m = machine(Scheme::Fg);
+        if tracing {
+            let _h = m.enable_tracing(1 << 14);
+        }
+        m.set_fault_plan(plan);
+        m.arm_crash_at_event(k);
+        drive(&mut m);
+        assert!(m.crash_tripped());
+        m.crash();
+        m
+    };
+    let mut plain = run(false);
+    let mut traced = run(true);
+    assert_eq!(
+        plain.device().poisoned_line_addrs(),
+        traced.device().poisoned_line_addrs(),
+        "poison targets"
+    );
+    let pr = plain.recover();
+    let tr = traced.recover();
+    assert_eq!(pr.torn_records, tr.torn_records);
+    assert_eq!(pr.corrupt_records, tr.corrupt_records);
+    assert_eq!(pr.salvaged_lines, tr.salvaged_lines);
+    assert_eq!(pr.lost_lines, tr.lost_lines);
+    for t in 0..6u64 {
+        for i in 0..10u64 {
+            let a = PmAddr::new(0x2_0000 + (t * 10 + i) * 64);
+            assert_eq!(
+                plain.device().image().read_u64(a),
+                traced.device().image().read_u64(a),
+                "post-recovery image at {a:?}"
+            );
+        }
+    }
+}
+
+// -------------------------------------------------------------------
 // Signature false positives: aliasing in the dependency signature may
 // force-persist transactions that were not actually depended on, but
 // must never change post-recovery values.
