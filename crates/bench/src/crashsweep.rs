@@ -19,8 +19,12 @@
 
 use crate::runner::par_map;
 use slpmt_core::Scheme;
-use slpmt_workloads::crashsweep::{check_point, count_events, SweepCase, SweepFailure};
+use slpmt_workloads::crashsweep::{
+    check_point_streaming, count_events, sample_points, trace_ops, StreamingOracle, SweepCase,
+    SweepFailure,
+};
 use slpmt_workloads::runner::IndexKind;
+use slpmt_workloads::ycsb::MixSpec;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -75,14 +79,29 @@ pub fn sweep_cases(
     cases
 }
 
-/// Sweeps every persist event of every case, in parallel, and returns
-/// the aggregated report. A case whose crash-free run already fails
-/// the oracle is reported as a single failure at `k = 0` and generates
-/// no crash points.
-pub fn run_sweep(cases: &[SweepCase]) -> SweepReport {
-    // Pass 1: crash-free event counts (each also oracle-checks the
-    // crash-free end state).
-    let counts = par_map(cases, |case| {
+/// [`sweep_cases`] under a named mix with a load phase — the YCSB
+/// adversarial-traffic matrix.
+pub fn sweep_cases_mixed(
+    schemes: &[Scheme],
+    kinds: &[IndexKind],
+    seed: u64,
+    load: usize,
+    ops: usize,
+    mix: MixSpec,
+) -> Vec<SweepCase> {
+    let mut cases = Vec::with_capacity(schemes.len() * kinds.len());
+    for &kind in kinds {
+        for &scheme in schemes {
+            cases.push(SweepCase::with_mix(scheme, kind, seed, load, ops, mix));
+        }
+    }
+    cases
+}
+
+/// Crash-free event counts for every case, in parallel; a case whose
+/// crash-free run fails the oracle comes back as a `k = 0` failure.
+fn event_counts(cases: &[SweepCase]) -> Vec<Result<u64, SweepFailure>> {
+    par_map(cases, |case| {
         catch_unwind(AssertUnwindSafe(|| count_events(case))).map_err(|payload| {
             let msg = payload
                 .downcast_ref::<&str>()
@@ -95,24 +114,96 @@ pub fn run_sweep(cases: &[SweepCase]) -> SweepReport {
                 detail: format!("crash-free run failed: {msg}"),
             }
         })
-    });
+    })
+}
+
+/// Work-unit size for the point pass: a function of the point count
+/// only (never the worker count), so chunk boundaries — and therefore
+/// the exact per-chunk oracle advances — are identical for any
+/// `SLPMT_THREADS`.
+fn chunk_len(points: usize) -> usize {
+    (points / 64).max(16)
+}
+
+/// Runs one ascending chunk of a case's crash points against a single
+/// streaming oracle: the trace is generated once and the oracle
+/// advances monotonically — O(trace + chunk·replay), no per-point
+/// model rebuild.
+fn run_chunk(case: &SweepCase, ks: &[u64]) -> Vec<SweepFailure> {
+    let ops = trace_ops(case);
+    let mut oracle = StreamingOracle::new(&ops);
+    ks.iter()
+        .filter_map(|&k| check_point_streaming(case, &mut oracle, k).err())
+        .collect()
+}
+
+/// Fans `(case, ascending points)` work units across the worker pool
+/// and aggregates the report. Chunk results merge in submission order,
+/// so the failure list is deterministic for any worker count.
+fn run_point_chunks(
+    cases: usize,
+    work: Vec<(SweepCase, Vec<u64>)>,
+    mut failures: Vec<SweepFailure>,
+) -> SweepReport {
+    let points = work.iter().map(|(_, ks)| ks.len()).sum();
+    let results = par_map(&work, |(case, ks)| run_chunk(case, ks));
+    failures.extend(results.into_iter().flatten());
+    SweepReport {
+        cases,
+        points,
+        failures,
+    }
+}
+
+/// Sweeps every persist event of every case, in parallel, and returns
+/// the aggregated report. A case whose crash-free run already fails
+/// the oracle is reported as a single failure at `k = 0` and generates
+/// no crash points. Points are split into ascending per-case chunks,
+/// each served by one streaming oracle over one generated trace — a
+/// slow case still spreads across workers chunk by chunk.
+pub fn run_sweep(cases: &[SweepCase]) -> SweepReport {
+    let counts = event_counts(cases);
     let mut failures = Vec::new();
-    let mut points = Vec::new();
+    let mut work: Vec<(SweepCase, Vec<u64>)> = Vec::new();
     for (case, count) in cases.iter().zip(counts) {
         match count {
-            Ok(n) => points.extend((1..=n).map(|k| (*case, k))),
+            Ok(n) => {
+                let chunk = chunk_len(n as usize) as u64;
+                let mut k = 1;
+                while k <= n {
+                    let end = (k + chunk - 1).min(n);
+                    work.push((*case, (k..=end).collect()));
+                    k = end + 1;
+                }
+            }
             Err(fail) => failures.push(fail),
         }
     }
-    // Pass 2: every crash point, flattened so workers never idle on a
-    // finished case.
-    let results = par_map(&points, |(case, k)| check_point(case, *k));
-    failures.extend(results.into_iter().filter_map(Result::err));
-    SweepReport {
-        cases: cases.len(),
-        points: points.len(),
-        failures,
+    run_point_chunks(cases.len(), work, failures)
+}
+
+/// [`run_sweep`] over `points_per_case` seeded crash points per case
+/// instead of the exhaustive `1..=N` domain — the sweep mode for the
+/// big named-mix traces, whose event counts dwarf what an exhaustive
+/// pass can visit. Samples match
+/// [`sweep_points`](slpmt_workloads::crashsweep::sweep_points) for
+/// every case.
+pub fn run_sweep_sampled(cases: &[SweepCase], points_per_case: usize) -> SweepReport {
+    let counts = event_counts(cases);
+    let mut failures = Vec::new();
+    let mut work: Vec<(SweepCase, Vec<u64>)> = Vec::new();
+    for (case, count) in cases.iter().zip(counts) {
+        match count {
+            Ok(n) => {
+                let ks = sample_points(case.seed, n, points_per_case);
+                for chunk in ks.chunks(chunk_len(ks.len())) {
+                    work.push((*case, chunk.to_vec()));
+                }
+            }
+            Err(fail) => failures.push(fail),
+        }
     }
+    run_point_chunks(cases.len(), work, failures)
 }
 
 #[cfg(test)]
@@ -139,5 +230,34 @@ mod tests {
         let report = run_sweep(&cases);
         assert!(report.points > 0);
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn sampled_mixed_sweep_is_clean_and_counts_points() {
+        let cases = sweep_cases_mixed(
+            &[Scheme::Slpmt],
+            &[IndexKind::Hashtable],
+            11,
+            8,
+            16,
+            MixSpec::DELETE_HEAVY,
+        );
+        let report = run_sweep_sampled(&cases, 6);
+        assert_eq!(report.cases, 1);
+        assert_eq!(report.points, 6);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn chunked_sweep_matches_serial_sweep() {
+        // The chunked parallel pass must find exactly what the serial
+        // single-oracle sweep finds (here: nothing), over the same
+        // point domain.
+        let case =
+            SweepCase::with_mix(Scheme::Fg, IndexKind::Heap, 5, 4, 10, MixSpec::DELETE_HEAVY);
+        let report = run_sweep(&[case]);
+        let serial = slpmt_workloads::crashsweep::sweep_serial(&case);
+        assert_eq!(report.points as u64, count_events(&case));
+        assert_eq!(report.failures.len(), serial.len());
     }
 }

@@ -94,6 +94,27 @@ pub fn fault_cases(
     cases
 }
 
+/// [`fault_cases`] over mixed-workload bases — every base case crossed
+/// with the plans (or [`default_plans`] when `plans` is empty). The
+/// YCSB gates use this to run the media-fault battery under
+/// delete-heavy and zipfian traffic.
+pub fn fault_cases_mixed(bases: &[SweepCase], plans: &[FaultPlan]) -> Vec<FaultCase> {
+    let defaults;
+    let plans = if plans.is_empty() {
+        defaults = default_plans(bases.first().map_or(0, |b| b.seed));
+        &defaults
+    } else {
+        plans
+    };
+    let mut cases = Vec::with_capacity(bases.len() * plans.len());
+    for &base in bases {
+        for &plan in plans {
+            cases.push(FaultCase { base, plan });
+        }
+    }
+    cases
+}
+
 /// Sweeps `points_per_case` seeded crash points of every cell, in
 /// parallel, and returns the aggregated report. A cell whose
 /// crash-free run already fails the oracle is reported as a single

@@ -35,6 +35,7 @@ pub mod faultsweep;
 pub mod micro;
 pub mod runner;
 pub mod sharded;
+pub mod ycsb;
 
 /// Default operation count (the paper's YCSB-load size).
 pub const DEFAULT_OPS: usize = 1000;

@@ -12,8 +12,10 @@
 use crate::runner::{par_map, par_map_with};
 use slpmt_core::{MachineConfig, TraceRecord};
 use slpmt_workloads::runner::{IndexKind, RunResult};
-use slpmt_workloads::sharded::{partition_ops, run_shard, run_shard_traced, ShardedResult};
-use slpmt_workloads::{AnnotationSource, YcsbOp};
+use slpmt_workloads::sharded::{
+    partition_mixed, partition_ops, run_shard, run_shard_mixed, run_shard_traced, ShardedResult,
+};
+use slpmt_workloads::{AnnotationSource, MixedOp, YcsbOp};
 
 /// Partitions `ops` into `shards` keyspace shards and runs each on its
 /// own simulated machine, shards fanned across `SLPMT_THREADS` host
@@ -60,6 +62,37 @@ pub fn run_sharded_with(
     let parts = partition_ops(ops, shards);
     let results: Vec<RunResult> = par_map_with(&parts, workers, |part| {
         run_shard(cfg.clone(), kind, part, value_size, source, verify)
+    });
+    ShardedResult {
+        scheme,
+        kind,
+        shards: results,
+        total_ops: ops.len(),
+    }
+}
+
+/// Parallel sharded driver for mixed workloads: partitions the load
+/// phase and the mixed trace by key ownership and fans the shards
+/// across the worker pool. Bit-identical to
+/// [`run_sharded_mixed_serial`](slpmt_workloads::sharded::run_sharded_mixed_serial)
+/// for any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_mixed(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    load: &[YcsbOp],
+    ops: &[MixedOp],
+    value_size: usize,
+    source: AnnotationSource,
+    shards: usize,
+    verify: bool,
+) -> ShardedResult {
+    let scheme = cfg.scheme;
+    let load_parts = partition_ops(load, shards);
+    let parts = partition_mixed(ops, shards);
+    let work: Vec<(Vec<YcsbOp>, Vec<MixedOp>)> = load_parts.into_iter().zip(parts).collect();
+    let results: Vec<RunResult> = par_map(&work, |(lp, p)| {
+        run_shard_mixed(cfg.clone(), kind, lp, p, value_size, source, verify)
     });
     ShardedResult {
         scheme,
@@ -134,6 +167,41 @@ mod tests {
             AnnotationSource::Manual,
             4,
             false,
+        );
+        assert_eq!(par.shards.len(), ser.shards.len());
+        for (p, s) in par.shards.iter().zip(&ser.shards) {
+            assert_eq!(p.cycles, s.cycles);
+            assert_eq!(p.stats, s.stats);
+            assert_eq!(p.traffic, s.traffic);
+        }
+        assert_eq!(par.sim_cycles(), ser.sim_cycles());
+    }
+
+    #[test]
+    fn parallel_mixed_matches_serial_driver() {
+        use slpmt_workloads::sharded::run_sharded_mixed_serial;
+        use slpmt_workloads::ycsb::{ycsb_mix, MixSpec};
+        let (load, ops) = ycsb_mix(40, 150, 16, 7, &MixSpec::DELETE_HEAVY_ZIPF);
+        let cfg = MachineConfig::for_scheme(Scheme::Slpmt);
+        let par = run_sharded_mixed(
+            cfg.clone(),
+            IndexKind::Hashtable,
+            &load,
+            &ops,
+            16,
+            AnnotationSource::Manual,
+            4,
+            true,
+        );
+        let ser = run_sharded_mixed_serial(
+            cfg,
+            IndexKind::Hashtable,
+            &load,
+            &ops,
+            16,
+            AnnotationSource::Manual,
+            4,
+            true,
         );
         assert_eq!(par.shards.len(), ser.shards.len());
         for (p, s) in par.shards.iter().zip(&ser.shards) {

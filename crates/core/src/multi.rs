@@ -36,7 +36,7 @@ use crate::machine::{Machine, MachineConfig};
 use crate::scheme::Scheme;
 use crate::stats::MachineStats;
 use slpmt_pmem::{PersistEvent, PmAddr};
-use slpmt_prng::{splitmix64, SimRng};
+use slpmt_prng::{splitmix64, SimRng, Zipf};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -368,6 +368,12 @@ pub struct ProgramSpec {
     /// (they model freshly-allocated memory), which a word-exact crash
     /// oracle cannot admit.
     pub logged_only: bool,
+    /// Zipfian skew of shared-pool word picks, θ in thousandths
+    /// (`990` = the YCSB default θ = 0.99); `0` keeps the historical
+    /// uniform draw. Skew concentrates cross-core conflicts on a few
+    /// hot words — the adversarial shape for ownership hand-off and
+    /// abort/rollback paths.
+    pub shared_skew_milli: u16,
     /// Program-generation seed (independent of the schedule seed).
     pub seed: u64,
 }
@@ -382,6 +388,7 @@ impl ProgramSpec {
             shared_lines: 8,
             private_lines: 6,
             logged_only: false,
+            shared_skew_milli: 0,
             seed,
         }
     }
@@ -407,14 +414,26 @@ pub fn gen_programs(spec: &ProgramSpec) -> Vec<Vec<TraceOp>> {
     assert!(spec.cores >= 1 && spec.shared_lines >= 1 && spec.private_lines >= 1);
     let mut rng = SimRng::seed_from_u64(spec.seed ^ 0x6d63_7072_6f67);
     let mut value = 0u64;
+    // Skewed shared-word picks: a zipfian over word ranks, rank 0 the
+    // hottest. `Zipf` needs n ≥ 2 ranks; a 1-line pool has 8 words, so
+    // the invariant holds whenever shared_lines ≥ 1. Exactly one RNG
+    // draw per pick in both arms keeps the rest of the program stream
+    // aligned between skewed and uniform specs.
+    let zipf = (spec.shared_skew_milli > 0)
+        .then(|| Zipf::new(spec.shared_lines as u64 * 8, spec.shared_skew_milli as u32));
     let mut programs = Vec::with_capacity(spec.cores);
     for core in 0..spec.cores {
         let priv_base = PRIVATE_BASE + (core * spec.private_lines * 64) as u64;
         let fresh_base = FRESH_BASE + core as u64 * FRESH_STRIDE;
         // Words handed out so far from this core's fresh region.
         let mut fresh_words = 0u64;
-        let shared_word =
-            |rng: &mut SimRng| SHARED_BASE + rng.gen_range(0..spec.shared_lines as u64 * 8) * 8;
+        let shared_word = |rng: &mut SimRng| {
+            let word = match &zipf {
+                Some(z) => z.sample(rng),
+                None => rng.gen_range(0..spec.shared_lines as u64 * 8),
+            };
+            SHARED_BASE + word * 8
+        };
         let private_word =
             |rng: &mut SimRng| priv_base + rng.gen_range(0..spec.private_lines as u64 * 8) * 8;
         let mut prog = Vec::new();
@@ -837,6 +856,10 @@ pub struct McSweepCase {
     pub txns_per_core: usize,
     /// Stores per transaction.
     pub stores_per_txn: usize,
+    /// Zipfian θ (thousandths) of shared-word picks; `0` = uniform
+    /// (the historical shape — `Display` omits it so archived failure
+    /// tuples stay byte-stable).
+    pub skew: u16,
 }
 
 impl McSweepCase {
@@ -849,7 +872,16 @@ impl McSweepCase {
             sched,
             txns_per_core: 6,
             stores_per_txn: 4,
+            skew: 0,
         }
+    }
+
+    /// [`new`](Self::new) with zipfian shared-word skew — hot-word
+    /// conflict traffic for the interleaving sweeps.
+    pub fn skewed(scheme: Scheme, cores: usize, seed: u64, sched: Schedule, skew: u16) -> Self {
+        let mut case = Self::new(scheme, cores, seed, sched);
+        case.skew = skew;
+        case
     }
 
     fn spec(&self) -> ProgramSpec {
@@ -862,6 +894,7 @@ impl McSweepCase {
             // Word-exact crash oracles need every store rolled back
             // exactly; log-free kinds are excluded by design.
             logged_only: true,
+            shared_skew_milli: self.skew,
             seed: self.seed,
         }
     }
@@ -873,7 +906,11 @@ impl fmt::Display for McSweepCase {
             f,
             "scheme={} cores={} seed={} sched={}",
             self.scheme, self.cores, self.seed, self.sched
-        )
+        )?;
+        if self.skew != 0 {
+            write!(f, " skew={}", self.skew)?;
+        }
+        Ok(())
     }
 }
 
@@ -1086,6 +1123,7 @@ mod tests {
             shared_lines: 1,
             private_lines: 1,
             logged_only: true,
+            shared_skew_milli: 0,
             seed: 5,
         };
         let programs = gen_programs(&spec);
@@ -1128,6 +1166,57 @@ mod tests {
     fn mc_crash_past_all_events_recovers_final_state() {
         let case = McSweepCase::new(Scheme::Slpmt, 2, 3, Schedule::round_robin(1));
         let n = mc_count_events(&case);
+        mc_run_crash_at(&case, n).unwrap();
+    }
+
+    #[test]
+    fn skewed_shared_picks_concentrate_on_hot_words() {
+        // Under θ = 0.99 the hottest shared word must take a far
+        // larger share of shared stores than the uniform 1/64.
+        fn shared_store_counts(programs: &[Vec<TraceOp>]) -> std::collections::BTreeMap<u64, u32> {
+            let mut counts = std::collections::BTreeMap::new();
+            for prog in programs {
+                for op in prog {
+                    if let TraceOp::Store { addr, .. } = *op {
+                        if (SHARED_BASE..PRIVATE_BASE).contains(&addr) {
+                            *counts.entry(addr).or_insert(0u32) += 1;
+                        }
+                    }
+                }
+            }
+            counts
+        }
+        let mut spec = ProgramSpec::small(4, 29);
+        spec.txns_per_core = 32;
+        spec.logged_only = true;
+        let uniform = shared_store_counts(&gen_programs(&spec));
+        spec.shared_skew_milli = 990;
+        let skewed = shared_store_counts(&gen_programs(&spec));
+        let peak = |m: &std::collections::BTreeMap<u64, u32>| {
+            let total: u32 = m.values().sum();
+            (*m.values().max().unwrap() as f64, total as f64)
+        };
+        let (u_max, u_total) = peak(&uniform);
+        let (s_max, s_total) = peak(&skewed);
+        assert!(
+            s_max / s_total > 2.0 * u_max / u_total,
+            "skewed peak {s_max}/{s_total} not hotter than uniform {u_max}/{u_total}"
+        );
+    }
+
+    #[test]
+    fn skewed_case_survives_crash_sweep_endpoints() {
+        let case = McSweepCase::skewed(Scheme::Slpmt, 2, 3, Schedule::round_robin(1), 990);
+        assert_eq!(
+            case.to_string(),
+            format!(
+                "scheme={} cores=2 seed=3 sched=rr:1 skew=990",
+                Scheme::Slpmt
+            )
+        );
+        let n = mc_count_events(&case);
+        mc_run_crash_at(&case, 0).unwrap();
+        mc_run_crash_at(&case, n / 2).unwrap();
         mc_run_crash_at(&case, n).unwrap();
     }
 

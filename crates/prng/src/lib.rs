@@ -105,6 +105,131 @@ impl SimRng {
     }
 }
 
+/// A seeded zipfian rank sampler over `0..n` with
+/// `P(rank) ∝ 1 / (rank + 1)^theta`, using the closed-form inverse-CDF
+/// approximation from Gray et al. ("Quickly generating billion-record
+/// synthetic databases") — the same construction YCSB's
+/// `ZipfianGenerator` uses. `zeta(n)` is computed once at construction
+/// (O(n)); each [`sample`](Zipf::sample) consumes exactly one
+/// [`SimRng::next_u64`] draw, so generator streams stay deterministic
+/// regardless of which ranks come out.
+///
+/// `theta` is passed in thousandths (`990` = YCSB's default 0.99) so
+/// callers that embed skew in `Copy + Eq` case descriptors never touch
+/// floating point.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over ranks `0..n` with skew `theta_milli/1000`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `theta_milli` is not in `1..=999` (the
+    /// approximation requires `0 < theta < 1`).
+    pub fn new(n: u64, theta_milli: u32) -> Self {
+        assert!(n >= 2, "zipf needs at least two ranks");
+        assert!(
+            (1..=999).contains(&theta_milli),
+            "theta must be in (0, 1): got {theta_milli}/1000"
+        );
+        let theta = theta_milli as f64 / 1000.0;
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        Zipf {
+            n,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            half_pow_theta: 0.5f64.powf(theta),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod zipf_tests {
+    use super::*;
+
+    #[test]
+    fn ranks_stay_in_bounds_and_skew() {
+        let zipf = Zipf::new(1000, 990);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut hits = [0u64; 1000];
+        for _ in 0..100_000 {
+            let r = zipf.sample(&mut rng) as usize;
+            assert!(r < 1000);
+            hits[r] += 1;
+        }
+        // With theta=0.99 over 1000 ranks, rank 0 should carry roughly
+        // 1/zeta(1000) ≈ 13% of the mass; demand a loose band.
+        assert!(hits[0] > 80_000 / 10, "rank 0 hit {} times", hits[0]);
+        assert!(hits[0] > 4 * hits[10].max(1));
+        let top10: u64 = hits[..10].iter().sum();
+        assert!(top10 > 30_000, "top-10 ranks carried {top10}/100000");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let zipf = Zipf::new(500, 800);
+        let mut a = SimRng::seed_from_u64(3);
+        let mut b = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn one_draw_per_sample() {
+        // The generator stream must advance by exactly one u64 per
+        // sample, so mixed-workload traces stay reproducible.
+        let zipf = Zipf::new(64, 500);
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let _ = zipf.sample(&mut a);
+            let _ = b.next_u64();
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn tiny_rank_space_rejected() {
+        let _ = Zipf::new(1, 990);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0, 1)")]
+    fn degenerate_theta_rejected() {
+        let _ = Zipf::new(10, 1000);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,9 +44,10 @@
 use crate::ctx::{AnnotationSource, PmContext};
 use crate::inspector::inspect;
 use crate::runner::{DurableIndex, IndexKind};
-use crate::ycsb::{ycsb_mixed_with_updates, MixedOp};
+use crate::ycsb::{ycsb_mix, MixSpec, MixedOp};
 use slpmt_annotate::AnnotationTable;
 use slpmt_core::Scheme;
+use slpmt_prng::splitmix64;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -65,11 +66,17 @@ pub struct SweepCase {
     pub ops: usize,
     /// Value payload size in bytes (whole words).
     pub value_size: usize,
+    /// Operation mix of the trace (defaults to the legacy churn mix).
+    pub mix: MixSpec,
+    /// Keys inserted by the load phase before the mixed trace (their
+    /// inserts are part of the sweep trace, so crash points land in
+    /// the load phase too). Read-only mixes need `load > 0`.
+    pub load: usize,
 }
 
 impl SweepCase {
     /// A sweep case with the standard trace shape (`ops` operations,
-    /// 32-byte values).
+    /// 32-byte values, the legacy churn mix, no load phase).
     pub fn new(scheme: Scheme, kind: IndexKind, seed: u64, ops: usize) -> Self {
         SweepCase {
             scheme,
@@ -77,6 +84,28 @@ impl SweepCase {
             seed,
             ops,
             value_size: 32,
+            mix: MixSpec::CHURN,
+            load: 0,
+        }
+    }
+
+    /// [`SweepCase::new`] under a specific mix with a load phase.
+    pub fn with_mix(
+        scheme: Scheme,
+        kind: IndexKind,
+        seed: u64,
+        load: usize,
+        ops: usize,
+        mix: MixSpec,
+    ) -> Self {
+        SweepCase {
+            scheme,
+            kind,
+            seed,
+            ops,
+            value_size: 32,
+            mix,
+            load,
         }
     }
 }
@@ -87,7 +116,12 @@ impl fmt::Display for SweepCase {
             f,
             "scheme={} workload={} seed={} ops={}",
             self.scheme, self.kind, self.seed, self.ops
-        )
+        )?;
+        // Keep historical failure lines byte-stable for default cases.
+        if self.mix != MixSpec::CHURN || self.load != 0 {
+            write!(f, " mix={} load={}", self.mix, self.load)?;
+        }
+        Ok(())
     }
 }
 
@@ -128,15 +162,19 @@ pub const SWEEP_SCHEMES: [Scheme; 10] = [
     Scheme::SlpmtRedo,
 ];
 
-/// The deterministic operation trace of a case: a seeded insert /
-/// update / remove / read mix starting from an empty structure.
+/// The deterministic operation trace of a case: the mix's load-phase
+/// inserts followed by its seeded operation stream, starting from an
+/// empty structure. The default ([`MixSpec::CHURN`], no load) keeps
+/// PR 2's trace shape: 5% reads, 15% updates, 20% removes, the rest
+/// inserts — enough churn to exercise remove frees, update
+/// copy-on-write swaps and (at these sizes) hashtable resizes, while
+/// keeping the structure growing so later crash points see non-trivial
+/// state.
 pub fn trace_ops(case: &SweepCase) -> Vec<MixedOp> {
-    // 5% reads, 15% updates, 20% removes, the rest inserts — enough
-    // churn to exercise remove frees, update copy-on-write swaps and
-    // (at these sizes) hashtable resizes, while keeping the structure
-    // growing so later crash points see non-trivial state.
-    let (_, ops) = ycsb_mixed_with_updates(0, case.ops, case.value_size, case.seed, 5, 15, 20);
-    ops
+    let (loaded, mixed) = ycsb_mix(case.load, case.ops, case.value_size, case.seed, &case.mix);
+    let mut all: Vec<MixedOp> = loaded.into_iter().map(MixedOp::Insert).collect();
+    all.extend(mixed);
+    all
 }
 
 pub(crate) fn apply(idx: &mut dyn DurableIndex, ctx: &mut PmContext, op: &MixedOp) {
@@ -151,24 +189,163 @@ pub(crate) fn apply(idx: &mut dyn DurableIndex, ctx: &mut PmContext, op: &MixedO
         MixedOp::Update(o) => {
             idx.update(ctx, o.key, &o.value);
         }
+        MixedOp::Rmw(o) => {
+            idx.get(ctx, o.key);
+            idx.update(ctx, o.key, &o.value);
+        }
+        // Scans are membership- and value-neutral; in the sweep they
+        // degrade to point reads of the expected keys so every index
+        // kind (ordered or not) runs the same trace.
+        MixedOp::Scan { keys } => {
+            for k in keys {
+                idx.get(ctx, *k);
+            }
+        }
     }
 }
 
-/// The volatile reference model after the first `b` trace operations.
-pub(crate) fn oracle_after(ops: &[MixedOp], b: usize) -> BTreeMap<u64, Vec<u8>> {
-    let mut model = BTreeMap::new();
-    for op in &ops[..b] {
-        match op {
-            MixedOp::Insert(o) | MixedOp::Update(o) => {
-                model.insert(o.key, o.value.clone());
-            }
-            MixedOp::Remove(k) => {
-                model.remove(k);
-            }
-            MixedOp::Read(_) => {}
+/// Incremental committed-prefix recovery oracle.
+///
+/// `oracle_after` used to rebuild a `BTreeMap<u64, Vec<u8>>` from
+/// scratch — cloning every live payload — once per crash point, which
+/// is O(n²) time and allocation across a sweep and unusable at
+/// million-op scale. The streaming oracle exploits the sweep's
+/// structure instead: crash points are visited in ascending `k`, and
+/// the committed-prefix length `b` is nondecreasing in `k`, so one
+/// model can advance monotonically through the trace. Values are
+/// never cloned: the model maps each key to the index of the trace
+/// operation that last wrote it, and checks recompute the expected
+/// payload by slicing that operation's buffer ([`YcsbOp`] values are
+/// themselves deterministic recomputations of `value_for` /
+/// [`update_value_for`](crate::ycsb::update_value_for)).
+///
+/// Total cost of a whole sweep is O(n) model mutations regardless of
+/// the number of crash points — [`work`](StreamingOracle::work)
+/// exposes the applied-operation counter so tests can pin the
+/// linearity down.
+///
+/// [`YcsbOp`]: crate::ycsb::YcsbOp
+#[derive(Debug)]
+pub struct StreamingOracle<'a> {
+    ops: &'a [MixedOp],
+    applied: usize,
+    /// key → index in `ops` of the operation whose value is current.
+    model: BTreeMap<u64, u32>,
+    work: u64,
+}
+
+impl<'a> StreamingOracle<'a> {
+    /// A fresh oracle over a trace, positioned before any operation.
+    pub fn new(ops: &'a [MixedOp]) -> Self {
+        assert!(u32::try_from(ops.len()).is_ok(), "trace too long");
+        StreamingOracle {
+            ops,
+            applied: 0,
+            model: BTreeMap::new(),
+            work: 0,
         }
     }
-    model
+
+    /// The trace this oracle models.
+    pub fn ops(&self) -> &'a [MixedOp] {
+        self.ops
+    }
+
+    /// Number of trace operations currently applied.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Total model mutations ever applied — linear in the trace
+    /// length for a full ascending sweep, never quadratic.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Advances the model to the state after the first `b` operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` retreats (crash points must be visited in
+    /// ascending order; build a fresh oracle to go back) or exceeds
+    /// the trace length.
+    pub fn advance_to(&mut self, b: usize) {
+        assert!(
+            b >= self.applied,
+            "streaming oracle cannot retreat ({} -> {b}); build a fresh oracle",
+            self.applied
+        );
+        assert!(b <= self.ops.len(), "prefix beyond trace end");
+        while self.applied < b {
+            let i = self.applied;
+            match &self.ops[i] {
+                MixedOp::Insert(o) | MixedOp::Update(o) | MixedOp::Rmw(o) => {
+                    self.model.insert(o.key, i as u32);
+                    self.work += 1;
+                }
+                MixedOp::Remove(k) => {
+                    self.model.remove(k);
+                    self.work += 1;
+                }
+                MixedOp::Read(_) | MixedOp::Scan { .. } => {}
+            }
+            self.applied = i + 1;
+        }
+    }
+
+    /// Number of live keys in the modelled prefix.
+    pub fn len(&self) -> usize {
+        self.model.len()
+    }
+
+    /// Whether the modelled prefix has no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.model.is_empty()
+    }
+
+    /// The expected payload of `key`, borrowed from the trace.
+    pub fn expected(&self, key: u64) -> Option<&'a [u8]> {
+        self.model.get(&key).map(|&i| match &self.ops[i as usize] {
+            MixedOp::Insert(o) | MixedOp::Update(o) | MixedOp::Rmw(o) => o.value.as_slice(),
+            _ => unreachable!("model points at a non-writing op"),
+        })
+    }
+
+    /// Iterates `(key, expected payload)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &'a [u8])> + '_ {
+        let ops = self.ops;
+        self.model.iter().map(move |(&k, &i)| {
+            let v = match &ops[i as usize] {
+                MixedOp::Insert(o) | MixedOp::Update(o) | MixedOp::Rmw(o) => o.value.as_slice(),
+                _ => unreachable!("model points at a non-writing op"),
+            };
+            (k, v)
+        })
+    }
+
+    /// Checks a recovered structure against the modelled prefix: same
+    /// key count, every key mapped to its exact payload.
+    pub fn check(&self, ctx: &PmContext, idx: &dyn DurableIndex) -> Result<(), String> {
+        let b = self.applied;
+        if idx.len(ctx) != self.model.len() {
+            return Err(format!(
+                "{} keys recovered, oracle has {} after {b} committed ops",
+                idx.len(ctx),
+                self.model.len()
+            ));
+        }
+        for (key, value) in self.iter() {
+            let got = idx.value_of(ctx, key);
+            if got.as_deref() != Some(value) {
+                return Err(format!(
+                    "key {key} recovered as {:?}, oracle says {:?} (b={b})",
+                    got.map(|v| v.len()),
+                    value.len()
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 pub(crate) fn build(case: &SweepCase) -> (PmContext, Box<dyn DurableIndex>) {
@@ -193,18 +370,10 @@ pub fn count_events(case: &SweepCase) -> u64 {
     for op in &ops {
         apply(idx.as_mut(), &mut ctx, op);
     }
-    let oracle = oracle_after(&ops, ops.len());
-    assert_eq!(
-        idx.len(&ctx),
-        oracle.len(),
-        "{case}: crash-free run disagrees with the oracle"
-    );
-    for (key, value) in &oracle {
-        assert_eq!(
-            idx.value_of(&ctx, *key).as_deref(),
-            Some(value.as_slice()),
-            "{case}: crash-free value of {key}"
-        );
+    let mut oracle = StreamingOracle::new(&ops);
+    oracle.advance_to(ops.len());
+    if let Err(e) = oracle.check(&ctx, idx.as_ref()) {
+        panic!("{case}: crash-free run disagrees with the oracle: {e}");
     }
     ctx.machine().persist_event_count()
 }
@@ -218,18 +387,34 @@ pub fn count_events(case: &SweepCase) -> u64 {
 /// violates committed-prefix durability, value equality, a structure
 /// invariant, or heap-leak accounting.
 pub fn run_crash_at(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
+    let ops = trace_ops(case);
+    let mut oracle = StreamingOracle::new(&ops);
+    run_crash_at_streaming(case, &mut oracle, k)
+}
+
+/// [`run_crash_at`] against a caller-owned [`StreamingOracle`] over
+/// the case's trace ([`trace_ops`]), so a sweep visiting ascending `k`
+/// advances one model instead of rebuilding it per point. The
+/// committed-prefix length `b` is nondecreasing in `k` (a later crash
+/// point can only commit more transactions), which is exactly the
+/// oracle's monotonicity contract.
+pub fn run_crash_at_streaming(
+    case: &SweepCase,
+    oracle: &mut StreamingOracle<'_>,
+    k: u64,
+) -> Result<(), SweepFailure> {
     let fail = |detail: String| SweepFailure {
         case: *case,
         k,
         detail,
     };
-    let ops = trace_ops(case);
+    let ops = oracle.ops();
     let (mut ctx, mut idx) = build(case);
     ctx.machine_mut().arm_crash_at_event(k);
     // Sequence number of the last transaction each executed operation
     // ran (reads re-record the previous value — they commit nothing).
     let mut op_seq = Vec::with_capacity(ops.len());
-    for op in &ops {
+    for op in ops {
         apply(idx.as_mut(), &mut ctx, op);
         op_seq.push(ctx.machine().txn_seq());
         if ctx.machine().crash_tripped() {
@@ -243,6 +428,9 @@ pub fn run_crash_at(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
     // operation count is a prefix length too.
     let marker = ctx.machine().device().log().max_committed_seq();
     let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
+    // Advance the model before recovery: if recovery panics, the
+    // oracle still holds a valid prefix for the next (larger) k.
+    oracle.advance_to(b);
     ctx.recover();
     idx.recover(&mut ctx);
     let reachable = idx.reachable(&ctx);
@@ -258,26 +446,9 @@ pub fn run_crash_at(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
             after_gc.leaks.len()
         )));
     }
-    let oracle = oracle_after(&ops, b);
-    if idx.len(&ctx) != oracle.len() {
-        return Err(fail(format!(
-            "{} keys recovered, oracle has {} after {b} committed ops \
-             (marker seq {marker})",
-            idx.len(&ctx),
-            oracle.len()
-        )));
-    }
-    for (key, value) in &oracle {
-        let got = idx.value_of(&ctx, *key);
-        if got.as_deref() != Some(value.as_slice()) {
-            return Err(fail(format!(
-                "key {key} recovered as {:?}, oracle says {:?} (b={b})",
-                got.map(|v| v.len()),
-                value.len()
-            )));
-        }
-    }
-    Ok(())
+    oracle
+        .check(&ctx, idx.as_ref())
+        .map_err(|e| fail(format!("{e} (marker seq {marker})")))
 }
 
 /// Replays the machine-level sequence of [`run_crash_at`] — trace,
@@ -308,7 +479,22 @@ pub fn trace_crash_at(case: &SweepCase, k: u64) -> Vec<slpmt_core::TraceRecord> 
 /// sweep over thousands of crash points reports `(scheme, workload,
 /// seed, k)` instead of dying mid-matrix.
 pub fn check_point(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_crash_at(case, k))) {
+    let ops = trace_ops(case);
+    let mut oracle = StreamingOracle::new(&ops);
+    check_point_streaming(case, &mut oracle, k)
+}
+
+/// [`check_point`] against a caller-owned streaming oracle. The
+/// oracle's prefix is advanced *before* the recovery checks run, so a
+/// panicking point leaves it valid for the next ascending `k`.
+pub fn check_point_streaming(
+    case: &SweepCase,
+    oracle: &mut StreamingOracle<'_>,
+    k: u64,
+) -> Result<(), SweepFailure> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_crash_at_streaming(case, oracle, k)
+    })) {
         Ok(r) => r,
         Err(payload) => {
             let msg = payload
@@ -327,10 +513,41 @@ pub fn check_point(case: &SweepCase, k: u64) -> Result<(), SweepFailure> {
 
 /// Sweeps every crash point of one case serially, returning all
 /// failures (empty = the case is crash-consistent at every persist
-/// event).
+/// event). One streaming oracle serves the whole ascending sweep.
 pub fn sweep_serial(case: &SweepCase) -> Vec<SweepFailure> {
     let n = count_events(case);
-    (1..=n).filter_map(|k| check_point(case, k).err()).collect()
+    let ops = trace_ops(case);
+    let mut oracle = StreamingOracle::new(&ops);
+    (1..=n)
+        .filter_map(|k| check_point_streaming(case, &mut oracle, k).err())
+        .collect()
+}
+
+/// `count` distinct seeded crash points of a case, ascending, drawn
+/// from `1..=N` (`N` = [`count_events`]). The big named-mix traces
+/// generate far more persist events than a sweep can visit
+/// exhaustively; this is the sampled domain the YCSB gates use —
+/// deterministic for a `(case, count)` pair, and ascending so one
+/// streaming oracle covers all of them.
+pub fn sweep_points(case: &SweepCase, count: usize) -> Vec<u64> {
+    sample_points(case.seed, count_events(case), count)
+}
+
+/// [`sweep_points`] with the event count already known (parallel
+/// drivers learn `N` in their crash-free pass and must sample the
+/// identical points).
+pub fn sample_points(seed: u64, n: u64, count: usize) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut points = std::collections::BTreeSet::new();
+    let mut i = 0u64;
+    while points.len() < count.min(n as usize) {
+        let mut s = seed.rotate_left(23).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i;
+        points.insert(1 + splitmix64(&mut s) % n);
+        i += 1;
+    }
+    points.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -350,9 +567,96 @@ mod tests {
     fn oracle_prefix_applies_ops_in_order() {
         let case = SweepCase::new(Scheme::Slpmt, IndexKind::Rbtree, 3, 30);
         let ops = trace_ops(&case);
-        let full = oracle_after(&ops, ops.len());
-        assert!(!full.is_empty());
-        assert!(oracle_after(&ops, 0).is_empty());
+        let mut oracle = StreamingOracle::new(&ops);
+        assert!(oracle.is_empty());
+        oracle.advance_to(ops.len());
+        assert!(!oracle.is_empty());
+        // Work is one model mutation per mutating op — linear, and
+        // independent of how many intermediate prefixes were visited.
+        let mutating = ops
+            .iter()
+            .filter(|o| !matches!(o, MixedOp::Read(_) | MixedOp::Scan { .. }))
+            .count() as u64;
+        assert_eq!(oracle.work(), mutating);
+    }
+
+    #[test]
+    fn oracle_matches_naive_rebuild_at_every_prefix() {
+        // Equivalence with the retired `oracle_after` rebuild: advance
+        // one streaming oracle through every prefix and compare against
+        // a from-scratch BTreeMap model at each step.
+        let case = SweepCase::new(Scheme::Slpmt, IndexKind::Hashtable, 13, 80);
+        let ops = trace_ops(&case);
+        let mut oracle = StreamingOracle::new(&ops);
+        for b in 0..=ops.len() {
+            oracle.advance_to(b);
+            let mut naive: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+            for op in &ops[..b] {
+                match op {
+                    MixedOp::Insert(o) | MixedOp::Update(o) | MixedOp::Rmw(o) => {
+                        naive.insert(o.key, o.value.clone());
+                    }
+                    MixedOp::Remove(k) => {
+                        naive.remove(k);
+                    }
+                    MixedOp::Read(_) | MixedOp::Scan { .. } => {}
+                }
+            }
+            assert_eq!(oracle.len(), naive.len(), "prefix {b}");
+            for (k, v) in &naive {
+                assert_eq!(
+                    oracle.expected(*k),
+                    Some(v.as_slice()),
+                    "prefix {b} key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retreat")]
+    fn oracle_rejects_retreating_prefixes() {
+        let case = SweepCase::new(Scheme::Fg, IndexKind::Heap, 2, 20);
+        let ops = trace_ops(&case);
+        let mut oracle = StreamingOracle::new(&ops);
+        oracle.advance_to(10);
+        oracle.advance_to(5);
+    }
+
+    #[test]
+    fn sampled_points_are_ascending_and_deterministic() {
+        let case = SweepCase::with_mix(
+            Scheme::Slpmt,
+            IndexKind::Hashtable,
+            9,
+            10,
+            20,
+            MixSpec::DELETE_HEAVY,
+        );
+        let a = sweep_points(&case, 8);
+        assert_eq!(a, sweep_points(&case, 8));
+        assert_eq!(a.len(), 8);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let n = count_events(&case);
+        assert!(a.iter().all(|&k| k >= 1 && k <= n));
+    }
+
+    #[test]
+    fn mixed_case_display_round_trips_the_mix() {
+        let case = SweepCase::with_mix(
+            Scheme::Slpmt,
+            IndexKind::Rbtree,
+            7,
+            50,
+            100,
+            MixSpec::DELETE_HEAVY_ZIPF,
+        );
+        let line = case.to_string();
+        assert!(line.contains("mix=delete-heavy-zipf"), "{line}");
+        assert!(line.contains("load=50"), "{line}");
+        // Default cases keep the historical four-field format.
+        let legacy = SweepCase::new(Scheme::Fg, IndexKind::Heap, 1, 10).to_string();
+        assert!(!legacy.contains("mix="), "{legacy}");
     }
 
     #[test]

@@ -220,7 +220,7 @@ pub fn run_fault_at(case: &FaultCase, k: u64) -> Result<(), FaultFailure> {
     // state, or salvage re-materialised every poisoned line), so the
     // strict crash-sweep oracle applies unchanged and any panic is a
     // failure.
-    let oracle = ops.clone();
+    let oracle_ops = &ops;
     let strict = catch_unwind(AssertUnwindSafe(move || -> Result<(), String> {
         idx.recover(&mut ctx);
         let reachable = idx.reachable(&ctx);
@@ -230,7 +230,7 @@ pub fn run_fault_at(case: &FaultCase, k: u64) -> Result<(), FaultFailure> {
         if !inspect(&ctx, &reachable).is_clean() {
             return Err("allocations still leaked after GC".into());
         }
-        check_oracle(&ctx, idx.as_ref(), &oracle, b, marker)
+        check_oracle(&ctx, idx.as_ref(), oracle_ops, b, marker)
     }));
     match strict {
         Ok(r) => r.map_err(fail),
@@ -248,25 +248,14 @@ fn check_oracle(
     b: usize,
     marker: u64,
 ) -> Result<(), String> {
-    let oracle = crashsweep::oracle_after(ops, b);
-    if idx.len(ctx) != oracle.len() {
-        return Err(format!(
-            "{} keys recovered, oracle has {} after {b} committed ops (marker seq {marker})",
-            idx.len(ctx),
-            oracle.len()
-        ));
-    }
-    for (key, value) in &oracle {
-        let got = idx.value_of(ctx, *key);
-        if got.as_deref() != Some(value.as_slice()) {
-            return Err(format!(
-                "key {key} recovered as {:?}, oracle says {:?} (b={b})",
-                got.map(|v| v.len()),
-                value.len()
-            ));
-        }
-    }
-    Ok(())
+    // Fault points are sampled (not an ascending exhaustive sweep), so
+    // each point builds a fresh streaming oracle and advances it once —
+    // O(b) model mutations, zero payload clones.
+    let mut oracle = crashsweep::StreamingOracle::new(ops);
+    oracle.advance_to(b);
+    oracle
+        .check(ctx, idx)
+        .map_err(|e| format!("{e} (marker seq {marker})"))
 }
 
 /// Replays the machine-level sequence of [`run_fault_at`] — fault

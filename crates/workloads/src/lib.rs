@@ -46,12 +46,16 @@ pub mod runner;
 pub mod sharded;
 pub mod ycsb;
 
-pub use crashsweep::{SweepCase, SweepFailure};
+pub use crashsweep::{StreamingOracle, SweepCase, SweepFailure};
 pub use ctx::{AnnotationSource, PmContext};
 pub use faultsweep::{FaultCase, FaultFailure};
 pub use inspector::{inspect, HeapReport};
-pub use runner::{run_inserts, run_mixed, DurableIndex, IndexKind, RangeIndex, RunResult};
-pub use sharded::{
-    partition_ops, run_sharded_serial, run_sharded_serial_traced, shard_of, ShardedResult,
+pub use runner::{
+    run_inserts, run_mixed, run_mixed_latencies, DurableIndex, IndexKind, LatencySummary,
+    MixLatencies, RangeIndex, RunResult,
 };
-pub use ycsb::{ycsb_load, ycsb_mixed, MixedOp, YcsbOp};
+pub use sharded::{
+    partition_mixed, partition_ops, run_sharded_mixed_serial, run_sharded_serial,
+    run_sharded_serial_traced, shard_of, ShardedResult,
+};
+pub use ycsb::{ycsb_load, ycsb_mix, ycsb_mixed, KeyDist, MixSpec, MixedOp, YcsbOp};

@@ -467,6 +467,10 @@ impl DurableIndex for Rbtree {
         "rbtree"
     }
 
+    fn scan_range(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Option<Vec<(u64, Vec<u8>)>> {
+        Some(crate::runner::RangeIndex::scan(self, ctx, lo, hi))
+    }
+
     fn insert(&mut self, ctx: &mut PmContext, key: u64, value: &[u8]) {
         use sites::*;
         assert_eq!(value.len() as u64, self.value_words * 8);

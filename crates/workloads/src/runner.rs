@@ -68,6 +68,17 @@ pub trait DurableIndex {
     /// lazily-persistent data (parent pointers, heights, moved data,
     /// counters) from what is durable.
     fn recover(&mut self, ctx: &mut PmContext);
+
+    /// Timed range scan for `lo..=hi` when the index is ordered
+    /// (`None` otherwise — hash-style indexes can't serve ranges, and
+    /// mixed runners degrade their scans to point lookups). Ordered
+    /// structures override this to delegate to
+    /// [`RangeIndex::scan`], making scans reachable through the
+    /// `dyn DurableIndex` the drivers hold.
+    fn scan_range(&mut self, ctx: &mut PmContext, lo: u64, hi: u64) -> Option<Vec<(u64, Vec<u8>)>> {
+        let _ = (ctx, lo, hi);
+        None
+    }
 }
 
 /// Ordered indexes additionally support timed range scans.
@@ -314,6 +325,59 @@ pub fn run_inserts_traced(
     )
 }
 
+/// Executes one mixed operation, asserting it is legal at this point
+/// in the trace (the generators only target live keys). Scans go
+/// through [`DurableIndex::scan_range`] on ordered indexes — checking
+/// the result set against the keys the generator materialised — and
+/// degrade to point lookups elsewhere.
+fn apply_mixed(
+    index: &mut dyn DurableIndex,
+    ctx: &mut PmContext,
+    op: &MixedOp,
+    kind: IndexKind,
+    scheme: Scheme,
+) {
+    match op {
+        MixedOp::Insert(o) => index.insert(ctx, o.key, &o.value),
+        MixedOp::Read(k) => {
+            let v = index.get(ctx, *k);
+            assert!(v.is_some(), "{kind}/{scheme}: live key {k} unreadable");
+        }
+        MixedOp::Remove(k) => {
+            let removed = index.remove(ctx, *k);
+            assert!(removed, "{kind}/{scheme}: live key {k} unremovable");
+        }
+        MixedOp::Update(o) => {
+            let updated = index.update(ctx, o.key, &o.value);
+            assert!(updated, "{kind}/{scheme}: live key {} unupdatable", o.key);
+        }
+        MixedOp::Rmw(o) => {
+            let v = index.get(ctx, o.key);
+            assert!(v.is_some(), "{kind}/{scheme}: rmw key {} unreadable", o.key);
+            let updated = index.update(ctx, o.key, &o.value);
+            assert!(updated, "{kind}/{scheme}: rmw key {} unupdatable", o.key);
+        }
+        MixedOp::Scan { keys } => {
+            let (lo, hi) = (keys[0], *keys.last().expect("scans are never empty"));
+            match index.scan_range(ctx, lo, hi) {
+                Some(got) => {
+                    let got_keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+                    assert_eq!(
+                        &got_keys, keys,
+                        "{kind}/{scheme}: scan [{lo}, {hi}] returned wrong key set"
+                    );
+                }
+                None => {
+                    for k in keys {
+                        let v = index.get(ctx, *k);
+                        assert!(v.is_some(), "{kind}/{scheme}: scanned key {k} unreadable");
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Runs a mixed workload (after an untimed load phase): inserts and
 /// removes are durable transactions, reads are timed cache-hierarchy
 /// lookups. Returns the measured-phase result.
@@ -326,6 +390,88 @@ pub fn run_mixed(
     source: AnnotationSource,
     verify: bool,
 ) -> RunResult {
+    run_mixed_latencies(cfg, kind, load, ops, value_size, source, verify).0
+}
+
+/// The operation classes a mixed run distinguishes for latency
+/// reporting.
+pub const OP_CLASSES: [&str; 6] = ["read", "insert", "update", "remove", "rmw", "scan"];
+
+/// Percentile summary of one operation class's simulated latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of operations observed.
+    pub count: u64,
+    /// Median simulated cycles per operation.
+    pub p50: u64,
+    /// 99th-percentile simulated cycles per operation.
+    pub p99: u64,
+    /// Worst observed operation, in cycles.
+    pub max: u64,
+    /// Total simulated cycles across the class.
+    pub total: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let pct = |p: u64| samples[((samples.len() - 1) as u64 * p / 100) as usize];
+        LatencySummary {
+            count: samples.len() as u64,
+            p50: pct(50),
+            p99: pct(99),
+            max: *samples.last().unwrap(),
+            total: samples.iter().sum(),
+        }
+    }
+}
+
+/// Per-class latency summaries of one mixed run, in [`OP_CLASSES`]
+/// order. Everything is simulated cycles, so the breakdown is
+/// bit-identical across reruns and host machines.
+#[derive(Debug, Clone, Default)]
+pub struct MixLatencies {
+    /// One summary per [`OP_CLASSES`] entry (empty classes are
+    /// all-zero).
+    pub classes: [LatencySummary; 6],
+}
+
+impl MixLatencies {
+    /// Iterates `(class name, summary)` pairs, skipping empty classes.
+    pub fn present(&self) -> impl Iterator<Item = (&'static str, &LatencySummary)> + '_ {
+        OP_CLASSES
+            .iter()
+            .zip(self.classes.iter())
+            .filter(|(_, s)| s.count > 0)
+            .map(|(n, s)| (*n, s))
+    }
+}
+
+fn class_of(op: &MixedOp) -> usize {
+    match op {
+        MixedOp::Read(_) => 0,
+        MixedOp::Insert(_) => 1,
+        MixedOp::Update(_) => 2,
+        MixedOp::Remove(_) => 3,
+        MixedOp::Rmw(_) => 4,
+        MixedOp::Scan { .. } => 5,
+    }
+}
+
+/// [`run_mixed`] that also reports per-class p50/p99 simulated-cycle
+/// latencies, taken from the machine clock around each operation.
+pub fn run_mixed_latencies(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    load: &[YcsbOp],
+    ops: &[MixedOp],
+    value_size: usize,
+    source: AnnotationSource,
+    verify: bool,
+) -> (RunResult, MixLatencies) {
     let scheme = cfg.scheme;
     let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
     ctx.prefault_heap(arena_estimate(load.len() + ops.len(), value_size));
@@ -335,22 +481,11 @@ pub fn run_mixed(
     }
     let start_cycles = ctx.machine().now();
     let start_traffic = *ctx.machine().device().traffic();
+    let mut samples: [Vec<u64>; 6] = Default::default();
     for op in ops {
-        match op {
-            MixedOp::Insert(o) => index.insert(&mut ctx, o.key, &o.value),
-            MixedOp::Read(k) => {
-                let v = index.get(&mut ctx, *k);
-                assert!(v.is_some(), "{kind}/{scheme}: live key {k} unreadable");
-            }
-            MixedOp::Remove(k) => {
-                let removed = index.remove(&mut ctx, *k);
-                assert!(removed, "{kind}/{scheme}: live key {k} unremovable");
-            }
-            MixedOp::Update(o) => {
-                let updated = index.update(&mut ctx, o.key, &o.value);
-                assert!(updated, "{kind}/{scheme}: live key {} unupdatable", o.key);
-            }
-        }
+        let t0 = ctx.machine().now();
+        apply_mixed(index.as_mut(), &mut ctx, op, kind, scheme);
+        samples[class_of(op)].push(ctx.machine().now() - t0);
     }
     let cycles = ctx.machine().now() - start_cycles;
     let mut traffic = *ctx.machine().device().traffic();
@@ -364,11 +499,17 @@ pub fn run_mixed(
             .check_invariants(&ctx)
             .unwrap_or_else(|e| panic!("{kind}/{scheme}: invariant violated after mixed run: {e}"));
     }
-    RunResult {
-        scheme,
-        kind,
-        cycles,
-        traffic,
-        stats: *ctx.machine().stats(),
-    }
+    let lat = MixLatencies {
+        classes: samples.map(LatencySummary::from_samples),
+    };
+    (
+        RunResult {
+            scheme,
+            kind,
+            cycles,
+            traffic,
+            stats: *ctx.machine().stats(),
+        },
+        lat,
+    )
 }

@@ -16,8 +16,8 @@
 //! `total ops / makespan` ([`ShardedResult::sim_ops_per_kcycle`]).
 
 use crate::ctx::AnnotationSource;
-use crate::runner::{run_inserts_traced, run_inserts_with, IndexKind, RunResult};
-use crate::ycsb::YcsbOp;
+use crate::runner::{run_inserts_traced, run_inserts_with, run_mixed, IndexKind, RunResult};
+use crate::ycsb::{MixedOp, YcsbOp};
 use slpmt_core::{MachineConfig, MachineStats, Scheme};
 use slpmt_pmem::WriteTraffic;
 use slpmt_prng::splitmix64;
@@ -36,6 +36,37 @@ pub fn partition_ops(ops: &[YcsbOp], shards: usize) -> Vec<Vec<YcsbOp>> {
     let mut parts = vec![Vec::new(); shards];
     for op in ops {
         parts[shard_of(op.key, shards)].push(op.clone());
+    }
+    parts
+}
+
+/// Splits a mixed operation stream by key ownership, preserving each
+/// shard's relative operation order. Point operations route by their
+/// key; a scan's expected key set is split per shard (each shard
+/// checks the slice of the range it owns), and shards with no keys in
+/// the range skip the scan entirely.
+pub fn partition_mixed(ops: &[MixedOp], shards: usize) -> Vec<Vec<MixedOp>> {
+    let mut parts = vec![Vec::new(); shards];
+    for op in ops {
+        match op {
+            MixedOp::Insert(o) | MixedOp::Update(o) | MixedOp::Rmw(o) => {
+                parts[shard_of(o.key, shards)].push(op.clone());
+            }
+            MixedOp::Read(k) | MixedOp::Remove(k) => {
+                parts[shard_of(*k, shards)].push(op.clone());
+            }
+            MixedOp::Scan { keys } => {
+                let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+                for k in keys {
+                    per_shard[shard_of(*k, shards)].push(*k);
+                }
+                for (s, keys) in per_shard.into_iter().enumerate() {
+                    if !keys.is_empty() {
+                        parts[s].push(MixedOp::Scan { keys });
+                    }
+                }
+            }
+        }
     }
     parts
 }
@@ -157,6 +188,54 @@ pub fn run_sharded_serial_traced(
     )
 }
 
+/// Runs one shard of a partitioned mixed stream on its own private
+/// machine: the shard's slice of the load phase is untimed, its slice
+/// of the mixed trace is measured. Independent by construction, like
+/// [`run_shard`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_shard_mixed(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    shard_load: &[YcsbOp],
+    shard_ops: &[MixedOp],
+    value_size: usize,
+    source: AnnotationSource,
+    verify: bool,
+) -> RunResult {
+    run_mixed(cfg, kind, shard_load, shard_ops, value_size, source, verify)
+}
+
+/// Serial reference driver for sharded *mixed* runs: partitions the
+/// load and the mixed trace by key ownership and runs every shard in
+/// shard order. The parallel driver in `slpmt_bench::sharded` must
+/// produce identical results for any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_mixed_serial(
+    cfg: MachineConfig,
+    kind: IndexKind,
+    load: &[YcsbOp],
+    ops: &[MixedOp],
+    value_size: usize,
+    source: AnnotationSource,
+    shards: usize,
+    verify: bool,
+) -> ShardedResult {
+    let scheme = cfg.scheme;
+    let load_parts = partition_ops(load, shards);
+    let parts = partition_mixed(ops, shards);
+    let results: Vec<RunResult> = load_parts
+        .iter()
+        .zip(&parts)
+        .map(|(lp, p)| run_shard_mixed(cfg.clone(), kind, lp, p, value_size, source, verify))
+        .collect();
+    ShardedResult {
+        scheme,
+        kind,
+        shards: results,
+        total_ops: ops.len(),
+    }
+}
+
 /// Serial reference driver: partitions `ops` and runs every shard in
 /// shard order on the calling thread. The parallel driver in
 /// `slpmt_bench::sharded` must produce identical results.
@@ -209,6 +288,65 @@ mod tests {
             // 100 expected; a 4x imbalance would mean a broken hash.
             assert!(part.len() > 25 && part.len() < 400, "{}", part.len());
         }
+    }
+
+    #[test]
+    fn mixed_partition_routes_by_key_and_splits_scans() {
+        use crate::ycsb::{ycsb_mix, MixSpec};
+        let (_, ops) = ycsb_mix(80, 200, 16, 5, &MixSpec::YCSB_E);
+        let parts = partition_mixed(&ops, 4);
+        let point_ops = ops
+            .iter()
+            .filter(|o| !matches!(o, MixedOp::Scan { .. }))
+            .count();
+        let routed_points: usize = parts
+            .iter()
+            .flatten()
+            .filter(|o| !matches!(o, MixedOp::Scan { .. }))
+            .count();
+        assert_eq!(point_ops, routed_points);
+        // Every scanned key lands in exactly one shard, owned by it.
+        let scanned: usize = ops
+            .iter()
+            .filter_map(|o| match o {
+                MixedOp::Scan { keys } => Some(keys.len()),
+                _ => None,
+            })
+            .sum();
+        let mut routed_scanned = 0;
+        for (s, part) in parts.iter().enumerate() {
+            for op in part {
+                if let MixedOp::Scan { keys } = op {
+                    assert!(!keys.is_empty());
+                    routed_scanned += keys.len();
+                    assert!(keys.iter().all(|k| shard_of(*k, 4) == s));
+                }
+            }
+        }
+        assert_eq!(scanned, routed_scanned);
+    }
+
+    #[test]
+    fn sharded_mixed_run_is_deterministic() {
+        use crate::ycsb::{ycsb_mix, MixSpec};
+        let (load, ops) = ycsb_mix(40, 120, 16, 9, &MixSpec::DELETE_HEAVY);
+        let run = || {
+            run_sharded_mixed_serial(
+                MachineConfig::for_scheme(Scheme::Slpmt),
+                IndexKind::Hashtable,
+                &load,
+                &ops,
+                16,
+                AnnotationSource::Manual,
+                3,
+                true,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_ops, 120);
+        assert_eq!(a.sim_cycles(), b.sim_cycles());
+        assert_eq!(a.merged_stats(), b.merged_stats());
     }
 
     #[test]

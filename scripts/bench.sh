@@ -52,7 +52,12 @@ base = json.load(open(sys.argv[1]))
 cur = json.load(open(sys.argv[2]))
 max_loss = float(sys.argv[3])
 fail = False
-for section in ("matrix", "mc"):
+for section in ("matrix", "mc", "ycsb"):
+    if section not in base:
+        # Baselines predating the section (e.g. ycsb, added with
+        # BENCH_7) can't gate it.
+        print(f"{section:<6} absent from baseline; skipping")
+        continue
     b = base[section]["sim_ops_per_s"]
     c = cur[section]["sim_ops_per_s"]
     ratio = c / b
@@ -72,6 +77,17 @@ if base["ops"] == cur["ops"] and base["value_bytes"] == cur["value_bytes"]:
         print("shards: simulated makespan changed — semantics moved",
               file=sys.stderr)
         fail = True
+# Same for the summed YCSB-mix cycle count (when both snapshots have
+# the section and ran the same trace shape).
+if "ycsb" in base and "ycsb" in cur:
+    by, cy = base["ycsb"], cur["ycsb"]
+    if all(by[k] == cy[k] for k in ("cells", "load", "ops", "value_bytes")):
+        print(f"ycsb cycles: baseline {by['total_sim_cycles']}, "
+              f"current {cy['total_sim_cycles']}")
+        if by["total_sim_cycles"] != cy["total_sim_cycles"]:
+            print("ycsb: simulated cycle count changed — semantics moved",
+                  file=sys.stderr)
+            fail = True
 sys.exit(1 if fail else 0)
 PY
 echo "bench gate OK"

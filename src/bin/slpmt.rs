@@ -11,6 +11,7 @@
 //! slpmt faults [fault options]          media-fault sweep (tear/poison/flip/jitter)
 //! slpmt mc [mc options]                 deterministic multi-core run
 //! slpmt shards <index> [shard options]  keyspace-sharded scaling run
+//! slpmt ycsb [ycsb options]             named-mix matrix (A–F, delete-heavy, …)
 //!
 //! options: --scheme <name> --ops <n> --value <bytes>
 //!          --annotations <manual|compiler|none> --latency <ns>
@@ -23,8 +24,12 @@
 //!                (repeatable; `--plan P --at K` replays one point)
 //! mc options: --scheme <name> --cores <2-4> --seed <n>
 //!             --sched <rr:K|weighted:K> --txns <n> --stores <n>
-//!             [--crash-at <k>]
+//!             --skew <theta-milli> [--crash-at <k>]
 //! shard options: --scheme <name> --ops <n> --value <bytes> --shards <n>
+//! ycsb options: --mix <a..f|delete-heavy|delete-heavy-zipf|churn|all>
+//!               --scheme <name|all> --workload <name|all> --load <n>
+//!               --ops <n> --value <bytes> --seed <n> [--sweep] [--faults]
+//!               [--points <n>] [--shards <n>] [--json]
 //!
 //! `matrix` and `crashsweep` fan their cells across worker threads
 //! (one per available core; override with SLPMT_THREADS, where 1
@@ -729,6 +734,7 @@ fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
             "--stores" => {
                 case.stores_per_txn = value()?.parse().map_err(|e| format!("--stores: {e}"))?
             }
+            "--skew" => case.skew = value()?.parse().map_err(|e| format!("--skew: {e}"))?,
             "--crash-at" => {
                 crash_at = Some(value()?.parse().map_err(|e| format!("--crash-at: {e}"))?)
             }
@@ -762,6 +768,7 @@ fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
     let mut spec = ProgramSpec::small(case.cores, case.seed);
     spec.txns_per_core = case.txns_per_core;
     spec.stores_per_txn = case.stores_per_txn;
+    spec.shared_skew_milli = case.skew;
     let programs = gen_programs(&spec);
     let (mm, outcome) = run_programs(
         MachineConfig::for_scheme(case.scheme),
@@ -791,6 +798,8 @@ fn cmd_mc(args: &[String]) -> Result<ExitCode, String> {
         w.u64(case.txns_per_core as u64);
         w.key("stores_per_txn");
         w.u64(case.stores_per_txn as u64);
+        w.key("skew_milli");
+        w.u64(case.skew as u64);
         w.key("committed");
         w.u64(outcome.committed.len() as u64);
         w.key("cross_core_aborts");
@@ -1108,6 +1117,33 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         scaling.push((w, best));
     }
 
+    // YCSB mix matrix: the named mixes (A–F + delete-heavy adversaries)
+    // on the reference scheme/index. The summed simulated cycle count
+    // is deterministic — any drift is a semantic change — while
+    // sim-ops/s tracks host throughput of the mixed-op path.
+    let ycsb_mixes: Vec<slpmt::workloads::ycsb::MixSpec> = slpmt::workloads::ycsb::MixSpec::NAMED
+        .iter()
+        .map(|&(_, m)| m)
+        .collect();
+    let ycsb_cfg = slpmt::bench::ycsb::YcsbConfig {
+        load: ops.min(500),
+        ops,
+        value_size: 32,
+        seed: 42,
+    };
+    let ycsb_cells =
+        slpmt::bench::ycsb::ycsb_cells(&ycsb_mixes, &[Scheme::Slpmt], &[IndexKind::Hashtable]);
+    let mut ycsb_wall = f64::INFINITY;
+    let mut ycsb_sim_cycles = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let rows = slpmt::bench::ycsb::run_ycsb_matrix(&ycsb_cells, &ycsb_cfg, false);
+        ycsb_wall = ycsb_wall.min(t0.elapsed().as_secs_f64());
+        ycsb_sim_cycles = rows.iter().map(|r| r.result.cycles).sum();
+    }
+    let ycsb_sim_ops = (ycsb_cells.len() * ops) as f64;
+    let ycsb_ops_per_s = ycsb_sim_ops / ycsb_wall;
+
     let micro_rows = micro::run_all(4096, reps);
 
     if json {
@@ -1177,6 +1213,25 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         }
         w.end_arr();
         w.end_obj();
+        w.key("ycsb");
+        w.begin_obj();
+        w.key("cells");
+        w.u64(ycsb_cells.len() as u64);
+        w.key("load");
+        w.u64(ycsb_cfg.load as u64);
+        w.key("ops");
+        w.u64(ycsb_cfg.ops as u64);
+        w.key("value_bytes");
+        w.u64(ycsb_cfg.value_size as u64);
+        w.key("wall_s");
+        w.f64(ycsb_wall);
+        w.key("sim_ops");
+        w.u64(ycsb_sim_ops as u64);
+        w.key("sim_ops_per_s");
+        w.f64(ycsb_ops_per_s);
+        w.key("total_sim_cycles");
+        w.u64(ycsb_sim_cycles);
+        w.end_obj();
         w.key("micro");
         w.begin_arr();
         for row in &micro_rows {
@@ -1222,6 +1277,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
             ops as f64 / wall
         );
     }
+    println!(
+        "  ycsb   : {} mix cells in {ycsb_wall:.3}s → {ycsb_ops_per_s:.0} sim-ops/s \
+         ({ycsb_sim_cycles} total cycles)",
+        ycsb_cells.len()
+    );
     println!("  micro  :");
     for row in &micro_rows {
         println!(
@@ -1232,17 +1292,301 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `slpmt ycsb`: the named-mix perf matrix — YCSB A–F plus the
+/// delete-heavy / zipfian adversaries — with per-class simulated
+/// p50/p99 latencies, optional sampled crash / media-fault sweeps over
+/// the same cells (streaming recovery oracle), and an optional sharded
+/// run. Every reported number is simulated (cycles, counts), never
+/// wall-clock, so output — including `--json` — is bit-identical
+/// across reruns and `SLPMT_THREADS` settings.
+fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::crashsweep::run_sweep_sampled;
+    use slpmt::bench::faultsweep::{fault_cases_mixed, run_fault_sweep};
+    use slpmt::bench::sharded::run_sharded_mixed;
+    use slpmt::bench::ycsb::{run_ycsb_matrix, sweep_case_of, ycsb_cells, YcsbConfig};
+    use slpmt::workloads::crashsweep::SWEEP_SCHEMES;
+    use slpmt::workloads::ycsb::{ycsb_mix, MixSpec};
+
+    let mut mixes: Vec<MixSpec> = MixSpec::NAMED.iter().map(|&(_, m)| m).collect();
+    let mut schemes = vec![Scheme::Slpmt];
+    let mut kinds = vec![IndexKind::Hashtable];
+    let mut cfg = YcsbConfig::default();
+    let mut points = 50usize;
+    let mut sweep = false;
+    let mut faults = false;
+    let mut shards = 0usize;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--sweep" => {
+                sweep = true;
+                continue;
+            }
+            "--faults" => {
+                faults = true;
+                continue;
+            }
+            _ => {}
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--mix" => {
+                let v = value()?;
+                if !v.eq_ignore_ascii_case("all") {
+                    mixes = vec![v.parse().map_err(|e| format!("--mix: {e}"))?];
+                }
+            }
+            "--scheme" => {
+                let v = value()?;
+                if v.eq_ignore_ascii_case("all") {
+                    schemes = SWEEP_SCHEMES.to_vec();
+                } else {
+                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                }
+            }
+            "--workload" => {
+                let v = value()?;
+                if v.eq_ignore_ascii_case("all") {
+                    kinds = IndexKind::ALL.to_vec();
+                } else {
+                    kinds = vec![parse_kind(&v).ok_or_else(|| format!("unknown workload {v}"))?];
+                }
+            }
+            "--load" => cfg.load = value()?.parse().map_err(|e| format!("--load: {e}"))?,
+            "--ops" => cfg.ops = value()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--value" => cfg.value_size = value()?.parse().map_err(|e| format!("--value: {e}"))?,
+            "--seed" => cfg.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--points" => points = value()?.parse().map_err(|e| format!("--points: {e}"))?,
+            "--shards" => shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let mix_label = |m: &MixSpec| {
+        m.name()
+            .map(str::to_string)
+            .unwrap_or_else(|| m.to_string())
+    };
+    let cells = ycsb_cells(&mixes, &schemes, &kinds);
+    let rows = run_ycsb_matrix(&cells, &cfg, true);
+
+    // Optional sharded pass: the same mixes through the keyspace-
+    // sharded driver, one run per (mix, scheme, kind) cell.
+    let mut shard_rows: Vec<(String, String, String, u64, f64)> = Vec::new();
+    if shards > 0 {
+        for cell in &cells {
+            let (load, ops) = ycsb_mix(cfg.load, cfg.ops, cfg.value_size, cfg.seed, &cell.mix);
+            let r = run_sharded_mixed(
+                MachineConfig::for_scheme(cell.scheme),
+                cell.kind,
+                &load,
+                &ops,
+                cfg.value_size,
+                AnnotationSource::Manual,
+                shards,
+                true,
+            );
+            shard_rows.push((
+                mix_label(&cell.mix),
+                cell.scheme.to_string(),
+                cell.kind.to_string(),
+                r.sim_cycles(),
+                r.sim_ops_per_kcycle(),
+            ));
+        }
+    }
+
+    // Optional durability gates over the same cells: sampled
+    // persist-event crash sweep, then the media-fault battery.
+    let cases: Vec<_> = cells.iter().map(|c| sweep_case_of(c, &cfg)).collect();
+    let sweep_report = sweep.then(|| run_sweep_sampled(&cases, points));
+    let fault_report = faults.then(|| run_fault_sweep(&fault_cases_mixed(&cases, &[]), points));
+
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("ycsb");
+        w.key("schema");
+        w.u64(1);
+        w.key("load");
+        w.u64(cfg.load as u64);
+        w.key("ops");
+        w.u64(cfg.ops as u64);
+        w.key("value_bytes");
+        w.u64(cfg.value_size as u64);
+        w.key("seed");
+        w.u64(cfg.seed);
+        w.key("rows");
+        w.begin_arr();
+        for row in &rows {
+            w.begin_obj();
+            w.key("mix");
+            w.string(&mix_label(&row.cell.mix));
+            w.key("spec");
+            w.string(&row.cell.mix.to_string());
+            w.key("scheme");
+            w.string(&row.cell.scheme.to_string());
+            w.key("workload");
+            w.string(&row.cell.kind.to_string());
+            w.key("sim_cycles");
+            w.u64(row.result.cycles);
+            w.key("data_bytes");
+            w.u64(row.result.traffic.data_bytes);
+            w.key("log_bytes");
+            w.u64(row.result.traffic.log_bytes);
+            w.key("latencies");
+            w.begin_obj();
+            for (name, s) in row.lat.present() {
+                w.key(name);
+                w.begin_obj();
+                w.key("count");
+                w.u64(s.count);
+                w.key("p50");
+                w.u64(s.p50);
+                w.key("p99");
+                w.u64(s.p99);
+                w.key("max");
+                w.u64(s.max);
+                w.key("total");
+                w.u64(s.total);
+                w.end_obj();
+            }
+            w.end_obj();
+            w.end_obj();
+        }
+        w.end_arr();
+        if !shard_rows.is_empty() {
+            w.key("shards");
+            w.begin_obj();
+            w.key("shards");
+            w.u64(shards as u64);
+            w.key("rows");
+            w.begin_arr();
+            for (mix, scheme, kind, makespan, kcycle) in &shard_rows {
+                w.begin_obj();
+                w.key("mix");
+                w.string(mix);
+                w.key("scheme");
+                w.string(scheme);
+                w.key("workload");
+                w.string(kind);
+                w.key("makespan_cycles");
+                w.u64(*makespan);
+                w.key("sim_ops_per_kcycle");
+                w.f64(*kcycle);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        let mut sweep_json =
+            |key: &str, points: usize, cases: u64, clean: bool, fails: &[String]| {
+                w.key(key);
+                w.begin_obj();
+                w.key("points");
+                w.u64(points as u64);
+                w.key("cases");
+                w.u64(cases);
+                w.key("clean");
+                w.bool(clean);
+                w.key("failures");
+                w.begin_arr();
+                for f in fails {
+                    w.string(f);
+                }
+                w.end_arr();
+                w.end_obj();
+            };
+        if let Some(report) = &sweep_report {
+            let fails: Vec<String> = report.failures.iter().map(|f| f.to_string()).collect();
+            sweep_json(
+                "crash_sweep",
+                report.points,
+                report.cases as u64,
+                report.is_clean(),
+                &fails,
+            );
+        }
+        if let Some(report) = &fault_report {
+            let fails: Vec<String> = report.failures.iter().map(|f| f.to_string()).collect();
+            sweep_json(
+                "fault_sweep",
+                report.points,
+                report.cases as u64,
+                report.is_clean(),
+                &fails,
+            );
+        }
+        w.end_obj();
+        println!("{}", w.finish());
+    } else {
+        println!(
+            "ycsb matrix: {} cell(s) ({} load + {} ops, {} B values, seed {})",
+            rows.len(),
+            cfg.load,
+            cfg.ops,
+            cfg.value_size,
+            cfg.seed
+        );
+        for row in &rows {
+            println!(
+                "  {:<18} {:<10} {:<10} {:>9} cycles",
+                mix_label(&row.cell.mix),
+                row.cell.scheme.to_string(),
+                row.cell.kind.to_string(),
+                row.result.cycles
+            );
+            for (name, s) in row.lat.present() {
+                println!(
+                    "      {name:<7} n={:<5} p50={:<6} p99={:<6} max={}",
+                    s.count, s.p50, s.p99, s.max
+                );
+            }
+        }
+        for (mix, scheme, kind, makespan, kcycle) in &shard_rows {
+            println!(
+                "  shards={shards} {mix:<14} {scheme:<10} {kind:<10} makespan {makespan} \
+                 cycles ({kcycle:.3} ops/kcycle)"
+            );
+        }
+        if let Some(report) = &sweep_report {
+            print!("crash {report}");
+        }
+        if let Some(report) = &fault_report {
+            print!("{report}");
+        }
+    }
+    let clean = sweep_report.as_ref().is_none_or(|r| r.is_clean())
+        && fault_report.as_ref().is_none_or(|r| r.is_clean());
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|bench> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|ycsb|bench> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          trace: [--scheme S] [--workload W] [--ops N] [--value B] [--seed N] [--out FILE]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
          faults: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] \
          [--points N] [--plan s<seed>:t<0|1>:p<n>:f<n>:j<n>] [--at K] [--json]\n\
          mc: [--scheme S] [--cores 2-4] [--seed N] [--sched rr:K|weighted:K] \
-         [--txns N] [--stores N] [--crash-at K] [--json]\n\
+         [--txns N] [--stores N] [--skew THETA_MILLI] [--crash-at K] [--json]\n\
          shards: [--scheme S] [--ops N] [--value B] [--shards N] [--json]\n\
+         ycsb: [--mix M|all] [--scheme S|all] [--workload W|all] [--load N] [--ops N] \
+         [--value B] [--seed N] [--sweep] [--faults] [--points N] [--shards N] [--json]\n\
          bench: [--ops N] [--value B] [--reps N] [--json]\n\
          matrix also accepts --json; sweep failures auto-dump traces to target/traces/\n\
          indices: {}",
@@ -1335,6 +1679,13 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "ycsb" => match cmd_ycsb(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "bench" => match cmd_bench(&args[1..]) {
             Ok(code) => code,
             Err(e) => {

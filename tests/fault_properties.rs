@@ -46,6 +46,15 @@ fn run_once(case: &FaultCase, k: u64) -> (RecoveryReport, u64, u64) {
             MixedOp::Update(o) => {
                 idx.update(&mut ctx, o.key, &o.value);
             }
+            MixedOp::Rmw(o) => {
+                idx.get(&mut ctx, o.key);
+                idx.update(&mut ctx, o.key, &o.value);
+            }
+            MixedOp::Scan { keys } => {
+                for key in keys {
+                    idx.get(&mut ctx, *key);
+                }
+            }
         }
         if ctx.machine().crash_tripped() {
             break;

@@ -35,12 +35,25 @@ const GATE_SCHEMES: [Scheme; 7] = [
 /// Runs one `(scheme, cores, program seed, schedule)` case and returns
 /// the reproducible failure tuple if the oracle rejects it.
 fn check_case(scheme: Scheme, cores: usize, seed: u64, sched: Schedule) -> Option<String> {
-    let spec = ProgramSpec::small(cores, seed);
+    check_case_skewed(scheme, cores, seed, sched, 0)
+}
+
+/// [`check_case`] with zipfian shared-word skew (θ in thousandths,
+/// `0` = the historical uniform draw).
+fn check_case_skewed(
+    scheme: Scheme,
+    cores: usize,
+    seed: u64,
+    sched: Schedule,
+    skew: u16,
+) -> Option<String> {
+    let mut spec = ProgramSpec::small(cores, seed);
+    spec.shared_skew_milli = skew;
     let programs = gen_programs(&spec);
     let (mm, outcome) = run_programs(MachineConfig::for_scheme(scheme), &programs, sched);
-    check_serialized_oracle(&mm, &outcome)
-        .err()
-        .map(|e| format!("scheme={scheme} cores={cores} seed={seed} sched={sched}: {e}"))
+    check_serialized_oracle(&mm, &outcome).err().map(|e| {
+        format!("scheme={scheme} cores={cores} seed={seed} sched={sched} skew={skew}: {e}")
+    })
 }
 
 #[test]
@@ -56,6 +69,27 @@ fn gate_interleaving_sweep() {
     }
     let failures: Vec<String> = par_map(&cases, |&(scheme, cores, seed, sched)| {
         check_case(scheme, cores, seed, sched)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn gate_skewed_interleaving_sweep() {
+    // Zipfian shared-word picks (θ = 0.99): conflicts pile onto one or
+    // two hot lines, so the ownership hand-off / abort machinery sees
+    // back-to-back contention the uniform gate rarely produces.
+    let mut cases = Vec::new();
+    for scheme in GATE_SCHEMES {
+        for seed in 0..3 {
+            cases.push((scheme, 2, seed, Schedule::round_robin(seed)));
+            cases.push((scheme, 3, seed, Schedule::weighted(seed * 31 + 7)));
+        }
+    }
+    let failures: Vec<String> = par_map(&cases, |&(scheme, cores, seed, sched)| {
+        check_case_skewed(scheme, cores, seed, sched, 990)
     })
     .into_iter()
     .flatten()
@@ -210,20 +244,29 @@ fn full_interleaving_matrix() {
     for &scheme in SWEEP_SCHEMES.iter() {
         for cores in 2..=4 {
             for seed in 0..8 {
-                cases.push((scheme, cores, seed, Schedule::round_robin(seed)));
-                cases.push((scheme, cores, seed, Schedule::weighted(seed * 131 + 17)));
+                for skew in [0u16, 990] {
+                    cases.push((scheme, cores, seed, Schedule::round_robin(seed), skew));
+                    cases.push((
+                        scheme,
+                        cores,
+                        seed,
+                        Schedule::weighted(seed * 131 + 17),
+                        skew,
+                    ));
+                }
             }
         }
     }
-    let failures: Vec<String> = par_map(&cases, |&(scheme, cores, seed, sched)| {
+    let failures: Vec<String> = par_map(&cases, |&(scheme, cores, seed, sched, skew)| {
         let mut spec = ProgramSpec::small(cores, seed);
         spec.txns_per_core = 12;
         spec.stores_per_txn = 6;
+        spec.shared_skew_milli = skew;
         let programs = gen_programs(&spec);
         let (mm, outcome) = run_programs(MachineConfig::for_scheme(scheme), &programs, sched);
-        check_serialized_oracle(&mm, &outcome)
-            .err()
-            .map(|e| format!("scheme={scheme} cores={cores} seed={seed} sched={sched}: {e}"))
+        check_serialized_oracle(&mm, &outcome).err().map(|e| {
+            format!("scheme={scheme} cores={cores} seed={seed} sched={sched} skew={skew}: {e}")
+        })
     })
     .into_iter()
     .flatten()
