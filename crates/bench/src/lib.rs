@@ -34,6 +34,7 @@ pub mod crashsweep;
 pub mod faultsweep;
 pub mod micro;
 pub mod runner;
+pub mod serve;
 pub mod sharded;
 pub mod ycsb;
 

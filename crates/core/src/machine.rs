@@ -495,6 +495,25 @@ impl Machine {
         self.lazy_txns.len()
     }
 
+    /// WPQ occupancy at the current machine clock — entries accepted
+    /// but not yet drained to the medium. Service front ends key
+    /// admission/backpressure decisions off this depth.
+    pub fn wpq_depth(&self) -> usize {
+        self.dev.wpq_occupancy(self.now)
+    }
+
+    /// Configured WPQ capacity in 64-byte entries.
+    pub fn wpq_entries(&self) -> usize {
+        self.dev.wpq_entries()
+    }
+
+    /// Enables deterministic WPQ drain-completion jitter within
+    /// `window` cycles (0 disables it) without arming any media
+    /// fault — the knob backpressure studies sweep.
+    pub fn set_wpq_drain_jitter(&mut self, window: u64, seed: u64) {
+        self.dev.set_wpq_drain_jitter(window, seed);
+    }
+
     /// Charges `cycles` of pure compute (workload algorithmic work).
     pub fn compute(&mut self, cycles: u64) {
         self.now += cycles;

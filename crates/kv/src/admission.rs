@@ -1,0 +1,235 @@
+//! WPQ-depth-driven admission control.
+//!
+//! The write-pending queue is the paper's persistence boundary: a
+//! store is durable once the WPQ accepts it (ADR). When the device
+//! drains slowly — high media latency, drain jitter — the WPQ fills
+//! and every further durable mutation stalls the core. The service
+//! front end turns that back-pressure into an explicit admission
+//! decision instead of an invisible stall:
+//!
+//! * while `wpq_depth >= high_watermark`, the worker polls in
+//!   `poll_cycles` steps (charged as compute, so queueing is visible
+//!   on the simulated clock);
+//! * once the accumulated wait exceeds `queue_limit` cycles the
+//!   request is **shed** with `SERVER_ERROR busy`.
+//!
+//! The loop is bounded by construction (`queue_limit / poll_cycles`
+//! iterations, then shed), so admission can never deadlock — the
+//! backpressure property test checks exactly this against a pure
+//! reference model.
+
+use crate::store::KvStore;
+
+/// Admission-control knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Admit only while the WPQ holds fewer than this many undrained
+    /// entries. The default (the device's full capacity, 8) admits
+    /// until the queue is literally full.
+    pub high_watermark: usize,
+    /// Give up (shed) once a request has queued this many cycles.
+    pub queue_limit: u64,
+    /// Poll step while queueing, charged as compute cycles.
+    pub poll_cycles: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            high_watermark: 8,
+            queue_limit: 100_000,
+            poll_cycles: 200,
+        }
+    }
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted after queueing for the given number of cycles (0 =
+    /// straight through).
+    Admit {
+        /// Cycles spent polling before the WPQ dropped below the
+        /// watermark.
+        queued: u64,
+    },
+    /// Shed after the queueing budget ran out.
+    Shed {
+        /// Cycles spent polling before giving up.
+        queued: u64,
+    },
+}
+
+/// Aggregate admission statistics for one worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted without queueing.
+    pub immediate: u64,
+    /// Requests admitted after a non-zero queueing wait.
+    pub queued: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Total cycles spent queueing (admitted + shed).
+    pub queued_cycles: u64,
+}
+
+impl AdmissionStats {
+    /// Folds one decision into the totals.
+    pub fn record(&mut self, decision: Admission) {
+        match decision {
+            Admission::Admit { queued: 0 } => self.immediate += 1,
+            Admission::Admit { queued } => {
+                self.queued += 1;
+                self.queued_cycles += queued;
+            }
+            Admission::Shed { queued } => {
+                self.shed += 1;
+                self.queued_cycles += queued;
+            }
+        }
+    }
+
+    /// Requests that reached a decision.
+    pub fn decisions(&self) -> u64 {
+        self.immediate + self.queued + self.shed
+    }
+}
+
+/// Pure admission reference: given a sampled WPQ-depth sequence (one
+/// sample per poll step, the first being the depth at arrival),
+/// returns the decision the worker must reach. The backpressure
+/// property test replays recorded depth samples through this model
+/// and demands exact agreement with the served outcome.
+pub fn reference_decision(depths: &[usize], cfg: &AdmissionConfig) -> Admission {
+    let mut queued = 0u64;
+    for &d in depths {
+        if d < cfg.high_watermark {
+            return Admission::Admit { queued };
+        }
+        if queued >= cfg.queue_limit {
+            break;
+        }
+        queued += cfg.poll_cycles;
+    }
+    Admission::Shed {
+        queued: queued.min(cfg.queue_limit.max(1)),
+    }
+}
+
+/// Runs the admission loop against the live machine: polls the WPQ in
+/// `poll_cycles` steps (advancing the simulated clock) until the depth
+/// drops below the watermark or the queueing budget is spent.
+pub fn admit(store: &mut KvStore, cfg: &AdmissionConfig) -> Admission {
+    let mut queued = 0u64;
+    loop {
+        if store.wpq_depth() < cfg.high_watermark {
+            return Admission::Admit { queued };
+        }
+        if queued >= cfg.queue_limit {
+            return Admission::Shed { queued };
+        }
+        let step = cfg.poll_cycles.max(1);
+        store.compute(step);
+        queued += step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpmt_core::{MachineConfig, Scheme};
+    use slpmt_pmem::PmConfig;
+    use slpmt_workloads::IndexKind;
+
+    #[test]
+    fn empty_wpq_admits_immediately() {
+        let mut s = KvStore::open(Scheme::Slpmt, IndexKind::KvBtree, 16);
+        let cfg = AdmissionConfig::default();
+        assert_eq!(admit(&mut s, &cfg), Admission::Admit { queued: 0 });
+    }
+
+    #[test]
+    fn forced_stall_queues_then_drains() {
+        // Tiny WPQ + enormous write latency: after a burst of durable
+        // sets the queue stays deep, and admission must wait it out.
+        let pm = PmConfig {
+            wpq_entries: 2,
+            pm_write_cycles: 20_000,
+            ..PmConfig::default()
+        };
+        let cfg = MachineConfig::for_scheme(Scheme::Slpmt).with_pm(pm);
+        let mut s = KvStore::with_config(cfg, IndexKind::KvBtree, 16);
+        for k in 0..4u64 {
+            s.set(k, b"0123456789abcdef");
+        }
+        assert!(s.wpq_depth() > 0, "burst left the WPQ non-empty");
+        let acfg = AdmissionConfig {
+            high_watermark: 1,
+            queue_limit: 10_000_000,
+            poll_cycles: 100,
+        };
+        match admit(&mut s, &acfg) {
+            Admission::Admit { queued } => assert!(queued > 0, "must have queued"),
+            shed => panic!("unexpected {shed:?}"),
+        }
+        assert!(s.wpq_depth() < 1 + 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_sheds() {
+        let pm = PmConfig {
+            wpq_entries: 2,
+            pm_write_cycles: 1_000_000,
+            ..PmConfig::default()
+        };
+        let cfg = MachineConfig::for_scheme(Scheme::Slpmt).with_pm(pm);
+        let mut s = KvStore::with_config(cfg, IndexKind::KvBtree, 16);
+        for k in 0..4u64 {
+            s.set(k, b"0123456789abcdef");
+        }
+        let acfg = AdmissionConfig {
+            high_watermark: 1,
+            queue_limit: 1_000,
+            poll_cycles: 100,
+        };
+        match admit(&mut s, &acfg) {
+            Admission::Shed { queued } => assert_eq!(queued, 1_000),
+            admit => panic!("unexpected {admit:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_model_matches_decisions() {
+        let cfg = AdmissionConfig {
+            high_watermark: 4,
+            queue_limit: 400,
+            poll_cycles: 100,
+        };
+        assert_eq!(
+            reference_decision(&[2], &cfg),
+            Admission::Admit { queued: 0 }
+        );
+        assert_eq!(
+            reference_decision(&[8, 8, 3], &cfg),
+            Admission::Admit { queued: 200 }
+        );
+        // 5 saturated samples: 0,100,200,300,400 → budget spent → shed.
+        assert_eq!(
+            reference_decision(&[8; 6], &cfg),
+            Admission::Shed { queued: 400 }
+        );
+    }
+
+    #[test]
+    fn stats_fold() {
+        let mut st = AdmissionStats::default();
+        st.record(Admission::Admit { queued: 0 });
+        st.record(Admission::Admit { queued: 300 });
+        st.record(Admission::Shed { queued: 500 });
+        assert_eq!(st.immediate, 1);
+        assert_eq!(st.queued, 1);
+        assert_eq!(st.shed, 1);
+        assert_eq!(st.queued_cycles, 800);
+        assert_eq!(st.decisions(), 3);
+    }
+}

@@ -1,0 +1,501 @@
+//! Memcached-text-subset wire codec.
+//!
+//! The grammar is the classic text protocol restricted to what the
+//! service exposes, plus one extension verb:
+//!
+//! ```text
+//! get <key>+\r\n
+//! gets <key>+\r\n
+//! set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//! cas <key> <flags> <exptime> <bytes> <token>\r\n<data>\r\n
+//! delete <key>\r\n
+//! scan <lo> <hi>\r\n          (extension: ordered range read)
+//! ```
+//!
+//! Keys are decimal `u64`s (at most [`MAX_KEY_DIGITS`] digits — longer
+//! tokens are rejected as oversized). The parser works on raw bytes,
+//! **never panics** on hostile input, and treats a bare `\n` (with an
+//! optional preceding `\r`) as the line terminator, so after any
+//! malformed line it resynchronises at the next newline and keeps
+//! serving. Errors surface as the protocol's own `ERROR` /
+//! `CLIENT_ERROR …` response lines.
+
+/// Longest accepted key token (20 decimal digits covers `u64::MAX`).
+pub const MAX_KEY_DIGITS: usize = 20;
+
+/// Longest accepted command line; anything longer is discarded
+/// wholesale (the connection-killing case in real servers).
+pub const MAX_LINE: usize = 4096;
+
+/// Canonical response lines (CRLF appended by the writer).
+pub mod reply {
+    /// Mutation applied durably.
+    pub const STORED: &str = "STORED";
+    /// CAS token was stale.
+    pub const EXISTS: &str = "EXISTS";
+    /// Key absent for `cas`/`delete`.
+    pub const NOT_FOUND: &str = "NOT_FOUND";
+    /// Key removed.
+    pub const DELETED: &str = "DELETED";
+    /// Terminates every retrieval response.
+    pub const END: &str = "END";
+    /// Unknown or malformed command.
+    pub const ERROR: &str = "ERROR";
+    /// Request shed by admission control.
+    pub const SERVER_ERROR_BUSY: &str = "SERVER_ERROR busy";
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `get`/`gets`: retrieval of one or more keys; `with_cas` selects
+    /// the `gets` response shape (token on every VALUE line).
+    Get {
+        /// Requested keys, in request order.
+        keys: Vec<u64>,
+        /// `true` for `gets`.
+        with_cas: bool,
+    },
+    /// `set`: unconditional store.
+    Set {
+        /// Target key.
+        key: u64,
+        /// Data block (exactly `<bytes>` long).
+        value: Vec<u8>,
+    },
+    /// `cas`: conditional store against a token.
+    Cas {
+        /// Target key.
+        key: u64,
+        /// Client-held token.
+        token: u64,
+        /// Data block.
+        value: Vec<u8>,
+    },
+    /// `delete`.
+    Delete {
+        /// Target key.
+        key: u64,
+    },
+    /// `scan` extension: ordered range retrieval.
+    Scan {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+}
+
+/// Outcome of one parse step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// Not enough buffered bytes for a complete request; consume
+    /// nothing and wait for more input.
+    More,
+    /// A complete, well-formed request.
+    Req(Request),
+    /// A malformed request; the payload is the full error response
+    /// line to send (without CRLF). The consumed count already skips
+    /// to the next command boundary.
+    Bad(String),
+}
+
+/// The stateless parser/encoder. `max_value` bounds accepted data
+/// blocks (the store's limit).
+#[derive(Debug, Clone, Copy)]
+pub struct Codec {
+    max_value: usize,
+}
+
+fn parse_u64(tok: &[u8]) -> Option<u64> {
+    if tok.is_empty() || tok.len() > MAX_KEY_DIGITS {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in tok {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add((b - b'0') as u64)?;
+    }
+    Some(v)
+}
+
+fn client_error(msg: &str) -> Parse {
+    Parse::Bad(format!("CLIENT_ERROR {msg}"))
+}
+
+impl Codec {
+    /// A codec accepting data blocks up to `max_value` bytes.
+    pub fn new(max_value: usize) -> Self {
+        Codec { max_value }
+    }
+
+    /// The data-block size bound.
+    pub fn max_value(&self) -> usize {
+        self.max_value
+    }
+
+    /// Attempts to parse one request from the front of `buf`. Returns
+    /// `(consumed, outcome)`; `consumed` is how many bytes the caller
+    /// must drop from the buffer (0 for [`Parse::More`]).
+    pub fn parse(&self, buf: &[u8]) -> (usize, Parse) {
+        let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+            if buf.len() >= MAX_LINE {
+                // Unterminated garbage beyond any legal line: discard
+                // it all; resynchronisation happens at the next
+                // newline that ever arrives.
+                return (buf.len(), Parse::Bad(reply::ERROR.into()));
+            }
+            return (0, Parse::More);
+        };
+        let line_end = nl + 1;
+        let mut line = &buf[..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let tokens: Vec<&[u8]> = line
+            .split(|&b| b == b' ')
+            .filter(|t| !t.is_empty())
+            .collect();
+        let Some((&verb, rest)) = tokens.split_first() else {
+            return (line_end, Parse::Bad(reply::ERROR.into()));
+        };
+        match verb {
+            b"get" | b"gets" => {
+                if rest.is_empty() {
+                    return (line_end, Parse::Bad(reply::ERROR.into()));
+                }
+                let mut keys = Vec::with_capacity(rest.len());
+                for tok in rest {
+                    match parse_u64(tok) {
+                        Some(k) => keys.push(k),
+                        None => return (line_end, client_error("bad key")),
+                    }
+                }
+                (
+                    line_end,
+                    Parse::Req(Request::Get {
+                        keys,
+                        with_cas: verb == b"gets",
+                    }),
+                )
+            }
+            b"set" | b"cas" => self.parse_storage(buf, line_end, verb == b"cas", rest),
+            b"delete" => {
+                if rest.len() != 1 {
+                    return (line_end, Parse::Bad(reply::ERROR.into()));
+                }
+                match parse_u64(rest[0]) {
+                    Some(key) => (line_end, Parse::Req(Request::Delete { key })),
+                    None => (line_end, client_error("bad key")),
+                }
+            }
+            b"scan" => {
+                if rest.len() != 2 {
+                    return (line_end, Parse::Bad(reply::ERROR.into()));
+                }
+                match (parse_u64(rest[0]), parse_u64(rest[1])) {
+                    (Some(lo), Some(hi)) if lo <= hi => {
+                        (line_end, Parse::Req(Request::Scan { lo, hi }))
+                    }
+                    (Some(_), Some(_)) => (line_end, client_error("bad range")),
+                    _ => (line_end, client_error("bad key")),
+                }
+            }
+            _ => (line_end, Parse::Bad(reply::ERROR.into())),
+        }
+    }
+
+    /// `set`/`cas` share the header + data-block shape; `with_token`
+    /// selects the extra `cas` token field.
+    fn parse_storage(
+        &self,
+        buf: &[u8],
+        line_end: usize,
+        with_token: bool,
+        rest: &[&[u8]],
+    ) -> (usize, Parse) {
+        let expect = if with_token { 5 } else { 4 };
+        if rest.len() != expect {
+            return (line_end, Parse::Bad(reply::ERROR.into()));
+        }
+        let Some(key) = parse_u64(rest[0]) else {
+            return (line_end, client_error("bad key"));
+        };
+        // <flags> and <exptime> are accepted and ignored, but must be
+        // numeric.
+        if parse_u64(rest[1]).is_none() || parse_u64(rest[2]).is_none() {
+            return (line_end, client_error("bad command line format"));
+        }
+        let Some(bytes) = parse_u64(rest[3]).map(|b| b as usize) else {
+            return (line_end, client_error("bad command line format"));
+        };
+        let token = if with_token {
+            match parse_u64(rest[4]) {
+                Some(t) => t,
+                None => return (line_end, client_error("bad command line format")),
+            }
+        } else {
+            0
+        };
+        if bytes > self.max_value {
+            // Oversized object: reject on the header alone. The data
+            // block (if any) is garbage the resynchronising parser
+            // will step over line by line.
+            return (line_end, client_error("object too large for cache"));
+        }
+        // The data block is <bytes> octets followed by CRLF.
+        let need = line_end + bytes + 2;
+        if buf.len() < need {
+            return (0, Parse::More);
+        }
+        let value = buf[line_end..line_end + bytes].to_vec();
+        if &buf[line_end + bytes..need] != b"\r\n" {
+            // Bad chunk terminator: discard through the next newline
+            // after the declared block so parsing resynchronises.
+            let resync = buf[line_end + bytes..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| line_end + bytes + p + 1)
+                .unwrap_or(buf.len());
+            return (resync, client_error("bad data chunk"));
+        }
+        let req = if with_token {
+            Request::Cas { key, token, value }
+        } else {
+            Request::Set { key, value }
+        };
+        (need, Parse::Req(req))
+    }
+
+    // ------------------------------------------------------------------
+    // Encoders (request side — the deterministic client generators)
+
+    /// Encodes a retrieval line.
+    pub fn encode_get(out: &mut Vec<u8>, keys: &[u64], with_cas: bool) {
+        out.extend_from_slice(if with_cas { b"gets" } else { b"get" });
+        for k in keys {
+            out.extend_from_slice(format!(" {k}").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// Encodes a `set` (header + data block).
+    pub fn encode_set(out: &mut Vec<u8>, key: u64, value: &[u8]) {
+        out.extend_from_slice(format!("set {key} 0 0 {}\r\n", value.len()).as_bytes());
+        out.extend_from_slice(value);
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// Encodes a `cas` (header with token + data block).
+    pub fn encode_cas(out: &mut Vec<u8>, key: u64, token: u64, value: &[u8]) {
+        out.extend_from_slice(format!("cas {key} 0 0 {} {token}\r\n", value.len()).as_bytes());
+        out.extend_from_slice(value);
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// Encodes a `delete` line.
+    pub fn encode_delete(out: &mut Vec<u8>, key: u64) {
+        out.extend_from_slice(format!("delete {key}\r\n").as_bytes());
+    }
+
+    /// Encodes a `scan` line.
+    pub fn encode_scan(out: &mut Vec<u8>, lo: u64, hi: u64) {
+        out.extend_from_slice(format!("scan {lo} {hi}\r\n").as_bytes());
+    }
+
+    // ------------------------------------------------------------------
+    // Response writers
+
+    /// Writes one `VALUE` block (`gets` shape when `cas` is present).
+    pub fn write_value(out: &mut Vec<u8>, key: u64, data: &[u8], cas: Option<u64>) {
+        match cas {
+            Some(t) => {
+                out.extend_from_slice(format!("VALUE {key} 0 {} {t}\r\n", data.len()).as_bytes())
+            }
+            None => out.extend_from_slice(format!("VALUE {key} 0 {}\r\n", data.len()).as_bytes()),
+        }
+        out.extend_from_slice(data);
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// Writes a bare response line with CRLF.
+    pub fn write_line(out: &mut Vec<u8>, line: &str) {
+        out.extend_from_slice(line.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(codec: &Codec, input: &[u8]) -> (usize, Parse) {
+        codec.parse(input)
+    }
+
+    #[test]
+    fn parses_every_verb() {
+        let c = Codec::new(64);
+        assert_eq!(
+            one(&c, b"get 7\r\n"),
+            (
+                7,
+                Parse::Req(Request::Get {
+                    keys: vec![7],
+                    with_cas: false
+                })
+            )
+        );
+        assert_eq!(
+            one(&c, b"gets 7 9\r\n"),
+            (
+                10,
+                Parse::Req(Request::Get {
+                    keys: vec![7, 9],
+                    with_cas: true
+                })
+            )
+        );
+        assert_eq!(
+            one(&c, b"set 3 0 0 5\r\nhello\r\n"),
+            (
+                20,
+                Parse::Req(Request::Set {
+                    key: 3,
+                    value: b"hello".to_vec()
+                })
+            )
+        );
+        assert_eq!(
+            one(&c, b"cas 3 0 0 2 99\r\nhi\r\n"),
+            (
+                20,
+                Parse::Req(Request::Cas {
+                    key: 3,
+                    token: 99,
+                    value: b"hi".to_vec()
+                })
+            )
+        );
+        assert_eq!(
+            one(&c, b"delete 12\r\n"),
+            (11, Parse::Req(Request::Delete { key: 12 }))
+        );
+        assert_eq!(
+            one(&c, b"scan 2 8\r\n"),
+            (10, Parse::Req(Request::Scan { lo: 2, hi: 8 }))
+        );
+    }
+
+    #[test]
+    fn partial_input_waits() {
+        let c = Codec::new(64);
+        assert_eq!(one(&c, b"get 7"), (0, Parse::More));
+        assert_eq!(one(&c, b"set 3 0 0 5\r\nhel"), (0, Parse::More));
+        assert_eq!(one(&c, b""), (0, Parse::More));
+    }
+
+    #[test]
+    fn error_paths_resynchronise() {
+        let c = Codec::new(8);
+        // Unknown verb.
+        let (n, p) = one(&c, b"flush_all\r\nget 1\r\n");
+        assert_eq!((n, p), (11, Parse::Bad("ERROR".into())));
+        // Oversized key token.
+        let long = format!("get {}\r\n", "9".repeat(21));
+        assert_eq!(
+            one(&c, long.as_bytes()),
+            (long.len(), Parse::Bad("CLIENT_ERROR bad key".into()))
+        );
+        // Non-numeric key.
+        assert!(matches!(one(&c, b"get abc\r\n").1, Parse::Bad(_)));
+        // Oversized object: header consumed, data left for resync.
+        let (n, p) = one(&c, b"set 1 0 0 9000\r\n");
+        assert_eq!(n, 16);
+        assert_eq!(
+            p,
+            Parse::Bad("CLIENT_ERROR object too large for cache".into())
+        );
+        // Bad data-chunk terminator skips to the next newline.
+        let (n, p) = one(&c, b"set 1 0 0 2\r\nhiXXget 9\r\n");
+        assert_eq!(p, Parse::Bad("CLIENT_ERROR bad data chunk".into()));
+        assert_eq!(&b"set 1 0 0 2\r\nhiXXget 9\r\n"[n..], b"");
+        // Empty line.
+        assert_eq!(one(&c, b"\r\n").1, Parse::Bad("ERROR".into()));
+        // Arithmetic-overflow key.
+        assert!(matches!(
+            one(&c, b"get 99999999999999999999\r\n").1,
+            Parse::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn unterminated_garbage_is_discarded_at_max_line() {
+        let c = Codec::new(8);
+        let garbage = vec![b'x'; MAX_LINE + 10];
+        let (n, p) = one(&c, &garbage);
+        assert_eq!(n, garbage.len());
+        assert_eq!(p, Parse::Bad("ERROR".into()));
+    }
+
+    #[test]
+    fn encoders_round_trip() {
+        let c = Codec::new(64);
+        let mut buf = Vec::new();
+        Codec::encode_set(&mut buf, 5, b"abc");
+        Codec::encode_cas(&mut buf, 5, 77, b"de");
+        Codec::encode_get(&mut buf, &[5], true);
+        Codec::encode_delete(&mut buf, 5);
+        Codec::encode_scan(&mut buf, 1, 9);
+        let mut reqs = Vec::new();
+        let mut pos = 0;
+        while pos < buf.len() {
+            let (n, p) = c.parse(&buf[pos..]);
+            pos += n;
+            match p {
+                Parse::Req(r) => reqs.push(r),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(pos, buf.len());
+        assert_eq!(
+            reqs,
+            vec![
+                Request::Set {
+                    key: 5,
+                    value: b"abc".to_vec()
+                },
+                Request::Cas {
+                    key: 5,
+                    token: 77,
+                    value: b"de".to_vec()
+                },
+                Request::Get {
+                    keys: vec![5],
+                    with_cas: true
+                },
+                Request::Delete { key: 5 },
+                Request::Scan { lo: 1, hi: 9 },
+            ]
+        );
+    }
+
+    #[test]
+    fn binary_data_blocks_survive() {
+        // Data blocks may contain \r\n and non-UTF-8 bytes.
+        let c = Codec::new(16);
+        let mut buf = Vec::new();
+        Codec::encode_set(&mut buf, 1, b"\r\n\xff\x00!");
+        let (n, p) = c.parse(&buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(
+            p,
+            Parse::Req(Request::Set {
+                key: 1,
+                value: b"\r\n\xff\x00!".to_vec()
+            })
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The SLPMT key-value service facade and its deterministic
+//! request-serving front end.
+//!
+//! Everything below the protocol layer already exists in the
+//! reproduction — durable indexes, the simulated machine, the YCSB mix
+//! family, the streaming recovery oracle. What this crate adds is the
+//! *service boundary* a real PM deployment exposes:
+//!
+//! * [`store`] — [`KvStore`](store::KvStore), a clean
+//!   `get`/`set`/`delete`/`cas`/`scan` facade over one simulated
+//!   machine that owns transaction demarcation, value encoding into
+//!   the persistent heap, and crash-to-ready recovery.
+//! * [`codec`] — a memcached-text-subset wire codec (parse →
+//!   dispatch → response buffers) that never panics on hostile input
+//!   and resynchronises at the next command boundary.
+//! * [`session`] — per-session receive/transmit buffers with request
+//!   pipelining, in the Pelikan worker/session/buffer shape.
+//! * [`admission`] — WPQ-depth-driven admission control: requests
+//!   queue behind a drained write-pending queue or are shed once the
+//!   queueing budget is exhausted, and both outcomes are first-class
+//!   statistics.
+//! * [`service`] — the deterministic in-process serve loop: seeded
+//!   open-/closed-loop client generators feed sharded single-threaded
+//!   workers; request latency is measured in simulated cycles only.
+//! * [`sweep`] — crash and media-fault batteries driven *through the
+//!   service boundary*, checked against the engine's streaming oracle.
+//!
+//! All timing comes from the simulated cycle clock, so a serve run is
+//! byte-identical for a `(seed, mix, shards)` triple regardless of
+//! host parallelism — the repo-wide determinism contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod codec;
+pub mod service;
+pub mod session;
+pub mod store;
+pub mod sweep;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionStats};
+pub use codec::{Codec, Parse, Request};
+pub use service::{run_shard_service, shard_requests, ServeConfig, ShardServeReport};
+pub use session::Session;
+pub use store::{fingerprint, CasOutcome, KvStore};
+pub use sweep::KvSweepCase;

@@ -1,0 +1,174 @@
+//! Per-session receive/transmit buffers with request pipelining — the
+//! Pelikan worker/session shape, minus the socket.
+//!
+//! A [`Session`] owns a receive buffer clients append wire bytes to
+//! and a transmit buffer the worker appends responses to. Clients may
+//! pipeline arbitrarily many requests before the worker drains any of
+//! them; the worker pulls complete requests one at a time with
+//! [`Session::next_request`], which compacts the consumed prefix
+//! lazily so pipelined ingestion stays O(bytes).
+
+use crate::codec::{Codec, Parse, Request};
+
+/// One client session: id + buffered wire traffic in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    id: u32,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Transmit buffer: the worker appends encoded responses here, in
+    /// request order.
+    pub wbuf: Vec<u8>,
+    parsed: u64,
+    bad: u64,
+}
+
+impl Session {
+    /// A fresh session with the given id.
+    pub fn new(id: u32) -> Self {
+        Session {
+            id,
+            ..Session::default()
+        }
+    }
+
+    /// The session id (stamped on request-span trace events).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Appends wire bytes from the client (pipelined ingestion).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.rbuf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed receive bytes still buffered.
+    pub fn pending(&self) -> usize {
+        self.rbuf.len() - self.rpos
+    }
+
+    /// Requests successfully parsed so far.
+    pub fn parsed(&self) -> u64 {
+        self.parsed
+    }
+
+    /// Malformed requests rejected so far.
+    pub fn bad(&self) -> u64 {
+        self.bad
+    }
+
+    /// Pulls the next complete request off the receive buffer.
+    ///
+    /// * `None` — the buffer holds no complete request (wait for more
+    ///   bytes).
+    /// * `Some(Ok(req))` — a well-formed request, consumed.
+    /// * `Some(Err(line))` — a malformed request; `line` is the error
+    ///   response to transmit. The buffer has already resynchronised
+    ///   to the next command boundary.
+    pub fn next_request(&mut self, codec: &Codec) -> Option<Result<Request, String>> {
+        let (consumed, outcome) = codec.parse(&self.rbuf[self.rpos..]);
+        self.rpos += consumed;
+        // Compact once the dead prefix dominates, keeping ingestion
+        // amortised-linear without reallocating per request.
+        if self.rpos > 4096 && self.rpos * 2 > self.rbuf.len() {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        match outcome {
+            Parse::More => None,
+            Parse::Req(req) => {
+                self.parsed += 1;
+                Some(Ok(req))
+            }
+            Parse::Bad(line) => {
+                self.bad += 1;
+                Some(Err(line))
+            }
+        }
+    }
+
+    /// Takes the accumulated transmit bytes (response stream).
+    pub fn take_responses(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.wbuf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let codec = Codec::new(32);
+        let mut s = Session::new(3);
+        let mut wire = Vec::new();
+        Codec::encode_set(&mut wire, 1, b"a");
+        Codec::encode_get(&mut wire, &[1], false);
+        Codec::encode_delete(&mut wire, 1);
+        s.feed(&wire);
+        assert!(matches!(
+            s.next_request(&codec),
+            Some(Ok(Request::Set { key: 1, .. }))
+        ));
+        assert!(matches!(
+            s.next_request(&codec),
+            Some(Ok(Request::Get { .. }))
+        ));
+        assert!(matches!(
+            s.next_request(&codec),
+            Some(Ok(Request::Delete { key: 1 }))
+        ));
+        assert!(s.next_request(&codec).is_none());
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.parsed(), 3);
+    }
+
+    #[test]
+    fn split_feeds_reassemble() {
+        let codec = Codec::new(32);
+        let mut s = Session::new(0);
+        let mut wire = Vec::new();
+        Codec::encode_set(&mut wire, 9, b"hello");
+        // Feed byte by byte: More until the final CRLF byte lands.
+        for (i, b) in wire.iter().enumerate() {
+            s.feed(&[*b]);
+            let got = s.next_request(&codec);
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "complete at byte {i}?");
+            } else {
+                assert!(matches!(got, Some(Ok(Request::Set { key: 9, .. }))));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_then_wellformed() {
+        let codec = Codec::new(32);
+        let mut s = Session::new(0);
+        s.feed(b"bogus cmd\r\nget 4\r\n");
+        assert!(matches!(s.next_request(&codec), Some(Err(e)) if e == "ERROR"));
+        assert!(matches!(
+            s.next_request(&codec),
+            Some(Ok(Request::Get { .. }))
+        ));
+        assert_eq!((s.parsed(), s.bad()), (1, 1));
+    }
+
+    #[test]
+    fn compaction_keeps_tail() {
+        let codec = Codec::new(32);
+        let mut s = Session::new(0);
+        for k in 0..2000u64 {
+            let mut wire = Vec::new();
+            Codec::encode_delete(&mut wire, k);
+            s.feed(&wire);
+        }
+        for k in 0..2000u64 {
+            match s.next_request(&codec) {
+                Some(Ok(Request::Delete { key })) => assert_eq!(key, k),
+                other => panic!("at {k}: {other:?}"),
+            }
+        }
+        assert!(s.next_request(&codec).is_none());
+    }
+}

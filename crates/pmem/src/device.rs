@@ -403,6 +403,26 @@ impl PmDevice {
         self.wpq.total_stall_cycles()
     }
 
+    /// WPQ occupancy at simulated time `now` — the admission signal
+    /// for service-level backpressure (entries accepted but not yet
+    /// drained to the medium).
+    pub fn wpq_occupancy(&self, now: u64) -> usize {
+        self.wpq.occupancy(now)
+    }
+
+    /// Configured WPQ capacity in 64-byte entries.
+    pub fn wpq_entries(&self) -> usize {
+        self.config.wpq_entries
+    }
+
+    /// Enables deterministic WPQ drain-completion jitter within
+    /// `window` cycles (0 disables it), without arming any media
+    /// fault. Drain timing shifts; durability never does — acceptance
+    /// by the queue is what persists.
+    pub fn set_wpq_drain_jitter(&mut self, window: u64, seed: u64) {
+        self.wpq.set_drain_jitter(window, seed);
+    }
+
     /// Cycle by which everything queued so far has drained.
     pub fn drained_by(&self, now: u64) -> u64 {
         self.wpq.drained_by(now)

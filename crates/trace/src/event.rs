@@ -92,6 +92,38 @@ impl PersistKind {
     }
 }
 
+/// Verb of a service-level request span; mirrors the `slpmt-kv`
+/// memcached-text subset without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RequestVerb {
+    /// Point read.
+    Get,
+    /// Point read returning a CAS token.
+    Gets,
+    /// Unconditional store (insert or replace).
+    Set,
+    /// Conditional store against a CAS token.
+    Cas,
+    /// Key removal.
+    Delete,
+    /// Range scan.
+    Scan,
+}
+
+impl RequestVerb {
+    /// Short stable label used by exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestVerb::Get => "get",
+            RequestVerb::Gets => "gets",
+            RequestVerb::Set => "set",
+            RequestVerb::Cas => "cas",
+            RequestVerb::Delete => "delete",
+            RequestVerb::Scan => "scan",
+        }
+    }
+}
+
 /// Which track of the export an event belongs to: the issuing core, or
 /// one of the shared device components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +140,8 @@ pub enum Component {
     Signature,
     /// Post-crash recovery.
     Recovery,
+    /// The KV service front end (request spans, admission decisions).
+    Service,
 }
 
 /// One traced occurrence somewhere in the simulated pipeline.
@@ -331,6 +365,30 @@ pub enum Event {
         /// salvaged, …).
         n: u64,
     },
+    /// A service-level request started executing on a worker (stamped
+    /// after the admission decision, so the span covers service time,
+    /// not queueing).
+    RequestBegin {
+        /// Originating session.
+        session: u32,
+        /// Request index within the shard's stream.
+        req: u64,
+        /// The request verb.
+        verb: RequestVerb,
+    },
+    /// A service-level request finished (or was shed by admission —
+    /// shed requests produce no `RequestBegin`).
+    RequestEnd {
+        /// Originating session.
+        session: u32,
+        /// Request index within the shard's stream.
+        req: u64,
+        /// Cycles the request waited in the admission queue.
+        queued: u64,
+        /// `true` when admission shed the request instead of serving
+        /// it.
+        shed: bool,
+    },
 }
 
 impl Event {
@@ -363,6 +421,8 @@ impl Event {
             Event::CrossAbort { .. } => "cross_abort",
             Event::CrossRepair { .. } => "cross_repair",
             Event::Recovery { .. } => "recovery",
+            Event::RequestBegin { .. } => "request_begin",
+            Event::RequestEnd { .. } => "request_end",
         }
     }
 
@@ -394,6 +454,7 @@ impl Event {
                 Component::Signature
             }
             Event::Recovery { .. } => Component::Recovery,
+            Event::RequestBegin { .. } | Event::RequestEnd { .. } => Component::Service,
         }
     }
 }

@@ -35,7 +35,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod tracer;
 
-pub use event::{CommitStage, Component, Event, PersistKind, RecoveryStage};
+pub use event::{CommitStage, Component, Event, PersistKind, RecoveryStage, RequestVerb};
 pub use json::JsonWriter;
 pub use metrics::Metrics;
 pub use perfetto::export_chrome_trace;

@@ -68,6 +68,12 @@ pub struct Metrics {
     pub tier_coalesces: u64,
     /// Overflow drains observed.
     pub tier_overflow_drains: u64,
+    /// Service requests completed (request-end records, shed or not).
+    pub requests: u64,
+    /// Service requests shed by admission control.
+    pub requests_shed: u64,
+    /// Total cycles completed requests spent queued by admission.
+    pub request_queued_cycles: u64,
 }
 
 impl Metrics {
@@ -149,6 +155,11 @@ impl Metrics {
                 Event::CommitEnd { .. } => m.commits += 1,
                 Event::Abort { .. } | Event::CrossAbort { .. } => m.aborts += 1,
                 Event::CrossConflict { .. } => m.cross_conflicts += 1,
+                Event::RequestEnd { queued, shed, .. } => {
+                    m.requests += 1;
+                    m.requests_shed += u64::from(*shed);
+                    m.request_queued_cycles += queued;
+                }
                 _ => {}
             }
         }

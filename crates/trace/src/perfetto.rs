@@ -33,6 +33,7 @@ fn device_tid(c: Component) -> u64 {
         Component::Pm => 3,
         Component::Signature => 4,
         Component::Recovery => 5,
+        Component::Service => 6,
         Component::Core => unreachable!("core events go to the core process"),
     }
 }
@@ -272,6 +273,29 @@ fn event_args(w: &mut JsonWriter, rec: &TraceRecord) {
             w.key("n");
             w.u64(*n);
         }
+        Event::RequestBegin { session, req, verb } => {
+            w.key("session");
+            w.u64(u64::from(*session));
+            w.key("req");
+            w.u64(*req);
+            w.key("verb");
+            w.string(verb.label());
+        }
+        Event::RequestEnd {
+            session,
+            req,
+            queued,
+            shed,
+        } => {
+            w.key("session");
+            w.u64(u64::from(*session));
+            w.key("req");
+            w.u64(*req);
+            w.key("queued");
+            w.u64(*queued);
+            w.key("shed");
+            w.bool(*shed);
+        }
     }
     w.end_obj();
 }
@@ -305,6 +329,7 @@ pub fn export_chrome_trace(records: &[TraceRecord]) -> String {
         (Component::Pm, "pm"),
         (Component::Signature, "signatures"),
         (Component::Recovery, "recovery"),
+        (Component::Service, "service"),
     ] {
         meta(
             &mut w,
@@ -368,6 +393,31 @@ pub fn export_chrome_trace(records: &[TraceRecord]) -> String {
                     w.u64(u64::from(*n));
                 }
                 w.end_obj();
+                w.end_obj();
+            }
+            Event::RequestBegin { verb, .. } => {
+                event_head(
+                    &mut w,
+                    &format!("req:{}", verb.label()),
+                    "B",
+                    rec.now,
+                    pid,
+                    tid,
+                );
+                event_args(&mut w, rec);
+                w.end_obj();
+            }
+            Event::RequestEnd { shed, .. } => {
+                // Shed requests never opened a span; render them as
+                // instants so B/E stay balanced.
+                if *shed {
+                    event_head(&mut w, "req:shed", "i", rec.now, pid, tid);
+                    w.key("s");
+                    w.string("t");
+                } else {
+                    event_head(&mut w, "req", "E", rec.now, pid, tid);
+                }
+                event_args(&mut w, rec);
                 w.end_obj();
             }
             _ => {

@@ -1,0 +1,235 @@
+//! Seeded KV-service client generators.
+//!
+//! The service front end (`slpmt-kv`) is driven by the same YCSB mix
+//! family as the offline drivers: a [`MixSpec`] trace is mapped
+//! one-to-one onto abstract service requests ([`KvRequest`]), so the
+//! [`StreamingOracle`](crate::crashsweep::StreamingOracle) that models
+//! a mixed trace models the request stream too — recovery correctness
+//! can be proven at the service boundary with the engine's own
+//! machinery.
+//!
+//! Two pacing models, both deterministic:
+//!
+//! * **Closed loop** — each client session issues its next request the
+//!   moment the previous response lands; there is no arrival schedule.
+//! * **Open loop** — arrivals follow a seeded inter-arrival schedule
+//!   ([`open_loop_arrivals`]) independent of completions, so a stalled
+//!   WPQ makes queueing delay (and tail latency) visible instead of
+//!   silently slowing the generator down.
+
+use crate::ycsb::{ycsb_mix, MixSpec, MixedOp};
+use slpmt_prng::SimRng;
+
+/// One abstract service request, protocol-independent. The
+/// memcached-text encoding lives in `slpmt-kv`; generators produce
+/// this form so `slpmt-workloads` stays below the service crate in
+/// the dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvRequest {
+    /// Point read.
+    Get {
+        /// Target key.
+        key: u64,
+    },
+    /// Point read returning a CAS token.
+    Gets {
+        /// Target key.
+        key: u64,
+    },
+    /// Unconditional store (insert or replace).
+    Set {
+        /// Target key.
+        key: u64,
+        /// Raw value payload (pre-encoding).
+        value: Vec<u8>,
+    },
+    /// Read-modify-write: fetch the current CAS token with `gets`,
+    /// then store conditionally against it (the YCSB-F shape).
+    Cas {
+        /// Target key.
+        key: u64,
+        /// Raw replacement payload (pre-encoding).
+        value: Vec<u8>,
+    },
+    /// Key removal.
+    Delete {
+        /// Target key.
+        key: u64,
+    },
+    /// Range scan over the live keys the generator materialised
+    /// (ascending, never empty) — ordered backends serve it with one
+    /// range walk, hash backends degrade to point reads.
+    Scan {
+        /// Expected result keys, ascending.
+        keys: Vec<u64>,
+    },
+}
+
+impl KvRequest {
+    /// Short stable verb label (matches the latency-class names the
+    /// serve reports print).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            KvRequest::Get { .. } => "get",
+            KvRequest::Gets { .. } => "gets",
+            KvRequest::Set { .. } => "set",
+            KvRequest::Cas { .. } => "cas",
+            KvRequest::Delete { .. } => "delete",
+            KvRequest::Scan { .. } => "scan",
+        }
+    }
+
+    /// The key sharded dispatch routes on (a scan's first expected
+    /// key; scans are partitioned per shard before dispatch, so by
+    /// then every key in the scan belongs to the target shard).
+    pub fn key(&self) -> u64 {
+        match self {
+            KvRequest::Get { key }
+            | KvRequest::Gets { key }
+            | KvRequest::Set { key, .. }
+            | KvRequest::Cas { key, .. }
+            | KvRequest::Delete { key } => *key,
+            KvRequest::Scan { keys } => keys[0],
+        }
+    }
+
+    /// Maps one mixed-trace operation onto its service request:
+    /// inserts and updates are unconditional `set`s, reads are `get`s,
+    /// read-modify-writes are `gets`+`cas` pairs, removes are
+    /// `delete`s. The mapping preserves the operation's effect on
+    /// logical state, so the mixed trace's oracle models the request
+    /// stream verbatim.
+    pub fn from_mixed(op: &MixedOp) -> KvRequest {
+        match op {
+            MixedOp::Insert(o) | MixedOp::Update(o) => KvRequest::Set {
+                key: o.key,
+                value: o.value.clone(),
+            },
+            MixedOp::Read(k) => KvRequest::Get { key: *k },
+            MixedOp::Rmw(o) => KvRequest::Cas {
+                key: o.key,
+                value: o.value.clone(),
+            },
+            MixedOp::Remove(k) => KvRequest::Delete { key: *k },
+            MixedOp::Scan { keys } => KvRequest::Scan { keys: keys.clone() },
+        }
+    }
+}
+
+/// The deterministic service trace of a `(load, mix)` pair: the mix's
+/// load-phase inserts followed by its seeded operation stream, both as
+/// mixed operations (the oracle's input) and as the mapped request
+/// stream (the service's input). Index `i` of both vectors describes
+/// the same logical operation.
+pub fn service_trace(
+    load: usize,
+    ops: usize,
+    value_size: usize,
+    seed: u64,
+    spec: &MixSpec,
+) -> (Vec<MixedOp>, Vec<KvRequest>) {
+    let (loaded, mixed) = ycsb_mix(load, ops, value_size, seed, spec);
+    let mut all: Vec<MixedOp> = loaded.into_iter().map(MixedOp::Insert).collect();
+    all.extend(mixed);
+    let reqs = all.iter().map(KvRequest::from_mixed).collect();
+    (all, reqs)
+}
+
+/// Seeded open-loop arrival schedule: `n` cumulative arrival cycles
+/// with inter-arrival gaps uniform in `1..=2 * mean_gap - 1` (mean
+/// `mean_gap`), starting at cycle 0. `mean_gap = 0` degenerates to
+/// all-at-once arrivals (maximum pressure).
+pub fn open_loop_arrivals(n: usize, mean_gap: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x0A11_0A11_0A11_0A11);
+    let mut at = 0u64;
+    let mut arrivals = Vec::with_capacity(n);
+    for _ in 0..n {
+        arrivals.push(at);
+        at += if mean_gap == 0 {
+            0
+        } else {
+            rng.gen_range(1..2 * mean_gap)
+        };
+    }
+    arrivals
+}
+
+/// Round-robin session assignment for request `i` of a shard's stream.
+pub fn session_of(i: usize, sessions: usize) -> u32 {
+    (i % sessions.max(1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crashsweep::StreamingOracle;
+
+    #[test]
+    fn trace_maps_one_to_one_and_is_deterministic() {
+        let (ops, reqs) = service_trace(20, 80, 16, 7, &MixSpec::YCSB_A);
+        assert_eq!(ops.len(), reqs.len());
+        assert_eq!(reqs, service_trace(20, 80, 16, 7, &MixSpec::YCSB_A).1);
+        for (op, req) in ops.iter().zip(&reqs) {
+            match (op, req) {
+                (MixedOp::Insert(o), KvRequest::Set { key, value })
+                | (MixedOp::Update(o), KvRequest::Set { key, value })
+                | (MixedOp::Rmw(o), KvRequest::Cas { key, value }) => {
+                    assert_eq!((o.key, &o.value), (*key, value));
+                }
+                (MixedOp::Read(k), KvRequest::Get { key }) => assert_eq!(k, key),
+                (MixedOp::Remove(k), KvRequest::Delete { key }) => assert_eq!(k, key),
+                (MixedOp::Scan { keys }, KvRequest::Scan { keys: got }) => assert_eq!(keys, got),
+                other => panic!("mismatched mapping: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_models_the_request_stream() {
+        // The whole point of the 1:1 mapping: the streaming oracle
+        // over the mixed ops is the ground truth for the requests.
+        let (ops, reqs) = service_trace(10, 60, 16, 3, &MixSpec::DELETE_HEAVY);
+        let mut oracle = StreamingOracle::new(&ops);
+        oracle.advance_to(ops.len());
+        // Replay requests against a plain map; must agree with the
+        // oracle's final state.
+        let mut model = std::collections::BTreeMap::new();
+        for req in &reqs {
+            match req {
+                KvRequest::Set { key, value } | KvRequest::Cas { key, value } => {
+                    model.insert(*key, value.clone());
+                }
+                KvRequest::Delete { key } => {
+                    model.remove(key);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(model.len(), oracle.len());
+        for (k, v) in oracle.iter() {
+            assert_eq!(model.get(&k).map(|v| v.as_slice()), Some(v));
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_seeded() {
+        let a = open_loop_arrivals(100, 50, 9);
+        assert_eq!(a, open_loop_arrivals(100, 50, 9));
+        assert_ne!(a, open_loop_arrivals(100, 50, 10));
+        assert_eq!(a[0], 0);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        // Mean gap lands near the nominal value.
+        let mean = (a[99] - a[0]) / 99;
+        assert!((35..=65).contains(&mean), "mean gap {mean}");
+        // Degenerate all-at-once schedule.
+        assert!(open_loop_arrivals(5, 0, 1).iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn sessions_round_robin() {
+        assert_eq!(session_of(0, 4), 0);
+        assert_eq!(session_of(5, 4), 1);
+        assert_eq!(session_of(7, 1), 0);
+        assert_eq!(session_of(3, 0), 0);
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod avl;
+pub mod client;
 pub mod crashsweep;
 pub mod ctx;
 pub mod faultsweep;
@@ -46,6 +47,7 @@ pub mod runner;
 pub mod sharded;
 pub mod ycsb;
 
+pub use client::{open_loop_arrivals, service_trace, session_of, KvRequest};
 pub use crashsweep::{StreamingOracle, SweepCase, SweepFailure};
 pub use ctx::{AnnotationSource, PmContext};
 pub use faultsweep::{FaultCase, FaultFailure};

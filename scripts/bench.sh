@@ -2,8 +2,9 @@
 # Performance snapshot + regression gate (DESIGN.md §12).
 #
 # Builds the release binary, runs `slpmt bench --json` (matrix,
-# multi-core, 16-way sharded scaling, per-op microbenches; wall-clock
-# columns best-of-N), writes the snapshot to BENCH_<n>.json — the next
+# multi-core, 16-way sharded scaling, YCSB mixes, the KV serve front
+# end, per-op microbenches; wall-clock columns best-of-N), writes the
+# snapshot to BENCH_<n>.json — the next
 # free index, so the repo accumulates a perf trajectory — and compares
 # the host sim-throughput numbers against the newest committed
 # BENCH_*.json. Fails if matrix or mc sim-ops/s regressed more than
@@ -86,6 +87,30 @@ if "ycsb" in base and "ycsb" in cur:
               f"current {cy['total_sim_cycles']}")
         if by["total_sim_cycles"] != cy["total_sim_cycles"]:
             print("ycsb: simulated cycle count changed — semantics moved",
+                  file=sys.stderr)
+            fail = True
+# KV serve front end (added with BENCH_8): soft host-throughput ratio,
+# plus hard equality on the simulated cycle count and the response
+# digest whenever both snapshots ran the same request shape.
+if "serve" in base:
+    bs, cs = base["serve"], cur["serve"]
+    b, c = bs["req_per_s"], cs["req_per_s"]
+    ratio = c / b
+    print(f"serve  baseline {b:>12.0f} req/s      "
+          f"current {c:>12.0f} req/s      ratio {ratio:.3f}")
+    if ratio < 1.0 - max_loss:
+        print(f"serve: regressed more than {max_loss:.0%}", file=sys.stderr)
+        fail = True
+    if all(bs[k] == cs[k] for k in ("mix", "shards", "load", "requests")):
+        print(f"serve cycles: baseline {bs['total_sim_cycles']}, "
+              f"current {cs['total_sim_cycles']}; "
+              f"digest {bs['digest']} vs {cs['digest']}")
+        if bs["total_sim_cycles"] != cs["total_sim_cycles"]:
+            print("serve: simulated cycle count changed — semantics moved",
+                  file=sys.stderr)
+            fail = True
+        if bs["digest"] != cs["digest"]:
+            print("serve: response digest changed — wire bytes moved",
                   file=sys.stderr)
             fail = True
 sys.exit(1 if fail else 0)

@@ -12,6 +12,7 @@
 //! slpmt mc [mc options]                 deterministic multi-core run
 //! slpmt shards <index> [shard options]  keyspace-sharded scaling run
 //! slpmt ycsb [ycsb options]             named-mix matrix (A–F, delete-heavy, …)
+//! slpmt serve [serve options]           KV service front end (memcached-text facade)
 //!
 //! options: --scheme <name> --ops <n> --value <bytes>
 //!          --annotations <manual|compiler|none> --latency <ns>
@@ -30,6 +31,10 @@
 //!               --scheme <name|all> --workload <name|all> --load <n>
 //!               --ops <n> --value <bytes> --seed <n> [--sweep] [--faults]
 //!               [--points <n>] [--shards <n>] [--json]
+//! serve options: --mix <m[,m..]|all> --scheme <name|all> --workload <name>
+//!                --shards <n[,n..]> --load <n> --requests <n> --value <bytes>
+//!                --seed <n> --sessions <n> [--open-loop] [--gap <cycles>]
+//!                [--jitter <window>] [--queue-limit <n>] [--json]
 //!
 //! `matrix` and `crashsweep` fan their cells across worker threads
 //! (one per available core; override with SLPMT_THREADS, where 1
@@ -1144,6 +1149,35 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let ycsb_sim_ops = (ycsb_cells.len() * ops) as f64;
     let ycsb_ops_per_s = ycsb_sim_ops / ycsb_wall;
 
+    // KV serve: YCSB-B through the memcached-text facade at 4 shards.
+    // The simulated cycle count and the response digest are
+    // deterministic (bench.sh hard-gates both); wall time tracks host
+    // throughput of the full parse/admit/dispatch service loop.
+    let mut serve_cfg = slpmt::kv::service::ServeConfig::new(
+        Scheme::Slpmt,
+        IndexKind::KvBtree,
+        slpmt::workloads::ycsb::MixSpec::YCSB_B,
+    );
+    serve_cfg.load = ops.min(500);
+    serve_cfg.requests = ops;
+    serve_cfg.value_size = 32;
+    serve_cfg.shards = 4;
+    let mut serve_wall = f64::INFINITY;
+    let mut serve_row = slpmt::bench::serve::run_serve(&serve_cfg);
+    serve_wall = serve_wall.min(serve_row.wall_s);
+    for _ in 1..reps {
+        let row = slpmt::bench::serve::run_serve(&serve_cfg);
+        if row.digest != serve_row.digest || row.total_sim_cycles != serve_row.total_sim_cycles {
+            return Err(format!(
+                "serve run diverged across reps: digest {:016x} vs {:016x}, cycles {} vs {}",
+                serve_row.digest, row.digest, serve_row.total_sim_cycles, row.total_sim_cycles
+            ));
+        }
+        serve_wall = serve_wall.min(row.wall_s);
+        serve_row = row;
+    }
+    let serve_req_per_s = serve_row.served as f64 / serve_wall;
+
     let micro_rows = micro::run_all(4096, reps);
 
     if json {
@@ -1232,6 +1266,37 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         w.key("total_sim_cycles");
         w.u64(ycsb_sim_cycles);
         w.end_obj();
+        w.key("serve");
+        w.begin_obj();
+        w.key("mix");
+        w.string("b");
+        w.key("shards");
+        w.u64(serve_cfg.shards as u64);
+        w.key("load");
+        w.u64(serve_cfg.load as u64);
+        w.key("requests");
+        w.u64(serve_row.requests);
+        w.key("served");
+        w.u64(serve_row.served);
+        w.key("shed");
+        w.u64(serve_row.shed);
+        w.key("total_sim_cycles");
+        w.u64(serve_row.total_sim_cycles);
+        w.key("makespan_cycles");
+        w.u64(serve_row.makespan_cycles);
+        w.key("digest");
+        w.string(&format!("{:016x}", serve_row.digest));
+        w.key("p50");
+        w.u64(serve_row.overall.p50);
+        w.key("p99");
+        w.u64(serve_row.overall.p99);
+        w.key("p999");
+        w.u64(serve_row.overall.p999);
+        w.key("wall_s");
+        w.f64(serve_wall);
+        w.key("req_per_s");
+        w.f64(serve_req_per_s);
+        w.end_obj();
         w.key("micro");
         w.begin_arr();
         for row in &micro_rows {
@@ -1281,6 +1346,18 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         "  ycsb   : {} mix cells in {ycsb_wall:.3}s → {ycsb_ops_per_s:.0} sim-ops/s \
          ({ycsb_sim_cycles} total cycles)",
         ycsb_cells.len()
+    );
+    println!(
+        "  serve  : mix b × {} shards, {} served ({} total cycles, digest {:016x}) \
+         in {serve_wall:.3}s → {serve_req_per_s:.0} req/s \
+         [p50 {} p99 {} p999 {}]",
+        serve_cfg.shards,
+        serve_row.served,
+        serve_row.total_sim_cycles,
+        serve_row.digest,
+        serve_row.overall.p50,
+        serve_row.overall.p99,
+        serve_row.overall.p999
     );
     println!("  micro  :");
     for row in &micro_rows {
@@ -1574,9 +1651,252 @@ fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// `slpmt serve`: the deterministic KV request-serving front end — the
+/// memcached-text facade over the simulated machine. Each (mix,
+/// shards) cell runs the full load/encode/admit/dispatch loop and
+/// reports simulated p50/p99/p999 request latencies plus the
+/// response-byte digest CI diffs across `SLPMT_THREADS` settings.
+/// Every reported figure is simulated (cycles, counts, digests), never
+/// wall-clock, so output — including `--json` — is byte-identical at
+/// any host worker count.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::serve::run_serve;
+    use slpmt::kv::service::{ServeConfig, VERB_CLASSES};
+    use slpmt::workloads::crashsweep::SWEEP_SCHEMES;
+    use slpmt::workloads::ycsb::MixSpec;
+
+    let mut mixes = vec![MixSpec::YCSB_A, MixSpec::YCSB_B, MixSpec::YCSB_C];
+    let mut schemes = vec![Scheme::Slpmt];
+    let mut kinds = vec![IndexKind::KvBtree];
+    let mut shard_counts = vec![1usize, 4];
+    let mut proto = ServeConfig::new(Scheme::Slpmt, IndexKind::KvBtree, MixSpec::YCSB_A);
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--open-loop" => {
+                proto.open_loop = true;
+                continue;
+            }
+            _ => {}
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--mix" => {
+                let v = value()?;
+                if v.eq_ignore_ascii_case("all") {
+                    mixes = MixSpec::NAMED.iter().map(|&(_, m)| m).collect();
+                } else {
+                    mixes = v
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("--mix: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--scheme" => {
+                let v = value()?;
+                if v.eq_ignore_ascii_case("all") {
+                    schemes = SWEEP_SCHEMES.to_vec();
+                } else {
+                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                }
+            }
+            "--workload" => {
+                let v = value()?;
+                kinds = vec![parse_kind(&v).ok_or_else(|| format!("unknown workload {v}"))?];
+            }
+            "--shards" => {
+                shard_counts = value()?
+                    .split(',')
+                    .map(|s| s.parse::<usize>().map_err(|e| format!("--shards: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if shard_counts.contains(&0) {
+                    return Err("--shards: shard counts must be at least 1".into());
+                }
+            }
+            "--load" => proto.load = value()?.parse().map_err(|e| format!("--load: {e}"))?,
+            "--requests" => {
+                proto.requests = value()?.parse().map_err(|e| format!("--requests: {e}"))?
+            }
+            "--value" => {
+                proto.value_size = value()?.parse().map_err(|e| format!("--value: {e}"))?
+            }
+            "--seed" => proto.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--sessions" => {
+                proto.sessions = value()?.parse().map_err(|e| format!("--sessions: {e}"))?
+            }
+            "--gap" => proto.mean_gap = value()?.parse().map_err(|e| format!("--gap: {e}"))?,
+            "--jitter" => {
+                proto.drain_jitter = value()?.parse().map_err(|e| format!("--jitter: {e}"))?
+            }
+            "--queue-limit" => {
+                proto.admission.queue_limit = value()?
+                    .parse()
+                    .map_err(|e| format!("--queue-limit: {e}"))?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    let mix_label = |m: &MixSpec| {
+        m.name()
+            .map(str::to_string)
+            .unwrap_or_else(|| m.to_string())
+    };
+    let mut rows = Vec::new();
+    for scheme in &schemes {
+        for kind in &kinds {
+            for mix in &mixes {
+                for &shards in &shard_counts {
+                    let mut cfg = proto.clone();
+                    cfg.scheme = *scheme;
+                    cfg.kind = *kind;
+                    cfg.mix = *mix;
+                    cfg.shards = shards;
+                    rows.push(run_serve(&cfg));
+                }
+            }
+        }
+    }
+
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("serve");
+        w.key("schema");
+        w.u64(1);
+        w.key("load");
+        w.u64(proto.load as u64);
+        w.key("requests");
+        w.u64(proto.requests as u64);
+        w.key("value_bytes");
+        w.u64(proto.value_size as u64);
+        w.key("seed");
+        w.u64(proto.seed);
+        w.key("sessions");
+        w.u64(proto.sessions as u64);
+        w.key("open_loop");
+        w.bool(proto.open_loop);
+        w.key("mean_gap");
+        w.u64(proto.mean_gap);
+        w.key("drain_jitter");
+        w.u64(proto.drain_jitter);
+        w.key("rows");
+        w.begin_arr();
+        for row in &rows {
+            w.begin_obj();
+            w.key("mix");
+            w.string(&mix_label(&row.cfg.mix));
+            w.key("scheme");
+            w.string(&row.cfg.scheme.to_string());
+            w.key("workload");
+            w.string(&row.cfg.kind.to_string());
+            w.key("shards");
+            w.u64(row.cfg.shards as u64);
+            w.key("requests");
+            w.u64(row.requests);
+            w.key("served");
+            w.u64(row.served);
+            w.key("shed");
+            w.u64(row.shed);
+            w.key("queued");
+            w.u64(row.queued);
+            w.key("queued_cycles");
+            w.u64(row.queued_cycles);
+            w.key("total_sim_cycles");
+            w.u64(row.total_sim_cycles);
+            w.key("makespan_cycles");
+            w.u64(row.makespan_cycles);
+            w.key("wpq_stall_cycles");
+            w.u64(row.wpq_stall_cycles);
+            w.key("response_bytes");
+            w.u64(row.response_bytes);
+            w.key("digest");
+            w.string(&format!("{:016x}", row.digest));
+            w.key("latency");
+            w.begin_obj();
+            w.key("overall");
+            let lat_obj = |w: &mut JsonWriter, l: &slpmt::bench::serve::ServeLatency| {
+                w.begin_obj();
+                w.key("count");
+                w.u64(l.count);
+                w.key("p50");
+                w.u64(l.p50);
+                w.key("p99");
+                w.u64(l.p99);
+                w.key("p999");
+                w.u64(l.p999);
+                w.key("max");
+                w.u64(l.max);
+                w.end_obj();
+            };
+            lat_obj(&mut w, &row.overall);
+            for (class, lat) in VERB_CLASSES.iter().zip(&row.per_verb) {
+                if lat.count > 0 {
+                    w.key(class);
+                    lat_obj(&mut w, lat);
+                }
+            }
+            w.end_obj();
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        println!("{}", w.finish());
+    } else {
+        println!(
+            "serve matrix: {} cell(s) ({} load + {} requests, {} B values, seed {}, {} sessions)",
+            rows.len(),
+            proto.load,
+            proto.requests,
+            proto.value_size,
+            proto.seed,
+            proto.sessions
+        );
+        for row in &rows {
+            println!(
+                "  {:<14} {:<10} {:<10} shards={:<2} served {}/{} (shed {}, queued {}) \
+                 makespan {} cycles digest {:016x}",
+                mix_label(&row.cfg.mix),
+                row.cfg.scheme.to_string(),
+                row.cfg.kind.to_string(),
+                row.cfg.shards,
+                row.served,
+                row.requests,
+                row.shed,
+                row.queued,
+                row.makespan_cycles,
+                row.digest
+            );
+            let print_lat = |name: &str, l: &slpmt::bench::serve::ServeLatency| {
+                println!(
+                    "      {name:<8} n={:<6} p50={:<6} p99={:<6} p999={:<6} max={}",
+                    l.count, l.p50, l.p99, l.p999, l.max
+                );
+            };
+            print_lat("overall", &row.overall);
+            for (class, lat) in VERB_CLASSES.iter().zip(&row.per_verb) {
+                if lat.count > 0 {
+                    print_lat(class, lat);
+                }
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|ycsb|bench> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|ycsb|serve|bench> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          trace: [--scheme S] [--workload W] [--ops N] [--value B] [--seed N] [--out FILE]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
@@ -1587,6 +1907,9 @@ fn usage() -> ExitCode {
          shards: [--scheme S] [--ops N] [--value B] [--shards N] [--json]\n\
          ycsb: [--mix M|all] [--scheme S|all] [--workload W|all] [--load N] [--ops N] \
          [--value B] [--seed N] [--sweep] [--faults] [--points N] [--shards N] [--json]\n\
+         serve: [--mix M[,M..]|all] [--scheme S|all] [--workload W] [--shards N[,N..]] \
+         [--load N] [--requests N] [--value B] [--seed N] [--sessions N] \
+         [--open-loop] [--gap CYCLES] [--jitter WINDOW] [--queue-limit N] [--json]\n\
          bench: [--ops N] [--value B] [--reps N] [--json]\n\
          matrix also accepts --json; sweep failures auto-dump traces to target/traces/\n\
          indices: {}",
@@ -1680,6 +2003,13 @@ fn main() -> ExitCode {
             }
         }
         "ycsb" => match cmd_ycsb(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "serve" => match cmd_serve(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -9,6 +9,8 @@
 //! * [`core`] — the transaction engine and evaluated schemes
 //! * [`annotate`] — the compiler-pass simulation (Patterns 1 and 2)
 //! * [`workloads`] — durable data structures and the YCSB driver
+//! * [`kv`] — key/value service facade: memcached-text codec,
+//!   sessions, admission control and the deterministic request loop
 //! * [`trace`] — deterministic event tracing, metrics and Perfetto
 //!   export
 //!
@@ -32,6 +34,7 @@ pub use slpmt_annotate as annotate;
 pub use slpmt_bench as bench;
 pub use slpmt_cache as cache;
 pub use slpmt_core as core;
+pub use slpmt_kv as kv;
 pub use slpmt_logbuf as logbuf;
 pub use slpmt_pmem as pmem;
 pub use slpmt_trace as trace;

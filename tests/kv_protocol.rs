@@ -1,0 +1,282 @@
+//! Protocol-conformance battery for the KV service facade (issue 8
+//! satellite): golden request→response byte round-trips for every
+//! verb including the error paths, plus a seeded malformed-input fuzz
+//! loop asserting the parser never panics and always resynchronises.
+//!
+//! Every expectation here is an exact byte string — the wire format is
+//! part of the determinism contract (`slpmt serve --json` diffs are
+//! byte-level), so any codec drift must fail loudly.
+
+use slpmt::core::Scheme;
+use slpmt::kv::codec::{reply, Codec, Parse, MAX_LINE};
+use slpmt::kv::service::dispatch;
+use slpmt::kv::session::Session;
+use slpmt::kv::store::{fingerprint, KvStore};
+use slpmt::workloads::runner::IndexKind;
+use slpmt_prng::SimRng;
+
+const MAX_VALUE: usize = 32;
+
+fn store(kind: IndexKind) -> KvStore {
+    let mut s = KvStore::open(Scheme::Slpmt, kind, MAX_VALUE);
+    s.prefault(64);
+    s
+}
+
+/// Feeds `input` through a session exactly like the serve loop does:
+/// well-formed requests dispatch against the store, malformed ones
+/// answer with their error line. Returns the response bytes.
+fn serve_bytes(s: &mut KvStore, sess: &mut Session, input: &[u8]) -> Vec<u8> {
+    let codec = Codec::new(MAX_VALUE);
+    sess.feed(input);
+    while let Some(step) = sess.next_request(&codec) {
+        match step {
+            Ok(req) => {
+                let mut out = std::mem::take(&mut sess.wbuf);
+                dispatch(s, &req, &mut out);
+                sess.wbuf = out;
+            }
+            Err(line) => Codec::write_line(&mut sess.wbuf, &line),
+        }
+    }
+    sess.take_responses()
+}
+
+fn one_shot(s: &mut KvStore, input: &[u8]) -> Vec<u8> {
+    let mut sess = Session::new(0);
+    serve_bytes(s, &mut sess, input)
+}
+
+// -------------------------------------------------------------------
+// Golden round trips, one per verb.
+
+#[test]
+fn set_then_get_round_trip() {
+    let mut s = store(IndexKind::KvBtree);
+    assert_eq!(one_shot(&mut s, b"set 7 0 0 5\r\nhello\r\n"), b"STORED\r\n");
+    assert_eq!(
+        one_shot(&mut s, b"get 7\r\n"),
+        b"VALUE 7 0 5\r\nhello\r\nEND\r\n"
+    );
+    // Missing key: END alone, no VALUE block.
+    assert_eq!(one_shot(&mut s, b"get 8\r\n"), b"END\r\n");
+    // Multi-key get returns blocks in request order.
+    assert_eq!(one_shot(&mut s, b"set 8 0 0 2\r\nhi\r\n"), b"STORED\r\n");
+    assert_eq!(
+        one_shot(&mut s, b"get 8 7\r\n"),
+        b"VALUE 8 0 2\r\nhi\r\nVALUE 7 0 5\r\nhello\r\nEND\r\n"
+    );
+}
+
+#[test]
+fn gets_reports_the_cas_token() {
+    let mut s = store(IndexKind::KvBtree);
+    assert_eq!(one_shot(&mut s, b"set 3 0 0 4\r\nabcd\r\n"), b"STORED\r\n");
+    let token = fingerprint(b"abcd");
+    let expect = format!("VALUE 3 0 4 {token}\r\nabcd\r\nEND\r\n");
+    assert_eq!(one_shot(&mut s, b"gets 3\r\n"), expect.as_bytes());
+}
+
+#[test]
+fn cas_discipline_on_the_wire() {
+    let mut s = store(IndexKind::KvBtree);
+    assert_eq!(one_shot(&mut s, b"set 5 0 0 3\r\nold\r\n"), b"STORED\r\n");
+    let token = fingerprint(b"old");
+    // Fresh token: stored.
+    let good = format!("cas 5 0 0 3 {token}\r\nnew\r\n");
+    assert_eq!(one_shot(&mut s, good.as_bytes()), b"STORED\r\n");
+    // Replaying the stale token: EXISTS, value unchanged.
+    assert_eq!(one_shot(&mut s, good.as_bytes()), b"EXISTS\r\n");
+    assert_eq!(
+        one_shot(&mut s, b"get 5\r\n"),
+        b"VALUE 5 0 3\r\nnew\r\nEND\r\n"
+    );
+    // CAS against an absent key: NOT_FOUND.
+    assert_eq!(
+        one_shot(&mut s, b"cas 99 0 0 2 17\r\nxx\r\n"),
+        b"NOT_FOUND\r\n"
+    );
+}
+
+#[test]
+fn delete_round_trip() {
+    let mut s = store(IndexKind::KvBtree);
+    assert_eq!(one_shot(&mut s, b"set 4 0 0 1\r\nz\r\n"), b"STORED\r\n");
+    assert_eq!(one_shot(&mut s, b"delete 4\r\n"), b"DELETED\r\n");
+    assert_eq!(one_shot(&mut s, b"delete 4\r\n"), b"NOT_FOUND\r\n");
+    assert_eq!(one_shot(&mut s, b"get 4\r\n"), b"END\r\n");
+}
+
+#[test]
+fn scan_round_trip_ordered_and_unsupported() {
+    let mut s = store(IndexKind::KvBtree);
+    for (k, v) in [(2u64, b"aa"), (4, b"bb"), (9, b"cc")] {
+        let line = format!("set {k} 0 0 2\r\n");
+        let mut wire = line.into_bytes();
+        wire.extend_from_slice(v);
+        wire.extend_from_slice(b"\r\n");
+        assert_eq!(one_shot(&mut s, &wire), b"STORED\r\n");
+    }
+    assert_eq!(
+        one_shot(&mut s, b"scan 2 8\r\n"),
+        b"VALUE 2 0 2\r\naa\r\nVALUE 4 0 2\r\nbb\r\nEND\r\n"
+    );
+    // Unordered backend: the verb parses but the store refuses.
+    let mut h = store(IndexKind::Hashtable);
+    assert_eq!(
+        one_shot(&mut h, b"scan 0 9\r\n"),
+        b"SERVER_ERROR scan unsupported\r\n"
+    );
+}
+
+// -------------------------------------------------------------------
+// Error paths: exact error lines, and the stream keeps serving.
+
+#[test]
+fn error_lines_are_pinned() {
+    let mut s = store(IndexKind::KvBtree);
+    // Unknown verb.
+    assert_eq!(one_shot(&mut s, b"flush_all\r\n"), b"ERROR\r\n");
+    // Oversized key token (21 digits).
+    let long = format!("get {}\r\n", "9".repeat(21));
+    assert_eq!(
+        one_shot(&mut s, long.as_bytes()),
+        b"CLIENT_ERROR bad key\r\n"
+    );
+    // Non-numeric CAS token.
+    assert_eq!(
+        one_shot(&mut s, b"cas 1 0 0 2 zz\r\n"),
+        b"CLIENT_ERROR bad command line format\r\n"
+    );
+    // Oversized object, rejected on the header alone.
+    assert_eq!(
+        one_shot(&mut s, b"set 1 0 0 9000\r\n"),
+        b"CLIENT_ERROR object too large for cache\r\n"
+    );
+    // Bad data-chunk terminator.
+    assert_eq!(
+        one_shot(&mut s, b"set 1 0 0 2\r\nhiXX\r\n"),
+        b"CLIENT_ERROR bad data chunk\r\n"
+    );
+    // Inverted scan range.
+    assert_eq!(
+        one_shot(&mut s, b"scan 9 2\r\n"),
+        b"CLIENT_ERROR bad range\r\n"
+    );
+    // Empty command line.
+    assert_eq!(one_shot(&mut s, b"\r\n"), b"ERROR\r\n");
+}
+
+#[test]
+fn malformed_line_then_wellformed_resynchronises() {
+    let mut s = store(IndexKind::KvBtree);
+    let out = one_shot(
+        &mut s,
+        b"set 1 0 0 3\r\nabc\r\nnot a command\r\nget 1\r\nset 2 0 0 2\r\nhiXXget 1\r\n",
+    );
+    // STORED, ERROR, the get served, the bad chunk reported, and the
+    // trailing get (consumed by chunk resync) never reaches dispatch —
+    // exactly what the consumed-count contract says.
+    assert_eq!(
+        out,
+        b"STORED\r\nERROR\r\nVALUE 1 0 3\r\nabc\r\nEND\r\nCLIENT_ERROR bad data chunk\r\n"
+            .as_slice()
+    );
+}
+
+#[test]
+fn oversized_unterminated_garbage_is_dropped_wholesale() {
+    let mut s = store(IndexKind::KvBtree);
+    let mut sess = Session::new(0);
+    // No newline in sight and the buffer is past any legal line: the
+    // parser discards it all rather than buffering without bound.
+    let wire = vec![b'q'; MAX_LINE + 7];
+    assert_eq!(serve_bytes(&mut s, &mut sess, &wire), b"ERROR\r\n");
+    assert_eq!(sess.pending(), 0, "garbage must not accumulate");
+    // The next command parses from a clean buffer.
+    assert_eq!(serve_bytes(&mut s, &mut sess, b"get 1\r\n"), b"END\r\n");
+}
+
+// -------------------------------------------------------------------
+// Seeded fuzz loop: random byte soup never panics the parser, and a
+// sentinel request after each burst still gets served (the stream
+// resynchronises at the next line boundary).
+
+#[test]
+fn fuzz_soup_never_panics_and_resynchronises() {
+    let mut rng = SimRng::seed_from_u64(0xF422_0008);
+    let mut s = store(IndexKind::KvBtree);
+    assert_eq!(one_shot(&mut s, b"set 777 0 0 3\r\nyes\r\n"), b"STORED\r\n");
+    let mut sess = Session::new(0);
+    for _round in 0..300 {
+        let len = (rng.next_u64() % 48) as usize;
+        let mut soup = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Bias toward protocol-adjacent bytes so token and header
+            // paths actually run, with raw binary mixed in.
+            let b = match rng.next_u64() % 8 {
+                0 => b'\n',
+                1 => b'\r',
+                2 => b' ',
+                3 => b'0' + (rng.next_u64() % 10) as u8,
+                4 => b"getscandelcasx"[(rng.next_u64() % 14) as usize],
+                _ => (rng.next_u64() % 256) as u8,
+            };
+            soup.push(b);
+        }
+        // Feeding and draining hostile bytes must not panic.
+        let _ = serve_bytes(&mut s, &mut sess, &soup);
+        // Force a line boundary, then the sentinel must be served.
+        let out = serve_bytes(&mut s, &mut sess, b"\r\nget 777\r\n");
+        assert!(
+            out.ends_with(b"END\r\n"),
+            "sentinel get lost after soup {soup:?}: {out:?}"
+        );
+    }
+    // The sentinel key survived every round with its exact value.
+    assert_eq!(
+        one_shot(&mut s, b"get 777\r\n"),
+        b"VALUE 777 0 3\r\nyes\r\nEND\r\n"
+    );
+}
+
+#[test]
+fn fuzz_byte_by_byte_delivery_matches_whole_buffer() {
+    // The same wire fed one byte at a time must produce identical
+    // responses — the codec's More/consumed accounting is exact.
+    let mut rng = SimRng::seed_from_u64(0xF422_0009);
+    let mut wire = Vec::new();
+    for i in 0..40u64 {
+        match rng.next_u64() % 4 {
+            0 => Codec::encode_set(&mut wire, i % 8, b"payload!"),
+            1 => Codec::encode_get(&mut wire, &[i % 8], false),
+            2 => Codec::encode_delete(&mut wire, i % 8),
+            _ => Codec::encode_scan(&mut wire, 0, 7),
+        }
+    }
+    let mut whole = store(IndexKind::KvBtree);
+    let mut sess_w = Session::new(0);
+    let expect = serve_bytes(&mut whole, &mut sess_w, &wire);
+
+    let mut drip = store(IndexKind::KvBtree);
+    let mut sess_d = Session::new(0);
+    let mut got = Vec::new();
+    for b in &wire {
+        got.extend_from_slice(&serve_bytes(
+            &mut drip,
+            &mut sess_d,
+            std::slice::from_ref(b),
+        ));
+    }
+    assert_eq!(got, expect);
+    assert_eq!(sess_w.parsed(), sess_d.parsed());
+    assert_eq!(sess_w.bad(), sess_d.bad());
+}
+
+#[test]
+fn busy_reply_constant_is_wired() {
+    // The shed path's response line is part of the wire contract.
+    assert_eq!(reply::SERVER_ERROR_BUSY, "SERVER_ERROR busy");
+    let c = Codec::new(8);
+    assert!(matches!(c.parse(b"get 1\r\n").1, Parse::Req(_)));
+}
