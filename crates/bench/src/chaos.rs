@@ -1,0 +1,330 @@
+//! Parallel crash-during-serve chaos sweep.
+//!
+//! [`slpmt_kv::chaos`] defines the per-point check: serve a pipelined
+//! session stream until an armed crash (optionally with a media
+//! [`FaultPlan`]) trips mid-dispatch, recover, pin the zero-lost-acks
+//! contract, then restart the clients and drive the seeded
+//! retry/backoff tail through the degraded window to oracle-checked
+//! convergence. This module fans a mix × scheme × plan matrix of those
+//! points across the [`runner`](crate::runner) worker pool, mirroring
+//! [`faultsweep`](crate::faultsweep):
+//!
+//! 1. One [`par_map`] pass counts each case's persist events (the
+//!    crash-free run is itself oracle-checked).
+//! 2. The flattened `(case, plan, k)` point list is checked by a
+//!    second [`par_map`] pass; points are independent, so a slow cell
+//!    never idles workers assigned to cheap ones.
+//! 3. One poisoned point per case proves the battery's teeth: a
+//!    deliberately corrupted recovered state **must** fail the check.
+//!
+//! Every number in the report derives from the simulated cycle clock
+//! and the deterministic point outcomes, so `slpmt chaos --json` is
+//! byte-identical for a given matrix at any `SLPMT_THREADS`.
+
+use crate::runner::{par_map_with, threads};
+use slpmt_core::Scheme;
+use slpmt_kv::chaos::{
+    chaos_points, check_chaos_point, count_chaos_events, ChaosCase, ChaosOutcome, ChaosReport,
+};
+use slpmt_kv::service::digest64;
+use slpmt_pmem::FaultPlan;
+use slpmt_workloads::faultsweep::default_plans;
+use slpmt_workloads::{IndexKind, MixSpec};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One scheduled chaos point: a case, an optional armed media-fault
+/// plan, and the persist event the crash trips at.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPoint {
+    /// The serve configuration.
+    pub case: ChaosCase,
+    /// Media faults armed alongside the crash (`None` = clean crash).
+    pub plan: Option<FaultPlan>,
+    /// Persist event the crash is armed at.
+    pub k: u64,
+}
+
+/// Aggregated outcome of a chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepReport {
+    /// Cases swept (mix × scheme cells).
+    pub cases: usize,
+    /// Chaos points checked (crash points × plan variants).
+    pub points: usize,
+    /// Points that recovered loss-free with the full contract held.
+    pub strict: usize,
+    /// Points whose injected faults cost lines, reported honestly.
+    pub lossy: usize,
+    /// Total lines lost across lossy points.
+    pub lost_lines: u64,
+    /// Sums of the strict points' [`ChaosReport`] counters.
+    pub totals: ChaosReport,
+    /// Poisoned (non-vacuity) probes run, one per case.
+    pub poison_checked: usize,
+    /// Poisoned probes the checker correctly rejected.
+    pub poison_caught: usize,
+    /// Order-sensitive digest of every point's outcome — the
+    /// byte-identity fingerprint CI diffs across worker counts.
+    pub digest: u64,
+    /// Every failing point, in deterministic point order.
+    pub failures: Vec<String>,
+}
+
+impl ChaosSweepReport {
+    /// `true` when every point held the contract and every poisoned
+    /// probe was caught.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.poison_caught == self.poison_checked
+    }
+}
+
+impl fmt::Display for ChaosSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos sweep: {} points across {} cases — {} strict, {} lossy ({} lines), \
+             {} failure(s); poison probes {}/{} caught",
+            self.points,
+            self.cases,
+            self.strict,
+            self.lossy,
+            self.lost_lines,
+            self.failures.len(),
+            self.poison_caught,
+            self.poison_checked,
+        )?;
+        writeln!(
+            f,
+            "  acked={} durable={} retried={} suppressed={} refused_writes={} scrubbed={}",
+            self.totals.acked,
+            self.totals.durable,
+            self.totals.retried,
+            self.totals.suppressed,
+            self.totals.refused_writes,
+            self.totals.scrubbed,
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The mix × scheme chaos matrix (mix-major, matching the repo's
+/// kind-major matrix convention), all on the same backend.
+pub fn chaos_cases(
+    schemes: &[Scheme],
+    kind: IndexKind,
+    seed: u64,
+    requests: usize,
+    mixes: &[MixSpec],
+) -> Vec<ChaosCase> {
+    let mut cases = Vec::with_capacity(schemes.len() * mixes.len());
+    for &mix in mixes {
+        for &scheme in schemes {
+            cases.push(ChaosCase::new(scheme, kind, seed, requests).with_mix(mix));
+        }
+    }
+    cases
+}
+
+/// Runs `points_per_plan` seeded crash points of every case under
+/// every plan variant (a clean crash plus each entry of `plans`, or
+/// [`default_plans`] when `plans` is empty), plus one poisoned
+/// non-vacuity probe per case, across [`threads`] workers.
+pub fn run_chaos_sweep(
+    cases: &[ChaosCase],
+    plans: &[FaultPlan],
+    points_per_plan: usize,
+) -> ChaosSweepReport {
+    run_chaos_sweep_with(cases, plans, points_per_plan, threads())
+}
+
+/// [`run_chaos_sweep`] with an explicit worker count (the determinism
+/// gates diff reports across counts).
+pub fn run_chaos_sweep_with(
+    cases: &[ChaosCase],
+    plans: &[FaultPlan],
+    points_per_plan: usize,
+    workers: usize,
+) -> ChaosSweepReport {
+    // Panics inside a point are caught and reported as failure tuples;
+    // the default hook's backtraces are pure noise during the sweep.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_chaos_sweep_inner(cases, plans, points_per_plan, workers);
+    std::panic::set_hook(hook);
+    report
+}
+
+fn run_chaos_sweep_inner(
+    cases: &[ChaosCase],
+    plans: &[FaultPlan],
+    points_per_plan: usize,
+    workers: usize,
+) -> ChaosSweepReport {
+    let defaults;
+    let plans = if plans.is_empty() {
+        defaults = default_plans(cases.first().map_or(0, |c| c.seed));
+        &defaults
+    } else {
+        plans
+    };
+    // Pass 1: persist-event count per case (each derivation also
+    // oracle-checks the case's crash-free pipelined run).
+    let ns = par_map_with(cases, workers, |case| {
+        catch_unwind(AssertUnwindSafe(|| count_chaos_events(case)))
+            .map_err(|_| format!("{case}: crash-free chaos run failed"))
+    });
+    let mut failures = Vec::new();
+    let mut points: Vec<ChaosPoint> = Vec::new();
+    let mut poison: Vec<ChaosPoint> = Vec::new();
+    for (case, n) in cases.iter().zip(ns) {
+        let n = match n {
+            Ok(n) => n,
+            Err(fail) => {
+                failures.push(fail);
+                continue;
+            }
+        };
+        let ks = chaos_points(case, n, points_per_plan);
+        for k in &ks {
+            points.push(ChaosPoint {
+                case: *case,
+                plan: None,
+                k: *k,
+            });
+        }
+        for plan in plans {
+            for k in &ks {
+                points.push(ChaosPoint {
+                    case: *case,
+                    plan: Some(*plan),
+                    k: *k,
+                });
+            }
+        }
+        // One poisoned probe per case at the median crash point.
+        if let Some(&k) = ks.get(ks.len() / 2) {
+            poison.push(ChaosPoint {
+                case: *case,
+                plan: None,
+                k,
+            });
+        }
+    }
+    // Pass 2: every point, flattened so workers never idle on a
+    // finished cell.
+    let results = par_map_with(&points, workers, |p| {
+        check_chaos_point(&p.case, p.plan.as_ref(), p.k, false)
+    });
+    let (mut strict, mut lossy, mut lost_lines) = (0usize, 0usize, 0u64);
+    let mut totals = ChaosReport::default();
+    let mut digest_stream = Vec::with_capacity(results.len() * 8);
+    for r in &results {
+        match r {
+            Ok(ChaosOutcome::Strict(rep)) => {
+                strict += 1;
+                totals.acked += rep.acked;
+                totals.durable += rep.durable;
+                totals.retried += rep.retried;
+                totals.suppressed += rep.suppressed;
+                totals.refused_writes += rep.refused_writes;
+                totals.scrubbed += rep.scrubbed;
+                digest_stream.push(1u8);
+                for v in [
+                    rep.acked,
+                    rep.durable,
+                    rep.retried,
+                    rep.suppressed,
+                    rep.refused_writes,
+                    rep.scrubbed,
+                ] {
+                    digest_stream.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Ok(ChaosOutcome::Lossy { lost }) => {
+                lossy += 1;
+                lost_lines += *lost as u64;
+                digest_stream.push(2u8);
+                digest_stream.extend_from_slice(&(*lost as u64).to_le_bytes());
+            }
+            Err(e) => {
+                digest_stream.push(0u8);
+                failures.push(e.clone());
+            }
+        }
+    }
+    // Pass 3: the poisoned probes MUST fail — a checker that cannot
+    // reject a corrupted image proves nothing.
+    let caught = par_map_with(&poison, workers, |p| {
+        check_chaos_point(&p.case, None, p.k, true).is_err()
+    });
+    let poison_caught = caught.iter().filter(|&&c| c).count();
+    for (p, ok) in poison.iter().zip(&caught) {
+        if !ok {
+            failures.push(format!(
+                "{} @k={}: poisoned state passed the oracle check (vacuous battery)",
+                p.case, p.k
+            ));
+        }
+    }
+    ChaosSweepReport {
+        cases: cases.len(),
+        points: points.len(),
+        strict,
+        lossy,
+        lost_lines,
+        totals,
+        poison_checked: poison.len(),
+        poison_caught,
+        digest: digest64(&digest_stream),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cases() -> Vec<ChaosCase> {
+        chaos_cases(
+            &[Scheme::Slpmt],
+            IndexKind::KvBtree,
+            13,
+            24,
+            &[MixSpec::YCSB_B],
+        )
+    }
+
+    #[test]
+    fn matrix_is_mix_major() {
+        let cases = chaos_cases(
+            &[Scheme::Slpmt, Scheme::SlpmtRedo],
+            IndexKind::KvBtree,
+            7,
+            10,
+            &[MixSpec::YCSB_A, MixSpec::YCSB_B],
+        );
+        assert_eq!(cases.len(), 4);
+        assert_eq!(cases[0].mix, MixSpec::YCSB_A);
+        assert_eq!(cases[0].scheme, Scheme::Slpmt);
+        assert_eq!(cases[1].scheme, Scheme::SlpmtRedo);
+        assert_eq!(cases[2].mix, MixSpec::YCSB_B);
+    }
+
+    #[test]
+    fn tiny_chaos_sweep_is_clean_and_worker_invariant() {
+        let cases = tiny_cases();
+        let plans = [FaultPlan::NONE];
+        let r1 = run_chaos_sweep_with(&cases, &plans, 2, 1);
+        assert!(r1.is_clean(), "{r1}");
+        assert_eq!(r1.points, 4, "2 points × (clean + 1 plan)");
+        assert_eq!(r1.poison_checked, 1);
+        let r2 = run_chaos_sweep_with(&cases, &plans, 2, 4);
+        assert_eq!(r1.digest, r2.digest);
+        assert_eq!(r1.totals, r2.totals);
+        assert_eq!(r1.strict, r2.strict);
+    }
+}

@@ -30,6 +30,7 @@ use slpmt_core::{MachineConfig, Scheme};
 use slpmt_workloads::runner::{run_inserts_with, IndexKind, RunResult};
 use slpmt_workloads::{ycsb_load, AnnotationSource, YcsbOp};
 
+pub mod chaos;
 pub mod crashsweep;
 pub mod faultsweep;
 pub mod micro;

@@ -446,6 +446,14 @@ impl Machine {
         self.dev.crash_tripped()
     }
 
+    /// Clears residual media poison from `addr`'s line without
+    /// rewriting it — the online-recovery background scrub re-reading
+    /// a degraded line and re-establishing its ECC. Returns whether
+    /// the line was poisoned.
+    pub fn scrub_line(&mut self, addr: PmAddr) -> bool {
+        self.dev.clear_poison(addr)
+    }
+
     /// Total persist events the device has accepted (1-based indices).
     pub fn persist_event_count(&self) -> u64 {
         self.dev.event_count()

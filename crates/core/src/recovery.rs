@@ -43,6 +43,12 @@ pub struct RecoveryReport {
     pub undo_applied: usize,
     /// Sequence numbers of transactions rolled back (undo).
     pub rolled_back: Vec<u64>,
+    /// Data lines restored from applied undo pre-images, in address
+    /// order. These were re-persisted during recovery from log records
+    /// that just survived a crash, so a conservative deployment
+    /// verifies them (background scrub) before accepting new writes —
+    /// the degraded-window suspect set.
+    pub rolled_back_lines: Vec<u64>,
     /// Redo records applied (final values installed).
     pub redo_applied: usize,
     /// Sequence numbers of committed transactions replayed (redo).
@@ -146,6 +152,7 @@ impl Machine {
                 let records: Vec<PersistedRecord> =
                     self.device().log().uncommitted_rev().cloned().collect();
                 let mut rolled: BTreeSet<u64> = BTreeSet::new();
+                let mut rolled_lines: BTreeSet<u64> = BTreeSet::new();
                 for rec in &records {
                     if !rec.is_intact() {
                         // The pre-image itself is unreadable: the
@@ -155,9 +162,11 @@ impl Machine {
                     }
                     report.undo_applied += 1;
                     rolled.insert(rec.txn);
+                    rolled_lines.extend(covered_lines(rec));
                     report.lines_persisted += self.replay_record(rec, &mut poison_cov);
                 }
                 report.rolled_back = rolled.into_iter().collect();
+                report.rolled_back_lines = rolled_lines.into_iter().collect();
             }
             Discipline::Redo => {
                 let committed: BTreeSet<u64> = self.device().log().committed_txns().collect();

@@ -221,6 +221,105 @@ mod tests {
     }
 
     #[test]
+    fn depth_exactly_at_watermark_queues() {
+        // `admit while depth < watermark` is a strict inequality: a
+        // depth equal to the watermark must queue, and admits on the
+        // first sample below it.
+        let cfg = AdmissionConfig {
+            high_watermark: 4,
+            queue_limit: 1_000,
+            poll_cycles: 100,
+        };
+        assert_eq!(
+            reference_decision(&[4, 3], &cfg),
+            Admission::Admit { queued: 100 }
+        );
+        assert_eq!(
+            reference_decision(&[3], &cfg),
+            Admission::Admit { queued: 0 }
+        );
+    }
+
+    #[test]
+    fn zero_queue_limit_sheds_without_waiting() {
+        let cfg = AdmissionConfig {
+            high_watermark: 1,
+            queue_limit: 0,
+            poll_cycles: 100,
+        };
+        // Saturated at arrival with no budget: shed immediately, zero
+        // cycles spent.
+        assert_eq!(
+            reference_decision(&[5], &cfg),
+            Admission::Shed { queued: 0 }
+        );
+        // Below the watermark still admits — a zero budget only
+        // forbids waiting, not serving.
+        assert_eq!(
+            reference_decision(&[0], &cfg),
+            Admission::Admit { queued: 0 }
+        );
+    }
+
+    #[test]
+    fn drain_arriving_after_budget_exhaustion_is_too_late() {
+        let cfg = AdmissionConfig {
+            high_watermark: 4,
+            queue_limit: 400,
+            poll_cycles: 100,
+        };
+        // The WPQ drains on the sample right after the budget is
+        // spent: the decision is already Shed — admission never peeks
+        // past its budget.
+        assert_eq!(
+            reference_decision(&[8, 8, 8, 8, 8, 2], &cfg),
+            Admission::Shed { queued: 400 }
+        );
+        // One sample earlier and the same drain admits.
+        assert_eq!(
+            reference_decision(&[8, 8, 8, 8, 2], &cfg),
+            Admission::Admit { queued: 400 }
+        );
+    }
+
+    #[test]
+    fn reference_is_pinned_against_live_admit() {
+        // Two identical stores: one runs the live admission loop, the
+        // other records the depth sequence the loop would observe and
+        // feeds it to the reference model. Determinism makes the pair
+        // exact.
+        let build = || {
+            let pm = PmConfig {
+                wpq_entries: 2,
+                pm_write_cycles: 20_000,
+                ..PmConfig::default()
+            };
+            let cfg = MachineConfig::for_scheme(Scheme::Slpmt).with_pm(pm);
+            let mut s = KvStore::with_config(cfg, IndexKind::KvBtree, 16);
+            for k in 0..4u64 {
+                s.set(k, b"0123456789abcdef");
+            }
+            s
+        };
+        let acfg = AdmissionConfig {
+            high_watermark: 1,
+            queue_limit: 5_000,
+            poll_cycles: 100,
+        };
+        let mut live = build();
+        let decision = admit(&mut live, &acfg);
+        let mut shadow = build();
+        let mut depths = vec![shadow.wpq_depth()];
+        let mut spent = 0u64;
+        while *depths.last().unwrap() >= acfg.high_watermark && spent < acfg.queue_limit {
+            shadow.compute(acfg.poll_cycles);
+            spent += acfg.poll_cycles;
+            depths.push(shadow.wpq_depth());
+        }
+        assert_eq!(reference_decision(&depths, &acfg), decision);
+    }
+
+    #[test]
     fn stats_fold() {
         let mut st = AdmissionStats::default();
         st.record(Admission::Admit { queued: 0 });

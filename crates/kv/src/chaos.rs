@@ -1,0 +1,742 @@
+//! Crash-during-serve chaos harness: mid-request fault injection,
+//! client retry/backoff, and degraded-mode online recovery.
+//!
+//! The service-boundary sweeps ([`crate::sweep`]) prove
+//! committed-prefix durability for a request stream pushed through the
+//! wire path. This module closes the loop the way a deployment would
+//! experience it: the crash lands **while the service is serving
+//! pipelined sessions**, and after the restart the *same clients* come
+//! back and finish their work. One chaos point runs three phases:
+//!
+//! 1. **Serve until the crash.** Sessions pipeline the whole request
+//!    stream; the worker drains them in arrival order. Every response
+//!    flushed while the machine is still live advances that session's
+//!    ack watermark in the [`AckJournal`]. A crash armed at persist
+//!    event `k` (optionally with a media [`FaultPlan`]) cuts the run
+//!    mid-dispatch: the tripped request's response is never flushed,
+//!    so it stays un-acked.
+//! 2. **Recover and pin the contract.** The durable prefix `b` is
+//!    derived from the persisted commit markers. The pinned
+//!    ack-durability contract is `acked ≤ b`: every response the
+//!    client provably received must be durable — **zero lost acks**.
+//!    Log replay must never panic; with no fault plan armed, torn or
+//!    corrupt records and lost lines are failures outright; with a
+//!    plan, every anomaly must trace to an injected knob (the
+//!    engine-battery attribution rules). A loss-free image proceeds to
+//!    structure rebuild (guarded: recovery-to-ready never panics), the
+//!    recovered state is checked against the streaming oracle at `b`,
+//!    and the degraded window opens over the flagged-line scrub queue.
+//! 3. **Restart, retry, converge.** Sessions are rebuilt from their
+//!    journaled watermarks ([`Session::rebuilt`]); the deterministic
+//!    client re-encodes its stream and re-feeds the un-acked tail.
+//!    While the store is [`Recovering`](crate::store::HealthState),
+//!    reads serve but retried writes are refused with
+//!    `SERVER_ERROR recovering`; the client backs off on the seeded
+//!    capped-exponential [`RetryPolicy`] schedule (simulated cycles)
+//!    while the background scrub drains. Retries inside the replay
+//!    window go through [`dispatch_replay`], which
+//!    duplicate-suppresses sets/cas via value comparison against the
+//!    fingerprint-CAS-token state machine and answers deletes with the
+//!    idempotent `NOT_FOUND`-means-already-done convention. The final
+//!    state must match the oracle at the full trace length — zero
+//!    duplicate-applied retries, nothing lost.
+//!
+//! The `poison_contract` knob deliberately corrupts the recovered
+//! state before the mid-recovery check so the battery can prove its
+//! own teeth (a checker that cannot fail is vacuous).
+//!
+//! Everything is driven by the simulated cycle clock — backoff waits,
+//! scrub costs, latencies — so a chaos point is byte-identical for a
+//! `(case, plan, k)` triple no matter how many host threads the sweep
+//! fans across.
+
+use crate::codec::{reply, Codec, Request};
+use crate::service::{dispatch, encode_request, take_request, TokenModel};
+use crate::session::{AckJournal, Session};
+use crate::store::{CasOutcome, KvStore};
+use crate::sweep::check_store;
+use slpmt_core::Scheme;
+use slpmt_pmem::FaultPlan;
+use slpmt_trace::Event;
+use slpmt_workloads::crashsweep::{sample_points, StreamingOracle};
+use slpmt_workloads::ycsb::MixedOp;
+use slpmt_workloads::{
+    inspect, service_trace, session_of, IndexKind, KvRequest, MixSpec, RetryPolicy,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Flagged lines the background scrub clears between served requests
+/// (one batch per drained request keeps the window finite even under a
+/// read-only retry tail).
+pub const SCRUB_BATCH_PER_REQUEST: usize = 1;
+
+/// Flagged lines scrubbed while a refused client sits out its backoff
+/// wait (the scrub runs *concurrently* with the wait in wall-clock
+/// terms; the simulation bills both).
+pub const SCRUB_BATCH_PER_BACKOFF: usize = 4;
+
+/// One chaos configuration: a service-boundary sweep case plus the
+/// session topology the crash lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosCase {
+    /// Simulated logging scheme.
+    pub scheme: Scheme,
+    /// Index backend behind the facade.
+    pub kind: IndexKind,
+    /// Trace seed.
+    pub seed: u64,
+    /// Load-phase inserts (part of the request stream).
+    pub load: usize,
+    /// Mixed requests after the load phase.
+    pub requests: usize,
+    /// Value payload size.
+    pub value_size: usize,
+    /// Request mix.
+    pub mix: MixSpec,
+    /// Client sessions (round-robin request assignment).
+    pub sessions: usize,
+    /// Per-core trace-ring capacity; 0 disables chaos-span tracing.
+    pub trace_capacity: usize,
+}
+
+impl ChaosCase {
+    /// A baseline case: 30 loaded keys + `requests` YCSB-A requests of
+    /// 16-byte values across 4 pipelined sessions.
+    pub fn new(scheme: Scheme, kind: IndexKind, seed: u64, requests: usize) -> Self {
+        ChaosCase {
+            scheme,
+            kind,
+            seed,
+            load: 30,
+            requests,
+            value_size: 16,
+            mix: MixSpec::YCSB_A,
+            sessions: 4,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Same case with a different mix.
+    pub fn with_mix(mut self, mix: MixSpec) -> Self {
+        self.mix = mix;
+        self
+    }
+}
+
+impl fmt::Display for ChaosCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kv-chaos {} {} {} seed={} load={} reqs={} val={} sess={}",
+            self.scheme,
+            self.kind,
+            self.mix,
+            self.seed,
+            self.load,
+            self.requests,
+            self.value_size,
+            self.sessions
+        )
+    }
+}
+
+/// The case's deterministic service trace: mixed ops (the oracle's
+/// input) and the mapped request stream, index-aligned.
+pub fn chaos_ops(case: &ChaosCase) -> (Vec<MixedOp>, Vec<KvRequest>) {
+    service_trace(
+        case.load,
+        case.requests,
+        case.value_size,
+        case.seed,
+        &case.mix,
+    )
+}
+
+fn build_store(case: &ChaosCase) -> KvStore {
+    let mut store = KvStore::open(case.scheme, case.kind, case.value_size);
+    store.prefault(case.load + case.requests);
+    store
+}
+
+/// What one strict (loss-free) chaos point measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Responses flushed (acked) before the crash landed.
+    pub acked: u64,
+    /// Durable prefix length `b` at the crash point.
+    pub durable: u64,
+    /// Requests the rebuilt clients re-fed after the restart.
+    pub retried: u64,
+    /// Retried writes duplicate-suppressed in the replay window.
+    pub suppressed: u64,
+    /// Write refusals (`SERVER_ERROR recovering`) inside the degraded
+    /// window, each followed by a seeded backoff wait.
+    pub refused_writes: u64,
+    /// Flagged lines the scrub cleared before the store went ready.
+    pub scrubbed: u64,
+}
+
+/// One chaos point's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// Loss-free recovery: the full contract held end to end.
+    Strict(ChaosReport),
+    /// The injected faults cost lines the log could not rebuild. The
+    /// loss was reported honestly and attributed to the plan; retry
+    /// over a lossy image is out of contract (the engine-battery
+    /// stop).
+    Lossy {
+        /// Lines reported lost by replay.
+        lost: usize,
+    },
+}
+
+/// Runs the case's request stream crash-free through the pipelined
+/// session path, checks the decoded end state against the oracle, and
+/// returns the persist-event count — the chaos domain is `1..=N`.
+///
+/// # Panics
+///
+/// Panics if the crash-free run already disagrees with the oracle.
+pub fn count_chaos_events(case: &ChaosCase) -> u64 {
+    match run_chaos_point(case, None, u64::MAX, false) {
+        Ok(ChaosOutcome::Strict(_)) => {}
+        other => panic!("{case}: crash-free chaos run failed: {other:?}"),
+    }
+    // The crash never trips at u64::MAX, so replaying the same path
+    // without the arm gives the same event count; measure it directly.
+    let (_ops, reqs) = chaos_ops(case);
+    let mut store = build_store(case);
+    let ordered = store.scan(0, 0).is_some();
+    let codec = Codec::new(case.value_size);
+    let sessions = case.sessions.max(1);
+    let mut sess: Vec<Session> = (0..sessions as u32).map(Session::new).collect();
+    let mut model = TokenModel::default();
+    let mut wire = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        wire.clear();
+        encode_request(req, &mut model, ordered, &mut wire);
+        sess[session_of(i, sessions) as usize].feed(&wire);
+    }
+    for i in 0..reqs.len() {
+        let s = session_of(i, sessions) as usize;
+        let req = match take_request(&mut sess[s], &codec, i as u64) {
+            Ok(Ok(req)) => req,
+            other => panic!("{case}: generated stream must parse cleanly, got {other:?}"),
+        };
+        let mut out = std::mem::take(&mut sess[s].wbuf);
+        dispatch(&mut store, &req, &mut out);
+        sess[s].wbuf = out;
+    }
+    store.machine().persist_event_count()
+}
+
+/// Replays one request in the post-restart replay window, applying
+/// duplicate suppression: the request may or may not have executed
+/// before the crash, and either way the store must converge to
+/// exactly-once state.
+///
+/// * `set` — if the key already holds the target value the write is
+///   skipped (`STORED` without a transaction); otherwise it applies.
+/// * `cas` — the token state machine does the work: a matching token
+///   stores; a stale token whose *current value already equals the cas
+///   target* means the pre-crash execution applied it (`STORED`,
+///   suppressed); any other stale token answers `EXISTS` and leaves
+///   state alone — a later replayed write owns the key.
+/// * `delete` — a present key deletes; an absent key answers
+///   `NOT_FOUND`, the idempotent already-done convention.
+/// * reads dispatch normally.
+///
+/// Returns how many duplicates were suppressed (0 or 1).
+pub fn dispatch_replay(store: &mut KvStore, req: &Request, out: &mut Vec<u8>) -> u64 {
+    match req {
+        Request::Set { key, value } => {
+            if store.peek_value(*key).is_some_and(|cur| cur == *value) {
+                Codec::write_line(out, reply::STORED);
+                1
+            } else {
+                store.set(*key, value);
+                Codec::write_line(out, reply::STORED);
+                0
+            }
+        }
+        Request::Cas { key, token, value } => match store.cas(*key, *token, value) {
+            CasOutcome::Stored => {
+                Codec::write_line(out, reply::STORED);
+                0
+            }
+            CasOutcome::Exists => {
+                if store.peek_value(*key).is_some_and(|cur| cur == *value) {
+                    Codec::write_line(out, reply::STORED);
+                    1
+                } else {
+                    Codec::write_line(out, reply::EXISTS);
+                    0
+                }
+            }
+            CasOutcome::NotFound => {
+                Codec::write_line(out, reply::NOT_FOUND);
+                0
+            }
+        },
+        Request::Delete { key } => {
+            if store.delete(*key) {
+                Codec::write_line(out, reply::DELETED);
+                0
+            } else {
+                Codec::write_line(out, reply::NOT_FOUND);
+                1
+            }
+        }
+        other => {
+            dispatch(store, other, out);
+            0
+        }
+    }
+}
+
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_string())
+}
+
+/// Deliberately corrupts the recovered state so the oracle check MUST
+/// fail — the battery's non-vacuity probe.
+fn poison_recovered_state(store: &mut KvStore, oracle: &StreamingOracle<'_>) {
+    match oracle.iter().next() {
+        Some((k, _)) => {
+            store.delete(k);
+        }
+        None => store.set(u64::MAX ^ 0xBAD, b"poison"),
+    }
+}
+
+/// Runs one chaos point: serve until the crash at persist event `k`
+/// (with `plan` armed when given), recover, pin the ack-durability
+/// contract, then restart the clients and drive the retry phase to
+/// convergence through the degraded window.
+///
+/// # Errors
+///
+/// Returns a human-readable failure when any leg of the contract
+/// breaks: an acked response is not durable, replay or rebuild panics,
+/// an anomaly has no injected cause, the recovered or converged state
+/// disagrees with the oracle, an invariant or leak check fails, or a
+/// refused write exhausts its retry budget.
+pub fn run_chaos_point(
+    case: &ChaosCase,
+    plan: Option<&FaultPlan>,
+    k: u64,
+    poison_contract: bool,
+) -> Result<ChaosOutcome, String> {
+    let (ops, reqs) = chaos_ops(case);
+    let mut store = build_store(case);
+    let ordered = store.scan(0, 0).is_some();
+    let handle = (case.trace_capacity > 0).then(|| store.enable_tracing(case.trace_capacity));
+    let tracing = handle.is_some() && store.machine().trace_enabled();
+    if let Some(p) = plan {
+        store.machine_mut().set_fault_plan(*p);
+    }
+    store.machine_mut().arm_crash_at_event(k);
+    if tracing {
+        if let Some(h) = &handle {
+            h.borrow_mut()
+                .emit_at(store.now(), Event::ChaosCrashArm { k });
+        }
+    }
+
+    // Phase 1: pipelined ingestion, then serve until the crash trips.
+    let codec = Codec::new(case.value_size);
+    let sessions = case.sessions.max(1);
+    let mut sess: Vec<Session> = (0..sessions as u32).map(Session::new).collect();
+    let mut model = TokenModel::default();
+    let mut wire = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        wire.clear();
+        encode_request(req, &mut model, ordered, &mut wire);
+        sess[session_of(i, sessions) as usize].feed(&wire);
+    }
+    let mut journal = AckJournal::new(sessions);
+    let mut op_seq: Vec<u64> = Vec::with_capacity(reqs.len());
+    let mut acked_global = 0usize;
+    for (i, _) in reqs.iter().enumerate() {
+        if store.machine().crash_tripped() {
+            break;
+        }
+        let s = session_of(i, sessions) as usize;
+        let req = match take_request(&mut sess[s], &codec, i as u64) {
+            Ok(Ok(req)) => req,
+            Ok(Err(line)) => return Err(format!("generated request {i} refused by codec: {line}")),
+            Err(e) => return Err(format!("generated stream truncated: {e}")),
+        };
+        let mut out = std::mem::take(&mut sess[s].wbuf);
+        dispatch(&mut store, &req, &mut out);
+        sess[s].wbuf = out;
+        op_seq.push(store.txn_seq());
+        if store.machine().crash_tripped() {
+            // The dispatch that tripped never flushed its response:
+            // it stays un-acked, exactly the window the retry phase
+            // must cover.
+            break;
+        }
+        sess[s].ack_response();
+        journal.record(sess[s].id(), sess[s].acked());
+        acked_global = i + 1;
+    }
+
+    // Phase 2: crash, derive the durable prefix, pin the contract.
+    store.crash();
+    let marker = store.machine().device().log().max_committed_seq();
+    let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
+    if acked_global as u64 != journal.total() {
+        return Err(format!(
+            "ack journal total {} disagrees with acked prefix {acked_global}",
+            journal.total()
+        ));
+    }
+    // Zero lost acks: every flushed response must be durable.
+    if acked_global > b {
+        return Err(format!(
+            "lost ack: {acked_global} responses flushed but only {b} requests durable \
+             (marker seq {marker})"
+        ));
+    }
+    // Log replay must never panic, whatever the media did.
+    let report = match catch_unwind(AssertUnwindSafe(|| store.replay())) {
+        Ok(r) => r,
+        Err(p) => return Err(format!("log replay panicked: {}", panic_msg(p))),
+    };
+    // Anomalies must not appear out of thin air.
+    let (tear_armed, flips_armed) = plan.map_or((false, 0), |p| (p.tear, p.flip_records));
+    if !tear_armed && report.torn_records + report.torn_markers != 0 {
+        return Err(format!(
+            "{} torn records / {} torn markers without a tear in the plan",
+            report.torn_records, report.torn_markers
+        ));
+    }
+    if flips_armed == 0 && report.corrupt_records != 0 {
+        return Err(format!(
+            "{} corrupt records without a flip in the plan",
+            report.corrupt_records
+        ));
+    }
+    if !report.lost_lines.is_empty() {
+        if plan.is_none() {
+            return Err(format!(
+                "{} lines lost with no fault plan armed",
+                report.lost_lines.len()
+            ));
+        }
+        // Every lost line must trace back to an injected fault.
+        let tainted: BTreeSet<u64> = {
+            let dev = store.machine().device();
+            dev.fault_poisoned_lines()
+                .iter()
+                .chain(dev.fault_flipped_lines())
+                .copied()
+                .collect()
+        };
+        if let Some(stray) = report.lost_lines.iter().find(|l| !tainted.contains(l)) {
+            return Err(format!(
+                "line {stray:#x} reported lost but no injected fault touched it"
+            ));
+        }
+        return Ok(ChaosOutcome::Lossy {
+            lost: report.lost_lines.len(),
+        });
+    }
+    // Loss-free: recovery-to-ready must never panic.
+    let rebuilt = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+        store.rebuild();
+        store
+            .check_invariants()
+            .map_err(|e| format!("invariant violated after recovery: {e}"))?;
+        let reachable = store.reachable();
+        if !inspect(store.context(), &reachable).is_clean() {
+            return Err("allocations still leaked after facade GC".into());
+        }
+        Ok(())
+    }));
+    match rebuilt {
+        Ok(r) => r?,
+        Err(p) => return Err(format!("structure recovery panicked: {}", panic_msg(p))),
+    }
+    store.begin_degraded_window(&report);
+    if tracing {
+        if let Some(h) = &handle {
+            h.borrow_mut().emit_at(
+                store.now(),
+                Event::DegradedBegin {
+                    poisoned: store.scrub_pending() as u32,
+                },
+            );
+        }
+    }
+    let mut oracle = StreamingOracle::new(&ops);
+    oracle.advance_to(b);
+    if poison_contract {
+        poison_recovered_state(&mut store, &oracle);
+    }
+    check_store(&store, &oracle)
+        .map_err(|e| format!("recovered state: {e} (b={b}, marker seq {marker})"))?;
+
+    // Phase 3: rebuild the sessions from the journal, re-feed the
+    // un-acked tail, retry through the degraded window to convergence.
+    let mut sent = vec![0u64; sessions];
+    for i in 0..reqs.len() {
+        sent[session_of(i, sessions) as usize] += 1;
+    }
+    let mut rsess: Vec<Session> = (0..sessions as u32)
+        .map(|s| Session::rebuilt(s, journal.watermark(s), sent[s as usize]))
+        .collect();
+    if tracing {
+        if let Some(h) = &handle {
+            h.borrow_mut().emit_at(
+                store.now(),
+                Event::ServiceRestart {
+                    sessions: sessions as u32,
+                    acked: journal.total(),
+                },
+            );
+        }
+    }
+    // The client-side token model is deterministic, so re-encoding the
+    // full stream reproduces the pre-crash wire bytes exactly; only
+    // the un-acked tail is re-fed.
+    let mut model = TokenModel::default();
+    for (i, req) in reqs.iter().enumerate() {
+        wire.clear();
+        encode_request(req, &mut model, ordered, &mut wire);
+        if i >= acked_global {
+            rsess[session_of(i, sessions) as usize].feed(&wire);
+        }
+    }
+    let policy = RetryPolicy::new(case.seed ^ 0xC4A0_5BAC);
+    let (mut retried, mut suppressed, mut refused) = (0u64, 0u64, 0u64);
+    for (i, orig) in reqs.iter().enumerate().skip(acked_global) {
+        let s = session_of(i, sessions) as usize;
+        let replaying = rsess[s].in_replay();
+        let seq = rsess[s].next_seq();
+        let req = match take_request(&mut rsess[s], &codec, i as u64) {
+            Ok(Ok(req)) => req,
+            Ok(Err(line)) => return Err(format!("retried request {i} refused by codec: {line}")),
+            Err(e) => return Err(format!("retried stream truncated: {e}")),
+        };
+        // Background scrub interleaves with serving, one batch per
+        // drained request, so the window closes even on a read tail.
+        store.scrub_step(SCRUB_BATCH_PER_REQUEST);
+        // Degraded window: reads serve, writes are refused until the
+        // scrub queue drains. The client re-sends the identical bytes
+        // after each seeded backoff wait, so re-dispatching the parsed
+        // request is exact.
+        if orig.is_write() {
+            let mut attempt: u32 = 0;
+            while !store.ready() {
+                attempt += 1;
+                if attempt > policy.max_attempts {
+                    return Err(format!(
+                        "request {i}: write still refused after {} attempts",
+                        policy.max_attempts
+                    ));
+                }
+                refused += 1;
+                Codec::write_line(&mut rsess[s].wbuf, reply::SERVER_ERROR_RECOVERING);
+                store.compute(policy.backoff(seq, attempt));
+                store.scrub_step(SCRUB_BATCH_PER_BACKOFF);
+            }
+        }
+        let mut out = std::mem::take(&mut rsess[s].wbuf);
+        if replaying {
+            suppressed += dispatch_replay(&mut store, &req, &mut out);
+        } else {
+            dispatch(&mut store, &req, &mut out);
+        }
+        rsess[s].wbuf = out;
+        rsess[s].ack_response();
+        journal.record(rsess[s].id(), rsess[s].acked());
+        retried += 1;
+    }
+    // Drain any scrub residue (pure read tails may leave some), then
+    // the converged state must match the oracle over the whole trace.
+    while !store.ready() {
+        store.scrub_step(8);
+    }
+    if tracing {
+        if let Some(h) = &handle {
+            h.borrow_mut().emit_at(
+                store.now(),
+                Event::DegradedEnd {
+                    scrubbed: store.scrubbed() as u32,
+                },
+            );
+        }
+    }
+    oracle.advance_to(ops.len());
+    check_store(&store, &oracle)
+        .map_err(|e| format!("converged state: {e} (acked={acked_global}, b={b})"))?;
+    store
+        .check_invariants()
+        .map_err(|e| format!("invariant violated after retry convergence: {e}"))?;
+    let reachable = store.reachable();
+    if !inspect(store.context(), &reachable).is_clean() {
+        return Err("allocations still leaked after retry convergence".into());
+    }
+    if journal.total() != reqs.len() as u64 {
+        return Err(format!(
+            "journal converged at {} acks, stream has {} requests",
+            journal.total(),
+            reqs.len()
+        ));
+    }
+    Ok(ChaosOutcome::Strict(ChaosReport {
+        acked: acked_global as u64,
+        durable: b as u64,
+        retried,
+        suppressed,
+        refused_writes: refused,
+        scrubbed: store.scrubbed(),
+    }))
+}
+
+/// [`run_chaos_point`] with a panic guard: any panic anywhere in the
+/// serve/recover/retry path becomes a failure string tagged with the
+/// point's coordinates.
+pub fn check_chaos_point(
+    case: &ChaosCase,
+    plan: Option<&FaultPlan>,
+    k: u64,
+    poison_contract: bool,
+) -> Result<ChaosOutcome, String> {
+    let tag = |e: String| match plan {
+        Some(p) => format!("{case} plan(seed={}) @k={k}: {e}", p.seed),
+        None => format!("{case} @k={k}: {e}"),
+    };
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_chaos_point(case, plan, k, poison_contract)
+    })) {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(e)) => Err(tag(e)),
+        Err(p) => Err(tag(format!("panic: {}", panic_msg(p)))),
+    }
+}
+
+/// Seeded sample of `count` distinct crash points in `1..=n`,
+/// ascending.
+pub fn chaos_points(case: &ChaosCase, n: u64, count: usize) -> Vec<u64> {
+    sample_points(case.seed ^ 0xC4A0_57EE, n, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpmt_workloads::faultsweep::default_plans;
+
+    fn base(seed: u64, requests: usize) -> ChaosCase {
+        ChaosCase::new(Scheme::Slpmt, IndexKind::KvBtree, seed, requests)
+    }
+
+    #[test]
+    fn crash_free_chaos_run_matches_oracle() {
+        let n = count_chaos_events(&base(11, 50));
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn sampled_chaos_points_hold_the_contract() {
+        let case = base(5, 40);
+        let n = count_chaos_events(&case);
+        for k in chaos_points(&case, n, 6) {
+            match check_chaos_point(&case, None, k, false) {
+                Ok(ChaosOutcome::Strict(r)) => {
+                    assert!(r.acked <= r.durable, "ack-durability inverted");
+                    assert_eq!(r.acked + r.retried, (case.load + case.requests) as u64);
+                }
+                Ok(ChaosOutcome::Lossy { .. }) => panic!("lossy without a fault plan"),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_point_with_fault_plan_attributes_or_converges() {
+        let case = base(9, 36);
+        let n = count_chaos_events(&case);
+        let plans = default_plans(77);
+        for k in [n / 3, 2 * n / 3] {
+            if let Err(e) = check_chaos_point(&case, Some(&plans[1]), k.max(1), false) {
+                panic!("{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_contract_is_not_vacuous() {
+        let case = base(5, 40);
+        let n = count_chaos_events(&case);
+        let k = n / 2;
+        assert!(
+            check_chaos_point(&case, None, k.max(1), true).is_err(),
+            "deliberately corrupted state must fail the oracle check"
+        );
+    }
+
+    #[test]
+    fn replay_dispatch_suppresses_duplicates() {
+        let mut store = KvStore::open(Scheme::Slpmt, IndexKind::KvBtree, 16);
+        store.set(1, b"aaaa");
+        let mut out = Vec::new();
+        // Replayed set of the value already present: suppressed.
+        let s = dispatch_replay(
+            &mut store,
+            &Request::Set {
+                key: 1,
+                value: b"aaaa".to_vec(),
+            },
+            &mut out,
+        );
+        assert_eq!(s, 1);
+        // Replayed delete of an absent key: idempotent already-done.
+        let s = dispatch_replay(&mut store, &Request::Delete { key: 42 }, &mut out);
+        assert_eq!(s, 1);
+        // A genuinely new set applies.
+        let s = dispatch_replay(
+            &mut store,
+            &Request::Set {
+                key: 2,
+                value: b"bbbb".to_vec(),
+            },
+            &mut out,
+        );
+        assert_eq!(s, 0);
+        assert_eq!(store.peek_value(2).as_deref(), Some(&b"bbbb"[..]));
+    }
+
+    #[test]
+    fn chaos_points_are_ascending_and_seeded() {
+        let case = base(5, 40);
+        let pts = chaos_points(&case, 500, 16);
+        assert_eq!(pts.len(), 16);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(pts, chaos_points(&case, 500, 16));
+    }
+
+    #[test]
+    fn chaos_spans_are_traced() {
+        let mut case = base(5, 40);
+        case.trace_capacity = 1 << 14;
+        let n = count_chaos_events(&case);
+        // A mid-stream crash exercises arm + restart spans; whether a
+        // degraded window opens depends on the image, so only the
+        // unconditional spans are asserted.
+        let outcome = run_chaos_point(&case, None, n / 2, false);
+        assert!(
+            matches!(outcome, Ok(ChaosOutcome::Strict(_))),
+            "{outcome:?}"
+        );
+    }
+}

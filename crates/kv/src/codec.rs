@@ -10,6 +10,7 @@
 //! cas <key> <flags> <exptime> <bytes> <token>\r\n<data>\r\n
 //! delete <key>\r\n
 //! scan <lo> <hi>\r\n          (extension: ordered range read)
+//! stats\r\n                   (health: shed/queued/recovering/scrubbed)
 //! ```
 //!
 //! Keys are decimal `u64`s (at most [`MAX_KEY_DIGITS`] digits — longer
@@ -43,6 +44,12 @@ pub mod reply {
     pub const ERROR: &str = "ERROR";
     /// Request shed by admission control.
     pub const SERVER_ERROR_BUSY: &str = "SERVER_ERROR busy";
+    /// Write refused inside the post-crash degraded window (the
+    /// poison-set scrub has not finished; reads still serve).
+    pub const SERVER_ERROR_RECOVERING: &str = "SERVER_ERROR recovering";
+    /// The client stream ended (or was cut) mid-request; the partial
+    /// request is discarded, not executed.
+    pub const SERVER_ERROR_TRUNCATED: &str = "SERVER_ERROR truncated request";
 }
 
 /// One parsed request.
@@ -84,6 +91,9 @@ pub enum Request {
         /// Inclusive upper bound.
         hi: u64,
     },
+    /// `stats`: service-health counters (shed / queued / recovering /
+    /// scrubbed), answered with `STAT` lines and `END`.
+    Stats,
 }
 
 /// Outcome of one parse step.
@@ -190,6 +200,12 @@ impl Codec {
                     Some(key) => (line_end, Parse::Req(Request::Delete { key })),
                     None => (line_end, client_error("bad key")),
                 }
+            }
+            b"stats" => {
+                if !rest.is_empty() {
+                    return (line_end, Parse::Bad(reply::ERROR.into()));
+                }
+                (line_end, Parse::Req(Request::Stats))
             }
             b"scan" => {
                 if rest.len() != 2 {
@@ -305,6 +321,11 @@ impl Codec {
         out.extend_from_slice(format!("scan {lo} {hi}\r\n").as_bytes());
     }
 
+    /// Encodes a `stats` line.
+    pub fn encode_stats(out: &mut Vec<u8>) {
+        out.extend_from_slice(b"stats\r\n");
+    }
+
     // ------------------------------------------------------------------
     // Response writers
 
@@ -324,6 +345,11 @@ impl Codec {
     pub fn write_line(out: &mut Vec<u8>, line: &str) {
         out.extend_from_slice(line.as_bytes());
         out.extend_from_slice(b"\r\n");
+    }
+
+    /// Writes one `STAT <name> <value>` line.
+    pub fn write_stat(out: &mut Vec<u8>, name: &str, value: u64) {
+        out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
     }
 }
 
@@ -387,6 +413,19 @@ mod tests {
             one(&c, b"scan 2 8\r\n"),
             (10, Parse::Req(Request::Scan { lo: 2, hi: 8 }))
         );
+        assert_eq!(one(&c, b"stats\r\n"), (7, Parse::Req(Request::Stats)));
+    }
+
+    #[test]
+    fn stats_verb_round_trips_and_rejects_operands() {
+        let c = Codec::new(16);
+        let mut buf = Vec::new();
+        Codec::encode_stats(&mut buf);
+        assert_eq!(c.parse(&buf), (buf.len(), Parse::Req(Request::Stats)));
+        assert_eq!(c.parse(b"stats items\r\n").1, Parse::Bad("ERROR".into()));
+        let mut out = Vec::new();
+        Codec::write_stat(&mut out, "shed", 3);
+        assert_eq!(out, b"STAT shed 3\r\n");
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   workers; request latency is measured in simulated cycles only.
 //! * [`sweep`] — crash and media-fault batteries driven *through the
 //!   service boundary*, checked against the engine's streaming oracle.
+//! * [`chaos`] — the crash-during-serve chaos harness: mid-request
+//!   crashes over pipelined sessions, ack-journal restart, seeded
+//!   client retry/backoff, duplicate suppression in the replay
+//!   window, and degraded-mode online recovery behind a background
+//!   scrub.
 //!
 //! All timing comes from the simulated cycle clock, so a serve run is
 //! byte-identical for a `(seed, mix, shards)` triple regardless of
@@ -33,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod chaos;
 pub mod codec;
 pub mod service;
 pub mod session;
@@ -40,8 +46,11 @@ pub mod store;
 pub mod sweep;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionStats};
+pub use chaos::{ChaosCase, ChaosOutcome, ChaosReport};
 pub use codec::{Codec, Parse, Request};
-pub use service::{run_shard_service, shard_requests, ServeConfig, ShardServeReport};
-pub use session::Session;
-pub use store::{fingerprint, CasOutcome, KvStore};
+pub use service::{
+    run_shard_service, shard_requests, HealthSnapshot, ServeConfig, ServiceError, ShardServeReport,
+};
+pub use session::{AckJournal, Session};
+pub use store::{fingerprint, CasOutcome, CellError, HealthState, KvStore};
 pub use sweep::KvSweepCase;

@@ -37,6 +37,98 @@ use std::collections::BTreeMap;
 /// `KvRequest::verb` labels).
 pub const VERB_CLASSES: [&str; 6] = ["get", "gets", "set", "cas", "delete", "scan"];
 
+/// A typed service-level failure the serve loop surfaces instead of
+/// panicking, so one broken client degrades to an error response
+/// rather than aborting the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A session's receive stream ended mid-request (the client was
+    /// cut off, or the generator under-fed the session): there are
+    /// buffered bytes or an expected request, but no complete request
+    /// to parse.
+    TruncatedStream {
+        /// The session whose stream truncated.
+        session: u32,
+        /// Request index (within the shard's stream) that could not be
+        /// pulled.
+        at: u64,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::TruncatedStream { session, at } => {
+                write!(
+                    f,
+                    "session {session} stream truncated mid-request at request {at}"
+                )
+            }
+        }
+    }
+}
+
+/// Pulls the next complete request off a session, converting an
+/// incomplete stream into a typed [`ServiceError`] instead of a
+/// panic.
+pub fn take_request(
+    sess: &mut Session,
+    codec: &Codec,
+    at: u64,
+) -> Result<Result<Request, String>, ServiceError> {
+    let session = sess.id();
+    sess.next_request(codec)
+        .ok_or(ServiceError::TruncatedStream { session, at })
+}
+
+/// Service-health counters the `stats` verb exposes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests admitted after a non-zero queueing wait.
+    pub queued: u64,
+    /// `true` inside the post-crash degraded window.
+    pub recovering: bool,
+    /// Lines scrubbed since the last degraded recovery.
+    pub scrubbed: u64,
+    /// Flagged lines still waiting for the background scrub.
+    pub scrub_pending: u64,
+}
+
+impl HealthSnapshot {
+    /// Store-level health alone (no admission counters) — what
+    /// [`dispatch`] answers when the serve loop does not overlay its
+    /// own shed/queued totals.
+    pub fn of_store(store: &KvStore) -> Self {
+        HealthSnapshot {
+            shed: 0,
+            queued: 0,
+            recovering: !store.ready(),
+            scrubbed: store.scrubbed(),
+            scrub_pending: store.scrub_pending() as u64,
+        }
+    }
+
+    /// Overlays a worker's admission statistics.
+    pub fn with_admission(mut self, stats: &AdmissionStats) -> Self {
+        self.shed = stats.shed;
+        self.queued = stats.queued;
+        self
+    }
+}
+
+/// Writes the `stats` response: one `STAT` line per counter, then
+/// `END`.
+pub fn write_stats(out: &mut Vec<u8>, h: &HealthSnapshot) {
+    Codec::write_stat(out, "shed", h.shed);
+    Codec::write_stat(out, "queued", h.queued);
+    Codec::write_stat(out, "recovering", u64::from(h.recovering));
+    Codec::write_stat(out, "scrubbed", h.scrubbed);
+    Codec::write_stat(out, "scrub_pending", h.scrub_pending);
+    Codec::write_line(out, reply::END);
+}
+
 /// Index of a verb label in [`VERB_CLASSES`].
 pub fn class_of(verb: &str) -> usize {
     VERB_CLASSES.iter().position(|v| *v == verb).unwrap_or(0)
@@ -127,6 +219,9 @@ pub struct ShardServeReport {
     pub response_digest: u64,
     /// Device WPQ stall cycles over the whole run.
     pub wpq_stall_cycles: u64,
+    /// Requests refused because the session stream truncated
+    /// mid-request (each answered `SERVER_ERROR truncated request`).
+    pub truncated: u64,
     /// Trace records captured when `trace_capacity > 0`.
     pub trace: Vec<slpmt_core::TraceRecord>,
 }
@@ -250,6 +345,7 @@ fn trace_verb(req: &Request) -> RequestVerb {
         Request::Cas { .. } => RequestVerb::Cas,
         Request::Delete { .. } => RequestVerb::Delete,
         Request::Scan { .. } => RequestVerb::Scan,
+        Request::Stats => RequestVerb::Stats,
     }
 }
 
@@ -263,6 +359,8 @@ fn sample_class(req: &Request) -> usize {
         Request::Cas { .. } => 3,
         Request::Delete { .. } => 4,
         Request::Scan { .. } => 5,
+        // Health queries are untimed metadata; bill them as reads.
+        Request::Stats => 0,
     }
 }
 
@@ -310,6 +408,7 @@ pub fn dispatch(store: &mut KvStore, req: &Request, out: &mut Vec<u8>) {
             }
             None => Codec::write_line(out, "SERVER_ERROR scan unsupported"),
         },
+        Request::Stats => write_stats(out, &HealthSnapshot::of_store(store)),
     }
 }
 
@@ -377,6 +476,7 @@ pub fn run_shard_service(
     let mut stats = AdmissionStats::default();
     let mut samples: Vec<Vec<u64>> = vec![Vec::new(); VERB_CLASSES.len()];
     let mut served = 0u64;
+    let mut truncated = 0u64;
     for i in 0..reqs.len() {
         let s = session_of(i, sessions) as usize;
         // Pacing: open-loop requests arrive on the schedule; the
@@ -413,9 +513,17 @@ pub fn run_shard_service(
                 }
             }
             Admission::Admit { queued } => {
-                let parsed = sess[s]
-                    .next_request(&codec)
-                    .expect("generated stream holds a complete request");
+                let parsed = match take_request(&mut sess[s], &codec, i as u64) {
+                    Ok(parsed) => parsed,
+                    Err(ServiceError::TruncatedStream { .. }) => {
+                        // A cut-off client is that client's problem,
+                        // not the worker's: refuse the request and
+                        // keep serving every other session.
+                        truncated += 1;
+                        Codec::write_line(&mut sess[s].wbuf, reply::SERVER_ERROR_TRUNCATED);
+                        continue;
+                    }
+                };
                 match parsed {
                     Ok(req) => {
                         if tracing {
@@ -473,6 +581,7 @@ pub fn run_shard_service(
         responses,
         response_digest,
         wpq_stall_cycles,
+        truncated,
         trace,
     }
 }
@@ -583,6 +692,45 @@ mod tests {
         assert!(open[0].sim_cycles > closed[0].sim_cycles);
         // Pacing changes timing, not outcomes: same response bytes.
         assert_eq!(open[0].responses, closed[0].responses);
+    }
+
+    #[test]
+    fn truncated_stream_degrades_to_typed_error() {
+        let codec = Codec::new(32);
+        let mut s = Session::new(7);
+        // Cut mid-data-block: header promises 5 bytes, stream stops
+        // after 3.
+        s.feed(b"set 1 0 0 5\r\nhel");
+        match take_request(&mut s, &codec, 3) {
+            Err(ServiceError::TruncatedStream { session: 7, at: 3 }) => {}
+            other => panic!("expected typed truncation error, got {other:?}"),
+        }
+        // The worker's degrade path writes the refusal and keeps the
+        // session alive; once the missing bytes arrive the stream
+        // parses normally again.
+        Codec::write_line(&mut s.wbuf, reply::SERVER_ERROR_TRUNCATED);
+        s.feed(b"lo\r\nget 1\r\n");
+        assert!(matches!(
+            take_request(&mut s, &codec, 4),
+            Ok(Ok(Request::Set { key: 1, .. }))
+        ));
+        assert!(matches!(
+            take_request(&mut s, &codec, 5),
+            Ok(Ok(Request::Get { .. }))
+        ));
+        let text = String::from_utf8(s.take_responses()).unwrap();
+        assert!(text.contains("SERVER_ERROR truncated request"));
+    }
+
+    #[test]
+    fn stats_dispatch_reports_store_health() {
+        let mut store = KvStore::open(Scheme::Slpmt, IndexKind::KvBtree, 16);
+        let mut out = Vec::new();
+        dispatch(&mut store, &Request::Stats, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("STAT recovering 0\r\n"));
+        assert!(text.contains("STAT scrubbed 0\r\n"));
+        assert!(text.ends_with("END\r\n"));
     }
 
     #[test]

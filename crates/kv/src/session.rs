@@ -7,6 +7,16 @@
 //! them; the worker pulls complete requests one at a time with
 //! [`Session::next_request`], which compacts the consumed prefix
 //! lazily so pipelined ingestion stays O(bytes).
+//!
+//! For crash-during-serve recovery, every parsed request carries a
+//! **per-session sequence number** and the session tracks an **ack
+//! watermark** — how many responses have been flushed to the client.
+//! The watermarks live in an [`AckJournal`]; after a restart,
+//! [`Session::rebuilt`] reconstructs a session from its journaled
+//! watermark plus the client's sent-count, which bounds the **replay
+//! window**: retried requests with sequence numbers inside the window
+//! may already have executed before the crash, so the worker applies
+//! duplicate suppression to them.
 
 use crate::codec::{Codec, Parse, Request};
 
@@ -21,6 +31,14 @@ pub struct Session {
     pub wbuf: Vec<u8>,
     parsed: u64,
     bad: u64,
+    /// Sequence number of the first request parsed by *this*
+    /// incarnation (non-zero only for rebuilt post-restart sessions).
+    base_seq: u64,
+    /// Responses flushed to the client (the ack watermark).
+    acked: u64,
+    /// Requests with sequence numbers below this are replays of
+    /// pre-crash traffic (duplicate suppression applies).
+    replay_until: u64,
 }
 
 impl Session {
@@ -32,9 +50,53 @@ impl Session {
         }
     }
 
+    /// Rebuilds a session after a service restart: the journaled ack
+    /// watermark says how many responses the client provably received,
+    /// and `sent` — the client's own count of requests it had issued —
+    /// bounds the replay window. The client re-feeds its un-acked tail
+    /// (requests `acked..sent`) before any new traffic; requests with
+    /// sequence numbers below `sent` are flagged as replays via
+    /// [`in_replay`](Self::in_replay).
+    pub fn rebuilt(id: u32, acked: u64, sent: u64) -> Self {
+        Session {
+            id,
+            base_seq: acked,
+            acked,
+            replay_until: sent.max(acked),
+            ..Session::default()
+        }
+    }
+
     /// The session id (stamped on request-span trace events).
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// Sequence number the next parsed request will carry (requests
+    /// are numbered per session, surviving restarts via
+    /// [`rebuilt`](Self::rebuilt)).
+    pub fn next_seq(&self) -> u64 {
+        self.base_seq + self.parsed
+    }
+
+    /// `true` while the next request to parse is a replay of pre-crash
+    /// traffic (inside the replay window, where duplicate suppression
+    /// applies).
+    pub fn in_replay(&self) -> bool {
+        self.next_seq() < self.replay_until
+    }
+
+    /// Responses flushed to the client so far (the ack watermark).
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Marks one more response as flushed to the client. The serve
+    /// loop calls this after a dispatch completes while the machine is
+    /// still live — a crash between dispatch and flush leaves the
+    /// response un-acked.
+    pub fn ack_response(&mut self) {
+        self.acked += 1;
     }
 
     /// Appends wire bytes from the client (pipelined ingestion).
@@ -90,6 +152,51 @@ impl Session {
     /// Takes the accumulated transmit bytes (response stream).
     pub fn take_responses(&mut self) -> Vec<u8> {
         std::mem::take(&mut self.wbuf)
+    }
+}
+
+/// The ack journal: per-session flushed-response watermarks, recorded
+/// as responses leave the worker. After a crash it is the restart
+/// path's ground truth for [`Session::rebuilt`] — every journaled ack
+/// names a response the client provably received, so the durability
+/// contract ("zero lost acks") is checked against exactly these
+/// watermarks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AckJournal {
+    acked: Vec<u64>,
+}
+
+impl AckJournal {
+    /// A journal covering `sessions` sessions, all watermarks zero.
+    pub fn new(sessions: usize) -> Self {
+        AckJournal {
+            acked: vec![0; sessions],
+        }
+    }
+
+    /// Records `session`'s watermark (monotone; a lower value than
+    /// already journaled is ignored).
+    pub fn record(&mut self, session: u32, acked: u64) {
+        let s = session as usize;
+        if s >= self.acked.len() {
+            self.acked.resize(s + 1, 0);
+        }
+        self.acked[s] = self.acked[s].max(acked);
+    }
+
+    /// The journaled watermark for `session` (0 when never recorded).
+    pub fn watermark(&self, session: u32) -> u64 {
+        self.acked.get(session as usize).copied().unwrap_or(0)
+    }
+
+    /// Total responses journaled across sessions.
+    pub fn total(&self) -> u64 {
+        self.acked.iter().sum()
+    }
+
+    /// Sessions the journal covers.
+    pub fn sessions(&self) -> usize {
+        self.acked.len()
     }
 }
 
@@ -152,6 +259,57 @@ mod tests {
             Some(Ok(Request::Get { .. }))
         ));
         assert_eq!((s.parsed(), s.bad()), (1, 1));
+    }
+
+    #[test]
+    fn sequence_numbers_and_ack_watermark_survive_rebuild() {
+        let codec = Codec::new(32);
+        let mut s = Session::new(2);
+        assert_eq!(s.next_seq(), 0);
+        assert!(!s.in_replay());
+        let mut wire = Vec::new();
+        for k in 0..5u64 {
+            Codec::encode_delete(&mut wire, k);
+        }
+        s.feed(&wire);
+        // Parse 5, ack 3: seqs 3 and 4 were served but never flushed.
+        for _ in 0..5 {
+            s.next_request(&codec).unwrap().unwrap();
+        }
+        for _ in 0..3 {
+            s.ack_response();
+        }
+        assert_eq!((s.next_seq(), s.acked()), (5, 3));
+        // Restart: the journal held acked=3, the client had sent 5.
+        let mut r = Session::rebuilt(2, 3, 5);
+        assert_eq!(r.id(), 2);
+        assert_eq!(r.next_seq(), 3, "numbering resumes at the watermark");
+        assert!(r.in_replay(), "seqs 3..5 are the replay window");
+        let mut tail = Vec::new();
+        Codec::encode_delete(&mut tail, 3);
+        Codec::encode_delete(&mut tail, 4);
+        Codec::encode_delete(&mut tail, 99); // fresh post-restart traffic
+        r.feed(&tail);
+        r.next_request(&codec).unwrap().unwrap();
+        assert!(r.in_replay(), "seq 4 still inside the window");
+        r.next_request(&codec).unwrap().unwrap();
+        assert!(!r.in_replay(), "seq 5 is new traffic");
+        r.next_request(&codec).unwrap().unwrap();
+        assert_eq!(r.next_seq(), 6);
+    }
+
+    #[test]
+    fn ack_journal_is_monotone_and_grows() {
+        let mut j = AckJournal::new(2);
+        j.record(0, 4);
+        j.record(0, 2); // stale watermark ignored
+        j.record(3, 7); // auto-grows
+        assert_eq!(j.watermark(0), 4);
+        assert_eq!(j.watermark(1), 0);
+        assert_eq!(j.watermark(3), 7);
+        assert_eq!(j.watermark(9), 0);
+        assert_eq!(j.total(), 11);
+        assert_eq!(j.sessions(), 4);
     }
 
     #[test]

@@ -108,6 +108,8 @@ pub enum RequestVerb {
     Delete,
     /// Range scan.
     Scan,
+    /// Service-health query (`stats`).
+    Stats,
 }
 
 impl RequestVerb {
@@ -120,6 +122,7 @@ impl RequestVerb {
             RequestVerb::Cas => "cas",
             RequestVerb::Delete => "delete",
             RequestVerb::Scan => "scan",
+            RequestVerb::Stats => "stats",
         }
     }
 }
@@ -389,6 +392,32 @@ pub enum Event {
         /// it.
         shed: bool,
     },
+    /// A chaos harness armed a crash at persist event `k` while the
+    /// service was live (the span between arming and the trip).
+    ChaosCrashArm {
+        /// The armed persist-event number.
+        k: u64,
+    },
+    /// The service restarted after a crash: sessions were rebuilt and
+    /// the un-acked request tail is about to replay.
+    ServiceRestart {
+        /// Sessions rebuilt from their ack watermarks.
+        sessions: u32,
+        /// Total responses acked (flushed) across sessions pre-crash.
+        acked: u64,
+    },
+    /// The degraded serve window opened: reads are served, writes
+    /// answer `SERVER_ERROR recovering` until the poison set is
+    /// scrubbed.
+    DegradedBegin {
+        /// Poisoned lines queued for the background scrub.
+        poisoned: u32,
+    },
+    /// The degraded window closed; the store is fully ready again.
+    DegradedEnd {
+        /// Lines scrubbed during the window.
+        scrubbed: u32,
+    },
 }
 
 impl Event {
@@ -423,6 +452,10 @@ impl Event {
             Event::Recovery { .. } => "recovery",
             Event::RequestBegin { .. } => "request_begin",
             Event::RequestEnd { .. } => "request_end",
+            Event::ChaosCrashArm { .. } => "chaos_crash_arm",
+            Event::ServiceRestart { .. } => "service_restart",
+            Event::DegradedBegin { .. } => "degraded_begin",
+            Event::DegradedEnd { .. } => "degraded_end",
         }
     }
 
@@ -454,7 +487,12 @@ impl Event {
                 Component::Signature
             }
             Event::Recovery { .. } => Component::Recovery,
-            Event::RequestBegin { .. } | Event::RequestEnd { .. } => Component::Service,
+            Event::RequestBegin { .. }
+            | Event::RequestEnd { .. }
+            | Event::ChaosCrashArm { .. }
+            | Event::ServiceRestart { .. }
+            | Event::DegradedBegin { .. }
+            | Event::DegradedEnd { .. } => Component::Service,
         }
     }
 }

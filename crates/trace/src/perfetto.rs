@@ -296,6 +296,24 @@ fn event_args(w: &mut JsonWriter, rec: &TraceRecord) {
             w.key("shed");
             w.bool(*shed);
         }
+        Event::ChaosCrashArm { k } => {
+            w.key("k");
+            w.u64(*k);
+        }
+        Event::ServiceRestart { sessions, acked } => {
+            w.key("sessions");
+            w.u64(u64::from(*sessions));
+            w.key("acked");
+            w.u64(*acked);
+        }
+        Event::DegradedBegin { poisoned } => {
+            w.key("poisoned");
+            w.u64(u64::from(*poisoned));
+        }
+        Event::DegradedEnd { scrubbed } => {
+            w.key("scrubbed");
+            w.u64(u64::from(*scrubbed));
+        }
     }
     w.end_obj();
 }

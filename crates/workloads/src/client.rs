@@ -18,7 +18,7 @@
 //!   silently slowing the generator down.
 
 use crate::ycsb::{ycsb_mix, MixSpec, MixedOp};
-use slpmt_prng::SimRng;
+use slpmt_prng::{splitmix64, SimRng};
 
 /// One abstract service request, protocol-independent. The
 /// memcached-text encoding lives in `slpmt-kv`; generators produce
@@ -93,6 +93,15 @@ impl KvRequest {
         }
     }
 
+    /// `true` when the request mutates logical state (refused inside
+    /// the degraded window, retried with backoff).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            KvRequest::Set { .. } | KvRequest::Cas { .. } | KvRequest::Delete { .. }
+        )
+    }
+
     /// Maps one mixed-trace operation onto its service request:
     /// inserts and updates are unconditional `set`s, reads are `get`s,
     /// read-modify-writes are `gets`+`cas` pairs, removes are
@@ -159,6 +168,55 @@ pub fn session_of(i: usize, sessions: usize) -> u32 {
     (i % sessions.max(1)) as u32
 }
 
+/// Seeded deterministic client retry policy: capped exponential
+/// backoff measured in **simulated cycles**, with per-(request,
+/// attempt) jitter derived from the seed alone — two clients with the
+/// same seed back off identically, so a retried serve run stays
+/// byte-identical across host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry backoff (cycles); also the jitter span.
+    pub base_cycles: u64,
+    /// Backoff ceiling (cycles) the exponential curve saturates at.
+    pub cap_cycles: u64,
+    /// Attempts before the client gives a request up for lost.
+    pub max_attempts: u32,
+    /// Jitter seed (deterministic, not entropy).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The default chaos-harness policy: 500-cycle base, 64k-cycle
+    /// cap, 32 attempts.
+    pub fn new(seed: u64) -> Self {
+        RetryPolicy {
+            base_cycles: 500,
+            cap_cycles: 64_000,
+            max_attempts: 32,
+            seed,
+        }
+    }
+
+    /// Backoff before attempt `attempt` (1-based) of request `seq`:
+    /// `min(cap, base * 2^(attempt-1))` plus seeded jitter in
+    /// `[0, base)`. Attempt 0 (the original send) waits nothing.
+    pub fn backoff(&self, seq: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = (attempt - 1).min(20);
+        let raw = self
+            .base_cycles
+            .saturating_mul(1u64 << exp)
+            .min(self.cap_cycles);
+        let mut state = self.seed
+            ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(attempt).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let jitter = splitmix64(&mut state) % self.base_cycles.max(1);
+        raw + jitter
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +281,51 @@ mod tests {
         assert!((35..=65).contains(&mean), "mean gap {mean}");
         // Degenerate all-at-once schedule.
         assert!(open_loop_arrivals(5, 0, 1).iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_and_seeded() {
+        let p = RetryPolicy::new(42);
+        assert_eq!(p.backoff(7, 0), 0, "original send waits nothing");
+        // Deterministic per (seq, attempt).
+        assert_eq!(p.backoff(7, 1), p.backoff(7, 1));
+        assert_ne!(p.backoff(7, 1), p.backoff(8, 1), "jitter varies by seq");
+        assert_ne!(
+            RetryPolicy::new(1).backoff(7, 1),
+            RetryPolicy::new(2).backoff(7, 1),
+            "jitter varies by seed"
+        );
+        // Exponential below the cap: attempt n is in
+        // [base * 2^(n-1), base * 2^(n-1) + base).
+        for attempt in 1..6u32 {
+            let raw = p.base_cycles << (attempt - 1);
+            let b = p.backoff(3, attempt);
+            assert!(
+                b >= raw && b < raw + p.base_cycles,
+                "attempt {attempt}: {b}"
+            );
+        }
+        // Saturates at the cap (+ jitter) and never overflows.
+        assert!(p.backoff(3, 30) <= p.cap_cycles + p.base_cycles);
+        assert!(p.backoff(3, u32::MAX) <= p.cap_cycles + p.base_cycles);
+    }
+
+    #[test]
+    fn write_requests_are_classified() {
+        assert!(KvRequest::Set {
+            key: 1,
+            value: vec![]
+        }
+        .is_write());
+        assert!(KvRequest::Cas {
+            key: 1,
+            value: vec![]
+        }
+        .is_write());
+        assert!(KvRequest::Delete { key: 1 }.is_write());
+        assert!(!KvRequest::Get { key: 1 }.is_write());
+        assert!(!KvRequest::Gets { key: 1 }.is_write());
+        assert!(!KvRequest::Scan { keys: vec![1] }.is_write());
     }
 
     #[test]

@@ -127,10 +127,22 @@ impl PmContext {
     }
 
     /// Commits the open transaction and applies deferred frees.
+    ///
+    /// Deferred frees apply only when the commit actually reached the
+    /// persistence domain: after an armed crash trips, the commit
+    /// record (like every later durable mutation) was dropped, the
+    /// transaction will be rolled back by recovery, and the rolled-back
+    /// structure may still reference the cells it freed — applying the
+    /// frees would let a post-recovery allocation alias a live cell.
+    /// Such frees are dropped with the rest of the volatile state.
     pub fn tx_commit(&mut self) {
         self.machine.tx_commit();
-        for addr in self.pending_frees.drain(..) {
-            self.heap.free(addr);
+        if self.machine.crash_tripped() {
+            self.pending_frees.clear();
+        } else {
+            for addr in self.pending_frees.drain(..) {
+                self.heap.free(addr);
+            }
         }
     }
 

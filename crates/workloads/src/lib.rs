@@ -47,7 +47,7 @@ pub mod runner;
 pub mod sharded;
 pub mod ycsb;
 
-pub use client::{open_loop_arrivals, service_trace, session_of, KvRequest};
+pub use client::{open_loop_arrivals, service_trace, session_of, KvRequest, RetryPolicy};
 pub use crashsweep::{StreamingOracle, SweepCase, SweepFailure};
 pub use ctx::{AnnotationSource, PmContext};
 pub use faultsweep::{FaultCase, FaultFailure};

@@ -113,6 +113,31 @@ if "serve" in base:
             print("serve: response digest changed — wire bytes moved",
                   file=sys.stderr)
             fail = True
+# Chaos battery (added with BENCH_9): soft host-throughput ratio, plus
+# hard equality on the sweep digest and point outcomes whenever both
+# snapshots ran the same matrix shape — the sweep is fully simulated,
+# so any drift is semantic.
+if "chaos" in base:
+    bc, cc = base["chaos"], cur["chaos"]
+    b, c = bc["points_per_s"], cc["points_per_s"]
+    ratio = c / b
+    print(f"chaos  baseline {b:>12.0f} points/s   "
+          f"current {c:>12.0f} points/s   ratio {ratio:.3f}")
+    if ratio < 1.0 - max_loss:
+        print(f"chaos: regressed more than {max_loss:.0%}", file=sys.stderr)
+        fail = True
+    if all(bc[k] == cc[k] for k in ("cases", "points")):
+        print(f"chaos digest: {bc['digest']} vs {cc['digest']} "
+              f"({bc['strict']}/{bc['lossy']} vs {cc['strict']}/{cc['lossy']} "
+              f"strict/lossy)")
+        if bc["digest"] != cc["digest"]:
+            print("chaos: sweep digest changed — semantics moved",
+                  file=sys.stderr)
+            fail = True
+        if (bc["strict"], bc["lossy"]) != (cc["strict"], cc["lossy"]):
+            print("chaos: point outcomes changed — semantics moved",
+                  file=sys.stderr)
+            fail = True
 sys.exit(1 if fail else 0)
 PY
 echo "bench gate OK"

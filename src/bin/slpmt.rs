@@ -1178,6 +1178,44 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     }
     let serve_req_per_s = serve_row.served as f64 / serve_wall;
 
+    // Chaos: the crash-during-serve battery at a fixed modest shape
+    // (its cost scales with points × trace length, not --ops). The
+    // sweep digest, point counts and contract counters are
+    // deterministic — bench.sh hard-gates them — while wall time
+    // tracks host throughput of the full serve/recover/retry path.
+    let chaos_cases_v = slpmt::bench::chaos::chaos_cases(
+        &[Scheme::Slpmt, Scheme::SlpmtRedo],
+        IndexKind::KvBtree,
+        42,
+        40,
+        &[
+            slpmt::workloads::ycsb::MixSpec::YCSB_A,
+            slpmt::workloads::ycsb::MixSpec::YCSB_B,
+        ],
+    );
+    let mut chaos_wall = f64::INFINITY;
+    let mut chaos_report = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = slpmt::bench::chaos::run_chaos_sweep(&chaos_cases_v, &[], 4);
+        chaos_wall = chaos_wall.min(t0.elapsed().as_secs_f64());
+        if let Some(prev) = &chaos_report {
+            let prev: &slpmt::bench::chaos::ChaosSweepReport = prev;
+            if prev.digest != r.digest {
+                return Err(format!(
+                    "chaos sweep diverged across reps: digest {:016x} vs {:016x}",
+                    prev.digest, r.digest
+                ));
+            }
+        }
+        chaos_report = Some(r);
+    }
+    let chaos_report = chaos_report.expect("reps >= 1");
+    if !chaos_report.is_clean() {
+        return Err(format!("chaos bench sweep failed:\n{chaos_report}"));
+    }
+    let chaos_points_per_s = chaos_report.points as f64 / chaos_wall;
+
     let micro_rows = micro::run_all(4096, reps);
 
     if json {
@@ -1297,6 +1335,29 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         w.key("req_per_s");
         w.f64(serve_req_per_s);
         w.end_obj();
+        w.key("chaos");
+        w.begin_obj();
+        w.key("cases");
+        w.u64(chaos_report.cases as u64);
+        w.key("points");
+        w.u64(chaos_report.points as u64);
+        w.key("strict");
+        w.u64(chaos_report.strict as u64);
+        w.key("lossy");
+        w.u64(chaos_report.lossy as u64);
+        w.key("suppressed");
+        w.u64(chaos_report.totals.suppressed);
+        w.key("refused_writes");
+        w.u64(chaos_report.totals.refused_writes);
+        w.key("scrubbed");
+        w.u64(chaos_report.totals.scrubbed);
+        w.key("digest");
+        w.string(&format!("{:016x}", chaos_report.digest));
+        w.key("wall_s");
+        w.f64(chaos_wall);
+        w.key("points_per_s");
+        w.f64(chaos_points_per_s);
+        w.end_obj();
         w.key("micro");
         w.begin_arr();
         for row in &micro_rows {
@@ -1358,6 +1419,15 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         serve_row.overall.p50,
         serve_row.overall.p99,
         serve_row.overall.p999
+    );
+    println!(
+        "  chaos  : {} points across {} cases ({} strict / {} lossy, digest {:016x}) \
+         in {chaos_wall:.3}s → {chaos_points_per_s:.0} points/s",
+        chaos_report.points,
+        chaos_report.cases,
+        chaos_report.strict,
+        chaos_report.lossy,
+        chaos_report.digest
     );
     println!("  micro  :");
     for row in &micro_rows {
@@ -1894,9 +1964,168 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::chaos::{chaos_cases, run_chaos_sweep};
+    use slpmt::pmem::FaultPlan;
+    use slpmt::workloads::faultsweep::default_plans;
+    use slpmt::workloads::ycsb::MixSpec;
+
+    let mut mixes = vec![MixSpec::YCSB_A, MixSpec::YCSB_B, MixSpec::DELETE_HEAVY];
+    let mut schemes = vec![Scheme::Slpmt, Scheme::SlpmtRedo];
+    let mut kind = IndexKind::KvBtree;
+    let mut seed = 42u64;
+    let mut requests = 40usize;
+    let mut points = 3usize;
+    let mut faults: Option<usize> = None;
+    let mut plans: Vec<FaultPlan> = Vec::new();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--mix" => {
+                let v = value()?;
+                if v.eq_ignore_ascii_case("all") {
+                    mixes = MixSpec::NAMED.iter().map(|&(_, m)| m).collect();
+                } else {
+                    mixes = v
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("--mix: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--scheme" => {
+                let v = value()?;
+                if v.eq_ignore_ascii_case("all") {
+                    schemes = vec![Scheme::Slpmt, Scheme::SlpmtRedo];
+                } else {
+                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                }
+            }
+            "--workload" => {
+                let v = value()?;
+                kind = parse_kind(&v).ok_or_else(|| format!("unknown workload {v}"))?;
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--requests" => requests = value()?.parse().map_err(|e| format!("--requests: {e}"))?,
+            "--points" => points = value()?.parse().map_err(|e| format!("--points: {e}"))?,
+            "--faults" => faults = Some(value()?.parse().map_err(|e| format!("--faults: {e}"))?),
+            "--plan" => plans.push(value()?.parse().map_err(|e| format!("--plan: {e}"))?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if plans.is_empty() {
+        let defaults = default_plans(seed);
+        let n = faults.unwrap_or(defaults.len()).min(defaults.len());
+        plans = defaults[..n].to_vec();
+    }
+
+    let cases = chaos_cases(&schemes, kind, seed, requests, &mixes);
+    if !json {
+        println!(
+            "chaos-sweeping {} case(s) × {points} crash point(s) × {} plan variant(s) \
+             (seed {seed}, {requests} requests) ...",
+            cases.len(),
+            plans.len() + 1
+        );
+    }
+    let report = run_chaos_sweep(&cases, &plans, points);
+    let mix_label = |m: &MixSpec| {
+        m.name()
+            .map(str::to_string)
+            .unwrap_or_else(|| m.to_string())
+    };
+    if json {
+        // Deliberately no wall-clock field: this object is diffed
+        // byte-for-byte across SLPMT_THREADS values in CI.
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("chaos");
+        w.key("schema");
+        w.u64(1);
+        w.key("seed");
+        w.u64(seed);
+        w.key("requests");
+        w.u64(requests as u64);
+        w.key("points_per_plan");
+        w.u64(points as u64);
+        w.key("plans");
+        w.u64(plans.len() as u64);
+        w.key("workload");
+        w.string(&kind.to_string());
+        w.key("mixes");
+        w.begin_arr();
+        for m in &mixes {
+            w.string(&mix_label(m));
+        }
+        w.end_arr();
+        w.key("schemes");
+        w.begin_arr();
+        for s in &schemes {
+            w.string(&s.to_string());
+        }
+        w.end_arr();
+        w.key("cases");
+        w.u64(report.cases as u64);
+        w.key("points");
+        w.u64(report.points as u64);
+        w.key("strict");
+        w.u64(report.strict as u64);
+        w.key("lossy");
+        w.u64(report.lossy as u64);
+        w.key("lost_lines");
+        w.u64(report.lost_lines);
+        w.key("acked");
+        w.u64(report.totals.acked);
+        w.key("durable");
+        w.u64(report.totals.durable);
+        w.key("retried");
+        w.u64(report.totals.retried);
+        w.key("suppressed");
+        w.u64(report.totals.suppressed);
+        w.key("refused_writes");
+        w.u64(report.totals.refused_writes);
+        w.key("scrubbed");
+        w.u64(report.totals.scrubbed);
+        w.key("poison_checked");
+        w.u64(report.poison_checked as u64);
+        w.key("poison_caught");
+        w.u64(report.poison_caught as u64);
+        w.key("digest");
+        w.string(&format!("{:016x}", report.digest));
+        w.key("clean");
+        w.bool(report.is_clean());
+        w.key("failures");
+        w.begin_arr();
+        for fail in &report.failures {
+            w.string(fail);
+        }
+        w.end_arr();
+        w.end_obj();
+        println!("{}", w.finish());
+    } else {
+        print!("{report}");
+        println!("  digest {:016x}", report.digest);
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|ycsb|serve|bench> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|ycsb|serve|chaos|bench> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          trace: [--scheme S] [--workload W] [--ops N] [--value B] [--seed N] [--out FILE]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
@@ -1910,6 +2139,8 @@ fn usage() -> ExitCode {
          serve: [--mix M[,M..]|all] [--scheme S|all] [--workload W] [--shards N[,N..]] \
          [--load N] [--requests N] [--value B] [--seed N] [--sessions N] \
          [--open-loop] [--gap CYCLES] [--jitter WINDOW] [--queue-limit N] [--json]\n\
+         chaos: [--mix M[,M..]|all] [--scheme S|all] [--workload W] [--seed N] \
+         [--requests N] [--points N] [--faults N] [--plan s<seed>:t<0|1>:p<n>:f<n>:j<n>] [--json]\n\
          bench: [--ops N] [--value B] [--reps N] [--json]\n\
          matrix also accepts --json; sweep failures auto-dump traces to target/traces/\n\
          indices: {}",
@@ -2010,6 +2241,13 @@ fn main() -> ExitCode {
             }
         },
         "serve" => match cmd_serve(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "chaos" => match cmd_chaos(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
