@@ -96,7 +96,7 @@ fn main() {
         let start = Instant::now();
         let _ = par_map_with(&cells, n, |c| {
             run_inserts_with(
-                MachineConfig::for_scheme(c.scheme),
+                MachineConfig::for_kind(c.scheme),
                 c.kind,
                 &ops,
                 256,

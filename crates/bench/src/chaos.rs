@@ -22,7 +22,7 @@
 //! byte-identical for a given matrix at any `SLPMT_THREADS`.
 
 use crate::runner::{par_map_with, threads};
-use slpmt_core::Scheme;
+use slpmt_core::SchemeKind;
 use slpmt_kv::chaos::{
     chaos_points, check_chaos_point, count_chaos_events, ChaosCase, ChaosOutcome, ChaosReport,
 };
@@ -113,8 +113,8 @@ impl fmt::Display for ChaosSweepReport {
 
 /// The mix × scheme chaos matrix (mix-major, matching the repo's
 /// kind-major matrix convention), all on the same backend.
-pub fn chaos_cases(
-    schemes: &[Scheme],
+pub fn chaos_cases<S: Into<SchemeKind> + Copy>(
+    schemes: &[S],
     kind: IndexKind,
     seed: u64,
     requests: usize,
@@ -123,7 +123,7 @@ pub fn chaos_cases(
     let mut cases = Vec::with_capacity(schemes.len() * mixes.len());
     for &mix in mixes {
         for &scheme in schemes {
-            cases.push(ChaosCase::new(scheme, kind, seed, requests).with_mix(mix));
+            cases.push(ChaosCase::new(scheme.into(), kind, seed, requests).with_mix(mix));
         }
     }
     cases
@@ -287,6 +287,7 @@ fn run_chaos_sweep_inner(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
 
     fn tiny_cases() -> Vec<ChaosCase> {
         chaos_cases(
@@ -309,8 +310,8 @@ mod tests {
         );
         assert_eq!(cases.len(), 4);
         assert_eq!(cases[0].mix, MixSpec::YCSB_A);
-        assert_eq!(cases[0].scheme, Scheme::Slpmt);
-        assert_eq!(cases[1].scheme, Scheme::SlpmtRedo);
+        assert_eq!(cases[0].scheme, Scheme::Slpmt.into());
+        assert_eq!(cases[1].scheme, Scheme::SlpmtRedo.into());
         assert_eq!(cases[2].mix, MixSpec::YCSB_B);
     }
 

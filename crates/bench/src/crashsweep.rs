@@ -18,7 +18,7 @@
 //! print them verbatim.
 
 use crate::runner::par_map;
-use slpmt_core::Scheme;
+use slpmt_core::SchemeKind;
 use slpmt_workloads::crashsweep::{
     check_point_streaming, count_events, sample_points, trace_ops, StreamingOracle, SweepCase,
     SweepFailure,
@@ -64,8 +64,8 @@ impl fmt::Display for SweepReport {
 
 /// The scheme × workload matrix of sweep cases, one per pair, all
 /// sharing the trace parameters.
-pub fn sweep_cases(
-    schemes: &[Scheme],
+pub fn sweep_cases<S: Into<SchemeKind> + Copy>(
+    schemes: &[S],
     kinds: &[IndexKind],
     seed: u64,
     ops: usize,
@@ -81,8 +81,8 @@ pub fn sweep_cases(
 
 /// [`sweep_cases`] under a named mix with a load phase — the YCSB
 /// adversarial-traffic matrix.
-pub fn sweep_cases_mixed(
-    schemes: &[Scheme],
+pub fn sweep_cases_mixed<S: Into<SchemeKind> + Copy>(
+    schemes: &[S],
     kinds: &[IndexKind],
     seed: u64,
     load: usize,
@@ -209,6 +209,7 @@ pub fn run_sweep_sampled(cases: &[SweepCase], points_per_case: usize) -> SweepRe
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
 
     #[test]
     fn matrix_is_kind_major_and_complete() {
@@ -220,7 +221,7 @@ mod tests {
         );
         assert_eq!(cases.len(), 4);
         assert_eq!(cases[0].kind, IndexKind::Hashtable);
-        assert_eq!(cases[1].scheme, Scheme::Slpmt);
+        assert_eq!(cases[1].scheme, Scheme::Slpmt.into());
         assert_eq!(cases[2].kind, IndexKind::Heap);
     }
 

@@ -20,7 +20,7 @@
 //! replays a single one.
 
 use crate::runner::par_map;
-use slpmt_core::Scheme;
+use slpmt_core::SchemeKind;
 use slpmt_pmem::FaultPlan;
 use slpmt_workloads::crashsweep::SweepCase;
 use slpmt_workloads::faultsweep::{
@@ -66,8 +66,8 @@ impl fmt::Display for FaultSweepReport {
 
 /// The scheme × workload × plan matrix: every base pair crossed with
 /// the given plans (or [`default_plans`] when `plans` is empty).
-pub fn fault_cases(
-    schemes: &[Scheme],
+pub fn fault_cases<S: Into<SchemeKind> + Copy>(
+    schemes: &[S],
     kinds: &[IndexKind],
     seed: u64,
     ops: usize,
@@ -170,6 +170,7 @@ fn run_fault_sweep_inner(cases: &[FaultCase], points_per_case: usize) -> FaultSw
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
 
     #[test]
     fn matrix_crosses_plans_and_defaults_apply() {

@@ -16,7 +16,7 @@
 //! [`Machine`]: slpmt_core::Machine
 
 use crate::ops_count;
-use slpmt_core::{MachineConfig, Scheme};
+use slpmt_core::{MachineConfig, Scheme, SchemeKind};
 use slpmt_workloads::runner::{run_inserts_with, IndexKind, RunResult};
 use slpmt_workloads::{ycsb_load, AnnotationSource, YcsbOp};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -86,19 +86,23 @@ where
 /// One independent simulation cell of a scheme × index matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cell {
-    /// Hardware design to simulate.
-    pub scheme: Scheme,
+    /// Design to simulate (hardware scheme or software PTM flavour).
+    pub scheme: SchemeKind,
     /// Index workload to drive.
     pub kind: IndexKind,
 }
 
 /// Cartesian product of `schemes` × `kinds` in row-major (kind-major)
-/// order — the iteration order every figure harness uses.
-pub fn matrix(schemes: &[Scheme], kinds: &[IndexKind]) -> Vec<Cell> {
+/// order — the iteration order every figure harness uses. Accepts
+/// plain [`Scheme`]s or [`SchemeKind`]s.
+pub fn matrix<S: Into<SchemeKind> + Copy>(schemes: &[S], kinds: &[IndexKind]) -> Vec<Cell> {
     let mut cells = Vec::with_capacity(schemes.len() * kinds.len());
     for &kind in kinds {
         for &scheme in schemes {
-            cells.push(Cell { scheme, kind });
+            cells.push(Cell {
+                scheme: scheme.into(),
+                kind,
+            });
         }
     }
     cells
@@ -126,7 +130,7 @@ pub fn run_matrix_with(
     latency_ns: Option<u64>,
 ) -> Vec<RunResult> {
     par_map_with(cells, workers, |c| {
-        let mut cfg = MachineConfig::for_scheme(c.scheme);
+        let mut cfg = MachineConfig::for_kind(c.scheme);
         if let Some(ns) = latency_ns {
             cfg.pm = cfg.pm.with_write_latency_ns(ns);
         }
@@ -179,21 +183,21 @@ mod tests {
         assert_eq!(
             cells[0],
             Cell {
-                scheme: Scheme::Fg,
+                scheme: Scheme::Fg.into(),
                 kind: IndexKind::Hashtable
             }
         );
         assert_eq!(
             cells[1],
             Cell {
-                scheme: Scheme::Slpmt,
+                scheme: Scheme::Slpmt.into(),
                 kind: IndexKind::Hashtable
             }
         );
         assert_eq!(
             cells[2],
             Cell {
-                scheme: Scheme::Fg,
+                scheme: Scheme::Fg.into(),
                 kind: IndexKind::Rbtree
             }
         );

@@ -30,7 +30,7 @@ pub fn run_sharded(
     shards: usize,
     verify: bool,
 ) -> ShardedResult {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let parts = partition_ops(ops, shards);
     let results: Vec<RunResult> = par_map(&parts, |part| {
         run_shard(cfg.clone(), kind, part, value_size, source, verify)
@@ -58,7 +58,7 @@ pub fn run_sharded_with(
     workers: usize,
     verify: bool,
 ) -> ShardedResult {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let parts = partition_ops(ops, shards);
     let results: Vec<RunResult> = par_map_with(&parts, workers, |part| {
         run_shard(cfg.clone(), kind, part, value_size, source, verify)
@@ -87,7 +87,7 @@ pub fn run_sharded_mixed(
     shards: usize,
     verify: bool,
 ) -> ShardedResult {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let load_parts = partition_ops(load, shards);
     let parts = partition_mixed(ops, shards);
     let work: Vec<(Vec<YcsbOp>, Vec<MixedOp>)> = load_parts.into_iter().zip(parts).collect();
@@ -117,7 +117,7 @@ pub fn run_sharded_traced_with(
     shards: usize,
     workers: usize,
 ) -> (ShardedResult, Vec<Vec<TraceRecord>>) {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let parts = partition_ops(ops, shards);
     let pairs: Vec<(RunResult, Vec<TraceRecord>)> = par_map_with(&parts, workers, |part| {
         run_shard_traced(cfg.clone(), kind, part, value_size, source)

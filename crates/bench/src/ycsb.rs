@@ -11,7 +11,7 @@
 //! output is bit-identical across reruns and worker counts.
 
 use crate::runner::par_map;
-use slpmt_core::{MachineConfig, Scheme};
+use slpmt_core::{MachineConfig, SchemeKind};
 use slpmt_workloads::crashsweep::SweepCase;
 use slpmt_workloads::runner::{run_mixed_latencies, IndexKind, MixLatencies, RunResult};
 use slpmt_workloads::ycsb::{ycsb_mix, MixSpec};
@@ -22,8 +22,8 @@ use slpmt_workloads::AnnotationSource;
 pub struct YcsbCell {
     /// The operation mix.
     pub mix: MixSpec,
-    /// Hardware design to simulate.
-    pub scheme: Scheme,
+    /// Design to simulate (hardware scheme or software PTM flavour).
+    pub scheme: SchemeKind,
     /// Index workload to drive.
     pub kind: IndexKind,
 }
@@ -65,13 +65,22 @@ pub struct YcsbRow {
 }
 
 /// The mix × scheme × kind cross product, mix-major so one mix's
-/// schemes print together.
-pub fn ycsb_cells(mixes: &[MixSpec], schemes: &[Scheme], kinds: &[IndexKind]) -> Vec<YcsbCell> {
+/// schemes print together. Accepts plain [`slpmt_core::Scheme`]s or
+/// [`SchemeKind`]s.
+pub fn ycsb_cells<S: Into<SchemeKind> + Copy>(
+    mixes: &[MixSpec],
+    schemes: &[S],
+    kinds: &[IndexKind],
+) -> Vec<YcsbCell> {
     let mut cells = Vec::with_capacity(mixes.len() * schemes.len() * kinds.len());
     for &mix in mixes {
         for &kind in kinds {
             for &scheme in schemes {
-                cells.push(YcsbCell { mix, scheme, kind });
+                cells.push(YcsbCell {
+                    mix,
+                    scheme: scheme.into(),
+                    kind,
+                });
             }
         }
     }
@@ -87,7 +96,7 @@ pub fn run_ycsb_matrix(cells: &[YcsbCell], cfg: &YcsbConfig, verify: bool) -> Ve
     par_map(cells, |cell| {
         let (load, ops) = ycsb_mix(cfg.load, cfg.ops, cfg.value_size, cfg.seed, &cell.mix);
         let (result, lat) = run_mixed_latencies(
-            MachineConfig::for_scheme(cell.scheme),
+            MachineConfig::for_kind(cell.scheme),
             cell.kind,
             &load,
             &ops,
@@ -122,6 +131,7 @@ pub fn sweep_case_of(cell: &YcsbCell, cfg: &YcsbConfig) -> SweepCase {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
 
     #[test]
     fn matrix_runs_and_reports_latencies() {

@@ -60,7 +60,7 @@ pub use multi::{
 };
 pub use overhead::HardwareOverhead;
 pub use recovery::RecoveryReport;
-pub use scheme::{Discipline, Granularity, Scheme, SchemeFeatures};
+pub use scheme::{Discipline, Granularity, PtmFlavor, Scheme, SchemeFeatures, SchemeKind};
 pub use signature::{Signature, SIGNATURE_BITS};
 pub use slpmt_trace::{Event as TraceEvent, Metrics as TraceMetrics, TraceHandle, TraceRecord};
 pub use stats::MachineStats;

@@ -25,7 +25,9 @@
 //! the paper's ordering rules require (Figure 4).
 
 use crate::instr::StoreKind;
-use crate::scheme::{BufferKind, Discipline, Granularity, Scheme, SchemeFeatures};
+use crate::scheme::{
+    BufferKind, Discipline, Granularity, PtmFlavor, Scheme, SchemeFeatures, SchemeKind,
+};
 use crate::signature::Signature;
 use crate::stats::MachineStats;
 use crate::txreg::TxnIdRegister;
@@ -84,6 +86,11 @@ pub struct MachineConfig {
     /// *except* those of the in-flight transaction, which simply
     /// vanish (automatic roll-back of cache-resident updates).
     pub battery_backed: bool,
+    /// When set, the machine models the substrate for a *software* PTM
+    /// baseline: the workload layer runs the flavor's explicit
+    /// store/flush/fence protocol and never opens hardware
+    /// transactions, so none of the hardware logging features fire.
+    pub software: Option<PtmFlavor>,
 }
 
 impl MachineConfig {
@@ -98,6 +105,29 @@ impl MachineConfig {
             load_issue_cycles: 1,
             tx_begin_cycles: 20,
             battery_backed: false,
+            software: None,
+        }
+    }
+
+    /// Default configuration for any scheme column — hardware schemes
+    /// map to [`for_scheme`](Self::for_scheme); software flavors run
+    /// over the baseline cache/WPQ substrate (scheme features unused:
+    /// the flavor's protocol never opens hardware transactions).
+    pub fn for_kind(kind: impl Into<SchemeKind>) -> Self {
+        match kind.into() {
+            SchemeKind::Hardware(s) => Self::for_scheme(s),
+            SchemeKind::Software(f) => MachineConfig {
+                software: Some(f),
+                ..Self::for_scheme(Scheme::Fg)
+            },
+        }
+    }
+
+    /// The scheme column this configuration simulates.
+    pub fn kind(&self) -> SchemeKind {
+        match self.software {
+            Some(f) => SchemeKind::Software(f),
+            None => SchemeKind::Hardware(self.scheme),
         }
     }
 
@@ -669,6 +699,71 @@ impl Machine {
     /// durability point).
     fn persist_line_sync(&mut self, addr: PmAddr, data: &[u8; LINE_BYTES]) {
         self.now = self.dev.persist_line(self.now, addr, data);
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit persistence instructions (software PTM protocols)
+
+    /// `clwb`: writes back the cached copy of `addr`'s line to the
+    /// device without invalidating it. The requester waits for WPQ
+    /// acceptance — under ADR that is the durability point, so a
+    /// `clwb`'d line is durable in program order even before the next
+    /// `sfence` (the fence only orders *later* persists behind the
+    /// drain). Clean or uncached lines cost the issue cycle and
+    /// nothing else. Returns whether a dirty copy was written back.
+    pub fn clwb(&mut self, addr: PmAddr) -> bool {
+        let line = addr.line();
+        self.now += self.cfg.store_issue_cycles;
+        self.stats.flushes += 1;
+        let found = [&mut self.core.l1, &mut self.l2, &mut self.l3]
+            .into_iter()
+            .find_map(|c| {
+                c.peek_mut(line).and_then(|e| {
+                    if e.meta.dirty {
+                        e.meta.dirty = false;
+                        e.meta.txn_id = None;
+                        Some((e.addr, e.data))
+                    } else {
+                        None
+                    }
+                })
+            });
+        match found {
+            Some((la, data)) => {
+                self.persist_line_sync(la, &data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `sfence`: stalls the core until every persist accepted so far
+    /// has drained from the WPQ to the medium — the ordering point the
+    /// software commit protocols fence on.
+    pub fn sfence(&mut self) {
+        self.stats.fences += 1;
+        let drained = self.dev.drained_by(self.now);
+        self.stats.fence_stall_cycles += drained.saturating_sub(self.now);
+        self.now = self.now.max(drained);
+    }
+
+    /// Mutable event counters (software PTM protocols account their
+    /// log traffic here).
+    pub fn stats_mut(&mut self) -> &mut MachineStats {
+        &mut self.stats
+    }
+
+    /// Synchronous, timed line persist straight to the device for
+    /// recovery repairs: the caller provides the full line image. The
+    /// line must not be cached (recovery runs on a cold machine).
+    pub fn persist_line_direct(&mut self, addr: PmAddr, data: &[u8; LINE_BYTES]) {
+        debug_assert!(
+            self.core.l1.peek(addr).is_none()
+                && self.l2.peek(addr).is_none()
+                && self.l3.peek(addr).is_none(),
+            "persist_line_direct would bypass a cached copy of {addr}"
+        );
+        self.persist_line_sync(addr.line(), data);
     }
 
     fn persist_flush(&mut self, ev: FlushEvent, sync: bool) {

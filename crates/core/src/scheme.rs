@@ -169,6 +169,161 @@ impl Scheme {
     }
 }
 
+/// The software persistent-transaction baselines (durabletx family):
+/// log protocols executed as explicit store/flush/fence streams over
+/// the same cache hierarchy and WPQ, with no hardware logging features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtmFlavor {
+    /// Classic software undo logging: each pre-image record is flushed
+    /// and fenced before the in-place store it covers.
+    UndoLog,
+    /// Software redo logging: 4-fence commit (records, marker, apply,
+    /// truncate) with log-then-apply write traffic.
+    RedoLog,
+    /// Romulus-style redo logging: the 4-fence redo protocol plus a
+    /// back-strip copy of every applied line (main/back replication).
+    RomulusLog,
+    /// Trinity: 2-fence commit — per-record fences elided because
+    /// flush acceptance is already ordered, one fence to seal the log
+    /// and one to seal the in-place apply.
+    Trinity,
+    /// Quadra: 1-fence commit via a self-validating (CRC-tagged)
+    /// commit record persisted in the same drain as the log body.
+    Quadra,
+}
+
+impl PtmFlavor {
+    /// All software flavors, in fence-count order (cheap to costly).
+    pub const ALL: [PtmFlavor; 5] = [
+        PtmFlavor::Quadra,
+        PtmFlavor::Trinity,
+        PtmFlavor::RedoLog,
+        PtmFlavor::RomulusLog,
+        PtmFlavor::UndoLog,
+    ];
+
+    /// The number of sfences the commit protocol issues per
+    /// transaction (UndoLog additionally fences once per fresh word).
+    pub fn commit_fences(self) -> u64 {
+        match self {
+            PtmFlavor::Quadra => 1,
+            PtmFlavor::Trinity => 2,
+            PtmFlavor::RedoLog | PtmFlavor::RomulusLog => 4,
+            PtmFlavor::UndoLog => 2,
+        }
+    }
+
+    /// Whether the flavor buffers writes in a volatile redo overlay
+    /// until commit (log-then-apply) rather than writing in place.
+    pub fn is_redo(self) -> bool {
+        matches!(
+            self,
+            PtmFlavor::RedoLog | PtmFlavor::RomulusLog | PtmFlavor::Quadra
+        )
+    }
+}
+
+impl fmt::Display for PtmFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PtmFlavor::UndoLog => "UNDOLOG",
+            PtmFlavor::RedoLog => "REDOLOG",
+            PtmFlavor::RomulusLog => "ROMULUS",
+            PtmFlavor::Trinity => "TRINITY",
+            PtmFlavor::Quadra => "QUADRA",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A scheme column of the comparison matrix: either one of the
+/// hardware designs or a software PTM baseline. This is the single
+/// shared registry every `--scheme all` sweep iterates, so adding a
+/// flavor here adds it to every driver at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// A hardware scheme (FG/SLPMT/ATOM/EDE families).
+    Hardware(Scheme),
+    /// A software PTM baseline run with hardware logging disabled.
+    Software(PtmFlavor),
+}
+
+impl SchemeKind {
+    /// Every scheme column, hardware first (figure order, then the
+    /// redo-discipline variants), then the software flavors.
+    pub const REGISTRY: [SchemeKind; 15] = [
+        SchemeKind::Hardware(Scheme::Fg),
+        SchemeKind::Hardware(Scheme::FgLg),
+        SchemeKind::Hardware(Scheme::FgLz),
+        SchemeKind::Hardware(Scheme::Slpmt),
+        SchemeKind::Hardware(Scheme::Atom),
+        SchemeKind::Hardware(Scheme::Ede),
+        SchemeKind::Hardware(Scheme::FgCl),
+        SchemeKind::Hardware(Scheme::SlpmtCl),
+        SchemeKind::Hardware(Scheme::FgRedo),
+        SchemeKind::Hardware(Scheme::SlpmtRedo),
+        SchemeKind::Software(PtmFlavor::Quadra),
+        SchemeKind::Software(PtmFlavor::Trinity),
+        SchemeKind::Software(PtmFlavor::RedoLog),
+        SchemeKind::Software(PtmFlavor::RomulusLog),
+        SchemeKind::Software(PtmFlavor::UndoLog),
+    ];
+
+    /// The software columns only.
+    pub const SOFTWARE: [SchemeKind; 5] = [
+        SchemeKind::Software(PtmFlavor::Quadra),
+        SchemeKind::Software(PtmFlavor::Trinity),
+        SchemeKind::Software(PtmFlavor::RedoLog),
+        SchemeKind::Software(PtmFlavor::RomulusLog),
+        SchemeKind::Software(PtmFlavor::UndoLog),
+    ];
+
+    /// The hardware scheme, when this is a hardware column.
+    pub fn hardware(self) -> Option<Scheme> {
+        match self {
+            SchemeKind::Hardware(s) => Some(s),
+            SchemeKind::Software(_) => None,
+        }
+    }
+
+    /// The software flavor, when this is a software column.
+    pub fn software(self) -> Option<PtmFlavor> {
+        match self {
+            SchemeKind::Hardware(_) => None,
+            SchemeKind::Software(f) => Some(f),
+        }
+    }
+
+    /// Parses a scheme name (case-insensitive Display form) against
+    /// the shared registry.
+    pub fn parse(name: &str) -> Option<SchemeKind> {
+        SchemeKind::REGISTRY
+            .into_iter()
+            .find(|k| k.to_string().eq_ignore_ascii_case(name))
+    }
+}
+
+impl From<Scheme> for SchemeKind {
+    fn from(s: Scheme) -> Self {
+        SchemeKind::Hardware(s)
+    }
+}
+
+impl From<PtmFlavor> for SchemeKind {
+    fn from(f: PtmFlavor) -> Self {
+        SchemeKind::Software(f)
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeKind::Hardware(s) => s.fmt(f),
+            SchemeKind::Software(p) => p.fmt(f),
+        }
+    }
+}
+
 impl fmt::Display for Scheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -250,5 +405,47 @@ mod tests {
             names,
             ["FG", "FG+LG", "FG+LZ", "SLPMT", "ATOM", "EDE", "FG-CL", "SLPMT-CL"]
         );
+    }
+
+    #[test]
+    fn registry_covers_hardware_and_software() {
+        // Every hardware scheme (figure order + redo variants) and
+        // every software flavor appears exactly once in the registry.
+        let hw: Vec<Scheme> = SchemeKind::REGISTRY
+            .iter()
+            .filter_map(|k| k.hardware())
+            .collect();
+        let expect: Vec<Scheme> = Scheme::ALL.into_iter().chain(Scheme::REDO).collect();
+        assert_eq!(hw, expect);
+        let sw: Vec<PtmFlavor> = SchemeKind::REGISTRY
+            .iter()
+            .filter_map(|k| k.software())
+            .collect();
+        assert_eq!(sw.len(), PtmFlavor::ALL.len());
+        for f in PtmFlavor::ALL {
+            assert!(sw.contains(&f), "{f} missing from registry");
+        }
+    }
+
+    #[test]
+    fn registry_parse_round_trips() {
+        for k in SchemeKind::REGISTRY {
+            let name = k.to_string();
+            assert_eq!(SchemeKind::parse(&name), Some(k));
+            assert_eq!(SchemeKind::parse(&name.to_lowercase()), Some(k));
+        }
+        assert_eq!(SchemeKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn flavor_fence_budgets() {
+        assert_eq!(PtmFlavor::Quadra.commit_fences(), 1);
+        assert_eq!(PtmFlavor::Trinity.commit_fences(), 2);
+        assert_eq!(PtmFlavor::RedoLog.commit_fences(), 4);
+        assert_eq!(PtmFlavor::RomulusLog.commit_fences(), 4);
+        assert!(PtmFlavor::UndoLog.commit_fences() >= 2);
+        assert!(!PtmFlavor::UndoLog.is_redo());
+        assert!(!PtmFlavor::Trinity.is_redo());
+        assert!(PtmFlavor::Quadra.is_redo());
     }
 }

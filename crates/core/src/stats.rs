@@ -45,6 +45,14 @@ pub struct MachineStats {
     pub commit_stall_cycles: u64,
     /// Cycles charged as pure compute by the workload.
     pub compute_cycles: u64,
+    /// Explicit `sfence` instructions executed (software PTM paths;
+    /// hardware schemes order persists in the commit engine instead).
+    pub fences: u64,
+    /// Explicit `clwb` flush instructions executed (software PTM
+    /// paths).
+    pub flushes: u64,
+    /// Cycles spent stalled in `sfence` waiting for the WPQ to drain.
+    pub fence_stall_cycles: u64,
 }
 
 impl MachineStats {
@@ -99,6 +107,9 @@ impl MachineStats {
         self.signature_hits += other.signature_hits;
         self.commit_stall_cycles += other.commit_stall_cycles;
         self.compute_cycles += other.compute_cycles;
+        self.fences += other.fences;
+        self.flushes += other.flushes;
+        self.fence_stall_cycles += other.fence_stall_cycles;
     }
 }
 
@@ -141,7 +152,13 @@ impl fmt::Display for MachineStats {
             self.lazy_lines_overflowed
         )?;
         writeln!(f, "signature hits         {:>12}", self.signature_hits)?;
-        write!(f, "commit stall cycles    {:>12}", self.commit_stall_cycles)
+        writeln!(f, "commit stall cycles    {:>12}", self.commit_stall_cycles)?;
+        writeln!(
+            f,
+            "fences/flushes         {:>6}/{:>6}",
+            self.fences, self.flushes
+        )?;
+        write!(f, "fence stall cycles     {:>12}", self.fence_stall_cycles)
     }
 }
 

@@ -55,7 +55,7 @@ use crate::service::{dispatch, encode_request, take_request, TokenModel};
 use crate::session::{AckJournal, Session};
 use crate::store::{CasOutcome, KvStore};
 use crate::sweep::check_store;
-use slpmt_core::Scheme;
+use slpmt_core::SchemeKind;
 use slpmt_pmem::FaultPlan;
 use slpmt_trace::Event;
 use slpmt_workloads::crashsweep::{sample_points, StreamingOracle};
@@ -82,7 +82,7 @@ pub const SCRUB_BATCH_PER_BACKOFF: usize = 4;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChaosCase {
     /// Simulated logging scheme.
-    pub scheme: Scheme,
+    pub scheme: SchemeKind,
     /// Index backend behind the facade.
     pub kind: IndexKind,
     /// Trace seed.
@@ -104,9 +104,9 @@ pub struct ChaosCase {
 impl ChaosCase {
     /// A baseline case: 30 loaded keys + `requests` YCSB-A requests of
     /// 16-byte values across 4 pipelined sessions.
-    pub fn new(scheme: Scheme, kind: IndexKind, seed: u64, requests: usize) -> Self {
+    pub fn new(scheme: impl Into<SchemeKind>, kind: IndexKind, seed: u64, requests: usize) -> Self {
         ChaosCase {
-            scheme,
+            scheme: scheme.into(),
             kind,
             seed,
             load: 30,
@@ -391,7 +391,7 @@ pub fn run_chaos_point(
 
     // Phase 2: crash, derive the durable prefix, pin the contract.
     store.crash();
-    let marker = store.machine().device().log().max_committed_seq();
+    let marker = store.durable_commit_seq();
     let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
     if acked_global as u64 != journal.total() {
         return Err(format!(
@@ -634,6 +634,7 @@ pub fn chaos_points(case: &ChaosCase, n: u64, count: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
     use slpmt_workloads::faultsweep::default_plans;
 
     fn base(seed: u64, requests: usize) -> ChaosCase {

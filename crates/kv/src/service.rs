@@ -23,7 +23,7 @@ use crate::admission::{admit, Admission, AdmissionConfig, AdmissionStats};
 use crate::codec::{reply, Codec, Request};
 use crate::session::Session;
 use crate::store::{fingerprint, CasOutcome, KvStore};
-use slpmt_core::{MachineConfig, Scheme};
+use slpmt_core::{MachineConfig, SchemeKind};
 use slpmt_pmem::PmConfig;
 use slpmt_prng::splitmix64;
 use slpmt_trace::{Event, RequestVerb};
@@ -138,7 +138,7 @@ pub fn class_of(verb: &str) -> usize {
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Simulated logging scheme.
-    pub scheme: Scheme,
+    pub scheme: SchemeKind,
     /// Index backend behind the facade.
     pub kind: IndexKind,
     /// YCSB mix shaping the request stream.
@@ -175,9 +175,9 @@ impl ServeConfig {
     /// Baseline configuration for a `(scheme, kind, mix)` triple: 500
     /// loaded keys, 1000 requests of 32-byte values, seed 42, one
     /// shard, four sessions, closed loop, default admission.
-    pub fn new(scheme: Scheme, kind: IndexKind, mix: MixSpec) -> Self {
+    pub fn new(scheme: impl Into<SchemeKind>, kind: IndexKind, mix: MixSpec) -> Self {
         ServeConfig {
-            scheme,
+            scheme: scheme.into(),
             kind,
             mix,
             load: 500,
@@ -428,8 +428,8 @@ pub fn run_shard_service(
     reqs: &[KvRequest],
 ) -> ShardServeReport {
     let machine_cfg = match &cfg.pm {
-        Some(pm) => MachineConfig::for_scheme(cfg.scheme).with_pm(pm.clone()),
-        None => MachineConfig::for_scheme(cfg.scheme),
+        Some(pm) => MachineConfig::for_kind(cfg.scheme).with_pm(pm.clone()),
+        None => MachineConfig::for_kind(cfg.scheme),
     };
     let mut store = KvStore::with_config(machine_cfg, cfg.kind, cfg.value_size);
     store.prefault(loads.len() + reqs.len());
@@ -598,6 +598,7 @@ pub fn run_serve_serial(cfg: &ServeConfig) -> Vec<ShardServeReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
 
     fn base() -> ServeConfig {
         let mut cfg = ServeConfig::new(Scheme::Slpmt, IndexKind::KvBtree, MixSpec::YCSB_A);

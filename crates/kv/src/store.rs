@@ -15,7 +15,7 @@
 //! decodes on the way out, so callers only ever see raw payloads.
 
 use slpmt_annotate::AnnotationTable;
-use slpmt_core::{Machine, MachineConfig, RecoveryReport, Scheme};
+use slpmt_core::{Machine, MachineConfig, RecoveryReport, SchemeKind};
 use slpmt_pmem::PmAddr;
 use slpmt_prng::splitmix64;
 use slpmt_workloads::ctx::AnnotationSource;
@@ -119,8 +119,8 @@ pub struct KvStore {
 impl KvStore {
     /// Opens a store simulating `scheme` over a fresh `kind` index
     /// accepting values up to `max_value` bytes.
-    pub fn open(scheme: Scheme, kind: IndexKind, max_value: usize) -> Self {
-        Self::with_config(MachineConfig::for_scheme(scheme), kind, max_value)
+    pub fn open(scheme: impl Into<SchemeKind>, kind: IndexKind, max_value: usize) -> Self {
+        Self::with_config(MachineConfig::for_kind(scheme), kind, max_value)
     }
 
     /// Opens a store from an explicit machine configuration (timing
@@ -450,7 +450,14 @@ impl KvStore {
     /// Sequence number of the most recent durable transaction (the
     /// oracle's committed-prefix clock).
     pub fn txn_seq(&self) -> u64 {
-        self.ctx.machine().txn_seq()
+        self.ctx.txn_seq()
+    }
+
+    /// Sequence number of the most recent transaction whose commit is
+    /// durable in the pre-recovery PM image (hardware log tail or
+    /// software commit header, per the configured design).
+    pub fn durable_commit_seq(&self) -> u64 {
+        self.ctx.durable_commit_seq()
     }
 
     /// The underlying machine (stats, WPQ knobs, crash arming).
@@ -496,6 +503,7 @@ impl std::fmt::Debug for KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
 
     fn store() -> KvStore {
         KvStore::open(Scheme::Slpmt, IndexKind::KvBtree, 24)

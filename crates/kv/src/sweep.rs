@@ -21,7 +21,7 @@
 use crate::codec::{Codec, Parse};
 use crate::service::{dispatch, encode_request, TokenModel};
 use crate::store::KvStore;
-use slpmt_core::Scheme;
+use slpmt_core::SchemeKind;
 use slpmt_pmem::FaultPlan;
 use slpmt_workloads::crashsweep::{sample_points, StreamingOracle};
 use slpmt_workloads::ycsb::MixedOp;
@@ -34,7 +34,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KvSweepCase {
     /// Simulated logging scheme.
-    pub scheme: Scheme,
+    pub scheme: SchemeKind,
     /// Index backend behind the facade.
     pub kind: IndexKind,
     /// Trace seed.
@@ -52,9 +52,9 @@ pub struct KvSweepCase {
 impl KvSweepCase {
     /// A baseline case: 30 loaded keys + `requests` YCSB-A requests of
     /// 16-byte values.
-    pub fn new(scheme: Scheme, kind: IndexKind, seed: u64, requests: usize) -> Self {
+    pub fn new(scheme: impl Into<SchemeKind>, kind: IndexKind, seed: u64, requests: usize) -> Self {
         KvSweepCase {
-            scheme,
+            scheme: scheme.into(),
             kind,
             seed,
             load: 30,
@@ -210,7 +210,7 @@ pub fn run_service_crash_at(
         }
     }
     store.crash();
-    let marker = store.machine().device().log().max_committed_seq();
+    let marker = store.durable_commit_seq();
     let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
     oracle.advance_to(b);
     store.recover();
@@ -283,7 +283,7 @@ pub fn run_service_fault_at(case: &KvSweepCase, plan: &FaultPlan, k: u64) -> Res
         }
     }
     store.crash();
-    let marker = store.machine().device().log().max_committed_seq();
+    let marker = store.durable_commit_seq();
     let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
     // Log replay must never panic, whatever the media did.
     let report = match catch_unwind(AssertUnwindSafe(|| store.replay())) {
@@ -349,6 +349,7 @@ pub fn run_service_fault_at(case: &KvSweepCase, plan: &FaultPlan, k: u64) -> Res
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slpmt_core::Scheme;
     use slpmt_workloads::faultsweep::default_plans;
 
     #[test]

@@ -1,0 +1,917 @@
+//! Software persistent-transaction baselines (the durabletx family).
+//!
+//! Each [`PtmFlavor`] is executed as an explicit store/flush/fence
+//! instruction stream over the unmodified `pmem` cache hierarchy, WPQ
+//! and device — no hardware logging features fire, so these models
+//! answer the comparison the hardware matrix alone cannot: is the
+//! hardware worth it versus good software?
+//!
+//! * **UndoLog** — classic software undo logging: every first write to
+//!   a word logs its pre-image, `clwb`s the record line and fences
+//!   before the in-place store; commit flushes the write set and seals
+//!   the header (≥2 fences per transaction plus one per fresh word).
+//! * **Trinity** — the same in-place write path, but the per-record
+//!   fence is elided: `clwb` acceptance is synchronous (ADR puts the
+//!   durability point at WPQ acceptance), so record/data ordering is
+//!   already program order. 2 fences per transaction.
+//! * **RedoLog** — writes buffer in a volatile overlay; commit logs the
+//!   new values, seals a commit marker, applies in place and advances
+//!   the header: the classic 4-fence log-then-apply protocol.
+//! * **RomulusLog** — RedoLog plus a back-strip copy of every applied
+//!   line (main/back replication write traffic). 4 fences.
+//! * **Quadra** — a self-validating (CRC-tagged) commit record rides
+//!   the same WPQ drain as the log body, collapsing commit to a single
+//!   fence.
+//!
+//! ### Durable layout
+//!
+//! The software log lives in plain `PmSpace` lines in a reserved arena
+//! at the top of the PM address range — there is nothing special about
+//! these lines; crash, tear and poison semantics are exactly those of
+//! any data line. Recovery therefore validates them with the same
+//! CRC-tagged record rules the hardware log region uses
+//! ([`slpmt_pmem::log_region::record_crc`] /
+//! [`slpmt_pmem::log_region::marker_crc`]):
+//!
+//! ```text
+//! arena+0    header line:  word0 = committed txn seq, word1 = marker_crc(seq)
+//! arena+64   marker line:  word0 = txn seq, word1 = marker_crc(seq)
+//! arena+128  Romulus back strip (rotating line slots)
+//! arena+4096 record slots: 32 B each, two per line, never line-spanning
+//!            word0 tag  = kind<<56 | txn seq
+//!            word1 addr = target word address
+//!            word2 data = payload word (pre-image for undo, new value for redo)
+//!            word3 crc  = record_crc(slot, txn, addr, payload)
+//! ```
+//!
+//! Records are written with four back-to-back stores, so no partial
+//! record can reach the medium without an injected tear: the line
+//! cannot be evicted between consecutive stores to it, and `clwb`
+//! persists whole lines atomically. The per-transaction record area
+//! head resets at `tx_begin`; stale slots are rejected by their
+//! transaction tag.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use slpmt_core::{Machine, PtmFlavor, RecoveryReport, StoreKind};
+use slpmt_pmem::log_region::{marker_crc, record_crc};
+use slpmt_pmem::{PmAddr, LINE_BYTES, WORD_BYTES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bytes reserved at the top of the PM range for the software log
+/// arena (header + marker + back strip + record slots).
+pub const ARENA_BYTES: u64 = 4 << 20;
+
+/// Byte offset of the record slots within the arena.
+const RECORDS_OFF: u64 = 4096;
+
+/// Byte offset of the commit-marker line within the arena.
+const MARKER_OFF: u64 = 64;
+
+/// Byte offset and extent of the Romulus back strip.
+const BACK_OFF: u64 = 128;
+const BACK_LINES: u64 = 32;
+
+/// On-media record size: tag, address, payload, CRC — four words.
+const RECORD_BYTES: u64 = 32;
+
+/// Record-kind tags (top byte of the tag word).
+const KIND_DATA: u64 = 1;
+const KIND_COMMIT: u64 = 2;
+
+/// Low 56 bits of the tag word carry the transaction sequence.
+const TAG_SEQ_MASK: u64 = (1 << 56) - 1;
+
+/// The open software transaction.
+#[derive(Debug, Clone, Default)]
+struct SoftTx {
+    /// Global sequence number (shared numbering with the oracle).
+    seq: u64,
+    /// Record slots written so far (the per-transaction log head).
+    records: u64,
+    /// Undo family: word addresses already logged this transaction.
+    logged: BTreeSet<u64>,
+    /// Undo family: volatile pre-images in log order, for `tx_abort`.
+    undo: Vec<(u64, u64)>,
+    /// Undo family: data lines the transaction dirtied in place.
+    data_lines: BTreeSet<u64>,
+    /// Redo family: the volatile write-set overlay (word addr → value),
+    /// applied in address order at commit.
+    overlay: BTreeMap<u64, u64>,
+}
+
+/// Cumulative accounting of a software backend's log traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PtmTraffic {
+    /// Log records written (data + commit records).
+    pub log_records: u64,
+    /// Media bytes written to the arena (line persists × 64).
+    pub log_media_bytes: u64,
+}
+
+/// The software-PTM execution state layered over a [`Machine`]. The
+/// owner routes every transactional operation through this state; the
+/// machine itself never opens a hardware transaction.
+#[derive(Debug, Clone)]
+pub struct SoftState {
+    flavor: PtmFlavor,
+    arena: PmAddr,
+    cur: Option<SoftTx>,
+    /// Sequence the next `tx_begin` takes; monotone across crashes.
+    next_seq: u64,
+    /// Sequence of the most recently begun transaction.
+    last_seq: u64,
+    /// Romulus back-strip rotation cursor.
+    back_slot: u64,
+    /// Cumulative log-traffic accounting.
+    pub traffic: PtmTraffic,
+}
+
+impl SoftState {
+    /// Carves the log arena out of the top of the machine's PM range
+    /// and seals an initial (seq 0) header so recovery always finds a
+    /// valid-or-torn header pair.
+    pub fn new(flavor: PtmFlavor, machine: &mut Machine) -> Self {
+        let capacity = machine.config().pm.pm_capacity;
+        assert!(
+            capacity > ARENA_BYTES + RECORDS_OFF,
+            "PM capacity {capacity} too small for the software log arena"
+        );
+        let arena = PmAddr::new(capacity - ARENA_BYTES);
+        assert!(arena.is_line_aligned(), "arena base must be line-aligned");
+        let state = SoftState {
+            flavor,
+            arena,
+            cur: None,
+            next_seq: 1,
+            last_seq: 0,
+            back_slot: 0,
+            traffic: PtmTraffic::default(),
+        };
+        let mut line = [0u8; LINE_BYTES];
+        line[..8].copy_from_slice(&0u64.to_le_bytes());
+        line[8..16].copy_from_slice(&(marker_crc(0) as u64).to_le_bytes());
+        machine.setup_write(arena, &line);
+        machine.setup_write(arena.add(MARKER_OFF), &line);
+        state
+    }
+
+    /// The flavor this state executes.
+    pub fn flavor(&self) -> PtmFlavor {
+        self.flavor
+    }
+
+    /// Sequence number of the most recently begun transaction (the
+    /// oracle's per-op stamp).
+    pub fn txn_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// `true` while a software transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.cur.is_some()
+    }
+
+    fn records_base(&self) -> PmAddr {
+        self.arena.add(RECORDS_OFF)
+    }
+
+    fn record_capacity(&self) -> u64 {
+        (ARENA_BYTES - RECORDS_OFF) / RECORD_BYTES
+    }
+
+    // ------------------------------------------------------------------
+    // Transactional API
+
+    /// Opens a software transaction.
+    pub fn tx_begin(&mut self, m: &mut Machine) {
+        assert!(self.cur.is_none(), "software transactions do not nest");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.last_seq = seq;
+        m.compute(m.config().tx_begin_cycles);
+        m.stats_mut().tx_begins += 1;
+        self.cur = Some(SoftTx {
+            seq,
+            ..SoftTx::default()
+        });
+    }
+
+    /// Stores one word under the flavor's protocol.
+    pub fn store(&mut self, m: &mut Machine, addr: PmAddr, value: u64) {
+        assert!(
+            self.cur.is_some(),
+            "software stores run inside transactions"
+        );
+        if self.flavor.is_redo() {
+            // Redo family: buffer in the volatile overlay; the store
+            // itself costs only the write-set insert.
+            m.compute(m.config().store_issue_cycles);
+            self.cur
+                .as_mut()
+                .expect("open txn")
+                .overlay
+                .insert(addr.raw(), value);
+            return;
+        }
+        // Undo family: log the pre-image on first write, then store in
+        // place.
+        let fresh = !self
+            .cur
+            .as_ref()
+            .expect("open txn")
+            .logged
+            .contains(&addr.raw());
+        if fresh {
+            let pre = m.load_u64(addr);
+            self.write_record(m, KIND_DATA, addr, pre);
+            if self.flavor == PtmFlavor::UndoLog {
+                m.sfence();
+            }
+            let t = self.cur.as_mut().expect("open txn");
+            t.logged.insert(addr.raw());
+            t.undo.push((addr.raw(), pre));
+        }
+        m.store_u64(addr, value, StoreKind::Store);
+        self.cur
+            .as_mut()
+            .expect("open txn")
+            .data_lines
+            .insert(addr.line().raw());
+    }
+
+    /// Stores a word-aligned byte buffer word-by-word.
+    pub fn store_bytes(&mut self, m: &mut Machine, addr: PmAddr, data: &[u8]) {
+        assert!(
+            data.len().is_multiple_of(WORD_BYTES),
+            "software store_bytes length must be whole words"
+        );
+        for (i, chunk) in data.chunks_exact(WORD_BYTES).enumerate() {
+            let mut w = [0u8; WORD_BYTES];
+            w.copy_from_slice(chunk);
+            self.store(m, addr.add((i * WORD_BYTES) as u64), u64::from_le_bytes(w));
+        }
+    }
+
+    /// Loads one word: timed machine load, patched with the redo
+    /// overlay for read-your-writes.
+    pub fn load(&mut self, m: &mut Machine, addr: PmAddr) -> u64 {
+        let v = m.load_u64(addr);
+        match &self.cur {
+            Some(t) => *t.overlay.get(&addr.raw()).unwrap_or(&v),
+            None => v,
+        }
+    }
+
+    /// Loads a word-aligned byte buffer, overlay-patched.
+    pub fn load_bytes(&mut self, m: &mut Machine, addr: PmAddr, buf: &mut [u8]) {
+        m.load_bytes(addr, buf);
+        self.patch_overlay(addr, buf);
+    }
+
+    /// Untimed logical read of one word, overlay-patched.
+    pub fn peek(&self, m: &Machine, addr: PmAddr) -> u64 {
+        let v = m.peek_u64(addr);
+        match &self.cur {
+            Some(t) => *t.overlay.get(&addr.raw()).unwrap_or(&v),
+            None => v,
+        }
+    }
+
+    /// Untimed logical read of a byte buffer, overlay-patched.
+    pub fn peek_bytes(&self, m: &Machine, addr: PmAddr, buf: &mut [u8]) {
+        m.peek_bytes(addr, buf);
+        self.patch_overlay(addr, buf);
+    }
+
+    fn patch_overlay(&self, addr: PmAddr, buf: &mut [u8]) {
+        let t = match &self.cur {
+            Some(t) if !t.overlay.is_empty() => t,
+            _ => return,
+        };
+        let start = addr.raw();
+        let end = start + buf.len() as u64;
+        for (&wa, &v) in t
+            .overlay
+            .range(start.saturating_sub(WORD_BYTES as u64 - 1)..end)
+        {
+            // Words are aligned; a word overlaps iff it starts in
+            // [start - 7, end). Clip to the buffer.
+            let bytes = v.to_le_bytes();
+            for (i, b) in bytes.iter().enumerate() {
+                let pos = wa + i as u64;
+                if pos >= start && pos < end {
+                    buf[(pos - start) as usize] = *b;
+                }
+            }
+        }
+    }
+
+    /// Commits the open transaction under the flavor's fence protocol.
+    pub fn tx_commit(&mut self, m: &mut Machine) {
+        let t = self.cur.take().expect("commit without open transaction");
+        let read_only = if self.flavor.is_redo() {
+            t.overlay.is_empty()
+        } else {
+            t.undo.is_empty() && t.data_lines.is_empty()
+        };
+        if read_only {
+            // Read-only transactions skip the commit protocol: no log,
+            // no header advance (the durable header only names write
+            // transactions; excluded read ops change no oracle state).
+            m.stats_mut().tx_commits += 1;
+            return;
+        }
+        if self.flavor.is_redo() {
+            self.commit_redo(m, t);
+        } else {
+            self.commit_undo(m, t);
+        }
+        m.stats_mut().tx_commits += 1;
+    }
+
+    /// Undo family (UndoLog / Trinity): records are already durable
+    /// (each record's `clwb` acceptance precedes the in-place store it
+    /// covers in program order); flush the write set, fence, seal the
+    /// header, fence.
+    fn commit_undo(&mut self, m: &mut Machine, t: SoftTx) {
+        for &line in &t.data_lines {
+            self.clwb_counted(m, PmAddr::new(line));
+        }
+        m.sfence();
+        self.write_header(m, t.seq);
+        m.sfence();
+    }
+
+    /// Redo family (RedoLog / RomulusLog / Quadra): log-then-apply.
+    fn commit_redo(&mut self, m: &mut Machine, t: SoftTx) {
+        let seq = t.seq;
+        let writes: Vec<(u64, u64)> = t.overlay.iter().map(|(&a, &v)| (a, v)).collect();
+        self.cur = Some(t); // write_record needs the open-txn log head
+        for &(addr, value) in &writes {
+            self.write_record(m, KIND_DATA, PmAddr::new(addr), value);
+        }
+        match self.flavor {
+            PtmFlavor::Quadra => {
+                // Self-validating commit record in the same drain as
+                // the log body: one fence seals everything.
+                self.write_record(m, KIND_COMMIT, self.arena, seq);
+                m.sfence();
+            }
+            _ => {
+                m.sfence(); // records durable
+                self.write_marker(m, seq);
+                m.sfence(); // marker durable: the commit point
+            }
+        }
+        self.cur = None;
+        // Apply in place, flush the touched lines.
+        let mut lines: BTreeSet<u64> = BTreeSet::new();
+        for &(addr, value) in &writes {
+            m.store_u64(PmAddr::new(addr), value, StoreKind::Store);
+            lines.insert(PmAddr::new(addr).line().raw());
+        }
+        for &line in &lines {
+            self.clwb_counted(m, PmAddr::new(line));
+            if self.flavor == PtmFlavor::RomulusLog {
+                self.copy_to_back_strip(m, PmAddr::new(line));
+            }
+        }
+        if self.flavor != PtmFlavor::Quadra {
+            m.sfence(); // apply durable
+        }
+        self.write_header(m, seq);
+        if self.flavor != PtmFlavor::Quadra {
+            m.sfence(); // header durable: log reusable
+        }
+    }
+
+    /// Aborts the open transaction: redo drops the overlay; undo rolls
+    /// the in-place writes back from the volatile pre-images.
+    pub fn tx_abort(&mut self, m: &mut Machine) {
+        let t = self.cur.take().expect("abort without open transaction");
+        if !self.flavor.is_redo() {
+            for &(addr, pre) in t.undo.iter().rev() {
+                m.store_u64(PmAddr::new(addr), pre, StoreKind::Store);
+            }
+            for &line in &t.data_lines {
+                self.clwb_counted(m, PmAddr::new(line));
+            }
+            m.sfence();
+        }
+        m.stats_mut().tx_aborts += 1;
+    }
+
+    /// Discards the volatile half of the state at a simulated power
+    /// failure (the open transaction and its overlay); durable
+    /// sequencing survives.
+    pub fn on_crash(&mut self) {
+        self.cur = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Durable-layout writers
+
+    /// Appends one 32-byte record with four back-to-back stores (the
+    /// line cannot evict mid-record) and a counted `clwb`.
+    fn write_record(&mut self, m: &mut Machine, kind: u64, target: PmAddr, payload: u64) {
+        let (slot, txn) = {
+            let t = self.cur.as_mut().expect("record outside transaction");
+            let slot = t.records;
+            t.records += 1;
+            (slot, t.seq)
+        };
+        assert!(
+            slot < self.record_capacity(),
+            "software log arena exhausted ({} records)",
+            slot
+        );
+        let rec = self.records_base().add(slot * RECORD_BYTES);
+        let tag = (kind << 56) | (txn & TAG_SEQ_MASK);
+        let crc = record_crc(slot, txn, target, &payload.to_le_bytes()) as u64;
+        m.store_u64(rec, tag, StoreKind::Store);
+        m.store_u64(rec.add(8), target.raw(), StoreKind::Store);
+        m.store_u64(rec.add(16), payload, StoreKind::Store);
+        m.store_u64(rec.add(24), crc, StoreKind::Store);
+        m.stats_mut().log_records_created += 1;
+        self.traffic.log_records += 1;
+        self.clwb_counted(m, rec);
+    }
+
+    /// Seals the commit-marker line (redo non-Quadra commit point).
+    fn write_marker(&mut self, m: &mut Machine, seq: u64) {
+        let marker = self.arena.add(MARKER_OFF);
+        m.store_u64(marker, seq, StoreKind::Store);
+        m.store_u64(marker.add(8), marker_crc(seq) as u64, StoreKind::Store);
+        self.clwb_counted(m, marker);
+    }
+
+    /// Advances the durable header to `seq` (the log-truncation point:
+    /// records and markers of `seq` and older become stale).
+    fn write_header(&mut self, m: &mut Machine, seq: u64) {
+        m.store_u64(self.arena, seq, StoreKind::Store);
+        m.store_u64(self.arena.add(8), marker_crc(seq) as u64, StoreKind::Store);
+        self.clwb_counted(m, self.arena);
+    }
+
+    /// `clwb` that attributes arena write-backs to log traffic.
+    fn clwb_counted(&mut self, m: &mut Machine, addr: PmAddr) {
+        if m.clwb(addr) && addr.raw() >= self.arena.raw() {
+            self.traffic.log_media_bytes += LINE_BYTES as u64;
+        }
+    }
+
+    /// Romulus main/back replication: copy the applied line's content
+    /// into the rotating back strip (write traffic of the second
+    /// strip; contents are never read back — recovery uses the log).
+    fn copy_to_back_strip(&mut self, m: &mut Machine, line: PmAddr) {
+        let slot = self
+            .arena
+            .add(BACK_OFF + (self.back_slot % BACK_LINES) * LINE_BYTES as u64);
+        self.back_slot += 1;
+        let mut data = [0u8; LINE_BYTES];
+        m.peek_bytes(line, &mut data);
+        for (w, chunk) in data.chunks_exact(WORD_BYTES).enumerate() {
+            let mut word = [0u8; WORD_BYTES];
+            word.copy_from_slice(chunk);
+            m.store_u64(
+                slot.add((w * WORD_BYTES) as u64),
+                u64::from_le_bytes(word),
+                StoreKind::Store,
+            );
+        }
+        self.clwb_counted(m, slot);
+    }
+
+    // ------------------------------------------------------------------
+    // Durable-state readers (recovery + oracle)
+
+    /// Resolves the committed sequence a header-format line encodes,
+    /// tolerating a word-granularity tear of its last persist. Returns
+    /// `(seq, torn)`; `None` when the pair matches neither the stored
+    /// sequence nor its predecessor (possible only under media faults
+    /// beyond a single tear).
+    fn resolve_pair(w0: u64, w1: u64) -> Option<(u64, bool)> {
+        if w1 == marker_crc(w0) as u64 {
+            return Some((w0, false));
+        }
+        if w0 > 0 && w1 == marker_crc(w0 - 1) as u64 {
+            return Some((w0 - 1, true));
+        }
+        None
+    }
+
+    /// The committed-transaction watermark recoverable from the
+    /// durable image alone — the software analogue of the hardware
+    /// log's `max_committed_seq`, used by the streaming oracle as its
+    /// crash marker. Pure read; call after `crash()`, before
+    /// `recover()`.
+    pub fn durable_commit_seq(&self, m: &Machine) -> u64 {
+        let img = m.device().image();
+        let header =
+            match Self::resolve_pair(img.read_u64(self.arena), img.read_u64(self.arena.add(8))) {
+                Some((seq, _)) => seq,
+                None => return 0,
+            };
+        let target = header + 1;
+        match self.flavor {
+            PtmFlavor::UndoLog | PtmFlavor::Trinity => header,
+            PtmFlavor::RedoLog | PtmFlavor::RomulusLog => {
+                let marker = self.arena.add(MARKER_OFF);
+                match Self::resolve_pair(img.read_u64(marker), img.read_u64(marker.add(8))) {
+                    Some((seq, false)) if seq == target => target,
+                    _ => header,
+                }
+            }
+            PtmFlavor::Quadra => {
+                let (records, _, _) = self.scan_records(m, target);
+                if records
+                    .iter()
+                    .any(|&(k, _, p)| k == KIND_COMMIT && p == target)
+                {
+                    target
+                } else {
+                    header
+                }
+            }
+        }
+    }
+
+    /// Walks the record slots of transaction `target`: returns the
+    /// valid records in slot order, the count of torn records at the
+    /// frontier, and any poisoned log line that stopped the scan.
+    fn scan_records(&self, m: &Machine, target: u64) -> (Vec<(u64, u64, u64)>, usize, Option<u64>) {
+        let img = m.device().image();
+        let mut out = Vec::new();
+        let mut torn = 0usize;
+        for slot in 0..self.record_capacity() {
+            let rec = self.records_base().add(slot * RECORD_BYTES);
+            if m.device().line_poisoned(rec) {
+                return (out, torn, Some(rec.line().raw()));
+            }
+            let tag = img.read_u64(rec);
+            let kind = tag >> 56;
+            let txn = tag & TAG_SEQ_MASK;
+            if txn != (target & TAG_SEQ_MASK) || (kind != KIND_DATA && kind != KIND_COMMIT) {
+                break; // stale slot: the transaction's log ends here
+            }
+            let addr = img.read_u64(rec.add(8));
+            let payload = img.read_u64(rec.add(16));
+            let crc = img.read_u64(rec.add(24));
+            if crc != record_crc(slot, target, PmAddr::new(addr), &payload.to_le_bytes()) as u64 {
+                // A record prefix landed without its CRC: the persist
+                // of this line tore at the crash boundary. Sound to
+                // truncate — everything after it is younger.
+                torn += 1;
+                break;
+            }
+            out.push((kind, addr, payload));
+        }
+        (out, torn, None)
+    }
+
+    /// Post-crash recovery over the durable image: validates the
+    /// CRC-tagged software log exactly as §8/§10 recovery checking
+    /// validates the hardware log region, rolls back (undo family) or
+    /// replays (redo family) the frontier transaction, and degrades —
+    /// never panics — on poisoned lines, reporting them in the same
+    /// [`RecoveryReport`] the hardware path fills.
+    pub fn recover(&mut self, m: &mut Machine) -> RecoveryReport {
+        assert!(self.cur.is_none(), "recovery runs outside any transaction");
+        let mut report = RecoveryReport::default();
+        let mut lost: BTreeSet<u64> = BTreeSet::new();
+        let mut poison_cov: BTreeMap<u64, u8> = m
+            .device()
+            .poisoned_line_addrs()
+            .into_iter()
+            .map(|la| (la, 0u8))
+            .collect();
+
+        let img = m.device().image();
+        let header_poisoned = m.device().line_poisoned(self.arena);
+        let resolved = if header_poisoned {
+            None
+        } else {
+            Self::resolve_pair(img.read_u64(self.arena), img.read_u64(self.arena.add(8)))
+        };
+        let mut committed = match resolved {
+            Some((seq, torn)) => {
+                if torn {
+                    report.torn_markers += 1;
+                }
+                seq
+            }
+            None => {
+                // Unreadable header: nothing can be trusted; scrub and
+                // report the degradation below.
+                lost.insert(self.arena.line().raw());
+                self.finish(m, &mut report, &mut poison_cov, lost, 0);
+                return report;
+            }
+        };
+        let target = committed + 1;
+
+        let (records, torn, stopped) = self.scan_records(m, target);
+        report.torn_records += torn;
+        if let Some(la) = stopped {
+            lost.insert(la);
+        }
+
+        match self.flavor {
+            PtmFlavor::UndoLog | PtmFlavor::Trinity => {
+                // The frontier transaction is uncommitted by
+                // definition (the header names its predecessor): roll
+                // its pre-images back, newest first.
+                let mut rolled_lines: BTreeSet<u64> = BTreeSet::new();
+                for &(kind, addr, pre) in records.iter().rev() {
+                    if kind != KIND_DATA {
+                        continue;
+                    }
+                    let a = PmAddr::new(addr);
+                    self.repair_word(m, a, pre, &mut poison_cov, &mut report);
+                    report.undo_applied += 1;
+                    rolled_lines.insert(a.line().raw());
+                }
+                if report.undo_applied > 0 {
+                    report.rolled_back = vec![target];
+                }
+                report.rolled_back_lines = rolled_lines.into_iter().collect();
+            }
+            PtmFlavor::RedoLog | PtmFlavor::RomulusLog | PtmFlavor::Quadra => {
+                let marker_ok = if self.flavor == PtmFlavor::Quadra {
+                    records
+                        .iter()
+                        .any(|&(k, _, p)| k == KIND_COMMIT && p == target)
+                } else {
+                    let marker = self.arena.add(MARKER_OFF);
+                    if m.device().line_poisoned(marker) {
+                        lost.insert(marker.line().raw());
+                        false
+                    } else {
+                        match Self::resolve_pair(img.read_u64(marker), img.read_u64(marker.add(8)))
+                        {
+                            Some((seq, false)) if seq == target => true,
+                            Some((seq, true)) if seq == target => {
+                                report.torn_markers += 1;
+                                false
+                            }
+                            Some(_) => false, // stale marker: uncommitted
+                            None => {
+                                report.torn_markers += 1;
+                                false
+                            }
+                        }
+                    }
+                };
+                if marker_ok {
+                    // The commit point is durable but the in-place
+                    // apply may be partial: replay the new values
+                    // forward and finalise the header.
+                    for &(kind, addr, value) in &records {
+                        if kind != KIND_DATA {
+                            continue;
+                        }
+                        self.repair_word(m, PmAddr::new(addr), value, &mut poison_cov, &mut report);
+                        report.redo_applied += 1;
+                    }
+                    report.replayed = vec![target];
+                    committed = target;
+                }
+                // Uncommitted: the apply phase never ran (it is fenced
+                // behind the commit point), so the image needs nothing.
+            }
+        }
+
+        self.finish(m, &mut report, &mut poison_cov, lost, committed);
+        report
+    }
+
+    /// Recovery tail shared by the degraded and normal paths: sweep
+    /// poisoned lines (salvaged when replay fully re-materialised
+    /// them, scrubbed to zeros and reported lost otherwise), reseal
+    /// the header, and resynchronise volatile sequencing.
+    fn finish(
+        &mut self,
+        m: &mut Machine,
+        report: &mut RecoveryReport,
+        poison_cov: &mut BTreeMap<u64, u8>,
+        mut lost: BTreeSet<u64>,
+        committed: u64,
+    ) {
+        for (&la, &mask) in poison_cov.iter() {
+            if mask == u8::MAX {
+                continue; // fully re-materialised by replay
+            }
+            lost.insert(la);
+            let addr = PmAddr::new(la);
+            if m.device().line_poisoned(addr) {
+                m.persist_line_direct(addr, &[0u8; LINE_BYTES]);
+                report.lines_persisted += 1;
+            }
+        }
+        report.salvaged_lines = poison_cov
+            .iter()
+            .filter(|(la, &mask)| mask == u8::MAX && !lost.contains(la))
+            .map(|(&la, _)| la)
+            .collect();
+        report.lost_lines = lost.into_iter().collect();
+        // Reseal the header: repairs a torn/scrubbed header line and
+        // finalises a replayed redo commit in one durable write.
+        let mut line = [0u8; LINE_BYTES];
+        line[..8].copy_from_slice(&committed.to_le_bytes());
+        line[8..16].copy_from_slice(&(marker_crc(committed) as u64).to_le_bytes());
+        m.persist_line_direct(self.arena, &line);
+        report.lines_persisted += 1;
+        self.next_seq = self.next_seq.max(committed + 1);
+        self.cur = None;
+    }
+
+    /// Installs one word into the durable image through the device's
+    /// persist path (read-modify-write of the covered line). A
+    /// poisoned base line reads as zeros — the loss is detectable, not
+    /// silent — and the repaired word accumulates in `poison_cov`.
+    fn repair_word(
+        &self,
+        m: &mut Machine,
+        addr: PmAddr,
+        value: u64,
+        poison_cov: &mut BTreeMap<u64, u8>,
+        report: &mut RecoveryReport,
+    ) {
+        let la = addr.line();
+        let mut data = if m.device().line_poisoned(la) {
+            [0u8; LINE_BYTES]
+        } else {
+            m.device().image().read_line(la)
+        };
+        let off = addr.offset_in_line();
+        data[off..off + WORD_BYTES].copy_from_slice(&value.to_le_bytes());
+        if let Some(mask) = poison_cov.get_mut(&la.raw()) {
+            *mask |= 1 << addr.word_in_line();
+        }
+        m.persist_line_direct(la, &data);
+        report.lines_persisted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpmt_core::{MachineConfig, PtmFlavor};
+
+    const A: PmAddr = PmAddr::new(0x10000);
+
+    fn machine(flavor: PtmFlavor) -> (Machine, SoftState) {
+        let mut m = Machine::new(MachineConfig::for_kind(flavor));
+        let s = SoftState::new(flavor, &mut m);
+        (m, s)
+    }
+
+    fn commit_one(flavor: PtmFlavor) -> (Machine, SoftState) {
+        let (mut m, mut s) = machine(flavor);
+        s.tx_begin(&mut m);
+        s.store(&mut m, A, 42);
+        s.store(&mut m, A.add(8), 43);
+        s.tx_commit(&mut m);
+        (m, s)
+    }
+
+    #[test]
+    fn commit_is_durable_for_every_flavor() {
+        for flavor in PtmFlavor::ALL {
+            let (m, s) = commit_one(flavor);
+            assert_eq!(m.device().image().read_u64(A), 42, "{flavor}");
+            assert_eq!(m.device().image().read_u64(A.add(8)), 43, "{flavor}");
+            assert_eq!(s.durable_commit_seq(&m), 1, "{flavor}");
+        }
+    }
+
+    #[test]
+    fn golden_fence_counts_per_flavor() {
+        for flavor in PtmFlavor::ALL {
+            let (m, _) = commit_one(flavor);
+            let expect = match flavor {
+                PtmFlavor::Quadra => 1,
+                PtmFlavor::Trinity => 2,
+                PtmFlavor::RedoLog | PtmFlavor::RomulusLog => 4,
+                // UndoLog: one per fresh word plus the two commit
+                // fences.
+                PtmFlavor::UndoLog => 2 + 2,
+            };
+            assert_eq!(m.stats().fences, expect, "{flavor}");
+            assert!(m.stats().flushes > 0, "{flavor}");
+        }
+    }
+
+    #[test]
+    fn crash_mid_txn_rolls_back_or_discards() {
+        for flavor in PtmFlavor::ALL {
+            let (mut m, mut s) = machine(flavor);
+            m.setup_write(A, &5u64.to_le_bytes());
+            s.tx_begin(&mut m);
+            s.store(&mut m, A, 99);
+            // Undo family: force the in-place update durable so the
+            // roll-back path has something to repair.
+            if !flavor.is_redo() {
+                m.clwb(A);
+                assert_eq!(m.device().image().read_u64(A), 99, "{flavor}");
+            }
+            m.crash();
+            s.on_crash();
+            assert_eq!(s.durable_commit_seq(&m), 0, "{flavor}");
+            let report = s.recover(&mut m);
+            assert_eq!(m.device().image().read_u64(A), 5, "{flavor}");
+            assert!(report.lost_lines.is_empty(), "{flavor}");
+            if !flavor.is_redo() {
+                assert!(report.undo_applied > 0, "{flavor}");
+            }
+        }
+    }
+
+    #[test]
+    fn committed_txn_survives_crash_before_next() {
+        for flavor in PtmFlavor::ALL {
+            let (mut m, mut s) = commit_one(flavor);
+            m.crash();
+            s.on_crash();
+            assert_eq!(s.durable_commit_seq(&m), 1, "{flavor}");
+            let report = s.recover(&mut m);
+            assert_eq!(m.device().image().read_u64(A), 42, "{flavor}");
+            assert!(report.rolled_back.is_empty(), "{flavor}");
+        }
+    }
+
+    #[test]
+    fn read_your_writes_through_the_overlay() {
+        for flavor in [PtmFlavor::RedoLog, PtmFlavor::Quadra] {
+            let (mut m, mut s) = machine(flavor);
+            m.setup_write(A, &5u64.to_le_bytes());
+            s.tx_begin(&mut m);
+            s.store(&mut m, A, 99);
+            assert_eq!(s.load(&mut m, A), 99, "{flavor}");
+            assert_eq!(s.peek(&m, A), 99, "{flavor}");
+            let mut buf = [0u8; 16];
+            s.peek_bytes(&m, A, &mut buf);
+            assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), 99);
+            // The image is untouched until commit.
+            assert_eq!(m.device().image().read_u64(A), 5, "{flavor}");
+            s.tx_commit(&mut m);
+            assert_eq!(m.device().image().read_u64(A), 99, "{flavor}");
+        }
+    }
+
+    #[test]
+    fn abort_restores_pre_images() {
+        for flavor in PtmFlavor::ALL {
+            let (mut m, mut s) = machine(flavor);
+            m.setup_write(A, &5u64.to_le_bytes());
+            s.tx_begin(&mut m);
+            s.store(&mut m, A, 99);
+            s.tx_abort(&mut m);
+            assert_eq!(s.peek(&m, A), 5, "{flavor}");
+            // A later transaction still commits cleanly.
+            s.tx_begin(&mut m);
+            s.store(&mut m, A, 7);
+            s.tx_commit(&mut m);
+            assert_eq!(m.device().image().read_u64(A), 7, "{flavor}");
+        }
+    }
+
+    #[test]
+    fn read_only_txns_skip_the_commit_protocol() {
+        for flavor in PtmFlavor::ALL {
+            let (mut m, mut s) = machine(flavor);
+            m.setup_write(A, &5u64.to_le_bytes());
+            s.tx_begin(&mut m);
+            assert_eq!(s.load(&mut m, A), 5);
+            let fences = m.stats().fences;
+            s.tx_commit(&mut m);
+            assert_eq!(m.stats().fences, fences, "{flavor}: no commit fences");
+        }
+    }
+
+    #[test]
+    fn romulus_writes_back_strip_traffic() {
+        let (m_redo, _) = commit_one(PtmFlavor::RedoLog);
+        let (m_rom, s_rom) = commit_one(PtmFlavor::RomulusLog);
+        assert!(
+            m_rom.device().traffic().data_bytes > m_redo.device().traffic().data_bytes,
+            "Romulus replication must amplify write traffic"
+        );
+        assert!(s_rom.traffic.log_media_bytes > 0);
+    }
+
+    #[test]
+    fn sequencing_is_monotone_across_crashes() {
+        let (mut m, mut s) = commit_one(PtmFlavor::Trinity);
+        m.crash();
+        s.on_crash();
+        s.recover(&mut m);
+        s.tx_begin(&mut m);
+        assert_eq!(s.txn_seq(), 2, "sequence numbering survives the crash");
+        s.store(&mut m, A, 1);
+        s.tx_commit(&mut m);
+        assert_eq!(s.durable_commit_seq(&m), 2);
+    }
+}

@@ -46,7 +46,7 @@ use crate::inspector::inspect;
 use crate::runner::{DurableIndex, IndexKind};
 use crate::ycsb::{ycsb_mix, MixSpec, MixedOp};
 use slpmt_annotate::AnnotationTable;
-use slpmt_core::Scheme;
+use slpmt_core::{Scheme, SchemeKind};
 use slpmt_prng::splitmix64;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -55,8 +55,8 @@ use std::fmt;
 /// parameters that make it reproducible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepCase {
-    /// Hardware design to simulate.
-    pub scheme: Scheme,
+    /// Design to simulate (hardware scheme or software PTM flavour).
+    pub scheme: SchemeKind,
     /// Index workload to drive.
     pub kind: IndexKind,
     /// Trace seed.
@@ -77,9 +77,9 @@ pub struct SweepCase {
 impl SweepCase {
     /// A sweep case with the standard trace shape (`ops` operations,
     /// 32-byte values, the legacy churn mix, no load phase).
-    pub fn new(scheme: Scheme, kind: IndexKind, seed: u64, ops: usize) -> Self {
+    pub fn new(scheme: impl Into<SchemeKind>, kind: IndexKind, seed: u64, ops: usize) -> Self {
         SweepCase {
-            scheme,
+            scheme: scheme.into(),
             kind,
             seed,
             ops,
@@ -91,7 +91,7 @@ impl SweepCase {
 
     /// [`SweepCase::new`] under a specific mix with a load phase.
     pub fn with_mix(
-        scheme: Scheme,
+        scheme: impl Into<SchemeKind>,
         kind: IndexKind,
         seed: u64,
         load: usize,
@@ -99,7 +99,7 @@ impl SweepCase {
         mix: MixSpec,
     ) -> Self {
         SweepCase {
-            scheme,
+            scheme: scheme.into(),
             kind,
             seed,
             ops,
@@ -416,7 +416,7 @@ pub fn run_crash_at_streaming(
     let mut op_seq = Vec::with_capacity(ops.len());
     for op in ops {
         apply(idx.as_mut(), &mut ctx, op);
-        op_seq.push(ctx.machine().txn_seq());
+        op_seq.push(ctx.txn_seq());
         if ctx.machine().crash_tripped() {
             break;
         }
@@ -426,7 +426,7 @@ pub fn run_crash_at_streaming(
     // Durably committed transactions form a prefix of the sequence
     // numbers (markers persist in commit order), so the committed
     // operation count is a prefix length too.
-    let marker = ctx.machine().device().log().max_committed_seq();
+    let marker = ctx.durable_commit_seq();
     let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
     // Advance the model before recovery: if recovery panics, the
     // oracle still holds a valid prefix for the next (larger) k.

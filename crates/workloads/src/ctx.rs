@@ -13,8 +13,9 @@
 //! be reused before the transaction is durable.
 
 use slpmt_annotate::{Annotation, AnnotationTable, SiteId, TxnIr};
-use slpmt_core::{Machine, MachineConfig, Scheme, StoreKind};
+use slpmt_core::{Machine, MachineConfig, SchemeKind, StoreKind};
 use slpmt_pmem::{PmAddr, PmHeap};
+use slpmt_ptm::SoftState;
 
 /// Where a run's `storeT` annotations come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -57,6 +58,14 @@ pub struct PmContext {
     heap: PmHeap,
     table: AnnotationTable,
     pending_frees: Vec<PmAddr>,
+    /// Software persistent-transaction runtime, present when the
+    /// configuration simulates a [`SchemeKind::Software`] flavour.
+    /// All transactional traffic then routes through its explicit
+    /// store/flush/fence protocol instead of the hardware engine.
+    soft: Option<SoftState>,
+    /// Logical payload bytes the workload asked to store (the WAF
+    /// denominator), independent of how the scheme persisted them.
+    logical_bytes: u64,
 }
 
 /// Heap base: the low region is reserved for structure roots created
@@ -64,21 +73,31 @@ pub struct PmContext {
 const HEAP_BASE: u64 = 0x1000;
 
 impl PmContext {
-    /// Builds a context simulating `scheme` with the given annotation
-    /// table already resolved.
-    pub fn new(scheme: Scheme, table: AnnotationTable) -> Self {
-        Self::with_config(MachineConfig::for_scheme(scheme), table)
+    /// Builds a context simulating a hardware scheme or software PTM
+    /// flavour with the given annotation table already resolved.
+    pub fn new(kind: impl Into<SchemeKind>, table: AnnotationTable) -> Self {
+        Self::with_config(MachineConfig::for_kind(kind), table)
     }
 
     /// Builds a context from an explicit machine configuration.
     pub fn with_config(cfg: MachineConfig, table: AnnotationTable) -> Self {
         let capacity = cfg.pm.pm_capacity;
-        let machine = Machine::new(cfg);
+        let software = cfg.software;
+        let mut machine = Machine::new(cfg);
+        let soft = software.map(|f| SoftState::new(f, &mut machine));
+        // Software flavours reserve the top of the device for their
+        // log arena; the heap must never allocate into it.
+        let heap_top = match soft {
+            Some(_) => capacity - slpmt_ptm::ARENA_BYTES,
+            None => capacity,
+        };
         PmContext {
             machine,
-            heap: PmHeap::new(PmAddr::new(HEAP_BASE), capacity - HEAP_BASE),
+            heap: PmHeap::new(PmAddr::new(HEAP_BASE), heap_top - HEAP_BASE),
             table,
             pending_frees: Vec::new(),
+            soft,
+            logical_bytes: 0,
         }
     }
 
@@ -102,6 +121,42 @@ impl PmContext {
         &mut self.machine
     }
 
+    /// The scheme kind this context simulates.
+    pub fn scheme_kind(&self) -> SchemeKind {
+        self.machine.config().kind()
+    }
+
+    /// The software PTM runtime, when one is active.
+    pub fn soft(&self) -> Option<&SoftState> {
+        self.soft.as_ref()
+    }
+
+    /// Logical payload bytes stored so far (the write-amplification
+    /// denominator): 8 per word store, `len` per byte-buffer store.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Sequence number of the last transaction begun — hardware txn
+    /// register or the software runtime's counter.
+    pub fn txn_seq(&self) -> u64 {
+        match &self.soft {
+            Some(s) => s.txn_seq(),
+            None => self.machine.txn_seq(),
+        }
+    }
+
+    /// Highest durably committed transaction sequence number readable
+    /// from the persistent image alone (the crash-sweep oracle marker):
+    /// hardware commit markers in the log region, or the software
+    /// arena's header/marker/commit-record resolution.
+    pub fn durable_commit_seq(&self) -> u64 {
+        match &self.soft {
+            Some(s) => s.durable_commit_seq(&self.machine),
+            None => self.machine.device().log().max_committed_seq(),
+        }
+    }
+
     /// The persistent heap.
     pub fn heap(&self) -> &PmHeap {
         &self.heap
@@ -123,7 +178,10 @@ impl PmContext {
 
     /// Opens a durable transaction.
     pub fn tx_begin(&mut self) {
-        self.machine.tx_begin();
+        match self.soft.as_mut() {
+            Some(s) => s.tx_begin(&mut self.machine),
+            None => self.machine.tx_begin(),
+        }
     }
 
     /// Commits the open transaction and applies deferred frees.
@@ -136,7 +194,10 @@ impl PmContext {
     /// frees would let a post-recovery allocation alias a live cell.
     /// Such frees are dropped with the rest of the volatile state.
     pub fn tx_commit(&mut self) {
-        self.machine.tx_commit();
+        match self.soft.as_mut() {
+            Some(s) => s.tx_commit(&mut self.machine),
+            None => self.machine.tx_commit(),
+        }
         if self.machine.crash_tripped() {
             self.pending_frees.clear();
         } else {
@@ -148,7 +209,10 @@ impl PmContext {
 
     /// Aborts the open transaction, dropping deferred frees.
     pub fn tx_abort(&mut self) {
-        self.machine.tx_abort();
+        match self.soft.as_mut() {
+            Some(s) => s.tx_abort(&mut self.machine),
+            None => self.machine.tx_abort(),
+        }
         self.pending_frees.clear();
     }
 
@@ -172,10 +236,18 @@ impl PmContext {
     /// commit; outside it applies immediately.
     pub fn free(&mut self, addr: PmAddr) {
         self.machine.compute(20);
-        if self.machine.in_txn() {
+        if self.in_txn() {
             self.pending_frees.push(addr);
         } else {
             self.heap.free(addr);
+        }
+    }
+
+    /// `true` while a transaction (hardware or software) is open.
+    pub fn in_txn(&self) -> bool {
+        match &self.soft {
+            Some(s) => s.in_txn(),
+            None => self.machine.in_txn(),
         }
     }
 
@@ -184,24 +256,40 @@ impl PmContext {
 
     /// Loads the word at `addr`.
     pub fn load(&mut self, addr: PmAddr) -> u64 {
-        self.machine.load_u64(addr)
+        match self.soft.as_mut() {
+            Some(s) => s.load(&mut self.machine, addr),
+            None => self.machine.load_u64(addr),
+        }
     }
 
     /// Stores `value` at `addr` through site `site`'s annotation.
+    /// Software flavours log every store regardless of annotation —
+    /// they have no `storeT` ISA to act on the hints.
     pub fn store(&mut self, addr: PmAddr, value: u64, site: SiteId) {
+        self.logical_bytes += 8;
         let kind = self.kind_of(site);
-        self.machine.store_u64(addr, value, kind);
+        match self.soft.as_mut() {
+            Some(s) => s.store(&mut self.machine, addr, value),
+            None => self.machine.store_u64(addr, value, kind),
+        }
     }
 
     /// Stores a byte buffer word-by-word through site `site`.
     pub fn store_bytes(&mut self, addr: PmAddr, data: &[u8], site: SiteId) {
+        self.logical_bytes += data.len() as u64;
         let kind = self.kind_of(site);
-        self.machine.store_bytes(addr, data, kind);
+        match self.soft.as_mut() {
+            Some(s) => s.store_bytes(&mut self.machine, addr, data),
+            None => self.machine.store_bytes(addr, data, kind),
+        }
     }
 
     /// Loads `buf.len()` bytes word-by-word (timed).
     pub fn load_bytes(&mut self, addr: PmAddr, buf: &mut [u8]) {
-        self.machine.load_bytes(addr, buf);
+        match self.soft.as_mut() {
+            Some(s) => s.load_bytes(&mut self.machine, addr, buf),
+            None => self.machine.load_bytes(addr, buf),
+        }
     }
 
     /// Charges pure compute cycles (hashing, comparisons, …).
@@ -220,14 +308,22 @@ impl PmContext {
     // ------------------------------------------------------------------
     // Untimed access (invariant checkers, recovery)
 
-    /// Reads the current logical word at `addr` without timing.
+    /// Reads the current logical word at `addr` without timing. Under
+    /// a redo-family software flavour the open transaction's overlay
+    /// is part of the logical state.
     pub fn peek(&self, addr: PmAddr) -> u64 {
-        self.machine.peek_u64(addr)
+        match &self.soft {
+            Some(s) => s.peek(&self.machine, addr),
+            None => self.machine.peek_u64(addr),
+        }
     }
 
     /// Reads logical bytes without timing.
     pub fn peek_bytes(&self, addr: PmAddr, buf: &mut [u8]) {
-        self.machine.peek_bytes(addr, buf);
+        match &self.soft {
+            Some(s) => s.peek_bytes(&self.machine, addr, buf),
+            None => self.machine.peek_bytes(addr, buf),
+        }
     }
 
     /// Recovery-time write: directly repairs the persistent image.
@@ -270,6 +366,9 @@ impl PmContext {
     /// commit markers made it) before log replay runs.
     pub fn crash(&mut self) {
         self.machine.crash();
+        if let Some(s) = self.soft.as_mut() {
+            s.on_crash();
+        }
         self.pending_frees.clear();
     }
 
@@ -277,7 +376,10 @@ impl PmContext {
     /// then run the structure's own recovery and [`gc`](Self::gc) the
     /// heap.
     pub fn recover(&mut self) -> slpmt_core::RecoveryReport {
-        self.machine.recover()
+        match self.soft.as_mut() {
+            Some(s) => s.recover(&mut self.machine),
+            None => self.machine.recover(),
+        }
     }
 
     /// Garbage-collects the heap: only allocations in `reachable`
@@ -305,6 +407,7 @@ impl PmContext {
 mod tests {
     use super::*;
     use slpmt_annotate::TxnIrBuilder;
+    use slpmt_core::Scheme;
 
     fn ctx() -> PmContext {
         PmContext::new(Scheme::Slpmt, AnnotationTable::new())

@@ -162,7 +162,7 @@ pub fn run_fault_at(case: &FaultCase, k: u64) -> Result<(), FaultFailure> {
     let mut op_seq = Vec::with_capacity(ops.len());
     for op in &ops {
         crashsweep::apply(idx.as_mut(), &mut ctx, op);
-        op_seq.push(ctx.machine().txn_seq());
+        op_seq.push(ctx.txn_seq());
         if ctx.machine().crash_tripped() {
             break;
         }
@@ -171,7 +171,7 @@ pub fn run_fault_at(case: &FaultCase, k: u64) -> Result<(), FaultFailure> {
     // A torn marker is not Valid, so it does not advance the committed
     // watermark: the transaction counts as uncommitted, which is the
     // paper's required reading of a marker that never fully persisted.
-    let marker = ctx.machine().device().log().max_committed_seq();
+    let marker = ctx.durable_commit_seq();
     let b = op_seq.iter().take_while(|&&seq| seq <= marker).count();
     // Log replay itself must never panic, whatever the media did.
     let report = match catch_unwind(AssertUnwindSafe(|| ctx.recover())) {

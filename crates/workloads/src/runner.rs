@@ -3,8 +3,9 @@
 
 use crate::ctx::{AnnotationSource, PmContext};
 use crate::ycsb::{MixedOp, YcsbOp};
-use slpmt_core::{MachineConfig, Scheme};
-use slpmt_pmem::{PmAddr, WriteTraffic};
+use slpmt_core::{MachineConfig, SchemeKind};
+use slpmt_pmem::{PmAddr, WriteTraffic, LINE_BYTES};
+use slpmt_ptm::PtmTraffic;
 use std::fmt;
 
 /// A durable key-value index evaluated by the paper.
@@ -177,19 +178,34 @@ impl fmt::Display for IndexKind {
 /// Result of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Scheme simulated.
-    pub scheme: Scheme,
+    /// Scheme simulated (hardware design or software PTM flavour).
+    pub scheme: SchemeKind,
     /// Index evaluated.
     pub kind: IndexKind,
     /// Total simulated cycles for the measured phase.
     pub cycles: u64,
-    /// PM write traffic for the measured phase.
+    /// PM write traffic for the measured phase. For software flavours
+    /// the log-arena persists are reattributed from data to log
+    /// traffic (the device cannot tell a software log line from data).
     pub traffic: WriteTraffic,
+    /// Logical payload bytes the workload stored during the measured
+    /// phase — the write-amplification denominator.
+    pub logical_bytes: u64,
     /// Machine event counters.
     pub stats: slpmt_core::MachineStats,
 }
 
 impl RunResult {
+    /// Write-amplification factor: PM media bytes written (data + log)
+    /// per logical payload byte stored. `NaN`-free: returns 0 when the
+    /// run stored nothing.
+    pub fn waf(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 0.0;
+        }
+        (self.traffic.data_bytes + self.traffic.log_bytes) as f64 / self.logical_bytes as f64
+    }
+
     /// Speedup of this run relative to `baseline` (baseline cycles /
     /// these cycles) — the Figure 8 metric.
     pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
@@ -208,7 +224,7 @@ impl RunResult {
 /// invariants and membership after the run (used by tests; figures
 /// disable it for speed).
 pub fn run_inserts(
-    scheme: Scheme,
+    scheme: impl Into<SchemeKind>,
     kind: IndexKind,
     ops: &[YcsbOp],
     value_size: usize,
@@ -216,7 +232,7 @@ pub fn run_inserts(
     verify: bool,
 ) -> RunResult {
     run_inserts_with(
-        MachineConfig::for_scheme(scheme),
+        MachineConfig::for_kind(scheme),
         kind,
         ops,
         value_size,
@@ -234,6 +250,32 @@ fn arena_estimate(ops: usize, value_size: usize) -> u64 {
     ops as u64 * (value_size as u64 + 192) + (1 << 20)
 }
 
+/// Measured-phase traffic delta. Software flavours' log-arena persists
+/// arrive at the device as plain data-line writes; this reattributes
+/// them to log traffic so the data/log split means the same thing for
+/// every scheme column.
+fn measured_traffic(ctx: &PmContext, start: &WriteTraffic, soft_start: PtmTraffic) -> WriteTraffic {
+    let mut traffic = *ctx.machine().device().traffic();
+    traffic.data_bytes -= start.data_bytes;
+    traffic.log_bytes -= start.log_bytes;
+    traffic.data_lines -= start.data_lines;
+    traffic.log_records -= start.log_records;
+    traffic.wpq_lines -= start.wpq_lines;
+    if let Some(s) = ctx.soft() {
+        let log_bytes = s.traffic.log_media_bytes - soft_start.log_media_bytes;
+        let records = s.traffic.log_records - soft_start.log_records;
+        traffic.data_bytes -= log_bytes;
+        traffic.data_lines -= log_bytes / LINE_BYTES as u64;
+        traffic.log_bytes += log_bytes;
+        traffic.log_records += records;
+    }
+    traffic
+}
+
+fn soft_traffic(ctx: &PmContext) -> PtmTraffic {
+    ctx.soft().map(|s| s.traffic).unwrap_or_default()
+}
+
 /// [`run_inserts`] with an explicit machine configuration (latency
 /// sweeps, tiny caches).
 pub fn run_inserts_with(
@@ -244,22 +286,20 @@ pub fn run_inserts_with(
     source: AnnotationSource,
     verify: bool,
 ) -> RunResult {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
     ctx.prefault_heap(arena_estimate(ops.len(), value_size));
     let mut index = kind.build(&mut ctx, value_size, source);
     let start_cycles = ctx.machine().now();
     let start_traffic = *ctx.machine().device().traffic();
+    let start_soft = soft_traffic(&ctx);
+    let start_logical = ctx.logical_bytes();
     for op in ops {
         index.insert(&mut ctx, op.key, &op.value);
     }
     let cycles = ctx.machine().now() - start_cycles;
-    let mut traffic = *ctx.machine().device().traffic();
-    traffic.data_bytes -= start_traffic.data_bytes;
-    traffic.log_bytes -= start_traffic.log_bytes;
-    traffic.data_lines -= start_traffic.data_lines;
-    traffic.log_records -= start_traffic.log_records;
-    traffic.wpq_lines -= start_traffic.wpq_lines;
+    let traffic = measured_traffic(&ctx, &start_traffic, start_soft);
+    let logical_bytes = ctx.logical_bytes() - start_logical;
     if verify {
         index
             .check_invariants(&ctx)
@@ -278,6 +318,7 @@ pub fn run_inserts_with(
         kind,
         cycles,
         traffic,
+        logical_bytes,
         stats: *ctx.machine().stats(),
     }
 }
@@ -294,23 +335,21 @@ pub fn run_inserts_traced(
     value_size: usize,
     source: AnnotationSource,
 ) -> (RunResult, Vec<slpmt_core::TraceRecord>) {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
     ctx.prefault_heap(arena_estimate(ops.len(), value_size));
     let mut index = kind.build(&mut ctx, value_size, source);
     ctx.enable_tracing(1 << 20);
     let start_cycles = ctx.machine().now();
     let start_traffic = *ctx.machine().device().traffic();
+    let start_soft = soft_traffic(&ctx);
+    let start_logical = ctx.logical_bytes();
     for op in ops {
         index.insert(&mut ctx, op.key, &op.value);
     }
     let cycles = ctx.machine().now() - start_cycles;
-    let mut traffic = *ctx.machine().device().traffic();
-    traffic.data_bytes -= start_traffic.data_bytes;
-    traffic.log_bytes -= start_traffic.log_bytes;
-    traffic.data_lines -= start_traffic.data_lines;
-    traffic.log_records -= start_traffic.log_records;
-    traffic.wpq_lines -= start_traffic.wpq_lines;
+    let traffic = measured_traffic(&ctx, &start_traffic, start_soft);
+    let logical_bytes = ctx.logical_bytes() - start_logical;
     let stats = *ctx.machine().stats();
     let records = ctx.take_trace();
     (
@@ -319,6 +358,7 @@ pub fn run_inserts_traced(
             kind,
             cycles,
             traffic,
+            logical_bytes,
             stats,
         },
         records,
@@ -335,7 +375,7 @@ fn apply_mixed(
     ctx: &mut PmContext,
     op: &MixedOp,
     kind: IndexKind,
-    scheme: Scheme,
+    scheme: SchemeKind,
 ) {
     match op {
         MixedOp::Insert(o) => index.insert(ctx, o.key, &o.value),
@@ -472,7 +512,7 @@ pub fn run_mixed_latencies(
     source: AnnotationSource,
     verify: bool,
 ) -> (RunResult, MixLatencies) {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let mut ctx = PmContext::with_config(cfg, slpmt_annotate::AnnotationTable::new());
     ctx.prefault_heap(arena_estimate(load.len() + ops.len(), value_size));
     let mut index = kind.build(&mut ctx, value_size, source);
@@ -481,6 +521,8 @@ pub fn run_mixed_latencies(
     }
     let start_cycles = ctx.machine().now();
     let start_traffic = *ctx.machine().device().traffic();
+    let start_soft = soft_traffic(&ctx);
+    let start_logical = ctx.logical_bytes();
     let mut samples: [Vec<u64>; 6] = Default::default();
     for op in ops {
         let t0 = ctx.machine().now();
@@ -488,12 +530,8 @@ pub fn run_mixed_latencies(
         samples[class_of(op)].push(ctx.machine().now() - t0);
     }
     let cycles = ctx.machine().now() - start_cycles;
-    let mut traffic = *ctx.machine().device().traffic();
-    traffic.data_bytes -= start_traffic.data_bytes;
-    traffic.log_bytes -= start_traffic.log_bytes;
-    traffic.data_lines -= start_traffic.data_lines;
-    traffic.log_records -= start_traffic.log_records;
-    traffic.wpq_lines -= start_traffic.wpq_lines;
+    let traffic = measured_traffic(&ctx, &start_traffic, start_soft);
+    let logical_bytes = ctx.logical_bytes() - start_logical;
     if verify {
         index
             .check_invariants(&ctx)
@@ -508,6 +546,7 @@ pub fn run_mixed_latencies(
             kind,
             cycles,
             traffic,
+            logical_bytes,
             stats: *ctx.machine().stats(),
         },
         lat,

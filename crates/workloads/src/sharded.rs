@@ -18,7 +18,7 @@
 use crate::ctx::AnnotationSource;
 use crate::runner::{run_inserts_traced, run_inserts_with, run_mixed, IndexKind, RunResult};
 use crate::ycsb::{MixedOp, YcsbOp};
-use slpmt_core::{MachineConfig, MachineStats, Scheme};
+use slpmt_core::{MachineConfig, MachineStats, SchemeKind};
 use slpmt_pmem::WriteTraffic;
 use slpmt_prng::splitmix64;
 
@@ -75,8 +75,8 @@ pub fn partition_mixed(ops: &[MixedOp], shards: usize) -> Vec<Vec<MixedOp>> {
 /// plus the merged view.
 #[derive(Debug, Clone)]
 pub struct ShardedResult {
-    /// Scheme simulated.
-    pub scheme: Scheme,
+    /// Scheme simulated (hardware design or software PTM flavour).
+    pub scheme: SchemeKind,
     /// Index evaluated (one instance per shard).
     pub kind: IndexKind,
     /// Per-shard measured-phase results, indexed by shard.
@@ -168,7 +168,7 @@ pub fn run_sharded_serial_traced(
     source: AnnotationSource,
     shards: usize,
 ) -> (ShardedResult, Vec<Vec<slpmt_core::TraceRecord>>) {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let parts = partition_ops(ops, shards);
     let mut results = Vec::with_capacity(shards);
     let mut traces = Vec::with_capacity(shards);
@@ -220,7 +220,7 @@ pub fn run_sharded_mixed_serial(
     shards: usize,
     verify: bool,
 ) -> ShardedResult {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let load_parts = partition_ops(load, shards);
     let parts = partition_mixed(ops, shards);
     let results: Vec<RunResult> = load_parts
@@ -248,7 +248,7 @@ pub fn run_sharded_serial(
     shards: usize,
     verify: bool,
 ) -> ShardedResult {
-    let scheme = cfg.scheme;
+    let scheme = cfg.kind();
     let parts = partition_ops(ops, shards);
     let results: Vec<RunResult> = parts
         .iter()
@@ -266,6 +266,7 @@ pub fn run_sharded_serial(
 mod tests {
     use super::*;
     use crate::ycsb::ycsb_load;
+    use slpmt_core::Scheme;
 
     #[test]
     fn partition_is_total_and_deterministic() {

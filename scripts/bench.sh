@@ -3,7 +3,8 @@
 #
 # Builds the release binary, runs `slpmt bench --json` (matrix,
 # multi-core, 16-way sharded scaling, YCSB mixes, the KV serve front
-# end, per-op microbenches; wall-clock columns best-of-N), writes the
+# end, the software-PTM baselines, per-op microbenches; wall-clock
+# columns best-of-N), writes the
 # snapshot to BENCH_<n>.json — the next
 # free index, so the repo accumulates a perf trajectory — and compares
 # the host sim-throughput numbers against the newest committed
@@ -136,6 +137,32 @@ if "chaos" in base:
             fail = True
         if (bc["strict"], bc["lossy"]) != (cc["strict"], cc["lossy"]):
             print("chaos: point outcomes changed — semantics moved",
+                  file=sys.stderr)
+            fail = True
+# Software-PTM baselines (added with BENCH_10): soft host-throughput
+# ratio, plus hard equality on the summed simulated cycle count and
+# the folded per-cell digest whenever both snapshots ran the same
+# matrix shape — every gated column is simulated, so drift is
+# semantic.
+if "ptm" in base:
+    bp, cp = base["ptm"], cur["ptm"]
+    b, c = bp["sim_ops_per_s"], cp["sim_ops_per_s"]
+    ratio = c / b
+    print(f"ptm    baseline {b:>12.0f} sim-ops/s  "
+          f"current {c:>12.0f} sim-ops/s  ratio {ratio:.3f}")
+    if ratio < 1.0 - max_loss:
+        print(f"ptm: regressed more than {max_loss:.0%}", file=sys.stderr)
+        fail = True
+    if all(bp[k] == cp[k] for k in ("cells", "ops", "value_bytes")):
+        print(f"ptm cycles: baseline {bp['total_sim_cycles']}, "
+              f"current {cp['total_sim_cycles']}; "
+              f"digest {bp['digest']} vs {cp['digest']}")
+        if bp["total_sim_cycles"] != cp["total_sim_cycles"]:
+            print("ptm: simulated cycle count changed — semantics moved",
+                  file=sys.stderr)
+            fail = True
+        if bp["digest"] != cp["digest"]:
+            print("ptm: baseline digest changed — semantics moved",
                   file=sys.stderr)
             fail = True
 sys.exit(1 if fail else 0)

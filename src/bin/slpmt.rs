@@ -13,6 +13,7 @@
 //! slpmt shards <index> [shard options]  keyspace-sharded scaling run
 //! slpmt ycsb [ycsb options]             named-mix matrix (A–F, delete-heavy, …)
 //! slpmt serve [serve options]           KV service front end (memcached-text facade)
+//! slpmt ptm [ptm options]               software-PTM baseline matrix (fences, WAF)
 //!
 //! options: --scheme <name> --ops <n> --value <bytes>
 //!          --annotations <manual|compiler|none> --latency <ns>
@@ -35,6 +36,8 @@
 //!                --shards <n[,n..]> --load <n> --requests <n> --value <bytes>
 //!                --seed <n> --sessions <n> [--open-loop] [--gap <cycles>]
 //!                [--jitter <window>] [--queue-limit <n>] [--json]
+//! ptm options: --scheme <name|all> --workload <name|all> --ops <n>
+//!              --value <bytes> [--json]
 //!
 //! `matrix` and `crashsweep` fan their cells across worker threads
 //! (one per available core; override with SLPMT_THREADS, where 1
@@ -49,7 +52,7 @@
 //! ```
 
 use slpmt::cache::CacheConfig;
-use slpmt::core::{HardwareOverhead, MachineConfig, MachineStats, Scheme};
+use slpmt::core::{HardwareOverhead, MachineConfig, MachineStats, PtmFlavor, Scheme, SchemeKind};
 use slpmt::trace::{export_chrome_trace, JsonWriter, Metrics, TraceRecord};
 use slpmt::workloads::runner::{run_inserts_with, IndexKind};
 use slpmt::workloads::{ycsb_load, AnnotationSource};
@@ -106,6 +109,9 @@ fn json_stats(w: &mut JsonWriter, key: &str, s: &MachineStats) {
         ("lazy_lines_overflowed", s.lazy_lines_overflowed),
         ("signature_hits", s.signature_hits),
         ("commit_stall_cycles", s.commit_stall_cycles),
+        ("fences", s.fences),
+        ("flushes", s.flushes),
+        ("fence_stall_cycles", s.fence_stall_cycles),
         ("compute_cycles", s.compute_cycles),
     ] {
         w.key(name);
@@ -134,11 +140,10 @@ impl Default for Options {
     }
 }
 
+/// Hardware-only scheme lookup, resolved through the shared
+/// [`SchemeKind::REGISTRY`] (the single source of scheme names).
 fn parse_scheme(name: &str) -> Option<Scheme> {
-    Scheme::ALL
-        .into_iter()
-        .chain(Scheme::REDO)
-        .find(|s| s.to_string().eq_ignore_ascii_case(name))
+    SchemeKind::parse(name).and_then(SchemeKind::hardware)
 }
 
 fn parse_kind(name: &str) -> Option<IndexKind> {
@@ -193,17 +198,38 @@ fn cmd_schemes() {
         "{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}",
         "scheme", "gran.", "buffer", "log-free", "lazy", "discipline"
     );
-    for s in Scheme::ALL.into_iter().chain(Scheme::REDO) {
-        let f = s.features();
-        println!(
-            "{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}",
-            s.to_string(),
-            format!("{:?}", f.granularity),
-            format!("{:?}", f.buffer),
-            f.log_free,
-            f.lazy,
-            format!("{:?}", f.discipline),
-        );
+    for k in SchemeKind::REGISTRY {
+        match k.hardware() {
+            Some(s) => {
+                let f = s.features();
+                println!(
+                    "{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}",
+                    s.to_string(),
+                    format!("{:?}", f.granularity),
+                    format!("{:?}", f.buffer),
+                    f.log_free,
+                    f.lazy,
+                    format!("{:?}", f.discipline),
+                );
+            }
+            None => {
+                let flavor = k.software().expect("registry entry is hw or sw");
+                println!(
+                    "{:<10} {:<6} {:<8} {:<9} {:<6} {:<11}",
+                    k.to_string(),
+                    "Word",
+                    "SwArena",
+                    false,
+                    false,
+                    format!(
+                        "Sw{} ({} commit fence{})",
+                        if flavor.is_redo() { "Redo" } else { "Undo" },
+                        flavor.commit_fences(),
+                        if flavor.commit_fences() == 1 { "" } else { "s" },
+                    ),
+                );
+            }
+        }
     }
 }
 
@@ -321,6 +347,10 @@ fn cmd_matrix(o: &Options, json: bool) {
                 w.u64(r.traffic.data_lines);
                 w.key("log_records");
                 w.u64(r.traffic.log_records);
+                w.key("logical_bytes");
+                w.u64(r.logical_bytes);
+                w.key("waf");
+                w.f64(r.waf());
                 json_stats(&mut w, "stats", &r.stats);
                 w.end_obj();
             }
@@ -339,20 +369,21 @@ fn cmd_matrix(o: &Options, json: bool) {
         elapsed.as_secs_f64(),
     );
     println!(
-        "{:<18} {:>12} {:>8} {:>12} {:>10}",
-        "cell", "cycles", "vs FG", "media B", "log recs"
+        "{:<18} {:>12} {:>8} {:>12} {:>10} {:>7}",
+        "cell", "cycles", "vs FG", "media B", "log recs", "waf"
     );
     for (k, chunk) in results.chunks_exact(row).enumerate() {
         let kind = IndexKind::ALL[k];
         let base = &chunk[0];
         for r in chunk {
             println!(
-                "{:<18} {:>12} {:>7.2}x {:>12} {:>10}",
+                "{:<18} {:>12} {:>7.2}x {:>12} {:>10} {:>7.2}",
                 format!("{kind}/{}", r.scheme),
                 r.cycles,
                 r.speedup_vs(base),
                 r.traffic.media_bytes(),
                 r.traffic.log_records,
+                r.waf(),
             );
         }
     }
@@ -424,7 +455,7 @@ fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
         check_point, count_events, trace_crash_at, SweepCase, SWEEP_SCHEMES,
     };
 
-    let mut schemes: Vec<Scheme> = SWEEP_SCHEMES.to_vec();
+    let mut schemes: Vec<SchemeKind> = SWEEP_SCHEMES.iter().map(|&s| s.into()).collect();
     let mut kinds = vec![IndexKind::Hashtable, IndexKind::Rbtree, IndexKind::Heap];
     let mut seed = 42u64;
     let mut ops = 50usize;
@@ -439,8 +470,11 @@ fn cmd_crashsweep(args: &[String]) -> Result<ExitCode, String> {
         match flag.as_str() {
             "--scheme" => {
                 let v = value()?;
-                if !v.eq_ignore_ascii_case("all") {
-                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                if v.eq_ignore_ascii_case("all") {
+                    schemes = SchemeKind::REGISTRY.to_vec();
+                } else {
+                    schemes =
+                        vec![SchemeKind::parse(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
                 }
             }
             "--workload" => {
@@ -530,7 +564,7 @@ fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
     use slpmt::workloads::crashsweep::{SweepCase, SWEEP_SCHEMES};
     use slpmt::workloads::faultsweep::{check_fault_point, trace_fault_at, FaultCase};
 
-    let mut schemes: Vec<Scheme> = SWEEP_SCHEMES.to_vec();
+    let mut schemes: Vec<SchemeKind> = SWEEP_SCHEMES.iter().map(|&s| s.into()).collect();
     let mut kinds = vec![IndexKind::Hashtable, IndexKind::Rbtree, IndexKind::Heap];
     let mut seed = 42u64;
     let mut ops = 20usize;
@@ -552,8 +586,11 @@ fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
         match flag.as_str() {
             "--scheme" => {
                 let v = value()?;
-                if !v.eq_ignore_ascii_case("all") {
-                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                if v.eq_ignore_ascii_case("all") {
+                    schemes = SchemeKind::REGISTRY.to_vec();
+                } else {
+                    schemes =
+                        vec![SchemeKind::parse(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
                 }
             }
             "--workload" => {
@@ -1216,6 +1253,48 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     }
     let chaos_points_per_s = chaos_report.points as f64 / chaos_wall;
 
+    // Software-PTM baselines: the five flavours on the hashtable at a
+    // fixed shape. Cycles, fence counts and the folded digest are all
+    // simulated and deterministic — bench.sh hard-gates total cycles
+    // and the digest — while wall time tracks host throughput of the
+    // explicit store/flush/fence instruction streams.
+    let ptm_ops = ops.min(500);
+    let ptm_stream = ycsb_load(ptm_ops, 32, 42);
+    let ptm_cells = slpmt::bench::runner::matrix(&SchemeKind::SOFTWARE, &[IndexKind::Hashtable]);
+    let mut ptm_wall = f64::INFINITY;
+    let mut ptm_rows = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        ptm_rows = run_matrix_with(
+            &ptm_cells,
+            workers,
+            &ptm_stream,
+            32,
+            AnnotationSource::Manual,
+            None,
+        );
+        ptm_wall = ptm_wall.min(t0.elapsed().as_secs_f64());
+    }
+    let ptm_sim_cycles: u64 = ptm_rows.iter().map(|r| r.cycles).sum();
+    let ptm_fences: u64 = ptm_rows.iter().map(|r| r.stats.fences).sum();
+    let ptm_digest = {
+        // FNV-1a over each row's deterministic columns, in cell order.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for r in &ptm_rows {
+            fold(r.cycles);
+            fold(r.stats.fences);
+            fold(r.stats.flushes);
+            fold(r.traffic.log_bytes);
+            fold(r.logical_bytes);
+        }
+        h
+    };
+    let ptm_ops_per_s = (ptm_cells.len() * ptm_ops) as f64 / ptm_wall;
+
     let micro_rows = micro::run_all(4096, reps);
 
     if json {
@@ -1358,6 +1437,25 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         w.key("points_per_s");
         w.f64(chaos_points_per_s);
         w.end_obj();
+        w.key("ptm");
+        w.begin_obj();
+        w.key("cells");
+        w.u64(ptm_cells.len() as u64);
+        w.key("ops");
+        w.u64(ptm_ops as u64);
+        w.key("value_bytes");
+        w.u64(32);
+        w.key("total_sim_cycles");
+        w.u64(ptm_sim_cycles);
+        w.key("fences");
+        w.u64(ptm_fences);
+        w.key("digest");
+        w.string(&format!("{ptm_digest:016x}"));
+        w.key("wall_s");
+        w.f64(ptm_wall);
+        w.key("sim_ops_per_s");
+        w.f64(ptm_ops_per_s);
+        w.end_obj();
         w.key("micro");
         w.begin_arr();
         for row in &micro_rows {
@@ -1429,11 +1527,157 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         chaos_report.lossy,
         chaos_report.digest
     );
+    println!(
+        "  ptm    : {} flavour cells, {ptm_sim_cycles} total cycles, {ptm_fences} fences \
+         (digest {ptm_digest:016x}) in {ptm_wall:.3}s → {ptm_ops_per_s:.0} sim-ops/s",
+        ptm_cells.len()
+    );
     println!("  micro  :");
     for row in &micro_rows {
         println!(
             "    {:<8} {:>8} iters  {:>10.1} sim-cycles/op  {:>9.1} host-ns/op",
             row.name, row.iters, row.sim_cycles_per_op, row.host_ns_per_op
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `slpmt ptm`: the software persistent-transaction baseline matrix.
+/// Every PTM flavour (plus the SLPMT hardware reference point) runs
+/// the same insert workload over the selected indexes; each cell
+/// reports simulated cycles, fence and flush counts, log traffic and
+/// the write-amplification factor. Every column is simulated, so
+/// output — including `--json` — is byte-identical across reruns and
+/// `SLPMT_THREADS` settings.
+fn cmd_ptm(args: &[String]) -> Result<ExitCode, String> {
+    use slpmt::bench::runner::{matrix, run_matrix};
+
+    let mut schemes: Vec<SchemeKind> = std::iter::once(Scheme::Slpmt.into())
+        .chain(SchemeKind::SOFTWARE)
+        .collect();
+    let mut kinds = vec![IndexKind::Hashtable];
+    let mut ops = 500usize;
+    let mut value = 64usize;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = val()?;
+                if v.eq_ignore_ascii_case("all") {
+                    schemes = SchemeKind::REGISTRY.to_vec();
+                } else {
+                    schemes =
+                        vec![SchemeKind::parse(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                }
+            }
+            "--workload" => {
+                let v = val()?;
+                if v.eq_ignore_ascii_case("all") {
+                    kinds = IndexKind::ALL.to_vec();
+                } else {
+                    kinds = vec![parse_kind(&v).ok_or_else(|| format!("unknown workload {v}"))?];
+                }
+            }
+            "--ops" => ops = val()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--value" => value = val()?.parse().map_err(|e| format!("--value: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    let stream = ycsb_load(ops, value, 42);
+    let cells = matrix(&schemes, &kinds);
+    let results = run_matrix(&cells, &stream, value, AnnotationSource::Manual, None);
+
+    if json {
+        // Deliberately no wall-clock or worker-count field: this object
+        // is diffed byte-for-byte across SLPMT_THREADS values in CI.
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("command");
+        w.string("ptm");
+        w.key("schema");
+        w.u64(1);
+        w.key("ops");
+        w.u64(ops as u64);
+        w.key("value_bytes");
+        w.u64(value as u64);
+        w.key("rows");
+        w.begin_arr();
+        for r in &results {
+            w.begin_obj();
+            w.key("scheme");
+            w.string(&r.scheme.to_string());
+            w.key("workload");
+            w.string(&r.kind.to_string());
+            w.key("sim_cycles");
+            w.u64(r.cycles);
+            w.key("txns");
+            w.u64(r.stats.tx_commits);
+            w.key("fences");
+            w.u64(r.stats.fences);
+            w.key("flushes");
+            w.u64(r.stats.flushes);
+            w.key("fence_stall_cycles");
+            w.u64(r.stats.fence_stall_cycles);
+            w.key("data_bytes");
+            w.u64(r.traffic.data_bytes);
+            w.key("log_bytes");
+            w.u64(r.traffic.log_bytes);
+            w.key("log_records");
+            w.u64(r.traffic.log_records);
+            w.key("logical_bytes");
+            w.u64(r.logical_bytes);
+            w.key("waf");
+            w.f64(r.waf());
+            w.key("fences_per_txn");
+            w.f64(if r.stats.tx_commits == 0 {
+                0.0
+            } else {
+                r.stats.fences as f64 / r.stats.tx_commits as f64
+            });
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        println!("{}", w.finish());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!(
+        "ptm matrix: {} cell(s), {} × {} B inserts",
+        cells.len(),
+        ops,
+        value
+    );
+    println!(
+        "{:<22} {:>12} {:>8} {:>7} {:>8} {:>10} {:>7}",
+        "cell", "cycles", "fences", "f/txn", "flushes", "log B", "waf"
+    );
+    for r in &results {
+        let per_txn = if r.stats.tx_commits == 0 {
+            0.0
+        } else {
+            r.stats.fences as f64 / r.stats.tx_commits as f64
+        };
+        println!(
+            "{:<22} {:>12} {:>8} {:>7.2} {:>8} {:>10} {:>7.2}",
+            format!("{}/{}", r.kind, r.scheme),
+            r.cycles,
+            r.stats.fences,
+            per_txn,
+            r.stats.flushes,
+            r.traffic.log_bytes,
+            r.waf(),
         );
     }
     Ok(ExitCode::SUCCESS)
@@ -1451,11 +1695,10 @@ fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
     use slpmt::bench::faultsweep::{fault_cases_mixed, run_fault_sweep};
     use slpmt::bench::sharded::run_sharded_mixed;
     use slpmt::bench::ycsb::{run_ycsb_matrix, sweep_case_of, ycsb_cells, YcsbConfig};
-    use slpmt::workloads::crashsweep::SWEEP_SCHEMES;
     use slpmt::workloads::ycsb::{ycsb_mix, MixSpec};
 
     let mut mixes: Vec<MixSpec> = MixSpec::NAMED.iter().map(|&(_, m)| m).collect();
-    let mut schemes = vec![Scheme::Slpmt];
+    let mut schemes: Vec<SchemeKind> = vec![Scheme::Slpmt.into()];
     let mut kinds = vec![IndexKind::Hashtable];
     let mut cfg = YcsbConfig::default();
     let mut points = 50usize;
@@ -1495,9 +1738,10 @@ fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
             "--scheme" => {
                 let v = value()?;
                 if v.eq_ignore_ascii_case("all") {
-                    schemes = SWEEP_SCHEMES.to_vec();
+                    schemes = SchemeKind::REGISTRY.to_vec();
                 } else {
-                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                    schemes =
+                        vec![SchemeKind::parse(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
                 }
             }
             "--workload" => {
@@ -1532,7 +1776,7 @@ fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
         for cell in &cells {
             let (load, ops) = ycsb_mix(cfg.load, cfg.ops, cfg.value_size, cfg.seed, &cell.mix);
             let r = run_sharded_mixed(
-                MachineConfig::for_scheme(cell.scheme),
+                MachineConfig::for_kind(cell.scheme),
                 cell.kind,
                 &load,
                 &ops,
@@ -1590,6 +1834,14 @@ fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
             w.u64(row.result.traffic.data_bytes);
             w.key("log_bytes");
             w.u64(row.result.traffic.log_bytes);
+            w.key("fences");
+            w.u64(row.result.stats.fences);
+            w.key("flushes");
+            w.u64(row.result.stats.flushes);
+            w.key("logical_bytes");
+            w.u64(row.result.logical_bytes);
+            w.key("waf");
+            w.f64(row.result.waf());
             w.key("latencies");
             w.begin_obj();
             for (name, s) in row.lat.present() {
@@ -1686,11 +1938,13 @@ fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
         );
         for row in &rows {
             println!(
-                "  {:<18} {:<10} {:<10} {:>9} cycles",
+                "  {:<18} {:<10} {:<10} {:>9} cycles  {:>7} fences  waf {:.2}",
                 mix_label(&row.cell.mix),
                 row.cell.scheme.to_string(),
                 row.cell.kind.to_string(),
-                row.result.cycles
+                row.result.cycles,
+                row.result.stats.fences,
+                row.result.waf()
             );
             for (name, s) in row.lat.present() {
                 println!(
@@ -1732,11 +1986,10 @@ fn cmd_ycsb(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     use slpmt::bench::serve::run_serve;
     use slpmt::kv::service::{ServeConfig, VERB_CLASSES};
-    use slpmt::workloads::crashsweep::SWEEP_SCHEMES;
     use slpmt::workloads::ycsb::MixSpec;
 
     let mut mixes = vec![MixSpec::YCSB_A, MixSpec::YCSB_B, MixSpec::YCSB_C];
-    let mut schemes = vec![Scheme::Slpmt];
+    let mut schemes: Vec<SchemeKind> = vec![Scheme::Slpmt.into()];
     let mut kinds = vec![IndexKind::KvBtree];
     let mut shard_counts = vec![1usize, 4];
     let mut proto = ServeConfig::new(Scheme::Slpmt, IndexKind::KvBtree, MixSpec::YCSB_A);
@@ -1774,9 +2027,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             "--scheme" => {
                 let v = value()?;
                 if v.eq_ignore_ascii_case("all") {
-                    schemes = SWEEP_SCHEMES.to_vec();
+                    schemes = SchemeKind::REGISTRY.to_vec();
                 } else {
-                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                    schemes =
+                        vec![SchemeKind::parse(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
                 }
             }
             "--workload" => {
@@ -1971,7 +2225,7 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
     use slpmt::workloads::ycsb::MixSpec;
 
     let mut mixes = vec![MixSpec::YCSB_A, MixSpec::YCSB_B, MixSpec::DELETE_HEAVY];
-    let mut schemes = vec![Scheme::Slpmt, Scheme::SlpmtRedo];
+    let mut schemes: Vec<SchemeKind> = vec![Scheme::Slpmt.into(), Scheme::SlpmtRedo.into()];
     let mut kind = IndexKind::KvBtree;
     let mut seed = 42u64;
     let mut requests = 40usize;
@@ -2005,9 +2259,15 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
             "--scheme" => {
                 let v = value()?;
                 if v.eq_ignore_ascii_case("all") {
-                    schemes = vec![Scheme::Slpmt, Scheme::SlpmtRedo];
+                    schemes = vec![
+                        Scheme::Slpmt.into(),
+                        Scheme::SlpmtRedo.into(),
+                        PtmFlavor::UndoLog.into(),
+                        PtmFlavor::RedoLog.into(),
+                    ];
                 } else {
-                    schemes = vec![parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
+                    schemes =
+                        vec![SchemeKind::parse(&v).ok_or_else(|| format!("unknown scheme {v}"))?];
                 }
             }
             "--workload" => {
@@ -2125,7 +2385,7 @@ fn cmd_chaos(args: &[String]) -> Result<ExitCode, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|ycsb|serve|chaos|bench> \
+        "usage: slpmt <schemes|overhead|run <index>|compare <index>|matrix|trace|crashsweep|faults|mc|shards <index>|ycsb|serve|ptm|chaos|bench> \
          [--scheme S] [--ops N] [--value B] [--annotations manual|compiler|none] [--latency NS]\n\
          trace: [--scheme S] [--workload W] [--ops N] [--value B] [--seed N] [--out FILE]\n\
          crashsweep: [--scheme S|all] [--workload W|all] [--seed N] [--ops N] [--at K]\n\
@@ -2141,6 +2401,7 @@ fn usage() -> ExitCode {
          [--open-loop] [--gap CYCLES] [--jitter WINDOW] [--queue-limit N] [--json]\n\
          chaos: [--mix M[,M..]|all] [--scheme S|all] [--workload W] [--seed N] \
          [--requests N] [--points N] [--faults N] [--plan s<seed>:t<0|1>:p<n>:f<n>:j<n>] [--json]\n\
+         ptm: [--scheme S|all] [--workload W|all] [--ops N] [--value B] [--json]\n\
          bench: [--ops N] [--value B] [--reps N] [--json]\n\
          matrix also accepts --json; sweep failures auto-dump traces to target/traces/\n\
          indices: {}",
@@ -2234,6 +2495,13 @@ fn main() -> ExitCode {
             }
         }
         "ycsb" => match cmd_ycsb(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "ptm" => match cmd_ptm(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

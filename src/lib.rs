@@ -9,6 +9,8 @@
 //! * [`core`] — the transaction engine and evaluated schemes
 //! * [`annotate`] — the compiler-pass simulation (Patterns 1 and 2)
 //! * [`workloads`] — durable data structures and the YCSB driver
+//! * [`ptm`] — software persistent-transaction baselines (durabletx
+//!   family) executed as explicit store/flush/fence streams
 //! * [`kv`] — key/value service facade: memcached-text codec,
 //!   sessions, admission control and the deterministic request loop
 //! * [`trace`] — deterministic event tracing, metrics and Perfetto
@@ -37,5 +39,6 @@ pub use slpmt_core as core;
 pub use slpmt_kv as kv;
 pub use slpmt_logbuf as logbuf;
 pub use slpmt_pmem as pmem;
+pub use slpmt_ptm as ptm;
 pub use slpmt_trace as trace;
 pub use slpmt_workloads as workloads;
